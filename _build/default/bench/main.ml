@@ -1,0 +1,202 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Sec. 6) plus the DESIGN.md ablations, and runs Bechamel
+   micro-benchmarks of the core operations.
+
+   Usage:  dune exec bench/main.exe [-- TARGET...]
+   Targets: table1 table2 fig8a fig8b fig9 negative ablation-delta
+            ablation-text micro  (default: all of them, in that order)
+
+   Environment:
+     XC_SCALE    document scale factor (default 1.0 = paper scale)
+     XC_QUERIES  workload size (default 400) *)
+
+let scale =
+  match Sys.getenv_opt "XC_SCALE" with
+  | Some s -> (try float_of_string s with Failure _ -> 1.0)
+  | None -> 1.0
+
+let n_queries =
+  match Sys.getenv_opt "XC_QUERIES" with
+  | Some s -> (try int_of_string s with Failure _ -> 400)
+  | None -> 400
+
+let ppf = Format.std_formatter
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  Format.fprintf ppf "[%s: %.1fs]@." name (Unix.gettimeofday () -. t0);
+  r
+
+let imdb = lazy (timed "setup imdb" (fun () -> Xc_exp.Runner.imdb ~scale ~n_queries ()))
+let xmark = lazy (timed "setup xmark" (fun () -> Xc_exp.Runner.xmark ~scale ~n_queries ()))
+let dblp = lazy (timed "setup dblp" (fun () -> Xc_exp.Runner.dblp ~scale ~n_queries ()))
+let datasets () = [ Lazy.force imdb; Lazy.force xmark ]
+
+let run_table1 () =
+  Xc_exp.Report.table1 ppf (List.map Xc_exp.Runner.table1 (datasets ()))
+
+let run_table2 () =
+  Xc_exp.Report.table2 ppf (List.map Xc_exp.Runner.table2 (datasets ()))
+
+let run_fig8 ds =
+  let points = timed ("fig8 " ^ ds.Xc_exp.Runner.name) (fun () -> Xc_exp.Runner.fig8 ds) in
+  Xc_exp.Report.fig8 ppf ~name:ds.Xc_exp.Runner.name points
+
+let run_fig9 () =
+  let rows =
+    List.map
+      (fun ds ->
+        ( ds.Xc_exp.Runner.name,
+          timed ("fig9 " ^ ds.Xc_exp.Runner.name) (fun () -> Xc_exp.Runner.fig9 ds) ))
+      (datasets ())
+  in
+  Xc_exp.Report.fig9 ppf rows
+
+let run_negative () =
+  let rows =
+    List.map
+      (fun ds ->
+        ( ds.Xc_exp.Runner.name,
+          timed ("negative " ^ ds.Xc_exp.Runner.name) (fun () ->
+              Xc_exp.Runner.negative_check ds) ))
+      (datasets ())
+  in
+  Xc_exp.Report.negative ppf rows
+
+let run_ablation_delta () =
+  List.iter
+    (fun ds ->
+      let rows =
+        timed ("ablation-delta " ^ ds.Xc_exp.Runner.name) (fun () ->
+            Xc_exp.Runner.ablation_delta ds)
+      in
+      Xc_exp.Report.ablation_delta ppf ~name:ds.Xc_exp.Runner.name rows)
+    (datasets ())
+
+let run_ablation_numeric () =
+  List.iter
+    (fun ds ->
+      let rows =
+        timed ("ablation-numeric " ^ ds.Xc_exp.Runner.name) (fun () ->
+            Xc_exp.Runner.ablation_numeric ds)
+      in
+      Xc_exp.Report.ablation_numeric ppf ~name:ds.Xc_exp.Runner.name rows)
+    (datasets ())
+
+let run_auto_split () =
+  List.iter
+    (fun ds ->
+      let rows =
+        timed ("auto-split " ^ ds.Xc_exp.Runner.name) (fun () ->
+            Xc_exp.Runner.auto_split_demo ds)
+      in
+      Xc_exp.Report.auto_split ppf ~name:ds.Xc_exp.Runner.name rows)
+    (datasets ())
+
+let run_ablation_text () =
+  let ds = Lazy.force imdb in
+  let rows =
+    timed ("ablation-text " ^ ds.Xc_exp.Runner.name) (fun () ->
+        Xc_exp.Runner.ablation_text ds)
+  in
+  Xc_exp.Report.ablation_text ppf ~name:ds.Xc_exp.Runner.name rows
+
+(* ---- Bechamel micro-benchmarks ---------------------------------------- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let doc = Xc_data.Imdb.generate ~seed:31 ~n_movies:400 () in
+  let reference = Xc_core.Reference.build ~min_extent:8 doc in
+  let spec = { Xc_twig.Workload.default_spec with n_queries = 20 } in
+  let workload = Xc_twig.Workload.generate ~spec doc in
+  let query = (List.hd workload).Xc_twig.Workload.query in
+  let syn =
+    Xc_core.Build.run (Xc_core.Build.params ~bstr_kb:8 ~bval_kb:60 ()) reference
+  in
+  let strings =
+    List.init 200 (fun i -> Printf.sprintf "benchmark string %d" (i * 37 mod 100))
+  in
+  let terms =
+    List.init 400 (fun i ->
+        [| Xc_xml.Dictionary.of_string (Printf.sprintf "t%d" (i mod 80)) |])
+  in
+  let values = Array.init 5000 (fun i -> i * i mod 1000) in
+  [ Test.make ~name:"reference-build(10k-element doc)" (Staged.stage (fun () ->
+        ignore (Xc_core.Reference.build ~min_extent:8 doc)));
+    Test.make ~name:"xclusterbuild(8KB+60KB)" (Staged.stage (fun () ->
+        ignore
+          (Xc_core.Build.run (Xc_core.Build.params ~bstr_kb:8 ~bval_kb:60 ()) reference)));
+    Test.make ~name:"estimate(twig)" (Staged.stage (fun () ->
+        ignore (Xc_core.Estimate.selectivity syn query)));
+    Test.make ~name:"exact-eval(twig)" (Staged.stage (fun () ->
+        ignore (Xc_twig.Twig_eval.selectivity doc query)));
+    Test.make ~name:"pst-build(200 strings)" (Staged.stage (fun () ->
+        ignore (Xc_vsumm.Pst.build ~max_nodes:512 strings)));
+    Test.make ~name:"term-hist-build(400 docs)" (Staged.stage (fun () ->
+        ignore (Xc_vsumm.Term_hist.build terms)));
+    Test.make ~name:"histogram-build(5k values)" (Staged.stage (fun () ->
+        ignore (Xc_vsumm.Histogram.build values)));
+    Test.make ~name:"codec-roundtrip" (Staged.stage (fun () ->
+        ignore (Xc_core.Codec.of_string (Xc_core.Codec.to_string syn)))) ]
+
+let run_micro () =
+  let open Bechamel in
+  Format.fprintf ppf "@.Micro-benchmarks (OLS estimate per run)@.%s@."
+    (String.make 56 '-');
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |] in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Toolkit.Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) ->
+            if est >= 1e9 then Format.fprintf ppf "%-36s %10.2f s@." name (est /. 1e9)
+            else if est >= 1e6 then
+              Format.fprintf ppf "%-36s %10.2f ms@." name (est /. 1e6)
+            else if est >= 1e3 then
+              Format.fprintf ppf "%-36s %10.2f us@." name (est /. 1e3)
+            else Format.fprintf ppf "%-36s %10.0f ns@." name est
+          | Some [] | None -> Format.fprintf ppf "%-36s (no estimate)@." name)
+        analyzed)
+    (micro_tests ());
+  Format.fprintf ppf "%s@." (String.make 56 '-')
+
+(* ---- driver ------------------------------------------------------------ *)
+
+let targets =
+  [ ("table1", run_table1);
+    ("table2", run_table2);
+    ("fig8a", fun () -> run_fig8 (Lazy.force imdb));
+    ("fig8b", fun () -> run_fig8 (Lazy.force xmark));
+    ("fig8c", fun () -> run_fig8 (Lazy.force dblp));
+    ("fig9", run_fig9);
+    ("negative", run_negative);
+    ("ablation-delta", run_ablation_delta);
+    ("ablation-text", run_ablation_text);
+    ("ablation-numeric", run_ablation_numeric);
+    ("auto-split", run_auto_split);
+    ("micro", run_micro) ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) when not (List.mem "all" args) -> args
+    | _ -> List.map fst targets
+  in
+  Format.fprintf ppf "XCluster benchmark harness (scale=%.2f, queries=%d)@." scale
+    n_queries;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name targets with
+      | Some f -> f ()
+      | None ->
+        Format.fprintf ppf "unknown target %S; known: %s@." name
+          (String.concat ", " (List.map fst targets));
+        exit 1)
+    requested;
+  Format.pp_print_flush ppf ()

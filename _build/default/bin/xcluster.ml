@@ -1,0 +1,252 @@
+(* The xcluster command-line tool.
+
+   Subcommands:
+     gen       generate a synthetic data set as XML
+     inspect   parse an XML file and print its statistics
+     build     build an XCluster synopsis for an XML file and report sizes
+     estimate  estimate (and optionally verify) a twig query's selectivity
+
+   Examples:
+     xcluster gen -d imdb -s 0.1 -o imdb.xml
+     xcluster inspect imdb.xml
+     xcluster estimate imdb.xml -q "//movie[year > 1990]/title" --verify *)
+
+open Cmdliner
+
+let typing_for = function
+  | "imdb" -> Xc_xml.Parser.typing_of_assoc Xc_data.Imdb.value_typing
+  | "xmark" -> Xc_xml.Parser.typing_of_assoc Xc_data.Xmark.value_typing
+  | "dblp" -> Xc_xml.Parser.typing_of_assoc Xc_data.Dblp.value_typing
+  | _ -> Xc_xml.Parser.default_typing
+
+let load ~typing_name file =
+  let typing = typing_for typing_name in
+  Xc_xml.Parser.parse_file ~typing file
+
+(* ---- shared options ------------------------------------------------- *)
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"XML input file.")
+
+let typing_arg =
+  Arg.(
+    value
+    & opt string "auto"
+    & info [ "typing" ] ~docv:"KIND"
+        ~doc:
+          "Value-typing table: $(b,imdb), $(b,xmark), $(b,dblp), or $(b,auto) \
+           (heuristic inference from the text).")
+
+let bstr_arg =
+  Arg.(
+    value & opt int 20
+    & info [ "bstr" ] ~docv:"KB" ~doc:"Structural budget in kilobytes.")
+
+let bval_arg =
+  Arg.(
+    value & opt int 150
+    & info [ "bval" ] ~docv:"KB" ~doc:"Value-summary budget in kilobytes.")
+
+(* ---- gen -------------------------------------------------------------- *)
+
+let gen_cmd =
+  let dataset =
+    Arg.(
+      value & opt string "imdb"
+      & info [ "d"; "dataset" ] ~docv:"NAME"
+          ~doc:"Data set: $(b,imdb), $(b,xmark) or $(b,dblp).")
+  in
+  let scale =
+    Arg.(
+      value & opt float 1.0
+      & info [ "s"; "scale" ] ~docv:"F"
+          ~doc:"Scale factor (1.0 is the paper's ~200k elements).")
+  in
+  let seed = Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.") in
+  let output =
+    Arg.(
+      required & opt (some string) None
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output XML file.")
+  in
+  let run dataset scale seed output =
+    let doc =
+      match dataset with
+      | "imdb" ->
+        Xc_data.Imdb.generate ~seed
+          ~n_movies:(max 10 (int_of_float (scale *. 8000.0)))
+          ()
+      | "xmark" -> Xc_data.Xmark.generate ~seed ~scale ()
+      | "dblp" ->
+        Xc_data.Dblp.generate ~seed ~n_authors:(max 10 (int_of_float (scale *. 4000.0))) ()
+      | other -> Fmt.failwith "unknown dataset %S (imdb | xmark | dblp)" other
+    in
+    Xc_xml.Writer.to_file output doc;
+    Format.printf "wrote %s: %d elements@." output (Xc_xml.Document.n_elements doc)
+  in
+  Cmd.v
+    (Cmd.info "gen" ~doc:"Generate a synthetic XML data set.")
+    Term.(const run $ dataset $ scale $ seed $ output)
+
+(* ---- inspect ----------------------------------------------------------- *)
+
+let inspect_cmd =
+  let run file typing_name =
+    let doc = load ~typing_name file in
+    let stats = Xc_xml.Stats.compute doc in
+    Format.printf "elements:   %d@." stats.Xc_xml.Stats.n_elements;
+    Format.printf "tags:       %d@." stats.Xc_xml.Stats.n_labels;
+    Format.printf "height:     %d@." stats.Xc_xml.Stats.height;
+    Format.printf "serialized: %.1f MB@."
+      (float_of_int stats.Xc_xml.Stats.serialized_bytes /. 1048576.0);
+    Format.printf "paths:      %d (%d value-bearing)@."
+      (List.length stats.Xc_xml.Stats.paths)
+      (List.length (Xc_xml.Stats.value_paths stats));
+    List.iter
+      (fun p ->
+        Format.printf "  %a  %a x%d@." Xc_xml.Stats.pp_path p.Xc_xml.Stats.path
+          Xc_xml.Value.pp_vtype p.Xc_xml.Stats.vtype p.Xc_xml.Stats.elements)
+      (Xc_xml.Stats.value_paths stats)
+  in
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Parse an XML file and print its statistics.")
+    Term.(const run $ file_arg $ typing_arg)
+
+(* ---- build ------------------------------------------------------------- *)
+
+let build_cmd =
+  let save_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "save" ] ~docv:"FILE" ~doc:"Persist the synopsis to a file.")
+  in
+  let run file typing_name bstr bval save =
+    let doc = load ~typing_name file in
+    let reference = Xc_core.Reference.build doc in
+    Format.printf "reference: %a@." Xc_core.Synopsis.pp_stats reference;
+    let t0 = Unix.gettimeofday () in
+    let syn = Xc_core.Build.run (Xc_core.Build.params ~bstr_kb:bstr ~bval_kb:bval ()) reference in
+    Format.printf "xcluster:  %a  (built in %.2fs)@." Xc_core.Synopsis.pp_stats syn
+      (Unix.gettimeofday () -. t0);
+    (match Xc_core.Synopsis.validate syn with
+    | Ok () -> ()
+    | Error e -> Fmt.failwith "synopsis failed validation: %s" e);
+    match save with
+    | Some path ->
+      Xc_core.Codec.save path syn;
+      Format.printf "saved to %s (%d bytes on disk)@." path
+        (Xc_core.Codec.size_on_disk syn)
+    | None -> ()
+  in
+  Cmd.v
+    (Cmd.info "build" ~doc:"Build an XCluster synopsis within a budget.")
+    Term.(const run $ file_arg $ typing_arg $ bstr_arg $ bval_arg $ save_arg)
+
+(* ---- workload ------------------------------------------------------------ *)
+
+let workload_cmd =
+  let n_arg =
+    Arg.(value & opt int 100 & info [ "n" ] ~docv:"N" ~doc:"Number of queries.")
+  in
+  let seed_arg =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload RNG seed.")
+  in
+  let run file typing_name bstr bval n seed =
+    let doc = load ~typing_name file in
+    let reference = Xc_core.Reference.build doc in
+    let syn =
+      Xc_core.Build.run (Xc_core.Build.params ~bstr_kb:bstr ~bval_kb:bval ()) reference
+    in
+    let spec = { Xc_twig.Workload.default_spec with n_queries = n; seed } in
+    let wl = Xc_twig.Workload.generate ~spec doc in
+    let sanity = Xc_twig.Workload.sanity_bound wl in
+    let scored =
+      Xc_exp.Error_metric.score (Xc_core.Estimate.selectivity syn) wl
+    in
+    Format.printf "workload: %d positive twigs, sanity bound %.0f@."
+      (List.length wl) sanity;
+    Format.printf "overall avg. relative error: %.1f%%@."
+      (100.0 *. Xc_exp.Error_metric.overall_relative ~sanity scored);
+    List.iter
+      (fun (cls, err) ->
+        Format.printf "  %-8s %.1f%%@."
+          (Xc_twig.Twig_query.class_name cls)
+          (100.0 *. err))
+      (Xc_exp.Error_metric.per_class_relative ~sanity scored)
+  in
+  Cmd.v
+    (Cmd.info "workload"
+       ~doc:
+         "Generate a random positive twig workload over an XML file and report \
+          the synopsis's per-class estimation error (the paper's Sec. 6 \
+          methodology, on your own data).")
+    Term.(const run $ file_arg $ typing_arg $ bstr_arg $ bval_arg $ n_arg $ seed_arg)
+
+(* ---- estimate ----------------------------------------------------------- *)
+
+let estimate_cmd =
+  let query_arg =
+    Arg.(
+      required & opt (some string) None
+      & info [ "q"; "query" ] ~docv:"TWIG"
+          ~doc:"Twig query, e.g. \"//movie[year > 1990]/title[contains(War)]\".")
+  in
+  let verify =
+    Arg.(
+      value & flag
+      & info [ "verify" ] ~doc:"Also evaluate the query exactly and report the error.")
+  in
+  let synopsis_arg =
+    Arg.(
+      value & opt (some file) None
+      & info [ "synopsis" ] ~docv:"FILE"
+          ~doc:"Estimate from a synopsis saved by $(b,build --save) instead of                 rebuilding one.")
+  in
+  let explain_arg =
+    Arg.(
+      value & flag
+      & info [ "explain" ]
+          ~doc:"Show the query embedding: which clusters each variable binds to.")
+  in
+  let run file typing_name bstr bval synopsis query verify explain =
+    let doc = load ~typing_name file in
+    let q = Xc_twig.Twig_parse.parse query in
+    let syn =
+      match synopsis with
+      | Some path -> Xc_core.Codec.load path
+      | None ->
+        let reference = Xc_core.Reference.build doc in
+        Xc_core.Build.run (Xc_core.Build.params ~bstr_kb:bstr ~bval_kb:bval ()) reference
+    in
+    let est = Xc_core.Estimate.selectivity syn q in
+    Format.printf "estimate: %.2f binding tuples@." est;
+    if verify then begin
+      let exact = Xc_twig.Twig_eval.selectivity doc q in
+      Format.printf "exact:    %.0f@." exact;
+      Format.printf "rel.err:  %.1f%%@."
+        (100.0 *. Float.abs (est -. exact) /. Float.max exact 1.0)
+    end;
+    if explain then
+      List.iter
+        (fun e ->
+          Format.printf "variable q%d binds:@." e.Xc_core.Estimate.query_node;
+          List.iteri
+            (fun i (sid, label, w) ->
+              if i < 6 then
+                Format.printf "  cluster %d <%s>: %.1f expected elements@." sid label w)
+            e.Xc_core.Estimate.bindings)
+        (Xc_core.Estimate.explain syn q)
+  in
+  Cmd.v
+    (Cmd.info "estimate" ~doc:"Estimate a twig query's selectivity from a synopsis.")
+    Term.(
+      const run $ file_arg $ typing_arg $ bstr_arg $ bval_arg $ synopsis_arg
+      $ query_arg $ verify $ explain_arg)
+
+let () =
+  let info =
+    Cmd.info "xcluster" ~version:"1.0.0"
+      ~doc:"XCluster synopses for structured XML content (ICDE 2006 reproduction)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ gen_cmd; inspect_cmd; build_cmd; estimate_cmd; workload_cmd ]))

@@ -1,0 +1,1 @@
+examples/auction_tuning.ml: Format List String Xc_core Xc_data Xc_twig Xc_xml

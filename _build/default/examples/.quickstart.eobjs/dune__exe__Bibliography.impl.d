@@ -1,0 +1,1 @@
+examples/bibliography.ml: Format List String Xc_core Xc_data Xc_twig Xc_xml

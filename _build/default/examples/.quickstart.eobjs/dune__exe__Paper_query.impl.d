@@ -1,0 +1,1 @@
+examples/paper_query.ml: Array Format List Printf Seq Xc_core Xc_data Xc_exp Xc_twig Xc_xml

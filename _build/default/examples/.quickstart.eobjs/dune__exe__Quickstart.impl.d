@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Xc_core Xc_twig Xc_xml

@@ -1,0 +1,1 @@
+examples/text_search.ml: Array Format Hashtbl List Option Printf Xc_core Xc_data Xc_twig Xc_xml

@@ -1,0 +1,61 @@
+(* Bibliography example: a full round trip through the library —
+   generate a data set, serialize to XML text, re-parse it with a typing
+   table, summarize at several budgets, and watch estimate quality change.
+
+   Run with: dune exec examples/bibliography.exe *)
+
+let () =
+  (* Generate an IMDB-flavoured document and serialize it, as a stand-in
+     for "a file you got from somewhere". *)
+  let original = Xc_data.Imdb.generate ~seed:77 ~n_movies:600 () in
+  let xml_text = Xc_xml.Writer.to_string original in
+  Format.printf "serialized %d elements to %d KB of XML@."
+    (Xc_xml.Document.n_elements original)
+    (String.length xml_text / 1024);
+
+  (* Parse it back: the generator publishes its tag->type table. *)
+  let typing = Xc_xml.Parser.typing_of_assoc Xc_data.Imdb.value_typing in
+  let doc = Xc_xml.Parser.parse_string ~typing xml_text in
+  Format.printf "reparsed: %d elements@." (Xc_xml.Document.n_elements doc);
+
+  (* Inspect the document's paths and value types. *)
+  let stats = Xc_xml.Stats.compute doc in
+  Format.printf "@.value-bearing paths:@.";
+  List.iter
+    (fun p ->
+      Format.printf "  %a  (%a, %d elements)@." Xc_xml.Stats.pp_path
+        p.Xc_xml.Stats.path Xc_xml.Value.pp_vtype p.Xc_xml.Stats.vtype
+        p.Xc_xml.Stats.elements)
+    (Xc_xml.Stats.value_paths stats);
+
+  (* Summarize at three budgets and compare estimates on a few twigs. *)
+  let reference = Xc_core.Reference.build doc in
+  let queries =
+    [ "//movie[year > 1990]/title";
+      "//movie[genre contains(Com)]";
+      "//movie[plot ftcontains(xml)]";
+      "//actor[year < 1960]/name";
+      "//movie[box_office > 100000][year > 1995]";
+      "//movie[cast/actor/role]/director/name" ]
+  in
+  Format.printf "@.%-48s %10s" "query" "exact";
+  let budgets = [ (1, 8); (4, 32); (16, 128) ] in
+  List.iter (fun (s, v) -> Format.printf " %6dKB" (s + v)) budgets;
+  Format.printf "@.";
+  let synopses =
+    List.map
+      (fun (bstr_kb, bval_kb) ->
+        Xc_core.Build.run (Xc_core.Build.params ~bstr_kb ~bval_kb ()) reference)
+      budgets
+  in
+  List.iter
+    (fun q ->
+      let query = Xc_twig.Twig_parse.parse q in
+      Format.printf "%-48s %10.0f" q (Xc_twig.Twig_eval.selectivity doc query);
+      List.iter
+        (fun syn -> Format.printf " %8.1f" (Xc_core.Estimate.selectivity syn query))
+        synopses;
+      Format.printf "@.")
+    queries;
+  Format.printf
+    "@.(estimates sharpen from left to right as the synopsis budget grows)@."

@@ -1,0 +1,68 @@
+(* The paper's introduction, end to end: a DBLP-like bibliography, the
+   motivating query, and the automated budget-split search (Sec. 4.3
+   future work) choosing how to divide a unified space budget.
+
+   Run with: dune exec examples/paper_query.exe *)
+
+let () =
+  let doc = Xc_data.Dblp.generate ~n_authors:1200 () in
+  Format.printf "bibliography: %d elements@." (Xc_xml.Document.n_elements doc);
+
+  let reference = Xc_core.Reference.build ~min_extent:8 ~value_min_extent:200 doc in
+  Format.printf "reference: %a@." Xc_core.Synopsis.pp_stats reference;
+
+  (* a small sample workload drives the automated Bstr/Bval split *)
+  let spec = { Xc_twig.Workload.default_spec with n_queries = 60 } in
+  let sample_workload = Xc_twig.Workload.generate ~spec doc in
+  let sanity = Xc_twig.Workload.sanity_bound sample_workload in
+  let sample syn =
+    Xc_exp.Error_metric.overall_relative ~sanity
+      (Xc_exp.Error_metric.score (Xc_core.Estimate.selectivity syn) sample_workload)
+  in
+  let params, synopsis = Xc_core.Build.auto_split ~total_kb:60 ~sample reference in
+  Format.printf "auto split chose Bstr=%dKB Bval=%dKB -> %a@."
+    (params.Xc_core.Build.bstr / 1024)
+    (params.Xc_core.Build.bval / 1024)
+    Xc_core.Synopsis.pp_stats synopsis;
+
+  (* the motivating query of the paper's introduction *)
+  let q =
+    "//paper[year > 2000][abstract ftcontains(selka, garmonte)]/title[contains(Tree)]"
+  in
+  (* pick two terms that actually occur in some abstract so the query is
+     realistic; fall back to the literal if absent *)
+  let sample_terms =
+    Array.to_seq doc.Xc_xml.Document.nodes
+    |> Seq.filter_map (fun n ->
+           match n.Xc_xml.Node.value with
+           | Xc_xml.Value.Text terms
+             when Array.length terms >= 2
+                  && Xc_xml.Label.to_string n.Xc_xml.Node.label = "abstract" ->
+             Some (Xc_xml.Dictionary.to_string terms.(0), Xc_xml.Dictionary.to_string terms.(1))
+           | _ -> None)
+    |> (fun s -> Seq.drop 17 s)
+    |> fun s -> Seq.uncons s
+  in
+  let q =
+    match sample_terms with
+    | Some ((t1, t2), _) ->
+      Printf.sprintf
+        "//paper[year > 2000][abstract ftcontains(%s, %s)]/title[contains(Tree)]" t1 t2
+    | None -> q
+  in
+  Format.printf "@.query: %s@." q;
+  let query = Xc_twig.Twig_parse.parse q in
+  Format.printf "estimate: %.2f@." (Xc_core.Estimate.selectivity synopsis query);
+  Format.printf "exact:    %.0f@." (Xc_twig.Twig_eval.selectivity doc query);
+
+  (* Boolean-model variations beyond the paper's conjunctive example *)
+  Format.printf "@.Boolean-model variations:@.";
+  List.iter
+    (fun q ->
+      let query = Xc_twig.Twig_parse.parse q in
+      Format.printf "%-64s est=%8.1f exact=%6.0f@." q
+        (Xc_core.Estimate.selectivity synopsis query)
+        (Xc_twig.Twig_eval.selectivity doc query))
+    [ "//paper[abstract ftany(selka, garmonte, mokuzo)]";
+      "//paper[year > 2000][abstract ftexcludes(selka)]";
+      "//author[book/publisher contains(Press)]/name" ]

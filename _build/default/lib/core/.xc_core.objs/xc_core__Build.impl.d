@@ -1,0 +1,1 @@
+lib/core/build.ml: Delta Float Hashtbl Int List Logs Merge Option Pool Size Synopsis Xc_util Xc_vsumm

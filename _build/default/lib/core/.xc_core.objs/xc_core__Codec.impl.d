@@ -1,0 +1,1 @@
+lib/core/codec.ml: Array Buffer Dictionary Format Hashtbl Int Int64 Label List Printexc String Synopsis Value Xc_vsumm Xc_xml

@@ -1,0 +1,1 @@
+lib/core/delta.ml: Float Hashtbl Option Synopsis Xc_vsumm

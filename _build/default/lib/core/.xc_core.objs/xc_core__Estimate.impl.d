@@ -1,0 +1,1 @@
+lib/core/estimate.ml: Float Hashtbl Int List Option Path_expr Predicate Synopsis Twig_query Xc_twig Xc_vsumm Xc_xml

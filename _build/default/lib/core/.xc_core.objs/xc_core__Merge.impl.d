@@ -1,0 +1,1 @@
+lib/core/merge.ml: Hashtbl Option Size Synopsis Xc_vsumm Xc_xml

@@ -1,0 +1,1 @@
+lib/core/pool.ml: Array Delta Float Hashtbl Int List Merge Option Synopsis Unix Xc_util Xc_vsumm Xc_xml

@@ -1,0 +1,1 @@
+lib/core/pool.mli: Hashtbl Synopsis Xc_util

@@ -1,0 +1,1 @@
+lib/core/reference.ml: Array Buffer Document Hashtbl Label List Node Option Synopsis Value Xc_vsumm Xc_xml

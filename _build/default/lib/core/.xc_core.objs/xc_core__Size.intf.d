@@ -1,0 +1,1 @@
+lib/core/size.mli: Format

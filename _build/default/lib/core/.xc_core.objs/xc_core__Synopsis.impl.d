@@ -1,0 +1,1 @@
+lib/core/synopsis.ml: Format Hashtbl Queue Size String Xc_vsumm Xc_xml

@@ -1,0 +1,1 @@
+lib/core/synopsis.mli: Format Hashtbl Xc_vsumm Xc_xml

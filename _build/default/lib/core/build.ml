@@ -1,0 +1,154 @@
+module Heap = Xc_util.Heap
+
+let src = Logs.Src.create "xcluster.build" ~doc:"XCLUSTERBUILD progress"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type params = {
+  bstr : int;
+  bval : int;
+  pool : Pool.config;
+}
+
+let params ?(pool = Pool.default_config) ~bstr_kb ~bval_kb () =
+  { bstr = Size.kb bstr_kb; bval = Size.kb bval_kb; pool }
+
+(* ---- phase 1: structure-value merge ---------------------------------- *)
+
+let phase1_merge params syn =
+  let str_size = ref (Synopsis.structural_bytes syn) in
+  if !str_size > params.bstr then begin
+    let levels = ref (Synopsis.levels syn) in
+    let max_level syn =
+      Hashtbl.fold (fun _ l acc -> max l acc) (Synopsis.levels syn) 0
+    in
+    let level = ref 1 in
+    let pool = ref (Pool.build params.pool syn ~levels:!levels ~level:!level) in
+    let max_new_level = ref 0 in
+    let exhausted = ref false in
+    while !str_size > params.bstr && not !exhausted do
+      (* replenish the pool when it runs low (Fig. 5, lines 8-9) *)
+      if Heap.length !pool <= params.pool.hl then begin
+        let lmax = max_level syn in
+        let next_level = max (!max_new_level + 1) (!level + 1) in
+        level := min next_level (lmax + 1);
+        levels := Synopsis.levels syn;
+        pool := Pool.build params.pool syn ~levels:!levels ~level:!level;
+        max_new_level := 0;
+        (* if even the full-level pool is empty, nothing can merge *)
+        while Heap.is_empty !pool && !level <= lmax do
+          level := !level + 1;
+          pool := Pool.build params.pool syn ~levels:!levels ~level:!level
+        done;
+        if Heap.is_empty !pool then exhausted := true
+      end;
+      if not !exhausted then begin
+        match Pool.pop_valid syn !pool with
+        | None -> () (* loop back to the replenish branch *)
+        | Some cand ->
+          let lu = Option.value ~default:0 (Hashtbl.find_opt !levels cand.Pool.u) in
+          let lv = Option.value ~default:0 (Hashtbl.find_opt !levels cand.Pool.v) in
+          let u = Synopsis.find syn cand.Pool.u and v = Synopsis.find syn cand.Pool.v in
+          let saved = Merge.saved_bytes syn u v in
+          let w = Merge.apply syn cand.Pool.u cand.Pool.v in
+          str_size := !str_size - saved;
+          let lw = min lu lv in
+          Hashtbl.replace !levels w.Synopsis.sid lw;
+          if lw > !max_new_level then max_new_level := lw;
+          Pool.push_neighbors params.pool syn !pool ~levels:!levels ~level:!level w
+      end
+    done;
+    Log.debug (fun m ->
+        m "phase1 done: %d nodes, %a structural" (Synopsis.n_nodes syn) Size.pp_bytes
+          !str_size)
+  end
+
+(* ---- phase 2: value-summary compression ------------------------------ *)
+
+let phase2_compress params syn =
+  let val_size = ref (Synopsis.value_bytes syn) in
+  if !val_size > params.bval then begin
+    let heap = Heap.create () in
+    let push node =
+      match Delta.compression_delta syn node with
+      | Some (delta, saved) ->
+        Heap.push heap (Delta.marginal_loss delta saved) (node.Synopsis.sid, saved)
+      | None -> ()
+    in
+    Synopsis.iter push syn;
+    let exhausted = ref false in
+    while !val_size > params.bval && not !exhausted do
+      match Heap.pop heap with
+      | None -> exhausted := true
+      | Some (_, (sid, _)) ->
+        let node = Synopsis.find syn sid in
+        let before = Xc_vsumm.Value_summary.size_bytes node.Synopsis.vsumm in
+        (match Xc_vsumm.Value_summary.apply_compression node.Synopsis.vsumm with
+        | Some vsumm' ->
+          node.Synopsis.vsumm <- vsumm';
+          let after = Xc_vsumm.Value_summary.size_bytes vsumm' in
+          val_size := !val_size - (before - after);
+          push node
+        | None -> ())
+    done;
+    Log.debug (fun m -> m "phase2 done: %a value bytes" Size.pp_bytes !val_size)
+  end
+
+let run params reference =
+  let syn = Synopsis.copy reference in
+  phase1_merge params syn;
+  phase2_compress params syn;
+  syn
+
+(* ---- budget sweeps ---------------------------------------------------- *)
+
+let sweep ?(pool = Pool.default_config) ~bval_kb ~bstr_kbs reference =
+  let desc = List.sort_uniq (fun a b -> Int.compare b a) bstr_kbs in
+  let work = Synopsis.copy reference in
+  let snapshots = Hashtbl.create 8 in
+  List.iter
+    (fun kb ->
+      let p = params ~pool ~bstr_kb:kb ~bval_kb () in
+      (* budget 0 = the smallest reachable summary: merge to exhaustion *)
+      let p = if kb = 0 then { p with bstr = 0 } else p in
+      phase1_merge p work;
+      let snap = Synopsis.copy work in
+      phase2_compress p snap;
+      Hashtbl.replace snapshots kb snap)
+    desc;
+  List.map (fun kb -> (kb, Hashtbl.find snapshots kb)) bstr_kbs
+
+(* ---- automated budget split ------------------------------------------- *)
+
+let auto_split ?(ratios = [ 0.0; 0.05; 0.1; 0.2; 0.33; 0.5 ]) ~total_kb ~sample reference =
+  if total_kb <= 0 then invalid_arg "Build.auto_split: non-positive budget";
+  let candidates =
+    List.map
+      (fun ratio ->
+        let bstr_kb = max 0 (int_of_float (Float.round (ratio *. float_of_int total_kb))) in
+        (bstr_kb, total_kb - bstr_kb))
+      (List.sort_uniq Float.compare ratios)
+  in
+  (* structural budgets share the greedy merge prefix; the huge value
+     budget makes the sweep's own phase 2 a no-op so each candidate can
+     be value-compressed to its own Bval below *)
+  let snapshots = sweep ~bval_kb:1_000_000 ~bstr_kbs:(List.map fst candidates) reference in
+  let scored =
+    List.map
+      (fun (bstr_kb, bval_kb) ->
+        let structural = List.assoc bstr_kb snapshots in
+        let p = params ~bstr_kb ~bval_kb () in
+        let syn = Synopsis.copy structural in
+        phase2_compress p syn;
+        (sample syn, p, syn))
+      candidates
+  in
+  match scored with
+  | [] -> invalid_arg "Build.auto_split: no candidate ratios"
+  | first :: rest ->
+    let _, best_p, best_syn =
+      List.fold_left
+        (fun (berr, bp, bs) (err, p, s) -> if err < berr then (err, p, s) else (berr, bp, bs))
+        first rest
+    in
+    (best_p, best_syn)

@@ -1,0 +1,47 @@
+(** XCLUSTERBUILD — the budgeted construction algorithm (Sec. 4.3,
+    Fig. 5).
+
+    Phase 1 (structure-value merge) greedily applies the node merge with
+    the smallest marginal loss Δ(S,S′)/(|S|_str − |S′|_str) from a
+    bounded bottom-up candidate pool until the structural budget is met.
+    Phase 2 (value-summary compression) greedily applies the value
+    compression with the smallest marginal loss until the value budget
+    is met. *)
+
+type params = {
+  bstr : int;  (** structural budget, bytes *)
+  bval : int;  (** value budget, bytes *)
+  pool : Pool.config;
+}
+
+val params : ?pool:Pool.config -> bstr_kb:int -> bval_kb:int -> unit -> params
+
+val phase1_merge : params -> Synopsis.t -> unit
+(** Runs the structure-value merge phase in place. *)
+
+val phase2_compress : params -> Synopsis.t -> unit
+(** Runs the value-summary compression phase in place. *)
+
+val run : params -> Synopsis.t -> Synopsis.t
+(** Full XCLUSTERBUILD on a private copy of the reference synopsis
+    (the argument is not modified). *)
+
+val sweep : ?pool:Pool.config -> bval_kb:int -> bstr_kbs:int list ->
+  Synopsis.t -> (int * Synopsis.t) list
+(** Builds one synopsis per structural budget, sharing the greedy merge
+    prefix: budgets are processed in decreasing order on a single
+    synopsis, snapshotting (copy + value compression) at each. This is
+    exactly equivalent to independent runs because the greedy merge
+    sequence is budget-prefix-consistent. Returns (budget KB, synopsis)
+    in the input order. A budget of 0 is served by merging down to the
+    tag-only minimum. *)
+
+val auto_split : ?ratios:float list -> total_kb:int ->
+  sample:(Synopsis.t -> float) -> Synopsis.t -> params * Synopsis.t
+(** The automated budget-split search the paper sketches as future work
+    (Sec. 4.3): given a unified total budget, build a synopsis at each
+    candidate Bstr/(Bstr+Bval) ratio (default 0, 0.05, 0.1, 0.2,
+    0.33, 0.5), score each with the [sample] workload-error functional (lower
+    is better), and return the winning parameters and synopsis. The
+    candidate builds share the greedy merge prefix, so the search costs
+    little more than the deepest single build. *)

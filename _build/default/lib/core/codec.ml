@@ -1,0 +1,255 @@
+module Vs = Xc_vsumm.Value_summary
+open Xc_xml
+
+let magic = "XCLU"
+let version = 1
+
+(* ---- primitive encoders ------------------------------------------------ *)
+
+let put_int buf n = Buffer.add_int64_be buf (Int64.of_int n)
+let put_float buf f = Buffer.add_int64_be buf (Int64.bits_of_float f)
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+type reader = {
+  src : string;
+  mutable pos : int;
+}
+
+let fail fmt = Format.kasprintf failwith fmt
+
+let get_int r =
+  if r.pos + 8 > String.length r.src then fail "Codec: truncated input at %d" r.pos;
+  let v = Int64.to_int (String.get_int64_be r.src r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let get_float r =
+  if r.pos + 8 > String.length r.src then fail "Codec: truncated input at %d" r.pos;
+  let v = Int64.float_of_bits (String.get_int64_be r.src r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let get_string r =
+  let n = get_int r in
+  if n < 0 || r.pos + n > String.length r.src then
+    fail "Codec: bad string length %d at %d" n r.pos;
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let put_list buf f xs =
+  put_int buf (List.length xs);
+  List.iter (f buf) xs
+
+let get_list r f =
+  let n = get_int r in
+  List.init n (fun _ -> f r)
+
+(* ---- term table ---------------------------------------------------------
+   Term identifiers are process-local, so the encoding embeds the spelling
+   of every term it references and the decoder re-interns them. *)
+
+type term_table = {
+  mutable ids : int list; (* referenced ids, reverse order of discovery *)
+  index : (int, int) Hashtbl.t; (* global id -> local index *)
+}
+
+let tt_create () = { ids = []; index = Hashtbl.create 256 }
+
+let tt_local tt id =
+  match Hashtbl.find_opt tt.index id with
+  | Some local -> local
+  | None ->
+    let local = Hashtbl.length tt.index in
+    Hashtbl.add tt.index id local;
+    tt.ids <- id :: tt.ids;
+    local
+
+(* ---- value summaries ----------------------------------------------------- *)
+
+let put_vsumm tt buf = function
+  | Vs.Vnone -> put_int buf 0
+  | Vs.Vnum h ->
+    put_int buf 1;
+    let bounds, counts = Xc_vsumm.Histogram.raw h in
+    put_int buf (Array.length counts);
+    Array.iter (put_int buf) bounds;
+    Array.iter (put_float buf) counts
+  | Vs.Vstr p ->
+    put_int buf 2;
+    put_float buf (Xc_vsumm.Pst.n_strings p);
+    put_float buf (Xc_vsumm.Pst.total_len p);
+    put_int buf (Xc_vsumm.Pst.max_depth p);
+    let entries = ref [] in
+    Xc_vsumm.Pst.iter_substrings (fun s c -> entries := (s, c) :: !entries) p;
+    (* depth-first order lists prefixes before extensions once reversed *)
+    put_list buf
+      (fun buf (s, c) ->
+        put_string buf s;
+        put_float buf c)
+      (List.rev !entries)
+  | Vs.Vtext th ->
+    put_int buf 3;
+    put_float buf (Xc_vsumm.Term_hist.n_documents th);
+    let top, bucket, bucket_avg = Xc_vsumm.Term_hist.parts th in
+    put_list buf
+      (fun buf (id, f) ->
+        put_int buf (tt_local tt id);
+        put_float buf f)
+      top;
+    put_list buf (fun buf id -> put_int buf (tt_local tt id)) bucket;
+    put_float buf bucket_avg
+
+let get_vsumm terms r =
+  match get_int r with
+  | 0 -> Vs.Vnone
+  | 1 ->
+    let n = get_int r in
+    let bounds = Array.init (n + 1) (fun _ -> get_int r) in
+    let counts = Array.init n (fun _ -> get_float r) in
+    Vs.Vnum (Xc_vsumm.Histogram.of_raw ~bounds ~counts)
+  | 2 ->
+    let n = get_float r in
+    let total_len = get_float r in
+    let max_depth = get_int r in
+    let entries =
+      get_list r (fun r ->
+          let s = get_string r in
+          let c = get_float r in
+          (s, c))
+    in
+    Vs.Vstr (Xc_vsumm.Pst.of_substrings ~total_len ~n ~max_depth entries)
+  | 3 ->
+    let n = get_float r in
+    let remap local =
+      if local < 0 || local >= Array.length terms then
+        fail "Codec: term index %d out of range" local;
+      (terms.(local) : Dictionary.term :> int)
+    in
+    let top =
+      get_list r (fun r ->
+          let local = get_int r in
+          let f = get_float r in
+          (remap local, f))
+    in
+    let bucket = get_list r (fun r -> remap (get_int r)) in
+    let bucket_avg = get_float r in
+    Vs.Vtext (Xc_vsumm.Term_hist.of_parts ~n ~top ~bucket ~bucket_avg)
+  | tag -> fail "Codec: unknown value-summary tag %d" tag
+
+let vtype_tag = function
+  | Value.Tnull -> 0
+  | Value.Tnumeric -> 1
+  | Value.Tstring -> 2
+  | Value.Ttext -> 3
+
+let vtype_of_tag = function
+  | 0 -> Value.Tnull
+  | 1 -> Value.Tnumeric
+  | 2 -> Value.Tstring
+  | 3 -> Value.Ttext
+  | tag -> fail "Codec: unknown value-type tag %d" tag
+
+(* ---- synopsis -------------------------------------------------------------- *)
+
+let to_string syn =
+  let tt = tt_create () in
+  (* encode the nodes first (into a side buffer) so the term table is
+     complete before it is written *)
+  let body = Buffer.create 65536 in
+  put_int body syn.Synopsis.doc_height;
+  put_int body syn.Synopsis.root;
+  put_int body (Synopsis.n_nodes syn);
+  let nodes = Synopsis.fold (fun acc n -> n :: acc) [] syn in
+  let nodes = List.sort (fun a b -> Int.compare a.Synopsis.sid b.Synopsis.sid) nodes in
+  List.iter
+    (fun node ->
+      put_int body node.Synopsis.sid;
+      put_string body (Label.to_string node.Synopsis.label);
+      put_int body (vtype_tag node.Synopsis.vtype);
+      put_int body node.Synopsis.count;
+      put_vsumm tt body node.Synopsis.vsumm;
+      put_int body (Hashtbl.length node.Synopsis.children);
+      Hashtbl.iter
+        (fun child avg ->
+          put_int body child;
+          put_float body avg)
+        node.Synopsis.children)
+    nodes;
+  let out = Buffer.create (Buffer.length body + 4096) in
+  Buffer.add_string out magic;
+  put_int out version;
+  put_list out put_string
+    (List.rev_map (fun id -> Dictionary.to_string (Dictionary.unsafe_of_int id)) tt.ids);
+  Buffer.add_buffer out body;
+  Buffer.contents out
+
+let of_string_exn src =
+  let r = { src; pos = 0 } in
+  if String.length src < 4 || String.sub src 0 4 <> magic then
+    fail "Codec: bad magic (not an XCluster synopsis file)";
+  r.pos <- 4;
+  let v = get_int r in
+  if v <> version then fail "Codec: unsupported version %d (expected %d)" v version;
+  let terms = Array.of_list (get_list r (fun r -> Dictionary.of_string (get_string r))) in
+  let doc_height = get_int r in
+  let root = get_int r in
+  let n_nodes = get_int r in
+  let syn = Synopsis.create ~doc_height in
+  (* first pass: materialize nodes under their original sids *)
+  let edges = ref [] in
+  for _ = 1 to n_nodes do
+    let sid = get_int r in
+    let label = Label.of_string (get_string r) in
+    let vtype = vtype_of_tag (get_int r) in
+    let count = get_int r in
+    let vsumm = get_vsumm terms r in
+    if Hashtbl.mem syn.Synopsis.nodes sid then fail "Codec: duplicate node id %d" sid;
+    (* construct the node directly under its serialized sid (add_node
+       would allocate fresh ids that could collide with serialized ones) *)
+    let node =
+      { Synopsis.sid; label; vtype; count; vsumm;
+        children = Hashtbl.create 4;
+        parents = Hashtbl.create 4 }
+    in
+    Hashtbl.replace syn.Synopsis.nodes sid node;
+    let n_edges = get_int r in
+    for _ = 1 to n_edges do
+      let child = get_int r in
+      let avg = get_float r in
+      edges := (sid, child, avg) :: !edges
+    done
+  done;
+  syn.Synopsis.next_sid <-
+    1 + Synopsis.fold (fun acc n -> max acc n.Synopsis.sid) (-1) syn;
+  List.iter (fun (parent, child, avg) -> Synopsis.set_edge syn ~parent ~child avg) !edges;
+  syn.Synopsis.root <- root;
+  if r.pos <> String.length src then fail "Codec: trailing bytes";
+  (match Synopsis.validate syn with
+  | Ok () -> ()
+  | Error e -> fail "Codec: decoded synopsis is inconsistent: %s" e);
+  syn
+
+(* corrupt input can surface as out-of-range array sizes and the like;
+   normalize every decoding failure to Failure per the interface *)
+let of_string src =
+  try of_string_exn src with
+  | Failure _ as e -> raise e
+  | exn -> fail "Codec: corrupt input (%s)" (Printexc.to_string exn)
+
+let size_on_disk syn = String.length (to_string syn)
+
+let save path syn =
+  let oc = open_out_bin path in
+  output_string oc (to_string syn);
+  close_out oc
+
+let load path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  of_string src

@@ -1,0 +1,24 @@
+(** Synopsis persistence.
+
+    A synopsis is built once (minutes for a large document) and consulted
+    many times by an optimizer, so it must survive the process that built
+    it. The format is a self-contained, versioned binary encoding that
+    embeds the label names and dictionary terms it references; loading
+    re-interns them, so identifiers are stable across processes even
+    though the global intern tables differ. *)
+
+val save : string -> Synopsis.t -> unit
+(** Writes the synopsis to a file.
+    @raise Sys_error on I/O failure. *)
+
+val load : string -> Synopsis.t
+(** Reads a synopsis written by {!save}.
+    @raise Failure on format or version mismatch. *)
+
+val to_string : Synopsis.t -> string
+val of_string : string -> Synopsis.t
+
+val size_on_disk : Synopsis.t -> int
+(** Byte length of the encoding — a few framing bytes per node beyond
+    the model's {!Synopsis.structural_bytes} + {!Synopsis.value_bytes}
+    accounting, plus the embedded string tables. *)

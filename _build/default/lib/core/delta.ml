@@ -1,0 +1,73 @@
+module Vs = Xc_vsumm.Value_summary
+
+(* Structural dot products over the union of child edges of u and v,
+   including the implicit self query (A=1, B=1, W=1 component).
+   A_c = count(u,c), B_c = count(v,c), W_c = (|u|A_c + |v|B_c)/|w|,
+   with child references to u or v remapped onto w. *)
+let structural_dots u v =
+  let cu = float_of_int u.Synopsis.count and cv = float_of_int v.Synopsis.count in
+  let cw = cu +. cv in
+  let is_uv sid = sid = u.Synopsis.sid || sid = v.Synopsis.sid in
+  (* gather A and B keyed by the merged child identity *)
+  let tbl = Hashtbl.create 8 in
+  let gather node side =
+    let self_acc = ref 0.0 in
+    Hashtbl.iter
+      (fun sid avg ->
+        if is_uv sid then self_acc := !self_acc +. avg
+        else begin
+          let a, b = Option.value ~default:(0.0, 0.0) (Hashtbl.find_opt tbl sid) in
+          Hashtbl.replace tbl sid (if side = `U then (a +. avg, b) else (a, b +. avg))
+        end)
+      node.Synopsis.children;
+    !self_acc
+  in
+  let self_u = gather u `U and self_v = gather v `V in
+  if self_u > 0.0 || self_v > 0.0 then begin
+    (* merged self-loop child *)
+    let a, b = Option.value ~default:(0.0, 0.0) (Hashtbl.find_opt tbl (-1)) in
+    Hashtbl.replace tbl (-1) (a +. self_u, b +. self_v)
+  end;
+  let saa = ref 1.0 and saw = ref 1.0 and sbb = ref 1.0 and sbw = ref 1.0
+  and sww = ref 1.0 in
+  (* the initial 1.0 is the implicit self query with A = B = W = 1 *)
+  Hashtbl.iter
+    (fun _ (a, b) ->
+      let w = ((cu *. a) +. (cv *. b)) /. cw in
+      saa := !saa +. (a *. a);
+      saw := !saw +. (a *. w);
+      sbb := !sbb +. (b *. b);
+      sbw := !sbw +. (b *. w);
+      sww := !sww +. (w *. w))
+    tbl;
+  (!saa, !saw, !sbb, !sbw, !sww)
+
+let merge_delta ?(structural_only = false) _syn u v =
+  let cu = float_of_int u.Synopsis.count and cv = float_of_int v.Synopsis.count in
+  let cw = cu +. cv in
+  let wu = cu /. cw and wv = cv /. cw in
+  let saa, saw, sbb, sbw, sww = structural_dots u v in
+  let puu, pvv, puv =
+    if structural_only then (1.0, 1.0, 1.0)
+    else Vs.pred_dots u.Synopsis.vsumm v.Synopsis.vsumm
+  in
+  (* predicate-space dots against σ_w = wu·σ_u + wv·σ_v *)
+  let puw = (wu *. puu) +. (wv *. puv) in
+  let pvw = (wu *. puv) +. (wv *. pvv) in
+  let pww = (wu *. wu *. puu) +. (2.0 *. wu *. wv *. puv) +. (wv *. wv *. pvv) in
+  let du = (puu *. saa) -. (2.0 *. puw *. saw) +. (pww *. sww) in
+  let dv = (pvv *. sbb) -. (2.0 *. pvw *. sbw) +. (pww *. sww) in
+  (* numerical noise can push the quadratic forms slightly negative *)
+  Float.max 0.0 ((cu *. du) +. (cv *. dv))
+
+let compression_delta _syn u =
+  match Vs.preview_compression u.Synopsis.vsumm with
+  | None -> None
+  | Some (pred_err, saved) ->
+    let struct_factor =
+      Hashtbl.fold (fun _ avg acc -> acc +. (avg *. avg)) u.Synopsis.children 1.0
+    in
+    let delta = float_of_int u.Synopsis.count *. struct_factor *. pred_err in
+    Some (delta, saved)
+
+let marginal_loss delta saved = delta /. float_of_int (max 1 saved)

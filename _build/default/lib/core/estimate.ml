@@ -1,0 +1,222 @@
+open Xc_twig
+module Vs = Xc_vsumm.Value_summary
+
+let predicate_selectivity node pred =
+  let compatible = Xc_xml.Value.vtype_equal (Predicate.vtype pred) node.Synopsis.vtype in
+  if not compatible then 0.0
+  else
+    match pred with
+    | Predicate.Range (l, h) -> Vs.numeric_selectivity node.Synopsis.vsumm ~lo:l ~hi:h
+    | Predicate.Contains qs -> Vs.substring_selectivity node.Synopsis.vsumm qs
+    | Predicate.Ft_contains terms -> Vs.text_selectivity node.Synopsis.vsumm terms
+    | Predicate.Ft_any terms ->
+      (* Boolean model, term independence: P(any) = 1 - prod (1 - f) *)
+      1.0
+      -. List.fold_left
+           (fun acc t -> acc *. (1.0 -. Vs.term_frequency node.Synopsis.vsumm t))
+           1.0 terms
+    | Predicate.Ft_excludes terms ->
+      List.fold_left
+        (fun acc t -> acc *. (1.0 -. Vs.term_frequency node.Synopsis.vsumm t))
+        1.0 terms
+
+(* one child-axis expansion of a node-weight table *)
+let expand_children syn dist =
+  let next = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun sid weight ->
+      let node = Synopsis.find syn sid in
+      Hashtbl.iter
+        (fun child avg ->
+          let cur = Option.value ~default:0.0 (Hashtbl.find_opt next child) in
+          Hashtbl.replace next child (cur +. (weight *. avg)))
+        node.Synopsis.children)
+    dist;
+  next
+
+let filter_test syn test dist acc =
+  Hashtbl.iter
+    (fun sid weight ->
+      let node = Synopsis.find syn sid in
+      if Path_expr.matches_test test node.Synopsis.label then begin
+        let cur = Option.value ~default:0.0 (Hashtbl.find_opt acc sid) in
+        Hashtbl.replace acc sid (cur +. weight)
+      end)
+    dist;
+  acc
+
+let step_reach syn step dist =
+  match step.Path_expr.axis with
+  | Path_expr.Child -> filter_test syn step.Path_expr.test (expand_children syn dist) (Hashtbl.create 16)
+  | Path_expr.Descendant ->
+    let out = Hashtbl.create 16 in
+    let frontier = ref dist in
+    let depth = ref 0 in
+    while Hashtbl.length !frontier > 0 && !depth < syn.Synopsis.doc_height do
+      incr depth;
+      let next = expand_children syn !frontier in
+      ignore (filter_test syn step.Path_expr.test next out);
+      frontier := next
+    done;
+    out
+
+let reach_tbl syn expr src =
+  let dist = Hashtbl.create 1 in
+  Hashtbl.replace dist src 1.0;
+  List.fold_left (fun d step -> step_reach syn step d) dist expr
+
+let reach syn expr src =
+  Hashtbl.fold (fun sid w acc -> (sid, w) :: acc) (reach_tbl syn expr src) []
+
+(* weight table for the first step taken from the virtual document
+   node: a child step selects the root cluster (one element), while a
+   descendant step reaches every element of every matching cluster *)
+let docnode_step syn step =
+  let dist = Hashtbl.create 16 in
+  (match step.Path_expr.axis with
+  | Path_expr.Child ->
+    let root = Synopsis.root_node syn in
+    if Path_expr.matches_test step.Path_expr.test root.Synopsis.label then
+      Hashtbl.replace dist root.Synopsis.sid 1.0
+  | Path_expr.Descendant ->
+    Synopsis.iter
+      (fun node ->
+        if Path_expr.matches_test step.Path_expr.test node.Synopsis.label then
+          Hashtbl.replace dist node.Synopsis.sid (float_of_int node.Synopsis.count))
+      syn);
+  dist
+
+let selectivity syn query =
+  let memo : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  (* expected binding tuples of the query subtree per element of the
+     synopsis node the variable is mapped to *)
+  let rec est qnode sid =
+    let key = (qnode.Twig_query.qid, sid) in
+    match Hashtbl.find_opt memo key with
+    | Some v -> v
+    | None ->
+      let node = Synopsis.find syn sid in
+      let sigma =
+        List.fold_left
+          (fun acc pred -> acc *. predicate_selectivity node pred)
+          1.0 qnode.Twig_query.preds
+      in
+      let result =
+        if sigma <= 0.0 then 0.0
+        else
+          List.fold_left
+            (fun acc (expr, child) ->
+              if acc <= 0.0 then 0.0
+              else begin
+                let reached = reach_tbl syn expr sid in
+                let sum =
+                  Hashtbl.fold
+                    (fun vsid weight acc' -> acc' +. (weight *. est child vsid))
+                    reached 0.0
+                in
+                acc *. sum
+              end)
+            sigma qnode.Twig_query.edges
+      in
+      Hashtbl.replace memo key result;
+      result
+  in
+  (* q0 binds to the virtual document node *)
+  let root_q = query.Twig_query.root in
+  if root_q.Twig_query.preds <> [] then 0.0
+  else
+    List.fold_left
+      (fun acc (expr, child) ->
+        if acc <= 0.0 then 0.0
+        else
+          match expr with
+          | [] -> 0.0
+          | first :: rest ->
+            let dist = docnode_step syn first in
+            let reached = List.fold_left (fun d s -> step_reach syn s d) dist rest in
+            let sum =
+              Hashtbl.fold
+                (fun sid weight acc' -> acc' +. (weight *. est child sid))
+                reached 0.0
+            in
+            acc *. sum)
+      1.0 root_q.Twig_query.edges
+
+type explanation = {
+  query_node : int;
+  bindings : (int * string * float) list;
+}
+
+let explain syn query =
+  (* forward pass: expected number of elements bound to each (variable,
+     cluster) pair, ignoring predicates on deeper subtrees (an upper
+     bound on the true binding distribution, which is what an optimizer
+     inspects to pick access paths) *)
+  let acc : (int, (int, float) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  let note qid sid weight =
+    let tbl =
+      match Hashtbl.find_opt acc qid with
+      | Some t -> t
+      | None ->
+        let t = Hashtbl.create 8 in
+        Hashtbl.add acc qid t;
+        t
+    in
+    Hashtbl.replace tbl sid (weight +. Option.value ~default:0.0 (Hashtbl.find_opt tbl sid))
+  in
+  let rec walk qnode dist =
+    Hashtbl.iter
+      (fun sid weight ->
+        let node = Synopsis.find syn sid in
+        let sigma =
+          List.fold_left
+            (fun s pred -> s *. predicate_selectivity node pred)
+            1.0 qnode.Twig_query.preds
+        in
+        note qnode.Twig_query.qid sid (weight *. sigma))
+      dist;
+    List.iter
+      (fun (expr, child) ->
+        let reached = Hashtbl.create 16 in
+        Hashtbl.iter
+          (fun sid weight ->
+            let from_here =
+              List.fold_left
+                (fun d step -> step_reach syn step d)
+                (let d = Hashtbl.create 1 in
+                 Hashtbl.replace d sid 1.0;
+                 d)
+                expr
+            in
+            Hashtbl.iter
+              (fun v w ->
+                Hashtbl.replace reached v
+                  ((weight *. w) +. Option.value ~default:0.0 (Hashtbl.find_opt reached v)))
+              from_here)
+          dist;
+        walk child reached)
+      qnode.Twig_query.edges
+  in
+  let root_q = query.Twig_query.root in
+  List.iter
+    (fun (expr, child) ->
+      match expr with
+      | [] -> ()
+      | first :: rest ->
+        let dist = docnode_step syn first in
+        let reached = List.fold_left (fun d s -> step_reach syn s d) dist rest in
+        walk child reached)
+    root_q.Twig_query.edges;
+  Hashtbl.fold
+    (fun qid tbl out ->
+      let bindings =
+        Hashtbl.fold
+          (fun sid w acc' ->
+            (sid, Xc_xml.Label.to_string (Synopsis.find syn sid).Synopsis.label, w)
+            :: acc')
+          tbl []
+        |> List.sort (fun (_, _, a) (_, _, b) -> Float.compare b a)
+      in
+      { query_node = qid; bindings } :: out)
+    acc []
+  |> List.sort (fun a b -> Int.compare a.query_node b.query_node)

@@ -1,0 +1,38 @@
+(** Selectivity estimation over an XCluster synopsis (Sec. 5).
+
+    Estimation enumerates query embeddings — mappings from query
+    variables to synopsis nodes satisfying the edge path expressions —
+    and combines edge counts with predicate selectivities under the
+    generalized {e path-value independence} assumption:
+    [sel(u\[p\]/c) = |u| · σ_p(u) · count(u,c)].
+
+    Descendant steps expand the synopsis graph breadth-first with the
+    expansion depth capped at the document height, which keeps the
+    computation convergent on cyclic synopses (recursion such as XMark's
+    [parlist]//[listitem] creates cycles once merged). *)
+
+val selectivity : Synopsis.t -> Xc_twig.Twig_query.t -> float
+(** Estimated number of binding tuples. *)
+
+val predicate_selectivity : Synopsis.snode -> Xc_twig.Predicate.t -> float
+(** σ_p(u): the predicate's selectivity at a synopsis node, estimated
+    from the node's value summary; 0 when the predicate's type is
+    incompatible with the node's value type. *)
+
+val reach : Synopsis.t -> Xc_twig.Path_expr.t -> int -> (int * float) list
+(** [(v, count)] pairs: the expected number of elements of cluster [v]
+    reached per element of the source cluster via the path expression.
+    Exposed for tests and diagnostics. *)
+
+type explanation = {
+  query_node : int;                   (** [Twig_query.qid] *)
+  bindings : (int * string * float) list;
+      (** (synopsis sid, label, expected elements bound) per cluster the
+          variable can embed onto, descending by count *)
+}
+
+val explain : Synopsis.t -> Xc_twig.Twig_query.t -> explanation list
+(** The query's embeddings, per variable: which clusters each variable
+    maps onto and how many elements are expected to bind there. This is
+    the information an optimizer would inspect when it distrusts an
+    estimate; the CLI exposes it as [estimate --explain]. *)

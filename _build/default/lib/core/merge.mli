@@ -1,0 +1,19 @@
+(** The node-merge operation (Sec. 4.1).
+
+    [merge(S,u,v)] replaces two label- and type-compatible clusters with
+    a single cluster [w] whose extent is the union: counts add, child
+    edge counts combine weighted by extent sizes, parent edge counts
+    add, and value summaries fuse. Self-edges arising when [u] is a
+    parent or child of [v] (or of itself) are remapped onto [w]. *)
+
+val compatible : Synopsis.snode -> Synopsis.snode -> bool
+(** Same label, same value type, and matching value-summary presence. *)
+
+val saved_bytes : Synopsis.t -> Synopsis.snode -> Synopsis.snode -> int
+(** Structural bytes the merge would save ([|S|_str − |S′|_str]):
+    one node plus every deduplicated child and parent edge. *)
+
+val apply : Synopsis.t -> int -> int -> Synopsis.snode
+(** Performs the merge and returns the new node. The two source nodes
+    are removed from the synopsis; the root is re-targeted if it was one
+    of them. @raise Invalid_argument if the nodes are incompatible. *)

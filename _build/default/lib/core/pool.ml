@@ -1,0 +1,143 @@
+module Heap = Xc_util.Heap
+module Vs = Xc_vsumm.Value_summary
+
+type cand = {
+  u : int;
+  v : int;
+  delta : float;
+  saved : int;
+}
+
+type t = cand Heap.t
+
+type config = {
+  hm : int;
+  hl : int;
+  neighbor_k : int;
+  pair_cap : int;
+  structural_only : bool;
+}
+
+let default_config =
+  { hm = 10_000; hl = 5_000; neighbor_k = 16; pair_cap = 4_000;
+    structural_only = false }
+
+let vsumm_kind = function
+  | Vs.Vnone -> 0
+  | Vs.Vnum _ -> 1
+  | Vs.Vstr _ -> 2
+  | Vs.Vtext _ -> 3
+
+let vtype_tag = function
+  | Xc_xml.Value.Tnull -> 0
+  | Xc_xml.Value.Tnumeric -> 1
+  | Xc_xml.Value.Tstring -> 2
+  | Xc_xml.Value.Ttext -> 3
+
+let group_key node =
+  ( (node.Synopsis.label :> int),
+    vtype_tag node.Synopsis.vtype,
+    vsumm_kind node.Synopsis.vsumm )
+
+let cand_evals = ref 0
+let cand_time = ref 0.0
+
+let make_cand config syn u v =
+  incr cand_evals;
+  let t0 = Unix.gettimeofday () in
+  let delta = Delta.merge_delta ~structural_only:config.structural_only syn u v in
+  cand_time := !cand_time +. (Unix.gettimeofday () -. t0);
+  let saved = Merge.saved_bytes syn u v in
+  { u = u.Synopsis.sid; v = v.Synopsis.sid; delta; saved }
+
+let cand_priority c = Delta.marginal_loss c.delta c.saved
+
+(* All groups of mergeable nodes with level <= threshold. *)
+let groups syn ~levels ~level =
+  let tbl = Hashtbl.create 64 in
+  Synopsis.iter
+    (fun node ->
+      let node_level =
+        Option.value ~default:max_int (Hashtbl.find_opt levels node.Synopsis.sid)
+      in
+      if node_level <= level then begin
+        let key = group_key node in
+        let members =
+          match Hashtbl.find_opt tbl key with
+          | Some l -> l
+          | None ->
+            let l = ref [] in
+            Hashtbl.add tbl key l;
+            l
+        in
+        members := node :: !members
+      end)
+    syn;
+  tbl
+
+let group_pairs config syn members =
+  let arr = Array.of_list members in
+  let g = Array.length arr in
+  let out = ref [] in
+  if g >= 2 then
+    if g * (g - 1) / 2 <= config.pair_cap then
+      for i = 0 to g - 2 do
+        for j = i + 1 to g - 1 do
+          out := make_cand config syn arr.(i) arr.(j) :: !out
+        done
+      done
+    else begin
+      (* large group: count-nearest-neighbour pairing *)
+      Array.sort (fun a b -> Int.compare a.Synopsis.count b.Synopsis.count) arr;
+      for i = 0 to g - 2 do
+        for j = i + 1 to min (g - 1) (i + config.neighbor_k) do
+          out := make_cand config syn arr.(i) arr.(j) :: !out
+        done
+      done
+    end;
+  !out
+
+let build config syn ~levels ~level =
+  let cands =
+    Hashtbl.fold
+      (fun _ members acc -> List.rev_append (group_pairs config syn !members) acc)
+      (groups syn ~levels ~level)
+      []
+  in
+  let arr = Array.of_list cands in
+  Array.sort (fun a b -> Float.compare (cand_priority a) (cand_priority b)) arr;
+  let keep = min config.hm (Array.length arr) in
+  let heap = Heap.create ~capacity:(max 64 keep) () in
+  for i = 0 to keep - 1 do
+    Heap.push heap (cand_priority arr.(i)) arr.(i)
+  done;
+  heap
+
+let push_neighbors config syn heap ~levels ~level node =
+  let key = group_key node in
+  (* collect group members at the right level, excluding the node itself *)
+  let members = ref [] in
+  Synopsis.iter
+    (fun other ->
+      if other.Synopsis.sid <> node.Synopsis.sid && group_key other = key then begin
+        let other_level =
+          Option.value ~default:max_int (Hashtbl.find_opt levels other.Synopsis.sid)
+        in
+        if other_level <= level then members := other :: !members
+      end)
+    syn;
+  let arr = Array.of_list !members in
+  let dist other = abs (other.Synopsis.count - node.Synopsis.count) in
+  Array.sort (fun a b -> Int.compare (dist a) (dist b)) arr;
+  let k = min config.neighbor_k (Array.length arr) in
+  for i = 0 to k - 1 do
+    let c = make_cand config syn node arr.(i) in
+    Heap.push heap (cand_priority c) c
+  done
+
+let rec pop_valid syn heap =
+  match Heap.pop heap with
+  | None -> None
+  | Some (_, c) ->
+    if Synopsis.mem syn c.u && Synopsis.mem syn c.v then Some c
+    else pop_valid syn heap

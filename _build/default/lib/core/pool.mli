@@ -1,0 +1,57 @@
+(** The candidate-merge pool of XCLUSTERBUILD (Sec. 4.3, Fig. 6).
+
+    The pool is a marginal-loss priority queue over candidate node
+    merges, built bottom-up by level (shortest distance to a leaf):
+    pairs are only considered among label/type-compatible nodes whose
+    level is at most the current threshold, matching the intuition that
+    parents merge well once their children have merged.
+
+    Two efficiency heuristics bound the quadratic pair space (both
+    documented in DESIGN.md): per-group pair generation falls back to
+    count-nearest-neighbour pairing when a group is large, and the pool
+    keeps only the [hm] best candidates. *)
+
+type cand = {
+  u : int;
+  v : int;
+  delta : float;
+  saved : int;
+}
+
+type t = cand Xc_util.Heap.t
+
+type config = {
+  hm : int;           (** max pool size (paper: 10000) *)
+  hl : int;           (** replenish threshold (paper: 5000) *)
+  neighbor_k : int;   (** neighbours per node when a group is too large *)
+  pair_cap : int;     (** max exhaustive pairs per group *)
+  structural_only : bool;  (** TREESKETCH-style Δ (ablation) *)
+}
+
+val default_config : config
+
+val group_key : Synopsis.snode -> int * int * int
+(** Nodes are mergeable only within the same group:
+    (label, value type, value-summary kind). *)
+
+val build : config -> Synopsis.t -> levels:(int, int) Hashtbl.t ->
+  level:int -> t
+(** Builds a fresh pool of candidates among nodes with level ≤ [level],
+    keeping the [hm] best by marginal loss. *)
+
+val push_neighbors : config -> Synopsis.t -> t ->
+  levels:(int, int) Hashtbl.t -> level:int -> Synopsis.snode -> unit
+(** After a merge produced a new node, pushes candidates pairing it with
+    up to [neighbor_k] count-nearest group members (the paper's
+    "recompute losses in the neighborhood" step, in lazy form). *)
+
+val pop_valid : Synopsis.t -> t -> cand option
+(** Pops the best candidate whose two nodes still exist (stale entries
+    referring to already-merged nodes are discarded). *)
+
+(**/**)
+
+val cand_evals : int ref
+val cand_time : float ref
+(** Diagnostics: number of candidate Δ evaluations and the total time
+    spent in them (benchmark instrumentation). *)

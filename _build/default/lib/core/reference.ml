@@ -1,0 +1,282 @@
+open Xc_xml
+
+type detail = {
+  hist_buckets : int;
+  pst_depth : int;
+  pst_nodes : int;
+  top_terms : int;
+}
+
+let default_detail =
+  { hist_buckets = 64; pst_depth = 8; pst_nodes = 1024; top_terms = 4096 }
+
+(* ---- label-path identifiers ----------------------------------------- *)
+
+type path_trie = {
+  pid : int;
+  labels : Label.t list; (* reversed root-to-here *)
+  children : (Label.t, path_trie) Hashtbl.t;
+}
+
+let assign_paths doc =
+  let next = ref 0 in
+  let new_trie labels =
+    let pid = !next in
+    incr next;
+    { pid; labels; children = Hashtbl.create 4 }
+  in
+  let root_trie = new_trie [] in
+  let n = Document.n_elements doc in
+  let path_of = Array.make n (-1) in
+  let paths_by_id = ref [] in
+  let rec walk trie node =
+    let child_trie =
+      match Hashtbl.find_opt trie.children node.Node.label with
+      | Some t -> t
+      | None ->
+        let t = new_trie (node.Node.label :: trie.labels) in
+        Hashtbl.add trie.children node.Node.label t;
+        paths_by_id := (t.pid, List.rev t.labels) :: !paths_by_id;
+        t
+    in
+    path_of.(node.Node.id) <- child_trie.pid;
+    Array.iter (walk child_trie) node.Node.children
+  in
+  walk root_trie doc.Document.root;
+  let path_labels = Hashtbl.create 64 in
+  List.iter (fun (pid, labels) -> Hashtbl.replace path_labels pid labels) !paths_by_id;
+  (path_of, path_labels)
+
+(* ---- partition refinement to count-stability ------------------------ *)
+
+(* Refinement with a minimum extent: a full count-stable split can
+   fragment clusters into extents of a handful of elements each, which
+   starves the value budget (thousands of near-empty summaries). Within
+   each cluster, signature fragments smaller than [min_extent] are
+   pooled into a single residual sub-cluster; large fragments split off
+   exactly. The result is approximately count-stable, trading bounded
+   cluster impurity for summaries with enough mass to matter — the same
+   engineering latitude the paper exercises (its reference-synopsis
+   details are deferred to the unpublished full version). *)
+let refine ?(min_extent = 1) ?value_min_extent doc initial =
+  let value_min_extent = Option.value ~default:min_extent value_min_extent in
+  let nodes = doc.Document.nodes in
+  let parents = Document.parent_table doc in
+  let n = Array.length nodes in
+  (* per-element pooling threshold: value-bearing elements use the larger
+     bound so that value summaries only split along heavyweight
+     structural classes and the value budget is not shredded across
+     hundreds of near-empty summaries *)
+  let threshold i =
+    match Value.vtype nodes.(i).Node.value with
+    | Value.Tnull -> min_extent
+    | Value.Tnumeric | Value.Tstring | Value.Ttext -> max min_extent value_min_extent
+  in
+  let cluster = Array.copy initial in
+  let changed = ref true in
+  let rounds = ref 0 in
+  let max_rounds = (2 * doc.Document.height) + 4 in
+  let key_buf = Buffer.create 64 in
+  while !changed && !rounds < max_rounds do
+    incr rounds;
+    let fresh = Hashtbl.create 1024 in
+    let next = ref 0 in
+    let renamed = Array.make n (-1) in
+    for i = 0 to n - 1 do
+      Buffer.clear key_buf;
+      Buffer.add_string key_buf (string_of_int cluster.(i));
+      (* backward stability: "exactly one incoming path" requires all
+         elements of a cluster to have parents in a single cluster, so
+         the parent's cluster joins the signature *)
+      Buffer.add_char key_buf '^';
+      Buffer.add_string key_buf
+        (string_of_int (if parents.(i) < 0 then -1 else cluster.(parents.(i))));
+      (* per-child-cluster counts, order-insensitive *)
+      let counts = Hashtbl.create 8 in
+      Array.iter
+        (fun c ->
+          let cc = cluster.(c.Node.id) in
+          Hashtbl.replace counts cc (1 + Option.value ~default:0 (Hashtbl.find_opt counts cc)))
+        nodes.(i).Node.children;
+      let pairs = Hashtbl.fold (fun cc k acc -> (cc, k) :: acc) counts [] in
+      let pairs = List.sort compare pairs in
+      List.iter
+        (fun (cc, k) ->
+          Buffer.add_char key_buf '|';
+          Buffer.add_string key_buf (string_of_int cc);
+          Buffer.add_char key_buf ':';
+          Buffer.add_string key_buf (string_of_int k))
+        pairs;
+      let key = Buffer.contents key_buf in
+      let id =
+        match Hashtbl.find_opt fresh key with
+        | Some id -> id
+        | None ->
+          let id = !next in
+          incr next;
+          Hashtbl.add fresh key id;
+          id
+      in
+      renamed.(i) <- id
+    done;
+    (* pool small fragments back into one residual fragment per parent
+       cluster *)
+    (if min_extent > 1 || value_min_extent > 1 then begin
+       let frag_size = Array.make !next 0 in
+       for i = 0 to n - 1 do
+         frag_size.(renamed.(i)) <- frag_size.(renamed.(i)) + 1
+       done;
+       (* residual id per (old cluster): reuse the first small fragment *)
+       let residual = Hashtbl.create 64 in
+       for i = 0 to n - 1 do
+         if frag_size.(renamed.(i)) < threshold i then begin
+           let old = cluster.(i) in
+           match Hashtbl.find_opt residual old with
+           | Some r -> renamed.(i) <- r
+           | None -> Hashtbl.add residual old renamed.(i)
+         end
+       done;
+       (* compact ids *)
+       let compact = Hashtbl.create 1024 in
+       let next' = ref 0 in
+       for i = 0 to n - 1 do
+         match Hashtbl.find_opt compact renamed.(i) with
+         | Some id -> renamed.(i) <- id
+         | None ->
+           Hashtbl.add compact renamed.(i) !next';
+           renamed.(i) <- !next';
+           incr next'
+       done;
+       next := !next'
+     end);
+    let n_old = Array.fold_left max 0 cluster + 1 in
+    changed := !next <> n_old;
+    Array.blit renamed 0 cluster 0 n
+  done;
+  cluster
+
+(* ---- synopsis assembly ---------------------------------------------- *)
+
+let vtype_tag = function
+  | Value.Tnull -> 0
+  | Value.Tnumeric -> 1
+  | Value.Tstring -> 2
+  | Value.Ttext -> 3
+
+let assemble ~detail ~value_paths doc cluster path_of path_labels =
+  let nodes = doc.Document.nodes in
+  let n = Array.length nodes in
+  let syn = Synopsis.create ~doc_height:doc.Document.height in
+  let n_clusters = Array.fold_left max 0 cluster + 1 in
+  (* per-cluster aggregates *)
+  let counts = Array.make n_clusters 0 in
+  let member = Array.make n_clusters (-1) in
+  for i = 0 to n - 1 do
+    let c = cluster.(i) in
+    counts.(c) <- counts.(c) + 1;
+    if member.(c) < 0 then member.(c) <- i
+  done;
+  let designated =
+    match value_paths with
+    | None -> None
+    | Some paths ->
+      let set = Hashtbl.create 16 in
+      List.iter (fun p -> Hashtbl.replace set p ()) paths;
+      Some set
+  in
+  let is_designated pid =
+    match designated with
+    | None -> true
+    | Some set -> (
+      match Hashtbl.find_opt path_labels pid with
+      | Some labels -> Hashtbl.mem set labels
+      | None -> false)
+  in
+  (* per-cluster value collections (only where designated) *)
+  let values = Array.make n_clusters [] in
+  for i = n - 1 downto 0 do
+    let c = cluster.(i) in
+    match nodes.(i).Node.value with
+    | Value.Null -> ()
+    | v -> if is_designated path_of.(i) then values.(c) <- v :: values.(c)
+  done;
+  (* allocate synopsis nodes *)
+  let sid_of = Array.make n_clusters (-1) in
+  for c = 0 to n_clusters - 1 do
+    if counts.(c) > 0 then begin
+      let repr = nodes.(member.(c)) in
+      let vsumm =
+        match values.(c) with
+        | [] -> Xc_vsumm.Value_summary.vnone
+        | vs ->
+          Xc_vsumm.Value_summary.of_values ~hist_buckets:detail.hist_buckets
+            ~pst_depth:detail.pst_depth ~pst_nodes:detail.pst_nodes
+            ~top_terms:detail.top_terms vs
+      in
+      let snode =
+        Synopsis.add_node syn ~label:repr.Node.label
+          ~vtype:(Value.vtype repr.Node.value) ~count:counts.(c) ~vsumm
+      in
+      sid_of.(c) <- snode.Synopsis.sid
+    end
+  done;
+  (* edges: total children per (parent cluster, child cluster) *)
+  let edge_totals = Hashtbl.create 1024 in
+  for i = 0 to n - 1 do
+    let pc = cluster.(i) in
+    Array.iter
+      (fun child ->
+        let key = (pc, cluster.(child.Node.id)) in
+        Hashtbl.replace edge_totals key
+          (1 + Option.value ~default:0 (Hashtbl.find_opt edge_totals key)))
+      nodes.(i).Node.children
+  done;
+  Hashtbl.iter
+    (fun (pc, cc) total ->
+      Synopsis.set_edge syn ~parent:sid_of.(pc) ~child:sid_of.(cc)
+        (float_of_int total /. float_of_int counts.(pc)))
+    edge_totals;
+  syn.Synopsis.root <- sid_of.(cluster.(0));
+  syn
+
+let build ?(detail = default_detail) ?(min_extent = 48) ?value_min_extent
+    ?value_paths doc =
+  let path_of, path_labels = assign_paths doc in
+  let n = Document.n_elements doc in
+  (* initial partition = (label path, value type) *)
+  let fresh = Hashtbl.create 256 in
+  let next = ref 0 in
+  let initial =
+    Array.init n (fun i ->
+        let key =
+          (path_of.(i), vtype_tag (Value.vtype doc.Document.nodes.(i).Node.value))
+        in
+        match Hashtbl.find_opt fresh key with
+        | Some id -> id
+        | None ->
+          let id = !next in
+          incr next;
+          Hashtbl.add fresh key id;
+          id)
+  in
+  let cluster = refine ~min_extent ?value_min_extent doc initial in
+  assemble ~detail ~value_paths doc cluster path_of path_labels
+
+let tag_only ?(detail = default_detail) ?value_paths doc =
+  let path_of, path_labels = assign_paths doc in
+  let n = Document.n_elements doc in
+  let fresh = Hashtbl.create 256 in
+  let next = ref 0 in
+  let cluster =
+    Array.init n (fun i ->
+        let node = doc.Document.nodes.(i) in
+        let key = (node.Node.label, vtype_tag (Value.vtype node.Node.value)) in
+        match Hashtbl.find_opt fresh key with
+        | Some id -> id
+        | None ->
+          let id = !next in
+          incr next;
+          Hashtbl.add fresh key id;
+          id)
+  in
+  assemble ~detail ~value_paths doc cluster path_of path_labels

@@ -1,0 +1,7 @@
+let node_bytes = 8
+let edge_bytes = 8
+let kb n = n * 1024
+
+let pp_bytes ppf n =
+  if n < 1024 then Format.fprintf ppf "%dB" n
+  else Format.fprintf ppf "%.1fKB" (float_of_int n /. 1024.0)

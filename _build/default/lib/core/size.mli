@@ -1,0 +1,18 @@
+(** The synopsis size-accounting model.
+
+    The construction algorithm takes its budgets in bytes; the paper
+    reports budgets in kilobytes. Structural storage covers the graph
+    (nodes + edges + edge counts); value storage covers the [vsumm]
+    summaries (Sec. 4.3 splits the budget as Bstr / Bval). *)
+
+val node_bytes : int
+(** Per synopsis node: label reference + element count = 8. *)
+
+val edge_bytes : int
+(** Per synopsis edge: target reference + average child count = 8. *)
+
+val kb : int -> int
+(** Kilobytes to bytes. *)
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Human-readable (e.g. "12.3KB"). *)

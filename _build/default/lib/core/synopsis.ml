@@ -1,0 +1,155 @@
+type snode = {
+  sid : int;
+  label : Xc_xml.Label.t;
+  vtype : Xc_xml.Value.vtype;
+  mutable count : int;
+  mutable vsumm : Xc_vsumm.Value_summary.t;
+  children : (int, float) Hashtbl.t;
+  parents : (int, unit) Hashtbl.t;
+}
+
+type t = {
+  nodes : (int, snode) Hashtbl.t;
+  mutable root : int;
+  mutable next_sid : int;
+  mutable doc_height : int;
+}
+
+let create ~doc_height =
+  { nodes = Hashtbl.create 256; root = -1; next_sid = 0; doc_height }
+
+let add_node t ~label ~vtype ~count ~vsumm =
+  let sid = t.next_sid in
+  t.next_sid <- sid + 1;
+  let node =
+    { sid; label; vtype; count; vsumm;
+      children = Hashtbl.create 4;
+      parents = Hashtbl.create 4 }
+  in
+  Hashtbl.replace t.nodes sid node;
+  node
+
+let remove_node t sid = Hashtbl.remove t.nodes sid
+let find t sid = Hashtbl.find t.nodes sid
+let mem t sid = Hashtbl.mem t.nodes sid
+let root_node t = find t t.root
+
+let set_edge t ~parent ~child avg =
+  let p = find t parent and c = find t child in
+  if avg <= 0.0 then begin
+    Hashtbl.remove p.children child;
+    Hashtbl.remove c.parents parent
+  end
+  else begin
+    Hashtbl.replace p.children child avg;
+    Hashtbl.replace c.parents parent ()
+  end
+
+let edge_count t ~parent ~child =
+  match Hashtbl.find_opt (find t parent).children child with
+  | Some avg -> avg
+  | None -> 0.0
+
+let n_nodes t = Hashtbl.length t.nodes
+let iter f t = Hashtbl.iter (fun _ node -> f node) t.nodes
+let fold f init t = Hashtbl.fold (fun _ node acc -> f acc node) t.nodes init
+let n_edges t = fold (fun acc node -> acc + Hashtbl.length node.children) 0 t
+
+let children_list t node =
+  Hashtbl.fold (fun sid avg acc -> (find t sid, avg) :: acc) node.children []
+
+let parents_list t node =
+  Hashtbl.fold (fun sid () acc -> find t sid :: acc) node.parents []
+
+let structural_bytes t =
+  fold
+    (fun acc node -> acc + Size.node_bytes + (Size.edge_bytes * Hashtbl.length node.children))
+    0 t
+
+let value_bytes t =
+  fold (fun acc node -> acc + Xc_vsumm.Value_summary.size_bytes node.vsumm) 0 t
+
+let n_value_nodes t =
+  fold
+    (fun acc node ->
+      match node.vsumm with
+      | Xc_vsumm.Value_summary.Vnone -> acc
+      | Xc_vsumm.Value_summary.Vnum _ | Vstr _ | Vtext _ -> acc + 1)
+    0 t
+
+let copy t =
+  let fresh = Hashtbl.create (Hashtbl.length t.nodes) in
+  Hashtbl.iter
+    (fun sid node ->
+      Hashtbl.replace fresh sid
+        { node with
+          vsumm = Xc_vsumm.Value_summary.copy node.vsumm;
+          children = Hashtbl.copy node.children;
+          parents = Hashtbl.copy node.parents })
+    t.nodes;
+  { nodes = fresh; root = t.root; next_sid = t.next_sid; doc_height = t.doc_height }
+
+let levels t =
+  let levels = Hashtbl.create (n_nodes t) in
+  let queue = Queue.create () in
+  iter
+    (fun node ->
+      if Hashtbl.length node.children = 0 then begin
+        Hashtbl.replace levels node.sid 0;
+        Queue.add node.sid queue
+      end)
+    t;
+  (* multi-source BFS on reversed edges: shortest distance to a leaf *)
+  let max_finite = ref 0 in
+  while not (Queue.is_empty queue) do
+    let sid = Queue.pop queue in
+    let level = Hashtbl.find levels sid in
+    if level > !max_finite then max_finite := level;
+    let node = find t sid in
+    Hashtbl.iter
+      (fun parent () ->
+        if not (Hashtbl.mem levels parent) then begin
+          Hashtbl.replace levels parent (level + 1);
+          Queue.add parent queue
+        end)
+      node.parents
+  done;
+  iter
+    (fun node ->
+      if not (Hashtbl.mem levels node.sid) then
+        Hashtbl.replace levels node.sid (!max_finite + 1))
+    t;
+  levels
+
+let validate t =
+  let problems = ref [] in
+  let bad fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  if not (mem t t.root) then bad "root %d missing" t.root;
+  iter
+    (fun node ->
+      if node.count <= 0 then bad "node %d has count %d" node.sid node.count;
+      Hashtbl.iter
+        (fun child avg ->
+          if avg <= 0.0 then bad "edge %d->%d has avg %f" node.sid child avg;
+          match Hashtbl.find_opt t.nodes child with
+          | None -> bad "edge %d->%d dangles" node.sid child
+          | Some c ->
+            if not (Hashtbl.mem c.parents node.sid) then
+              bad "edge %d->%d missing reverse index" node.sid child)
+        node.children;
+      Hashtbl.iter
+        (fun parent () ->
+          match Hashtbl.find_opt t.nodes parent with
+          | None -> bad "parent %d of %d dangles" parent node.sid
+          | Some p ->
+            if not (Hashtbl.mem p.children node.sid) then
+              bad "parent edge %d->%d missing forward index" parent node.sid)
+        node.parents)
+    t;
+  match !problems with
+  | [] -> Ok ()
+  | ps -> Error (String.concat "; " ps)
+
+let pp_stats ppf t =
+  Format.fprintf ppf "synopsis(nodes=%d, edges=%d, str=%a, val=%a)" (n_nodes t)
+    (n_edges t) Size.pp_bytes (structural_bytes t) Size.pp_bytes (value_bytes t)

@@ -1,0 +1,79 @@
+(** The XCluster graph-synopsis data structure (Sec. 3).
+
+    A synopsis is a directed graph whose nodes are structure-value
+    clusters of document elements. Each node stores its element count,
+    per-edge average child counts (the structural centroid), and a value
+    summary. The graph is mutable: the construction algorithm merges
+    nodes and compresses summaries in place. *)
+
+type snode = {
+  sid : int;                                (** stable unique id *)
+  label : Xc_xml.Label.t;
+  vtype : Xc_xml.Value.vtype;
+  mutable count : int;                      (** |extent| *)
+  mutable vsumm : Xc_vsumm.Value_summary.t;
+  children : (int, float) Hashtbl.t;        (** child sid → avg count *)
+  parents : (int, unit) Hashtbl.t;          (** parent sid set *)
+}
+
+type t = {
+  nodes : (int, snode) Hashtbl.t;
+  mutable root : int;
+  mutable next_sid : int;
+  mutable doc_height : int;  (** expansion cap for descendant estimation *)
+}
+
+val create : doc_height:int -> t
+
+val add_node : t -> label:Xc_xml.Label.t -> vtype:Xc_xml.Value.vtype ->
+  count:int -> vsumm:Xc_vsumm.Value_summary.t -> snode
+(** Allocates a node with a fresh [sid] and registers it. *)
+
+val remove_node : t -> int -> unit
+(** Unregisters; does not patch edges (callers do). *)
+
+val set_edge : t -> parent:int -> child:int -> float -> unit
+(** Sets the average child count of an edge, creating it if absent and
+    deleting it when the count is 0. Maintains the reverse index. *)
+
+val edge_count : t -> parent:int -> child:int -> float
+(** 0 if the edge is absent. *)
+
+val find : t -> int -> snode
+(** @raise Not_found when the node does not exist (e.g. was merged away). *)
+
+val mem : t -> int -> bool
+val root_node : t -> snode
+val n_nodes : t -> int
+val n_edges : t -> int
+val iter : (snode -> unit) -> t -> unit
+val fold : ('a -> snode -> 'a) -> 'a -> t -> 'a
+
+val children_list : t -> snode -> (snode * float) list
+val parents_list : t -> snode -> snode list
+
+val structural_bytes : t -> int
+(** {!Size.node_bytes} per node + {!Size.edge_bytes} per edge. *)
+
+val value_bytes : t -> int
+(** Total size of all value summaries. *)
+
+val n_value_nodes : t -> int
+(** Nodes carrying a non-trivial value summary (Table 1's "Value"
+    node count). *)
+
+val copy : t -> t
+(** Deep copy: private edge tables, value summaries safe to compress
+    independently. *)
+
+val levels : t -> (int, int) Hashtbl.t
+(** Level of every node: shortest outgoing path to a leaf descendant
+    (leaves are level 0, as in Sec. 4.3's bottom-up pool heuristic).
+    Nodes trapped in cycles with no leaf-bound path get
+    [1 + the maximum finite level]. *)
+
+val validate : t -> (unit, string) result
+(** Structural invariants: edge tables mutually consistent, counts
+    positive, root present. Used by tests and assertions. *)
+
+val pp_stats : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/data/dblp.mli: Xc_xml

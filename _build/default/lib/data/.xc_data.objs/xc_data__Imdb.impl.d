@@ -1,0 +1,1 @@
+lib/data/imdb.ml: Array Document List Names Node Printf String Text_corpus Value Xc_util Xc_xml

@@ -1,0 +1,1 @@
+lib/data/imdb.mli: Xc_xml

@@ -1,0 +1,1 @@
+lib/data/names.ml: List Printf String Xc_util

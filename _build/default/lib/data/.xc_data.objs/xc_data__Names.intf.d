@@ -1,0 +1,1 @@
+lib/data/names.mli: Xc_util

@@ -1,0 +1,1 @@
+lib/data/text_corpus.ml: Array Buffer Hashtbl List Xc_util Xc_xml

@@ -1,0 +1,1 @@
+lib/data/text_corpus.mli: Xc_util Xc_xml

@@ -1,0 +1,1 @@
+lib/data/xmark.ml: Array Document Float List Names Node Printf String Text_corpus Value Xc_util Xc_xml

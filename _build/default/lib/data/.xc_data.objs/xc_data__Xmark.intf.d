@@ -1,0 +1,1 @@
+lib/data/xmark.mli: Xc_xml

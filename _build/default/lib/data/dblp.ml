@@ -1,0 +1,76 @@
+open Xc_xml
+module Rng = Xc_util.Rng
+
+let value_typing =
+  [ ("name", Value.Tstring); ("year", Value.Tnumeric); ("title", Value.Tstring);
+    ("keywords", Value.Ttext); ("abstract", Value.Ttext);
+    ("publisher", Value.Tstring); ("foreword", Value.Ttext) ]
+
+let publishers =
+  [| "ACM Press"; "IEEE Computer Society"; "Springer"; "Morgan Kaufmann";
+     "Addison-Wesley"; "MIT Press"; "Cambridge University Press";
+     "North-Holland"; "Prentice Hall"; "O'Reilly" |]
+
+let research_words =
+  [| "Tree"; "Query"; "Index"; "Join"; "Stream"; "Graph"; "Synopsis";
+     "Histogram"; "Sampling"; "Cache"; "Storage"; "Transaction"; "Schema";
+     "Optimization"; "Estimation"; "Compression"; "Clustering"; "Mining";
+     "Retrieval"; "Ranking"; "Parallel"; "Distributed"; "Adaptive";
+     "Approximate"; "Incremental"; "Holistic"; "Selectivity"; "Cardinality" |]
+
+let paper_title rng =
+  let n = 2 + Rng.int rng 3 in
+  String.concat " " (List.init n (fun _ -> Rng.pick rng research_words))
+
+let book_title rng =
+  Printf.sprintf "%s %s Systems" (Rng.pick rng research_words)
+    (Rng.pick rng research_words)
+
+(* an author works in one research area: abstract topics, keyword terms
+   and publication years correlate through it *)
+let paper corpus rng ~area =
+  let children = ref [] in
+  let add node = children := node :: !children in
+  (* database papers skew later than theory papers: per-area year ranges *)
+  let base = 1975 + (area * 4 mod 20) in
+  let year = base + Rng.int rng (2006 - base) in
+  add (Node.leaf "year" (Value.Numeric year));
+  add (Node.leaf "title" (Value.Str (paper_title rng)));
+  add (Node.leaf "keywords" (Text_corpus.text_value corpus rng ~topic:area ~n:(3 + Rng.int rng 4)));
+  add
+    (Node.leaf "abstract"
+       (Text_corpus.text_value corpus rng ~topic:(area + ((year - 1975) / 10))
+          ~n:(20 + Rng.int rng 30)));
+  if Rng.chance rng 0.6 then begin
+    let n_refs = 1 + Rng.int rng 8 in
+    add (Node.make "cites" ~children:(List.init n_refs (fun _ -> Node.make "ref")))
+  end;
+  Node.make ~children:(List.rev !children) "paper"
+
+let book corpus rng ~area =
+  let children = ref [] in
+  let add node = children := node :: !children in
+  add (Node.leaf "year" (Value.Numeric (1980 + Rng.int rng 26)));
+  add (Node.leaf "title" (Value.Str (book_title rng)));
+  add (Node.leaf "publisher" (Value.Str (Rng.pick rng publishers)));
+  if Rng.chance rng 0.5 then
+    add
+      (Node.leaf "foreword"
+         (Text_corpus.text_value corpus rng ~topic:(area + 8) ~n:(12 + Rng.int rng 16)));
+  Node.make ~children:(List.rev !children) "book"
+
+let author corpus rng =
+  let area = Rng.int rng 8 in
+  let children = ref [ Node.leaf "name" (Value.Str (Names.person_name rng)) ] in
+  let n_papers = 1 + Rng.geometric rng 0.25 in
+  for _ = 1 to min 12 n_papers do
+    children := paper corpus rng ~area :: !children
+  done;
+  if Rng.chance rng 0.25 then children := book corpus rng ~area :: !children;
+  Node.make ~children:(List.rev !children) "author"
+
+let generate ?(seed = 3003) ?(n_authors = 4000) () =
+  let rng = Rng.create seed in
+  let corpus = Text_corpus.create ~vocab_size:2400 ~n_topics:16 (Rng.split rng) in
+  Document.create
+    (Node.make "dblp" ~children:(List.init n_authors (fun _ -> author corpus rng)))

@@ -1,0 +1,32 @@
+(** Synthetic DBLP-like bibliography (the paper's running example domain:
+    its introduction motivates XCLUSTERs with a query over papers, years,
+    abstracts and titles).
+
+    Structure:
+    {v
+    dblp
+      author*
+        name            STRING
+        paper*
+          year          NUMERIC (venue-dependent range)
+          title         STRING
+          keywords      TEXT
+          abstract      TEXT  (topic drifts with area and decade)
+          [cites]       (a list of ref elements)
+        book*
+          year          NUMERIC
+          title         STRING
+          publisher     STRING
+          [foreword]    TEXT
+    v}
+
+    This mirrors the paper's Figure 1 data tree (authors with paper and
+    book sub-elements carrying NUMERIC years, STRING titles, and TEXT
+    keywords / abstracts / forewords) and supports the introduction's
+    example query
+    [//paper[year > 2000][abstract ftcontains(synopsis, xml)]/title[contains(Tree)]]. *)
+
+val generate : ?seed:int -> ?n_authors:int -> unit -> Xc_xml.Document.t
+(** Default 4000 authors ≈ 120k elements. *)
+
+val value_typing : (string * Xc_xml.Value.vtype) list

@@ -1,0 +1,113 @@
+open Xc_xml
+module Rng = Xc_util.Rng
+
+let value_typing =
+  [ ("title", Value.Tstring); ("year", Value.Tnumeric); ("rating", Value.Tnumeric);
+    ("genre", Value.Tstring); ("plot", Value.Ttext); ("keywords", Value.Ttext);
+    ("name", Value.Tstring); ("role", Value.Tstring);
+    ("box_office", Value.Tnumeric) ]
+
+(* Same-tag elements on different paths draw from *different*
+   distributions: this is the structure-value correlation that separates
+   an XCluster from a tag-only summary (DESIGN.md). A name under an
+   actor, a director or an episode guest is generated from a different
+   slice of the name pools; a year under a movie, an episode or an
+   actor's profile covers a different range; plots and episode plots use
+   different topic rotations. *)
+
+let slice_pick rng pool lo hi =
+  let n = Array.length pool in
+  let lo = min (n - 1) lo and hi = min n hi in
+  pool.(lo + Rng.int rng (max 1 (hi - lo)))
+
+let actor_name rng =
+  (* actors: first half of the first-name pool, full surname pool *)
+  Printf.sprintf "%s %s"
+    (slice_pick rng Names.first_names 0 35)
+    (slice_pick rng Names.last_names 0 40)
+
+let director_name rng =
+  (* directors: disjoint slice of first names, tail surnames *)
+  Printf.sprintf "%s %s"
+    (slice_pick rng Names.first_names 35 70)
+    (slice_pick rng Names.last_names 40 68)
+
+let guest_name rng = Names.person_name rng
+
+(* episodes have a fixed shape: under backward-stable refinement every
+   structural variant multiplies into the cluster count of the whole
+   movie subtree, so optionality here is kept out deliberately *)
+let episode corpus rng ~topic ~series_year =
+  let title =
+    String.concat " "
+      (List.init (1 + Rng.int rng 2) (fun _ -> slice_pick rng Names.title_words 30 50))
+  in
+  Node.make "episode"
+    ~children:
+      [ Node.leaf "title" (Value.Str title);
+        (* episode years: clustered shortly after the series year *)
+        Node.leaf "year" (Value.Numeric (min 2005 (series_year + Rng.int rng 4)));
+        Node.leaf "plot"
+          (Text_corpus.text_value corpus rng ~topic:(topic + 26) ~n:(6 + Rng.int rng 8));
+        Node.make "guest"
+          ~children:[ Node.leaf "name" (Value.Str (guest_name rng)) ] ]
+
+let movie corpus rng =
+  let genre_idx = Rng.int rng (Array.length Names.genres) in
+  let genre = Names.genres.(genre_idx) in
+  (* skew years toward the recent past *)
+  let year = max 1920 (2005 - Rng.geometric rng 0.08) in
+  let decade = (year - 1920) / 10 in
+  (* rating correlates with genre and a bit of noise *)
+  let rating = min 100 (max 10 (40 + (genre_idx * 3) + Rng.int rng 30)) in
+  let topic = (genre_idx * 3) + (decade mod 3) in
+  let children = ref [] in
+  let add node = children := node :: !children in
+  (* movie titles: head slice of the title words *)
+  let title =
+    String.concat " "
+      (List.init (1 + Rng.int rng 3) (fun _ -> slice_pick rng Names.title_words 0 30))
+  in
+  add (Node.leaf "title" (Value.Str title));
+  add (Node.leaf "year" (Value.Numeric year));
+  add (Node.leaf "rating" (Value.Numeric rating));
+  add (Node.leaf "genre" (Value.Str genre));
+  add (Node.leaf "plot" (Text_corpus.text_value corpus rng ~topic ~n:(15 + Rng.int rng 25)));
+  (* keyword tagging mostly exists for recent movies: a structure-value
+     correlation (movies with keywords skew recent) *)
+  if year >= 1980 && Rng.chance rng 0.7 then
+    add (Node.leaf "keywords" (Text_corpus.text_value corpus rng ~topic ~n:(3 + Rng.int rng 5)));
+  let actor () =
+    (* two actor shapes only (plain vs featured): independent optional
+       children would square the cast-cluster count *)
+    if Rng.chance rng 0.35 then
+      Node.make "actor"
+        ~children:
+          [ Node.leaf "name" (Value.Str (actor_name rng));
+            (* roles reuse the episode slice of title words *)
+            Node.leaf "role" (Value.Str (slice_pick rng Names.title_words 25 50));
+            (* an actor's birth year: same tag as the movie year, very
+               different distribution *)
+            Node.leaf "year" (Value.Numeric (1930 + Rng.int rng 60)) ]
+    else Node.make "actor" ~children:[ Node.leaf "name" (Value.Str (actor_name rng)) ]
+  in
+  let n_actors = 1 + Rng.int rng 9 in
+  add (Node.make ~children:(List.init n_actors (fun _ -> actor ())) "cast");
+  add
+    (Node.make "director"
+       ~children:[ Node.leaf "name" (Value.Str (director_name rng)) ]);
+  if rating >= 75 && Rng.chance rng 0.5 then
+    add (Node.leaf "box_office" (Value.Numeric (1_000 + Rng.int rng 400_000)));
+  (* some productions are series with episode lists *)
+  if Rng.chance rng 0.15 then
+    add
+      (Node.make "episodes"
+         ~children:
+           (List.init 3 (fun _ -> episode corpus rng ~topic ~series_year:year)));
+  Node.make ~children:(List.rev !children) "movie"
+
+let generate ?(seed = 1001) ?(n_movies = 8000) () =
+  let rng = Rng.create seed in
+  let corpus = Text_corpus.create ~vocab_size:2400 ~n_topics:78 (Rng.split rng) in
+  let movies = List.init n_movies (fun _ -> movie corpus rng) in
+  Document.create (Node.make ~children:movies "imdb")

@@ -1,0 +1,35 @@
+(** Synthetic IMDB-like movie database (DESIGN.md substitution for the
+    paper's 7.1MB real-life IMDB subset).
+
+    Structure (optional parts in brackets):
+    {v
+    imdb
+      movie*
+        title       STRING
+        year        NUMERIC (1920-2005, skewed recent)
+        rating      NUMERIC (10-100, genre-correlated)
+        genre       STRING
+        plot        TEXT  (topic = genre x decade)
+        [keywords]  TEXT  (mostly recent movies)
+        cast
+          actor*    (1-9)
+            name    STRING
+            [role]  STRING
+        director
+          name      STRING
+        [box_office] NUMERIC (blockbusters only)
+    v}
+
+    The deliberate path↔value correlations (genre-topical plots, decade
+    vocabulary drift, year-dependent optional elements, rating-genre
+    skew) are what the XCluster's structure-value clustering must
+    capture; a tag-only summary mixes them and mis-estimates. *)
+
+val generate : ?seed:int -> ?n_movies:int -> unit -> Xc_xml.Document.t
+(** Default 9000 movies ≈ 230k elements — the scale of the paper's
+    IMDB subset. *)
+
+val value_typing : (string * Xc_xml.Value.vtype) list
+(** Tag → value-type table matching the generator's output, for use
+    with {!Xc_xml.Parser.typing_of_assoc} when round-tripping through
+    XML text. *)

@@ -1,0 +1,64 @@
+module Rng = Xc_util.Rng
+module Zipf = Xc_util.Zipf
+
+type t = {
+  vocab : string array;
+  zipf : Zipf.t;
+  rotations : int array; (* rank rotation offset per topic *)
+  background : float;    (* probability of drawing from the shared
+                            (unrotated) vocabulary instead of the topic *)
+}
+
+let syllables =
+  [| "ba"; "be"; "bi"; "bo"; "bu"; "da"; "de"; "di"; "do"; "du"; "ka"; "ke";
+     "ki"; "ko"; "ku"; "la"; "le"; "li"; "lo"; "lu"; "ma"; "me"; "mi"; "mo";
+     "mu"; "na"; "ne"; "ni"; "no"; "nu"; "ra"; "re"; "ri"; "ro"; "ru"; "sa";
+     "se"; "si"; "so"; "su"; "ta"; "te"; "ti"; "to"; "tu"; "va"; "ve"; "vi";
+     "vo"; "vu"; "za"; "ze"; "zi"; "zo"; "zu"; "gar"; "mon"; "sel"; "tor";
+     "ven"; "pol"; "rix"; "dan"; "fel"; "hum" |]
+
+let make_word rng =
+  let n = 2 + Rng.int rng 3 in
+  let buf = Buffer.create 8 in
+  for _ = 1 to n do
+    Buffer.add_string buf (Rng.pick rng syllables)
+  done;
+  Buffer.contents buf
+
+let create ?(vocab_size = 2000) ?(skew = 1.0) ?(n_topics = 16)
+    ?(background = 0.35) rng =
+  let seen = Hashtbl.create vocab_size in
+  let vocab =
+    Array.init vocab_size (fun _ ->
+        let rec fresh () =
+          let w = make_word rng in
+          if Hashtbl.mem seen w then fresh ()
+          else begin
+            Hashtbl.add seen w ();
+            w
+          end
+        in
+        fresh ())
+  in
+  let rotations =
+    Array.init n_topics (fun _ -> Rng.int rng vocab_size)
+  in
+  { vocab; zipf = Zipf.create ~n:vocab_size ~skew; rotations; background }
+
+let vocab_size t = Array.length t.vocab
+let n_topics t = Array.length t.rotations
+let word t i = t.vocab.(i)
+
+let sample_terms t rng ~topic ~n =
+  let rotation = t.rotations.(topic mod Array.length t.rotations) in
+  let size = vocab_size t in
+  List.init n (fun _ ->
+      let rank = Zipf.sample t.zipf rng in
+      (* a background share keeps topics overlapping, as natural language
+         does: it softens the extreme term co-occurrence that pure
+         rotations would create *)
+      let offset = if Rng.chance rng t.background then 0 else rotation in
+      Xc_xml.Dictionary.of_string t.vocab.((rank + offset) mod size))
+
+let text_value t rng ~topic ~n =
+  Xc_xml.Value.text_of_terms (sample_terms t rng ~topic ~n)

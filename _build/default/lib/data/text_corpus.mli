@@ -1,0 +1,32 @@
+(** Synthetic free-text corpora for TEXT element values.
+
+    Term occurrences are drawn from a Zipfian distribution over a shared
+    vocabulary, with per-topic rank rotations so that different document
+    regions (genres, auction categories, decades) favour different
+    terms. This creates exactly the path↔term correlations that a
+    structure-value clustering must preserve, and the long Zipf tail
+    yields the very low TEXT-predicate selectivities behind the paper's
+    Fig. 9 discussion. *)
+
+type t
+
+val create : ?vocab_size:int -> ?skew:float -> ?n_topics:int ->
+  ?background:float -> Xc_util.Rng.t -> t
+(** Builds a vocabulary of pronounceable synthetic words
+    (default 2000 words, skew 1.0, 16 topics). [background] (default
+    0.35) is the share of draws taken from the shared unrotated
+    vocabulary rather than the topic's rotation. *)
+
+val vocab_size : t -> int
+val n_topics : t -> int
+
+val word : t -> int -> string
+(** Vocabulary entry by index. *)
+
+val sample_terms : t -> Xc_util.Rng.t -> topic:int -> n:int ->
+  Xc_xml.Dictionary.term list
+(** [n] Zipfian draws from the topic's rank rotation (duplicates
+    collapse, so the result may be shorter than [n]). *)
+
+val text_value : t -> Xc_util.Rng.t -> topic:int -> n:int -> Xc_xml.Value.t
+(** A [Value.Text] built from {!sample_terms}. *)

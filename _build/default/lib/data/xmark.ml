@@ -1,0 +1,228 @@
+open Xc_xml
+module Rng = Xc_util.Rng
+
+let value_typing =
+  [ ("location", Value.Tstring); ("quantity", Value.Tnumeric);
+    ("name", Value.Tstring); ("payment", Value.Tstring);
+    ("shipping", Value.Tstring); ("text", Value.Ttext);
+    ("emailaddress", Value.Tstring); ("phone", Value.Tstring);
+    ("street", Value.Tstring); ("city", Value.Tstring);
+    ("country", Value.Tstring); ("zipcode", Value.Tnumeric);
+    ("homepage", Value.Tstring); ("creditcard", Value.Tstring);
+    ("education", Value.Tstring); ("gender", Value.Tstring);
+    ("business", Value.Tstring); ("age", Value.Tnumeric);
+    ("initial", Value.Tnumeric); ("reserve", Value.Tnumeric);
+    ("current", Value.Tnumeric); ("increase", Value.Tnumeric);
+    ("privacy", Value.Tstring); ("type", Value.Tstring);
+    ("price", Value.Tnumeric); ("date", Value.Tstring);
+    ("time", Value.Tstring); ("from", Value.Tstring); ("to", Value.Tstring);
+    ("annotation", Value.Ttext); ("start", Value.Tstring);
+    ("end", Value.Tstring) ]
+
+let regions = [| "africa"; "asia"; "australia"; "europe"; "namerica"; "samerica" |]
+
+(* Same-tag, different-path value distributions (DESIGN.md): locations
+   are biased to a per-region slice of the country pool, dates under
+   bidders / mails / closed auctions cover different year ranges, names
+   under items / categories / persons come from different pools, and
+   quantities differ between items and auctions. *)
+
+let region_location rng ~region_idx =
+  let n = Array.length Names.countries in
+  let slice = n / 3 in
+  let base = region_idx * 4 mod (n - slice) in
+  Names.countries.(base + Rng.int rng slice)
+
+let date_in rng lo hi =
+  Printf.sprintf "%02d/%02d/%04d" (1 + Rng.int rng 28) (1 + Rng.int rng 12)
+    (lo + Rng.int rng (hi - lo + 1))
+
+let slice_pick rng pool lo hi =
+  let n = Array.length pool in
+  let lo = min (n - 1) lo and hi = min n hi in
+  pool.(lo + Rng.int rng (max 1 (hi - lo)))
+
+let item_name rng =
+  String.concat " "
+    (List.init (1 + Rng.int rng 3) (fun _ -> slice_pick rng Names.title_words 0 25))
+
+let category_name rng =
+  String.concat " "
+    (List.init (1 + Rng.int rng 2) (fun _ -> slice_pick rng Names.title_words 25 50))
+
+(* recursive parlist/listitem description: XMark's signature structure *)
+let rec description corpus rng ~topic depth =
+  if depth >= 2 || Rng.chance rng 0.7 then
+    Node.make "description"
+      ~children:
+        [ Node.leaf "text" (Text_corpus.text_value corpus rng ~topic ~n:(10 + Rng.int rng 20)) ]
+  else
+    Node.make "description" ~children:[ parlist corpus rng ~topic (depth + 1) ]
+
+and parlist corpus rng ~topic depth =
+  let n = 1 + Rng.int rng 3 in
+  Node.make "parlist"
+    ~children:(List.init n (fun _ -> listitem corpus rng ~topic depth))
+
+and listitem corpus rng ~topic depth =
+  if depth >= 2 || Rng.chance rng 0.7 then
+    Node.make "listitem"
+      ~children:
+        [ Node.leaf "text" (Text_corpus.text_value corpus rng ~topic ~n:(6 + Rng.int rng 10)) ]
+  else Node.make "listitem" ~children:[ parlist corpus rng ~topic (depth + 1) ]
+
+let mail corpus rng ~topic =
+  Node.make "mail"
+    ~children:
+      [ Node.leaf "from" (Value.Str (Names.person_name rng));
+        Node.leaf "to" (Value.Str (Names.person_name rng));
+        Node.leaf "date" (Value.Str (date_in rng 1998 2001));
+        Node.leaf "text" (Text_corpus.text_value corpus rng ~topic ~n:(8 + Rng.int rng 16)) ]
+
+let item corpus rng ~region_idx =
+  let topic = region_idx in
+  let children = ref [] in
+  let add node = children := node :: !children in
+  add (Node.leaf "location" (Value.Str (region_location rng ~region_idx)));
+  add (Node.leaf "quantity" (Value.Numeric (1 + Rng.int rng 10)));
+  add (Node.leaf "name" (Value.Str (item_name rng)));
+  add (Node.leaf "payment" (Value.Str (Rng.pick rng Names.payment_kinds)));
+  add (description corpus rng ~topic 0);
+  add (Node.leaf "shipping" (Value.Str "Will ship internationally"));
+  let n_cat = 1 + Rng.int rng 3 in
+  for _ = 1 to n_cat do
+    add (Node.make "incategory")
+  done;
+  if Rng.chance rng 0.25 then begin
+    let n_mail = 1 + Rng.int rng 3 in
+    add
+      (Node.make "mailbox"
+         ~children:(List.init n_mail (fun _ -> mail corpus rng ~topic)))
+  end;
+  Node.make ~children:(List.rev !children) "item"
+
+let person corpus rng =
+  let children = ref [] in
+  let add node = children := node :: !children in
+  add (Node.leaf "name" (Value.Str (Names.person_name rng)));
+  add (Node.leaf "emailaddress" (Value.Str (Names.email rng)));
+  if Rng.chance rng 0.5 then add (Node.leaf "phone" (Value.Str (Names.phone rng)));
+  if Rng.chance rng 0.6 then
+    add
+      (Node.make "address"
+         ~children:
+           [ Node.leaf "street" (Value.Str (Rng.pick rng Names.streets));
+             Node.leaf "city" (Value.Str (Rng.pick rng Names.cities));
+             Node.leaf "country" (Value.Str (Rng.pick rng Names.countries));
+             Node.leaf "zipcode" (Value.Numeric (10_000 + Rng.int rng 89_999)) ]);
+  if Rng.chance rng 0.3 then add (Node.leaf "homepage" (Value.Str (Names.url rng)));
+  if Rng.chance rng 0.4 then
+    add (Node.leaf "creditcard" (Value.Str (Names.credit_card rng)));
+  if Rng.chance rng 0.7 then begin
+    let profile = ref [] in
+    let padd node = profile := node :: !profile in
+    let n_interests = Rng.int rng 4 in
+    for _ = 1 to n_interests do
+      padd (Node.make "interest")
+    done;
+    if Rng.chance rng 0.6 then
+      padd (Node.leaf "education" (Value.Str (Rng.pick rng Names.education_levels)));
+    if Rng.chance rng 0.8 then
+      padd (Node.leaf "gender" (Value.Str (if Rng.bool rng then "male" else "female")));
+    padd (Node.leaf "business" (Value.Str (if Rng.bool rng then "Yes" else "No")));
+    (* age: bimodal and correlated with having a homepage *)
+    if Rng.chance rng 0.7 then begin
+      let age = if Rng.chance rng 0.6 then 18 + Rng.int rng 22 else 45 + Rng.int rng 40 in
+      padd (Node.leaf "age" (Value.Numeric age))
+    end;
+    add (Node.make ~children:(List.rev !profile) "profile")
+  end;
+  if Rng.chance rng 0.4 then begin
+    let n_watch = 1 + Rng.int rng 3 in
+    add
+      (Node.make "watches"
+         ~children:(List.init n_watch (fun _ -> Node.make "watch")))
+  end;
+  ignore corpus;
+  Node.make ~children:(List.rev !children) "person"
+
+let bidder rng =
+  Node.make "bidder"
+    ~children:
+      [ Node.leaf "date" (Value.Str (date_in rng 2003 2005));
+        Node.leaf "time" (Value.Str (Names.time_string rng));
+        Node.make "personref";
+        Node.leaf "increase" (Value.Numeric (3 * (1 + Rng.int rng 20))) ]
+
+let open_auction corpus rng =
+  let topic = 6 + Rng.int rng 4 in
+  let initial = 5 + Rng.int rng 200 in
+  let n_bidders = Rng.int rng 8 in
+  let current = initial + (n_bidders * (5 + Rng.int rng 20)) in
+  let children = ref [] in
+  let add node = children := node :: !children in
+  add (Node.leaf "initial" (Value.Numeric initial));
+  if Rng.chance rng 0.5 then
+    add (Node.leaf "reserve" (Value.Numeric (initial + 10 + Rng.int rng 100)));
+  for _ = 1 to n_bidders do
+    add (bidder rng)
+  done;
+  add (Node.leaf "current" (Value.Numeric current));
+  if Rng.chance rng 0.3 then add (Node.leaf "privacy" (Value.Str "Yes"));
+  add (Node.make "itemref");
+  add (Node.make "seller");
+  add
+    (Node.leaf "annotation" (Text_corpus.text_value corpus rng ~topic ~n:(8 + Rng.int rng 12)));
+  add (Node.leaf "quantity" (Value.Numeric (1 + Rng.int rng 3)));
+  add (Node.leaf "type" (Value.Str (Rng.pick rng Names.auction_types)));
+  add
+    (Node.make "interval"
+       ~children:
+         [ Node.leaf "start" (Value.Str (date_in rng 2004 2005));
+           Node.leaf "end" (Value.Str (date_in rng 2005 2006)) ]);
+  Node.make ~children:(List.rev !children) "open_auction"
+
+let closed_auction corpus rng =
+  let topic = 10 + Rng.int rng 4 in
+  Node.make "closed_auction"
+    ~children:
+      [ Node.make "seller";
+        Node.make "buyer";
+        Node.make "itemref";
+        Node.leaf "price" (Value.Numeric (10 + Rng.int rng 500));
+        Node.leaf "date" (Value.Str (date_in rng 2000 2003));
+        Node.leaf "quantity" (Value.Numeric (1 + Rng.int rng 2));
+        Node.leaf "type" (Value.Str (Rng.pick rng Names.auction_types));
+        Node.leaf "annotation"
+          (Text_corpus.text_value corpus rng ~topic ~n:(6 + Rng.int rng 10)) ]
+
+let category corpus rng =
+  let topic = 14 + Rng.int rng 2 in
+  Node.make "category"
+    ~children:
+      [ Node.leaf "name" (Value.Str (category_name rng));
+        description corpus rng ~topic 0 ]
+
+let generate ?(seed = 2002) ?(scale = 1.0) () =
+  let rng = Rng.create seed in
+  let corpus = Text_corpus.create ~vocab_size:2400 ~n_topics:16 (Rng.split rng) in
+  let scaled base = max 1 (int_of_float (Float.round (scale *. float_of_int base))) in
+  let region region_idx name =
+    let n_items = scaled 600 in
+    Node.make name ~children:(List.init n_items (fun _ -> item corpus rng ~region_idx))
+  in
+  let site =
+    Node.make "site"
+      ~children:
+        [ Node.make "regions"
+            ~children:(Array.to_list (Array.mapi region regions));
+          Node.make "categories"
+            ~children:(List.init (scaled 180) (fun _ -> category corpus rng));
+          Node.make "people"
+            ~children:(List.init (scaled 4400) (fun _ -> person corpus rng));
+          Node.make "open_auctions"
+            ~children:(List.init (scaled 2100) (fun _ -> open_auction corpus rng));
+          Node.make "closed_auctions"
+            ~children:(List.init (scaled 1800) (fun _ -> closed_auction corpus rng)) ]
+  in
+  Document.create site

@@ -1,0 +1,23 @@
+(** Synthetic XMark-like auction site (DESIGN.md substitution for the
+    XMark benchmark generator).
+
+    Reimplements the structural core of the XMark [site] schema:
+    regions with items (including the {e recursive}
+    [description/parlist/listitem] structure, which makes the synopsis
+    graph cyclic after merges), categories, people with richly optional
+    profiles, and open/closed auctions with variable bidder lists.
+    NUMERIC values: prices, quantities, increases, ages; STRING:
+    names, cities, dates, payment kinds; TEXT: descriptions,
+    annotations, mail bodies.
+
+    Compared to the IMDB generator this document is structurally much
+    richer (more tags, deeper optionality), so its reference synopsis is
+    several times larger — matching the paper's Table 1 contrast
+    (16,446 XMark reference nodes vs 3,800 for IMDB). *)
+
+val generate : ?seed:int -> ?scale:float -> unit -> Xc_xml.Document.t
+(** [scale] multiplies all entity populations; the default 1.0 yields
+    ≈ 210k elements, the scale of the paper's 10MB XMark document. *)
+
+val value_typing : (string * Xc_xml.Value.vtype) list
+(** Tag → value-type table for round-tripping through XML text. *)

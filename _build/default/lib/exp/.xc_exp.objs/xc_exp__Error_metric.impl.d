@@ -1,0 +1,1 @@
+lib/exp/error_metric.ml: Float List Workload Xc_twig

@@ -1,0 +1,1 @@
+lib/exp/error_metric.mli: Xc_twig

@@ -1,0 +1,1 @@
+lib/exp/report.ml: Float Format List Runner String Twig_query Xc_twig

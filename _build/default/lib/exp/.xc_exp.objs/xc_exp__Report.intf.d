@@ -1,0 +1,1 @@
+lib/exp/report.mli: Format Runner Xc_twig

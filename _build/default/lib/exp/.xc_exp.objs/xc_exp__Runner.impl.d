@@ -1,0 +1,1 @@
+lib/exp/runner.ml: Array Error_metric Float List Twig_query Workload Xc_core Xc_data Xc_twig Xc_util Xc_vsumm Xc_xml

@@ -1,0 +1,1 @@
+lib/exp/runner.mli: Xc_core Xc_twig Xc_xml

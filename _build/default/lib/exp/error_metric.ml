@@ -1,0 +1,43 @@
+open Xc_twig
+
+let relative_error ~sanity ~truth ~est = Float.abs (truth -. est) /. Float.max truth sanity
+let absolute_error ~truth ~est = Float.abs (truth -. est)
+
+let mean = function
+  | [] -> 0.0
+  | xs -> List.fold_left ( +. ) 0.0 xs /. float_of_int (List.length xs)
+
+type scored = {
+  entry : Workload.entry;
+  est : float;
+}
+
+let score estimator entries =
+  List.map (fun entry -> { entry; est = estimator entry.Workload.query }) entries
+
+let rel sanity s =
+  relative_error ~sanity ~truth:s.entry.Workload.true_count ~est:s.est
+
+let overall_relative ~sanity scored = mean (List.map (rel sanity) scored)
+
+let per_class_relative ~sanity scored =
+  let classes = Workload.classes (List.map (fun s -> s.entry) scored) in
+  List.map
+    (fun cls ->
+      let of_class = List.filter (fun s -> s.entry.Workload.cls = cls) scored in
+      (cls, mean (List.map (rel sanity) of_class)))
+    classes
+
+let low_count_absolute ~sanity scored =
+  let low = List.filter (fun s -> s.entry.Workload.true_count <= sanity) scored in
+  let classes = Workload.classes (List.map (fun s -> s.entry) low) in
+  List.map
+    (fun cls ->
+      let of_class = List.filter (fun s -> s.entry.Workload.cls = cls) low in
+      ( cls,
+        mean
+          (List.map
+             (fun s -> absolute_error ~truth:s.entry.Workload.true_count ~est:s.est)
+             of_class),
+        mean (List.map (fun s -> s.entry.Workload.true_count) of_class) ))
+    classes

@@ -1,0 +1,137 @@
+open Xc_twig
+
+let pct x = 100.0 *. x
+
+let hr ppf width = Format.fprintf ppf "%s@." (String.make width '-')
+
+let table1 ppf rows =
+  Format.fprintf ppf "@.Table 1. Data Set Characteristics@.";
+  hr ppf 78;
+  Format.fprintf ppf "%-8s %12s %12s %14s %24s@." "" "File (MB)" "# Elements"
+    "Ref. Size (KB)" "# Nodes: Value/Total";
+  hr ppf 78;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-8s %12.1f %12d %14.0f %15d / %d@." r.Runner.ds
+        r.Runner.file_mb r.Runner.n_elements r.Runner.ref_kb r.Runner.value_nodes
+        r.Runner.total_nodes)
+    rows;
+  hr ppf 78
+
+let table2 ppf rows =
+  Format.fprintf ppf "@.Table 2. Workload Characteristics (avg. result size)@.";
+  hr ppf 44;
+  Format.fprintf ppf "%-8s %16s %16s@." "" "Struct" "Pred";
+  hr ppf 44;
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "%-8s %16.0f %16.0f@." r.Runner.ds2 r.Runner.avg_struct
+        r.Runner.avg_pred)
+    rows;
+  hr ppf 44
+
+let class_column point cls =
+  match List.assoc_opt cls point.Runner.class_errs with
+  | Some err -> Format.asprintf "%8.1f" (pct err)
+  | None -> Format.asprintf "%8s" "-"
+
+let fig8 ppf ~name points =
+  Format.fprintf ppf
+    "@.Figure 8 (%s). Avg. relative error (%%) vs synopsis size (KB)@." name;
+  hr ppf 70;
+  Format.fprintf ppf "%10s %8s %8s %8s %8s %8s@." "Size(KB)" "Text" "String"
+    "Numeric" "Struct" "Overall";
+  hr ppf 70;
+  List.iter
+    (fun p ->
+      Format.fprintf ppf "%10d %s %s %s %s %8.1f@." p.Runner.total_kb
+        (class_column p Twig_query.Ctext)
+        (class_column p Twig_query.Cstring)
+        (class_column p Twig_query.Cnumeric)
+        (class_column p Twig_query.Cstruct)
+        (pct p.Runner.overall_err))
+    points;
+  hr ppf 70
+
+let fig9 ppf by_dataset =
+  Format.fprintf ppf
+    "@.Figure 9. Avg. absolute error for low-count queries (tuples)@.";
+  hr ppf 56;
+  Format.fprintf ppf "%-10s" "";
+  List.iter (fun (name, _) -> Format.fprintf ppf " %14s" name) by_dataset;
+  Format.fprintf ppf "@.";
+  hr ppf 56;
+  List.iter
+    (fun cls ->
+      let any =
+        List.exists (fun (_, rows) -> List.exists (fun (c, _, _) -> c = cls) rows)
+          by_dataset
+      in
+      if any then begin
+        Format.fprintf ppf "%-10s" (Twig_query.class_name cls);
+        List.iter
+          (fun (_, rows) ->
+            match List.find_opt (fun (c, _, _) -> c = cls) rows with
+            | Some (_, abs_err, _) -> Format.fprintf ppf " %14.2f" abs_err
+            | None -> Format.fprintf ppf " %14s" "-")
+          by_dataset;
+        Format.fprintf ppf "@."
+      end)
+    [ Twig_query.Cnumeric; Cstring; Ctext; Cstruct ];
+  hr ppf 56
+
+let negative ppf rows =
+  Format.fprintf ppf "@.Negative workloads: average estimate (true count = 0)@.";
+  List.iter
+    (fun (name, avg) -> Format.fprintf ppf "  %-8s avg estimate = %.3f tuples@." name avg)
+    rows
+
+let ablation_delta ppf ~name rows =
+  Format.fprintf ppf
+    "@.Ablation A1 (%s). Structural-query error (%%): full Δ vs structure-only Δ@."
+    name;
+  hr ppf 52;
+  Format.fprintf ppf "%10s %16s %20s@." "Bstr(KB)" "full Δ" "structure-only Δ";
+  hr ppf 52;
+  List.iter
+    (fun (kb, full, struct_only) ->
+      Format.fprintf ppf "%10d %16.1f %20.1f@." kb (pct full) (pct struct_only))
+    rows;
+  hr ppf 52
+
+let ablation_text ppf ~name rows =
+  Format.fprintf ppf
+    "@.Ablation A2 (%s). TEXT-query error (%%): end-biased vs all-uniform bucket@."
+    name;
+  hr ppf 56;
+  Format.fprintf ppf "%10s %16s %20s@." "top_k" "end-biased" "uniform-only";
+  hr ppf 56;
+  List.iter
+    (fun (k, endb, naive) ->
+      Format.fprintf ppf "%10d %16.1f %20.1f@." k (pct endb) (pct naive))
+    rows;
+  hr ppf 56
+
+let ablation_numeric ppf ~name rows =
+  Format.fprintf ppf
+    "@.Ablation A4 (%s). Numeric summaries at equal budget: range-query error (%%)@."
+    name;
+  hr ppf 40;
+  List.iter (fun (tech, err) -> Format.fprintf ppf "%-14s %10.1f@." tech (pct err)) rows;
+  hr ppf 40
+
+let auto_split ppf ~name rows =
+  Format.fprintf ppf
+    "@.Budget-split search (%s). Overall error (%%) per Bstr/Bval split@." name;
+  hr ppf 46;
+  Format.fprintf ppf "%10s %10s %12s@." "Bstr(KB)" "Bval(KB)" "error";
+  hr ppf 46;
+  let best =
+    List.fold_left (fun acc (_, _, e) -> Float.min acc e) Float.infinity rows
+  in
+  List.iter
+    (fun (bstr, bval, err) ->
+      Format.fprintf ppf "%10d %10d %11.1f%s@." bstr bval (pct err)
+        (if err = best then "  <- winner" else ""))
+    rows;
+  hr ppf 46

@@ -1,0 +1,20 @@
+(** Paper-style textual rendering of experiment results. *)
+
+val table1 : Format.formatter -> Runner.table1_row list -> unit
+val table2 : Format.formatter -> Runner.table2_row list -> unit
+
+val fig8 : Format.formatter -> name:string -> Runner.sweep_point list -> unit
+(** One row per budget point: the five series of Figure 8 as columns. *)
+
+val fig9 : Format.formatter ->
+  (string * (Xc_twig.Twig_query.query_class * float * float) list) list -> unit
+
+val negative : Format.formatter -> (string * float) list -> unit
+val ablation_delta : Format.formatter -> name:string -> (int * float * float) list -> unit
+val ablation_text : Format.formatter -> name:string -> (int * float * float) list -> unit
+
+val pct : float -> float
+(** Fraction to percent. *)
+
+val ablation_numeric : Format.formatter -> name:string -> (string * float) list -> unit
+val auto_split : Format.formatter -> name:string -> (int * int * float) list -> unit

@@ -1,0 +1,1 @@
+lib/twig/path_expr.ml: Format List Xc_xml

@@ -1,0 +1,1 @@
+lib/twig/path_expr.mli: Format Xc_xml

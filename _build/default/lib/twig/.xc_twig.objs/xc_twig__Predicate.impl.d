@@ -1,0 +1,1 @@
+lib/twig/predicate.ml: Format List String Xc_xml

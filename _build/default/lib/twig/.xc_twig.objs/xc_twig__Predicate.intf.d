@@ -1,0 +1,1 @@
+lib/twig/predicate.mli: Format Xc_xml

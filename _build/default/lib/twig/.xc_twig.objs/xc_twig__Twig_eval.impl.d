@@ -1,0 +1,1 @@
+lib/twig/twig_eval.ml: Array Document List Node Path_expr Predicate Twig_query Xc_xml

@@ -1,0 +1,1 @@
+lib/twig/twig_eval.mli: Path_expr Twig_query Xc_xml

@@ -1,0 +1,1 @@
+lib/twig/twig_parse.ml: List Path_expr Predicate Printf String Twig_query Xc_xml

@@ -1,0 +1,1 @@
+lib/twig/twig_query.ml: Format List Path_expr Predicate Xc_xml

@@ -1,0 +1,1 @@
+lib/twig/twig_query.mli: Format Path_expr Predicate

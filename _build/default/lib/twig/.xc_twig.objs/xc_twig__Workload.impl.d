@@ -1,0 +1,1 @@
+lib/twig/workload.ml: Array Dictionary Document Float Hashtbl Label List Node Option Path_expr Predicate String Twig_eval Twig_query Value Xc_util Xc_xml

@@ -1,0 +1,1 @@
+lib/twig/workload.mli: Twig_query Xc_xml

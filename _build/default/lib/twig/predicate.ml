@@ -1,0 +1,58 @@
+type t =
+  | Range of int * int
+  | Contains of string
+  | Ft_contains of Xc_xml.Dictionary.term list
+  | Ft_any of Xc_xml.Dictionary.term list
+  | Ft_excludes of Xc_xml.Dictionary.term list
+
+let contains_substring ~needle haystack =
+  let nl = String.length needle and hl = String.length haystack in
+  if nl = 0 then true
+  else if nl > hl then false
+  else begin
+    let rec at i = i <= hl - nl && (matches_at i || at (i + 1))
+    and matches_at i =
+      let rec chars j = j >= nl || (haystack.[i + j] = needle.[j] && chars (j + 1)) in
+      chars 0
+    in
+    at 0
+  end
+
+let matches pred value =
+  match pred, value with
+  | Range (l, h), Xc_xml.Value.Numeric n -> l <= n && n <= h
+  | Contains qs, Xc_xml.Value.Str s -> contains_substring ~needle:qs s
+  | Ft_contains terms, (Xc_xml.Value.Text _ as v) ->
+    List.for_all (fun t -> Xc_xml.Value.text_contains v t) terms
+  | Ft_any terms, (Xc_xml.Value.Text _ as v) ->
+    List.exists (fun t -> Xc_xml.Value.text_contains v t) terms
+  | Ft_excludes terms, (Xc_xml.Value.Text _ as v) ->
+    not (List.exists (fun t -> Xc_xml.Value.text_contains v t) terms)
+  | (Range _ | Contains _ | Ft_contains _ | Ft_any _ | Ft_excludes _), _ -> false
+
+let vtype = function
+  | Range _ -> Xc_xml.Value.Tnumeric
+  | Contains _ -> Xc_xml.Value.Tstring
+  | Ft_contains _ | Ft_any _ | Ft_excludes _ -> Xc_xml.Value.Ttext
+
+let equal a b =
+  match a, b with
+  | Range (l1, h1), Range (l2, h2) -> l1 = l2 && h1 = h2
+  | Contains x, Contains y -> String.equal x y
+  | Ft_contains x, Ft_contains y | Ft_any x, Ft_any y | Ft_excludes x, Ft_excludes y
+    ->
+    List.length x = List.length y && List.for_all2 Xc_xml.Dictionary.equal x y
+  | (Range _ | Contains _ | Ft_contains _ | Ft_any _ | Ft_excludes _), _ -> false
+
+let pp_terms ppf terms =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+    Xc_xml.Dictionary.pp ppf terms
+
+let pp ppf = function
+  | Range (l, h) -> Format.fprintf ppf "in %d..%d" l h
+  | Contains qs -> Format.fprintf ppf "contains(%s)" qs
+  | Ft_contains terms ->
+    Format.fprintf ppf "ftcontains(%a)" pp_terms terms
+  | Ft_any terms -> Format.fprintf ppf "ftany(%a)" pp_terms terms
+  | Ft_excludes terms -> Format.fprintf ppf "ftexcludes(%a)" pp_terms terms

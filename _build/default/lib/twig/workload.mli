@@ -1,0 +1,49 @@
+(** Random twig-query workloads, per the paper's methodology (Sec. 6.1).
+
+    Positive workloads sample twigs from the document (sampling elements
+    uniformly is exactly the "biased toward high counts" sampling of
+    the paper, since high-count paths own more elements), generalize the
+    sampled root-to-element path with descendant steps and wildcards,
+    optionally attach an existential branch, and derive value predicates
+    from actual element values — which guarantees non-zero selectivity
+    by construction. Each query carries a single predicate class so that
+    per-class error can be reported (Fig. 8's Numeric/String/Text/Struct
+    series). *)
+
+type entry = {
+  query : Twig_query.t;
+  true_count : float;  (** exact selectivity, from {!Twig_eval} *)
+  cls : Twig_query.query_class;
+}
+
+type spec = {
+  n_queries : int;          (** total, split evenly across classes *)
+  seed : int;
+  p_descendant : float;     (** chance of collapsing a path segment to [//] *)
+  p_wildcard : float;       (** chance of wildcarding a non-anchor step *)
+  p_branch : float;         (** chance of attaching an existential branch *)
+  numeric_halfwidth : float;(** range half-width as a fraction of the domain *)
+  substring_len : int * int;(** min/max substring predicate length *)
+  max_terms : int;          (** max conjunctive terms per ftcontains *)
+  value_paths : Xc_xml.Label.t list list option;
+      (** value predicates only target elements on these label paths
+          (the paper's designated summary paths); [None] = all paths *)
+}
+
+val default_spec : spec
+
+val generate : ?spec:spec -> Xc_xml.Document.t -> entry list
+(** Positive workload over the document. Classes that the document
+    cannot support (e.g. no TEXT values anywhere) are skipped. *)
+
+val negative : ?n:int -> ?seed:int -> ?value_paths:Xc_xml.Label.t list list ->
+  Xc_xml.Document.t -> entry list
+(** Queries with exactly zero selectivity (verified by evaluation):
+    positive skeletons whose value predicate is replaced by an
+    unsatisfied one or whose structure is broken. *)
+
+val sanity_bound : entry list -> float
+(** The 10-percentile of the true counts (the paper's sanity bound s). *)
+
+val classes : entry list -> Twig_query.query_class list
+(** Distinct classes present, in a fixed report order. *)

@@ -1,0 +1,109 @@
+type 'a t = {
+  mutable prio : float array;
+  mutable data : 'a option array;
+  mutable size : int;
+}
+
+let create ?(capacity = 64) () =
+  { prio = Array.make capacity 0.0; data = Array.make capacity None; size = 0 }
+
+let length h = h.size
+let is_empty h = h.size = 0
+
+let grow h =
+  let n = Array.length h.prio in
+  let prio = Array.make (2 * n) 0.0 in
+  Array.blit h.prio 0 prio 0 n;
+  h.prio <- prio;
+  let data = Array.make (2 * n) None in
+  Array.blit h.data 0 data 0 n;
+  h.data <- data
+
+let swap h i j =
+  let p = h.prio.(i) in
+  h.prio.(i) <- h.prio.(j);
+  h.prio.(j) <- p;
+  let d = h.data.(i) in
+  h.data.(i) <- h.data.(j);
+  h.data.(j) <- d
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.prio.(i) < h.prio.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.size && h.prio.(l) < h.prio.(!smallest) then smallest := l;
+  if r < h.size && h.prio.(r) < h.prio.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h priority x =
+  if h.size = Array.length h.prio then grow h;
+  h.prio.(h.size) <- priority;
+  h.data.(h.size) <- Some x;
+  h.size <- h.size + 1;
+  sift_up h (h.size - 1)
+
+let peek h =
+  if h.size = 0 then None
+  else
+    match h.data.(0) with
+    | Some x -> Some (h.prio.(0), x)
+    | None -> assert false
+
+let pop h =
+  match peek h with
+  | None -> None
+  | Some _ as result ->
+    h.size <- h.size - 1;
+    h.prio.(0) <- h.prio.(h.size);
+    h.data.(0) <- h.data.(h.size);
+    h.data.(h.size) <- None;
+    sift_down h 0;
+    result
+
+let remove_at h i =
+  h.size <- h.size - 1;
+  h.prio.(i) <- h.prio.(h.size);
+  h.data.(i) <- h.data.(h.size);
+  h.data.(h.size) <- None;
+  if i < h.size then begin
+    sift_down h i;
+    sift_up h i
+  end
+
+let pop_max h =
+  if h.size = 0 then None
+  else begin
+    let worst = ref 0 in
+    for i = 1 to h.size - 1 do
+      if h.prio.(i) > h.prio.(!worst) then worst := i
+    done;
+    let result =
+      match h.data.(!worst) with
+      | Some x -> Some (h.prio.(!worst), x)
+      | None -> assert false
+    in
+    remove_at h !worst;
+    result
+  end
+
+let clear h =
+  Array.fill h.data 0 h.size None;
+  h.size <- 0
+
+let iter f h =
+  for i = 0 to h.size - 1 do
+    match h.data.(i) with
+    | Some x -> f h.prio.(i) x
+    | None -> assert false
+  done

@@ -1,0 +1,29 @@
+(** A mutable binary min-heap ordered by a float priority.
+
+    Used as the marginal-loss priority queue of the construction
+    algorithm and as the leaf-pruning queue inside PSTs. Entries are not
+    removable; consumers use lazy invalidation (pop and discard stale
+    entries). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> float -> 'a -> unit
+(** [push h priority x] inserts [x]; smaller priorities pop first. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Removes and returns the minimum entry. *)
+
+val peek : 'a t -> (float * 'a) option
+
+val pop_max : 'a t -> (float * 'a) option
+(** Removes the entry with the {e largest} priority (linear scan; used
+    to evict the worst candidate when a bounded pool overflows). *)
+
+val clear : 'a t -> unit
+
+val iter : (float -> 'a -> unit) -> 'a t -> unit
+(** Iterates in arbitrary (heap) order. *)

@@ -1,0 +1,40 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every data set, workload and experiment in this repository draws
+    randomness through an explicit [Rng.t], so all results are
+    reproducible bit-for-bit from a seed. *)
+
+type t
+
+val create : int -> t
+(** Seeded generator. *)
+
+val split : t -> t
+(** An independent generator derived from the current state (the parent
+    advances). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. [bound] must be > 0. *)
+
+val int_range : t -> int -> int -> int
+(** [int_range t lo hi] is uniform in the inclusive range [\[lo, hi\]]. *)
+
+val float : t -> float -> float
+(** Uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val pick_list : t -> 'a list -> 'a
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)
+
+val geometric : t -> float -> int
+(** [geometric t p] counts failures before the first success of a
+    Bernoulli([p]) sequence — small with high probability for large p. *)

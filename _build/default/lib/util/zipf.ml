@@ -1,0 +1,35 @@
+type t = {
+  cdf : float array; (* cdf.(k) = P(rank <= k) *)
+  n : int;
+}
+
+let create ~n ~skew =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  let weights = Array.init n (fun k -> 1.0 /. Float.pow (float_of_int (k + 1)) skew) in
+  let total = Array.fold_left ( +. ) 0.0 weights in
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun k w ->
+      acc := !acc +. (w /. total);
+      cdf.(k) <- !acc)
+    weights;
+  cdf.(n - 1) <- 1.0;
+  { cdf; n }
+
+let sample t rng =
+  let u = Rng.float rng 1.0 in
+  let rec search lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if t.cdf.(mid) < u then search (mid + 1) hi else search lo mid
+  in
+  search 0 (t.n - 1)
+
+let prob t k =
+  if k < 0 || k >= t.n then 0.0
+  else if k = 0 then t.cdf.(0)
+  else t.cdf.(k) -. t.cdf.(k - 1)
+
+let n t = t.n

@@ -1,0 +1,19 @@
+(** Zipfian sampling over ranks [0..n-1].
+
+    Term frequencies in natural text follow a power law; the synthetic
+    corpora use this sampler so that TEXT predicates exhibit the highly
+    skewed selectivities the paper's Fig. 9 discussion relies on. *)
+
+type t
+
+val create : n:int -> skew:float -> t
+(** Distribution over [0..n-1] with P(rank k) ∝ 1/(k+1)^skew.
+    [skew = 0] is uniform; typical natural-language skew is ~1. *)
+
+val sample : t -> Rng.t -> int
+(** Draws a rank (binary search over the precomputed CDF, O(log n)). *)
+
+val prob : t -> int -> float
+(** Probability mass of a rank. *)
+
+val n : t -> int

@@ -1,0 +1,1 @@
+lib/vsumm/histogram.ml: Array Float Format Int List Set

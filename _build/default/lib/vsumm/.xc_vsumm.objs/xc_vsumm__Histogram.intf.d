@@ -1,0 +1,1 @@
+lib/vsumm/histogram.mli: Format

@@ -1,0 +1,1 @@
+lib/vsumm/pst.ml: Buffer Char Float Format Hashtbl List Option String Xc_util

@@ -1,0 +1,1 @@
+lib/vsumm/pst.mli: Format

@@ -1,0 +1,1 @@
+lib/vsumm/rle_bitmap.ml: Array Format Int List Seq

@@ -1,0 +1,1 @@
+lib/vsumm/rle_bitmap.mli: Format Seq

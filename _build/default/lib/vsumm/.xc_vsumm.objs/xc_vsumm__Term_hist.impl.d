@@ -1,0 +1,1 @@
+lib/vsumm/term_hist.ml: Array Float Format Hashtbl Int List Rle_bitmap Seq Term_vector Xc_xml

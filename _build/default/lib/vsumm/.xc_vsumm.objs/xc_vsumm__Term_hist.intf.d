@@ -1,0 +1,1 @@
+lib/vsumm/term_hist.mli: Format Seq Term_vector Xc_xml

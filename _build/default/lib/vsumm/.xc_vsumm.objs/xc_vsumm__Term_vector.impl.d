@@ -1,0 +1,1 @@
+lib/vsumm/term_vector.ml: Array Format Hashtbl Int List Option Xc_xml

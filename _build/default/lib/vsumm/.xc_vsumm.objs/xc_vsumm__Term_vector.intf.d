@@ -1,0 +1,1 @@
+lib/vsumm/term_vector.mli: Format Xc_xml

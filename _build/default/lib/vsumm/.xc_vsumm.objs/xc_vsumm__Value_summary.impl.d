@@ -1,0 +1,1 @@
+lib/vsumm/value_summary.ml: Array Format Histogram Int List Option Pst Set Term_hist Xc_xml

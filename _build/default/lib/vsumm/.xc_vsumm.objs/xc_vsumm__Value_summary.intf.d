@@ -1,0 +1,1 @@
+lib/vsumm/value_summary.mli: Format Histogram Pst Term_hist Xc_xml

@@ -1,0 +1,1 @@
+lib/vsumm/wavelet.ml: Array Float Format Seq

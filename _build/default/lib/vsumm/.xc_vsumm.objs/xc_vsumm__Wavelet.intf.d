@@ -1,0 +1,1 @@
+lib/vsumm/wavelet.mli: Format

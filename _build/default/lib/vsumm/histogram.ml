@@ -1,0 +1,287 @@
+type t = {
+  bounds : int array;   (* n+1 ascending boundaries; bucket i = [bounds.(i), bounds.(i+1)) *)
+  counts : float array; (* n bucket masses *)
+  cum : float array;    (* n+1 prefix sums of counts *)
+  total : float;
+}
+
+let n_buckets t = Array.length t.counts
+let n_values t = t.total
+let lo t = t.bounds.(0)
+let hi t = t.bounds.(Array.length t.bounds - 1)
+
+let make_cum counts =
+  let n = Array.length counts in
+  let cum = Array.make (n + 1) 0.0 in
+  for i = 0 to n - 1 do
+    cum.(i + 1) <- cum.(i) +. counts.(i)
+  done;
+  cum
+
+let of_arrays bounds counts =
+  let cum = make_cum counts in
+  { bounds; counts; cum; total = cum.(Array.length counts) }
+
+(* Equi-depth over the sorted distinct values with their multiplicities. *)
+let build ?(n_buckets = 64) values =
+  if Array.length values = 0 then invalid_arg "Histogram.build: empty";
+  let sorted = Array.copy values in
+  Array.sort Int.compare sorted;
+  (* run-length encode *)
+  let distinct = ref [] in
+  let cur = ref sorted.(0) and mult = ref 0 in
+  Array.iter
+    (fun v ->
+      if v = !cur then incr mult
+      else begin
+        distinct := (!cur, !mult) :: !distinct;
+        cur := v;
+        mult := 1
+      end)
+    sorted;
+  distinct := (!cur, !mult) :: !distinct;
+  let runs = Array.of_list (List.rev !distinct) in
+  let n_distinct = Array.length runs in
+  let k = max 1 (min n_buckets n_distinct) in
+  let total = float_of_int (Array.length values) in
+  let target = total /. float_of_int k in
+  let bounds = ref [ fst runs.(0) ] in
+  let counts = ref [] in
+  let acc = ref 0.0 in
+  let closed = ref 0 in
+  Array.iteri
+    (fun i (v, m) ->
+      acc := !acc +. float_of_int m;
+      let is_last = i = n_distinct - 1 in
+      (* close the bucket when the depth target is reached, and also when
+         the remaining distinct values would otherwise be forced to share
+         buckets that are still available *)
+      let remaining_runs = n_distinct - i - 1 in
+      let remaining_buckets = k - !closed - 1 in
+      if
+        is_last
+        || (!closed < k - 1 && (!acc >= target || remaining_runs <= remaining_buckets))
+      then begin
+        (* close at (last value)+1, not at the next distinct value: the
+           gap belongs to the following bucket, so a heavy singleton run
+           keeps a tight range and point queries on it stay exact *)
+        ignore is_last;
+        let upper = v + 1 in
+        bounds := upper :: !bounds;
+        counts := !acc :: !counts;
+        acc := 0.0;
+        incr closed
+      end)
+    runs;
+  of_arrays (Array.of_list (List.rev !bounds)) (Array.of_list (List.rev !counts))
+
+let build_equiwidth ?(n_buckets = 64) values =
+  if Array.length values = 0 then invalid_arg "Histogram.build_equiwidth: empty";
+  let vlo = Array.fold_left min values.(0) values in
+  let vhi = Array.fold_left max values.(0) values + 1 in
+  let k = max 1 (min n_buckets (vhi - vlo)) in
+  let width = float_of_int (vhi - vlo) /. float_of_int k in
+  let bounds = Array.init (k + 1) (fun i ->
+    if i = k then vhi else vlo + int_of_float (Float.round (float_of_int i *. width)))
+  in
+  (* Deduplicate any collapsed boundaries caused by rounding. *)
+  let bounds =
+    Array.of_list
+      (List.sort_uniq Int.compare (Array.to_list bounds))
+  in
+  let k = Array.length bounds - 1 in
+  let counts = Array.make k 0.0 in
+  Array.iter
+    (fun v ->
+      let rec find lo hi =
+        if hi - lo <= 1 then lo
+        else
+          let mid = (lo + hi) / 2 in
+          if v < bounds.(mid) then find lo mid else find mid hi
+      in
+      let b = find 0 k in
+      counts.(b) <- counts.(b) +. 1.0)
+    values;
+  of_arrays bounds counts
+
+let boundaries t = Array.to_list t.bounds
+
+(* Index of the bucket whose range contains h, or -1 / n for out of range. *)
+let locate t h =
+  let n = n_buckets t in
+  if h < t.bounds.(0) then -1
+  else if h >= t.bounds.(n) then n
+  else begin
+    let rec find lo hi =
+      if hi - lo <= 1 then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if h < t.bounds.(mid) then find lo mid else find mid hi
+    in
+    find 0 n
+  end
+
+let prefix_fraction t h =
+  let n = n_buckets t in
+  if t.total <= 0.0 then 0.0
+  else
+    match locate t h with
+    | -1 -> 0.0
+    | i when i >= n -> 1.0
+    | i ->
+      let blo = float_of_int t.bounds.(i) and bhi = float_of_int t.bounds.(i + 1) in
+      let inside = t.counts.(i) *. ((float_of_int h -. blo) /. (bhi -. blo)) in
+      (t.cum.(i) +. inside) /. t.total
+
+let range_fraction t l h =
+  if h < l then 0.0
+  else begin
+    (* guard h+1 against overflow for open-ended ranges like [n, max_int] *)
+    let upper = if h >= hi t then 1.0 else prefix_fraction t (h + 1) in
+    Float.max 0.0 (upper -. prefix_fraction t l)
+  end
+
+let merge a b =
+  let module IS = Set.Make (Int) in
+  let add_bounds set t = Array.fold_left (fun s x -> IS.add x s) set t.bounds in
+  let union = IS.elements (add_bounds (add_bounds IS.empty a) b) in
+  let bounds = Array.of_list union in
+  let k = Array.length bounds - 1 in
+  let mass t l h =
+    t.total *. Float.max 0.0 (prefix_fraction t h -. prefix_fraction t l)
+  in
+  let counts =
+    Array.init k (fun i ->
+        mass a bounds.(i) bounds.(i + 1) +. mass b bounds.(i) bounds.(i + 1))
+  in
+  of_arrays bounds counts
+
+let pair_error t i =
+  (* Collapsing buckets i and i+1 only perturbs the atomic prefix
+     predicate ending at the removed boundary. *)
+  let b = float_of_int t.bounds.(i + 1) in
+  let blo = float_of_int t.bounds.(i) and bhi = float_of_int t.bounds.(i + 2) in
+  let before = (t.cum.(i) +. t.counts.(i)) /. t.total in
+  let merged = t.counts.(i) +. t.counts.(i + 1) in
+  let after = (t.cum.(i) +. (merged *. ((b -. blo) /. (bhi -. blo)))) /. t.total in
+  let d = before -. after in
+  d *. d
+
+let compress_error t =
+  let n = n_buckets t in
+  if n < 2 then invalid_arg "Histogram.compress_error: single bucket";
+  let best = ref (pair_error t 0, 0) in
+  for i = 1 to n - 2 do
+    let e = pair_error t i in
+    if e < fst !best then best := (e, i)
+  done;
+  !best
+
+let compress_once t =
+  let _, i = compress_error t in
+  let n = n_buckets t in
+  let bounds = Array.init n (fun j -> if j <= i then t.bounds.(j) else t.bounds.(j + 1)) in
+  let counts =
+    Array.init (n - 1) (fun j ->
+        if j < i then t.counts.(j)
+        else if j = i then t.counts.(i) +. t.counts.(i + 1)
+        else t.counts.(j + 1))
+  in
+  of_arrays bounds counts
+
+let size_bytes t = 8 * n_buckets t
+
+let equal a b =
+  a.bounds = b.bounds
+  && Array.length a.counts = Array.length b.counts
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) < 1e-9) a.counts b.counts
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>hist(n=%.0f" t.total;
+  Array.iteri
+    (fun i c -> Format.fprintf ppf "; [%d,%d):%.1f" t.bounds.(i) t.bounds.(i + 1) c)
+    t.counts;
+  Format.fprintf ppf ")@]"
+
+let of_raw ~bounds ~counts =
+  if Array.length bounds <> Array.length counts + 1 then
+    invalid_arg "Histogram.of_raw: bounds/counts length mismatch";
+  Array.iteri
+    (fun i b -> if i > 0 && b <= bounds.(i - 1) then invalid_arg "Histogram.of_raw: bounds not ascending")
+    bounds;
+  Array.iter (fun c -> if c < 0.0 then invalid_arg "Histogram.of_raw: negative count") counts;
+  of_arrays (Array.copy bounds) (Array.copy counts)
+
+let raw t = (Array.copy t.bounds, Array.copy t.counts)
+
+let build_maxdiff ?(n_buckets = 64) values =
+  if Array.length values = 0 then invalid_arg "Histogram.build_maxdiff: empty";
+  let sorted = Array.copy values in
+  Array.sort Int.compare sorted;
+  (* run-length encode into (value, frequency) pairs *)
+  let runs = ref [] in
+  let cur = ref sorted.(0) and mult = ref 0 in
+  Array.iter
+    (fun v ->
+      if v = !cur then incr mult
+      else begin
+        runs := (!cur, !mult) :: !runs;
+        cur := v;
+        mult := 1
+      end)
+    sorted;
+  runs := (!cur, !mult) :: !runs;
+  let runs = Array.of_list (List.rev !runs) in
+  let n_distinct = Array.length runs in
+  let k = max 1 (min n_buckets n_distinct) in
+  if k >= n_distinct then
+    (* every distinct value gets its own bucket *)
+    of_arrays
+      (Array.init (n_distinct + 1) (fun i ->
+           if i = n_distinct then fst runs.(n_distinct - 1) + 1 else fst runs.(i)))
+      (Array.map (fun (_, m) -> float_of_int m) runs)
+  else begin
+    (* area of a run = frequency x spread to the next distinct value; cut
+       at the k-1 largest adjacent area differences *)
+    let area i =
+      let v, m = runs.(i) in
+      let spread = if i = n_distinct - 1 then 1 else fst runs.(i + 1) - v in
+      float_of_int m *. float_of_int spread
+    in
+    let diffs =
+      Array.init (n_distinct - 1) (fun i -> (Float.abs (area (i + 1) -. area i), i))
+    in
+    Array.sort (fun (a, _) (b, _) -> Float.compare b a) diffs;
+    let cuts =
+      Array.sub diffs 0 (k - 1) |> Array.map snd |> Array.to_list
+      |> List.sort Int.compare
+    in
+    (* bucket j spans runs (cut_{j-1}, cut_j]; each bucket closes right
+       after its last observed value, and the gap to the next distinct
+       value becomes an explicit zero-count bucket — so heavy singleton
+       runs keep exact point estimates (the point of MaxDiff) *)
+    let bounds = ref [ fst runs.(0) ] and counts = ref [] in
+    let acc = ref 0.0 in
+    let cuts = ref cuts in
+    for i = 0 to n_distinct - 1 do
+      acc := !acc +. float_of_int (snd runs.(i));
+      let cut_here =
+        match !cuts with
+        | c :: rest when c = i ->
+          cuts := rest;
+          true
+        | _ -> i = n_distinct - 1
+      in
+      if cut_here then begin
+        let upper = fst runs.(i) + 1 in
+        bounds := upper :: !bounds;
+        counts := !acc :: !counts;
+        acc := 0.0;
+        if i < n_distinct - 1 && fst runs.(i + 1) > upper then begin
+          bounds := fst runs.(i + 1) :: !bounds;
+          counts := 0.0 :: !counts
+        end
+      end
+    done;
+    of_arrays (Array.of_list (List.rev !bounds)) (Array.of_list (List.rev !counts))
+  end

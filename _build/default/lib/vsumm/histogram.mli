@@ -1,0 +1,73 @@
+(** Bucket histograms over an integer value domain — the NUMERIC value
+    summaries of XCluster nodes.
+
+    A histogram covers a contiguous integer range [\[lo, hi)] with
+    contiguous buckets; each bucket records the number of values falling
+    in its range (a float, because node merges produce weighted
+    mixtures). Range selectivities are estimated with the standard
+    continuous-uniformity assumption inside buckets.
+
+    All selectivity results are *fractions* in [0, 1] of the summarized
+    value population. *)
+
+type t
+
+val build : ?n_buckets:int -> int array -> t
+(** [build values] constructs an equi-depth histogram with at most
+    [n_buckets] buckets (default 64, clamped to the number of distinct
+    values). [values] may be in any order; it must be non-empty. *)
+
+val build_equiwidth : ?n_buckets:int -> int array -> t
+(** Equi-width variant, used by ablations. *)
+
+val n_values : t -> float
+(** Total mass (number of summarized values). *)
+
+val n_buckets : t -> int
+val lo : t -> int
+val hi : t -> int
+(** Domain bounds: values lie in [\[lo, hi)]. *)
+
+val boundaries : t -> int list
+(** All bucket boundaries, ascending, including [lo] and [hi]. These are
+    the atomic range predicates [\[lo, h)] of the Δ metric. *)
+
+val prefix_fraction : t -> int -> float
+(** [prefix_fraction t h] estimates the fraction of values < [h]. *)
+
+val range_fraction : t -> int -> int -> float
+(** [range_fraction t l h] estimates the fraction of values in the
+    inclusive range [\[l, h\]]. *)
+
+val merge : t -> t -> t
+(** Bucket-aligned fusion: both histograms are split on the union of
+    their boundaries, then counts are summed (Sec. 4.1). *)
+
+val compress_error : t -> float * int
+(** [(err, idx)] for the cheapest adjacent-bucket merge: [err] is
+    Σ_p (σ_p − σ′_p)² over the atomic prefix predicates affected by
+    collapsing buckets [idx] and [idx+1]. Raises [Invalid_argument] on a
+    single-bucket histogram. *)
+
+val compress_once : t -> t
+(** Collapse the adjacent bucket pair with minimal {!compress_error}. *)
+
+val size_bytes : t -> int
+(** 8 bytes per bucket (boundary + count). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+val of_raw : bounds:int array -> counts:float array -> t
+(** Rebuilds a histogram from its serialized parts. [bounds] must be
+    strictly ascending with one more entry than [counts]; counts must be
+    non-negative. @raise Invalid_argument otherwise. *)
+
+val raw : t -> int array * float array
+(** The (bounds, counts) arrays, for serialization. *)
+
+val build_maxdiff : ?n_buckets:int -> int array -> t
+(** MaxDiff(V,A) construction (Poosala et al., SIGMOD'96, the paper's
+    histogram reference): bucket boundaries are placed at the largest
+    area differences between adjacent distinct values, which isolates
+    outlier frequencies better than equi-depth on skewed data. *)

@@ -1,0 +1,100 @@
+type t = {
+  starts : int array; (* run start positions, ascending *)
+  lens : int array;   (* run lengths, >= 1 *)
+  card : int;
+}
+
+let empty = { starts = [||]; lens = [||]; card = 0 }
+
+let of_sorted_list bits =
+  match bits with
+  | [] -> empty
+  | first :: _ ->
+    let starts = ref [] and lens = ref [] in
+    let run_start = ref first and run_len = ref 0 and prev = ref (first - 1) in
+    let card = ref 0 in
+    List.iter
+      (fun b ->
+        if b <= !prev then invalid_arg "Rle_bitmap.of_sorted_list: not increasing";
+        incr card;
+        if b = !prev + 1 then incr run_len
+        else begin
+          if !run_len > 0 then begin
+            starts := !run_start :: !starts;
+            lens := !run_len :: !lens
+          end;
+          run_start := b;
+          run_len := 1
+        end;
+        prev := b)
+      bits;
+    starts := !run_start :: !starts;
+    lens := !run_len :: !lens;
+    { starts = Array.of_list (List.rev !starts);
+      lens = Array.of_list (List.rev !lens);
+      card = !card }
+
+let of_list bits = of_sorted_list (List.sort_uniq Int.compare bits)
+
+let n_runs t = Array.length t.starts
+let cardinality t = t.card
+
+(* Index of the last run with start <= b, or -1. *)
+let locate t b =
+  let n = n_runs t in
+  if n = 0 || b < t.starts.(0) then -1
+  else begin
+    let rec find lo hi =
+      if hi - lo <= 1 then lo
+      else
+        let mid = (lo + hi) / 2 in
+        if t.starts.(mid) <= b then find mid hi else find lo mid
+    in
+    find 0 n
+  end
+
+let mem t b =
+  match locate t b with
+  | -1 -> false
+  | i -> b < t.starts.(i) + t.lens.(i)
+
+let to_seq t =
+  let rec runs i () =
+    if i >= n_runs t then Seq.Nil
+    else
+      let rec bits j () =
+        if j >= t.lens.(i) then runs (i + 1) ()
+        else Seq.Cons (t.starts.(i) + j, bits (j + 1))
+      in
+      bits 0 ()
+  in
+  runs 0
+
+let iter f t = Seq.iter f (to_seq t)
+
+let union a b =
+  let rec merge sa sb =
+    match sa (), sb () with
+    | Seq.Nil, _ -> List.of_seq sb
+    | _, Seq.Nil -> List.of_seq sa
+    | Seq.Cons (x, sa'), Seq.Cons (y, sb') ->
+      if x < y then x :: merge sa' sb
+      else if y < x then y :: merge sa sb'
+      else x :: merge sa' sb'
+  in
+  of_sorted_list (merge (to_seq a) (to_seq b))
+
+let add t b = if mem t b then t else union t (of_sorted_list [ b ])
+
+let remove t b =
+  if not (mem t b) then t
+  else of_sorted_list (List.of_seq (Seq.filter (fun x -> x <> b) (to_seq t)))
+
+let size_bytes t = 4 * n_runs t
+
+let equal a b = a.starts = b.starts && a.lens = b.lens
+
+let pp ppf t =
+  Format.fprintf ppf "rle(%d bits" t.card;
+  Array.iteri (fun i s -> Format.fprintf ppf "; %d+%d" s t.lens.(i)) t.starts;
+  Format.fprintf ppf ")"

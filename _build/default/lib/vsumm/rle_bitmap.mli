@@ -1,0 +1,42 @@
+(** Run-length-encoded bitmaps over the term-identifier space.
+
+    The "uniform bucket" of an end-biased term histogram stores a
+    {e lossless} compressed encoding of the binary support vector (which
+    terms have non-zero frequency); this module is that encoding. Runs
+    are maximal intervals of set bits. *)
+
+type t
+
+val empty : t
+
+val of_sorted_list : int list -> t
+(** From a strictly increasing list of set-bit positions. *)
+
+val of_list : int list -> t
+(** Sorts and deduplicates first. *)
+
+val mem : t -> int -> bool
+val cardinality : t -> int
+(** Number of set bits. *)
+
+val n_runs : t -> int
+
+val add : t -> int -> t
+(** Set one bit (no-op if already set). *)
+
+val remove : t -> int -> t
+(** Clear one bit (no-op if clear); may split a run. *)
+
+val union : t -> t -> t
+
+val iter : (int -> unit) -> t -> unit
+(** Set bits in increasing order. *)
+
+val to_seq : t -> int Seq.t
+(** Set bits in increasing order. *)
+
+val size_bytes : t -> int
+(** 4 bytes per run (delta-encoded start + length). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

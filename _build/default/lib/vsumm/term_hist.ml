@@ -1,0 +1,230 @@
+type t = {
+  n : float;
+  top_terms : int array;  (* sorted by term id *)
+  top_freqs : float array;
+  bucket : Rle_bitmap.t;
+  bucket_avg : float;
+  mutable flat : (int array * float array) option;
+      (* memoized support flattening (terms ascending, estimated freqs);
+         summaries are immutable so the cache never invalidates *)
+}
+
+let n_documents t = t.n
+let n_top t = Array.length t.top_terms
+let bucket_size t = Rle_bitmap.cardinality t.bucket
+let support_size t = n_top t + bucket_size t
+
+let of_entries ~n ~top_k entries =
+  (* entries: (term, freq) list with freq > 0, any order *)
+  let by_freq = List.sort (fun (_, a) (_, b) -> Float.compare b a) entries in
+  let rec split i acc rest =
+    match rest with
+    | [] -> (List.rev acc, [])
+    | _ when i >= top_k -> (List.rev acc, rest)
+    | e :: tl -> split (i + 1) (e :: acc) tl
+  in
+  let top, bucket = split 0 [] by_freq in
+  let top = List.sort (fun (a, _) (b, _) -> Int.compare a b) top in
+  let bucket_bits = List.map fst bucket in
+  let bucket_sum = List.fold_left (fun s (_, f) -> s +. f) 0.0 bucket in
+  let bucket_n = List.length bucket in
+  { n;
+    top_terms = Array.of_list (List.map fst top);
+    top_freqs = Array.of_list (List.map snd top);
+    bucket = Rle_bitmap.of_list bucket_bits;
+    bucket_avg = (if bucket_n = 0 then 0.0 else bucket_sum /. float_of_int bucket_n);
+    flat = None }
+
+let of_centroid ?(top_k = 4096) centroid =
+  of_entries
+    ~n:(Term_vector.n_documents centroid)
+    ~top_k
+    (Array.to_list (Term_vector.entries centroid))
+
+let build ?top_k docs = of_centroid ?top_k (Term_vector.of_documents docs)
+
+let top_lookup t id =
+  let rec search lo hi =
+    if lo >= hi then None
+    else
+      let mid = (lo + hi) / 2 in
+      if t.top_terms.(mid) = id then Some t.top_freqs.(mid)
+      else if t.top_terms.(mid) < id then search (mid + 1) hi
+      else search lo mid
+  in
+  search 0 (Array.length t.top_terms)
+
+let frequency t id =
+  match top_lookup t id with
+  | Some f -> f
+  | None -> if Rle_bitmap.mem t.bucket id then t.bucket_avg else 0.0
+
+let selectivity t terms =
+  List.fold_left
+    (fun acc term -> acc *. frequency t (term : Xc_xml.Dictionary.term :> int))
+    1.0 terms
+
+let support_seq t =
+  let top =
+    Seq.init (Array.length t.top_terms) (fun i -> (t.top_terms.(i), t.top_freqs.(i)))
+  in
+  let bucket = Seq.map (fun id -> (id, t.bucket_avg)) (Rle_bitmap.to_seq t.bucket) in
+  let rec merge sa sb () =
+    match sa (), sb () with
+    | Seq.Nil, rest -> rest
+    | rest, Seq.Nil -> rest
+    | Seq.Cons ((xa, _) as a, sa'), Seq.Cons ((xb, _) as b, sb') ->
+      (* supports are disjoint by construction *)
+      if xa < xb then Seq.Cons (a, merge sa' sb) else Seq.Cons (b, merge sa sb')
+  in
+  merge top bucket
+
+let fuse a b =
+  let total = a.n +. b.n in
+  let wa = a.n /. total and wb = b.n /. total in
+  (* Union of exactly-indexed term sets stays indexed; each side's
+     contribution for a term uses that side's estimate. *)
+  let exact = Hashtbl.create 64 in
+  Array.iter (fun id -> Hashtbl.replace exact id ()) a.top_terms;
+  Array.iter (fun id -> Hashtbl.replace exact id ()) b.top_terms;
+  let top = ref [] and rest = ref [] in
+  let add (id, _) =
+    let f = (wa *. frequency a id) +. (wb *. frequency b id) in
+    if f > 0.0 then
+      if Hashtbl.mem exact id then top := (id, f) :: !top else rest := (id, f) :: !rest
+  in
+  (* iterate the union of the two supports *)
+  let rec union sa sb =
+    match sa (), sb () with
+    | Seq.Nil, rest' -> Seq.iter add (fun () -> rest')
+    | rest', Seq.Nil -> Seq.iter add (fun () -> rest')
+    | Seq.Cons ((xa, _) as ea, sa'), Seq.Cons ((xb, _) as eb, sb') ->
+      if xa < xb then begin
+        add ea;
+        union sa' sb
+      end
+      else if xb < xa then begin
+        add eb;
+        union sa sb'
+      end
+      else begin
+        add ea;
+        union sa' sb'
+      end
+  in
+  union (support_seq a) (support_seq b);
+  let bucket_bits = List.map fst !rest in
+  let bucket_sum = List.fold_left (fun s (_, f) -> s +. f) 0.0 !rest in
+  let bucket_n = List.length !rest in
+  let top = List.sort (fun (x, _) (y, _) -> Int.compare x y) !top in
+  { n = total;
+    top_terms = Array.of_list (List.map fst top);
+    top_freqs = Array.of_list (List.map snd top);
+    bucket = Rle_bitmap.of_list bucket_bits;
+    bucket_avg = (if bucket_n = 0 then 0.0 else bucket_sum /. float_of_int bucket_n);
+    flat = None }
+
+let header_bytes = 8
+let size_bytes t = header_bytes + (8 * n_top t) + Rle_bitmap.size_bytes t.bucket
+
+let compress_once t =
+  let k = n_top t in
+  if k = 0 then None
+  else begin
+    (* find the lowest-frequency indexed term *)
+    let worst = ref 0 in
+    for i = 1 to k - 1 do
+      if t.top_freqs.(i) < t.top_freqs.(!worst) then worst := i
+    done;
+    let demoted_id = t.top_terms.(!worst) and demoted_f = t.top_freqs.(!worst) in
+    let old_n = float_of_int (bucket_size t) in
+    let old_avg = t.bucket_avg in
+    let new_avg = ((old_avg *. old_n) +. demoted_f) /. (old_n +. 1.0) in
+    let bucket = Rle_bitmap.add t.bucket demoted_id in
+    let compressed =
+      { t with
+        top_terms = Array.init (k - 1) (fun i -> t.top_terms.(if i < !worst then i else i + 1));
+        top_freqs = Array.init (k - 1) (fun i -> t.top_freqs.(if i < !worst then i else i + 1));
+        bucket;
+        bucket_avg = new_avg;
+        flat = None }
+    in
+    (* Δ in predicate space: the demoted term moves from its exact
+       frequency to the new average; every old bucket term moves from the
+       old average to the new one. *)
+    let d1 = demoted_f -. new_avg in
+    let d2 = old_avg -. new_avg in
+    let err = (d1 *. d1) +. (old_n *. d2 *. d2) in
+    let saved = size_bytes t - size_bytes compressed in
+    Some (err, saved, compressed)
+  end
+
+(* flattened support, memoized: the Δ metric evaluates dot products for
+   hundreds of thousands of candidate merges, so this path is hot *)
+let flat t =
+  match t.flat with
+  | Some f -> f
+  | None ->
+    let n = support_size t in
+    let terms = Array.make n 0 and freqs = Array.make n 0.0 in
+    let i = ref 0 in
+    Seq.iter
+      (fun (id, f) ->
+        terms.(!i) <- id;
+        freqs.(!i) <- f;
+        incr i)
+      (support_seq t);
+    let f = (terms, freqs) in
+    t.flat <- Some f;
+    f
+
+let dot_products a b =
+  let ta, fa = flat a and tb, fb = flat b in
+  let na = Array.length ta and nb = Array.length tb in
+  let suu = ref 0.0 and svv = ref 0.0 and suv = ref 0.0 in
+  let i = ref 0 and j = ref 0 in
+  while !i < na && !j < nb do
+    let xa = ta.(!i) and xb = tb.(!j) in
+    if xa < xb then begin
+      suu := !suu +. (fa.(!i) *. fa.(!i));
+      incr i
+    end
+    else if xb < xa then begin
+      svv := !svv +. (fb.(!j) *. fb.(!j));
+      incr j
+    end
+    else begin
+      suu := !suu +. (fa.(!i) *. fa.(!i));
+      svv := !svv +. (fb.(!j) *. fb.(!j));
+      suv := !suv +. (fa.(!i) *. fb.(!j));
+      incr i;
+      incr j
+    end
+  done;
+  while !i < na do
+    suu := !suu +. (fa.(!i) *. fa.(!i));
+    incr i
+  done;
+  while !j < nb do
+    svv := !svv +. (fb.(!j) *. fb.(!j));
+    incr j
+  done;
+  (!suu, !svv, !suv)
+
+let pp ppf t =
+  Format.fprintf ppf "termhist(n=%.0f, top=%d, bucket=%d@%.4f)" t.n (n_top t)
+    (bucket_size t) t.bucket_avg
+
+let of_parts ~n ~top ~bucket ~bucket_avg =
+  let top = List.sort (fun (a, _) (b, _) -> Int.compare a b) top in
+  { n;
+    top_terms = Array.of_list (List.map fst top);
+    top_freqs = Array.of_list (List.map snd top);
+    bucket = Rle_bitmap.of_list bucket;
+    bucket_avg;
+    flat = None }
+
+let parts t =
+  ( Array.to_list (Array.mapi (fun i id -> (id, t.top_freqs.(i))) t.top_terms),
+    List.of_seq (Rle_bitmap.to_seq t.bucket),
+    t.bucket_avg )

@@ -1,0 +1,83 @@
+type t = {
+  n : float;
+  terms : int array;   (* sorted term ids *)
+  freqs : float array; (* parallel fractional frequencies, > 0 *)
+}
+
+let n_documents t = t.n
+let support_size t = Array.length t.terms
+
+let of_entries ~n entries =
+  let entries = List.filter (fun (_, f) -> f > 0.0) entries in
+  let sorted = List.sort (fun (a, _) (b, _) -> Int.compare a b) entries in
+  { n;
+    terms = Array.of_list (List.map fst sorted);
+    freqs = Array.of_list (List.map snd sorted) }
+
+let of_documents docs =
+  let counts = Hashtbl.create 256 in
+  let n = ref 0 in
+  List.iter
+    (fun doc ->
+      incr n;
+      Array.iter
+        (fun term ->
+          let id = (term : Xc_xml.Dictionary.term :> int) in
+          let cur = Option.value ~default:0 (Hashtbl.find_opt counts id) in
+          Hashtbl.replace counts id (cur + 1))
+        doc)
+    docs;
+  let nf = float_of_int !n in
+  let entries =
+    Hashtbl.fold (fun id c acc -> (id, float_of_int c /. nf) :: acc) counts []
+  in
+  of_entries ~n:nf entries
+
+let frequency t id =
+  let rec search lo hi =
+    if lo >= hi then 0.0
+    else
+      let mid = (lo + hi) / 2 in
+      if t.terms.(mid) = id then t.freqs.(mid)
+      else if t.terms.(mid) < id then search (mid + 1) hi
+      else search lo mid
+  in
+  search 0 (Array.length t.terms)
+
+let entries t = Array.init (Array.length t.terms) (fun i -> (t.terms.(i), t.freqs.(i)))
+
+let combine a b =
+  let total = a.n +. b.n in
+  let wa = a.n /. total and wb = b.n /. total in
+  let out = ref [] in
+  let na = Array.length a.terms and nb = Array.length b.terms in
+  let rec merge i j =
+    if i < na && j < nb then begin
+      let ta = a.terms.(i) and tb = b.terms.(j) in
+      if ta < tb then begin
+        out := (ta, wa *. a.freqs.(i)) :: !out;
+        merge (i + 1) j
+      end
+      else if tb < ta then begin
+        out := (tb, wb *. b.freqs.(j)) :: !out;
+        merge i (j + 1)
+      end
+      else begin
+        out := (ta, (wa *. a.freqs.(i)) +. (wb *. b.freqs.(j))) :: !out;
+        merge (i + 1) (j + 1)
+      end
+    end
+    else if i < na then begin
+      out := (a.terms.(i), wa *. a.freqs.(i)) :: !out;
+      merge (i + 1) j
+    end
+    else if j < nb then begin
+      out := (b.terms.(j), wb *. b.freqs.(j)) :: !out;
+      merge i (j + 1)
+    end
+  in
+  merge 0 0;
+  of_entries ~n:total !out
+
+let pp ppf t =
+  Format.fprintf ppf "centroid(n=%.0f, support=%d)" t.n (Array.length t.terms)

@@ -1,0 +1,30 @@
+(** Sparse fractional term vectors — centroids of Boolean term-vector
+    collections (Sec. 3, TEXT value summaries before second-level
+    compression).
+
+    A centroid maps each term to the fraction of the underlying TEXT
+    values that contain it; entries are kept sorted by term identifier. *)
+
+type t
+
+val of_documents : Xc_xml.Dictionary.term array list -> t
+(** Centroid of a collection of Boolean vectors, each given as a sorted
+    array of distinct terms (the representation of [Value.Text]). *)
+
+val of_entries : n:float -> (int * float) list -> t
+(** From explicit [(term_id, fraction)] entries (any order, distinct). *)
+
+val n_documents : t -> float
+val support_size : t -> int
+
+val frequency : t -> int -> float
+(** Fractional frequency of a term id, 0 if absent. *)
+
+val entries : t -> (int * float) array
+(** Sorted by term id; fractions are strictly positive. *)
+
+val combine : t -> t -> t
+(** Weighted mixture [(|u|·u + |v|·v) / (|u|+|v|)] — the fusion rule of
+    Sec. 4.1 for TEXT centroids. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,129 @@
+type t = {
+  lo : int;
+  hi : int;               (* inclusive value bounds *)
+  cell_width : int;       (* integer width: cells align on value bounds *)
+  total : float;
+  retained : (int * float) array; (* (coefficient index, value) *)
+  n_cells : int;
+  cum : float array;      (* reconstructed cumulative cell counts *)
+}
+
+let n_values t = t.total
+let n_retained t = Array.length t.retained
+let lo t = t.lo
+let hi t = t.hi
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (2 * p) in
+  go 1
+
+(* in-place Haar decomposition: returns the coefficient array in the
+   standard error-tree layout (index 0 = overall average, index i for
+   i in [2^l, 2^(l+1)) = the details of resolution level l) *)
+let decompose data =
+  let n = Array.length data in
+  let coeffs = Array.make n 0.0 in
+  let cur = Array.copy data in
+  let len = ref n in
+  while !len > 1 do
+    let half = !len / 2 in
+    for i = 0 to half - 1 do
+      let a = cur.(2 * i) and b = cur.((2 * i) + 1) in
+      coeffs.(half + i) <- (a -. b) /. 2.0;
+      cur.(i) <- (a +. b) /. 2.0
+    done;
+    len := half
+  done;
+  coeffs.(0) <- cur.(0);
+  coeffs
+
+(* inverse transform of a (sparse) coefficient array *)
+let reconstruct coeffs =
+  let n = Array.length coeffs in
+  let cur = Array.make n 0.0 in
+  cur.(0) <- coeffs.(0);
+  let len = ref 1 in
+  while !len < n do
+    let half = !len in
+    (* expand cur.(0..half-1) using details coeffs.(half..2*half-1) *)
+    for i = half - 1 downto 0 do
+      let avg = cur.(i) and detail = coeffs.(half + i) in
+      cur.((2 * i) + 1) <- avg -. detail;
+      cur.(2 * i) <- avg +. detail
+    done;
+    len := 2 * half
+  done;
+  cur
+
+(* support size of the coefficient with error-tree index i in a domain
+   of n cells: the overall average supports all n cells, a level-l
+   detail supports n / 2^l *)
+let support n i = if i = 0 then n else n / next_pow2 (i + 1) * 2
+
+let build ?(n_coeffs = 32) values =
+  if Array.length values = 0 then invalid_arg "Wavelet.build: empty";
+  let lo = Array.fold_left min values.(0) values in
+  let hi = Array.fold_left max values.(0) values in
+  let range = hi - lo + 1 in
+  let n_cells = min 1024 (next_pow2 range) in
+  let cell_width = (range + n_cells - 1) / n_cells in
+  let freq = Array.make n_cells 0.0 in
+  Array.iter
+    (fun v ->
+      let cell = min (n_cells - 1) ((v - lo) / cell_width) in
+      freq.(cell) <- freq.(cell) +. 1.0)
+    values;
+  let coeffs = decompose freq in
+  (* keep the B coefficients with the largest L2-normalized magnitude *)
+  let ranked =
+    Array.mapi
+      (fun i c -> (Float.abs c *. sqrt (float_of_int (support n_cells i)), i, c))
+      coeffs
+  in
+  Array.sort (fun (a, _, _) (b, _, _) -> Float.compare b a) ranked;
+  let b = min n_coeffs n_cells in
+  let retained =
+    Array.sub ranked 0 b
+    |> Array.map (fun (_, i, c) -> (i, c))
+    |> Array.to_seq
+    |> Seq.filter (fun (_, c) -> c <> 0.0)
+    |> Array.of_seq
+  in
+  let sparse = Array.make n_cells 0.0 in
+  Array.iter (fun (i, c) -> sparse.(i) <- c) retained;
+  let cells = reconstruct sparse in
+  let cum = Array.make (n_cells + 1) 0.0 in
+  for i = 0 to n_cells - 1 do
+    (* clamp reconstruction noise: frequencies cannot be negative *)
+    cum.(i + 1) <- cum.(i) +. Float.max 0.0 cells.(i)
+  done;
+  { lo; hi; cell_width;
+    total = float_of_int (Array.length values);
+    retained; n_cells; cum }
+
+let prefix_fraction t v =
+  if t.total <= 0.0 then 0.0
+  else if v <= t.lo then 0.0
+  else if v > t.hi then 1.0
+  else begin
+    let cell = min (t.n_cells - 1) ((v - t.lo) / t.cell_width) in
+    let frac =
+      float_of_int ((v - t.lo) - (cell * t.cell_width)) /. float_of_int t.cell_width
+    in
+    let mass = t.cum.(cell) +. ((t.cum.(cell + 1) -. t.cum.(cell)) *. frac) in
+    let denom = t.cum.(t.n_cells) in
+    if denom <= 0.0 then 0.0 else Float.max 0.0 (Float.min 1.0 (mass /. denom))
+  end
+
+let range_fraction t l h =
+  if h < l then 0.0
+  else begin
+    let upper = if h >= t.hi then 1.0 else prefix_fraction t (h + 1) in
+    Float.max 0.0 (upper -. prefix_fraction t l)
+  end
+
+let size_bytes t = 8 * n_retained t
+
+let pp ppf t =
+  Format.fprintf ppf "wavelet(n=%.0f, cells=%d, coeffs=%d)" t.total t.n_cells
+    (n_retained t)

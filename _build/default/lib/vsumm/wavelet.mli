@@ -1,0 +1,38 @@
+(** Haar-wavelet synopses for numeric frequency distributions.
+
+    The paper lists wavelet-based histograms (Matias–Vitter–Wang,
+    SIGMOD'98) alongside bucket histograms as NUMERIC value
+    summarization tools. This module implements the classical
+    construction: the frequency vector over a dyadic domain is
+    transformed into (normalized) Haar coefficients, the B largest
+    coefficients are retained, and range selectivities are estimated by
+    reconstructing prefix sums from the sparse coefficient set.
+
+    It is used by the A4 ablation bench (histogram vs wavelet on range
+    workloads); the synopsis pipeline itself keeps bucket histograms as
+    its NUMERIC summary, like the paper's prototype. *)
+
+type t
+
+val build : ?n_coeffs:int -> int array -> t
+(** Summarizes the multiset of values with at most [n_coeffs] retained
+    coefficients (default 32). The domain is padded to a power of two.
+    [values] must be non-empty. *)
+
+val n_values : t -> float
+val n_retained : t -> int
+
+val lo : t -> int
+val hi : t -> int
+(** Value-domain bounds: values lie in [\[lo, hi\]]. *)
+
+val prefix_fraction : t -> int -> float
+(** Estimated fraction of values < the argument (clamped to [0,1]). *)
+
+val range_fraction : t -> int -> int -> float
+(** Estimated fraction of values in the inclusive range. *)
+
+val size_bytes : t -> int
+(** 8 bytes per retained coefficient (index + value). *)
+
+val pp : Format.formatter -> t -> unit

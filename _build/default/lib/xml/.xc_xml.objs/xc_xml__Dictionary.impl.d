@@ -1,0 +1,1 @@
+lib/xml/dictionary.ml: Array Format Hashtbl Int

@@ -1,0 +1,1 @@
+lib/xml/document.ml: Array Hashtbl Node Option Value

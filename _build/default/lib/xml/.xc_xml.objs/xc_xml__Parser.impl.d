@@ -1,0 +1,1 @@
+lib/xml/parser.ml: Buffer Char Document Hashtbl List Node Printf String Tokenizer Value

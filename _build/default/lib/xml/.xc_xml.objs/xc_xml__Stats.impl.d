@@ -1,0 +1,1 @@
+lib/xml/stats.ml: Array Document Format Hashtbl Label List Node Value Writer

@@ -1,0 +1,1 @@
+lib/xml/stats.mli: Document Format Label Value

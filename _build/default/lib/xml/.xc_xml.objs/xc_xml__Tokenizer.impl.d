@@ -1,0 +1,1 @@
+lib/xml/tokenizer.ml: Buffer Char Dictionary Hashtbl List String Value

@@ -1,0 +1,1 @@
+lib/xml/tokenizer.mli: Dictionary Value

@@ -1,0 +1,1 @@
+lib/xml/value.ml: Array Dictionary Format Int List String

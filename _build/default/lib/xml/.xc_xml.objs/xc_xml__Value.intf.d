@@ -1,0 +1,1 @@
+lib/xml/value.mli: Dictionary Format

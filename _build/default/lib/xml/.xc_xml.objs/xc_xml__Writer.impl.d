@@ -1,0 +1,1 @@
+lib/xml/writer.ml: Array Buffer Dictionary Document Label Node String Value

@@ -1,0 +1,35 @@
+type term = int
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 4096
+let names : string array ref = ref (Array.make 4096 "")
+let freqs : int array ref = ref (Array.make 4096 0)
+let next = ref 0
+
+let grow () =
+  let n = Array.length !names in
+  let names' = Array.make (2 * n) "" in
+  Array.blit !names 0 names' 0 n;
+  names := names';
+  let freqs' = Array.make (2 * n) 0 in
+  Array.blit !freqs 0 freqs' 0 n;
+  freqs := freqs'
+
+let of_string w =
+  match Hashtbl.find_opt table w with
+  | Some id -> id
+  | None ->
+    let id = !next in
+    incr next;
+    if id >= Array.length !names then grow ();
+    !names.(id) <- w;
+    Hashtbl.add table w id;
+    id
+
+let to_string id = !names.(id)
+let equal = Int.equal
+let compare = Int.compare
+let count () = !next
+let note_occurrence id = !freqs.(id) <- !freqs.(id) + 1
+let frequency id = !freqs.(id)
+let pp ppf id = Format.pp_print_string ppf (to_string id)
+let unsafe_of_int i = i

@@ -1,0 +1,35 @@
+(** Interned dictionary of index terms for TEXT element values.
+
+    The Boolean IR model of the paper represents a TEXT value as a Boolean
+    vector over an underlying dictionary of terms; this module provides the
+    dictionary. Like {!Label}, the table is global and interning is
+    idempotent. The dictionary additionally tracks per-term document
+    frequencies (how many TEXT values contain the term), which the workload
+    generator uses to bias predicate sampling toward frequent terms. *)
+
+type term = private int
+(** An interned term identifier. *)
+
+val of_string : string -> term
+(** [of_string w] interns term [w]. *)
+
+val to_string : term -> string
+
+val equal : term -> term -> bool
+val compare : term -> term -> int
+
+val count : unit -> int
+(** Number of distinct terms interned so far. *)
+
+val note_occurrence : term -> unit
+(** Bump the document frequency of a term (one call per TEXT value that
+    contains the term). *)
+
+val frequency : term -> int
+(** Document frequency recorded through {!note_occurrence}. *)
+
+val pp : Format.formatter -> term -> unit
+
+val unsafe_of_int : int -> term
+(** Trusted injection used by generators and tests that manufacture term
+    identifiers directly; [i] must come from a previous interning. *)

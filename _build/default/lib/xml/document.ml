@@ -1,0 +1,43 @@
+type t = {
+  root : Node.t;
+  nodes : Node.t array;
+  height : int;
+}
+
+let create root =
+  let n = Node.size root in
+  let nodes = Array.make n root in
+  let next = ref 0 in
+  Node.iter
+    (fun node ->
+      node.Node.id <- !next;
+      nodes.(!next) <- node;
+      incr next)
+    root;
+  { root; nodes; height = Node.height root }
+
+let n_elements d = Array.length d.nodes
+
+let parent_table d =
+  let parents = Array.make (Array.length d.nodes) (-1) in
+  Array.iter
+    (fun node -> Array.iter (fun c -> parents.(c.Node.id) <- node.Node.id) node.Node.children)
+    d.nodes;
+  parents
+
+let label_path d node =
+  let parents = parent_table d in
+  let rec up id acc =
+    if id < 0 then acc else up parents.(id) (d.nodes.(id).Node.label :: acc)
+  in
+  up node.Node.id []
+
+let value_counts d =
+  let counts = Hashtbl.create 4 in
+  Array.iter
+    (fun node ->
+      let vt = Value.vtype node.Node.value in
+      let cur = Option.value ~default:0 (Hashtbl.find_opt counts vt) in
+      Hashtbl.replace counts vt (cur + 1))
+    d.nodes;
+  Hashtbl.fold (fun vt c acc -> (vt, c) :: acc) counts []

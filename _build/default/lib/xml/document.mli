@@ -1,0 +1,27 @@
+(** XML documents: a rooted node tree with preorder identifiers and
+    precomputed global statistics. *)
+
+type t = {
+  root : Node.t;
+  nodes : Node.t array;  (** all nodes, indexed by [Node.id] (preorder) *)
+  height : int;          (** longest root-to-leaf path, root alone = 1 *)
+}
+
+val create : Node.t -> t
+(** Assigns preorder identifiers to every node of the tree rooted at the
+    argument and snapshots the node array. The tree must not be mutated
+    afterwards. *)
+
+val n_elements : t -> int
+(** Total number of element nodes. *)
+
+val parent_table : t -> int array
+(** [parent_table d] maps each node id to its parent's id (root maps to
+    -1). Computed on demand in O(n). *)
+
+val label_path : t -> Node.t -> Label.t list
+(** Root-to-node list of labels, inclusive. O(depth) given a parent table
+    built internally per call batch; intended for diagnostics. *)
+
+val value_counts : t -> (Value.vtype * int) list
+(** How many elements carry each value type (Null included). *)

@@ -1,0 +1,27 @@
+type t = int
+
+let table : (string, int) Hashtbl.t = Hashtbl.create 256
+let names : string array ref = ref (Array.make 256 "")
+let next = ref 0
+
+let of_string name =
+  match Hashtbl.find_opt table name with
+  | Some id -> id
+  | None ->
+    let id = !next in
+    incr next;
+    if id >= Array.length !names then begin
+      let grown = Array.make (2 * Array.length !names) "" in
+      Array.blit !names 0 grown 0 (Array.length !names);
+      names := grown
+    end;
+    !names.(id) <- name;
+    Hashtbl.add table name id;
+    id
+
+let to_string id = !names.(id)
+let equal = Int.equal
+let compare = Int.compare
+let hash id = id
+let count () = !next
+let pp ppf id = Format.pp_print_string ppf (to_string id)

@@ -1,0 +1,26 @@
+(** Interned element labels (tags).
+
+    Labels are interned into small integer identifiers so that the rest of
+    the system can compare and hash them in O(1) and store them compactly
+    inside synopsis nodes. The intern table is global: interning is
+    idempotent and identifiers are stable for the lifetime of the process,
+    which lets documents, synopses and queries share label identities. *)
+
+type t = private int
+(** An interned label. Two labels are equal iff their names are equal. *)
+
+val of_string : string -> t
+(** [of_string name] interns [name] and returns its label. *)
+
+val to_string : t -> string
+(** [to_string l] returns the tag name of [l]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+
+val count : unit -> int
+(** Number of distinct labels interned so far. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the tag name. *)

@@ -1,0 +1,66 @@
+type t = {
+  label : Label.t;
+  value : Value.t;
+  mutable children : t array;
+  mutable id : int;
+}
+
+let make_l ?(value = Value.Null) ?(children = []) label =
+  { label; value; children = Array.of_list children; id = -1 }
+
+let make ?value ?children tag = make_l ?value ?children (Label.of_string tag)
+let leaf tag value = make ~value tag
+
+let add_child parent child =
+  let n = Array.length parent.children in
+  let grown = Array.make (n + 1) child in
+  Array.blit parent.children 0 grown 0 n;
+  parent.children <- grown
+
+(* Explicit-stack traversal: synthetic documents can be deep enough (XMark
+   parlist recursion) that naive recursion would be fragile at scale. *)
+let iter f root =
+  let stack = ref [ root ] in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | node :: rest ->
+      stack := rest;
+      f node;
+      for i = Array.length node.children - 1 downto 0 do
+        stack := node.children.(i) :: !stack
+      done;
+      loop ()
+  in
+  loop ()
+
+let iter_with_depth f root =
+  let stack = ref [ (0, root) ] in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | (depth, node) :: rest ->
+      stack := rest;
+      f ~depth node;
+      for i = Array.length node.children - 1 downto 0 do
+        stack := (depth + 1, node.children.(i)) :: !stack
+      done;
+      loop ()
+  in
+  loop ()
+
+let fold f init root =
+  let acc = ref init in
+  iter (fun node -> acc := f !acc node) root;
+  !acc
+
+let size root = fold (fun n _ -> n + 1) 0 root
+
+let height root =
+  let h = ref 0 in
+  iter_with_depth (fun ~depth _ -> if depth + 1 > !h then h := depth + 1) root;
+  !h
+
+let pp ppf node =
+  Format.fprintf ppf "<%a id=%d kids=%d %a>" Label.pp node.label node.id
+    (Array.length node.children) Value.pp node.value

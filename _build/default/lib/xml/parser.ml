@@ -1,0 +1,302 @@
+type typing = tag:string -> string -> Value.t
+
+exception Malformed of string
+
+type state = {
+  src : string;
+  mutable pos : int;
+  typing : typing;
+  attributes : [ `Discard | `Elements ];
+}
+
+let fail st msg = raise (Malformed (Printf.sprintf "%s at byte %d" msg st.pos))
+let eof st = st.pos >= String.length st.src
+let peek st = st.src.[st.pos]
+let advance st = st.pos <- st.pos + 1
+
+let is_space c = c = ' ' || c = '\t' || c = '\n' || c = '\r'
+
+let skip_spaces st =
+  while (not (eof st)) && is_space (peek st) do
+    advance st
+  done
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c =
+  is_name_start c || (c >= '0' && c <= '9') || c = '-' || c = '.'
+
+let read_name st =
+  if eof st || not (is_name_start (peek st)) then fail st "expected name";
+  let start = st.pos in
+  while (not (eof st)) && is_name_char (peek st) do
+    advance st
+  done;
+  String.sub st.src start (st.pos - start)
+
+let expect st c =
+  if eof st || peek st <> c then fail st (Printf.sprintf "expected '%c'" c);
+  advance st
+
+let expect_string st s =
+  String.iter (fun c -> expect st c) s
+
+let looking_at st s =
+  let n = String.length s in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = s
+
+(* Decode one entity/character reference; [st.pos] is just past '&'. *)
+let read_reference st buf =
+  let semi =
+    match String.index_from_opt st.src st.pos ';' with
+    | Some i when i - st.pos <= 12 -> i
+    | Some _ | None -> fail st "unterminated entity reference"
+  in
+  let body = String.sub st.src st.pos (semi - st.pos) in
+  st.pos <- semi + 1;
+  match body with
+  | "amp" -> Buffer.add_char buf '&'
+  | "lt" -> Buffer.add_char buf '<'
+  | "gt" -> Buffer.add_char buf '>'
+  | "quot" -> Buffer.add_char buf '"'
+  | "apos" -> Buffer.add_char buf '\''
+  | _ ->
+    if String.length body > 1 && body.[0] = '#' then begin
+      let code =
+        try
+          if body.[1] = 'x' || body.[1] = 'X' then
+            int_of_string ("0x" ^ String.sub body 2 (String.length body - 2))
+          else int_of_string (String.sub body 1 (String.length body - 1))
+        with Failure _ -> fail st "bad character reference"
+      in
+      if code < 0x80 then Buffer.add_char buf (Char.chr code)
+      else Buffer.add_char buf '?' (* non-ASCII: placeholder, we are byte-oriented *)
+    end
+    else fail st ("unknown entity &" ^ body ^ ";")
+
+let skip_until st terminator what =
+  let rec loop () =
+    if eof st then fail st ("unterminated " ^ what)
+    else if looking_at st terminator then
+      st.pos <- st.pos + String.length terminator
+    else begin
+      advance st;
+      loop ()
+    end
+  in
+  loop ()
+
+(* Read the attribute list up to (but not including) '>' or '/>'.
+   Attribute values decode the same references as character data. *)
+let read_attributes st =
+  let attrs = ref [] in
+  let rec loop () =
+    skip_spaces st;
+    if eof st then fail st "unterminated start tag"
+    else
+      match peek st with
+      | '>' | '/' -> ()
+      | _ ->
+        let name = read_name st in
+        skip_spaces st;
+        expect st '=';
+        skip_spaces st;
+        let quote = peek st in
+        if quote <> '"' && quote <> '\'' then fail st "expected quoted attribute";
+        advance st;
+        let buf = Buffer.create 16 in
+        let rec value () =
+          if eof st then fail st "unterminated attribute value"
+          else if peek st = quote then advance st
+          else if peek st = '&' then begin
+            advance st;
+            read_reference st buf;
+            value ()
+          end
+          else begin
+            Buffer.add_char buf (peek st);
+            advance st;
+            value ()
+          end
+        in
+        value ();
+        if st.attributes = `Elements then attrs := (name, Buffer.contents buf) :: !attrs;
+        loop ()
+  in
+  loop ();
+  List.rev !attrs
+
+let rec parse_misc st =
+  skip_spaces st;
+  if looking_at st "<!--" then begin
+    st.pos <- st.pos + 4;
+    skip_until st "-->" "comment";
+    parse_misc st
+  end
+  else if looking_at st "<?" then begin
+    st.pos <- st.pos + 2;
+    skip_until st "?>" "processing instruction";
+    parse_misc st
+  end
+  else if looking_at st "<!DOCTYPE" then begin
+    (* naive: skip to the first '>' not inside an internal subset *)
+    let rec scan depth =
+      if eof st then fail st "unterminated DOCTYPE"
+      else
+        match peek st with
+        | '[' -> advance st; scan (depth + 1)
+        | ']' -> advance st; scan (depth - 1)
+        | '>' when depth = 0 -> advance st
+        | _ -> advance st; scan depth
+    in
+    st.pos <- st.pos + 9;
+    scan 0;
+    parse_misc st
+  end
+
+(* Parse element content; returns (children, text). *)
+let rec parse_content st =
+  let children = ref [] in
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    if eof st then fail st "unterminated element content"
+    else if looking_at st "</" then ()
+    else if looking_at st "<!--" then begin
+      st.pos <- st.pos + 4;
+      skip_until st "-->" "comment";
+      loop ()
+    end
+    else if looking_at st "<![CDATA[" then begin
+      st.pos <- st.pos + 9;
+      let close =
+        let rec find i =
+          if i + 3 > String.length st.src then fail st "unterminated CDATA"
+          else if String.sub st.src i 3 = "]]>" then i
+          else find (i + 1)
+        in
+        find st.pos
+      in
+      Buffer.add_string buf (String.sub st.src st.pos (close - st.pos));
+      st.pos <- close + 3;
+      loop ()
+    end
+    else if looking_at st "<?" then begin
+      st.pos <- st.pos + 2;
+      skip_until st "?>" "processing instruction";
+      loop ()
+    end
+    else if peek st = '<' then begin
+      children := parse_element st :: !children;
+      loop ()
+    end
+    else if peek st = '&' then begin
+      advance st;
+      read_reference st buf;
+      loop ()
+    end
+    else begin
+      Buffer.add_char buf (peek st);
+      advance st;
+      loop ()
+    end
+  in
+  loop ();
+  (List.rev !children, Buffer.contents buf)
+
+and parse_element st =
+  expect st '<';
+  let tag = read_name st in
+  let attrs = read_attributes st in
+  let attr_children =
+    List.map
+      (fun (name, raw) ->
+        let tag = "@" ^ name in
+        Node.make ~value:(st.typing ~tag raw) tag)
+      attrs
+  in
+  if looking_at st "/>" then begin
+    st.pos <- st.pos + 2;
+    Node.make ~children:attr_children tag
+  end
+  else begin
+    expect st '>';
+    let children, text = parse_content st in
+    expect_string st "</";
+    let close = read_name st in
+    if not (String.equal close tag) then
+      fail st (Printf.sprintf "mismatched tag: <%s> closed by </%s>" tag close);
+    skip_spaces st;
+    expect st '>';
+    match attr_children @ children with
+    | [] ->
+      let value = st.typing ~tag text in
+      Node.make ~value tag
+    | (_ :: _) as all ->
+      if children = [] && String.length (String.trim text) > 0 then
+        (* an element with attributes and text keeps its text as a value *)
+        Node.make ~value:(st.typing ~tag text) ~children:all tag
+      else Node.make ~children:all tag
+  end
+
+let all_digits s =
+  String.length s > 0
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') s
+
+let trim_text s = String.trim s
+
+let word_count s =
+  let words = ref 0 in
+  let in_word = ref false in
+  String.iter
+    (fun c ->
+      if is_space c then in_word := false
+      else if not !in_word then begin
+        in_word := true;
+        incr words
+      end)
+    s;
+  !words
+
+let default_typing ~tag:_ raw =
+  let text = trim_text raw in
+  if String.length text = 0 then Value.Null
+  else if all_digits text then
+    match int_of_string_opt text with
+    | Some n -> Value.Numeric n
+    | None -> Value.Str text
+  else if String.length text > 64 || word_count text > 8 then
+    Tokenizer.text_value text
+  else Value.Str text
+
+let typing_of_assoc table =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (tag, vt) -> Hashtbl.replace tbl tag vt) table;
+  fun ~tag raw ->
+    let text = trim_text raw in
+    match Hashtbl.find_opt tbl tag with
+    | None | Some Value.Tnull -> Value.Null
+    | Some Value.Tnumeric -> (
+      match int_of_string_opt text with
+      | Some n -> Value.Numeric n
+      | None -> if String.length text = 0 then Value.Null else Value.Str text)
+    | Some Value.Tstring -> if String.length text = 0 then Value.Null else Value.Str text
+    | Some Value.Ttext ->
+      if String.length text = 0 then Value.Null else Tokenizer.text_value text
+
+let parse_string ?(attributes = `Discard) ?(typing = default_typing) src =
+  let st = { src; pos = 0; typing; attributes } in
+  parse_misc st;
+  if eof st || peek st <> '<' then fail st "expected root element";
+  let root = parse_element st in
+  parse_misc st;
+  skip_spaces st;
+  if not (eof st) then fail st "trailing content after root element";
+  Document.create root
+
+let parse_file ?attributes ?typing path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let src = really_input_string ic n in
+  close_in ic;
+  parse_string ?attributes ?typing src

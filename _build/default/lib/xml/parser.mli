@@ -1,0 +1,45 @@
+(** A small, dependency-free parser for the data-centric XML subset used
+    by this system.
+
+    Supported: elements, attributes, character data, CDATA sections,
+    comments, processing instructions, XML declarations, and the five
+    predefined entities plus decimal/hex character references.
+
+    Attributes are discarded by default, matching the paper's
+    element-only data model. Passing [~attributes:`Elements] instead
+    maps each attribute to a child element labelled [@name] whose value
+    goes through the same [typing] callback — the standard trick for
+    attribute-heavy real-world XML (XMark's original output, for
+    instance) so that attributes participate in summarization and
+    querying like any other element.
+
+    Character data directly under an element that has no element children
+    becomes the element's value; the [typing] callback decides how the raw
+    text is converted into a typed {!Value.t}. Mixed content (text amid
+    child elements) is ignored, as in the paper's tree model. *)
+
+type typing = tag:string -> string -> Value.t
+(** [typing ~tag raw] converts the raw character data of an element
+    labelled [tag] into a typed value. *)
+
+exception Malformed of string
+(** Raised with a human-readable message and position on syntax errors. *)
+
+val default_typing : typing
+(** Heuristic typing: integer-looking text becomes [Numeric]; text longer
+    than 64 bytes or containing more than 8 words becomes [Text]; other
+    non-empty text becomes [Str]; whitespace-only text becomes [Null]. *)
+
+val typing_of_assoc : (string * Value.vtype) list -> typing
+(** Typing driven by a tag->type table; tags not listed get [Null]
+    (their character data is dropped). Numeric parsing failures fall back
+    to [Str]. *)
+
+val parse_string : ?attributes:[ `Discard | `Elements ] -> ?typing:typing ->
+  string -> Document.t
+(** Parses a complete XML document from a string.
+    @raise Malformed on syntax errors. *)
+
+val parse_file : ?attributes:[ `Discard | `Elements ] -> ?typing:typing ->
+  string -> Document.t
+(** Reads the file and parses it. *)

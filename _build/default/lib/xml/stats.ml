@@ -1,0 +1,84 @@
+type path_stat = {
+  path : Label.t list;
+  vtype : Value.vtype;
+  elements : int;
+}
+
+type t = {
+  n_elements : int;
+  n_labels : int;
+  height : int;
+  serialized_bytes : int;
+  paths : path_stat list;
+}
+
+(* Paths are accumulated through a trie keyed by label to avoid hashing
+   label lists for every element. *)
+type trie = {
+  mutable count : int;
+  mutable type_counts : (Value.vtype * int) list;
+  children : (Label.t, trie) Hashtbl.t;
+}
+
+let new_trie () = { count = 0; type_counts = []; children = Hashtbl.create 4 }
+
+let bump_type trie vt =
+  let rec bump = function
+    | [] -> [ (vt, 1) ]
+    | (vt', c) :: rest when Value.vtype_equal vt vt' -> (vt', c + 1) :: rest
+    | entry :: rest -> entry :: bump rest
+  in
+  trie.type_counts <- bump trie.type_counts
+
+let rec record trie node =
+  let child =
+    match Hashtbl.find_opt trie.children node.Node.label with
+    | Some t -> t
+    | None ->
+      let t = new_trie () in
+      Hashtbl.add trie.children node.Node.label t;
+      t
+  in
+  child.count <- child.count + 1;
+  bump_type child (Value.vtype node.Node.value);
+  Array.iter (record child) node.Node.children
+
+let dominant_type type_counts =
+  let non_null = List.filter (fun (vt, _) -> not (Value.vtype_equal vt Value.Tnull)) type_counts in
+  match List.sort (fun (_, a) (_, b) -> compare b a) non_null with
+  | (vt, _) :: _ -> vt
+  | [] -> Value.Tnull
+
+let collect_paths trie =
+  let out = ref [] in
+  let rec walk prefix trie =
+    Hashtbl.iter
+      (fun label child ->
+        let path = label :: prefix in
+        out :=
+          { path = List.rev path;
+            vtype = dominant_type child.type_counts;
+            elements = child.count }
+          :: !out;
+        walk path child)
+      trie.children
+  in
+  walk [] trie;
+  List.sort (fun a b -> compare a.path b.path) !out
+
+let compute doc =
+  let labels = Hashtbl.create 64 in
+  Array.iter (fun n -> Hashtbl.replace labels n.Node.label ()) doc.Document.nodes;
+  let trie = new_trie () in
+  record trie doc.Document.root;
+  { n_elements = Document.n_elements doc;
+    n_labels = Hashtbl.length labels;
+    height = doc.Document.height;
+    serialized_bytes = Writer.serialized_size doc;
+    paths = collect_paths trie }
+
+let value_paths stats =
+  List.filter (fun p -> not (Value.vtype_equal p.vtype Value.Tnull)) stats.paths
+
+let pp_path ppf path =
+  List.iter (fun l -> Format.fprintf ppf "/%a" Label.pp l) path

@@ -1,0 +1,26 @@
+(** Document-level statistics used by Table 1 and for diagnostics. *)
+
+type path_stat = {
+  path : Label.t list;   (** root-to-element label path *)
+  vtype : Value.vtype;   (** common value type of elements on this path *)
+  elements : int;        (** number of elements with this label path *)
+}
+
+type t = {
+  n_elements : int;
+  n_labels : int;            (** distinct tags in the document *)
+  height : int;
+  serialized_bytes : int;    (** size of the XML serialization *)
+  paths : path_stat list;    (** one entry per distinct label path *)
+}
+
+val compute : Document.t -> t
+(** Full scan of the document. If elements sharing a label path disagree
+    on value type, the path is reported with the most frequent non-null
+    type (generators in this repository never produce such conflicts). *)
+
+val value_paths : t -> path_stat list
+(** Paths whose elements carry non-null values. *)
+
+val pp_path : Format.formatter -> Label.t list -> unit
+(** Renders as [/a/b/c]. *)

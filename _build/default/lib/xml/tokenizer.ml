@@ -1,0 +1,40 @@
+let stopwords =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun w -> Hashtbl.replace tbl w ())
+    [ "a"; "an"; "and"; "are"; "as"; "at"; "be"; "by"; "for"; "from"; "has";
+      "he"; "in"; "is"; "it"; "its"; "of"; "on"; "or"; "that"; "the"; "to";
+      "was"; "were"; "will"; "with"; "this"; "but"; "they"; "have"; "had";
+      "what"; "when"; "where"; "who"; "which"; "why"; "how" ];
+  tbl
+
+let is_stopword w = Hashtbl.mem stopwords w
+
+let is_word_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+
+let lowercase_ascii_char c = if c >= 'A' && c <= 'Z' then Char.chr (Char.code c + 32) else c
+
+let tokenize s =
+  let n = String.length s in
+  let buf = Buffer.create 16 in
+  let seen = Hashtbl.create 16 in
+  let terms = ref [] in
+  let flush () =
+    if Buffer.length buf >= 2 then begin
+      let w = Buffer.contents buf in
+      if not (is_stopword w) && not (Hashtbl.mem seen w) then begin
+        Hashtbl.add seen w ();
+        terms := Dictionary.of_string w :: !terms
+      end
+    end;
+    Buffer.clear buf
+  in
+  for i = 0 to n - 1 do
+    let c = s.[i] in
+    if is_word_char c then Buffer.add_char buf (lowercase_ascii_char c) else flush ()
+  done;
+  flush ();
+  !terms
+
+let text_value s = Value.text_of_terms (tokenize s)

@@ -1,0 +1,70 @@
+type vtype =
+  | Tnull
+  | Tnumeric
+  | Tstring
+  | Ttext
+
+type t =
+  | Null
+  | Numeric of int
+  | Str of string
+  | Text of Dictionary.term array
+
+let vtype = function
+  | Null -> Tnull
+  | Numeric _ -> Tnumeric
+  | Str _ -> Tstring
+  | Text _ -> Ttext
+
+let text_of_terms terms =
+  let arr = Array.of_list (List.sort_uniq Dictionary.compare terms) in
+  Array.iter Dictionary.note_occurrence arr;
+  Text arr
+
+let text_contains v t =
+  match v with
+  | Null | Numeric _ | Str _ -> false
+  | Text terms ->
+    let rec search lo hi =
+      if lo >= hi then false
+      else
+        let mid = (lo + hi) / 2 in
+        let c = Dictionary.compare terms.(mid) t in
+        if c = 0 then true
+        else if c < 0 then search (mid + 1) hi
+        else search lo mid
+    in
+    search 0 (Array.length terms)
+
+let equal a b =
+  match a, b with
+  | Null, Null -> true
+  | Numeric x, Numeric y -> Int.equal x y
+  | Str x, Str y -> String.equal x y
+  | Text x, Text y ->
+    Array.length x = Array.length y
+    && (let ok = ref true in
+        Array.iteri (fun i t -> if not (Dictionary.equal t y.(i)) then ok := false) x;
+        !ok)
+  | (Null | Numeric _ | Str _ | Text _), _ -> false
+
+let vtype_equal (a : vtype) (b : vtype) = a = b
+
+let vtype_to_string = function
+  | Tnull -> "null"
+  | Tnumeric -> "numeric"
+  | Tstring -> "string"
+  | Ttext -> "text"
+
+let pp_vtype ppf t = Format.pp_print_string ppf (vtype_to_string t)
+
+let pp ppf = function
+  | Null -> Format.pp_print_string ppf "<null>"
+  | Numeric n -> Format.fprintf ppf "%d" n
+  | Str s -> Format.fprintf ppf "%S" s
+  | Text terms ->
+    Format.fprintf ppf "{%a}"
+      (Format.pp_print_seq
+         ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+         Dictionary.pp)
+      (Array.to_seq terms)

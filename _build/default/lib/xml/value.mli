@@ -1,0 +1,39 @@
+(** Typed element values.
+
+    Following the paper's data model (Sec. 2), each element optionally
+    carries a value of one of three types: NUMERIC (integers in a domain
+    [0..M-1]), STRING (short strings queried by substring), or TEXT
+    (free text modelled as a Boolean term vector over {!Dictionary}).
+    Elements without values carry the special [Null] type. *)
+
+type vtype =
+  | Tnull
+  | Tnumeric
+  | Tstring
+  | Ttext
+(** The data type of a value; synopsis clusters must be type-respecting. *)
+
+type t =
+  | Null
+  | Numeric of int
+  | Str of string
+  | Text of Dictionary.term array
+      (** Sorted array of distinct term identifiers (a sparse Boolean
+          vector in the set-theoretic IR model). *)
+
+val vtype : t -> vtype
+(** The type tag of a value. *)
+
+val text_of_terms : Dictionary.term list -> t
+(** Builds a [Text] value: sorts, deduplicates, and records document
+    frequencies in the global {!Dictionary}. *)
+
+val text_contains : t -> Dictionary.term -> bool
+(** [text_contains v t] is true iff [v] is a [Text] whose vector has a 1
+    for term [t]. Binary search; [false] on non-text values. *)
+
+val equal : t -> t -> bool
+val vtype_equal : vtype -> vtype -> bool
+val vtype_to_string : vtype -> string
+val pp_vtype : Format.formatter -> vtype -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,64 @@
+let escape s =
+  if String.for_all (fun c -> c <> '&' && c <> '<' && c <> '>' && c <> '"') s
+  then s
+  else begin
+    let buf = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '&' -> Buffer.add_string buf "&amp;"
+        | '<' -> Buffer.add_string buf "&lt;"
+        | '>' -> Buffer.add_string buf "&gt;"
+        | '"' -> Buffer.add_string buf "&quot;"
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+  end
+
+let add_value buf = function
+  | Value.Null -> ()
+  | Value.Numeric n -> Buffer.add_string buf (string_of_int n)
+  | Value.Str s -> Buffer.add_string buf (escape s)
+  | Value.Text terms ->
+    Array.iteri
+      (fun i t ->
+        if i > 0 then Buffer.add_char buf ' ';
+        Buffer.add_string buf (escape (Dictionary.to_string t)))
+      terms
+
+let rec add_node buf node =
+  let tag = Label.to_string node.Node.label in
+  Buffer.add_char buf '<';
+  Buffer.add_string buf tag;
+  if Array.length node.Node.children = 0 && node.Node.value = Value.Null then
+    Buffer.add_string buf "/>"
+  else begin
+    Buffer.add_char buf '>';
+    add_value buf node.Node.value;
+    Array.iter (add_node buf) node.Node.children;
+    Buffer.add_string buf "</";
+    Buffer.add_string buf tag;
+    Buffer.add_char buf '>'
+  end
+
+let to_buffer buf doc =
+  Buffer.add_string buf "<?xml version=\"1.0\"?>\n";
+  add_node buf doc.Document.root;
+  Buffer.add_char buf '\n'
+
+let to_string doc =
+  let buf = Buffer.create 65536 in
+  to_buffer buf doc;
+  Buffer.contents buf
+
+let to_file path doc =
+  let oc = open_out_bin path in
+  let buf = Buffer.create 65536 in
+  to_buffer buf doc;
+  Buffer.output_buffer oc buf;
+  close_out oc
+
+let serialized_size doc =
+  let buf = Buffer.create 65536 in
+  to_buffer buf doc;
+  Buffer.length buf

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Document Filename Float Fun Hashtbl Label List Node Option String Sys Value Xc_core Xc_data Xc_exp Xc_twig Xc_vsumm Xc_xml

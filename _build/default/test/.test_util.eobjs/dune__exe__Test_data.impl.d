@@ -1,0 +1,1 @@
+test/test_data.ml: Alcotest Dictionary Document Hashtbl Label List Option Stats String Value Writer Xc_core Xc_data Xc_twig Xc_util Xc_xml

@@ -1,0 +1,1 @@
+test/test_exp.ml: Alcotest Buffer Error_metric Float Format List Report Runner String Xc_core Xc_exp Xc_twig Xc_xml

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Buffer Document Filename Float Fun Label List Node Parser QCheck QCheck_alcotest String Sys Writer Xc_core Xc_data Xc_twig Xc_util Xc_xml

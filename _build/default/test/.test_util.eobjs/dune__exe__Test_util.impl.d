@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Int List Option QCheck QCheck_alcotest Xc_util

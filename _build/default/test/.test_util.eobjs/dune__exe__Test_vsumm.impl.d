@@ -1,0 +1,1 @@
+test/test_vsumm.ml: Alcotest Array Float Fun Gen Histogram Int List Printf Pst QCheck QCheck_alcotest Rle_bitmap Term_hist Term_vector Value_summary Wavelet Xc_util Xc_vsumm Xc_xml

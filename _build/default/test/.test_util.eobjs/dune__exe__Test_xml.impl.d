@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Array Dictionary Document Label List Node Option Parser Printf QCheck QCheck_alcotest Stats String Tokenizer Value Writer Xc_core Xc_twig Xc_util Xc_xml

@@ -1,0 +1,599 @@
+(* Tests for Xc_core: the synopsis graph, reference construction, node
+   merges, the Δ metric, the candidate pool, XCLUSTERBUILD and
+   estimation. *)
+
+open Xc_xml
+module Synopsis = Xc_core.Synopsis
+module Reference = Xc_core.Reference
+module Merge = Xc_core.Merge
+module Delta = Xc_core.Delta
+module Pool = Xc_core.Pool
+module Build = Xc_core.Build
+module Estimate = Xc_core.Estimate
+module Size = Xc_core.Size
+module Vs = Xc_vsumm.Value_summary
+
+let check = Alcotest.check
+let checkf msg = Alcotest.check (Alcotest.float 1e-6) msg
+let checkf2 msg = Alcotest.check (Alcotest.float 1e-2) msg
+
+(* db with two structurally distinct paper shapes and one book *)
+let sample_doc () =
+  let paper ~cites year title =
+    let children =
+      [ Node.leaf "year" (Value.Numeric year); Node.leaf "title" (Value.Str title) ]
+      @ if cites then [ Node.make "cites" ~children:[ Node.make "ref" ] ] else []
+    in
+    Node.make "paper" ~children
+  in
+  Document.create
+    (Node.make "db"
+       ~children:
+         [ paper ~cites:true 2000 "Counting Twigs";
+           paper ~cites:true 2001 "Holistic Joins";
+           paper ~cites:false 2004 "Synopses";
+           Node.make "book"
+             ~children:[ Node.leaf "year" (Value.Numeric 1999);
+                         Node.leaf "title" (Value.Str "Databases") ] ])
+
+let exact doc q = Xc_twig.Twig_eval.selectivity doc (Xc_twig.Twig_parse.parse q)
+let est syn q = Estimate.selectivity syn (Xc_twig.Twig_parse.parse q)
+
+(* ---- Synopsis data structure ------------------------------------------- *)
+
+let tiny_synopsis () =
+  let syn = Synopsis.create ~doc_height:3 in
+  let r = Synopsis.add_node syn ~label:(Label.of_string "r") ~vtype:Value.Tnull ~count:1 ~vsumm:Vs.vnone in
+  let a = Synopsis.add_node syn ~label:(Label.of_string "a") ~vtype:Value.Tnull ~count:4 ~vsumm:Vs.vnone in
+  let b = Synopsis.add_node syn ~label:(Label.of_string "b") ~vtype:Value.Tnull ~count:8 ~vsumm:Vs.vnone in
+  syn.Synopsis.root <- r.Synopsis.sid;
+  Synopsis.set_edge syn ~parent:r.Synopsis.sid ~child:a.Synopsis.sid 4.0;
+  Synopsis.set_edge syn ~parent:a.Synopsis.sid ~child:b.Synopsis.sid 2.0;
+  (syn, r, a, b)
+
+let test_synopsis_edges () =
+  let syn, r, a, b = tiny_synopsis () in
+  checkf "edge" 4.0 (Synopsis.edge_count syn ~parent:r.Synopsis.sid ~child:a.Synopsis.sid);
+  checkf "absent edge" 0.0 (Synopsis.edge_count syn ~parent:r.Synopsis.sid ~child:b.Synopsis.sid);
+  check Alcotest.int "n_nodes" 3 (Synopsis.n_nodes syn);
+  check Alcotest.int "n_edges" 2 (Synopsis.n_edges syn);
+  check Alcotest.int "structural bytes" ((3 * Size.node_bytes) + (2 * Size.edge_bytes))
+    (Synopsis.structural_bytes syn);
+  (* deleting an edge cleans the reverse index *)
+  Synopsis.set_edge syn ~parent:a.Synopsis.sid ~child:b.Synopsis.sid 0.0;
+  check Alcotest.int "edge removed" 1 (Synopsis.n_edges syn);
+  check Alcotest.bool "validate" true (Synopsis.validate syn = Ok ())
+
+let test_synopsis_levels () =
+  let syn, r, a, b = tiny_synopsis () in
+  let levels = Synopsis.levels syn in
+  check Alcotest.int "leaf" 0 (Hashtbl.find levels b.Synopsis.sid);
+  check Alcotest.int "mid" 1 (Hashtbl.find levels a.Synopsis.sid);
+  check Alcotest.int "root" 2 (Hashtbl.find levels r.Synopsis.sid)
+
+let test_synopsis_copy_independent () =
+  let syn, r, a, _ = tiny_synopsis () in
+  let copy = Synopsis.copy syn in
+  Synopsis.set_edge syn ~parent:r.Synopsis.sid ~child:a.Synopsis.sid 9.0;
+  checkf "copy keeps old edge" 4.0
+    (Synopsis.edge_count copy ~parent:r.Synopsis.sid ~child:a.Synopsis.sid)
+
+let test_synopsis_validate_catches () =
+  let syn, _, a, b = tiny_synopsis () in
+  (* corrupt: remove b from the table but leave the edge dangling *)
+  Synopsis.remove_node syn b.Synopsis.sid;
+  (match Synopsis.validate syn with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "expected dangling edge to be caught");
+  ignore a
+
+(* ---- Reference construction --------------------------------------------- *)
+
+let test_reference_counts () =
+  let doc = sample_doc () in
+  let reference = Reference.build ~min_extent:1 doc in
+  check Alcotest.bool "valid" true (Synopsis.validate reference = Ok ());
+  (* total extent mass = document size *)
+  let mass = Synopsis.fold (fun acc n -> acc + n.Synopsis.count) 0 reference in
+  check Alcotest.int "extent mass" (Document.n_elements doc) mass;
+  (* two paper shapes => two paper clusters (count-stability) *)
+  let papers =
+    Synopsis.fold
+      (fun acc n ->
+        if String.equal (Label.to_string n.Synopsis.label) "paper" then n :: acc else acc)
+      [] reference
+  in
+  check Alcotest.int "two paper clusters" 2 (List.length papers);
+  (* backward stability: title under paper vs book are separate clusters *)
+  let titles =
+    Synopsis.fold
+      (fun acc n ->
+        if String.equal (Label.to_string n.Synopsis.label) "title" then n :: acc else acc)
+      [] reference
+  in
+  check Alcotest.int "three title clusters" 3 (List.length titles)
+
+let test_reference_estimates_struct_exactly () =
+  (* on the reference synopsis, structural twigs estimate exactly *)
+  let doc = sample_doc () in
+  let reference = Reference.build ~min_extent:1 doc in
+  List.iter
+    (fun q -> checkf ("exact: " ^ q) (exact doc q) (est reference q))
+    [ "/db/paper"; "//paper/title"; "//ref"; "//paper[cites]/year"; "/db/*/title";
+      "//paper[cites/ref]/title"; "//book/year" ]
+
+let test_reference_value_estimates () =
+  let doc = sample_doc () in
+  let reference = Reference.build ~min_extent:1 doc in
+  checkf2 "year range" (exact doc "//paper[year < 2002]")
+    (est reference "//paper[year < 2002]");
+  checkf2 "substring" (exact doc "//paper[title contains(Twig)]")
+    (est reference "//paper[title contains(Twig)]")
+
+let test_tag_only () =
+  let doc = sample_doc () in
+  let syn = Reference.tag_only doc in
+  (* one cluster per (label, vtype): db, paper, book, year, title, cites, ref *)
+  check Alcotest.int "seven clusters" 7 (Synopsis.n_nodes syn);
+  check Alcotest.bool "valid" true (Synopsis.validate syn = Ok ());
+  (* structural counts on tags remain exact under tag-only clustering *)
+  checkf "papers" 3.0 (est syn "//paper");
+  checkf "titles" 4.0 (est syn "//title")
+
+let test_reference_min_extent_pools () =
+  let doc = Xc_data.Imdb.generate ~seed:3 ~n_movies:300 () in
+  let fine = Reference.build ~min_extent:1 doc in
+  let pooled = Reference.build ~min_extent:64 doc in
+  check Alcotest.bool "pooling shrinks the reference" true
+    (Synopsis.n_nodes pooled < Synopsis.n_nodes fine);
+  check Alcotest.bool "still valid" true (Synopsis.validate pooled = Ok ())
+
+(* ---- Merge ---------------------------------------------------------------- *)
+
+let test_merge_counts_and_edges () =
+  let doc = sample_doc () in
+  let syn = Reference.build ~min_extent:1 doc in
+  let papers =
+    Synopsis.fold
+      (fun acc n ->
+        if String.equal (Label.to_string n.Synopsis.label) "paper" then n :: acc else acc)
+      [] syn
+  in
+  match papers with
+  | [ u; v ] ->
+    let cu = u.Synopsis.count and cv = v.Synopsis.count in
+    let n_before = Synopsis.n_nodes syn in
+    let str_before = Synopsis.structural_bytes syn in
+    let predicted = Merge.saved_bytes syn u v in
+    let w = Merge.apply syn u.Synopsis.sid v.Synopsis.sid in
+    check Alcotest.int "counts add" (cu + cv) w.Synopsis.count;
+    check Alcotest.int "one fewer node" (n_before - 1) (Synopsis.n_nodes syn);
+    check Alcotest.int "saved bytes exact" (str_before - predicted)
+      (Synopsis.structural_bytes syn);
+    check Alcotest.bool "valid after merge" true (Synopsis.validate syn = Ok ());
+    (* structural tag counts survive any merge *)
+    checkf "papers still 3" 3.0 (est syn "//paper");
+    checkf "titles still 4" 4.0 (est syn "//title")
+  | _ -> Alcotest.fail "expected two paper clusters"
+
+let test_merge_to_tag_only_equivalence () =
+  (* merging everything mergeable yields the tag-only structural counts *)
+  let doc = sample_doc () in
+  let syn = Synopsis.copy (Reference.build ~min_extent:1 doc) in
+  let params = Build.params ~bstr_kb:0 ~bval_kb:10_000 () in
+  Build.phase1_merge { params with Build.bstr = 0 } syn;
+  check Alcotest.bool "valid" true (Synopsis.validate syn = Ok ());
+  let tag = Reference.tag_only doc in
+  check Alcotest.int "same node count" (Synopsis.n_nodes tag) (Synopsis.n_nodes syn)
+
+let test_merge_incompatible_rejected () =
+  let doc = sample_doc () in
+  let syn = Reference.build ~min_extent:1 doc in
+  let find label =
+    Synopsis.fold
+      (fun acc n ->
+        if String.equal (Label.to_string n.Synopsis.label) label then Some n else acc)
+      None syn
+    |> Option.get
+  in
+  let paper = find "paper" and year = find "year" in
+  Alcotest.check_raises "label mismatch"
+    (Invalid_argument "Merge.apply: incompatible nodes") (fun () ->
+      ignore (Merge.apply syn paper.Synopsis.sid year.Synopsis.sid));
+  Alcotest.check_raises "self merge"
+    (Invalid_argument "Merge.apply: cannot merge a node with itself") (fun () ->
+      ignore (Merge.apply syn paper.Synopsis.sid paper.Synopsis.sid))
+
+let test_merge_self_loop () =
+  (* recursive structure: merging the two 'a' clusters creates a self-loop
+     with the right average count *)
+  let syn = Synopsis.create ~doc_height:3 in
+  let add label count =
+    Synopsis.add_node syn ~label:(Label.of_string label) ~vtype:Value.Tnull ~count
+      ~vsumm:Vs.vnone
+  in
+  let r = add "r" 1 and a1 = add "a" 2 and a2 = add "a" 6 in
+  syn.Synopsis.root <- r.Synopsis.sid;
+  Synopsis.set_edge syn ~parent:r.Synopsis.sid ~child:a1.Synopsis.sid 2.0;
+  Synopsis.set_edge syn ~parent:a1.Synopsis.sid ~child:a2.Synopsis.sid 3.0;
+  let w = Merge.apply syn a1.Synopsis.sid a2.Synopsis.sid in
+  check Alcotest.bool "valid" true (Synopsis.validate syn = Ok ());
+  (* count(w,w) = (2*3 + 6*0)/8 *)
+  checkf "self loop avg" 0.75
+    (Synopsis.edge_count syn ~parent:w.Synopsis.sid ~child:w.Synopsis.sid);
+  checkf "root edge total" 2.0
+    (Synopsis.edge_count syn ~parent:r.Synopsis.sid ~child:w.Synopsis.sid)
+
+(* ---- Delta ------------------------------------------------------------------ *)
+
+let test_delta_identical_is_zero () =
+  (* merging two clusters with identical centroids and values costs 0 *)
+  let syn = Synopsis.create ~doc_height:2 in
+  let add label count vsumm =
+    Synopsis.add_node syn ~label:(Label.of_string label) ~vtype:Value.Tnumeric ~count ~vsumm
+  in
+  let mk_vs () = Vs.of_values (List.init 10 (fun i -> Value.Numeric i)) in
+  let u = add "x" 5 (mk_vs ()) and v = add "x" 5 (mk_vs ()) in
+  let r =
+    Synopsis.add_node syn ~label:(Label.of_string "r") ~vtype:Value.Tnull ~count:1
+      ~vsumm:Vs.vnone
+  in
+  syn.Synopsis.root <- r.Synopsis.sid;
+  Synopsis.set_edge syn ~parent:r.Synopsis.sid ~child:u.Synopsis.sid 5.0;
+  Synopsis.set_edge syn ~parent:r.Synopsis.sid ~child:v.Synopsis.sid 5.0;
+  checkf "zero delta" 0.0 (Delta.merge_delta syn u v)
+
+let test_delta_grows_with_dissimilarity () =
+  let syn = Synopsis.create ~doc_height:2 in
+  let add label count vsumm =
+    Synopsis.add_node syn ~label:(Label.of_string label) ~vtype:Value.Tnumeric ~count ~vsumm
+  in
+  let low = Vs.of_values (List.init 20 (fun i -> Value.Numeric i)) in
+  let near = Vs.of_values (List.init 20 (fun i -> Value.Numeric (i + 3))) in
+  let far = Vs.of_values (List.init 20 (fun i -> Value.Numeric (i + 500))) in
+  let u = add "x" 20 low and v1 = add "x" 20 near and v2 = add "x" 20 far in
+  let r =
+    Synopsis.add_node syn ~label:(Label.of_string "r") ~vtype:Value.Tnull ~count:1
+      ~vsumm:Vs.vnone
+  in
+  syn.Synopsis.root <- r.Synopsis.sid;
+  List.iter
+    (fun n -> Synopsis.set_edge syn ~parent:r.Synopsis.sid ~child:n.Synopsis.sid 20.0)
+    [ u; v1; v2 ];
+  let d_near = Delta.merge_delta syn u v1 and d_far = Delta.merge_delta syn u v2 in
+  check Alcotest.bool "near < far" true (d_near < d_far);
+  check Alcotest.bool "positive" true (d_near > 0.0)
+
+let test_delta_structural_component () =
+  (* same (null) values, different fanouts: structural error must show *)
+  let syn, _, a, b = tiny_synopsis () in
+  let c =
+    Synopsis.add_node syn ~label:(Label.of_string "a") ~vtype:Value.Tnull ~count:4
+      ~vsumm:Vs.vnone
+  in
+  Synopsis.set_edge syn ~parent:c.Synopsis.sid ~child:b.Synopsis.sid 7.0;
+  let d = Delta.merge_delta syn a c in
+  check Alcotest.bool "fanout difference costs" true (d > 0.0);
+  (* structural_only agrees here because the values are Null anyway *)
+  checkf "structural-only same" d (Delta.merge_delta ~structural_only:true syn a c)
+
+let test_compression_delta () =
+  let syn = Synopsis.create ~doc_height:2 in
+  let vs = Vs.of_values (List.init 64 (fun i -> Value.Numeric i)) in
+  let u =
+    Synopsis.add_node syn ~label:(Label.of_string "x") ~vtype:Value.Tnumeric ~count:64
+      ~vsumm:vs
+  in
+  syn.Synopsis.root <- u.Synopsis.sid;
+  match Delta.compression_delta syn u with
+  | Some (delta, saved) ->
+    check Alcotest.bool "delta >= 0" true (delta >= 0.0);
+    check Alcotest.int "histogram step saves 8" 8 saved
+  | None -> Alcotest.fail "expected a compression step"
+
+(* ---- Pool ------------------------------------------------------------------- *)
+
+let test_pool_only_compatible_pairs () =
+  let doc = sample_doc () in
+  let syn = Reference.build ~min_extent:1 doc in
+  let levels = Synopsis.levels syn in
+  let pool = Pool.build Pool.default_config syn ~levels ~level:99 in
+  let rec drain () =
+    match Pool.pop_valid syn pool with
+    | None -> ()
+    | Some cand ->
+      let u = Synopsis.find syn cand.Pool.u and v = Synopsis.find syn cand.Pool.v in
+      check Alcotest.bool "compatible" true (Merge.compatible u v);
+      drain ()
+  in
+  drain ()
+
+let test_pool_respects_level () =
+  let doc = sample_doc () in
+  let syn = Reference.build ~min_extent:1 doc in
+  let levels = Synopsis.levels syn in
+  (* at level 0 only leaves pair up *)
+  let pool = Pool.build Pool.default_config syn ~levels ~level:0 in
+  let rec drain () =
+    match Pool.pop_valid syn pool with
+    | None -> ()
+    | Some cand ->
+      check Alcotest.int "leaf level u" 0 (Hashtbl.find levels cand.Pool.u);
+      check Alcotest.int "leaf level v" 0 (Hashtbl.find levels cand.Pool.v);
+      drain ()
+  in
+  drain ()
+
+let test_pool_orders_by_marginal_loss () =
+  let doc = sample_doc () in
+  let syn = Reference.build ~min_extent:1 doc in
+  let levels = Synopsis.levels syn in
+  let pool = Pool.build Pool.default_config syn ~levels ~level:99 in
+  let rec losses acc =
+    match Pool.pop_valid syn pool with
+    | None -> List.rev acc
+    | Some cand -> losses (Delta.marginal_loss cand.Pool.delta cand.Pool.saved :: acc)
+  in
+  let seq = losses [] in
+  let rec nondecreasing = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-12 && nondecreasing rest
+    | _ -> true
+  in
+  check Alcotest.bool "sorted" true (nondecreasing seq)
+
+(* ---- Build ------------------------------------------------------------------- *)
+
+let test_build_meets_budgets () =
+  let doc = Xc_data.Imdb.generate ~seed:11 ~n_movies:400 () in
+  let reference = Reference.build ~min_extent:8 doc in
+  let str_before = Synopsis.structural_bytes reference in
+  let params = Build.params ~bstr_kb:6 ~bval_kb:40 () in
+  let syn = Build.run params reference in
+  check Alcotest.bool "structural budget met" true
+    (Synopsis.structural_bytes syn <= Size.kb 6);
+  (* the value budget is met unless compression bottomed out on its
+     lossless floors (RLE buckets, per-symbol PST nodes) *)
+  let exhausted =
+    Synopsis.fold
+      (fun acc n -> acc && Vs.preview_compression n.Synopsis.vsumm = None)
+      true syn
+  in
+  check Alcotest.bool "value budget met or floors reached" true
+    (Synopsis.value_bytes syn <= Size.kb 40 || exhausted);
+  check Alcotest.bool "valid" true (Synopsis.validate syn = Ok ());
+  (* the reference itself is untouched by the run *)
+  check Alcotest.int "reference intact" str_before (Synopsis.structural_bytes reference)
+
+let test_build_extent_mass_invariant () =
+  let doc = Xc_data.Imdb.generate ~seed:12 ~n_movies:300 () in
+  let reference = Reference.build doc in
+  let syn = Build.run (Build.params ~bstr_kb:4 ~bval_kb:30 ()) reference in
+  let mass = Synopsis.fold (fun acc n -> acc + n.Synopsis.count) 0 syn in
+  check Alcotest.int "extent mass preserved" (Document.n_elements doc) mass
+
+let test_build_sweep_prefix_consistency () =
+  (* sweep snapshots equal independent runs at the same budget *)
+  let doc = Xc_data.Imdb.generate ~seed:13 ~n_movies:250 () in
+  let reference = Reference.build doc in
+  let sweep = Build.sweep ~bval_kb:40 ~bstr_kbs:[ 8; 4 ] reference in
+  let independent = Build.run (Build.params ~bstr_kb:4 ~bval_kb:40 ()) reference in
+  let at4 = List.assoc 4 sweep in
+  check Alcotest.int "same nodes" (Synopsis.n_nodes independent) (Synopsis.n_nodes at4);
+  check Alcotest.int "same structural bytes" (Synopsis.structural_bytes independent)
+    (Synopsis.structural_bytes at4);
+  (* and estimates agree *)
+  let q = "//movie/cast/actor/name" in
+  checkf "same estimate" (est independent q) (est at4 q)
+
+let test_structure_value_correlation_beats_tag_only () =
+  (* the headline mechanism: when the same tag carries different value
+     distributions on different paths, a structure-value cluster
+     estimates a path-specific predicate exactly while the tag-only
+     summary mixes the distributions and errs *)
+  let doc =
+    (* 100 'old' years (1900..1949) under a, 100 'new' (2000..2049) under b *)
+    Document.create
+      (Node.make "db"
+         ~children:
+           [ Node.make "a"
+               ~children:
+                 (List.init 100 (fun i -> Node.leaf "year" (Value.Numeric (1900 + (i mod 50)))));
+             Node.make "b"
+               ~children:
+                 (List.init 100 (fun i -> Node.leaf "year" (Value.Numeric (2000 + (i mod 50))))) ])
+  in
+  let q = "/db/a/year[. < 1950]" in
+  let truth = exact doc q in
+  checkf "truth" 100.0 truth;
+  let reference = Reference.build ~min_extent:1 doc in
+  checkf "reference exact" truth (est reference q);
+  let tag = Reference.tag_only doc in
+  let tag_est = est tag q in
+  (* tag-only mixes both year populations: σ = 0.5 over a 200-element
+     cluster reached through the /db/a edge => half the true count *)
+  check Alcotest.bool "tag-only underestimates by ~2x" true
+    (tag_est < 0.7 *. truth)
+
+(* ---- Estimate --------------------------------------------------------------- *)
+
+let test_estimate_reach () =
+  let doc = sample_doc () in
+  let syn = Reference.tag_only doc in
+  let root = Synopsis.root_node syn in
+  let reach = Estimate.reach syn [ Xc_twig.Path_expr.desc "title" ] root.Synopsis.sid in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0.0 reach in
+  checkf "4 titles reachable" 4.0 total
+
+let test_estimate_wildcards_and_desc () =
+  let doc = sample_doc () in
+  let syn = Reference.build ~min_extent:1 doc in
+  List.iter
+    (fun q -> checkf ("exact: " ^ q) (exact doc q) (est syn q))
+    [ "//*"; "/db//*"; "//paper//*"; "/*/paper" ]
+
+let test_estimate_predicate_type_mismatch_zero () =
+  let doc = sample_doc () in
+  let syn = Reference.build ~min_extent:1 doc in
+  checkf "range on string node" 0.0 (est syn "//paper[title > 1900]");
+  checkf "contains on numeric node" 0.0 (est syn "//paper[year contains(x)]")
+
+let test_estimate_cyclic_synopsis_terminates () =
+  (* descendant estimation over a cyclic synopsis must terminate *)
+  let syn = Synopsis.create ~doc_height:6 in
+  let add label count =
+    Synopsis.add_node syn ~label:(Label.of_string label) ~vtype:Value.Tnull ~count
+      ~vsumm:Vs.vnone
+  in
+  let r = add "r" 1 and a = add "p" 10 in
+  syn.Synopsis.root <- r.Synopsis.sid;
+  Synopsis.set_edge syn ~parent:r.Synopsis.sid ~child:a.Synopsis.sid 2.0;
+  Synopsis.set_edge syn ~parent:a.Synopsis.sid ~child:a.Synopsis.sid 0.5;
+  let v = est syn "//p" in
+  check Alcotest.bool "finite" true (Float.is_finite v);
+  check Alcotest.bool "positive" true (v > 0.0)
+
+(* ---- Codec ------------------------------------------------------------------ *)
+
+let same_estimates doc a b =
+  List.iter
+    (fun q -> checkf ("roundtrip estimate: " ^ q) (est a q) (est b q))
+    [ "//paper"; "//paper[year < 2002]"; "//paper[title contains(Twi)]";
+      "//paper[cites/ref]/title"; "/db/*/year[. = 1999]" ];
+  ignore doc
+
+let test_codec_roundtrip () =
+  let doc = sample_doc () in
+  let syn = Reference.build ~min_extent:1 doc in
+  let encoded = Xc_core.Codec.to_string syn in
+  let decoded = Xc_core.Codec.of_string encoded in
+  check Alcotest.int "same nodes" (Synopsis.n_nodes syn) (Synopsis.n_nodes decoded);
+  check Alcotest.int "same edges" (Synopsis.n_edges syn) (Synopsis.n_edges decoded);
+  check Alcotest.int "same structural bytes" (Synopsis.structural_bytes syn)
+    (Synopsis.structural_bytes decoded);
+  check Alcotest.int "same value bytes" (Synopsis.value_bytes syn)
+    (Synopsis.value_bytes decoded);
+  check Alcotest.bool "valid" true (Synopsis.validate decoded = Ok ());
+  same_estimates doc syn decoded
+
+let test_codec_roundtrip_compressed () =
+  (* compressed summaries (including TEXT buckets) round-trip too *)
+  let doc = Xc_data.Imdb.generate ~seed:21 ~n_movies:150 () in
+  let reference = Reference.build ~min_extent:8 doc in
+  let syn = Build.run (Build.params ~bstr_kb:3 ~bval_kb:20 ()) reference in
+  let decoded = Xc_core.Codec.of_string (Xc_core.Codec.to_string syn) in
+  check Alcotest.int "same value bytes" (Synopsis.value_bytes syn)
+    (Synopsis.value_bytes decoded);
+  List.iter
+    (fun q ->
+      checkf ("estimate: " ^ q)
+        (Estimate.selectivity syn (Xc_twig.Twig_parse.parse q))
+        (Estimate.selectivity decoded (Xc_twig.Twig_parse.parse q)))
+    [ "//movie[plot ftcontains(xml)]"; "//movie[year > 1990]/title";
+      "//actor/name[. contains(ar)]"; "//movie/cast/actor" ]
+
+let test_codec_file_io () =
+  let doc = sample_doc () in
+  let syn = Reference.build doc in
+  let path = Filename.temp_file "xcluster" ".syn" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Xc_core.Codec.save path syn;
+      let loaded = Xc_core.Codec.load path in
+      check Alcotest.int "same nodes" (Synopsis.n_nodes syn) (Synopsis.n_nodes loaded))
+
+let test_codec_rejects_garbage () =
+  (match Xc_core.Codec.of_string "not a synopsis" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected bad magic failure");
+  let doc = sample_doc () in
+  let good = Xc_core.Codec.to_string (Reference.build doc) in
+  let truncated = String.sub good 0 (String.length good / 2) in
+  match Xc_core.Codec.of_string truncated with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "expected truncation failure"
+
+let () =
+  Alcotest.run ~and_exit:false "xc_core"
+    [ ( "synopsis",
+        [ Alcotest.test_case "edges" `Quick test_synopsis_edges;
+          Alcotest.test_case "levels" `Quick test_synopsis_levels;
+          Alcotest.test_case "copy" `Quick test_synopsis_copy_independent;
+          Alcotest.test_case "validate" `Quick test_synopsis_validate_catches ] );
+      ( "reference",
+        [ Alcotest.test_case "counts" `Quick test_reference_counts;
+          Alcotest.test_case "struct exact" `Quick test_reference_estimates_struct_exactly;
+          Alcotest.test_case "value estimates" `Quick test_reference_value_estimates;
+          Alcotest.test_case "tag only" `Quick test_tag_only;
+          Alcotest.test_case "min extent pools" `Quick test_reference_min_extent_pools ] );
+      ( "merge",
+        [ Alcotest.test_case "counts+edges" `Quick test_merge_counts_and_edges;
+          Alcotest.test_case "merge-to-tag-only" `Quick test_merge_to_tag_only_equivalence;
+          Alcotest.test_case "incompatible" `Quick test_merge_incompatible_rejected;
+          Alcotest.test_case "self loop" `Quick test_merge_self_loop ] );
+      ( "delta",
+        [ Alcotest.test_case "identical zero" `Quick test_delta_identical_is_zero;
+          Alcotest.test_case "dissimilarity" `Quick test_delta_grows_with_dissimilarity;
+          Alcotest.test_case "structural" `Quick test_delta_structural_component;
+          Alcotest.test_case "compression" `Quick test_compression_delta ] );
+      ( "pool",
+        [ Alcotest.test_case "compatible pairs" `Quick test_pool_only_compatible_pairs;
+          Alcotest.test_case "level filter" `Quick test_pool_respects_level;
+          Alcotest.test_case "marginal order" `Quick test_pool_orders_by_marginal_loss ] );
+      ( "build",
+        [ Alcotest.test_case "meets budgets" `Slow test_build_meets_budgets;
+          Alcotest.test_case "extent mass" `Slow test_build_extent_mass_invariant;
+          Alcotest.test_case "sweep prefix" `Slow test_build_sweep_prefix_consistency;
+          Alcotest.test_case "correlation beats tag-only" `Quick
+            test_structure_value_correlation_beats_tag_only ] );
+      ( "codec",
+        [ Alcotest.test_case "roundtrip" `Quick test_codec_roundtrip;
+          Alcotest.test_case "roundtrip compressed" `Quick test_codec_roundtrip_compressed;
+          Alcotest.test_case "file io" `Quick test_codec_file_io;
+          Alcotest.test_case "rejects garbage" `Quick test_codec_rejects_garbage ] );
+      ( "estimate",
+        [ Alcotest.test_case "reach" `Quick test_estimate_reach;
+          Alcotest.test_case "wildcards+desc" `Quick test_estimate_wildcards_and_desc;
+          Alcotest.test_case "type mismatch" `Quick test_estimate_predicate_type_mismatch_zero;
+          Alcotest.test_case "cyclic terminates" `Quick test_estimate_cyclic_synopsis_terminates ] ) ]
+
+
+(* ---- Boolean full-text estimation + auto split (appended suite) --------- *)
+
+let test_estimate_ft_any_excludes () =
+  let doc = sample_doc () in
+  let syn = Reference.build ~min_extent:1 doc in
+  checkf2 "ftany" (exact doc "//paper[abs ftany(xml, tree)]")
+    (est syn "//paper[abs ftany(xml, tree)]");
+  checkf2 "ftexcludes none match" (exact doc "//paper[abs ftexcludes(xml)]")
+    (est syn "//paper[abs ftexcludes(xml)]");
+  (* disjunction never below the max single-term estimate *)
+  check Alcotest.bool "any >= single" true
+    (est syn "//paper[abs ftany(tree, count)]" >= est syn "//paper[abs ftcontains(tree)]" -. 1e-9)
+
+let test_auto_split () =
+  let doc = Xc_data.Imdb.generate ~seed:41 ~n_movies:400 () in
+  let reference = Reference.build ~min_extent:8 doc in
+  let spec = { Xc_twig.Workload.default_spec with n_queries = 30 } in
+  let wl = Xc_twig.Workload.generate ~spec doc in
+  let sanity = Xc_twig.Workload.sanity_bound wl in
+  let sample syn =
+    Xc_exp.Error_metric.overall_relative ~sanity
+      (Xc_exp.Error_metric.score (Estimate.selectivity syn) wl)
+  in
+  let params, best = Build.auto_split ~total_kb:40 ~sample reference in
+  (* the winner respects the unified budget *)
+  check Alcotest.bool "total budget" true
+    (params.Build.bstr + params.Build.bval <= Size.kb 40);
+  check Alcotest.bool "built within structural budget" true
+    (Synopsis.structural_bytes best <= max params.Build.bstr (Synopsis.structural_bytes best));
+  (* and is at least as good as the extreme all-value split *)
+  let all_value = Build.run (Build.params ~bstr_kb:0 ~bval_kb:40 ()) reference in
+  check Alcotest.bool "no worse than 0-structure" true
+    (sample best <= sample all_value +. 1e-9)
+
+let () =
+  Alcotest.run "xc_core_extensions"
+    [ ( "extensions",
+        [ Alcotest.test_case "ftany/ftexcludes estimate" `Quick test_estimate_ft_any_excludes;
+          Alcotest.test_case "auto split" `Slow test_auto_split ] ) ]

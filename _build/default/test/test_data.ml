@@ -1,0 +1,213 @@
+(* Tests for Xc_data: generators (determinism, schema shape, value
+   typing, path-dependent distributions) and corpora. *)
+
+open Xc_xml
+
+let check = Alcotest.check
+
+(* ---- Text_corpus --------------------------------------------------------- *)
+
+let test_corpus_vocab_distinct () =
+  let rng = Xc_util.Rng.create 1 in
+  let corpus = Xc_data.Text_corpus.create ~vocab_size:500 rng in
+  check Alcotest.int "size" 500 (Xc_data.Text_corpus.vocab_size corpus);
+  let seen = Hashtbl.create 500 in
+  for i = 0 to 499 do
+    let w = Xc_data.Text_corpus.word corpus i in
+    if Hashtbl.mem seen w then Alcotest.failf "duplicate word %s" w;
+    Hashtbl.add seen w ()
+  done
+
+let test_corpus_topics_differ () =
+  let rng = Xc_util.Rng.create 2 in
+  let corpus = Xc_data.Text_corpus.create ~vocab_size:1000 ~n_topics:4 rng in
+  let sample topic =
+    let r = Xc_util.Rng.create 7 in
+    List.concat
+      (List.init 50 (fun _ -> Xc_data.Text_corpus.sample_terms corpus r ~topic ~n:10))
+    |> List.sort_uniq Dictionary.compare
+  in
+  let a = sample 0 and b = sample 1 in
+  let overlap = List.length (List.filter (fun t -> List.mem t b) a) in
+  (* topic rotations make the frequent-term sets mostly disjoint *)
+  check Alcotest.bool "topics mostly disjoint" true
+    (float_of_int overlap < 0.5 *. float_of_int (List.length a))
+
+let test_corpus_zipf_skew () =
+  let rng = Xc_util.Rng.create 3 in
+  let corpus = Xc_data.Text_corpus.create ~vocab_size:1000 rng in
+  let r = Xc_util.Rng.create 9 in
+  let counts = Hashtbl.create 256 in
+  for _ = 1 to 2000 do
+    List.iter
+      (fun t ->
+        let id = (t : Dictionary.term :> int) in
+        Hashtbl.replace counts id (1 + Option.value ~default:0 (Hashtbl.find_opt counts id)))
+      (Xc_data.Text_corpus.sample_terms corpus r ~topic:0 ~n:5)
+  done;
+  let freqs = Hashtbl.fold (fun _ c acc -> c :: acc) counts [] in
+  let max_f = List.fold_left max 0 freqs in
+  let distinct = List.length freqs in
+  (* a Zipfian head: the most common term appears far more often than the
+     average term *)
+  check Alcotest.bool "skewed" true
+    (float_of_int max_f > 10.0 *. (10_000.0 /. float_of_int distinct))
+
+(* ---- generators ------------------------------------------------------------ *)
+
+let test_imdb_deterministic () =
+  let a = Xc_data.Imdb.generate ~seed:5 ~n_movies:50 () in
+  let b = Xc_data.Imdb.generate ~seed:5 ~n_movies:50 () in
+  check Alcotest.string "identical serialization" (Writer.to_string a) (Writer.to_string b);
+  let c = Xc_data.Imdb.generate ~seed:6 ~n_movies:50 () in
+  check Alcotest.bool "different seed differs" true
+    (not (String.equal (Writer.to_string a) (Writer.to_string c)))
+
+let test_imdb_schema () =
+  let doc = Xc_data.Imdb.generate ~seed:7 ~n_movies:100 () in
+  let stats = Stats.compute doc in
+  let paths =
+    List.map
+      (fun p -> String.concat "/" (List.map Label.to_string p.Stats.path))
+      stats.Stats.paths
+  in
+  List.iter
+    (fun expected ->
+      check Alcotest.bool ("path " ^ expected) true (List.mem expected paths))
+    [ "imdb"; "imdb/movie"; "imdb/movie/title"; "imdb/movie/year";
+      "imdb/movie/cast/actor/name"; "imdb/movie/director/name";
+      "imdb/movie/plot" ];
+  (* value typing matches the declared table *)
+  List.iter
+    (fun p ->
+      let tag = Label.to_string (List.nth p.Stats.path (List.length p.Stats.path - 1)) in
+      match List.assoc_opt tag Xc_data.Imdb.value_typing with
+      | Some expected when not (Value.vtype_equal p.Stats.vtype Value.Tnull) ->
+        check Alcotest.string ("typing of " ^ tag) (Value.vtype_to_string expected)
+          (Value.vtype_to_string p.Stats.vtype)
+      | _ -> ())
+    (Stats.value_paths stats)
+
+let test_imdb_path_dependent_values () =
+  (* the same tag must have different distributions on different paths:
+     actor years (birth) vs movie years (release) *)
+  let doc = Xc_data.Imdb.generate ~seed:8 ~n_movies:400 () in
+  let count q = Xc_twig.Twig_eval.selectivity doc (Xc_twig.Twig_parse.parse q) in
+  let movie_years = count "//movie/year" and actor_years = count "//actor/year" in
+  check Alcotest.bool "both present" true (movie_years > 0.0 && actor_years > 0.0);
+  (* movie years skew toward 2005; actor birth years end by 1990 *)
+  let recent_movie = count "//movie/year[. > 1995]" /. movie_years in
+  let recent_actor = count "//actor/year[. > 1995]" /. actor_years in
+  check Alcotest.bool "movie years recent" true (recent_movie > 0.3);
+  check Alcotest.bool "actor years old" true (recent_actor < 0.05)
+
+let test_imdb_keywords_recent_only () =
+  let doc = Xc_data.Imdb.generate ~seed:9 ~n_movies:400 () in
+  let count q = Xc_twig.Twig_eval.selectivity doc (Xc_twig.Twig_parse.parse q) in
+  check Alcotest.bool "no keywords before 1980" true
+    (count "//movie[year < 1980][keywords]" = 0.0);
+  check Alcotest.bool "keywords exist" true (count "//movie/keywords" > 0.0)
+
+let test_xmark_deterministic () =
+  let a = Xc_data.Xmark.generate ~seed:5 ~scale:0.02 () in
+  let b = Xc_data.Xmark.generate ~seed:5 ~scale:0.02 () in
+  check Alcotest.string "identical" (Writer.to_string a) (Writer.to_string b)
+
+let test_xmark_schema () =
+  let doc = Xc_data.Xmark.generate ~seed:6 ~scale:0.05 () in
+  let count q = Xc_twig.Twig_eval.selectivity doc (Xc_twig.Twig_parse.parse q) in
+  List.iter
+    (fun q -> check Alcotest.bool ("nonempty " ^ q) true (count q > 0.0))
+    [ "/site/regions/africa/item"; "/site/people/person/name";
+      "/site/open_auctions/open_auction/bidder/increase";
+      "/site/closed_auctions/closed_auction/price";
+      "//item/description"; "//parlist/listitem"; "/site/categories/category" ]
+
+let test_xmark_recursion () =
+  (* the parlist/listitem recursion must actually nest *)
+  let doc = Xc_data.Xmark.generate ~seed:7 ~scale:0.2 () in
+  let count q = Xc_twig.Twig_eval.selectivity doc (Xc_twig.Twig_parse.parse q) in
+  check Alcotest.bool "nested parlist" true (count "//parlist//parlist" > 0.0)
+
+let test_xmark_quantity_distributions_differ () =
+  let doc = Xc_data.Xmark.generate ~seed:8 ~scale:0.2 () in
+  let count q = Xc_twig.Twig_eval.selectivity doc (Xc_twig.Twig_parse.parse q) in
+  (* item quantities go to 10; closed-auction quantities stop at 2 *)
+  check Alcotest.bool "item high quantities" true (count "//item/quantity[. > 5]" > 0.0);
+  check Alcotest.bool "closed capped" true
+    (count "//closed_auction/quantity[. > 2]" = 0.0)
+
+let test_xmark_scale_controls_size () =
+  let small = Xc_data.Xmark.generate ~seed:9 ~scale:0.02 () in
+  let big = Xc_data.Xmark.generate ~seed:9 ~scale:0.1 () in
+  check Alcotest.bool "scales" true
+    (Document.n_elements big > 3 * Document.n_elements small)
+
+let test_names_pools () =
+  let rng = Xc_util.Rng.create 11 in
+  for _ = 1 to 50 do
+    let n = Xc_data.Names.person_name rng in
+    check Alcotest.bool "two words" true (String.contains n ' ');
+    let e = Xc_data.Names.email rng in
+    check Alcotest.bool "email shape" true (String.contains e '@')
+  done
+
+let () =
+  Alcotest.run ~and_exit:false "xc_data"
+    [ ( "text_corpus",
+        [ Alcotest.test_case "vocab distinct" `Quick test_corpus_vocab_distinct;
+          Alcotest.test_case "topics differ" `Quick test_corpus_topics_differ;
+          Alcotest.test_case "zipf skew" `Quick test_corpus_zipf_skew ] );
+      ( "imdb",
+        [ Alcotest.test_case "deterministic" `Quick test_imdb_deterministic;
+          Alcotest.test_case "schema" `Quick test_imdb_schema;
+          Alcotest.test_case "path-dependent values" `Quick test_imdb_path_dependent_values;
+          Alcotest.test_case "keywords recent" `Quick test_imdb_keywords_recent_only ] );
+      ( "xmark",
+        [ Alcotest.test_case "deterministic" `Quick test_xmark_deterministic;
+          Alcotest.test_case "schema" `Quick test_xmark_schema;
+          Alcotest.test_case "recursion" `Quick test_xmark_recursion;
+          Alcotest.test_case "quantity dists" `Quick test_xmark_quantity_distributions_differ;
+          Alcotest.test_case "scale" `Quick test_xmark_scale_controls_size ] );
+      ( "names",
+        [ Alcotest.test_case "pools" `Quick test_names_pools ] ) ]
+
+
+(* ---- DBLP generator (appended suite) ------------------------------------- *)
+
+let test_dblp_schema () =
+  let doc = Xc_data.Dblp.generate ~seed:4 ~n_authors:150 () in
+  let count q = Xc_twig.Twig_eval.selectivity doc (Xc_twig.Twig_parse.parse q) in
+  List.iter
+    (fun q -> check Alcotest.bool ("nonempty " ^ q) true (count q > 0.0))
+    [ "/dblp/author/name"; "//paper/year"; "//paper/abstract"; "//paper/cites/ref";
+      "//book/publisher"; "//paper/title" ];
+  (* the intro query parses and evaluates *)
+  let q =
+    Xc_twig.Twig_parse.parse
+      "//paper[year > 2000][abstract ftcontains(x)]/title[contains(Tree)]"
+  in
+  check Alcotest.bool "intro query evaluates" true
+    (Xc_twig.Twig_eval.selectivity doc q >= 0.0)
+
+let test_dblp_deterministic () =
+  let a = Xc_data.Dblp.generate ~seed:9 ~n_authors:40 () in
+  let b = Xc_data.Dblp.generate ~seed:9 ~n_authors:40 () in
+  check Alcotest.string "identical" (Writer.to_string a) (Writer.to_string b)
+
+let test_dblp_end_to_end () =
+  let doc = Xc_data.Dblp.generate ~seed:10 ~n_authors:120 () in
+  let reference = Xc_core.Reference.build ~min_extent:4 doc in
+  check Alcotest.bool "valid" true (Xc_core.Synopsis.validate reference = Ok ());
+  let exact q = Xc_twig.Twig_eval.selectivity doc (Xc_twig.Twig_parse.parse q) in
+  let est q = Xc_core.Estimate.selectivity reference (Xc_twig.Twig_parse.parse q) in
+  (* structural exactness holds on the reference like everywhere else *)
+  Alcotest.check (Alcotest.float 1e-6) "papers" (exact "//paper") (est "//paper");
+  Alcotest.check (Alcotest.float 1e-6) "refs" (exact "//cites/ref") (est "//cites/ref")
+
+let () =
+  Alcotest.run "xc_data_dblp"
+    [ ( "dblp",
+        [ Alcotest.test_case "schema" `Quick test_dblp_schema;
+          Alcotest.test_case "deterministic" `Quick test_dblp_deterministic;
+          Alcotest.test_case "end to end" `Quick test_dblp_end_to_end ] ) ]

@@ -1,0 +1,184 @@
+(* Tests for Xc_exp: the error metric and the experiment runner at a
+   very small scale (the full scale runs in bench/main.ml). *)
+
+open Xc_exp
+module Workload = Xc_twig.Workload
+module Twig_query = Xc_twig.Twig_query
+
+let check = Alcotest.check
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+let entry ?(cls = Twig_query.Cstruct) count =
+  { Workload.query = Xc_twig.Twig_parse.parse "//x"; true_count = count; cls }
+
+let scored truth est cls = { Error_metric.entry = entry ~cls truth; est }
+
+(* ---- Error_metric --------------------------------------------------------- *)
+
+let test_relative_error () =
+  checkf "exact" 0.0 (Error_metric.relative_error ~sanity:1.0 ~truth:10.0 ~est:10.0);
+  checkf "half" 0.5 (Error_metric.relative_error ~sanity:1.0 ~truth:10.0 ~est:5.0);
+  checkf "over" 1.0 (Error_metric.relative_error ~sanity:1.0 ~truth:10.0 ~est:20.0);
+  (* the sanity bound caps the contribution of tiny counts *)
+  checkf "sanity caps" 2.0 (Error_metric.relative_error ~sanity:5.0 ~truth:1.0 ~est:11.0);
+  checkf "without sanity it would be 10" 10.0
+    (Error_metric.relative_error ~sanity:1.0 ~truth:1.0 ~est:11.0)
+
+let test_mean () =
+  checkf "empty" 0.0 (Error_metric.mean []);
+  checkf "avg" 2.0 (Error_metric.mean [ 1.0; 2.0; 3.0 ])
+
+let test_overall_and_per_class () =
+  let scored =
+    [ scored 10.0 10.0 Twig_query.Cstruct;    (* err 0 *)
+      scored 10.0 5.0 Twig_query.Cnumeric;    (* err 0.5 *)
+      scored 10.0 20.0 Twig_query.Cnumeric ]  (* err 1.0 *)
+  in
+  checkf "overall" 0.5 (Error_metric.overall_relative ~sanity:1.0 scored);
+  let per = Error_metric.per_class_relative ~sanity:1.0 scored in
+  checkf "struct" 0.0 (List.assoc Twig_query.Cstruct per);
+  checkf "numeric" 0.75 (List.assoc Twig_query.Cnumeric per);
+  check Alcotest.bool "no string row" true
+    (List.assoc_opt Twig_query.Cstring per = None)
+
+let test_low_count_absolute () =
+  let scored =
+    [ scored 2.0 5.0 Twig_query.Ctext;   (* low count: abs err 3 *)
+      scored 3.0 3.0 Twig_query.Ctext;   (* low count: abs err 0 *)
+      scored 100.0 90.0 Twig_query.Ctext ] (* above bound: excluded *)
+  in
+  match Error_metric.low_count_absolute ~sanity:10.0 scored with
+  | [ (cls, abs_err, avg_truth) ] ->
+    check Alcotest.bool "text class" true (cls = Twig_query.Ctext);
+    checkf "avg abs err" 1.5 abs_err;
+    checkf "avg truth" 2.5 avg_truth
+  | other -> Alcotest.failf "unexpected rows: %d" (List.length other)
+
+(* ---- Runner (miniature scale) --------------------------------------------- *)
+
+let mini () = Runner.imdb ~scale:0.03 ~n_queries:40 ()
+
+let test_runner_dataset () =
+  let ds = mini () in
+  check Alcotest.bool "workload nonempty" true (List.length ds.Runner.workload > 0);
+  check Alcotest.bool "sanity >= 1" true (ds.Runner.sanity >= 1.0);
+  check Alcotest.bool "reference valid" true
+    (Xc_core.Synopsis.validate ds.Runner.reference = Ok ())
+
+let test_runner_table1 () =
+  let ds = mini () in
+  let row = Runner.table1 ds in
+  check Alcotest.string "name" "IMDB" row.Runner.ds;
+  check Alcotest.int "elements" (Xc_xml.Document.n_elements ds.Runner.doc)
+    row.Runner.n_elements;
+  check Alcotest.bool "file size positive" true (row.Runner.file_mb > 0.0);
+  check Alcotest.bool "value <= total nodes" true
+    (row.Runner.value_nodes <= row.Runner.total_nodes)
+
+let test_runner_table2 () =
+  let ds = mini () in
+  let row = Runner.table2 ds in
+  check Alcotest.bool "struct avg positive" true (row.Runner.avg_struct > 0.0);
+  check Alcotest.bool "pred avg positive" true (row.Runner.avg_pred > 0.0)
+
+let test_runner_fig8_small () =
+  let ds = mini () in
+  let points = Runner.fig8 ~budgets_kb:[ 0; 4 ] ~bval_kb:30 ds in
+  check Alcotest.int "two points" 2 (List.length points);
+  List.iter
+    (fun p ->
+      check Alcotest.bool "error finite" true (Float.is_finite p.Runner.overall_err);
+      check Alcotest.bool "error nonneg" true (p.Runner.overall_err >= 0.0);
+      check Alcotest.int "total adds bval" (p.Runner.bstr_kb + 30) p.Runner.total_kb)
+    points
+
+let test_runner_fig9_small () =
+  let ds = mini () in
+  let rows = Runner.fig9 ~bstr_kb:4 ~bval_kb:30 ds in
+  List.iter
+    (fun (_, abs_err, avg_truth) ->
+      check Alcotest.bool "abs err nonneg" true (abs_err >= 0.0);
+      check Alcotest.bool "truth below sanity" true (avg_truth <= ds.Runner.sanity))
+    rows
+
+let test_runner_negative_small () =
+  let ds = mini () in
+  let avg = Runner.negative_check ~bstr_kb:4 ~bval_kb:30 ~n:20 ds in
+  (* the paper: "consistently close to zero estimates" *)
+  check Alcotest.bool "near zero" true (avg < 5.0)
+
+let () =
+  Alcotest.run ~and_exit:false "xc_exp"
+    [ ( "error_metric",
+        [ Alcotest.test_case "relative error" `Quick test_relative_error;
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "overall + per-class" `Quick test_overall_and_per_class;
+          Alcotest.test_case "low-count absolute" `Quick test_low_count_absolute ] );
+      ( "runner",
+        [ Alcotest.test_case "dataset" `Slow test_runner_dataset;
+          Alcotest.test_case "table1" `Slow test_runner_table1;
+          Alcotest.test_case "table2" `Slow test_runner_table2;
+          Alcotest.test_case "fig8 small" `Slow test_runner_fig8_small;
+          Alcotest.test_case "fig9 small" `Slow test_runner_fig9_small;
+          Alcotest.test_case "negative small" `Slow test_runner_negative_small ] ) ]
+
+
+(* ---- Report rendering (appended suite) ------------------------------------ *)
+
+let render f =
+  let buf = Buffer.create 256 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  nl = 0 || go 0
+
+let test_report_table1 () =
+  let row =
+    { Runner.ds = "IMDB"; file_mb = 5.7; n_elements = 210_186; ref_kb = 546.0;
+      value_nodes = 66; total_nodes = 1922 }
+  in
+  let out = render (fun ppf -> Report.table1 ppf [ row ]) in
+  check Alcotest.bool "title" true (contains "Table 1" out);
+  check Alcotest.bool "row name" true (contains "IMDB" out);
+  check Alcotest.bool "value/total" true (contains "66 / 1922" out)
+
+let test_report_fig8 () =
+  let point =
+    { Runner.bstr_kb = 10; total_kb = 160; overall_err = 0.123;
+      class_errs = [ (Twig_query.Cstruct, 0.01); (Twig_query.Ctext, 0.33) ] }
+  in
+  let out = render (fun ppf -> Report.fig8 ppf ~name:"IMDB" [ point ]) in
+  check Alcotest.bool "header columns" true (contains "Overall" out);
+  check Alcotest.bool "percentage" true (contains "12.3" out);
+  (* classes without data render as a dash *)
+  check Alcotest.bool "missing class dash" true (contains "-" out)
+
+let test_report_fig9 () =
+  let rows = [ ("IMDB", [ (Twig_query.Cstring, 5.12, 20.0) ]) ] in
+  let out = render (fun ppf -> Report.fig9 ppf rows) in
+  check Alcotest.bool "class row" true (contains "String" out);
+  check Alcotest.bool "value" true (contains "5.12" out)
+
+let test_report_auto_split_marks_winner () =
+  let out =
+    render (fun ppf ->
+        Report.auto_split ppf ~name:"X" [ (0, 200, 0.3); (10, 190, 0.1) ])
+  in
+  check Alcotest.bool "winner marked" true (contains "<- winner" out)
+
+let test_pct () =
+  checkf "pct" 12.5 (Report.pct 0.125)
+
+let () =
+  Alcotest.run "xc_exp_report"
+    [ ( "report",
+        [ Alcotest.test_case "table1" `Quick test_report_table1;
+          Alcotest.test_case "fig8" `Quick test_report_fig8;
+          Alcotest.test_case "fig9" `Quick test_report_fig9;
+          Alcotest.test_case "auto-split winner" `Quick test_report_auto_split_marks_winner;
+          Alcotest.test_case "pct" `Quick test_pct ] ) ]

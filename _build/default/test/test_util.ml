@@ -1,0 +1,256 @@
+(* Tests for Xc_util: the binary heap, the splitmix64 RNG, and the
+   Zipfian sampler. *)
+
+module Heap = Xc_util.Heap
+module Rng = Xc_util.Rng
+module Zipf = Xc_util.Zipf
+
+let check = Alcotest.check
+let checkf = Alcotest.check (Alcotest.float 1e-9)
+
+(* ---- Heap ------------------------------------------------------------ *)
+
+let test_heap_empty () =
+  let h : int Heap.t = Heap.create () in
+  check Alcotest.bool "is_empty" true (Heap.is_empty h);
+  check Alcotest.int "length" 0 (Heap.length h);
+  check Alcotest.bool "pop" true (Heap.pop h = None);
+  check Alcotest.bool "peek" true (Heap.peek h = None);
+  check Alcotest.bool "pop_max" true (Heap.pop_max h = None)
+
+let test_heap_ordering () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h p (int_of_float p)) [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = List.init 5 (fun _ -> snd (Option.get (Heap.pop h))) in
+  check (Alcotest.list Alcotest.int) "ascending" [ 1; 2; 3; 4; 5 ] order
+
+let test_heap_duplicates () =
+  let h = Heap.create () in
+  List.iter (fun x -> Heap.push h 1.0 x) [ 10; 20; 30 ];
+  Heap.push h 0.5 0;
+  check Alcotest.int "length" 4 (Heap.length h);
+  check Alcotest.int "min first" 0 (snd (Option.get (Heap.pop h)));
+  let rest = List.init 3 (fun _ -> snd (Option.get (Heap.pop h))) in
+  check (Alcotest.list Alcotest.int) "all present" [ 10; 20; 30 ]
+    (List.sort Int.compare rest)
+
+let test_heap_pop_max () =
+  let h = Heap.create () in
+  List.iter (fun p -> Heap.push h p (int_of_float p)) [ 5.0; 1.0; 9.0; 3.0 ];
+  check Alcotest.int "max" 9 (snd (Option.get (Heap.pop_max h)));
+  check Alcotest.int "len after" 3 (Heap.length h);
+  check Alcotest.int "min still first" 1 (snd (Option.get (Heap.pop h)));
+  check Alcotest.int "next max" 5 (snd (Option.get (Heap.pop_max h)));
+  check Alcotest.int "last" 3 (snd (Option.get (Heap.pop h)))
+
+let test_heap_growth () =
+  let h = Heap.create ~capacity:2 () in
+  for i = 999 downto 0 do
+    Heap.push h (float_of_int i) i
+  done;
+  check Alcotest.int "length" 1000 (Heap.length h);
+  for i = 0 to 999 do
+    check Alcotest.int "ordered pop" i (snd (Option.get (Heap.pop h)))
+  done
+
+let test_heap_clear () =
+  let h = Heap.create () in
+  Heap.push h 1.0 1;
+  Heap.push h 2.0 2;
+  Heap.clear h;
+  check Alcotest.int "cleared" 0 (Heap.length h);
+  Heap.push h 3.0 3;
+  check Alcotest.int "reusable" 3 (snd (Option.get (Heap.pop h)))
+
+let test_heap_iter () =
+  let h = Heap.create () in
+  List.iter (fun x -> Heap.push h (float_of_int x) x) [ 4; 2; 7 ];
+  let seen = ref [] in
+  Heap.iter (fun _ x -> seen := x :: !seen) h;
+  check (Alcotest.list Alcotest.int) "iter covers all" [ 2; 4; 7 ]
+    (List.sort Int.compare !seen)
+
+let heap_property =
+  QCheck.Test.make ~name:"heap pops in priority order" ~count:200
+    QCheck.(list (pair (float_range (-1000.0) 1000.0) small_int))
+    (fun entries ->
+      let h = Heap.create () in
+      List.iter (fun (p, x) -> Heap.push h p x) entries;
+      let popped = ref [] in
+      let rec drain () =
+        match Heap.pop h with
+        | Some (p, _) ->
+          popped := p :: !popped;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      let prios = List.rev !popped in
+      List.length prios = List.length entries
+      && prios = List.sort Float.compare (List.map fst entries))
+
+(* ---- Rng ------------------------------------------------------------- *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    check Alcotest.int "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let sa = List.init 20 (fun _ -> Rng.int a 1_000_000) in
+  let sb = List.init 20 (fun _ -> Rng.int b 1_000_000) in
+  check Alcotest.bool "different seeds differ" true (sa <> sb)
+
+let test_rng_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 17 in
+    if v < 0 || v >= 17 then Alcotest.failf "int out of bounds: %d" v
+  done;
+  for _ = 1 to 10_000 do
+    let v = Rng.int_range rng (-5) 5 in
+    if v < -5 || v > 5 then Alcotest.failf "int_range out of bounds: %d" v
+  done;
+  for _ = 1 to 1_000 do
+    let v = Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.failf "float out of bounds: %f" v
+  done
+
+let test_rng_invalid () =
+  let rng = Rng.create 3 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0));
+  Alcotest.check_raises "empty range"
+    (Invalid_argument "Rng.int_range: empty range") (fun () ->
+      ignore (Rng.int_range rng 3 2));
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick rng [||]))
+
+let test_rng_uniformity () =
+  (* coarse: each of 10 cells within 3x of the expected count *)
+  let rng = Rng.create 99 in
+  let cells = Array.make 10 0 in
+  for _ = 1 to 20_000 do
+    let c = Rng.int rng 10 in
+    cells.(c) <- cells.(c) + 1
+  done;
+  Array.iteri
+    (fun i c ->
+      if c < 1000 || c > 4000 then Alcotest.failf "cell %d badly skewed: %d" i c)
+    cells
+
+let test_rng_split_independent () =
+  let rng = Rng.create 5 in
+  let child = Rng.split rng in
+  let a = List.init 10 (fun _ -> Rng.int rng 1000) in
+  let b = List.init 10 (fun _ -> Rng.int child 1000) in
+  check Alcotest.bool "split streams differ" true (a <> b)
+
+let test_rng_shuffle_permutes () =
+  let rng = Rng.create 11 in
+  let arr = Array.init 50 Fun.id in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  check (Alcotest.array Alcotest.int) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_chance_extremes () =
+  let rng = Rng.create 13 in
+  for _ = 1 to 100 do
+    check Alcotest.bool "p=1 always true" true (Rng.chance rng 1.0)
+  done;
+  for _ = 1 to 100 do
+    check Alcotest.bool "p=0 never true" false (Rng.chance rng 0.0)
+  done
+
+let test_rng_geometric () =
+  let rng = Rng.create 17 in
+  check Alcotest.int "p=1 is 0" 0 (Rng.geometric rng 1.0);
+  let mean =
+    let n = 5000 in
+    let total = ref 0 in
+    for _ = 1 to n do
+      total := !total + Rng.geometric rng 0.5
+    done;
+    float_of_int !total /. float_of_int n
+  in
+  (* E[failures] = (1-p)/p = 1 *)
+  if mean < 0.8 || mean > 1.2 then Alcotest.failf "geometric mean off: %f" mean
+
+(* ---- Zipf ------------------------------------------------------------ *)
+
+let test_zipf_uniform_when_flat () =
+  let z = Zipf.create ~n:4 ~skew:0.0 in
+  List.iter (fun k -> checkf "uniform prob" 0.25 (Zipf.prob z k)) [ 0; 1; 2; 3 ]
+
+let test_zipf_probs_sum_to_one () =
+  let z = Zipf.create ~n:100 ~skew:1.0 in
+  let total = List.fold_left (fun s k -> s +. Zipf.prob z k) 0.0 (List.init 100 Fun.id) in
+  checkf "sums to 1" 1.0 total
+
+let test_zipf_monotone () =
+  let z = Zipf.create ~n:50 ~skew:1.2 in
+  for k = 0 to 48 do
+    if Zipf.prob z k < Zipf.prob z (k + 1) -. 1e-12 then
+      Alcotest.failf "prob not decreasing at %d" k
+  done
+
+let test_zipf_out_of_range () =
+  let z = Zipf.create ~n:5 ~skew:1.0 in
+  checkf "below" 0.0 (Zipf.prob z (-1));
+  checkf "above" 0.0 (Zipf.prob z 5)
+
+let test_zipf_sampling_skew () =
+  let z = Zipf.create ~n:1000 ~skew:1.0 in
+  let rng = Rng.create 23 in
+  let head = ref 0 in
+  let n = 10_000 in
+  for _ = 1 to n do
+    if Zipf.sample z rng < 10 then incr head
+  done;
+  (* with skew 1, the top-10 ranks carry ~39% of the mass for n=1000 *)
+  let frac = float_of_int !head /. float_of_int n in
+  if frac < 0.25 || frac > 0.55 then Alcotest.failf "head mass off: %f" frac
+
+let test_zipf_sample_in_range =
+  QCheck.Test.make ~name:"zipf samples in range" ~count:100
+    QCheck.(pair (int_range 1 500) (float_range 0.0 2.0))
+    (fun (n, skew) ->
+      let z = Zipf.create ~n ~skew in
+      let rng = Rng.create (n + int_of_float (skew *. 100.0)) in
+      List.for_all
+        (fun _ ->
+          let s = Zipf.sample z rng in
+          s >= 0 && s < n)
+        (List.init 50 Fun.id))
+
+let () =
+  Alcotest.run "xc_util"
+    [ ( "heap",
+        [ Alcotest.test_case "empty" `Quick test_heap_empty;
+          Alcotest.test_case "ordering" `Quick test_heap_ordering;
+          Alcotest.test_case "duplicates" `Quick test_heap_duplicates;
+          Alcotest.test_case "pop_max" `Quick test_heap_pop_max;
+          Alcotest.test_case "growth" `Quick test_heap_growth;
+          Alcotest.test_case "clear" `Quick test_heap_clear;
+          Alcotest.test_case "iter" `Quick test_heap_iter;
+          QCheck_alcotest.to_alcotest heap_property ] );
+      ( "rng",
+        [ Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_seed_sensitivity;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "invalid args" `Quick test_rng_invalid;
+          Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
+          Alcotest.test_case "split independence" `Quick test_rng_split_independent;
+          Alcotest.test_case "shuffle permutes" `Quick test_rng_shuffle_permutes;
+          Alcotest.test_case "chance extremes" `Quick test_rng_chance_extremes;
+          Alcotest.test_case "geometric" `Quick test_rng_geometric ] );
+      ( "zipf",
+        [ Alcotest.test_case "flat is uniform" `Quick test_zipf_uniform_when_flat;
+          Alcotest.test_case "probs sum to 1" `Quick test_zipf_probs_sum_to_one;
+          Alcotest.test_case "monotone" `Quick test_zipf_monotone;
+          Alcotest.test_case "out of range" `Quick test_zipf_out_of_range;
+          Alcotest.test_case "sampling skew" `Quick test_zipf_sampling_skew;
+          QCheck_alcotest.to_alcotest test_zipf_sample_in_range ] ) ]
