@@ -1,0 +1,25 @@
+.PHONY: all build test check fmt bench clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# The pre-commit gate: format (when an ocamlformat config is present),
+# compile everything, and run the full test suite.
+check:
+	-dune build @fmt --auto-promote 2>/dev/null
+	dune build
+	dune runtest
+
+fmt:
+	dune build @fmt --auto-promote
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

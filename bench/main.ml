@@ -3,12 +3,18 @@
    micro-benchmarks of the core operations.
 
    Usage:  dune exec bench/main.exe [-- TARGET...]
-   Targets: table1 table2 fig8a fig8b fig9 negative ablation-delta
-            ablation-text micro  (default: all of them, in that order)
+   Targets: table1 table2 fig8a fig8b fig8c fig9 negative ablation-delta
+            ablation-text ablation-numeric auto-split pipeline micro
+            (default: all of them, in that order)
+
+   Every run ends with a JSON metrics block (plan compiles, cache and
+   reach-memo hit/miss counts, expansion depths, estimate latency)
+   accumulated across the targets that ran.
 
    Environment:
      XC_SCALE    document scale factor (default 1.0 = paper scale)
-     XC_QUERIES  workload size (default 400) *)
+     XC_QUERIES  workload size (default 400)
+     XC_PASSES   repeated-workload passes for the pipeline target (default 5) *)
 
 let scale =
   match Sys.getenv_opt "XC_SCALE" with
@@ -102,6 +108,59 @@ let run_ablation_text () =
   in
   Xc_exp.Report.ablation_text ppf ~name:ds.Xc_exp.Runner.name rows
 
+(* ---- compiled-pipeline speedup ----------------------------------------
+   The repeated-workload estimation loop: every workload query estimated
+   [passes] times against one synopsis, once through the direct
+   embedding enumeration and once through the compiled pipeline (plan
+   cache + reach memo). This is the serving pattern the pipeline
+   optimizes; the two paths must agree bit for bit. *)
+
+let run_pipeline () =
+  let passes =
+    match Sys.getenv_opt "XC_PASSES" with
+    | Some s -> (try int_of_string s with Failure _ -> 5)
+    | None -> 5
+  in
+  let ds = Lazy.force imdb in
+  let syn = Xcluster.compress (Xcluster.budget ~bstr_kb:20 ~bval_kb:150 ()) ds.Xc_exp.Runner.reference in
+  let queries = List.map (fun e -> e.Xc_twig.Workload.query) ds.Xc_exp.Runner.workload in
+  Xcluster.metrics_reset ();
+  let t0 = Unix.gettimeofday () in
+  let sum_uncached = ref 0.0 in
+  for _ = 1 to passes do
+    List.iter
+      (fun q -> sum_uncached := !sum_uncached +. Xcluster.estimate_uncached syn q)
+      queries
+  done;
+  let t_uncached = Unix.gettimeofday () -. t0 in
+  let cache = Xc_core.Plan.Cache.create syn in
+  let t0 = Unix.gettimeofday () in
+  let sum_planned = ref 0.0 in
+  for _ = 1 to passes do
+    List.iter
+      (fun q -> sum_planned := !sum_planned +. Xc_core.Plan.Cache.estimate cache q)
+      queries
+  done;
+  let t_planned = Unix.gettimeofday () -. t0 in
+  let max_diff =
+    List.fold_left
+      (fun acc q ->
+        Float.max acc
+          (Float.abs (Xcluster.estimate_uncached syn q -. Xc_core.Plan.Cache.estimate cache q)))
+      0.0 queries
+  in
+  Format.fprintf ppf
+    "@.Compiled estimation pipeline (%s: %d queries x %d passes)@." ds.Xc_exp.Runner.name
+    (List.length queries) passes;
+  Format.fprintf ppf "  uncached: %7.3f s  (%.1f us/estimate)@." t_uncached
+    (1e6 *. t_uncached /. float_of_int (passes * List.length queries));
+  Format.fprintf ppf "  planned:  %7.3f s  (%.1f us/estimate)@." t_planned
+    (1e6 *. t_planned /. float_of_int (passes * List.length queries));
+  Format.fprintf ppf "  speedup:  %.1fx   max |planned - uncached| = %g@."
+    (t_uncached /. Float.max t_planned 1e-9)
+    max_diff;
+  Format.fprintf ppf "  metrics: %s@." (Xcluster.metrics_json ())
+
 (* ---- Bechamel micro-benchmarks ---------------------------------------- *)
 
 let micro_tests () =
@@ -180,6 +239,7 @@ let targets =
     ("ablation-text", run_ablation_text);
     ("ablation-numeric", run_ablation_numeric);
     ("auto-split", run_auto_split);
+    ("pipeline", run_pipeline);
     ("micro", run_micro) ]
 
 let () =
@@ -199,4 +259,6 @@ let () =
           (String.concat ", " (List.map fst targets));
         exit 1)
     requested;
+  (* pipeline metrics accumulated across every target above *)
+  Format.fprintf ppf "@.metrics: %s@." (Xcluster.metrics_json ());
   Format.pp_print_flush ppf ()

@@ -121,18 +121,18 @@ let build_cmd =
   in
   let run file typing_name bstr bval save =
     let doc = load ~typing_name file in
-    let reference = Xc_core.Reference.build doc in
-    Format.printf "reference: %a@." Xc_core.Synopsis.pp_stats reference;
+    let reference = Xcluster.reference doc in
+    Format.printf "reference: %a@." Xcluster.pp_stats reference;
     let t0 = Unix.gettimeofday () in
-    let syn = Xc_core.Build.run (Xc_core.Build.params ~bstr_kb:bstr ~bval_kb:bval ()) reference in
-    Format.printf "xcluster:  %a  (built in %.2fs)@." Xc_core.Synopsis.pp_stats syn
+    let syn = Xcluster.compress (Xcluster.budget ~bstr_kb:bstr ~bval_kb:bval ()) reference in
+    Format.printf "xcluster:  %a  (built in %.2fs)@." Xcluster.pp_stats syn
       (Unix.gettimeofday () -. t0);
-    (match Xc_core.Synopsis.validate syn with
+    (match Xcluster.validate syn with
     | Ok () -> ()
     | Error e -> Fmt.failwith "synopsis failed validation: %s" e);
     match save with
     | Some path ->
-      Xc_core.Codec.save path syn;
+      Xcluster.save path syn;
       Format.printf "saved to %s (%d bytes on disk)@." path
         (Xc_core.Codec.size_on_disk syn)
     | None -> ()
@@ -152,16 +152,13 @@ let workload_cmd =
   in
   let run file typing_name bstr bval n seed =
     let doc = load ~typing_name file in
-    let reference = Xc_core.Reference.build doc in
     let syn =
-      Xc_core.Build.run (Xc_core.Build.params ~bstr_kb:bstr ~bval_kb:bval ()) reference
+      Xcluster.build ~budget:(Xcluster.budget ~bstr_kb:bstr ~bval_kb:bval ()) doc
     in
     let spec = { Xc_twig.Workload.default_spec with n_queries = n; seed } in
     let wl = Xc_twig.Workload.generate ~spec doc in
     let sanity = Xc_twig.Workload.sanity_bound wl in
-    let scored =
-      Xc_exp.Error_metric.score (Xc_core.Estimate.selectivity syn) wl
-    in
+    let scored = Xc_exp.Error_metric.score (Xcluster.estimate syn) wl in
     Format.printf "workload: %d positive twigs, sanity bound %.0f@."
       (List.length wl) sanity;
     Format.printf "overall avg. relative error: %.1f%%@."
@@ -207,17 +204,25 @@ let estimate_cmd =
       & info [ "explain" ]
           ~doc:"Show the query embedding: which clusters each variable binds to.")
   in
-  let run file typing_name bstr bval synopsis query verify explain =
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Print the estimation pipeline's metrics (plan compiles, cache \
+             hits, expansion depths, latency) as JSON after the estimate.")
+  in
+  let run file typing_name bstr bval synopsis query verify explain stats =
     let doc = load ~typing_name file in
-    let q = Xc_twig.Twig_parse.parse query in
+    let q = Xcluster.parse_query query in
     let syn =
       match synopsis with
-      | Some path -> Xc_core.Codec.load path
+      | Some path -> Xcluster.load path
       | None ->
-        let reference = Xc_core.Reference.build doc in
-        Xc_core.Build.run (Xc_core.Build.params ~bstr_kb:bstr ~bval_kb:bval ()) reference
+        Xcluster.build ~budget:(Xcluster.budget ~bstr_kb:bstr ~bval_kb:bval ()) doc
     in
-    let est = Xc_core.Estimate.selectivity syn q in
+    Xcluster.metrics_reset ();
+    let est = Xcluster.estimate syn q in
     Format.printf "estimate: %.2f binding tuples@." est;
     if verify then begin
       let exact = Xc_twig.Twig_eval.selectivity doc q in
@@ -234,13 +239,14 @@ let estimate_cmd =
               if i < 6 then
                 Format.printf "  cluster %d <%s>: %.1f expected elements@." sid label w)
             e.Xc_core.Estimate.bindings)
-        (Xc_core.Estimate.explain syn q)
+        (Xcluster.explain syn q);
+    if stats then Format.printf "metrics: %s@." (Xcluster.metrics_json ())
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Estimate a twig query's selectivity from a synopsis.")
     Term.(
       const run $ file_arg $ typing_arg $ bstr_arg $ bval_arg $ synopsis_arg
-      $ query_arg $ verify $ explain_arg)
+      $ query_arg $ verify $ explain_arg $ stats_arg)
 
 let () =
   let info =

@@ -13,11 +13,12 @@ let () =
   let doc = Xc_data.Xmark.generate ~seed:99 ~scale:0.15 () in
   Format.printf "auction site: %d elements@." (Xc_xml.Document.n_elements doc);
 
-  let reference = Xc_core.Reference.build ~min_extent:32 doc in
   let synopsis =
-    Xc_core.Build.run (Xc_core.Build.params ~bstr_kb:10 ~bval_kb:80 ()) reference
+    Xcluster.build ~min_extent:32
+      ~budget:(Xcluster.budget ~bstr_kb:10 ~bval_kb:80 ())
+      doc
   in
-  Format.printf "synopsis: %a@.@." Xc_core.Synopsis.pp_stats synopsis;
+  Format.printf "synopsis: %a@.@." Xcluster.pp_stats synopsis;
 
   (* Candidate driving predicates for a twig over open auctions. *)
   let candidates =
@@ -30,8 +31,8 @@ let () =
   let scored =
     List.map
       (fun q ->
-        let query = Xc_twig.Twig_parse.parse q in
-        let est = Xc_core.Estimate.selectivity synopsis query in
+        let query = Xcluster.parse_query q in
+        let est = Xcluster.estimate synopsis query in
         let exact = Xc_twig.Twig_eval.selectivity doc query in
         Format.printf "%-52s %10.1f %10.0f@." q est exact;
         (q, est, exact))

@@ -29,7 +29,7 @@ let () =
     (Xc_xml.Stats.value_paths stats);
 
   (* Summarize at three budgets and compare estimates on a few twigs. *)
-  let reference = Xc_core.Reference.build doc in
+  let reference = Xcluster.reference doc in
   let queries =
     [ "//movie[year > 1990]/title";
       "//movie[genre contains(Com)]";
@@ -45,15 +45,15 @@ let () =
   let synopses =
     List.map
       (fun (bstr_kb, bval_kb) ->
-        Xc_core.Build.run (Xc_core.Build.params ~bstr_kb ~bval_kb ()) reference)
+        Xcluster.compress (Xcluster.budget ~bstr_kb ~bval_kb ()) reference)
       budgets
   in
   List.iter
     (fun q ->
-      let query = Xc_twig.Twig_parse.parse q in
+      let query = Xcluster.parse_query q in
       Format.printf "%-48s %10.0f" q (Xc_twig.Twig_eval.selectivity doc query);
       List.iter
-        (fun syn -> Format.printf " %8.1f" (Xc_core.Estimate.selectivity syn query))
+        (fun syn -> Format.printf " %8.1f" (Xcluster.estimate syn query))
         synopses;
       Format.printf "@.")
     queries;

@@ -36,31 +36,34 @@ let () =
 
   (* 2. Build the detailed reference synopsis, then compress it into an
         XCluster within a byte budget (structural + value). *)
-  let reference = Xc_core.Reference.build doc in
-  Format.printf "reference synopsis: %a@." Xc_core.Synopsis.pp_stats reference;
-  let params = Xc_core.Build.params ~bstr_kb:1 ~bval_kb:2 () in
-  let synopsis = Xc_core.Build.run params reference in
-  Format.printf "budgeted XCluster:  %a@." Xc_core.Synopsis.pp_stats synopsis;
+  let reference = Xcluster.reference doc in
+  Format.printf "reference synopsis: %a@." Xcluster.pp_stats reference;
+  let synopsis = Xcluster.compress (Xcluster.budget ~bstr_kb:1 ~bval_kb:2 ()) reference in
+  Format.printf "budgeted XCluster:  %a@." Xcluster.pp_stats synopsis;
 
   (* 3. Ask the paper's introductory query: papers after 2000 whose
         abstract mentions "synopsis" and "xml", projecting titles that
         contain the substring "Tree". *)
   let query =
-    Xc_twig.Twig_parse.parse
+    Xcluster.parse_query
       "//paper[year > 2000][abstract ftcontains(synopsis, xml)]/title[contains(Tree)]"
   in
   Format.printf "@.query: %a@." Xc_twig.Twig_query.pp query;
   let exact = Xc_twig.Twig_eval.selectivity doc query in
-  let estimate = Xc_core.Estimate.selectivity synopsis query in
+  let estimate = Xcluster.estimate synopsis query in
   Format.printf "exact selectivity:     %.0f binding tuples@." exact;
   Format.printf "estimated selectivity: %.2f binding tuples@." estimate;
 
   (* 4. A few more predicate flavours. *)
   List.iter
     (fun q ->
-      let query = Xc_twig.Twig_parse.parse q in
+      let query = Xcluster.parse_query q in
       Format.printf "%-58s exact=%-4.0f est=%.2f@." q
         (Xc_twig.Twig_eval.selectivity doc query)
-        (Xc_core.Estimate.selectivity synopsis query))
+        (Xcluster.estimate synopsis query))
     [ "//paper"; "//paper[year in 2000..2003]"; "//book/title[contains(base)]";
-      "//paper[abstract ftcontains(twig)]"; "//*[year < 2000]" ]
+      "//paper[abstract ftcontains(twig)]"; "//*[year < 2000]" ];
+
+  (* 5. Estimation ran through the compiled pipeline: the per-synopsis
+        plan cache and reach memo show up in the metrics snapshot. *)
+  Format.printf "@.pipeline metrics: %s@." (Xcluster.metrics_json ())

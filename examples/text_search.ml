@@ -11,11 +11,10 @@
 
 let () =
   let doc = Xc_data.Imdb.generate ~seed:123 ~n_movies:1500 () in
-  let reference = Xc_core.Reference.build doc in
   let synopsis =
-    Xc_core.Build.run (Xc_core.Build.params ~bstr_kb:6 ~bval_kb:48 ()) reference
+    Xcluster.build ~budget:(Xcluster.budget ~bstr_kb:6 ~bval_kb:48 ()) doc
   in
-  Format.printf "synopsis: %a@.@." Xc_core.Synopsis.pp_stats synopsis;
+  Format.printf "synopsis: %a@.@." Xcluster.pp_stats synopsis;
 
   (* Pull a frequent and a rare term out of the actual plot corpus. *)
   let freq = Hashtbl.create 1024 in
@@ -40,9 +39,9 @@ let () =
 
   Format.printf "%-54s %10s %10s@." "query" "estimate" "exact";
   let show q =
-    let query = Xc_twig.Twig_parse.parse q in
+    let query = Xcluster.parse_query q in
     Format.printf "%-54s %10.2f %10.0f@." q
-      (Xc_core.Estimate.selectivity synopsis query)
+      (Xcluster.estimate synopsis query)
       (Xc_twig.Twig_eval.selectivity doc query)
   in
   show (Printf.sprintf "//movie[plot ftcontains(%s)]" frequent);

@@ -4,14 +4,30 @@ let src = Logs.Src.create "xcluster.build" ~doc:"XCLUSTERBUILD progress"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-type params = {
+type budget = {
   bstr : int;
   bval : int;
   pool : Pool.config;
 }
 
-let params ?(pool = Pool.default_config) ~bstr_kb ~bval_kb () =
+type params = budget
+
+let default_bstr_kb = 20
+let default_bval_kb = 150
+
+let budget ?(pool = Pool.default_config) ?(bstr_kb = default_bstr_kb)
+    ?(bval_kb = default_bval_kb) () =
   { bstr = Size.kb bstr_kb; bval = Size.kb bval_kb; pool }
+
+let budget_bytes ?(pool = Pool.default_config) ~bstr ~bval () = { bstr; bval; pool }
+
+let budget_split ?(pool = Pool.default_config) ~total_kb ~ratio () =
+  if total_kb <= 0 then invalid_arg "Build.budget_split: non-positive budget";
+  if ratio < 0.0 || ratio > 1.0 then invalid_arg "Build.budget_split: ratio outside [0,1]";
+  let bstr_kb = max 0 (int_of_float (Float.round (ratio *. float_of_int total_kb))) in
+  budget ~pool ~bstr_kb ~bval_kb:(total_kb - bstr_kb) ()
+
+let params ?pool ~bstr_kb ~bval_kb () = budget ?pool ~bstr_kb ~bval_kb ()
 
 (* ---- phase 1: structure-value merge ---------------------------------- *)
 
@@ -85,7 +101,7 @@ let phase2_compress params syn =
         let before = Xc_vsumm.Value_summary.size_bytes node.Synopsis.vsumm in
         (match Xc_vsumm.Value_summary.apply_compression node.Synopsis.vsumm with
         | Some vsumm' ->
-          node.Synopsis.vsumm <- vsumm';
+          Synopsis.set_vsumm syn node vsumm';
           let after = Xc_vsumm.Value_summary.size_bytes vsumm' in
           val_size := !val_size - (before - after);
           push node
@@ -102,15 +118,14 @@ let run params reference =
 
 (* ---- budget sweeps ---------------------------------------------------- *)
 
-let sweep ?(pool = Pool.default_config) ~bval_kb ~bstr_kbs reference =
+let sweep_at base ~bstr_kbs reference =
   let desc = List.sort_uniq (fun a b -> Int.compare b a) bstr_kbs in
   let work = Synopsis.copy reference in
   let snapshots = Hashtbl.create 8 in
   List.iter
     (fun kb ->
-      let p = params ~pool ~bstr_kb:kb ~bval_kb () in
+      let p = { base with bstr = Size.kb kb } in
       (* budget 0 = the smallest reachable summary: merge to exhaustion *)
-      let p = if kb = 0 then { p with bstr = 0 } else p in
       phase1_merge p work;
       let snap = Synopsis.copy work in
       phase2_compress p snap;
@@ -118,29 +133,33 @@ let sweep ?(pool = Pool.default_config) ~bval_kb ~bstr_kbs reference =
     desc;
   List.map (fun kb -> (kb, Hashtbl.find snapshots kb)) bstr_kbs
 
+let sweep ?(pool = Pool.default_config) ~bval_kb ~bstr_kbs reference =
+  sweep_at (budget ~pool ~bstr_kb:0 ~bval_kb ()) ~bstr_kbs reference
+
 (* ---- automated budget split ------------------------------------------- *)
 
 let auto_split ?(ratios = [ 0.0; 0.05; 0.1; 0.2; 0.33; 0.5 ]) ~total_kb ~sample reference =
   if total_kb <= 0 then invalid_arg "Build.auto_split: non-positive budget";
   let candidates =
     List.map
-      (fun ratio ->
-        let bstr_kb = max 0 (int_of_float (Float.round (ratio *. float_of_int total_kb))) in
-        (bstr_kb, total_kb - bstr_kb))
+      (fun ratio -> budget_split ~total_kb ~ratio ())
       (List.sort_uniq Float.compare ratios)
   in
   (* structural budgets share the greedy merge prefix; the huge value
      budget makes the sweep's own phase 2 a no-op so each candidate can
      be value-compressed to its own Bval below *)
-  let snapshots = sweep ~bval_kb:1_000_000 ~bstr_kbs:(List.map fst candidates) reference in
+  let snapshots =
+    sweep ~bval_kb:1_000_000
+      ~bstr_kbs:(List.map (fun b -> b.bstr / 1024) candidates)
+      reference
+  in
   let scored =
     List.map
-      (fun (bstr_kb, bval_kb) ->
-        let structural = List.assoc bstr_kb snapshots in
-        let p = params ~bstr_kb ~bval_kb () in
+      (fun b ->
+        let structural = List.assoc (b.bstr / 1024) snapshots in
         let syn = Synopsis.copy structural in
-        phase2_compress p syn;
-        (sample syn, p, syn))
+        phase2_compress b syn;
+        (sample syn, b, syn))
       candidates
   in
   match scored with

@@ -8,13 +8,31 @@
     compression with the smallest marginal loss until the value budget
     is met. *)
 
-type params = {
+type budget = {
   bstr : int;  (** structural budget, bytes *)
   bval : int;  (** value budget, bytes *)
   pool : Pool.config;
 }
+(** The one budget record every construction entry point takes; build
+    it with the smart constructors below. *)
+
+type params = budget
+(** @deprecated Historical alias of {!budget}. *)
+
+val budget : ?pool:Pool.config -> ?bstr_kb:int -> ?bval_kb:int -> unit -> budget
+(** Budget from kilobyte counts (defaults: 20 KB structural, 150 KB
+    value — the paper's 200 KB operating point minus rounding). *)
+
+val budget_bytes : ?pool:Pool.config -> bstr:int -> bval:int -> unit -> budget
+(** Budget from exact byte counts. *)
+
+val budget_split : ?pool:Pool.config -> total_kb:int -> ratio:float -> unit -> budget
+(** Split a unified budget: [ratio] (in [0,1]) of [total_kb] goes to
+    structure, the rest to values. Raises [Invalid_argument] on a
+    non-positive total or an out-of-range ratio. *)
 
 val params : ?pool:Pool.config -> bstr_kb:int -> bval_kb:int -> unit -> params
+(** @deprecated Thin wrapper over {!budget}. *)
 
 val phase1_merge : params -> Synopsis.t -> unit
 (** Runs the structure-value merge phase in place. *)
@@ -26,9 +44,16 @@ val run : params -> Synopsis.t -> Synopsis.t
 (** Full XCLUSTERBUILD on a private copy of the reference synopsis
     (the argument is not modified). *)
 
+val sweep_at : budget -> bstr_kbs:int list -> Synopsis.t -> (int * Synopsis.t) list
+(** Builds one synopsis per structural budget in [bstr_kbs] (the
+    budget's own [bstr] is ignored; its value budget and pool config
+    apply to every point), sharing the greedy merge prefix across
+    points as described under {!sweep}. *)
+
 val sweep : ?pool:Pool.config -> bval_kb:int -> bstr_kbs:int list ->
   Synopsis.t -> (int * Synopsis.t) list
-(** Builds one synopsis per structural budget, sharing the greedy merge
+(** Thin wrapper over {!sweep_at}.
+    Builds one synopsis per structural budget, sharing the greedy merge
     prefix: budgets are processed in decreasing order on a single
     synopsis, snapshotting (copy + value compression) at each. This is
     exactly equivalent to independent runs because the greedy merge
@@ -37,7 +62,7 @@ val sweep : ?pool:Pool.config -> bval_kb:int -> bstr_kbs:int list ->
     tag-only minimum. *)
 
 val auto_split : ?ratios:float list -> total_kb:int ->
-  sample:(Synopsis.t -> float) -> Synopsis.t -> params * Synopsis.t
+  sample:(Synopsis.t -> float) -> Synopsis.t -> budget * Synopsis.t
 (** The automated budget-split search the paper sketches as future work
     (Sec. 4.3): given a unified total budget, build a synopsis at each
     candidate Bstr/(Bstr+Bval) ratio (default 0, 0.05, 0.1, 0.2,

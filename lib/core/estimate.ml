@@ -1,8 +1,9 @@
 open Xc_twig
 module Vs = Xc_vsumm.Value_summary
+module Metrics = Xc_util.Metrics
 
-let predicate_selectivity node pred =
-  let compatible = Xc_xml.Value.vtype_equal (Predicate.vtype pred) node.Synopsis.vtype in
+let predicate_selectivity_typed vtype node pred =
+  let compatible = Xc_xml.Value.vtype_equal vtype node.Synopsis.vtype in
   if not compatible then 0.0
   else
     match pred with
@@ -19,6 +20,9 @@ let predicate_selectivity node pred =
       List.fold_left
         (fun acc t -> acc *. (1.0 -. Vs.term_frequency node.Synopsis.vsumm t))
         1.0 terms
+
+let predicate_selectivity node pred =
+  predicate_selectivity_typed (Predicate.vtype pred) node pred
 
 (* one child-axis expansion of a node-weight table *)
 let expand_children syn dist =
@@ -58,6 +62,7 @@ let step_reach syn step dist =
       ignore (filter_test syn step.Path_expr.test next out);
       frontier := next
     done;
+    Metrics.observe Metrics.global "reach.expansion_depth" (float_of_int !depth);
     out
 
 let reach_tbl syn expr src =
@@ -85,6 +90,13 @@ let docnode_step syn step =
           Hashtbl.replace dist node.Synopsis.sid (float_of_int node.Synopsis.count))
       syn);
   dist
+
+let root_reach_tbl syn expr =
+  match expr with
+  | [] -> Hashtbl.create 1
+  | first :: rest ->
+    let dist = docnode_step syn first in
+    List.fold_left (fun d s -> step_reach syn s d) dist rest
 
 let selectivity syn query =
   let memo : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
@@ -131,9 +143,8 @@ let selectivity syn query =
         else
           match expr with
           | [] -> 0.0
-          | first :: rest ->
-            let dist = docnode_step syn first in
-            let reached = List.fold_left (fun d s -> step_reach syn s d) dist rest in
+          | _ :: _ ->
+            let reached = root_reach_tbl syn expr in
             let sum =
               Hashtbl.fold
                 (fun sid weight acc' -> acc' +. (weight *. est child sid))
@@ -202,10 +213,7 @@ let explain syn query =
     (fun (expr, child) ->
       match expr with
       | [] -> ()
-      | first :: rest ->
-        let dist = docnode_step syn first in
-        let reached = List.fold_left (fun d s -> step_reach syn s d) dist rest in
-        walk child reached)
+      | _ :: _ -> walk child (root_reach_tbl syn expr))
     root_q.Twig_query.edges;
   Hashtbl.fold
     (fun qid tbl out ->

@@ -19,10 +19,29 @@ val predicate_selectivity : Synopsis.snode -> Xc_twig.Predicate.t -> float
     from the node's value summary; 0 when the predicate's type is
     incompatible with the node's value type. *)
 
+val predicate_selectivity_typed :
+  Xc_xml.Value.vtype -> Synopsis.snode -> Xc_twig.Predicate.t -> float
+(** {!predicate_selectivity} with the predicate's value type supplied by
+    the caller — {!Plan} pre-binds it at compile time so repeated
+    estimates skip the per-call type dispatch. The float result is
+    identical to {!predicate_selectivity}. *)
+
 val reach : Synopsis.t -> Xc_twig.Path_expr.t -> int -> (int * float) list
 (** [(v, count)] pairs: the expected number of elements of cluster [v]
     reached per element of the source cluster via the path expression.
     Exposed for tests and diagnostics. *)
+
+val reach_tbl : Synopsis.t -> Xc_twig.Path_expr.t -> int -> (int, float) Hashtbl.t
+(** {!reach} as the weight table the estimator folds over. The table is
+    freshly allocated and owned by the caller; {!Plan}'s per-synopsis
+    memo stores these verbatim, which keeps memoized estimates
+    bit-identical to uncached ones (same table, same fold order). *)
+
+val root_reach_tbl : Synopsis.t -> Xc_twig.Path_expr.t -> (int, float) Hashtbl.t
+(** Weight table for a path expression taken from the virtual document
+    node (the root variable q0): a leading child step selects the root
+    cluster, a leading descendant step every matching cluster, weighted
+    by extent. Empty table on the empty expression. *)
 
 type explanation = {
   query_node : int;                   (** [Twig_query.qid] *)

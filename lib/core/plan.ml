@@ -1,0 +1,233 @@
+open Xc_twig
+module Metrics = Xc_util.Metrics
+
+let m = Metrics.global
+
+(* ---- the shared reach memo -------------------------------------------- *)
+
+(* Expansion results are memoized per synopsis, keyed by source sid ×
+   path expression (and by expression alone for paths rooted at the
+   virtual document node). The cached value is the exact Hashtbl a
+   fresh Estimate run would have built, so folding over it reproduces
+   the uncached float operations in the same order. *)
+type memo = {
+  mc_syn : Synopsis.t;
+  mutable mc_generation : int;
+  mc_reach : (int * Path_expr.t, (int, float) Hashtbl.t) Hashtbl.t;
+  mc_root : (Path_expr.t, (int, float) Hashtbl.t) Hashtbl.t;
+}
+
+let memo_create syn =
+  { mc_syn = syn;
+    mc_generation = Synopsis.generation syn;
+    mc_reach = Hashtbl.create 256;
+    mc_root = Hashtbl.create 16 }
+
+let memo_validate mc =
+  let g = Synopsis.generation mc.mc_syn in
+  if g <> mc.mc_generation then begin
+    Hashtbl.reset mc.mc_reach;
+    Hashtbl.reset mc.mc_root;
+    mc.mc_generation <- g;
+    Metrics.incr m "plan.invalidate"
+  end
+
+let memo_reach mc expr sid =
+  let key = (sid, expr) in
+  match Hashtbl.find_opt mc.mc_reach key with
+  | Some tbl ->
+    Metrics.incr m "reach.memo_hit";
+    tbl
+  | None ->
+    Metrics.incr m "reach.memo_miss";
+    let tbl = Estimate.reach_tbl mc.mc_syn expr sid in
+    Hashtbl.add mc.mc_reach key tbl;
+    tbl
+
+let memo_root_reach mc expr =
+  match Hashtbl.find_opt mc.mc_root expr with
+  | Some tbl ->
+    Metrics.incr m "reach.memo_hit";
+    tbl
+  | None ->
+    Metrics.incr m "reach.memo_miss";
+    let tbl = Estimate.root_reach_tbl mc.mc_syn expr in
+    Hashtbl.add mc.mc_root expr tbl;
+    tbl
+
+(* ---- compiled queries -------------------------------------------------- *)
+
+type cnode = {
+  cn_qid : int;
+  cn_preds : (Predicate.t * Xc_xml.Value.vtype) list;  (* vtype pre-bound *)
+  cn_edges : (Path_expr.t * cnode) list;  (* document order, preserved so
+                                             the float product order
+                                             matches Estimate exactly *)
+}
+
+type t = {
+  p_syn : Synopsis.t;
+  p_query : Twig_query.t;
+  p_memo : memo;
+  p_root_edges : (Path_expr.t * cnode) list;
+  p_root_zero : bool;  (* predicates on q0 can never be satisfied *)
+}
+
+let rec compile_node qnode =
+  { cn_qid = qnode.Twig_query.qid;
+    cn_preds = List.map (fun p -> (p, Predicate.vtype p)) qnode.Twig_query.preds;
+    cn_edges =
+      List.map (fun (expr, child) -> (expr, compile_node child)) qnode.Twig_query.edges }
+
+let compile_with_memo mc query =
+  Metrics.incr m "plan.compile";
+  let root_q = query.Twig_query.root in
+  { p_syn = mc.mc_syn;
+    p_query = query;
+    p_memo = mc;
+    p_root_edges =
+      List.map (fun (expr, child) -> (expr, compile_node child)) root_q.Twig_query.edges;
+    p_root_zero = root_q.Twig_query.preds <> [] }
+
+let compile syn query = compile_with_memo (memo_create syn) query
+
+let synopsis p = p.p_syn
+let query p = p.p_query
+
+(* Mirrors Estimate.selectivity operation for operation; the only change
+   is that reach tables come from the memo. *)
+let estimate p =
+  memo_validate p.p_memo;
+  Metrics.time m "estimate.plan" @@ fun () ->
+  if p.p_root_zero then 0.0
+  else begin
+    let syn = p.p_syn and mc = p.p_memo in
+    let memo : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+    let rec est cn sid =
+      let key = (cn.cn_qid, sid) in
+      match Hashtbl.find_opt memo key with
+      | Some v -> v
+      | None ->
+        let node = Synopsis.find syn sid in
+        let sigma =
+          List.fold_left
+            (fun acc (pred, vt) -> acc *. Estimate.predicate_selectivity_typed vt node pred)
+            1.0 cn.cn_preds
+        in
+        let result =
+          if sigma <= 0.0 then 0.0
+          else
+            List.fold_left
+              (fun acc (expr, child) ->
+                if acc <= 0.0 then 0.0
+                else begin
+                  let reached = memo_reach mc expr sid in
+                  let sum =
+                    Hashtbl.fold
+                      (fun vsid weight acc' -> acc' +. (weight *. est child vsid))
+                      reached 0.0
+                  in
+                  acc *. sum
+                end)
+              sigma cn.cn_edges
+        in
+        Hashtbl.replace memo key result;
+        result
+    in
+    List.fold_left
+      (fun acc (expr, child) ->
+        if acc <= 0.0 then 0.0
+        else
+          match expr with
+          | [] -> 0.0
+          | _ :: _ ->
+            let reached = memo_root_reach mc expr in
+            let sum =
+              Hashtbl.fold
+                (fun sid weight acc' -> acc' +. (weight *. est child sid))
+                reached 0.0
+            in
+            acc *. sum)
+      1.0 p.p_root_edges
+  end
+
+(* ---- query keys -------------------------------------------------------- *)
+
+(* Deterministic, injective rendering of a query's structure. Label and
+   term identifiers are process-stable interned ints, so they key
+   directly; predicate and edge order are preserved because they decide
+   the float evaluation order. *)
+let query_key q =
+  let buf = Buffer.create 64 in
+  let add_terms ts =
+    List.iter
+      (fun (t : Xc_xml.Dictionary.term) ->
+        Buffer.add_string buf (string_of_int (t :> int) ^ ","))
+      ts
+  in
+  let add_pred = function
+    | Predicate.Range (l, h) -> Buffer.add_string buf (Printf.sprintf "R%d:%d" l h)
+    | Predicate.Contains s ->
+      Buffer.add_string buf (Printf.sprintf "C%d:%s" (String.length s) s)
+    | Predicate.Ft_contains ts -> Buffer.add_char buf 'F'; add_terms ts
+    | Predicate.Ft_any ts -> Buffer.add_char buf 'A'; add_terms ts
+    | Predicate.Ft_excludes ts -> Buffer.add_char buf 'X'; add_terms ts
+  in
+  let add_step step =
+    (match step.Path_expr.axis with
+    | Path_expr.Child -> Buffer.add_char buf '/'
+    | Path_expr.Descendant -> Buffer.add_string buf "//");
+    match step.Path_expr.test with
+    | Path_expr.Wildcard -> Buffer.add_char buf '*'
+    | Path_expr.Tag l -> Buffer.add_string buf (string_of_int (l :> int))
+  in
+  let rec add_node n =
+    Buffer.add_char buf '[';
+    List.iter add_pred n.Twig_query.preds;
+    List.iter
+      (fun (expr, child) ->
+        Buffer.add_char buf '(';
+        List.iter add_step expr;
+        add_node child;
+        Buffer.add_char buf ')')
+      n.Twig_query.edges;
+    Buffer.add_char buf ']'
+  in
+  add_node q.Twig_query.root;
+  Buffer.contents buf
+
+(* ---- the per-synopsis plan cache --------------------------------------- *)
+
+module Cache = struct
+  type plan = t
+
+  type t = {
+    c_memo : memo;
+    c_plans : (string, plan) Hashtbl.t;
+  }
+
+  let create syn = { c_memo = memo_create syn; c_plans = Hashtbl.create 64 }
+  let synopsis c = c.c_memo.mc_syn
+
+  let find_or_compile c q =
+    let key = query_key q in
+    match Hashtbl.find_opt c.c_plans key with
+    | Some plan ->
+      Metrics.incr m "plan.cache_hit";
+      plan
+    | None ->
+      Metrics.incr m "plan.cache_miss";
+      let plan = compile_with_memo c.c_memo q in
+      Hashtbl.add c.c_plans key plan;
+      plan
+
+  let estimate c q = estimate (find_or_compile c q)
+  let n_plans c = Hashtbl.length c.c_plans
+  let reach_entries c = Hashtbl.length c.c_memo.mc_reach + Hashtbl.length c.c_memo.mc_root
+  let generation c = c.c_memo.mc_generation
+
+  let clear c =
+    Hashtbl.reset c.c_plans;
+    Hashtbl.reset c.c_memo.mc_reach;
+    Hashtbl.reset c.c_memo.mc_root
+end

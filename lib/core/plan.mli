@@ -1,0 +1,76 @@
+(** Compiled estimation plans (the query-time pipeline).
+
+    {!Estimate.selectivity} re-enumerates query embeddings and re-runs
+    the capped breadth-first descendant expansion from scratch on every
+    call. This module compiles a {!Xc_twig.Twig_query.t} against a
+    synopsis {e once} — pre-binding each predicate's value type,
+    fixing the edge-join order, and routing every path-expression
+    expansion through a per-synopsis memo table keyed by
+    [source sid × path expression] — so repeated estimates reuse both
+    the plan and the expansion work of {e every} earlier estimate
+    against the same synopsis.
+
+    Memoized reach tables are stored verbatim (the same hash tables a
+    fresh run would build), and the compiled estimator performs the same
+    float operations in the same order as {!Estimate.selectivity}, so
+    planned estimates are {b bit-identical} to uncached ones.
+
+    Memos are invalidated by the synopsis {!Synopsis.generation}
+    counter: any mutation made through the [Synopsis] API bumps it, and
+    the next estimate drops every cached expansion before answering.
+
+    Instrumentation goes to {!Xc_util.Metrics.global}: counters
+    [plan.compile], [plan.cache_hit]/[plan.cache_miss] (query → plan
+    lookups), [reach.memo_hit]/[reach.memo_miss],
+    [plan.invalidate]; histogram [reach.expansion_depth]; timer
+    [estimate.plan]. *)
+
+type t
+(** A twig query compiled against one synopsis. *)
+
+val compile : Synopsis.t -> Xc_twig.Twig_query.t -> t
+(** Compile the query. The plan owns a private reach memo; use
+    {!Cache} to share the memo across queries. *)
+
+val estimate : t -> float
+(** Estimated number of binding tuples — bit-identical to
+    [Estimate.selectivity synopsis query]. Revalidates the memo against
+    the synopsis generation first. *)
+
+val synopsis : t -> Synopsis.t
+val query : t -> Xc_twig.Twig_query.t
+
+val query_key : Xc_twig.Twig_query.t -> string
+(** Injective serialization of a query's structure and predicates; the
+    plan-cache key. *)
+
+(** Per-synopsis plan cache: maps queries to compiled plans and shares
+    one reach memo across all of them, so distinct queries reuse each
+    other's expansion work (workload queries overlap heavily in their
+    path fragments). *)
+module Cache : sig
+  type plan = t
+  type t
+
+  val create : Synopsis.t -> t
+  val synopsis : t -> Synopsis.t
+
+  val find_or_compile : t -> Xc_twig.Twig_query.t -> plan
+  (** Cached plan for the query, compiling on first sight. *)
+
+  val estimate : t -> Xc_twig.Twig_query.t -> float
+  (** [estimate c q = Plan.estimate (find_or_compile c q)]. *)
+
+  val n_plans : t -> int
+  (** Compiled plans currently cached. *)
+
+  val reach_entries : t -> int
+  (** Memoized reach tables currently live (drops to 0 after a
+      synopsis mutation is observed). *)
+
+  val generation : t -> int
+  (** Synopsis generation the memo was last validated against. *)
+
+  val clear : t -> unit
+  (** Drop all plans and memo entries (e.g. to bound memory). *)
+end

@@ -13,10 +13,24 @@ type t = {
   mutable root : int;
   mutable next_sid : int;
   mutable doc_height : int;
+  mutable generation : int;
+  uid : int;
 }
 
+let next_uid = ref 0
+
+let fresh_uid () =
+  let u = !next_uid in
+  incr next_uid;
+  u
+
 let create ~doc_height =
-  { nodes = Hashtbl.create 256; root = -1; next_sid = 0; doc_height }
+  { nodes = Hashtbl.create 256; root = -1; next_sid = 0; doc_height;
+    generation = 0; uid = fresh_uid () }
+
+let generation t = t.generation
+let uid t = t.uid
+let touch t = t.generation <- t.generation + 1
 
 let add_node t ~label ~vtype ~count ~vsumm =
   let sid = t.next_sid in
@@ -27,9 +41,12 @@ let add_node t ~label ~vtype ~count ~vsumm =
       parents = Hashtbl.create 4 }
   in
   Hashtbl.replace t.nodes sid node;
+  touch t;
   node
 
-let remove_node t sid = Hashtbl.remove t.nodes sid
+let remove_node t sid =
+  Hashtbl.remove t.nodes sid;
+  touch t
 let find t sid = Hashtbl.find t.nodes sid
 let mem t sid = Hashtbl.mem t.nodes sid
 let root_node t = find t t.root
@@ -43,7 +60,16 @@ let set_edge t ~parent ~child avg =
   else begin
     Hashtbl.replace p.children child avg;
     Hashtbl.replace c.parents parent ()
-  end
+  end;
+  touch t
+
+let set_vsumm t node vsumm =
+  node.vsumm <- vsumm;
+  touch t
+
+let set_count t node count =
+  node.count <- count;
+  touch t
 
 let edge_count t ~parent ~child =
   match Hashtbl.find_opt (find t parent).children child with
@@ -60,6 +86,11 @@ let children_list t node =
 
 let parents_list t node =
   Hashtbl.fold (fun sid () acc -> find t sid :: acc) node.parents []
+
+let succ _t node f = Hashtbl.iter f node.children
+let pred _t node f = Hashtbl.iter (fun sid () -> f sid) node.parents
+let out_degree node = Hashtbl.length node.children
+let in_degree node = Hashtbl.length node.parents
 
 let structural_bytes t =
   fold
@@ -87,7 +118,8 @@ let copy t =
           children = Hashtbl.copy node.children;
           parents = Hashtbl.copy node.parents })
     t.nodes;
-  { nodes = fresh; root = t.root; next_sid = t.next_sid; doc_height = t.doc_height }
+  { nodes = fresh; root = t.root; next_sid = t.next_sid; doc_height = t.doc_height;
+    generation = 0; uid = fresh_uid () }
 
 let levels t =
   let levels = Hashtbl.create (n_nodes t) in

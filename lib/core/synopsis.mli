@@ -12,8 +12,16 @@ type snode = {
   vtype : Xc_xml.Value.vtype;
   mutable count : int;                      (** |extent| *)
   mutable vsumm : Xc_vsumm.Value_summary.t;
-  children : (int, float) Hashtbl.t;        (** child sid → avg count *)
-  parents : (int, unit) Hashtbl.t;          (** parent sid set *)
+  children : (int, float) Hashtbl.t;
+      (** child sid → avg count.
+          @deprecated Outside [lib/core], iterate with {!succ} (or
+          {!children_list}) instead of touching the raw table; direct
+          writes bypass the {!generation} counter and leave estimation
+          caches stale. *)
+  parents : (int, unit) Hashtbl.t;
+      (** parent sid set.
+          @deprecated Outside [lib/core], iterate with {!pred} (or
+          {!parents_list}) instead of touching the raw table. *)
 }
 
 type t = {
@@ -21,9 +29,25 @@ type t = {
   mutable root : int;
   mutable next_sid : int;
   mutable doc_height : int;  (** expansion cap for descendant estimation *)
+  mutable generation : int;
+      (** bumped by every structural or value mutation made through this
+          module ({!add_node}, {!remove_node}, {!set_edge}, {!set_vsumm},
+          {!set_count}, {!touch}); estimation caches key their validity
+          on it. Raw field writes must call {!touch} afterwards. *)
+  uid : int;  (** process-unique identity, stable across mutation *)
 }
 
 val create : doc_height:int -> t
+
+val generation : t -> int
+(** Current mutation generation (see the field's documentation). *)
+
+val uid : t -> int
+(** Process-unique id of this synopsis value; {!copy} allocates a fresh
+    one. Lets caches key on a synopsis without hashing its graph. *)
+
+val touch : t -> unit
+(** Bump {!generation} manually after mutating fields directly. *)
 
 val add_node : t -> label:Xc_xml.Label.t -> vtype:Xc_xml.Value.vtype ->
   count:int -> vsumm:Xc_vsumm.Value_summary.t -> snode
@@ -39,6 +63,12 @@ val set_edge : t -> parent:int -> child:int -> float -> unit
 val edge_count : t -> parent:int -> child:int -> float
 (** 0 if the edge is absent. *)
 
+val set_vsumm : t -> snode -> Xc_vsumm.Value_summary.t -> unit
+(** Replace a node's value summary, bumping {!generation}. *)
+
+val set_count : t -> snode -> int -> unit
+(** Replace a node's extent count, bumping {!generation}. *)
+
 val find : t -> int -> snode
 (** @raise Not_found when the node does not exist (e.g. was merged away). *)
 
@@ -51,6 +81,17 @@ val fold : ('a -> snode -> 'a) -> 'a -> t -> 'a
 
 val children_list : t -> snode -> (snode * float) list
 val parents_list : t -> snode -> snode list
+
+val succ : t -> snode -> (int -> float -> unit) -> unit
+(** Iterate the node's outgoing edges as [f child_sid avg_count] — the
+    supported read path for consumers outside [lib/core] (the facade
+    re-exports it); unspecified order. *)
+
+val pred : t -> snode -> (int -> unit) -> unit
+(** Iterate the node's parent sids; unspecified order. *)
+
+val out_degree : snode -> int
+val in_degree : snode -> int
 
 val structural_bytes : t -> int
 (** {!Size.node_bytes} per node + {!Size.edge_bytes} per edge. *)

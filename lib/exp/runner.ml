@@ -12,7 +12,16 @@ type dataset = {
   value_min_extent : int;
 }
 
-let estimator syn query = Xc_core.Estimate.selectivity syn query
+(* All experiment scoring goes through the compiled pipeline: one plan
+   cache per synopsis, created at partial application, so the thousands
+   of workload estimates behind each figure share compiled plans and
+   memoized reach expansions. Estimates are bit-identical to
+   Estimate.selectivity (see Plan). *)
+let estimator syn =
+  let cache = Xc_core.Plan.Cache.create syn in
+  fun query -> Xc_core.Plan.Cache.estimate cache query
+
+let estimator_uncached syn query = Xc_core.Estimate.selectivity syn query
 
 type dataset_cfg = {
   cfg_value_paths : Xc_xml.Label.t list list;
@@ -170,8 +179,8 @@ let fig9 ?(bstr_kb = 50) ?(bval_kb = 150) ds =
 let negative_check ?(bstr_kb = 20) ?(bval_kb = 150) ?(n = 100) ds =
   let syn = build_at ds ~bstr_kb ~bval_kb in
   let negatives = Workload.negative ~n ~value_paths:ds.value_paths ds.doc in
-  Error_metric.mean
-    (List.map (fun e -> estimator syn e.Workload.query) negatives)
+  let est = estimator syn in
+  Error_metric.mean (List.map (fun e -> est e.Workload.query) negatives)
 
 (* ---- ablations -------------------------------------------------------- *)
 

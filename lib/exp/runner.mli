@@ -87,7 +87,15 @@ val ablation_text : ?top_ks:int list -> dataset ->
     baseline repeated). *)
 
 val estimator : Xc_core.Synopsis.t -> Xc_twig.Twig_query.t -> float
-(** Shorthand for {!Xc_core.Estimate.selectivity}. *)
+(** The compiled estimation pipeline: partial application
+    [estimator syn] allocates a {!Xc_core.Plan.Cache} for the synopsis,
+    and the returned closure estimates through it, sharing plans and
+    memoized reach expansions across queries. Floats are identical to
+    {!Xc_core.Estimate.selectivity}. *)
+
+val estimator_uncached : Xc_core.Synopsis.t -> Xc_twig.Twig_query.t -> float
+(** The direct {!Xc_core.Estimate.selectivity} path, kept as the
+    baseline the pipeline is validated and benchmarked against. *)
 
 val ablation_numeric : ?budget_bytes:int -> ?n_queries:int -> dataset ->
   (string * float) list

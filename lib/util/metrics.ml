@@ -1,0 +1,206 @@
+type timer = {
+  mutable tm_count : int;
+  mutable tm_total : float;
+  mutable tm_max : float;
+}
+
+type hist = {
+  mutable hs_count : int;
+  mutable hs_sum : float;
+  mutable hs_min : float;
+  mutable hs_max : float;
+  hs_buckets : int array;  (* index i counts samples with 2^(i-1) < v <= 2^i *)
+}
+
+type t = {
+  m_counters : (string, int ref) Hashtbl.t;
+  m_timers : (string, timer) Hashtbl.t;
+  m_hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  { m_counters = Hashtbl.create 16;
+    m_timers = Hashtbl.create 16;
+    m_hists = Hashtbl.create 16 }
+
+let global = create ()
+
+let incr ?(by = 1) t name =
+  match Hashtbl.find_opt t.m_counters name with
+  | Some r -> r := !r + by
+  | None -> Hashtbl.add t.m_counters name (ref by)
+
+let n_buckets = 64
+
+let bucket_of v =
+  if v <= 1.0 then 0
+  else
+    let b = 1 + int_of_float (Float.ceil (Float.log2 v)) in
+    min (n_buckets - 1) b
+
+let observe t name v =
+  let h =
+    match Hashtbl.find_opt t.m_hists name with
+    | Some h -> h
+    | None ->
+      let h =
+        { hs_count = 0; hs_sum = 0.0; hs_min = infinity; hs_max = neg_infinity;
+          hs_buckets = Array.make n_buckets 0 }
+      in
+      Hashtbl.add t.m_hists name h;
+      h
+  in
+  h.hs_count <- h.hs_count + 1;
+  h.hs_sum <- h.hs_sum +. v;
+  if v < h.hs_min then h.hs_min <- v;
+  if v > h.hs_max then h.hs_max <- v;
+  let b = bucket_of v in
+  h.hs_buckets.(b) <- h.hs_buckets.(b) + 1
+
+let add_time t name dt =
+  let tm =
+    match Hashtbl.find_opt t.m_timers name with
+    | Some tm -> tm
+    | None ->
+      let tm = { tm_count = 0; tm_total = 0.0; tm_max = 0.0 } in
+      Hashtbl.add t.m_timers name tm;
+      tm
+  in
+  tm.tm_count <- tm.tm_count + 1;
+  tm.tm_total <- tm.tm_total +. dt;
+  if dt > tm.tm_max then tm.tm_max <- dt
+
+let time t name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  add_time t name (Unix.gettimeofday () -. t0);
+  r
+
+(* ---- snapshots -------------------------------------------------------- *)
+
+type timer_stat = {
+  t_count : int;
+  t_total : float;
+  t_max : float;
+}
+
+type hist_stat = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (float * int) list;
+}
+
+type snapshot = {
+  counters : (string * int) list;
+  timers : (string * timer_stat) list;
+  histograms : (string * hist_stat) list;
+}
+
+let sorted_bindings tbl f =
+  Hashtbl.fold (fun name v acc -> (name, f v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot t =
+  { counters = sorted_bindings t.m_counters (fun r -> !r);
+    timers =
+      sorted_bindings t.m_timers (fun tm ->
+          { t_count = tm.tm_count; t_total = tm.tm_total; t_max = tm.tm_max });
+    histograms =
+      sorted_bindings t.m_hists (fun h ->
+          let buckets = ref [] in
+          for i = n_buckets - 1 downto 0 do
+            if h.hs_buckets.(i) > 0 then
+              buckets := (Float.pow 2.0 (float_of_int i), h.hs_buckets.(i)) :: !buckets
+          done;
+          { h_count = h.hs_count; h_sum = h.hs_sum; h_min = h.hs_min;
+            h_max = h.hs_max; h_buckets = !buckets }) }
+
+let reset t =
+  Hashtbl.reset t.m_counters;
+  Hashtbl.reset t.m_timers;
+  Hashtbl.reset t.m_hists
+
+let counter_value t name =
+  match Hashtbl.find_opt t.m_counters name with Some r -> !r | None -> 0
+
+(* ---- rendering -------------------------------------------------------- *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.6g" f
+
+let obj fields = "{" ^ String.concat "," fields ^ "}"
+let field name v = Printf.sprintf "\"%s\":%s" (json_escape name) v
+
+let to_json s =
+  let counters = List.map (fun (n, v) -> field n (string_of_int v)) s.counters in
+  let timers =
+    List.map
+      (fun (n, tm) ->
+        field n
+          (obj
+             [ field "count" (string_of_int tm.t_count);
+               field "total_ms" (json_float (1000.0 *. tm.t_total));
+               field "mean_us"
+                 (json_float
+                    (if tm.t_count = 0 then 0.0
+                     else 1e6 *. tm.t_total /. float_of_int tm.t_count));
+               field "max_ms" (json_float (1000.0 *. tm.t_max)) ]))
+      s.timers
+  in
+  let hists =
+    List.map
+      (fun (n, h) ->
+        field n
+          (obj
+             [ field "count" (string_of_int h.h_count);
+               field "min" (json_float h.h_min);
+               field "mean"
+                 (json_float
+                    (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count));
+               field "max" (json_float h.h_max);
+               field "buckets"
+                 ("["
+                 ^ String.concat ","
+                     (List.map
+                        (fun (le, c) ->
+                          obj [ field "le" (json_float le); field "n" (string_of_int c) ])
+                        h.h_buckets)
+                 ^ "]") ]))
+      s.histograms
+  in
+  obj [ field "counters" (obj counters); field "timers" (obj timers);
+        field "histograms" (obj hists) ]
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (n, v) -> Format.fprintf ppf "%-32s %12d@," n v) s.counters;
+  List.iter
+    (fun (n, tm) ->
+      Format.fprintf ppf "%-32s %8d calls  %10.2f ms total  %8.1f us/call@," n
+        tm.t_count (1000.0 *. tm.t_total)
+        (if tm.t_count = 0 then 0.0 else 1e6 *. tm.t_total /. float_of_int tm.t_count))
+    s.timers;
+  List.iter
+    (fun (n, h) ->
+      Format.fprintf ppf "%-32s %8d obs    min %.3g  mean %.3g  max %.3g@," n h.h_count
+        h.h_min
+        (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count)
+        h.h_max)
+    s.histograms;
+  Format.fprintf ppf "@]"

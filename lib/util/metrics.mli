@@ -1,0 +1,71 @@
+(** Lightweight process-local metrics: counters, wall-clock timers and
+    value histograms behind a [snapshot]/[reset] API.
+
+    The estimation pipeline (plan compilation, reach-memo hits/misses,
+    descendant-expansion depth, estimate latency) reports into the
+    {!global} registry; the bench harness and the [xcluster estimate
+    --stats] CLI flag render a snapshot as JSON. Registries are cheap
+    hash tables — a counter bump is one lookup and one integer add — so
+    instrumentation can stay on in hot paths. Not thread-safe. *)
+
+type t
+(** A metrics registry. *)
+
+val global : t
+(** The registry the library instruments by default. *)
+
+val create : unit -> t
+
+(* ---- recording ------------------------------------------------------- *)
+
+val incr : ?by:int -> t -> string -> unit
+(** Bump a counter, creating it at 0 on first use. *)
+
+val observe : t -> string -> float -> unit
+(** Record a sample into a histogram (count/sum/min/max plus
+    power-of-two magnitude buckets), creating it on first use. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** Run the thunk and record its wall-clock duration, in seconds, under
+    the name as a timer (count/total/max). Exceptions propagate without
+    recording. *)
+
+val add_time : t -> string -> float -> unit
+(** Record an externally measured duration (seconds) under a timer. *)
+
+(* ---- reading --------------------------------------------------------- *)
+
+type timer_stat = {
+  t_count : int;
+  t_total : float;  (** seconds *)
+  t_max : float;    (** seconds *)
+}
+
+type hist_stat = {
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+  h_buckets : (float * int) list;
+      (** (upper bound, samples ≤ bound) per non-empty power-of-two
+          magnitude bucket, ascending *)
+}
+
+type snapshot = {
+  counters : (string * int) list;        (** sorted by name *)
+  timers : (string * timer_stat) list;   (** sorted by name *)
+  histograms : (string * hist_stat) list;(** sorted by name *)
+}
+
+val snapshot : t -> snapshot
+val reset : t -> unit
+
+val counter_value : t -> string -> int
+(** Current value of a counter; 0 when it was never bumped. *)
+
+val to_json : snapshot -> string
+(** Single-line JSON object:
+    [{"counters":{...},"timers":{...},"histograms":{...}}]. *)
+
+val pp : Format.formatter -> snapshot -> unit
+(** Human-readable multi-line rendering. *)

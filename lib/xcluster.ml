@@ -1,0 +1,83 @@
+module Synopsis = Xc_core.Synopsis
+module Plan = Xc_core.Plan
+module Metrics = Xc_util.Metrics
+
+type document = Xc_xml.Document.t
+type query = Xc_twig.Twig_query.t
+type synopsis = Synopsis.t
+
+type budget = Xc_core.Build.budget = {
+  bstr : int;
+  bval : int;
+  pool : Xc_core.Pool.config;
+}
+
+(* ---- construction ----------------------------------------------------- *)
+
+let budget = Xc_core.Build.budget
+let reference = Xc_core.Reference.build
+let compress b reference = Xc_core.Build.run b reference
+
+let build ?budget:b ?min_extent ?value_min_extent ?value_paths doc =
+  let b = match b with Some b -> b | None -> budget () in
+  compress b (reference ?min_extent ?value_min_extent ?value_paths doc)
+
+let auto_split = Xc_core.Build.auto_split
+
+(* ---- estimation ------------------------------------------------------- *)
+
+let parse_query = Xc_twig.Twig_parse.parse
+
+(* One plan cache per synopsis, keyed by its process-unique uid. The
+   table is bounded: synopses are long-lived in any serving scenario,
+   but a workload that churns through thousands of short-lived synopses
+   (e.g. budget sweeps) must not accumulate dead caches. *)
+let max_caches = 64
+let caches : (int, Plan.Cache.t) Hashtbl.t = Hashtbl.create 16
+
+let cache_for syn =
+  let uid = Synopsis.uid syn in
+  match Hashtbl.find_opt caches uid with
+  | Some c -> c
+  | None ->
+    if Hashtbl.length caches >= max_caches then Hashtbl.reset caches;
+    let c = Plan.Cache.create syn in
+    Hashtbl.add caches uid c;
+    c
+
+let estimate syn q = Plan.Cache.estimate (cache_for syn) q
+let plan syn q = Plan.Cache.find_or_compile (cache_for syn) q
+let estimate_with_plan = Plan.estimate
+let estimate_uncached = Xc_core.Estimate.selectivity
+let explain = Xc_core.Estimate.explain
+
+(* ---- synopsis inspection --------------------------------------------- *)
+
+let validate = Synopsis.validate
+let pp_stats = Synopsis.pp_stats
+let n_nodes = Synopsis.n_nodes
+let n_edges = Synopsis.n_edges
+let size_bytes syn = Synopsis.structural_bytes syn + Synopsis.value_bytes syn
+
+let succ syn sid =
+  let node = Synopsis.find syn sid in
+  let acc = ref [] in
+  Synopsis.succ syn node (fun child avg -> acc := (child, avg) :: !acc);
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) !acc
+
+let pred syn sid =
+  let node = Synopsis.find syn sid in
+  let acc = ref [] in
+  Synopsis.pred syn node (fun parent -> acc := parent :: !acc);
+  List.sort Int.compare !acc
+
+(* ---- persistence ------------------------------------------------------ *)
+
+let save = Xc_core.Codec.save
+let load = Xc_core.Codec.load
+
+(* ---- metrics ---------------------------------------------------------- *)
+
+let metrics_snapshot () = Metrics.snapshot Metrics.global
+let metrics_json () = Metrics.to_json (metrics_snapshot ())
+let metrics_reset () = Metrics.reset Metrics.global

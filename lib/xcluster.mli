@@ -1,0 +1,111 @@
+(** The stable XCluster API.
+
+    This facade is the supported surface for applications: parse or
+    generate a document, {!build} a budgeted synopsis, {!estimate} twig
+    selectivities through the compiled pipeline, and read
+    {!metrics_snapshot}. Everything underneath ([Xc_core], [Xc_twig],
+    …) remains reachable for experiments and internal tooling, but its
+    raw representations (the synopsis's hash-table fields in
+    particular) are not part of the stable surface and may change.
+
+    Estimation here always goes through {!Xc_core.Plan}: every synopsis
+    gets a plan cache on first use, so repeated estimates — the serving
+    pattern — reuse compiled plans and memoized path expansions while
+    returning floats bit-identical to the uncached estimator. *)
+
+type document = Xc_xml.Document.t
+type query = Xc_twig.Twig_query.t
+type synopsis = Xc_core.Synopsis.t
+
+type budget = Xc_core.Build.budget = {
+  bstr : int;  (** structural budget, bytes *)
+  bval : int;  (** value budget, bytes *)
+  pool : Xc_core.Pool.config;
+}
+
+(* ---- construction ----------------------------------------------------- *)
+
+val budget : ?pool:Xc_core.Pool.config -> ?bstr_kb:int -> ?bval_kb:int -> unit -> budget
+(** See {!Xc_core.Build.budget} (defaults 20 KB / 150 KB). *)
+
+val reference :
+  ?detail:Xc_core.Reference.detail -> ?min_extent:int -> ?value_min_extent:int ->
+  ?value_paths:Xc_xml.Label.t list list -> document -> synopsis
+(** The detailed reference synopsis construction
+    ({!Xc_core.Reference.build}). *)
+
+val compress : budget -> synopsis -> synopsis
+(** XCLUSTERBUILD: compress a reference synopsis to the budget (on a
+    private copy; the argument is unchanged). *)
+
+val build : ?budget:budget -> ?min_extent:int -> ?value_min_extent:int ->
+  ?value_paths:Xc_xml.Label.t list list -> document -> synopsis
+(** [reference] followed by [compress] — document to budgeted synopsis
+    in one call. *)
+
+val auto_split : ?ratios:float list -> total_kb:int ->
+  sample:(synopsis -> float) -> synopsis -> budget * synopsis
+(** Automated structural/value budget-split search
+    ({!Xc_core.Build.auto_split}). *)
+
+(* ---- estimation ------------------------------------------------------- *)
+
+val parse_query : string -> query
+(** Parse a twig query, e.g.
+    ["//movie[year > 1990]/title[contains(War)]"]. *)
+
+val estimate : synopsis -> query -> float
+(** Estimated number of binding tuples, through the compiled pipeline.
+    The plan cache is keyed on the synopsis's {!Xc_core.Synopsis.uid}
+    and created on first use; synopsis mutation invalidates its memo
+    automatically (generation counter). *)
+
+val plan : synopsis -> query -> Xc_core.Plan.t
+(** The cached compiled plan (compiling on first sight) for callers
+    that estimate the same query many times and want to skip even the
+    cache lookup. *)
+
+val estimate_with_plan : Xc_core.Plan.t -> float
+(** Estimate from a compiled plan ({!Xc_core.Plan.estimate}). *)
+
+val estimate_uncached : synopsis -> query -> float
+(** The direct embedding enumeration ({!Xc_core.Estimate.selectivity}),
+    bypassing plans and memos — the baseline the pipeline is validated
+    against. *)
+
+val explain : synopsis -> query -> Xc_core.Estimate.explanation list
+(** Per query variable, the clusters it binds to
+    ({!Xc_core.Estimate.explain}). *)
+
+(* ---- synopsis inspection --------------------------------------------- *)
+
+val validate : synopsis -> (unit, string) result
+val pp_stats : Format.formatter -> synopsis -> unit
+val n_nodes : synopsis -> int
+val n_edges : synopsis -> int
+val size_bytes : synopsis -> int
+(** Structural + value bytes. *)
+
+val succ : synopsis -> int -> (int * float) list
+(** Outgoing edges of a cluster as [(child sid, avg count)] — the
+    facade's view of the synopsis graph; raw hash-table fields stay
+    behind {!Xc_core.Synopsis}. *)
+
+val pred : synopsis -> int -> int list
+(** Parent sids of a cluster. *)
+
+(* ---- persistence ------------------------------------------------------ *)
+
+val save : string -> synopsis -> unit
+val load : string -> synopsis
+
+(* ---- metrics ---------------------------------------------------------- *)
+
+val metrics_snapshot : unit -> Xc_util.Metrics.snapshot
+(** Snapshot of the global registry the pipeline instruments (plan
+    compiles, cache hits/misses, expansion depths, estimate latency). *)
+
+val metrics_json : unit -> string
+(** [metrics_snapshot] rendered as a single-line JSON object. *)
+
+val metrics_reset : unit -> unit

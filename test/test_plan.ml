@@ -1,0 +1,193 @@
+(* Tests for the compiled estimation pipeline: Plan/Plan.Cache
+   equivalence with the direct estimator on all three datasets'
+   workloads, generation-counter invalidation of the reach memo, and
+   the Metrics registry. *)
+
+open Xc_xml
+module Synopsis = Xc_core.Synopsis
+module Estimate = Xc_core.Estimate
+module Plan = Xc_core.Plan
+module Build = Xc_core.Build
+module Runner = Xc_exp.Runner
+module Metrics = Xc_util.Metrics
+module Vs = Xc_vsumm.Value_summary
+
+let check = Alcotest.check
+let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ---- plan-cached vs uncached equivalence ------------------------------ *)
+
+(* The property the whole pipeline rests on: for every workload query,
+   the plan-cached estimate equals the direct estimate to within 1e-9
+   (in fact bit-identically — the memo stores the very tables a fresh
+   run would fold over). Each estimate runs twice so the second pass
+   exercises the warm plan cache and reach memo. *)
+let equivalence_on ds =
+  let syn = Build.run (Build.budget ~bstr_kb:10 ~bval_kb:60 ()) ds.Runner.reference in
+  let cache = Plan.Cache.create syn in
+  List.iter
+    (fun e ->
+      let q = e.Xc_twig.Workload.query in
+      let uncached = Estimate.selectivity syn q in
+      let cold = Plan.Cache.estimate cache q in
+      let warm = Plan.Cache.estimate cache q in
+      checkf "cold = uncached" uncached cold;
+      checkf "warm = uncached" uncached warm)
+    ds.Runner.workload;
+  check Alcotest.bool "plans cached" true (Plan.Cache.n_plans cache > 0);
+  check Alcotest.bool "reach memoized" true (Plan.Cache.reach_entries cache > 0)
+
+let test_equivalence_imdb () = equivalence_on (Runner.imdb ~scale:0.02 ~n_queries:45 ())
+let test_equivalence_xmark () = equivalence_on (Runner.xmark ~scale:0.02 ~n_queries:45 ())
+let test_equivalence_dblp () = equivalence_on (Runner.dblp ~scale:0.02 ~n_queries:45 ())
+
+(* the facade path is the same pipeline *)
+let test_facade_estimate () =
+  let ds = Runner.imdb ~scale:0.01 ~n_queries:20 () in
+  let syn = Xcluster.build ~budget:(Xcluster.budget ~bstr_kb:8 ~bval_kb:40 ()) ds.Runner.doc in
+  List.iter
+    (fun e ->
+      let q = e.Xc_twig.Workload.query in
+      checkf "facade = uncached" (Xcluster.estimate_uncached syn q) (Xcluster.estimate syn q))
+    ds.Runner.workload
+
+(* ---- generation counter and memo invalidation ------------------------- *)
+
+let tiny_synopsis () =
+  let syn = Synopsis.create ~doc_height:3 in
+  let r = Synopsis.add_node syn ~label:(Label.of_string "r") ~vtype:Value.Tnull ~count:1 ~vsumm:Vs.vnone in
+  let a = Synopsis.add_node syn ~label:(Label.of_string "a") ~vtype:Value.Tnull ~count:4 ~vsumm:Vs.vnone in
+  let b = Synopsis.add_node syn ~label:(Label.of_string "b") ~vtype:Value.Tnull ~count:8 ~vsumm:Vs.vnone in
+  syn.Synopsis.root <- r.Synopsis.sid;
+  Synopsis.set_edge syn ~parent:r.Synopsis.sid ~child:a.Synopsis.sid 4.0;
+  Synopsis.set_edge syn ~parent:a.Synopsis.sid ~child:b.Synopsis.sid 2.0;
+  (syn, r, a, b)
+
+let test_generation_bumps () =
+  let syn, r, a, _b = tiny_synopsis () in
+  let g0 = Synopsis.generation syn in
+  Synopsis.set_edge syn ~parent:r.Synopsis.sid ~child:a.Synopsis.sid 5.0;
+  check Alcotest.bool "set_edge bumps" true (Synopsis.generation syn > g0);
+  let g1 = Synopsis.generation syn in
+  Synopsis.set_vsumm syn a Vs.vnone;
+  check Alcotest.bool "set_vsumm bumps" true (Synopsis.generation syn > g1);
+  let g2 = Synopsis.generation syn in
+  Synopsis.set_count syn a 5;
+  check Alcotest.bool "set_count bumps" true (Synopsis.generation syn > g2);
+  let g3 = Synopsis.generation syn in
+  Synopsis.touch syn;
+  check Alcotest.bool "touch bumps" true (Synopsis.generation syn > g3);
+  let copy = Synopsis.copy syn in
+  check Alcotest.bool "fresh uid on copy" true (Synopsis.uid copy <> Synopsis.uid syn)
+
+let test_memo_invalidation () =
+  let syn, r, a, b = tiny_synopsis () in
+  let q = Xc_twig.Twig_parse.parse "//a/b" in
+  let cache = Plan.Cache.create syn in
+  let before = Plan.Cache.estimate cache q in
+  checkf "tiny twig" 8.0 before;
+  check Alcotest.bool "memo populated" true (Plan.Cache.reach_entries cache > 0);
+  check Alcotest.int "memo at current generation" (Synopsis.generation syn)
+    (Plan.Cache.generation cache);
+  (* double the a->b fanout: //a/b must now see 16 expected elements *)
+  Synopsis.set_edge syn ~parent:a.Synopsis.sid ~child:b.Synopsis.sid 4.0;
+  ignore r;
+  let after = Plan.Cache.estimate cache q in
+  checkf "stale memo dropped" (Estimate.selectivity syn q) after;
+  checkf "doubled fanout" 16.0 after;
+  check Alcotest.int "memo revalidated" (Synopsis.generation syn)
+    (Plan.Cache.generation cache)
+
+let test_plan_survives_mutation () =
+  (* plans compile against the query only; after mutation the same plan
+     value must answer with fresh expansions *)
+  let syn, _r, a, b = tiny_synopsis () in
+  let plan = Plan.compile syn (Xc_twig.Twig_parse.parse "//b") in
+  checkf "initial" 8.0 (Plan.estimate plan);
+  Synopsis.set_edge syn ~parent:a.Synopsis.sid ~child:b.Synopsis.sid 1.0;
+  checkf "after mutation" (Estimate.selectivity syn (Xc_twig.Twig_parse.parse "//b"))
+    (Plan.estimate plan)
+
+(* ---- query keys -------------------------------------------------------- *)
+
+let test_query_key_injective () =
+  let keys =
+    List.map
+      (fun s -> Plan.query_key (Xc_twig.Twig_parse.parse s))
+      [ "//a/b"; "//a//b"; "/a/b"; "//a/b[c > 1]"; "//a/b[c > 2]";
+        "//a/b[c contains(x)]"; "//a[b]/c"; "//a/b/c"; "//*/b" ]
+  in
+  check Alcotest.int "all distinct" (List.length keys)
+    (List.length (List.sort_uniq String.compare keys))
+
+let test_cache_hits_counted () =
+  let syn, _, _, _ = tiny_synopsis () in
+  let q = Xc_twig.Twig_parse.parse "//a/b" in
+  let cache = Plan.Cache.create syn in
+  let m = Metrics.global in
+  let h0 = Metrics.counter_value m "plan.cache_hit" in
+  let m0 = Metrics.counter_value m "plan.cache_miss" in
+  ignore (Plan.Cache.estimate cache q);
+  ignore (Plan.Cache.estimate cache q);
+  check Alcotest.int "one miss" (m0 + 1) (Metrics.counter_value m "plan.cache_miss");
+  check Alcotest.int "one hit" (h0 + 1) (Metrics.counter_value m "plan.cache_hit");
+  check Alcotest.int "one plan" 1 (Plan.Cache.n_plans cache);
+  Plan.Cache.clear cache;
+  check Alcotest.int "cleared" 0 (Plan.Cache.n_plans cache)
+
+(* ---- metrics registry -------------------------------------------------- *)
+
+let test_metrics_registry () =
+  let m = Metrics.create () in
+  Metrics.incr m "c";
+  Metrics.incr ~by:2 m "c";
+  check Alcotest.int "counter" 3 (Metrics.counter_value m "c");
+  Metrics.observe m "h" 3.0;
+  Metrics.observe m "h" 5.0;
+  let r = Metrics.time m "t" (fun () -> 42) in
+  check Alcotest.int "time passes through" 42 r;
+  let s = Metrics.snapshot m in
+  check Alcotest.int "counters" 1 (List.length s.Metrics.counters);
+  (match s.Metrics.histograms with
+  | [ ("h", h) ] ->
+    check Alcotest.int "obs" 2 h.Metrics.h_count;
+    checkf "min" 3.0 h.Metrics.h_min;
+    checkf "max" 5.0 h.Metrics.h_max
+  | _ -> Alcotest.fail "expected one histogram");
+  (match s.Metrics.timers with
+  | [ ("t", t) ] -> check Alcotest.int "calls" 1 t.Metrics.t_count
+  | _ -> Alcotest.fail "expected one timer");
+  let json = Metrics.to_json s in
+  check Alcotest.bool "json mentions counter" true (contains json "\"c\":3");
+  Metrics.reset m;
+  check Alcotest.int "reset" 0 (Metrics.counter_value m "c")
+
+let test_metrics_json () =
+  let m = Metrics.create () in
+  Metrics.incr m "plan.compile";
+  let json = Metrics.to_json (Metrics.snapshot m) in
+  check Alcotest.bool "counter in json" true (contains json "\"plan.compile\":1");
+  check Alcotest.bool "object shape" true (contains json "\"counters\":{")
+
+let () =
+  Alcotest.run "plan"
+    [ ( "equivalence",
+        [ Alcotest.test_case "imdb" `Slow test_equivalence_imdb;
+          Alcotest.test_case "xmark" `Slow test_equivalence_xmark;
+          Alcotest.test_case "dblp" `Slow test_equivalence_dblp;
+          Alcotest.test_case "facade" `Quick test_facade_estimate ] );
+      ( "invalidation",
+        [ Alcotest.test_case "generation bumps" `Quick test_generation_bumps;
+          Alcotest.test_case "memo invalidation" `Quick test_memo_invalidation;
+          Alcotest.test_case "plan survives mutation" `Quick test_plan_survives_mutation ] );
+      ( "cache",
+        [ Alcotest.test_case "query keys injective" `Quick test_query_key_injective;
+          Alcotest.test_case "hit/miss counters" `Quick test_cache_hits_counted ] );
+      ( "metrics",
+        [ Alcotest.test_case "registry" `Quick test_metrics_registry;
+          Alcotest.test_case "json" `Quick test_metrics_json ] ) ]
