@@ -4,7 +4,7 @@
 
    Usage:  dune exec bench/main.exe [-- TARGET...]
    Targets: table1 table2 fig8a fig8b fig8c fig9 negative ablation-delta
-            ablation-text ablation-numeric auto-split pipeline micro
+            ablation-text ablation-numeric auto-split pipeline seal micro
             (default: all of them, in that order)
 
    Every run ends with a JSON metrics block (plan compiles, cache and
@@ -161,6 +161,72 @@ let run_pipeline () =
     max_diff;
   Format.fprintf ppf "  metrics: %s@." (Xcluster.metrics_json ())
 
+(* ---- frozen-vs-builder estimation (the Builder/Sealed split) -----------
+   The same XMark workload estimated through the hashtable-walking
+   builder estimator, the CSR sealed estimator, and the compiled plan
+   cache, at the paper's default 20KB/150KB budgets. The three must
+   agree bit for bit; the speedup columns are what the freeze step buys
+   on repeated estimation. Each run appends a JSON line to
+   BENCH_seal.json so the CSR speedup is tracked across PRs. *)
+
+let run_seal () =
+  let passes =
+    match Sys.getenv_opt "XC_PASSES" with
+    | Some s -> (try int_of_string s with Failure _ -> 5)
+    | None -> 5
+  in
+  let ds = Lazy.force xmark in
+  let builder =
+    timed "seal: xclusterbuild" (fun () ->
+        Xc_core.Build.run_builder (Xc_core.Build.budget ()) ds.Xc_exp.Runner.reference)
+  in
+  let syn = Xc_core.Synopsis.freeze builder in
+  let queries = List.map (fun e -> e.Xc_twig.Workload.query) ds.Xc_exp.Runner.workload in
+  let time estimate =
+    let t0 = Unix.gettimeofday () in
+    let sum = ref 0.0 in
+    for _ = 1 to passes do
+      List.iter (fun q -> sum := !sum +. estimate q) queries
+    done;
+    (Unix.gettimeofday () -. t0, !sum)
+  in
+  let t_builder, sum_builder = time (Xc_core.Estimate.selectivity_builder builder) in
+  let t_sealed, sum_sealed = time (Xc_core.Estimate.selectivity syn) in
+  let cache = Xc_core.Plan.Cache.create syn in
+  let t_planned, sum_planned = time (Xc_core.Plan.Cache.estimate cache) in
+  let max_diff =
+    List.fold_left
+      (fun acc q ->
+        let b = Xc_core.Estimate.selectivity_builder builder q in
+        let s = Xc_core.Estimate.selectivity syn q in
+        let p = Xc_core.Plan.Cache.estimate cache q in
+        Float.max acc (Float.max (Float.abs (b -. s)) (Float.abs (b -. p))))
+      0.0 queries
+  in
+  let per t = 1e6 *. t /. float_of_int (passes * List.length queries) in
+  let speedup_sealed = t_builder /. Float.max t_sealed 1e-9 in
+  let speedup_planned = t_builder /. Float.max t_planned 1e-9 in
+  Format.fprintf ppf "@.Frozen-vs-builder estimation (%s: %d queries x %d passes)@."
+    ds.Xc_exp.Runner.name (List.length queries) passes;
+  Format.fprintf ppf "  builder:  %7.3f s  (%.1f us/estimate)@." t_builder (per t_builder);
+  Format.fprintf ppf "  sealed:   %7.3f s  (%.1f us/estimate)  %.1fx@." t_sealed
+    (per t_sealed) speedup_sealed;
+  Format.fprintf ppf "  planned:  %7.3f s  (%.1f us/estimate)  %.1fx@." t_planned
+    (per t_planned) speedup_planned;
+  Format.fprintf ppf "  max |diff| across the three paths = %g  (sums %g %g %g)@."
+    max_diff sum_builder sum_sealed sum_planned;
+  let json =
+    Printf.sprintf
+      "{\"ts\":%.0f,\"dataset\":%S,\"queries\":%d,\"passes\":%d,\"t_builder_s\":%.4f,\"t_sealed_s\":%.4f,\"t_planned_s\":%.4f,\"speedup_sealed\":%.2f,\"speedup_planned\":%.2f,\"max_diff\":%g}"
+      (Unix.gettimeofday ()) ds.Xc_exp.Runner.name (List.length queries) passes
+      t_builder t_sealed t_planned speedup_sealed speedup_planned max_diff
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_seal.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf ppf "  appended to BENCH_seal.json@."
+
 (* ---- Bechamel micro-benchmarks ---------------------------------------- *)
 
 let micro_tests () =
@@ -240,6 +306,7 @@ let targets =
     ("ablation-numeric", run_ablation_numeric);
     ("auto-split", run_auto_split);
     ("pipeline", run_pipeline);
+    ("seal", run_seal);
     ("micro", run_micro) ]
 
 let () =

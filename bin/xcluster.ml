@@ -122,7 +122,7 @@ let build_cmd =
   let run file typing_name bstr bval save =
     let doc = load ~typing_name file in
     let reference = Xcluster.reference doc in
-    Format.printf "reference: %a@." Xcluster.pp_stats reference;
+    Format.printf "reference: %a@." Xcluster.builder_stats reference;
     let t0 = Unix.gettimeofday () in
     let syn = Xcluster.compress (Xcluster.budget ~bstr_kb:bstr ~bval_kb:bval ()) reference in
     Format.printf "xcluster:  %a  (built in %.2fs)@." Xcluster.pp_stats syn

@@ -9,7 +9,7 @@ let () =
   Format.printf "bibliography: %d elements@." (Xc_xml.Document.n_elements doc);
 
   let reference = Xcluster.reference ~min_extent:8 ~value_min_extent:200 doc in
-  Format.printf "reference: %a@." Xcluster.pp_stats reference;
+  Format.printf "reference: %a@." Xcluster.builder_stats reference;
 
   (* a small sample workload drives the automated Bstr/Bval split *)
   let spec = { Xc_twig.Workload.default_spec with n_queries = 60 } in

@@ -37,7 +37,7 @@ let () =
   (* 2. Build the detailed reference synopsis, then compress it into an
         XCluster within a byte budget (structural + value). *)
   let reference = Xcluster.reference doc in
-  Format.printf "reference synopsis: %a@." Xcluster.pp_stats reference;
+  Format.printf "reference synopsis: %a@." Xcluster.builder_stats reference;
   let synopsis = Xcluster.compress (Xcluster.budget ~bstr_kb:1 ~bval_kb:2 ()) reference in
   Format.printf "budgeted XCluster:  %a@." Xcluster.pp_stats synopsis;
 

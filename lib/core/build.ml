@@ -1,4 +1,6 @@
 module Heap = Xc_util.Heap
+module B = Synopsis.Builder
+module Levels = Synopsis.Levels
 
 let src = Logs.Src.create "xcluster.build" ~doc:"XCLUSTERBUILD progress"
 
@@ -24,7 +26,12 @@ let budget_bytes ?(pool = Pool.default_config) ~bstr ~bval () = { bstr; bval; po
 let budget_split ?(pool = Pool.default_config) ~total_kb ~ratio () =
   if total_kb <= 0 then invalid_arg "Build.budget_split: non-positive budget";
   if ratio < 0.0 || ratio > 1.0 then invalid_arg "Build.budget_split: ratio outside [0,1]";
-  let bstr_kb = max 0 (int_of_float (Float.round (ratio *. float_of_int total_kb))) in
+  (* rounding can push ratio·total above total (e.g. ratio 1.0 on a small
+     odd total), which would make the value budget negative — clamp both
+     sides so bstr + bval = total always holds *)
+  let bstr_kb =
+    min total_kb (max 0 (int_of_float (Float.round (ratio *. float_of_int total_kb))))
+  in
   budget ~pool ~bstr_kb ~bval_kb:(total_kb - bstr_kb) ()
 
 let params ?pool ~bstr_kb ~bval_kb () = budget ?pool ~bstr_kb ~bval_kb ()
@@ -32,12 +39,9 @@ let params ?pool ~bstr_kb ~bval_kb () = budget ?pool ~bstr_kb ~bval_kb ()
 (* ---- phase 1: structure-value merge ---------------------------------- *)
 
 let phase1_merge params syn =
-  let str_size = ref (Synopsis.structural_bytes syn) in
+  let str_size = ref (B.structural_bytes syn) in
   if !str_size > params.bstr then begin
-    let levels = ref (Synopsis.levels syn) in
-    let max_level syn =
-      Hashtbl.fold (fun _ l acc -> max l acc) (Synopsis.levels syn) 0
-    in
+    let levels = ref (Levels.compute syn) in
     let level = ref 1 in
     let pool = ref (Pool.build params.pool syn ~levels:!levels ~level:!level) in
     let max_new_level = ref 0 in
@@ -45,10 +49,10 @@ let phase1_merge params syn =
     while !str_size > params.bstr && not !exhausted do
       (* replenish the pool when it runs low (Fig. 5, lines 8-9) *)
       if Heap.length !pool <= params.pool.hl then begin
-        let lmax = max_level syn in
+        levels := Levels.compute syn;
+        let lmax = Levels.max_level !levels in
         let next_level = max (!max_new_level + 1) (!level + 1) in
         level := min next_level (lmax + 1);
-        levels := Synopsis.levels syn;
         pool := Pool.build params.pool syn ~levels:!levels ~level:!level;
         max_new_level := 0;
         (* if even the full-level pool is empty, nothing can merge *)
@@ -62,46 +66,46 @@ let phase1_merge params syn =
         match Pool.pop_valid syn !pool with
         | None -> () (* loop back to the replenish branch *)
         | Some cand ->
-          let lu = Option.value ~default:0 (Hashtbl.find_opt !levels cand.Pool.u) in
-          let lv = Option.value ~default:0 (Hashtbl.find_opt !levels cand.Pool.v) in
-          let u = Synopsis.find syn cand.Pool.u and v = Synopsis.find syn cand.Pool.v in
+          let lu = Levels.get !levels ~default:0 cand.Pool.u in
+          let lv = Levels.get !levels ~default:0 cand.Pool.v in
+          let u = B.find syn cand.Pool.u and v = B.find syn cand.Pool.v in
           let saved = Merge.saved_bytes syn u v in
           let w = Merge.apply syn cand.Pool.u cand.Pool.v in
           str_size := !str_size - saved;
           let lw = min lu lv in
-          Hashtbl.replace !levels w.Synopsis.sid lw;
+          Levels.set !levels (B.sid w) lw;
           if lw > !max_new_level then max_new_level := lw;
           Pool.push_neighbors params.pool syn !pool ~levels:!levels ~level:!level w
       end
     done;
     Log.debug (fun m ->
-        m "phase1 done: %d nodes, %a structural" (Synopsis.n_nodes syn) Size.pp_bytes
+        m "phase1 done: %d nodes, %a structural" (B.n_nodes syn) Size.pp_bytes
           !str_size)
   end
 
 (* ---- phase 2: value-summary compression ------------------------------ *)
 
 let phase2_compress params syn =
-  let val_size = ref (Synopsis.value_bytes syn) in
+  let val_size = ref (B.value_bytes syn) in
   if !val_size > params.bval then begin
     let heap = Heap.create () in
     let push node =
       match Delta.compression_delta syn node with
       | Some (delta, saved) ->
-        Heap.push heap (Delta.marginal_loss delta saved) (node.Synopsis.sid, saved)
+        Heap.push heap (Delta.marginal_loss delta saved) (B.sid node, saved)
       | None -> ()
     in
-    Synopsis.iter push syn;
+    B.iter push syn;
     let exhausted = ref false in
     while !val_size > params.bval && not !exhausted do
       match Heap.pop heap with
       | None -> exhausted := true
       | Some (_, (sid, _)) ->
-        let node = Synopsis.find syn sid in
-        let before = Xc_vsumm.Value_summary.size_bytes node.Synopsis.vsumm in
-        (match Xc_vsumm.Value_summary.apply_compression node.Synopsis.vsumm with
+        let node = B.find syn sid in
+        let before = Xc_vsumm.Value_summary.size_bytes (B.vsumm node) in
+        (match Xc_vsumm.Value_summary.apply_compression (B.vsumm node) with
         | Some vsumm' ->
-          Synopsis.set_vsumm syn node vsumm';
+          B.set_vsumm syn node vsumm';
           let after = Xc_vsumm.Value_summary.size_bytes vsumm' in
           val_size := !val_size - (before - after);
           push node
@@ -110,28 +114,38 @@ let phase2_compress params syn =
     Log.debug (fun m -> m "phase2 done: %a value bytes" Size.pp_bytes !val_size)
   end
 
-let run params reference =
-  let syn = Synopsis.copy reference in
+let run_builder params reference =
+  let syn = B.copy reference in
   phase1_merge params syn;
   phase2_compress params syn;
   syn
 
+let run params reference = Synopsis.freeze (run_builder params reference)
+
 (* ---- budget sweeps ---------------------------------------------------- *)
 
-let sweep_at base ~bstr_kbs reference =
+(* The builder-level sweep: one compressed builder snapshot per
+   structural budget, sharing the greedy merge prefix. auto_split needs
+   the mutable snapshots to re-compress values per candidate. *)
+let sweep_builders base ~bstr_kbs reference =
   let desc = List.sort_uniq (fun a b -> Int.compare b a) bstr_kbs in
-  let work = Synopsis.copy reference in
+  let work = B.copy reference in
   let snapshots = Hashtbl.create 8 in
   List.iter
     (fun kb ->
       let p = { base with bstr = Size.kb kb } in
       (* budget 0 = the smallest reachable summary: merge to exhaustion *)
       phase1_merge p work;
-      let snap = Synopsis.copy work in
+      let snap = B.copy work in
       phase2_compress p snap;
       Hashtbl.replace snapshots kb snap)
     desc;
   List.map (fun kb -> (kb, Hashtbl.find snapshots kb)) bstr_kbs
+
+let sweep_at base ~bstr_kbs reference =
+  List.map
+    (fun (kb, syn) -> (kb, Synopsis.freeze syn))
+    (sweep_builders base ~bstr_kbs reference)
 
 let sweep ?(pool = Pool.default_config) ~bval_kb ~bstr_kbs reference =
   sweep_at (budget ~pool ~bstr_kb:0 ~bval_kb ()) ~bstr_kbs reference
@@ -149,7 +163,8 @@ let auto_split ?(ratios = [ 0.0; 0.05; 0.1; 0.2; 0.33; 0.5 ]) ~total_kb ~sample 
      budget makes the sweep's own phase 2 a no-op so each candidate can
      be value-compressed to its own Bval below *)
   let snapshots =
-    sweep ~bval_kb:1_000_000
+    sweep_builders
+      (budget ~bstr_kb:0 ~bval_kb:1_000_000 ())
       ~bstr_kbs:(List.map (fun b -> b.bstr / 1024) candidates)
       reference
   in
@@ -157,9 +172,10 @@ let auto_split ?(ratios = [ 0.0; 0.05; 0.1; 0.2; 0.33; 0.5 ]) ~total_kb ~sample 
     List.map
       (fun b ->
         let structural = List.assoc (b.bstr / 1024) snapshots in
-        let syn = Synopsis.copy structural in
+        let syn = B.copy structural in
         phase2_compress b syn;
-        (sample syn, b, syn))
+        let sealed = Synopsis.freeze syn in
+        (sample sealed, b, sealed))
       candidates
   in
   match scored with

@@ -6,7 +6,11 @@
     bounded bottom-up candidate pool until the structural budget is met.
     Phase 2 (value-summary compression) greedily applies the value
     compression with the smallest marginal loss until the value budget
-    is met. *)
+    is met.
+
+    Construction runs on a {!Synopsis.Builder} copy of the reference;
+    every entry point that produces a finished synopsis freezes it into
+    the read-optimized {!Synopsis.Sealed} form on the way out. *)
 
 type budget = {
   bstr : int;  (** structural budget, bytes *)
@@ -28,41 +32,50 @@ val budget_bytes : ?pool:Pool.config -> bstr:int -> bval:int -> unit -> budget
 
 val budget_split : ?pool:Pool.config -> total_kb:int -> ratio:float -> unit -> budget
 (** Split a unified budget: [ratio] (in [0,1]) of [total_kb] goes to
-    structure, the rest to values. Raises [Invalid_argument] on a
-    non-positive total or an out-of-range ratio. *)
+    structure, the rest to values; the structural share is clamped to
+    [\[0, total_kb\]] after rounding, so the two parts always sum to
+    [total_kb]. Raises [Invalid_argument] on a non-positive total or an
+    out-of-range ratio. *)
 
 val params : ?pool:Pool.config -> bstr_kb:int -> bval_kb:int -> unit -> params
 (** @deprecated Thin wrapper over {!budget}. *)
 
-val phase1_merge : params -> Synopsis.t -> unit
+val phase1_merge : params -> Synopsis.Builder.t -> unit
 (** Runs the structure-value merge phase in place. *)
 
-val phase2_compress : params -> Synopsis.t -> unit
+val phase2_compress : params -> Synopsis.Builder.t -> unit
 (** Runs the value-summary compression phase in place. *)
 
-val run : params -> Synopsis.t -> Synopsis.t
-(** Full XCLUSTERBUILD on a private copy of the reference synopsis
-    (the argument is not modified). *)
+val run_builder : params -> Synopsis.Builder.t -> Synopsis.Builder.t
+(** Full XCLUSTERBUILD on a private copy of the reference synopsis,
+    returned still mutable (the argument is not modified). Callers that
+    want to estimate should {!Synopsis.freeze} the result or use {!run};
+    the unfrozen form exists for benchmarks and incremental tooling. *)
 
-val sweep_at : budget -> bstr_kbs:int list -> Synopsis.t -> (int * Synopsis.t) list
+val run : params -> Synopsis.Builder.t -> Synopsis.Sealed.t
+(** [Synopsis.freeze ∘ run_builder]: the normal way to build. *)
+
+val sweep_at :
+  budget -> bstr_kbs:int list -> Synopsis.Builder.t -> (int * Synopsis.Sealed.t) list
 (** Builds one synopsis per structural budget in [bstr_kbs] (the
     budget's own [bstr] is ignored; its value budget and pool config
     apply to every point), sharing the greedy merge prefix across
     points as described under {!sweep}. *)
 
 val sweep : ?pool:Pool.config -> bval_kb:int -> bstr_kbs:int list ->
-  Synopsis.t -> (int * Synopsis.t) list
+  Synopsis.Builder.t -> (int * Synopsis.Sealed.t) list
 (** Thin wrapper over {!sweep_at}.
     Builds one synopsis per structural budget, sharing the greedy merge
     prefix: budgets are processed in decreasing order on a single
-    synopsis, snapshotting (copy + value compression) at each. This is
-    exactly equivalent to independent runs because the greedy merge
-    sequence is budget-prefix-consistent. Returns (budget KB, synopsis)
-    in the input order. A budget of 0 is served by merging down to the
-    tag-only minimum. *)
+    synopsis, snapshotting (copy + value compression + freeze) at each.
+    This is exactly equivalent to independent runs because the greedy
+    merge sequence is budget-prefix-consistent. Returns (budget KB,
+    synopsis) in the input order. A budget of 0 is served by merging
+    down to the tag-only minimum. *)
 
 val auto_split : ?ratios:float list -> total_kb:int ->
-  sample:(Synopsis.t -> float) -> Synopsis.t -> budget * Synopsis.t
+  sample:(Synopsis.Sealed.t -> float) -> Synopsis.Builder.t ->
+  budget * Synopsis.Sealed.t
 (** The automated budget-split search the paper sketches as future work
     (Sec. 4.3): given a unified total budget, build a synopsis at each
     candidate Bstr/(Bstr+Bval) ratio (default 0, 0.05, 0.1, 0.2,

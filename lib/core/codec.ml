@@ -1,4 +1,6 @@
 module Vs = Xc_vsumm.Value_summary
+module B = Synopsis.Builder
+module S = Synopsis.Sealed
 open Xc_xml
 
 let magic = "XCLU"
@@ -153,32 +155,36 @@ let vtype_of_tag = function
   | 3 -> Value.Ttext
   | tag -> fail "Codec: unknown value-type tag %d" tag
 
-(* ---- synopsis -------------------------------------------------------------- *)
+(* ---- synopsis --------------------------------------------------------------
+   The wire format (v1, unchanged by the Builder/Sealed split) stores
+   nodes in ascending-sid order with sid-keyed edges, which is exactly
+   the sealed form's index order; decoding rebuilds a Builder and
+   freezes it, so a load/save round trip re-canonicalizes nothing. *)
 
 let to_string syn =
   let tt = tt_create () in
   (* encode the nodes first (into a side buffer) so the term table is
      complete before it is written *)
   let body = Buffer.create 65536 in
-  put_int body syn.Synopsis.doc_height;
-  put_int body syn.Synopsis.root;
-  put_int body (Synopsis.n_nodes syn);
-  let nodes = Synopsis.fold (fun acc n -> n :: acc) [] syn in
-  let nodes = List.sort (fun a b -> Int.compare a.Synopsis.sid b.Synopsis.sid) nodes in
-  List.iter
-    (fun node ->
-      put_int body node.Synopsis.sid;
-      put_string body (Label.to_string node.Synopsis.label);
-      put_int body (vtype_tag node.Synopsis.vtype);
-      put_int body node.Synopsis.count;
-      put_vsumm tt body node.Synopsis.vsumm;
-      put_int body (Hashtbl.length node.Synopsis.children);
-      Hashtbl.iter
-        (fun child avg ->
-          put_int body child;
-          put_float body avg)
-        node.Synopsis.children)
-    nodes;
+  put_int body (S.doc_height syn);
+  put_int body (S.root_sid syn);
+  let n = S.n_nodes syn in
+  put_int body n;
+  let child_off = S.child_off syn
+  and child_idx = S.child_idx syn
+  and child_avg = S.child_avg syn in
+  for i = 0 to n - 1 do
+    put_int body (S.sid_of_index syn i);
+    put_string body (Label.to_string (S.label syn i));
+    put_int body (vtype_tag (S.vtype syn i));
+    put_int body (S.count syn i);
+    put_vsumm tt body (S.vsumm syn i);
+    put_int body (child_off.(i + 1) - child_off.(i));
+    for e = child_off.(i) to child_off.(i + 1) - 1 do
+      put_int body (S.sid_of_index syn child_idx.(e));
+      put_float body child_avg.(e)
+    done
+  done;
   let out = Buffer.create (Buffer.length body + 4096) in
   Buffer.add_string out magic;
   put_int out version;
@@ -198,7 +204,7 @@ let of_string_exn src =
   let doc_height = get_int r in
   let root = get_int r in
   let n_nodes = get_int r in
-  let syn = Synopsis.create ~doc_height in
+  let syn = B.create ~doc_height in
   (* first pass: materialize nodes under their original sids *)
   let edges = ref [] in
   for _ = 1 to n_nodes do
@@ -207,15 +213,8 @@ let of_string_exn src =
     let vtype = vtype_of_tag (get_int r) in
     let count = get_int r in
     let vsumm = get_vsumm terms r in
-    if Hashtbl.mem syn.Synopsis.nodes sid then fail "Codec: duplicate node id %d" sid;
-    (* construct the node directly under its serialized sid (add_node
-       would allocate fresh ids that could collide with serialized ones) *)
-    let node =
-      { Synopsis.sid; label; vtype; count; vsumm;
-        children = Hashtbl.create 4;
-        parents = Hashtbl.create 4 }
-    in
-    Hashtbl.replace syn.Synopsis.nodes sid node;
+    if B.mem syn sid then fail "Codec: duplicate node id %d" sid;
+    ignore (B.add_node_at syn ~sid ~label ~vtype ~count ~vsumm);
     let n_edges = get_int r in
     for _ = 1 to n_edges do
       let child = get_int r in
@@ -223,15 +222,13 @@ let of_string_exn src =
       edges := (sid, child, avg) :: !edges
     done
   done;
-  syn.Synopsis.next_sid <-
-    1 + Synopsis.fold (fun acc n -> max acc n.Synopsis.sid) (-1) syn;
-  List.iter (fun (parent, child, avg) -> Synopsis.set_edge syn ~parent ~child avg) !edges;
-  syn.Synopsis.root <- root;
+  List.iter (fun (parent, child, avg) -> B.set_edge syn ~parent ~child avg) !edges;
+  B.set_root syn root;
   if r.pos <> String.length src then fail "Codec: trailing bytes";
-  (match Synopsis.validate syn with
+  (match B.validate syn with
   | Ok () -> ()
   | Error e -> fail "Codec: decoded synopsis is inconsistent: %s" e);
-  syn
+  Synopsis.freeze syn
 
 (* corrupt input can surface as out-of-range array sizes and the like;
    normalize every decoding failure to Failure per the interface *)

@@ -5,20 +5,25 @@
     it. The format is a self-contained, versioned binary encoding that
     embeds the label names and dictionary terms it references; loading
     re-interns them, so identifiers are stable across processes even
-    though the global intern tables differ. *)
+    though the global intern tables differ.
 
-val save : string -> Synopsis.t -> unit
+    Only sealed synopses are persisted — a builder is an intermediate
+    construction state, not an artifact. Decoding rebuilds the graph,
+    validates it, and freezes it. *)
+
+val save : string -> Synopsis.Sealed.t -> unit
 (** Writes the synopsis to a file.
     @raise Sys_error on I/O failure. *)
 
-val load : string -> Synopsis.t
+val load : string -> Synopsis.Sealed.t
 (** Reads a synopsis written by {!save}.
     @raise Failure on format or version mismatch. *)
 
-val to_string : Synopsis.t -> string
-val of_string : string -> Synopsis.t
+val to_string : Synopsis.Sealed.t -> string
+val of_string : string -> Synopsis.Sealed.t
 
-val size_on_disk : Synopsis.t -> int
+val size_on_disk : Synopsis.Sealed.t -> int
 (** Byte length of the encoding — a few framing bytes per node beyond
-    the model's {!Synopsis.structural_bytes} + {!Synopsis.value_bytes}
-    accounting, plus the embedded string tables. *)
+    the model's {!Synopsis.Sealed.structural_bytes} +
+    {!Synopsis.Sealed.value_bytes} accounting, plus the embedded string
+    tables. *)

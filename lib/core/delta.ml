@@ -1,25 +1,24 @@
 module Vs = Xc_vsumm.Value_summary
+module B = Synopsis.Builder
 
 (* Structural dot products over the union of child edges of u and v,
    including the implicit self query (A=1, B=1, W=1 component).
    A_c = count(u,c), B_c = count(v,c), W_c = (|u|A_c + |v|B_c)/|w|,
    with child references to u or v remapped onto w. *)
-let structural_dots u v =
-  let cu = float_of_int u.Synopsis.count and cv = float_of_int v.Synopsis.count in
+let structural_dots syn u v =
+  let cu = float_of_int (B.count u) and cv = float_of_int (B.count v) in
   let cw = cu +. cv in
-  let is_uv sid = sid = u.Synopsis.sid || sid = v.Synopsis.sid in
+  let is_uv sid = sid = B.sid u || sid = B.sid v in
   (* gather A and B keyed by the merged child identity *)
   let tbl = Hashtbl.create 8 in
   let gather node side =
     let self_acc = ref 0.0 in
-    Hashtbl.iter
-      (fun sid avg ->
+    B.succ syn node (fun sid avg ->
         if is_uv sid then self_acc := !self_acc +. avg
         else begin
           let a, b = Option.value ~default:(0.0, 0.0) (Hashtbl.find_opt tbl sid) in
           Hashtbl.replace tbl sid (if side = `U then (a +. avg, b) else (a, b +. avg))
-        end)
-      node.Synopsis.children;
+        end);
     !self_acc
   in
   let self_u = gather u `U and self_v = gather v `V in
@@ -42,14 +41,14 @@ let structural_dots u v =
     tbl;
   (!saa, !saw, !sbb, !sbw, !sww)
 
-let merge_delta ?(structural_only = false) _syn u v =
-  let cu = float_of_int u.Synopsis.count and cv = float_of_int v.Synopsis.count in
+let merge_delta ?(structural_only = false) syn u v =
+  let cu = float_of_int (B.count u) and cv = float_of_int (B.count v) in
   let cw = cu +. cv in
   let wu = cu /. cw and wv = cv /. cw in
-  let saa, saw, sbb, sbw, sww = structural_dots u v in
+  let saa, saw, sbb, sbw, sww = structural_dots syn u v in
   let puu, pvv, puv =
     if structural_only then (1.0, 1.0, 1.0)
-    else Vs.pred_dots u.Synopsis.vsumm v.Synopsis.vsumm
+    else Vs.pred_dots (B.vsumm u) (B.vsumm v)
   in
   (* predicate-space dots against σ_w = wu·σ_u + wv·σ_v *)
   let puw = (wu *. puu) +. (wv *. puv) in
@@ -60,14 +59,13 @@ let merge_delta ?(structural_only = false) _syn u v =
   (* numerical noise can push the quadratic forms slightly negative *)
   Float.max 0.0 ((cu *. du) +. (cv *. dv))
 
-let compression_delta _syn u =
-  match Vs.preview_compression u.Synopsis.vsumm with
+let compression_delta syn u =
+  match Vs.preview_compression (B.vsumm u) with
   | None -> None
   | Some (pred_err, saved) ->
-    let struct_factor =
-      Hashtbl.fold (fun _ avg acc -> acc +. (avg *. avg)) u.Synopsis.children 1.0
-    in
-    let delta = float_of_int u.Synopsis.count *. struct_factor *. pred_err in
+    let struct_factor = ref 1.0 in
+    B.succ syn u (fun _ avg -> struct_factor := !struct_factor +. (avg *. avg));
+    let delta = float_of_int (B.count u) *. !struct_factor *. pred_err in
     Some (delta, saved)
 
 let marginal_loss delta saved = delta /. float_of_int (max 1 saved)

@@ -16,14 +16,15 @@
     products are needed — O(|children| + |atomic predicates|) per
     candidate. *)
 
-val merge_delta : ?structural_only:bool -> Synopsis.t ->
-  Synopsis.snode -> Synopsis.snode -> float
+val merge_delta : ?structural_only:bool -> Synopsis.Builder.t ->
+  Synopsis.Builder.node -> Synopsis.Builder.node -> float
 (** Δ of merging the two nodes. [structural_only] replaces the atomic
     predicate set by the single trivial predicate (σ ≡ 1), yielding a
     TREESKETCH-style purely structural clustering error (the A1
     ablation baseline). *)
 
-val compression_delta : Synopsis.t -> Synopsis.snode -> (float * int) option
+val compression_delta :
+  Synopsis.Builder.t -> Synopsis.Builder.node -> (float * int) option
 (** [(Δ, bytes saved)] of the next value-compression step on the node's
     summary: Δ = |u| · (1 + Σ_c count(u,c)²) · Σ_p (σ_p − σ′_p)². [None]
     when the summary cannot be compressed further. *)

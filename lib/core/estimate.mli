@@ -1,4 +1,4 @@
-(** Selectivity estimation over an XCluster synopsis (Sec. 5).
+(** Selectivity estimation over a sealed XCluster synopsis (Sec. 5).
 
     Estimation enumerates query embeddings — mappings from query
     variables to synopsis nodes satisfying the edge path expressions —
@@ -6,42 +6,67 @@
     generalized {e path-value independence} assumption:
     [sel(u\[p\]/c) = |u| · σ_p(u) · count(u,c)].
 
+    The hot loops run over the sealed form's CSR index arrays
+    ({!Synopsis.Sealed}): a frontier is a pair of parallel arrays sorted
+    by node index, one expansion step is a linear sweep over contiguous
+    adjacency rows, and every float fold runs in ascending index (= sid)
+    order. {!selectivity_builder} is the same algorithm over the mutable
+    builder graph in the same canonical order, so the two agree bit for
+    bit — the differential-testing anchor and the bench [seal] target's
+    builder-side timing.
+
     Descendant steps expand the synopsis graph breadth-first with the
     expansion depth capped at the document height, which keeps the
     computation convergent on cyclic synopses (recursion such as XMark's
     [parlist]//[listitem] creates cycles once merged). *)
 
-val selectivity : Synopsis.t -> Xc_twig.Twig_query.t -> float
+val selectivity : Synopsis.Sealed.t -> Xc_twig.Twig_query.t -> float
 (** Estimated number of binding tuples. *)
 
-val predicate_selectivity : Synopsis.snode -> Xc_twig.Predicate.t -> float
-(** σ_p(u): the predicate's selectivity at a synopsis node, estimated
-    from the node's value summary; 0 when the predicate's type is
+val selectivity_builder : Synopsis.Builder.t -> Xc_twig.Twig_query.t -> float
+(** The hashtable-graph estimator, iterating in the sealed path's
+    canonical ascending-sid order: bit-identical to {!selectivity} on
+    the frozen image of the same builder. Construction-time callers can
+    estimate without freezing; everything else should freeze once and
+    use {!selectivity}. *)
+
+val predicate_selectivity : Synopsis.Sealed.t -> int -> Xc_twig.Predicate.t -> float
+(** [predicate_selectivity syn idx p] — σ_p(u): the predicate's
+    selectivity at the synopsis node with index [idx], estimated from
+    the node's value summary; 0 when the predicate's type is
     incompatible with the node's value type. *)
 
 val predicate_selectivity_typed :
-  Xc_xml.Value.vtype -> Synopsis.snode -> Xc_twig.Predicate.t -> float
+  Xc_xml.Value.vtype -> Synopsis.Sealed.t -> int -> Xc_twig.Predicate.t -> float
 (** {!predicate_selectivity} with the predicate's value type supplied by
     the caller — {!Plan} pre-binds it at compile time so repeated
     estimates skip the per-call type dispatch. The float result is
     identical to {!predicate_selectivity}. *)
 
-val reach : Synopsis.t -> Xc_twig.Path_expr.t -> int -> (int * float) list
-(** [(v, count)] pairs: the expected number of elements of cluster [v]
-    reached per element of the source cluster via the path expression.
-    Exposed for tests and diagnostics. *)
+type dist = {
+  d_idx : int array;  (** node indices, ascending *)
+  d_w : float array;  (** matching weights *)
+}
+(** A node-weight distribution over sealed node indices — what one
+    path-expression expansion produces and what the estimator folds
+    over. {!Plan}'s per-synopsis memo stores these verbatim, which keeps
+    memoized estimates bit-identical to uncached ones (same arrays, same
+    fold order). *)
 
-val reach_tbl : Synopsis.t -> Xc_twig.Path_expr.t -> int -> (int, float) Hashtbl.t
-(** {!reach} as the weight table the estimator folds over. The table is
-    freshly allocated and owned by the caller; {!Plan}'s per-synopsis
-    memo stores these verbatim, which keeps memoized estimates
-    bit-identical to uncached ones (same table, same fold order). *)
+val reach : Synopsis.Sealed.t -> Xc_twig.Path_expr.t -> int -> (int * float) list
+(** [(v, count)] pairs keyed by sid, ascending: the expected number of
+    elements of cluster [v] reached per element of the source cluster
+    (also given by sid) via the path expression. Exposed for tests and
+    diagnostics. @raise Not_found when the source sid is absent. *)
 
-val root_reach_tbl : Synopsis.t -> Xc_twig.Path_expr.t -> (int, float) Hashtbl.t
-(** Weight table for a path expression taken from the virtual document
+val reach_dist : Synopsis.Sealed.t -> Xc_twig.Path_expr.t -> int -> dist
+(** {!reach} in index space: source and results are node indices. *)
+
+val root_reach_dist : Synopsis.Sealed.t -> Xc_twig.Path_expr.t -> dist
+(** Distribution for a path expression taken from the virtual document
     node (the root variable q0): a leading child step selects the root
     cluster, a leading descendant step every matching cluster, weighted
-    by extent. Empty table on the empty expression. *)
+    by extent. Empty on the empty expression. *)
 
 type explanation = {
   query_node : int;                   (** [Twig_query.qid] *)
@@ -50,7 +75,7 @@ type explanation = {
           variable can embed onto, descending by count *)
 }
 
-val explain : Synopsis.t -> Xc_twig.Twig_query.t -> explanation list
+val explain : Synopsis.Sealed.t -> Xc_twig.Twig_query.t -> explanation list
 (** The query's embeddings, per variable: which clusters each variable
     maps onto and how many elements are expected to bind there. This is
     the information an optimizer would inspect when it distrusts an

@@ -1,9 +1,10 @@
 module Vs = Xc_vsumm.Value_summary
+module B = Synopsis.Builder
 
 let compatible u v =
-  Xc_xml.Label.equal u.Synopsis.label v.Synopsis.label
-  && Xc_xml.Value.vtype_equal u.Synopsis.vtype v.Synopsis.vtype
-  && (match u.Synopsis.vsumm, v.Synopsis.vsumm with
+  Xc_xml.Label.equal (B.label u) (B.label v)
+  && Xc_xml.Value.vtype_equal (B.vtype u) (B.vtype v)
+  && (match B.vsumm u, B.vsumm v with
      | Vs.Vnone, Vs.Vnone -> true
      | Vs.Vnum _, Vs.Vnum _ -> true
      | Vs.Vstr _, Vs.Vstr _ -> true
@@ -11,105 +12,89 @@ let compatible u v =
      | (Vs.Vnone | Vs.Vnum _ | Vs.Vstr _ | Vs.Vtext _), _ -> false)
 
 (* Child sid set of the would-be merged node, with u/v remapped to w. *)
-let merged_child_keys u v =
+let merged_child_keys syn u v =
   let keys = Hashtbl.create 8 in
   let self = ref false in
   let note node =
-    Hashtbl.iter
-      (fun sid _ ->
-        if sid = u.Synopsis.sid || sid = v.Synopsis.sid then self := true
+    B.succ syn node (fun sid _ ->
+        if sid = B.sid u || sid = B.sid v then self := true
         else Hashtbl.replace keys sid ())
-      node.Synopsis.children
   in
   note u;
   note v;
   (keys, !self)
 
-let saved_bytes _syn u v =
-  let keys, self = merged_child_keys u v in
+let saved_bytes syn u v =
+  let keys, self = merged_child_keys syn u v in
   let merged_children = Hashtbl.length keys + if self then 1 else 0 in
-  let child_edges_before =
-    Hashtbl.length u.Synopsis.children + Hashtbl.length v.Synopsis.children
-  in
+  let child_edges_before = B.out_degree u + B.out_degree v in
   (* every external parent holding edges to both u and v keeps only one *)
   let shared_parents = ref 0 in
-  Hashtbl.iter
-    (fun sid () ->
-      if sid <> u.Synopsis.sid && sid <> v.Synopsis.sid
-         && Hashtbl.mem v.Synopsis.parents sid
-      then incr shared_parents)
-    u.Synopsis.parents;
+  B.pred syn u (fun sid ->
+      if sid <> B.sid u && sid <> B.sid v && B.has_parent v sid then
+        incr shared_parents);
   Size.node_bytes
   + (Size.edge_bytes * (child_edges_before - merged_children + !shared_parents))
 
 let apply syn su sv =
-  let u = Synopsis.find syn su and v = Synopsis.find syn sv in
+  let u = B.find syn su and v = B.find syn sv in
   if su = sv then invalid_arg "Merge.apply: cannot merge a node with itself";
   if not (compatible u v) then invalid_arg "Merge.apply: incompatible nodes";
-  let cu = float_of_int u.Synopsis.count and cv = float_of_int v.Synopsis.count in
+  let cu = float_of_int (B.count u) and cv = float_of_int (B.count v) in
   let cw = cu +. cv in
   let vsumm =
-    match u.Synopsis.vsumm, v.Synopsis.vsumm with
+    match B.vsumm u, B.vsumm v with
     | Vs.Vnone, Vs.Vnone -> Vs.Vnone
     | a, b -> Vs.fuse a b
   in
   let w =
-    Synopsis.add_node syn ~label:u.Synopsis.label ~vtype:u.Synopsis.vtype
-      ~count:(u.Synopsis.count + v.Synopsis.count) ~vsumm
+    B.add_node syn ~label:(B.label u) ~vtype:(B.vtype u)
+      ~count:(B.count u + B.count v) ~vsumm
   in
+  let sw = B.sid w in
   let is_uv sid = sid = su || sid = sv in
   (* combined child counts: count(w,c) = (|u|count(u,c)+|v|count(v,c))/|w|,
      with edges into u/v remapped onto w *)
   let child_counts = Hashtbl.create 8 in
   let add_children weight node =
-    Hashtbl.iter
-      (fun sid avg ->
-        let key = if is_uv sid then w.Synopsis.sid else sid in
+    B.succ syn node (fun sid avg ->
+        let key = if is_uv sid then sw else sid in
         let cur = Option.value ~default:0.0 (Hashtbl.find_opt child_counts key) in
         Hashtbl.replace child_counts key (cur +. (weight *. avg)))
-      node.Synopsis.children
   in
   add_children cu u;
   add_children cv v;
   (* parent totals: count(p,w) = count(p,u) + count(p,v) for external p *)
   let parent_counts = Hashtbl.create 8 in
   let add_parents node =
-    Hashtbl.iter
-      (fun psid () ->
+    B.pred syn node (fun psid ->
         if not (is_uv psid) then begin
-          let p = Synopsis.find syn psid in
-          let into node' =
-            Option.value ~default:0.0 (Hashtbl.find_opt p.Synopsis.children node'.Synopsis.sid)
-          in
+          let p = B.find syn psid in
+          let into node' = B.child_avg p (B.sid node') in
           Hashtbl.replace parent_counts psid (into u +. into v)
         end)
-      node.Synopsis.parents
   in
   add_parents u;
   add_parents v;
-  (* detach u and v from the graph *)
+  (* detach u and v from the graph: zero out their external edges, then
+     unregister them (internal u/v edges die with the nodes) *)
   let detach node =
-    Hashtbl.iter
-      (fun sid _ ->
-        if not (is_uv sid) then
-          Hashtbl.remove (Synopsis.find syn sid).Synopsis.parents node.Synopsis.sid)
-      node.Synopsis.children;
-    Hashtbl.iter
-      (fun sid () ->
-        if not (is_uv sid) then
-          Hashtbl.remove (Synopsis.find syn sid).Synopsis.children node.Synopsis.sid)
-      node.Synopsis.parents;
-    Synopsis.remove_node syn node.Synopsis.sid
+    let s = B.sid node in
+    let outs = ref [] and ins = ref [] in
+    B.succ syn node (fun sid _ -> if not (is_uv sid) then outs := sid :: !outs);
+    B.pred syn node (fun sid -> if not (is_uv sid) then ins := sid :: !ins);
+    List.iter (fun c -> B.set_edge syn ~parent:s ~child:c 0.0) !outs;
+    List.iter (fun p -> B.set_edge syn ~parent:p ~child:s 0.0) !ins;
+    B.remove_node syn s
   in
   detach u;
   detach v;
   (* wire w *)
   Hashtbl.iter
-    (fun sid total -> Synopsis.set_edge syn ~parent:w.Synopsis.sid ~child:sid (total /. cw))
+    (fun sid total -> B.set_edge syn ~parent:sw ~child:sid (total /. cw))
     child_counts;
   Hashtbl.iter
-    (fun psid total -> Synopsis.set_edge syn ~parent:psid ~child:w.Synopsis.sid total)
+    (fun psid total -> B.set_edge syn ~parent:psid ~child:sw total)
     parent_counts;
-  if syn.Synopsis.root = su || syn.Synopsis.root = sv then
-    syn.Synopsis.root <- w.Synopsis.sid;
+  if B.root syn = su || B.root syn = sv then B.set_root syn sw;
   w

@@ -6,14 +6,15 @@
     add, and value summaries fuse. Self-edges arising when [u] is a
     parent or child of [v] (or of itself) are remapped onto [w]. *)
 
-val compatible : Synopsis.snode -> Synopsis.snode -> bool
+val compatible : Synopsis.Builder.node -> Synopsis.Builder.node -> bool
 (** Same label, same value type, and matching value-summary presence. *)
 
-val saved_bytes : Synopsis.t -> Synopsis.snode -> Synopsis.snode -> int
+val saved_bytes :
+  Synopsis.Builder.t -> Synopsis.Builder.node -> Synopsis.Builder.node -> int
 (** Structural bytes the merge would save ([|S|_str − |S′|_str]):
     one node plus every deduplicated child and parent edge. *)
 
-val apply : Synopsis.t -> int -> int -> Synopsis.snode
+val apply : Synopsis.Builder.t -> int -> int -> Synopsis.Builder.node
 (** Performs the merge and returns the new node. The two source nodes
     are removed from the synopsis; the root is re-targeted if it was one
     of them. @raise Invalid_argument if the nodes are incompatible. *)

@@ -1,59 +1,49 @@
 open Xc_twig
 module Metrics = Xc_util.Metrics
+module S = Synopsis.Sealed
 
 let m = Metrics.global
 
 (* ---- the shared reach memo -------------------------------------------- *)
 
-(* Expansion results are memoized per synopsis, keyed by source sid ×
-   path expression (and by expression alone for paths rooted at the
-   virtual document node). The cached value is the exact Hashtbl a
+(* Expansion results are memoized per sealed synopsis, keyed by source
+   index × path expression (and by expression alone for paths rooted at
+   the virtual document node). The cached value is the exact dist a
    fresh Estimate run would have built, so folding over it reproduces
-   the uncached float operations in the same order. *)
+   the uncached float operations in the same order. A sealed synopsis
+   never mutates, so entries never go stale — there is no generation
+   counter to validate against. *)
 type memo = {
-  mc_syn : Synopsis.t;
-  mutable mc_generation : int;
-  mc_reach : (int * Path_expr.t, (int, float) Hashtbl.t) Hashtbl.t;
-  mc_root : (Path_expr.t, (int, float) Hashtbl.t) Hashtbl.t;
+  mc_syn : S.t;
+  mc_reach : (int * Path_expr.t, Estimate.dist) Hashtbl.t;
+  mc_root : (Path_expr.t, Estimate.dist) Hashtbl.t;
 }
 
 let memo_create syn =
-  { mc_syn = syn;
-    mc_generation = Synopsis.generation syn;
-    mc_reach = Hashtbl.create 256;
-    mc_root = Hashtbl.create 16 }
+  { mc_syn = syn; mc_reach = Hashtbl.create 256; mc_root = Hashtbl.create 16 }
 
-let memo_validate mc =
-  let g = Synopsis.generation mc.mc_syn in
-  if g <> mc.mc_generation then begin
-    Hashtbl.reset mc.mc_reach;
-    Hashtbl.reset mc.mc_root;
-    mc.mc_generation <- g;
-    Metrics.incr m "plan.invalidate"
-  end
-
-let memo_reach mc expr sid =
-  let key = (sid, expr) in
+let memo_reach mc expr idx =
+  let key = (idx, expr) in
   match Hashtbl.find_opt mc.mc_reach key with
-  | Some tbl ->
+  | Some d ->
     Metrics.incr m "reach.memo_hit";
-    tbl
+    d
   | None ->
     Metrics.incr m "reach.memo_miss";
-    let tbl = Estimate.reach_tbl mc.mc_syn expr sid in
-    Hashtbl.add mc.mc_reach key tbl;
-    tbl
+    let d = Estimate.reach_dist mc.mc_syn expr idx in
+    Hashtbl.add mc.mc_reach key d;
+    d
 
 let memo_root_reach mc expr =
   match Hashtbl.find_opt mc.mc_root expr with
-  | Some tbl ->
+  | Some d ->
     Metrics.incr m "reach.memo_hit";
-    tbl
+    d
   | None ->
     Metrics.incr m "reach.memo_miss";
-    let tbl = Estimate.root_reach_tbl mc.mc_syn expr in
-    Hashtbl.add mc.mc_root expr tbl;
-    tbl
+    let d = Estimate.root_reach_dist mc.mc_syn expr in
+    Hashtbl.add mc.mc_root expr d;
+    d
 
 (* ---- compiled queries -------------------------------------------------- *)
 
@@ -66,7 +56,7 @@ type cnode = {
 }
 
 type t = {
-  p_syn : Synopsis.t;
+  p_syn : S.t;
   p_query : Twig_query.t;
   p_memo : memo;
   p_root_edges : (Path_expr.t * cnode) list;
@@ -95,23 +85,21 @@ let synopsis p = p.p_syn
 let query p = p.p_query
 
 (* Mirrors Estimate.selectivity operation for operation; the only change
-   is that reach tables come from the memo. *)
+   is that reach distributions come from the memo. *)
 let estimate p =
-  memo_validate p.p_memo;
   Metrics.time m "estimate.plan" @@ fun () ->
   if p.p_root_zero then 0.0
   else begin
     let syn = p.p_syn and mc = p.p_memo in
     let memo : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
-    let rec est cn sid =
-      let key = (cn.cn_qid, sid) in
+    let rec est cn idx =
+      let key = (cn.cn_qid, idx) in
       match Hashtbl.find_opt memo key with
       | Some v -> v
       | None ->
-        let node = Synopsis.find syn sid in
         let sigma =
           List.fold_left
-            (fun acc (pred, vt) -> acc *. Estimate.predicate_selectivity_typed vt node pred)
+            (fun acc (pred, vt) -> acc *. Estimate.predicate_selectivity_typed vt syn idx pred)
             1.0 cn.cn_preds
         in
         let result =
@@ -121,13 +109,14 @@ let estimate p =
               (fun acc (expr, child) ->
                 if acc <= 0.0 then 0.0
                 else begin
-                  let reached = memo_reach mc expr sid in
-                  let sum =
-                    Hashtbl.fold
-                      (fun vsid weight acc' -> acc' +. (weight *. est child vsid))
-                      reached 0.0
-                  in
-                  acc *. sum
+                  let reached = memo_reach mc expr idx in
+                  let sum = ref 0.0 in
+                  for i = 0 to Array.length reached.Estimate.d_idx - 1 do
+                    sum :=
+                      !sum
+                      +. (reached.Estimate.d_w.(i) *. est child reached.Estimate.d_idx.(i))
+                  done;
+                  acc *. !sum
                 end)
               sigma cn.cn_edges
         in
@@ -142,12 +131,12 @@ let estimate p =
           | [] -> 0.0
           | _ :: _ ->
             let reached = memo_root_reach mc expr in
-            let sum =
-              Hashtbl.fold
-                (fun sid weight acc' -> acc' +. (weight *. est child sid))
-                reached 0.0
-            in
-            acc *. sum)
+            let sum = ref 0.0 in
+            for i = 0 to Array.length reached.Estimate.d_idx - 1 do
+              sum :=
+                !sum +. (reached.Estimate.d_w.(i) *. est child reached.Estimate.d_idx.(i))
+            done;
+            acc *. !sum)
       1.0 p.p_root_edges
   end
 
@@ -224,7 +213,6 @@ module Cache = struct
   let estimate c q = estimate (find_or_compile c q)
   let n_plans c = Hashtbl.length c.c_plans
   let reach_entries c = Hashtbl.length c.c_memo.mc_reach + Hashtbl.length c.c_memo.mc_root
-  let generation c = c.c_memo.mc_generation
 
   let clear c =
     Hashtbl.reset c.c_plans;

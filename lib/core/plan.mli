@@ -3,41 +3,40 @@
     {!Estimate.selectivity} re-enumerates query embeddings and re-runs
     the capped breadth-first descendant expansion from scratch on every
     call. This module compiles a {!Xc_twig.Twig_query.t} against a
-    synopsis {e once} — pre-binding each predicate's value type,
+    sealed synopsis {e once} — pre-binding each predicate's value type,
     fixing the edge-join order, and routing every path-expression
     expansion through a per-synopsis memo table keyed by
-    [source sid × path expression] — so repeated estimates reuse both
+    [source index × path expression] — so repeated estimates reuse both
     the plan and the expansion work of {e every} earlier estimate
     against the same synopsis.
 
-    Memoized reach tables are stored verbatim (the same hash tables a
-    fresh run would build), and the compiled estimator performs the same
-    float operations in the same order as {!Estimate.selectivity}, so
-    planned estimates are {b bit-identical} to uncached ones.
+    Memoized reach distributions are stored verbatim (the same
+    {!Estimate.dist} arrays a fresh run would build), and the compiled
+    estimator performs the same float operations in the same order as
+    {!Estimate.selectivity}, so planned estimates are {b bit-identical}
+    to uncached ones.
 
-    Memos are invalidated by the synopsis {!Synopsis.generation}
-    counter: any mutation made through the [Synopsis] API bumps it, and
-    the next estimate drops every cached expansion before answering.
+    A {!Synopsis.Sealed.t} never mutates, so memo entries never go
+    stale — the generation-invalidation machinery the builder-based
+    pipeline needed is gone.
 
     Instrumentation goes to {!Xc_util.Metrics.global}: counters
     [plan.compile], [plan.cache_hit]/[plan.cache_miss] (query → plan
-    lookups), [reach.memo_hit]/[reach.memo_miss],
-    [plan.invalidate]; histogram [reach.expansion_depth]; timer
-    [estimate.plan]. *)
+    lookups), [reach.memo_hit]/[reach.memo_miss]; histogram
+    [reach.expansion_depth]; timer [estimate.plan]. *)
 
 type t
-(** A twig query compiled against one synopsis. *)
+(** A twig query compiled against one sealed synopsis. *)
 
-val compile : Synopsis.t -> Xc_twig.Twig_query.t -> t
+val compile : Synopsis.Sealed.t -> Xc_twig.Twig_query.t -> t
 (** Compile the query. The plan owns a private reach memo; use
     {!Cache} to share the memo across queries. *)
 
 val estimate : t -> float
 (** Estimated number of binding tuples — bit-identical to
-    [Estimate.selectivity synopsis query]. Revalidates the memo against
-    the synopsis generation first. *)
+    [Estimate.selectivity synopsis query]. *)
 
-val synopsis : t -> Synopsis.t
+val synopsis : t -> Synopsis.Sealed.t
 val query : t -> Xc_twig.Twig_query.t
 
 val query_key : Xc_twig.Twig_query.t -> string
@@ -52,8 +51,8 @@ module Cache : sig
   type plan = t
   type t
 
-  val create : Synopsis.t -> t
-  val synopsis : t -> Synopsis.t
+  val create : Synopsis.Sealed.t -> t
+  val synopsis : t -> Synopsis.Sealed.t
 
   val find_or_compile : t -> Xc_twig.Twig_query.t -> plan
   (** Cached plan for the query, compiling on first sight. *)
@@ -65,11 +64,7 @@ module Cache : sig
   (** Compiled plans currently cached. *)
 
   val reach_entries : t -> int
-  (** Memoized reach tables currently live (drops to 0 after a
-      synopsis mutation is observed). *)
-
-  val generation : t -> int
-  (** Synopsis generation the memo was last validated against. *)
+  (** Memoized reach distributions currently live. *)
 
   val clear : t -> unit
   (** Drop all plans and memo entries (e.g. to bound memory). *)

@@ -1,5 +1,6 @@
 module Heap = Xc_util.Heap
 module Vs = Xc_vsumm.Value_summary
+module B = Synopsis.Builder
 
 type cand = {
   u : int;
@@ -35,9 +36,7 @@ let vtype_tag = function
   | Xc_xml.Value.Ttext -> 3
 
 let group_key node =
-  ( (node.Synopsis.label :> int),
-    vtype_tag node.Synopsis.vtype,
-    vsumm_kind node.Synopsis.vsumm )
+  ((B.label node :> int), vtype_tag (B.vtype node), vsumm_kind (B.vsumm node))
 
 let cand_evals = ref 0
 let cand_time = ref 0.0
@@ -48,18 +47,16 @@ let make_cand config syn u v =
   let delta = Delta.merge_delta ~structural_only:config.structural_only syn u v in
   cand_time := !cand_time +. (Unix.gettimeofday () -. t0);
   let saved = Merge.saved_bytes syn u v in
-  { u = u.Synopsis.sid; v = v.Synopsis.sid; delta; saved }
+  { u = B.sid u; v = B.sid v; delta; saved }
 
 let cand_priority c = Delta.marginal_loss c.delta c.saved
 
 (* All groups of mergeable nodes with level <= threshold. *)
 let groups syn ~levels ~level =
   let tbl = Hashtbl.create 64 in
-  Synopsis.iter
+  B.iter
     (fun node ->
-      let node_level =
-        Option.value ~default:max_int (Hashtbl.find_opt levels node.Synopsis.sid)
-      in
+      let node_level = Synopsis.Levels.get levels ~default:max_int (B.sid node) in
       if node_level <= level then begin
         let key = group_key node in
         let members =
@@ -88,7 +85,7 @@ let group_pairs config syn members =
       done
     else begin
       (* large group: count-nearest-neighbour pairing *)
-      Array.sort (fun a b -> Int.compare a.Synopsis.count b.Synopsis.count) arr;
+      Array.sort (fun a b -> Int.compare (B.count a) (B.count b)) arr;
       for i = 0 to g - 2 do
         for j = i + 1 to min (g - 1) (i + config.neighbor_k) do
           out := make_cand config syn arr.(i) arr.(j) :: !out
@@ -117,17 +114,17 @@ let push_neighbors config syn heap ~levels ~level node =
   let key = group_key node in
   (* collect group members at the right level, excluding the node itself *)
   let members = ref [] in
-  Synopsis.iter
+  B.iter
     (fun other ->
-      if other.Synopsis.sid <> node.Synopsis.sid && group_key other = key then begin
+      if B.sid other <> B.sid node && group_key other = key then begin
         let other_level =
-          Option.value ~default:max_int (Hashtbl.find_opt levels other.Synopsis.sid)
+          Synopsis.Levels.get levels ~default:max_int (B.sid other)
         in
         if other_level <= level then members := other :: !members
       end)
     syn;
   let arr = Array.of_list !members in
-  let dist other = abs (other.Synopsis.count - node.Synopsis.count) in
+  let dist other = abs (B.count other - B.count node) in
   Array.sort (fun a b -> Int.compare (dist a) (dist b)) arr;
   let k = min config.neighbor_k (Array.length arr) in
   for i = 0 to k - 1 do
@@ -139,5 +136,5 @@ let rec pop_valid syn heap =
   match Heap.pop heap with
   | None -> None
   | Some (_, c) ->
-    if Synopsis.mem syn c.u && Synopsis.mem syn c.v then Some c
+    if B.mem syn c.u && B.mem syn c.v then Some c
     else pop_valid syn heap

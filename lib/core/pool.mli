@@ -30,22 +30,22 @@ type config = {
 
 val default_config : config
 
-val group_key : Synopsis.snode -> int * int * int
+val group_key : Synopsis.Builder.node -> int * int * int
 (** Nodes are mergeable only within the same group:
     (label, value type, value-summary kind). *)
 
-val build : config -> Synopsis.t -> levels:(int, int) Hashtbl.t ->
+val build : config -> Synopsis.Builder.t -> levels:Synopsis.Levels.t ->
   level:int -> t
 (** Builds a fresh pool of candidates among nodes with level ≤ [level],
     keeping the [hm] best by marginal loss. *)
 
-val push_neighbors : config -> Synopsis.t -> t ->
-  levels:(int, int) Hashtbl.t -> level:int -> Synopsis.snode -> unit
+val push_neighbors : config -> Synopsis.Builder.t -> t ->
+  levels:Synopsis.Levels.t -> level:int -> Synopsis.Builder.node -> unit
 (** After a merge produced a new node, pushes candidates pairing it with
     up to [neighbor_k] count-nearest group members (the paper's
     "recompute losses in the neighborhood" step, in lazy form). *)
 
-val pop_valid : Synopsis.t -> t -> cand option
+val pop_valid : Synopsis.Builder.t -> t -> cand option
 (** Pops the best candidate whose two nodes still exist (stale entries
     referring to already-merged nodes are discarded). *)
 

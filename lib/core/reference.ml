@@ -166,7 +166,7 @@ let vtype_tag = function
 let assemble ~detail ~value_paths doc cluster path_of path_labels =
   let nodes = doc.Document.nodes in
   let n = Array.length nodes in
-  let syn = Synopsis.create ~doc_height:doc.Document.height in
+  let syn = Synopsis.Builder.create ~doc_height:doc.Document.height in
   let n_clusters = Array.fold_left max 0 cluster + 1 in
   (* per-cluster aggregates *)
   let counts = Array.make n_clusters 0 in
@@ -214,10 +214,10 @@ let assemble ~detail ~value_paths doc cluster path_of path_labels =
             ~top_terms:detail.top_terms vs
       in
       let snode =
-        Synopsis.add_node syn ~label:repr.Node.label
+        Synopsis.Builder.add_node syn ~label:repr.Node.label
           ~vtype:(Value.vtype repr.Node.value) ~count:counts.(c) ~vsumm
       in
-      sid_of.(c) <- snode.Synopsis.sid
+      sid_of.(c) <- Synopsis.Builder.sid snode
     end
   done;
   (* edges: total children per (parent cluster, child cluster) *)
@@ -233,10 +233,10 @@ let assemble ~detail ~value_paths doc cluster path_of path_labels =
   done;
   Hashtbl.iter
     (fun (pc, cc) total ->
-      Synopsis.set_edge syn ~parent:sid_of.(pc) ~child:sid_of.(cc)
+      Synopsis.Builder.set_edge syn ~parent:sid_of.(pc) ~child:sid_of.(cc)
         (float_of_int total /. float_of_int counts.(pc)))
     edge_totals;
-  syn.Synopsis.root <- sid_of.(cluster.(0));
+  Synopsis.Builder.set_root syn sid_of.(cluster.(0));
   syn
 
 let build ?(detail = default_detail) ?(min_extent = 48) ?value_min_extent

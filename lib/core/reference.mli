@@ -22,7 +22,7 @@ type detail = {
 val default_detail : detail
 
 val build : ?detail:detail -> ?min_extent:int -> ?value_min_extent:int ->
-  ?value_paths:Xc_xml.Label.t list list -> Xc_xml.Document.t -> Synopsis.t
+  ?value_paths:Xc_xml.Label.t list list -> Xc_xml.Document.t -> Synopsis.Builder.t
 (** Builds the reference synopsis. [value_paths] designates the label
     paths that receive value summaries (the paper hand-picks 7 for IMDB
     and 9 for XMark); default: every value-bearing path. [min_extent]
@@ -36,6 +36,6 @@ val build : ?detail:detail -> ?min_extent:int -> ?value_min_extent:int ->
     shredded across hundreds of tiny summaries. *)
 
 val tag_only : ?detail:detail -> ?value_paths:Xc_xml.Label.t list list ->
-  Xc_xml.Document.t -> Synopsis.t
+  Xc_xml.Document.t -> Synopsis.Builder.t
 (** The smallest possible structural summary: clusters elements solely
     by (tag, value type) — the paper's 0KB structural-budget point. *)

@@ -1,22 +1,3 @@
-type snode = {
-  sid : int;
-  label : Xc_xml.Label.t;
-  vtype : Xc_xml.Value.vtype;
-  mutable count : int;
-  mutable vsumm : Xc_vsumm.Value_summary.t;
-  children : (int, float) Hashtbl.t;
-  parents : (int, unit) Hashtbl.t;
-}
-
-type t = {
-  nodes : (int, snode) Hashtbl.t;
-  mutable root : int;
-  mutable next_sid : int;
-  mutable doc_height : int;
-  mutable generation : int;
-  uid : int;
-}
-
 let next_uid = ref 0
 
 let fresh_uid () =
@@ -24,164 +5,426 @@ let fresh_uid () =
   incr next_uid;
   u
 
-let create ~doc_height =
-  { nodes = Hashtbl.create 256; root = -1; next_sid = 0; doc_height;
-    generation = 0; uid = fresh_uid () }
+module Builder = struct
+  type node = {
+    sid : int;
+    label : Xc_xml.Label.t;
+    vtype : Xc_xml.Value.vtype;
+    mutable count : int;
+    mutable vsumm : Xc_vsumm.Value_summary.t;
+    children : (int, float) Hashtbl.t;
+    parents : (int, unit) Hashtbl.t;
+  }
 
-let generation t = t.generation
-let uid t = t.uid
-let touch t = t.generation <- t.generation + 1
+  type t = {
+    nodes : (int, node) Hashtbl.t;
+    mutable root : int;
+    mutable next_sid : int;
+    doc_height : int;
+    uid : int;
+  }
 
-let add_node t ~label ~vtype ~count ~vsumm =
-  let sid = t.next_sid in
-  t.next_sid <- sid + 1;
-  let node =
+  let create ~doc_height =
+    { nodes = Hashtbl.create 256; root = -1; next_sid = 0; doc_height;
+      uid = fresh_uid () }
+
+  let uid t = t.uid
+  let doc_height t = t.doc_height
+  let root t = t.root
+  let set_root t sid = t.root <- sid
+
+  let make_node ~sid ~label ~vtype ~count ~vsumm =
     { sid; label; vtype; count; vsumm;
       children = Hashtbl.create 4;
       parents = Hashtbl.create 4 }
-  in
-  Hashtbl.replace t.nodes sid node;
-  touch t;
-  node
 
-let remove_node t sid =
-  Hashtbl.remove t.nodes sid;
-  touch t
-let find t sid = Hashtbl.find t.nodes sid
-let mem t sid = Hashtbl.mem t.nodes sid
-let root_node t = find t t.root
+  let add_node t ~label ~vtype ~count ~vsumm =
+    let sid = t.next_sid in
+    t.next_sid <- sid + 1;
+    let node = make_node ~sid ~label ~vtype ~count ~vsumm in
+    Hashtbl.replace t.nodes sid node;
+    node
 
-let set_edge t ~parent ~child avg =
-  let p = find t parent and c = find t child in
-  if avg <= 0.0 then begin
-    Hashtbl.remove p.children child;
-    Hashtbl.remove c.parents parent
-  end
-  else begin
-    Hashtbl.replace p.children child avg;
-    Hashtbl.replace c.parents parent ()
-  end;
-  touch t
+  let add_node_at t ~sid ~label ~vtype ~count ~vsumm =
+    if Hashtbl.mem t.nodes sid then
+      invalid_arg (Printf.sprintf "Synopsis.Builder.add_node_at: sid %d in use" sid);
+    let node = make_node ~sid ~label ~vtype ~count ~vsumm in
+    Hashtbl.replace t.nodes sid node;
+    if sid >= t.next_sid then t.next_sid <- sid + 1;
+    node
 
-let set_vsumm t node vsumm =
-  node.vsumm <- vsumm;
-  touch t
+  let remove_node t sid = Hashtbl.remove t.nodes sid
+  let find t sid = Hashtbl.find t.nodes sid
+  let mem t sid = Hashtbl.mem t.nodes sid
+  let root_node t = find t t.root
+  let sid node = node.sid
+  let label node = node.label
+  let vtype node = node.vtype
+  let count node = node.count
+  let vsumm node = node.vsumm
 
-let set_count t node count =
-  node.count <- count;
-  touch t
+  let set_edge t ~parent ~child avg =
+    let p = find t parent and c = find t child in
+    if avg <= 0.0 then begin
+      Hashtbl.remove p.children child;
+      Hashtbl.remove c.parents parent
+    end
+    else begin
+      Hashtbl.replace p.children child avg;
+      Hashtbl.replace c.parents parent ()
+    end
 
-let edge_count t ~parent ~child =
-  match Hashtbl.find_opt (find t parent).children child with
-  | Some avg -> avg
-  | None -> 0.0
+  let edge_count t ~parent ~child =
+    match Hashtbl.find_opt (find t parent).children child with
+    | Some avg -> avg
+    | None -> 0.0
 
-let n_nodes t = Hashtbl.length t.nodes
-let iter f t = Hashtbl.iter (fun _ node -> f node) t.nodes
-let fold f init t = Hashtbl.fold (fun _ node acc -> f acc node) t.nodes init
-let n_edges t = fold (fun acc node -> acc + Hashtbl.length node.children) 0 t
+  let set_vsumm _t node vsumm = node.vsumm <- vsumm
+  let set_count _t node count = node.count <- count
+  let n_nodes t = Hashtbl.length t.nodes
+  let iter f t = Hashtbl.iter (fun _ node -> f node) t.nodes
+  let fold f init t = Hashtbl.fold (fun _ node acc -> f acc node) t.nodes init
+  let n_edges t = fold (fun acc node -> acc + Hashtbl.length node.children) 0 t
 
-let children_list t node =
-  Hashtbl.fold (fun sid avg acc -> (find t sid, avg) :: acc) node.children []
+  let children_list t node =
+    Hashtbl.fold (fun sid avg acc -> (find t sid, avg) :: acc) node.children []
 
-let parents_list t node =
-  Hashtbl.fold (fun sid () acc -> find t sid :: acc) node.parents []
+  let parents_list t node =
+    Hashtbl.fold (fun sid () acc -> find t sid :: acc) node.parents []
 
-let succ _t node f = Hashtbl.iter f node.children
-let pred _t node f = Hashtbl.iter (fun sid () -> f sid) node.parents
-let out_degree node = Hashtbl.length node.children
-let in_degree node = Hashtbl.length node.parents
+  let succ _t node f = Hashtbl.iter f node.children
+  let pred _t node f = Hashtbl.iter (fun sid () -> f sid) node.parents
 
-let structural_bytes t =
-  fold
-    (fun acc node -> acc + Size.node_bytes + (Size.edge_bytes * Hashtbl.length node.children))
-    0 t
+  let child_avg node child =
+    Option.value ~default:0.0 (Hashtbl.find_opt node.children child)
 
-let value_bytes t =
-  fold (fun acc node -> acc + Xc_vsumm.Value_summary.size_bytes node.vsumm) 0 t
+  let has_parent node parent = Hashtbl.mem node.parents parent
+  let out_degree node = Hashtbl.length node.children
+  let in_degree node = Hashtbl.length node.parents
 
-let n_value_nodes t =
-  fold
-    (fun acc node ->
-      match node.vsumm with
-      | Xc_vsumm.Value_summary.Vnone -> acc
-      | Xc_vsumm.Value_summary.Vnum _ | Vstr _ | Vtext _ -> acc + 1)
-    0 t
+  let structural_bytes t =
+    fold
+      (fun acc node ->
+        acc + Size.node_bytes + (Size.edge_bytes * Hashtbl.length node.children))
+      0 t
 
-let copy t =
-  let fresh = Hashtbl.create (Hashtbl.length t.nodes) in
-  Hashtbl.iter
-    (fun sid node ->
-      Hashtbl.replace fresh sid
-        { node with
-          vsumm = Xc_vsumm.Value_summary.copy node.vsumm;
-          children = Hashtbl.copy node.children;
-          parents = Hashtbl.copy node.parents })
-    t.nodes;
-  { nodes = fresh; root = t.root; next_sid = t.next_sid; doc_height = t.doc_height;
-    generation = 0; uid = fresh_uid () }
+  let value_bytes t =
+    fold (fun acc node -> acc + Xc_vsumm.Value_summary.size_bytes node.vsumm) 0 t
 
-let levels t =
-  let levels = Hashtbl.create (n_nodes t) in
-  let queue = Queue.create () in
-  iter
-    (fun node ->
-      if Hashtbl.length node.children = 0 then begin
-        Hashtbl.replace levels node.sid 0;
-        Queue.add node.sid queue
-      end)
-    t;
-  (* multi-source BFS on reversed edges: shortest distance to a leaf *)
-  let max_finite = ref 0 in
-  while not (Queue.is_empty queue) do
-    let sid = Queue.pop queue in
-    let level = Hashtbl.find levels sid in
-    if level > !max_finite then max_finite := level;
-    let node = find t sid in
+  let n_value_nodes t =
+    fold
+      (fun acc node ->
+        match node.vsumm with
+        | Xc_vsumm.Value_summary.Vnone -> acc
+        | Xc_vsumm.Value_summary.Vnum _ | Vstr _ | Vtext _ -> acc + 1)
+      0 t
+
+  let copy t =
+    let fresh = Hashtbl.create (Hashtbl.length t.nodes) in
     Hashtbl.iter
-      (fun parent () ->
-        if not (Hashtbl.mem levels parent) then begin
-          Hashtbl.replace levels parent (level + 1);
-          Queue.add parent queue
+      (fun sid node ->
+        Hashtbl.replace fresh sid
+          { node with
+            vsumm = Xc_vsumm.Value_summary.copy node.vsumm;
+            children = Hashtbl.copy node.children;
+            parents = Hashtbl.copy node.parents })
+      t.nodes;
+    { nodes = fresh; root = t.root; next_sid = t.next_sid;
+      doc_height = t.doc_height; uid = fresh_uid () }
+
+  let validate t =
+    let problems = ref [] in
+    let bad fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+    if not (mem t t.root) then bad "root %d missing" t.root;
+    iter
+      (fun node ->
+        if node.count <= 0 then bad "node %d has count %d" node.sid node.count;
+        Hashtbl.iter
+          (fun child avg ->
+            if avg <= 0.0 then bad "edge %d->%d has avg %f" node.sid child avg;
+            match Hashtbl.find_opt t.nodes child with
+            | None -> bad "edge %d->%d dangles" node.sid child
+            | Some c ->
+              if not (Hashtbl.mem c.parents node.sid) then
+                bad "edge %d->%d missing reverse index" node.sid child)
+          node.children;
+        Hashtbl.iter
+          (fun parent () ->
+            match Hashtbl.find_opt t.nodes parent with
+            | None -> bad "parent %d of %d dangles" parent node.sid
+            | Some p ->
+              if not (Hashtbl.mem p.children node.sid) then
+                bad "parent edge %d->%d missing forward index" parent node.sid)
+          node.parents)
+      t;
+    match !problems with
+    | [] -> Ok ()
+    | ps -> Error (String.concat "; " ps)
+
+  let pp_stats ppf t =
+    Format.fprintf ppf "synopsis(nodes=%d, edges=%d, str=%a, val=%a)" (n_nodes t)
+      (n_edges t) Size.pp_bytes (structural_bytes t) Size.pp_bytes (value_bytes t)
+end
+
+module Levels = struct
+  type t = {
+    tbl : (int, int) Hashtbl.t;
+    mutable lmax : int;
+  }
+
+  let set t sid level =
+    Hashtbl.replace t.tbl sid level;
+    if level > t.lmax then t.lmax <- level
+
+  let compute syn =
+    let t = { tbl = Hashtbl.create (Builder.n_nodes syn); lmax = 0 } in
+    let queue = Queue.create () in
+    Builder.iter
+      (fun node ->
+        if Builder.out_degree node = 0 then begin
+          Hashtbl.replace t.tbl (Builder.sid node) 0;
+          Queue.add (Builder.sid node) queue
         end)
-      node.parents
-  done;
-  iter
-    (fun node ->
-      if not (Hashtbl.mem levels node.sid) then
-        Hashtbl.replace levels node.sid (!max_finite + 1))
-    t;
-  levels
+      syn;
+    (* multi-source BFS on reversed edges: shortest distance to a leaf *)
+    let max_finite = ref 0 in
+    while not (Queue.is_empty queue) do
+      let sid = Queue.pop queue in
+      let level = Hashtbl.find t.tbl sid in
+      if level > !max_finite then max_finite := level;
+      let node = Builder.find syn sid in
+      Builder.pred syn node (fun parent ->
+          if not (Hashtbl.mem t.tbl parent) then begin
+            Hashtbl.replace t.tbl parent (level + 1);
+            Queue.add parent queue
+          end)
+    done;
+    Builder.iter
+      (fun node ->
+        if not (Hashtbl.mem t.tbl (Builder.sid node)) then
+          Hashtbl.replace t.tbl (Builder.sid node) (!max_finite + 1))
+      syn;
+    t.lmax <- Hashtbl.fold (fun _ l acc -> max l acc) t.tbl 0;
+    t
 
-let validate t =
-  let problems = ref [] in
-  let bad fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
-  if not (mem t t.root) then bad "root %d missing" t.root;
-  iter
-    (fun node ->
-      if node.count <= 0 then bad "node %d has count %d" node.sid node.count;
-      Hashtbl.iter
-        (fun child avg ->
-          if avg <= 0.0 then bad "edge %d->%d has avg %f" node.sid child avg;
-          match Hashtbl.find_opt t.nodes child with
-          | None -> bad "edge %d->%d dangles" node.sid child
-          | Some c ->
-            if not (Hashtbl.mem c.parents node.sid) then
-              bad "edge %d->%d missing reverse index" node.sid child)
-        node.children;
-      Hashtbl.iter
-        (fun parent () ->
-          match Hashtbl.find_opt t.nodes parent with
-          | None -> bad "parent %d of %d dangles" parent node.sid
-          | Some p ->
-            if not (Hashtbl.mem p.children node.sid) then
-              bad "parent edge %d->%d missing forward index" parent node.sid)
-        node.parents)
-    t;
-  match !problems with
-  | [] -> Ok ()
-  | ps -> Error (String.concat "; " ps)
+  let level t sid = Hashtbl.find_opt t.tbl sid
+  let get t ~default sid = Option.value ~default (Hashtbl.find_opt t.tbl sid)
+  let iter_levels f t = Hashtbl.iter f t.tbl
+  let max_level t = t.lmax
+end
 
-let pp_stats ppf t =
-  Format.fprintf ppf "synopsis(nodes=%d, edges=%d, str=%a, val=%a)" (n_nodes t)
-    (n_edges t) Size.pp_bytes (structural_bytes t) Size.pp_bytes (value_bytes t)
+module Sealed = struct
+  type t = {
+    uid : int;
+    doc_height : int;
+    root : int;  (* index *)
+    sids : int array;  (* ascending; index -> sid *)
+    labels : Xc_xml.Label.t array;
+    vtypes : Xc_xml.Value.vtype array;
+    counts : int array;
+    vsumms : Xc_vsumm.Value_summary.t array;
+    child_off : int array;  (* length n+1 *)
+    child_idx : int array;  (* sorted ascending within each row *)
+    child_avg : float array;
+    parent_off : int array;
+    parent_idx : int array;
+  }
+
+  let uid t = t.uid
+  let doc_height t = t.doc_height
+  let n_nodes t = Array.length t.sids
+  let n_edges t = Array.length t.child_idx
+  let root t = t.root
+  let root_sid t = t.sids.(t.root)
+  let sid_of_index t i = t.sids.(i)
+
+  let index_of_sid t sid =
+    let lo = ref 0 and hi = ref (Array.length t.sids - 1) in
+    let found = ref None in
+    while !found = None && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let s = t.sids.(mid) in
+      if s = sid then found := Some mid
+      else if s < sid then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+
+  let label t i = t.labels.(i)
+  let vtype t i = t.vtypes.(i)
+  let count t i = t.counts.(i)
+  let vsumm t i = t.vsumms.(i)
+  let labels t = t.labels
+  let counts t = t.counts
+  let child_off t = t.child_off
+  let child_idx t = t.child_idx
+  let child_avg t = t.child_avg
+  let parent_off t = t.parent_off
+  let parent_idx t = t.parent_idx
+
+  (* binary search for [target] in [arr.(lo..hi-1)] (a sorted CSR row) *)
+  let row_find arr lo hi target =
+    let lo = ref lo and hi = ref (hi - 1) in
+    let found = ref (-1) in
+    while !found < 0 && !lo <= !hi do
+      let mid = (!lo + !hi) / 2 in
+      let v = arr.(mid) in
+      if v = target then found := mid
+      else if v < target then lo := mid + 1
+      else hi := mid - 1
+    done;
+    !found
+
+  let edge_count t ~parent ~child =
+    match index_of_sid t parent, index_of_sid t child with
+    | Some p, Some c ->
+      let e = row_find t.child_idx t.child_off.(p) t.child_off.(p + 1) c in
+      if e < 0 then 0.0 else t.child_avg.(e)
+    | _ -> 0.0
+
+  let succ t sid =
+    match index_of_sid t sid with
+    | None -> []
+    | Some i ->
+      List.init
+        (t.child_off.(i + 1) - t.child_off.(i))
+        (fun k ->
+          let e = t.child_off.(i) + k in
+          (t.sids.(t.child_idx.(e)), t.child_avg.(e)))
+
+  let pred t sid =
+    match index_of_sid t sid with
+    | None -> []
+    | Some i ->
+      List.init
+        (t.parent_off.(i + 1) - t.parent_off.(i))
+        (fun k -> t.sids.(t.parent_idx.(t.parent_off.(i) + k)))
+
+  let out_degree t i = t.child_off.(i + 1) - t.child_off.(i)
+  let in_degree t i = t.parent_off.(i + 1) - t.parent_off.(i)
+
+  let structural_bytes t =
+    (Size.node_bytes * n_nodes t) + (Size.edge_bytes * n_edges t)
+
+  let value_bytes t =
+    Array.fold_left
+      (fun acc vs -> acc + Xc_vsumm.Value_summary.size_bytes vs)
+      0 t.vsumms
+
+  let n_value_nodes t =
+    Array.fold_left
+      (fun acc vs ->
+        match vs with
+        | Xc_vsumm.Value_summary.Vnone -> acc
+        | Xc_vsumm.Value_summary.Vnum _ | Vstr _ | Vtext _ -> acc + 1)
+      0 t.vsumms
+
+  let validate t =
+    let problems = ref [] in
+    let bad fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+    let n = n_nodes t in
+    if n = 0 then bad "empty synopsis";
+    if t.root < 0 || t.root >= n then bad "root index %d out of range" t.root;
+    for i = 0 to n - 2 do
+      if t.sids.(i) >= t.sids.(i + 1) then bad "sids not strictly ascending at %d" i
+    done;
+    let check_csr name off idx =
+      if Array.length off <> n + 1 then bad "%s_off length %d" name (Array.length off);
+      if off.(0) <> 0 || off.(n) <> Array.length idx then bad "%s_off bounds" name;
+      for i = 0 to n - 1 do
+        if off.(i) > off.(i + 1) then bad "%s_off not monotone at %d" name i;
+        for e = off.(i) to off.(i + 1) - 1 do
+          if idx.(e) < 0 || idx.(e) >= n then bad "%s target out of range at %d" name e;
+          if e > off.(i) && idx.(e - 1) >= idx.(e) then
+            bad "%s row %d not strictly ascending" name i
+        done
+      done
+    in
+    check_csr "child" t.child_off t.child_idx;
+    check_csr "parent" t.parent_off t.parent_idx;
+    for i = 0 to n - 1 do
+      if t.counts.(i) <= 0 then bad "node %d has count %d" t.sids.(i) t.counts.(i);
+      for e = t.child_off.(i) to t.child_off.(i + 1) - 1 do
+        if t.child_avg.(e) <= 0.0 then
+          bad "edge %d->%d has avg %f" t.sids.(i) t.sids.(t.child_idx.(e)) t.child_avg.(e);
+        let c = t.child_idx.(e) in
+        if row_find t.parent_idx t.parent_off.(c) t.parent_off.(c + 1) i < 0 then
+          bad "edge %d->%d missing reverse index" t.sids.(i) t.sids.(c)
+      done;
+      for e = t.parent_off.(i) to t.parent_off.(i + 1) - 1 do
+        let p = t.parent_idx.(e) in
+        if row_find t.child_idx t.child_off.(p) t.child_off.(p + 1) i < 0 then
+          bad "parent edge %d->%d missing forward index" t.sids.(p) t.sids.(i)
+      done
+    done;
+    match !problems with
+    | [] -> Ok ()
+    | ps -> Error (String.concat "; " ps)
+
+  let pp_stats ppf t =
+    Format.fprintf ppf "synopsis(nodes=%d, edges=%d, str=%a, val=%a)" (n_nodes t)
+      (n_edges t) Size.pp_bytes (structural_bytes t) Size.pp_bytes (value_bytes t)
+end
+
+let freeze (b : Builder.t) : Sealed.t =
+  if not (Builder.mem b b.Builder.root) then
+    invalid_arg "Synopsis.freeze: builder has no valid root";
+  let n = Builder.n_nodes b in
+  let sids = Array.make n 0 in
+  let i = ref 0 in
+  Hashtbl.iter
+    (fun sid _ ->
+      sids.(!i) <- sid;
+      incr i)
+    b.Builder.nodes;
+  Array.sort Int.compare sids;
+  let index_of = Hashtbl.create n in
+  Array.iteri (fun i sid -> Hashtbl.replace index_of sid i) sids;
+  let node i = Hashtbl.find b.Builder.nodes sids.(i) in
+  let labels = Array.init n (fun i -> (node i).Builder.label) in
+  let vtypes = Array.init n (fun i -> (node i).Builder.vtype) in
+  let counts = Array.init n (fun i -> (node i).Builder.count) in
+  let vsumms =
+    Array.init n (fun i -> Xc_vsumm.Value_summary.copy (node i).Builder.vsumm)
+  in
+  let row_of tbl key_index =
+    (* one adjacency row as index-sorted arrays *)
+    let m = Hashtbl.length tbl in
+    let idx = Array.make m 0 and w = Array.make m 0.0 in
+    let j = ref 0 in
+    Hashtbl.iter
+      (fun sid v ->
+        idx.(!j) <- Hashtbl.find index_of sid;
+        w.(!j) <- key_index v;
+        incr j)
+      tbl;
+    (* sort both arrays by idx: build permutation *)
+    let perm = Array.init m (fun k -> k) in
+    Array.sort (fun a b -> Int.compare idx.(a) idx.(b)) perm;
+    (Array.map (fun k -> idx.(k)) perm, Array.map (fun k -> w.(k)) perm)
+  in
+  let child_rows = Array.init n (fun i -> row_of (node i).Builder.children Fun.id) in
+  let parent_rows =
+    Array.init n (fun i -> row_of (node i).Builder.parents (fun () -> 0.0))
+  in
+  let csr rows =
+    let off = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      off.(i + 1) <- off.(i) + Array.length (fst rows.(i))
+    done;
+    let total = off.(n) in
+    let idx = Array.make total 0 and w = Array.make total 0.0 in
+    for i = 0 to n - 1 do
+      let ri, rw = rows.(i) in
+      Array.blit ri 0 idx off.(i) (Array.length ri);
+      Array.blit rw 0 w off.(i) (Array.length rw)
+    done;
+    (off, idx, w)
+  in
+  let child_off, child_idx, child_avg = csr child_rows in
+  let parent_off, parent_idx, _ = csr parent_rows in
+  { Sealed.uid = fresh_uid ();
+    doc_height = b.Builder.doc_height;
+    root = Hashtbl.find index_of b.Builder.root;
+    sids; labels; vtypes; counts; vsumms;
+    child_off; child_idx; child_avg; parent_off; parent_idx }

@@ -1,120 +1,224 @@
-(** The XCluster graph-synopsis data structure (Sec. 3).
+(** The XCluster graph-synopsis data structure (Sec. 3), split into the
+    two representations its lifecycle actually has:
 
-    A synopsis is a directed graph whose nodes are structure-value
-    clusters of document elements. Each node stores its element count,
-    per-edge average child counts (the structural centroid), and a value
-    summary. The graph is mutable: the construction algorithm merges
-    nodes and compresses summaries in place. *)
+    - {!Builder} — the mutable hashtable graph the construction
+      algorithms ({!Reference}, {!Merge}, {!Pool}, {!Build}, {!Delta})
+      work on. Nodes are structure-value clusters of document elements;
+      each stores its element count, per-edge average child counts (the
+      structural centroid), and a value summary.
+    - {!Sealed} — the frozen, read-optimized form produced by {!freeze}:
+      contiguous node arrays plus sorted CSR child/parent adjacency with
+      a dense sid→index remap. A sealed synopsis never mutates, so the
+      estimation pipeline ({!Plan}, {!Estimate}, {!Codec}, the
+      [Xcluster] facade) accepts only this form and caches keyed on its
+      {!Sealed.uid} need no invalidation machinery.
 
-type snode = {
-  sid : int;                                (** stable unique id *)
-  label : Xc_xml.Label.t;
-  vtype : Xc_xml.Value.vtype;
-  mutable count : int;                      (** |extent| *)
-  mutable vsumm : Xc_vsumm.Value_summary.t;
-  children : (int, float) Hashtbl.t;
-      (** child sid → avg count.
-          @deprecated Outside [lib/core], iterate with {!succ} (or
-          {!children_list}) instead of touching the raw table; direct
-          writes bypass the {!generation} counter and leave estimation
-          caches stale. *)
-  parents : (int, unit) Hashtbl.t;
-      (** parent sid set.
-          @deprecated Outside [lib/core], iterate with {!pred} (or
-          {!parents_list}) instead of touching the raw table. *)
-}
+    Both types are abstract: all graph access goes through the accessor
+    functions below — no raw adjacency [Hashtbl] escapes this module. *)
 
-type t = {
-  nodes : (int, snode) Hashtbl.t;
-  mutable root : int;
-  mutable next_sid : int;
-  mutable doc_height : int;  (** expansion cap for descendant estimation *)
-  mutable generation : int;
-      (** bumped by every structural or value mutation made through this
-          module ({!add_node}, {!remove_node}, {!set_edge}, {!set_vsumm},
-          {!set_count}, {!touch}); estimation caches key their validity
-          on it. Raw field writes must call {!touch} afterwards. *)
-  uid : int;  (** process-unique identity, stable across mutation *)
-}
+(** The mutable construction-time graph. *)
+module Builder : sig
+  type t
+  type node
+  (** A structure-value cluster. Handles stay valid until the node is
+      removed (e.g. merged away); read them through the accessors. *)
 
-val create : doc_height:int -> t
+  val create : doc_height:int -> t
+  (** [doc_height] caps descendant-axis expansion at estimation time
+      (carried into the sealed form by {!freeze}). *)
 
-val generation : t -> int
-(** Current mutation generation (see the field's documentation). *)
+  val uid : t -> int
+  (** Process-unique id of this builder value; {!copy} allocates a
+      fresh one. *)
 
-val uid : t -> int
-(** Process-unique id of this synopsis value; {!copy} allocates a fresh
-    one. Lets caches key on a synopsis without hashing its graph. *)
+  val doc_height : t -> int
 
-val touch : t -> unit
-(** Bump {!generation} manually after mutating fields directly. *)
+  val root : t -> int
+  (** Sid of the root cluster; [-1] until {!set_root}. *)
 
-val add_node : t -> label:Xc_xml.Label.t -> vtype:Xc_xml.Value.vtype ->
-  count:int -> vsumm:Xc_vsumm.Value_summary.t -> snode
-(** Allocates a node with a fresh [sid] and registers it. *)
+  val set_root : t -> int -> unit
+  val root_node : t -> node
 
-val remove_node : t -> int -> unit
-(** Unregisters; does not patch edges (callers do). *)
+  val add_node :
+    t -> label:Xc_xml.Label.t -> vtype:Xc_xml.Value.vtype -> count:int ->
+    vsumm:Xc_vsumm.Value_summary.t -> node
+  (** Allocates a node with a fresh [sid] and registers it. *)
 
-val set_edge : t -> parent:int -> child:int -> float -> unit
-(** Sets the average child count of an edge, creating it if absent and
-    deleting it when the count is 0. Maintains the reverse index. *)
+  val add_node_at :
+    t -> sid:int -> label:Xc_xml.Label.t -> vtype:Xc_xml.Value.vtype ->
+    count:int -> vsumm:Xc_vsumm.Value_summary.t -> node
+  (** Registers a node under a caller-chosen [sid] (the codec decodes
+      nodes under their serialized ids); subsequent {!add_node} calls
+      allocate above it. @raise Invalid_argument if the sid is taken. *)
 
-val edge_count : t -> parent:int -> child:int -> float
-(** 0 if the edge is absent. *)
+  val remove_node : t -> int -> unit
+  (** Unregisters; does not patch edges (callers do). *)
 
-val set_vsumm : t -> snode -> Xc_vsumm.Value_summary.t -> unit
-(** Replace a node's value summary, bumping {!generation}. *)
+  val find : t -> int -> node
+  (** @raise Not_found when the node does not exist (e.g. was merged
+      away). *)
 
-val set_count : t -> snode -> int -> unit
-(** Replace a node's extent count, bumping {!generation}. *)
+  val mem : t -> int -> bool
 
-val find : t -> int -> snode
-(** @raise Not_found when the node does not exist (e.g. was merged away). *)
+  val sid : node -> int
+  val label : node -> Xc_xml.Label.t
+  val vtype : node -> Xc_xml.Value.vtype
+  val count : node -> int  (** |extent| *)
 
-val mem : t -> int -> bool
-val root_node : t -> snode
-val n_nodes : t -> int
-val n_edges : t -> int
-val iter : (snode -> unit) -> t -> unit
-val fold : ('a -> snode -> 'a) -> 'a -> t -> 'a
+  val vsumm : node -> Xc_vsumm.Value_summary.t
 
-val children_list : t -> snode -> (snode * float) list
-val parents_list : t -> snode -> snode list
+  val set_edge : t -> parent:int -> child:int -> float -> unit
+  (** Sets the average child count of an edge, creating it if absent and
+      deleting it when the count is 0. Maintains the reverse index. *)
 
-val succ : t -> snode -> (int -> float -> unit) -> unit
-(** Iterate the node's outgoing edges as [f child_sid avg_count] — the
-    supported read path for consumers outside [lib/core] (the facade
-    re-exports it); unspecified order. *)
+  val edge_count : t -> parent:int -> child:int -> float
+  (** 0 if the edge is absent. *)
 
-val pred : t -> snode -> (int -> unit) -> unit
-(** Iterate the node's parent sids; unspecified order. *)
+  val set_vsumm : t -> node -> Xc_vsumm.Value_summary.t -> unit
+  val set_count : t -> node -> int -> unit
+  val n_nodes : t -> int
+  val n_edges : t -> int
+  val iter : (node -> unit) -> t -> unit
+  val fold : ('a -> node -> 'a) -> 'a -> t -> 'a
+  val children_list : t -> node -> (node * float) list
+  val parents_list : t -> node -> node list
 
-val out_degree : snode -> int
-val in_degree : snode -> int
+  val succ : t -> node -> (int -> float -> unit) -> unit
+  (** Iterate the node's outgoing edges as [f child_sid avg_count];
+      unspecified order. *)
 
-val structural_bytes : t -> int
-(** {!Size.node_bytes} per node + {!Size.edge_bytes} per edge. *)
+  val pred : t -> node -> (int -> unit) -> unit
+  (** Iterate the node's parent sids; unspecified order. *)
 
-val value_bytes : t -> int
-(** Total size of all value summaries. *)
+  val child_avg : node -> int -> float
+  (** Average count of the edge to the given child sid; 0 if absent. *)
 
-val n_value_nodes : t -> int
-(** Nodes carrying a non-trivial value summary (Table 1's "Value"
-    node count). *)
+  val has_parent : node -> int -> bool
+  val out_degree : node -> int
+  val in_degree : node -> int
 
-val copy : t -> t
-(** Deep copy: private edge tables, value summaries safe to compress
-    independently. *)
+  val structural_bytes : t -> int
+  (** {!Size.node_bytes} per node + {!Size.edge_bytes} per edge. *)
 
-val levels : t -> (int, int) Hashtbl.t
-(** Level of every node: shortest outgoing path to a leaf descendant
-    (leaves are level 0, as in Sec. 4.3's bottom-up pool heuristic).
-    Nodes trapped in cycles with no leaf-bound path get
-    [1 + the maximum finite level]. *)
+  val value_bytes : t -> int
+  (** Total size of all value summaries. *)
 
-val validate : t -> (unit, string) result
-(** Structural invariants: edge tables mutually consistent, counts
-    positive, root present. Used by tests and assertions. *)
+  val n_value_nodes : t -> int
+  (** Nodes carrying a non-trivial value summary (Table 1's "Value"
+      node count). *)
 
-val pp_stats : Format.formatter -> t -> unit
+  val copy : t -> t
+  (** Deep copy: private edge tables, value summaries safe to compress
+      independently. *)
+
+  val validate : t -> (unit, string) result
+  (** Structural invariants: edge tables mutually consistent, counts
+      positive, root present. Used by tests and assertions. *)
+
+  val pp_stats : Format.formatter -> t -> unit
+end
+
+(** Node levels for the bottom-up pool heuristic (Sec. 4.3): the
+    shortest outgoing path to a leaf descendant, computed once per pool
+    replenish and updated in place as merges create nodes. Replaces the
+    former raw [(int, int) Hashtbl.t] accessor. *)
+module Levels : sig
+  type t
+
+  val compute : Builder.t -> t
+  (** Level of every node: leaves are level 0; nodes trapped in cycles
+      with no leaf-bound path get [1 + the maximum finite level]. *)
+
+  val level : t -> int -> int option
+  (** Level of a sid, if it was present at {!compute} time or {!set}
+      since. *)
+
+  val get : t -> default:int -> int -> int
+  val set : t -> int -> int -> unit
+  (** Record the level of a node created after {!compute} (the merge
+      loop assigns new nodes [min] of their sources' levels). *)
+
+  val iter_levels : (int -> int -> unit) -> t -> unit
+  (** [f sid level] over every recorded node; unspecified order. *)
+
+  val max_level : t -> int
+  (** Largest recorded level; 0 when empty. O(1). *)
+end
+
+(** The frozen read-path representation: nodes in ascending-sid index
+    order ([index i] holds the i-th smallest sid), child and parent
+    adjacency in CSR form sorted by target index within each row. All
+    estimation folds run in this canonical index order. *)
+module Sealed : sig
+  type t
+
+  val uid : t -> int
+  (** Process-unique id; every {!freeze} allocates a fresh one. Plan
+      caches key on it — a sealed synopsis never mutates, so the key
+      never goes stale. *)
+
+  val doc_height : t -> int
+  val n_nodes : t -> int
+  val n_edges : t -> int
+
+  val root : t -> int
+  (** Index of the root cluster. *)
+
+  val root_sid : t -> int
+
+  val sid_of_index : t -> int -> int
+  (** The node's original builder sid (ascending in the index). *)
+
+  val index_of_sid : t -> int -> int option
+
+  val label : t -> int -> Xc_xml.Label.t
+  (** Accessors below are all by node index, [0 .. n_nodes - 1]. *)
+
+  val vtype : t -> int -> Xc_xml.Value.vtype
+  val count : t -> int -> int
+  val vsumm : t -> int -> Xc_vsumm.Value_summary.t
+
+  val labels : t -> Xc_xml.Label.t array
+  (** The physical node/adjacency arrays, exposed for the estimation hot
+      loops ([labels], [counts], then the CSR rows: node [i]'s children
+      are [child_idx.(child_off.(i)) .. child_idx.(child_off.(i+1)-1)],
+      sorted ascending, with matching [child_avg] weights; parents
+      analogous). Treat as read-only — a sealed synopsis is frozen. *)
+
+  val counts : t -> int array
+  val child_off : t -> int array
+  val child_idx : t -> int array
+  val child_avg : t -> float array
+  val parent_off : t -> int array
+  val parent_idx : t -> int array
+
+  val edge_count : t -> parent:int -> child:int -> float
+  (** By sid, mirroring {!Builder.edge_count}: binary search over the
+      sorted CSR row; 0 if either sid is absent or the edge is. *)
+
+  val succ : t -> int -> (int * float) list
+  (** Outgoing edges of a cluster (by sid) as [(child sid, avg count)],
+      ascending by child sid. *)
+
+  val pred : t -> int -> int list
+  (** Parent sids of a cluster (by sid), ascending. *)
+
+  val out_degree : t -> int -> int
+  val in_degree : t -> int -> int
+  val structural_bytes : t -> int
+  val value_bytes : t -> int
+  val n_value_nodes : t -> int
+
+  val validate : t -> (unit, string) result
+  (** CSR invariants: offsets monotone and bounded, rows sorted and
+      duplicate-free, child/parent rows mutually consistent, counts
+      positive, root in range. *)
+
+  val pp_stats : Format.formatter -> t -> unit
+end
+
+val freeze : Builder.t -> Sealed.t
+(** Snapshot the builder into the read-optimized sealed form. The
+    builder is unchanged and may keep mutating — value summaries are
+    deep-copied, so later in-place compression cannot reach the sealed
+    value. @raise Invalid_argument if the builder has no valid root. *)

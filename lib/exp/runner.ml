@@ -4,7 +4,7 @@ module Synopsis = Xc_core.Synopsis
 type dataset = {
   name : string;
   doc : Xc_xml.Document.t;
-  reference : Synopsis.t;
+  reference : Synopsis.Builder.t;
   workload : Workload.entry list;
   sanity : float;
   value_paths : Xc_xml.Label.t list list;
@@ -115,14 +115,15 @@ type table1_row = {
 let table1 ds =
   let bytes = Xc_xml.Writer.serialized_size ds.doc in
   let ref_bytes =
-    Synopsis.structural_bytes ds.reference + Synopsis.value_bytes ds.reference
+    Synopsis.Builder.structural_bytes ds.reference
+    + Synopsis.Builder.value_bytes ds.reference
   in
   { ds = ds.name;
     file_mb = float_of_int bytes /. (1024.0 *. 1024.0);
     n_elements = Xc_xml.Document.n_elements ds.doc;
     ref_kb = float_of_int ref_bytes /. 1024.0;
-    value_nodes = Synopsis.n_value_nodes ds.reference;
-    total_nodes = Synopsis.n_nodes ds.reference }
+    value_nodes = Synopsis.Builder.n_value_nodes ds.reference;
+    total_nodes = Synopsis.Builder.n_nodes ds.reference }
 
 type table2_row = {
   ds2 : string;

@@ -18,7 +18,9 @@
 type dataset = {
   name : string;
   doc : Xc_xml.Document.t;
-  reference : Xc_core.Synopsis.t;
+  reference : Xc_core.Synopsis.Builder.t;
+      (** still mutable: sweeps and ablations re-compress it under
+          different budgets ({!Xc_core.Build} copies before mutating) *)
   workload : Xc_twig.Workload.entry list;
   sanity : float;
   value_paths : Xc_xml.Label.t list list;
@@ -86,14 +88,14 @@ val ablation_text : ?top_ks:int list -> dataset ->
     at a fixed budget. Returns (top_k, end-biased error, naive error
     baseline repeated). *)
 
-val estimator : Xc_core.Synopsis.t -> Xc_twig.Twig_query.t -> float
+val estimator : Xc_core.Synopsis.Sealed.t -> Xc_twig.Twig_query.t -> float
 (** The compiled estimation pipeline: partial application
     [estimator syn] allocates a {!Xc_core.Plan.Cache} for the synopsis,
     and the returned closure estimates through it, sharing plans and
     memoized reach expansions across queries. Floats are identical to
     {!Xc_core.Estimate.selectivity}. *)
 
-val estimator_uncached : Xc_core.Synopsis.t -> Xc_twig.Twig_query.t -> float
+val estimator_uncached : Xc_core.Synopsis.Sealed.t -> Xc_twig.Twig_query.t -> float
 (** The direct {!Xc_core.Estimate.selectivity} path, kept as the
     baseline the pipeline is validated and benchmarked against. *)
 

@@ -1,10 +1,12 @@
 module Synopsis = Xc_core.Synopsis
 module Plan = Xc_core.Plan
 module Metrics = Xc_util.Metrics
+module Sealed = Synopsis.Sealed
 
 type document = Xc_xml.Document.t
 type query = Xc_twig.Twig_query.t
-type synopsis = Synopsis.t
+type builder = Synopsis.Builder.t
+type synopsis = Sealed.t
 
 type budget = Xc_core.Build.budget = {
   bstr : int;
@@ -16,6 +18,7 @@ type budget = Xc_core.Build.budget = {
 
 let budget = Xc_core.Build.budget
 let reference = Xc_core.Reference.build
+let seal = Synopsis.freeze
 let compress b reference = Xc_core.Build.run b reference
 
 let build ?budget:b ?min_extent ?value_min_extent ?value_paths doc =
@@ -28,15 +31,17 @@ let auto_split = Xc_core.Build.auto_split
 
 let parse_query = Xc_twig.Twig_parse.parse
 
-(* One plan cache per synopsis, keyed by its process-unique uid. The
-   table is bounded: synopses are long-lived in any serving scenario,
-   but a workload that churns through thousands of short-lived synopses
-   (e.g. budget sweeps) must not accumulate dead caches. *)
+(* One plan cache per synopsis, keyed by its process-unique uid (a
+   sealed synopsis never mutates, so a cache stays valid for the
+   synopsis's whole lifetime). The table is bounded: synopses are
+   long-lived in any serving scenario, but a workload that churns
+   through thousands of short-lived synopses (e.g. budget sweeps) must
+   not accumulate dead caches. *)
 let max_caches = 64
 let caches : (int, Plan.Cache.t) Hashtbl.t = Hashtbl.create 16
 
 let cache_for syn =
-  let uid = Synopsis.uid syn in
+  let uid = Sealed.uid syn in
   match Hashtbl.find_opt caches uid with
   | Some c -> c
   | None ->
@@ -53,23 +58,16 @@ let explain = Xc_core.Estimate.explain
 
 (* ---- synopsis inspection --------------------------------------------- *)
 
-let validate = Synopsis.validate
-let pp_stats = Synopsis.pp_stats
-let n_nodes = Synopsis.n_nodes
-let n_edges = Synopsis.n_edges
-let size_bytes syn = Synopsis.structural_bytes syn + Synopsis.value_bytes syn
+let validate = Sealed.validate
+let pp_stats = Sealed.pp_stats
+let n_nodes = Sealed.n_nodes
+let n_edges = Sealed.n_edges
+let size_bytes syn = Sealed.structural_bytes syn + Sealed.value_bytes syn
+let succ = Sealed.succ
+let pred = Sealed.pred
 
-let succ syn sid =
-  let node = Synopsis.find syn sid in
-  let acc = ref [] in
-  Synopsis.succ syn node (fun child avg -> acc := (child, avg) :: !acc);
-  List.sort (fun (a, _) (b, _) -> Int.compare a b) !acc
-
-let pred syn sid =
-  let node = Synopsis.find syn sid in
-  let acc = ref [] in
-  Synopsis.pred syn node (fun parent -> acc := parent :: !acc);
-  List.sort Int.compare !acc
+let builder_stats ppf b = Synopsis.Builder.pp_stats ppf b
+let validate_builder = Synopsis.Builder.validate
 
 (* ---- persistence ------------------------------------------------------ *)
 

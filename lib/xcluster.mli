@@ -4,9 +4,17 @@
     generate a document, {!build} a budgeted synopsis, {!estimate} twig
     selectivities through the compiled pipeline, and read
     {!metrics_snapshot}. Everything underneath ([Xc_core], [Xc_twig],
-    …) remains reachable for experiments and internal tooling, but its
-    raw representations (the synopsis's hash-table fields in
-    particular) are not part of the stable surface and may change.
+    …) remains reachable for experiments and internal tooling.
+
+    A synopsis has two lives. During construction it is a mutable
+    {!builder} ({!Xc_core.Synopsis.Builder.t}): {!reference} produces
+    one, and the build algorithms merge and compress it in place. Every
+    finished synopsis is a frozen {!synopsis}
+    ({!Xc_core.Synopsis.Sealed.t}): {!compress}/{!build} freeze on the
+    way out, {!seal} freezes a builder directly, and estimation,
+    explanation, and persistence accept only the sealed form. Sealed
+    synopses never mutate, so the per-synopsis plan caches need no
+    invalidation machinery.
 
     Estimation here always goes through {!Xc_core.Plan}: every synopsis
     gets a plan cache on first use, so repeated estimates — the serving
@@ -15,7 +23,12 @@
 
 type document = Xc_xml.Document.t
 type query = Xc_twig.Twig_query.t
-type synopsis = Xc_core.Synopsis.t
+
+type builder = Xc_core.Synopsis.Builder.t
+(** A synopsis under construction — mutable, not estimable. *)
+
+type synopsis = Xc_core.Synopsis.Sealed.t
+(** A finished synopsis — frozen, estimable, persistable. *)
 
 type budget = Xc_core.Build.budget = {
   bstr : int;  (** structural budget, bytes *)
@@ -30,13 +43,18 @@ val budget : ?pool:Xc_core.Pool.config -> ?bstr_kb:int -> ?bval_kb:int -> unit -
 
 val reference :
   ?detail:Xc_core.Reference.detail -> ?min_extent:int -> ?value_min_extent:int ->
-  ?value_paths:Xc_xml.Label.t list list -> document -> synopsis
+  ?value_paths:Xc_xml.Label.t list list -> document -> builder
 (** The detailed reference synopsis construction
     ({!Xc_core.Reference.build}). *)
 
-val compress : budget -> synopsis -> synopsis
+val seal : builder -> synopsis
+(** Freeze a builder into the read-optimized sealed form
+    ({!Xc_core.Synopsis.freeze}). The builder is unchanged and may keep
+    mutating; the sealed value never will. *)
+
+val compress : budget -> builder -> synopsis
 (** XCLUSTERBUILD: compress a reference synopsis to the budget (on a
-    private copy; the argument is unchanged). *)
+    private copy; the argument is unchanged) and seal the result. *)
 
 val build : ?budget:budget -> ?min_extent:int -> ?value_min_extent:int ->
   ?value_paths:Xc_xml.Label.t list list -> document -> synopsis
@@ -44,7 +62,7 @@ val build : ?budget:budget -> ?min_extent:int -> ?value_min_extent:int ->
     in one call. *)
 
 val auto_split : ?ratios:float list -> total_kb:int ->
-  sample:(synopsis -> float) -> synopsis -> budget * synopsis
+  sample:(synopsis -> float) -> builder -> budget * synopsis
 (** Automated structural/value budget-split search
     ({!Xc_core.Build.auto_split}). *)
 
@@ -56,9 +74,10 @@ val parse_query : string -> query
 
 val estimate : synopsis -> query -> float
 (** Estimated number of binding tuples, through the compiled pipeline.
-    The plan cache is keyed on the synopsis's {!Xc_core.Synopsis.uid}
-    and created on first use; synopsis mutation invalidates its memo
-    automatically (generation counter). *)
+    The plan cache is keyed on the synopsis's
+    {!Xc_core.Synopsis.Sealed.uid} and created on first use; sealed
+    synopses never mutate, so cached plans and memos stay valid
+    forever. *)
 
 val plan : synopsis -> query -> Xc_core.Plan.t
 (** The cached compiled plan (compiling on first sight) for callers
@@ -87,12 +106,19 @@ val size_bytes : synopsis -> int
 (** Structural + value bytes. *)
 
 val succ : synopsis -> int -> (int * float) list
-(** Outgoing edges of a cluster as [(child sid, avg count)] — the
-    facade's view of the synopsis graph; raw hash-table fields stay
-    behind {!Xc_core.Synopsis}. *)
+(** Outgoing edges of a cluster as [(child sid, avg count)], ascending
+    by child sid. *)
 
 val pred : synopsis -> int -> int list
-(** Parent sids of a cluster. *)
+(** Parent sids of a cluster, ascending. *)
+
+val builder_stats : Format.formatter -> builder -> unit
+(** Size/shape summary of an unsealed builder (the CLI prints this for
+    the reference synopsis before compressing). *)
+
+val validate_builder : builder -> (unit, string) result
+(** Structural invariants of a builder
+    ({!Xc_core.Synopsis.Builder.validate}). *)
 
 (* ---- persistence ------------------------------------------------------ *)
 

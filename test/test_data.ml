@@ -198,9 +198,11 @@ let test_dblp_deterministic () =
 let test_dblp_end_to_end () =
   let doc = Xc_data.Dblp.generate ~seed:10 ~n_authors:120 () in
   let reference = Xc_core.Reference.build ~min_extent:4 doc in
-  check Alcotest.bool "valid" true (Xc_core.Synopsis.validate reference = Ok ());
+  check Alcotest.bool "valid" true
+    (Xc_core.Synopsis.Builder.validate reference = Ok ());
+  let sealed = Xc_core.Synopsis.freeze reference in
   let exact q = Xc_twig.Twig_eval.selectivity doc (Xc_twig.Twig_parse.parse q) in
-  let est q = Xc_core.Estimate.selectivity reference (Xc_twig.Twig_parse.parse q) in
+  let est q = Xc_core.Estimate.selectivity sealed (Xc_twig.Twig_parse.parse q) in
   (* structural exactness holds on the reference like everywhere else *)
   Alcotest.check (Alcotest.float 1e-6) "papers" (exact "//paper") (est "//paper");
   Alcotest.check (Alcotest.float 1e-6) "refs" (exact "//cites/ref") (est "//cites/ref")

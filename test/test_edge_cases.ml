@@ -163,50 +163,52 @@ let test_term_hist_parts_roundtrip () =
 
 (* ---- Synopsis / Merge edges --------------------------------------------------- *)
 
+module B = Synopsis.Builder
+
 let test_levels_with_cycle () =
-  let syn = Synopsis.create ~doc_height:4 in
+  let syn = B.create ~doc_height:4 in
   let add l c =
-    Synopsis.add_node syn ~label:(Xc_xml.Label.of_string l) ~vtype:Xc_xml.Value.Tnull
+    B.add_node syn ~label:(Xc_xml.Label.of_string l) ~vtype:Xc_xml.Value.Tnull
       ~count:c ~vsumm:Value_summary.vnone
   in
   let r = add "r" 1 and a = add "a" 4 and leaf = add "x" 2 in
-  syn.Synopsis.root <- r.Synopsis.sid;
-  Synopsis.set_edge syn ~parent:r.Synopsis.sid ~child:a.Synopsis.sid 4.0;
-  Synopsis.set_edge syn ~parent:a.Synopsis.sid ~child:a.Synopsis.sid 0.25;
-  Synopsis.set_edge syn ~parent:r.Synopsis.sid ~child:leaf.Synopsis.sid 2.0;
-  let levels = Synopsis.levels syn in
-  check Alcotest.int "leaf" 0 (Hashtbl.find levels leaf.Synopsis.sid);
-  check Alcotest.int "root via leaf" 1 (Hashtbl.find levels r.Synopsis.sid);
+  B.set_root syn (B.sid r);
+  B.set_edge syn ~parent:(B.sid r) ~child:(B.sid a) 4.0;
+  B.set_edge syn ~parent:(B.sid a) ~child:(B.sid a) 0.25;
+  B.set_edge syn ~parent:(B.sid r) ~child:(B.sid leaf) 2.0;
+  let levels = Synopsis.Levels.compute syn in
+  let level sid = Synopsis.Levels.get levels ~default:(-1) sid in
+  check Alcotest.int "leaf" 0 (level (B.sid leaf));
+  check Alcotest.int "root via leaf" 1 (level (B.sid r));
   (* the self-looping node has no leaf-bound path: parked above max *)
-  check Alcotest.bool "cycle node above" true
-    (Hashtbl.find levels a.Synopsis.sid > Hashtbl.find levels r.Synopsis.sid)
+  check Alcotest.bool "cycle node above" true (level (B.sid a) > level (B.sid r))
 
 let test_merge_shared_parent_edge_counts () =
-  let syn = Synopsis.create ~doc_height:3 in
+  let syn = B.create ~doc_height:3 in
   let add l c =
-    Synopsis.add_node syn ~label:(Xc_xml.Label.of_string l) ~vtype:Xc_xml.Value.Tnull
+    B.add_node syn ~label:(Xc_xml.Label.of_string l) ~vtype:Xc_xml.Value.Tnull
       ~count:c ~vsumm:Value_summary.vnone
   in
   let r = add "r" 1 and u = add "x" 2 and v = add "x" 6 in
-  syn.Synopsis.root <- r.Synopsis.sid;
-  Synopsis.set_edge syn ~parent:r.Synopsis.sid ~child:u.Synopsis.sid 2.0;
-  Synopsis.set_edge syn ~parent:r.Synopsis.sid ~child:v.Synopsis.sid 6.0;
+  B.set_root syn (B.sid r);
+  B.set_edge syn ~parent:(B.sid r) ~child:(B.sid u) 2.0;
+  B.set_edge syn ~parent:(B.sid r) ~child:(B.sid v) 6.0;
   let predicted = Xc_core.Merge.saved_bytes syn u v in
-  let before = Synopsis.structural_bytes syn in
-  let w = Xc_core.Merge.apply syn u.Synopsis.sid v.Synopsis.sid in
+  let before = B.structural_bytes syn in
+  let w = Xc_core.Merge.apply syn (B.sid u) (B.sid v) in
   (* count(r,w) = count(r,u) + count(r,v) *)
   checkf "parent edge adds" 8.0
-    (Synopsis.edge_count syn ~parent:r.Synopsis.sid ~child:w.Synopsis.sid);
+    (B.edge_count syn ~parent:(B.sid r) ~child:(B.sid w));
   check Alcotest.int "saved as predicted" (before - predicted)
-    (Synopsis.structural_bytes syn)
+    (B.structural_bytes syn)
 
 let test_compression_delta_none_for_vnone () =
-  let syn = Synopsis.create ~doc_height:2 in
+  let syn = B.create ~doc_height:2 in
   let u =
-    Synopsis.add_node syn ~label:(Xc_xml.Label.of_string "x")
-      ~vtype:Xc_xml.Value.Tnull ~count:3 ~vsumm:Value_summary.vnone
+    B.add_node syn ~label:(Xc_xml.Label.of_string "x") ~vtype:Xc_xml.Value.Tnull
+      ~count:3 ~vsumm:Value_summary.vnone
   in
-  syn.Synopsis.root <- u.Synopsis.sid;
+  B.set_root syn (B.sid u);
   check Alcotest.bool "no op" true (Xc_core.Delta.compression_delta syn u = None)
 
 (* ---- Codec fuzz ----------------------------------------------------------------- *)
@@ -216,7 +218,7 @@ let codec_rejects_corruption =
     QCheck.(pair (int_range 0 10_000) (int_range 1 95))
     (fun (seed, percent) ->
       let doc = Xc_data.Imdb.generate ~seed:71 ~n_movies:20 () in
-      let syn = Xc_core.Reference.build ~min_extent:1 doc in
+      let syn = Xc_core.Synopsis.freeze (Xc_core.Reference.build ~min_extent:1 doc) in
       let good = Xc_core.Codec.to_string syn in
       let rng = Xc_util.Rng.create seed in
       (* truncate and flip a byte *)

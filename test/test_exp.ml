@@ -63,7 +63,7 @@ let test_runner_dataset () =
   check Alcotest.bool "workload nonempty" true (List.length ds.Runner.workload > 0);
   check Alcotest.bool "sanity >= 1" true (ds.Runner.sanity >= 1.0);
   check Alcotest.bool "reference valid" true
-    (Xc_core.Synopsis.validate ds.Runner.reference = Ok ())
+    (Xc_core.Synopsis.Builder.validate ds.Runner.reference = Ok ())
 
 let test_runner_table1 () =
   let ds = mini () in

@@ -20,7 +20,7 @@ let est syn q = Estimate.selectivity syn (Xc_twig.Twig_parse.parse q)
 
 let test_struct_exact_xmark () =
   let doc = Xc_data.Xmark.generate ~seed:51 ~scale:0.04 () in
-  let reference = Reference.build ~min_extent:1 doc in
+  let reference = Synopsis.freeze (Reference.build ~min_extent:1 doc) in
   List.iter
     (fun q -> checkf ("exact " ^ q) (exact doc q) (est reference q))
     [ "//item"; "//person/name"; "//open_auction/bidder";
@@ -41,7 +41,7 @@ let struct_exact_random_docs =
       let doc =
         Document.create (Node.make "r" ~children:(List.init 3 (fun _ -> gen 0)))
       in
-      let reference = Reference.build ~min_extent:1 doc in
+      let reference = Synopsis.freeze (Reference.build ~min_extent:1 doc) in
       List.for_all
         (fun q -> Float.abs (exact doc q -. est reference q) < 1e-6)
         [ "//a"; "//b//c"; "/r/*/d"; "//a[b]"; "//c/d" ])
@@ -70,7 +70,7 @@ let test_budget_monotone_size () =
     List.map
       (fun kb ->
         let syn = Build.run (Build.params ~bstr_kb:kb ~bval_kb:20 ()) reference in
-        Synopsis.structural_bytes syn)
+        Synopsis.Sealed.structural_bytes syn)
       [ 1; 2; 4; 8 ]
   in
   let rec nondecreasing = function
@@ -87,7 +87,7 @@ let test_wildcard_total_counts () =
   (* //* counts every element except the root... plus the root: descendant
      of the virtual document node includes the root element *)
   checkf "//* = all elements" (float_of_int (Document.n_elements doc))
-    (est reference "//*");
+    (est (Synopsis.freeze reference) "//*");
   (* and the same must hold on any compressed synopsis: merges preserve
      extent mass *)
   let syn = Build.run (Build.params ~bstr_kb:1 ~bval_kb:10 ()) reference in
@@ -163,7 +163,7 @@ let test_auto_split_within_candidates () =
   (* a degenerate sample functional still yields a well-formed winner *)
   let params, syn = Build.auto_split ~total_kb:30 ~sample reference in
   check Alcotest.bool "bstr within budget" true (params.Build.bstr <= Xc_core.Size.kb 30);
-  check Alcotest.bool "synopsis valid" true (Synopsis.validate syn = Ok ())
+  check Alcotest.bool "synopsis valid" true (Synopsis.Sealed.validate syn = Ok ())
 
 let () =
   Alcotest.run ~and_exit:false "xc_integration"
@@ -218,7 +218,7 @@ let differential_struct_estimates =
   (* the reference synopsis must agree with the exact evaluator on any
      structural twig, not just hand-picked ones *)
   let doc = Xc_data.Imdb.generate ~seed:60 ~n_movies:150 () in
-  let reference = Reference.build ~min_extent:1 doc in
+  let reference = Synopsis.freeze (Reference.build ~min_extent:1 doc) in
   QCheck.Test.make ~name:"reference = exact evaluator on random struct twigs"
     ~count:60
     QCheck.(int_range 0 1_000_000)
@@ -230,7 +230,7 @@ let differential_struct_estimates =
 
 let test_explain_masses () =
   let doc = Xc_data.Imdb.generate ~seed:61 ~n_movies:100 () in
-  let reference = Reference.build doc in
+  let reference = Synopsis.freeze (Reference.build doc) in
   (* steps without predicates coalesce into one edge, so this twig has a
      single non-root variable bound to actor clusters *)
   let q = Xc_twig.Twig_parse.parse "//movie/cast/actor" in
@@ -249,7 +249,7 @@ let test_explain_masses () =
 
 let test_explain_with_predicates () =
   let doc = Xc_data.Imdb.generate ~seed:62 ~n_movies:100 () in
-  let reference = Reference.build doc in
+  let reference = Synopsis.freeze (Reference.build doc) in
   let q = Xc_twig.Twig_parse.parse "//movie/year[. > 1990]" in
   let broad = Estimate.explain reference (Xc_twig.Twig_parse.parse "//movie/year") in
   let narrow = Estimate.explain reference q in

@@ -1,10 +1,12 @@
 (* Tests for the compiled estimation pipeline: Plan/Plan.Cache
-   equivalence with the direct estimator on all three datasets'
-   workloads, generation-counter invalidation of the reach memo, and
-   the Metrics registry. *)
+   bit-identity with both estimator baselines on all three datasets'
+   workloads, freeze-snapshot semantics of the sealed synopsis, and the
+   Metrics registry. *)
 
 open Xc_xml
 module Synopsis = Xc_core.Synopsis
+module B = Synopsis.Builder
+module S = Synopsis.Sealed
 module Estimate = Xc_core.Estimate
 module Plan = Xc_core.Plan
 module Build = Xc_core.Build
@@ -15,29 +17,37 @@ module Vs = Xc_vsumm.Value_summary
 let check = Alcotest.check
 let checkf msg = Alcotest.check (Alcotest.float 1e-9) msg
 
+(* exact equality: the refactor's contract is bit-identical floats *)
+let check0 msg = Alcotest.check (Alcotest.float 0.0) msg
+
 let contains hay needle =
   let nl = String.length needle and hl = String.length hay in
   let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
   go 0
 
-(* ---- plan-cached vs uncached equivalence ------------------------------ *)
+(* ---- builder / sealed / planned equivalence ---------------------------- *)
 
 (* The property the whole pipeline rests on: for every workload query,
-   the plan-cached estimate equals the direct estimate to within 1e-9
-   (in fact bit-identically — the memo stores the very tables a fresh
-   run would fold over). Each estimate runs twice so the second pass
-   exercises the warm plan cache and reach memo. *)
+   the hashtable-walking builder estimator, the CSR sealed estimator,
+   and the plan-cached estimator produce bit-identical floats. Each
+   estimate runs twice so the second pass exercises the warm plan cache
+   and reach memo. *)
 let equivalence_on ds =
-  let syn = Build.run (Build.budget ~bstr_kb:10 ~bval_kb:60 ()) ds.Runner.reference in
+  let builder =
+    Build.run_builder (Build.budget ~bstr_kb:10 ~bval_kb:60 ()) ds.Runner.reference
+  in
+  let syn = Synopsis.freeze builder in
   let cache = Plan.Cache.create syn in
   List.iter
     (fun e ->
       let q = e.Xc_twig.Workload.query in
+      let baseline = Estimate.selectivity_builder builder q in
       let uncached = Estimate.selectivity syn q in
       let cold = Plan.Cache.estimate cache q in
       let warm = Plan.Cache.estimate cache q in
-      checkf "cold = uncached" uncached cold;
-      checkf "warm = uncached" uncached warm)
+      check0 "sealed = builder" baseline uncached;
+      check0 "cold = uncached" uncached cold;
+      check0 "warm = uncached" uncached warm)
     ds.Runner.workload;
   check Alcotest.bool "plans cached" true (Plan.Cache.n_plans cache > 0);
   check Alcotest.bool "reach memoized" true (Plan.Cache.reach_entries cache > 0)
@@ -53,65 +63,71 @@ let test_facade_estimate () =
   List.iter
     (fun e ->
       let q = e.Xc_twig.Workload.query in
-      checkf "facade = uncached" (Xcluster.estimate_uncached syn q) (Xcluster.estimate syn q))
+      check0 "facade = uncached" (Xcluster.estimate_uncached syn q) (Xcluster.estimate syn q))
     ds.Runner.workload
 
-(* ---- generation counter and memo invalidation ------------------------- *)
+(* ---- freeze snapshot semantics ----------------------------------------- *)
 
-let tiny_synopsis () =
-  let syn = Synopsis.create ~doc_height:3 in
-  let r = Synopsis.add_node syn ~label:(Label.of_string "r") ~vtype:Value.Tnull ~count:1 ~vsumm:Vs.vnone in
-  let a = Synopsis.add_node syn ~label:(Label.of_string "a") ~vtype:Value.Tnull ~count:4 ~vsumm:Vs.vnone in
-  let b = Synopsis.add_node syn ~label:(Label.of_string "b") ~vtype:Value.Tnull ~count:8 ~vsumm:Vs.vnone in
-  syn.Synopsis.root <- r.Synopsis.sid;
-  Synopsis.set_edge syn ~parent:r.Synopsis.sid ~child:a.Synopsis.sid 4.0;
-  Synopsis.set_edge syn ~parent:a.Synopsis.sid ~child:b.Synopsis.sid 2.0;
+let tiny_builder () =
+  let syn = B.create ~doc_height:3 in
+  let r = B.add_node syn ~label:(Label.of_string "r") ~vtype:Value.Tnull ~count:1 ~vsumm:Vs.vnone in
+  let a = B.add_node syn ~label:(Label.of_string "a") ~vtype:Value.Tnull ~count:4 ~vsumm:Vs.vnone in
+  let b = B.add_node syn ~label:(Label.of_string "b") ~vtype:Value.Tnull ~count:8 ~vsumm:Vs.vnone in
+  B.set_root syn (B.sid r);
+  B.set_edge syn ~parent:(B.sid r) ~child:(B.sid a) 4.0;
+  B.set_edge syn ~parent:(B.sid a) ~child:(B.sid b) 2.0;
   (syn, r, a, b)
 
-let test_generation_bumps () =
-  let syn, r, a, _b = tiny_synopsis () in
-  let g0 = Synopsis.generation syn in
-  Synopsis.set_edge syn ~parent:r.Synopsis.sid ~child:a.Synopsis.sid 5.0;
-  check Alcotest.bool "set_edge bumps" true (Synopsis.generation syn > g0);
-  let g1 = Synopsis.generation syn in
-  Synopsis.set_vsumm syn a Vs.vnone;
-  check Alcotest.bool "set_vsumm bumps" true (Synopsis.generation syn > g1);
-  let g2 = Synopsis.generation syn in
-  Synopsis.set_count syn a 5;
-  check Alcotest.bool "set_count bumps" true (Synopsis.generation syn > g2);
-  let g3 = Synopsis.generation syn in
-  Synopsis.touch syn;
-  check Alcotest.bool "touch bumps" true (Synopsis.generation syn > g3);
-  let copy = Synopsis.copy syn in
-  check Alcotest.bool "fresh uid on copy" true (Synopsis.uid copy <> Synopsis.uid syn)
-
-let test_memo_invalidation () =
-  let syn, r, a, b = tiny_synopsis () in
+let test_freeze_snapshots () =
+  (* a sealed synopsis is a snapshot: builder mutations after freeze are
+     invisible to it, its caches, and its plans — re-freezing is how you
+     publish an update, and it carries a fresh uid for cache keying *)
+  let syn, _r, a, b = tiny_builder () in
+  let sealed = Synopsis.freeze syn in
   let q = Xc_twig.Twig_parse.parse "//a/b" in
-  let cache = Plan.Cache.create syn in
-  let before = Plan.Cache.estimate cache q in
-  checkf "tiny twig" 8.0 before;
+  let cache = Plan.Cache.create sealed in
+  checkf "tiny twig" 8.0 (Plan.Cache.estimate cache q);
   check Alcotest.bool "memo populated" true (Plan.Cache.reach_entries cache > 0);
-  check Alcotest.int "memo at current generation" (Synopsis.generation syn)
-    (Plan.Cache.generation cache);
-  (* double the a->b fanout: //a/b must now see 16 expected elements *)
-  Synopsis.set_edge syn ~parent:a.Synopsis.sid ~child:b.Synopsis.sid 4.0;
-  ignore r;
-  let after = Plan.Cache.estimate cache q in
-  checkf "stale memo dropped" (Estimate.selectivity syn q) after;
-  checkf "doubled fanout" 16.0 after;
-  check Alcotest.int "memo revalidated" (Synopsis.generation syn)
-    (Plan.Cache.generation cache)
+  (* double the a->b fanout in the builder *)
+  B.set_edge syn ~parent:(B.sid a) ~child:(B.sid b) 4.0;
+  checkf "sealed unaffected (cached)" 8.0 (Plan.Cache.estimate cache q);
+  checkf "sealed unaffected (uncached)" 8.0 (Estimate.selectivity sealed q);
+  let sealed2 = Synopsis.freeze syn in
+  check Alcotest.bool "fresh uid per freeze" true (S.uid sealed2 <> S.uid sealed);
+  checkf "new snapshot sees doubled fanout" 16.0 (Estimate.selectivity sealed2 q);
+  checkf "old snapshot still answers" 8.0 (Plan.Cache.estimate cache q)
 
-let test_plan_survives_mutation () =
-  (* plans compile against the query only; after mutation the same plan
-     value must answer with fresh expansions *)
-  let syn, _r, a, b = tiny_synopsis () in
-  let plan = Plan.compile syn (Xc_twig.Twig_parse.parse "//b") in
-  checkf "initial" 8.0 (Plan.estimate plan);
-  Synopsis.set_edge syn ~parent:a.Synopsis.sid ~child:b.Synopsis.sid 1.0;
-  checkf "after mutation" (Estimate.selectivity syn (Xc_twig.Twig_parse.parse "//b"))
-    (Plan.estimate plan)
+let test_plan_reuse () =
+  (* a compiled plan is a pure function of (sealed, query): repeated
+     estimation answers identically with no recompilation *)
+  let syn, _, _, _ = tiny_builder () in
+  let sealed = Synopsis.freeze syn in
+  let plan = Plan.compile sealed (Xc_twig.Twig_parse.parse "//b") in
+  checkf "first" 8.0 (Plan.estimate plan);
+  checkf "second" 8.0 (Plan.estimate plan)
+
+let test_vsumm_deep_copied_on_freeze () =
+  (* freeze deep-copies value summaries, so phase-2 compression of the
+     builder (which prunes string PSTs in place) cannot mutate an
+     already-published snapshot *)
+  let syn = B.create ~doc_height:2 in
+  let vs =
+    Vs.of_values (List.init 40 (fun i -> Value.Str (Printf.sprintf "value-%04d" i)))
+  in
+  let u =
+    B.add_node syn ~label:(Label.of_string "x") ~vtype:Value.Tstring ~count:40
+      ~vsumm:vs
+  in
+  B.set_root syn (B.sid u);
+  let sealed = Synopsis.freeze syn in
+  let bytes_before = S.value_bytes sealed in
+  (* compress the builder's summary until it shrinks at least once *)
+  (match Vs.apply_compression (B.vsumm u) with
+  | Some vs' ->
+    B.set_vsumm syn u vs';
+    check Alcotest.bool "builder shrank" true (B.value_bytes syn < bytes_before);
+    check Alcotest.int "sealed bytes unchanged" bytes_before (S.value_bytes sealed)
+  | None -> Alcotest.fail "expected a compressible summary")
 
 (* ---- query keys -------------------------------------------------------- *)
 
@@ -126,9 +142,10 @@ let test_query_key_injective () =
     (List.length (List.sort_uniq String.compare keys))
 
 let test_cache_hits_counted () =
-  let syn, _, _, _ = tiny_synopsis () in
+  let syn, _, _, _ = tiny_builder () in
+  let sealed = Synopsis.freeze syn in
   let q = Xc_twig.Twig_parse.parse "//a/b" in
-  let cache = Plan.Cache.create syn in
+  let cache = Plan.Cache.create sealed in
   let m = Metrics.global in
   let h0 = Metrics.counter_value m "plan.cache_hit" in
   let m0 = Metrics.counter_value m "plan.cache_miss" in
@@ -181,10 +198,10 @@ let () =
           Alcotest.test_case "xmark" `Slow test_equivalence_xmark;
           Alcotest.test_case "dblp" `Slow test_equivalence_dblp;
           Alcotest.test_case "facade" `Quick test_facade_estimate ] );
-      ( "invalidation",
-        [ Alcotest.test_case "generation bumps" `Quick test_generation_bumps;
-          Alcotest.test_case "memo invalidation" `Quick test_memo_invalidation;
-          Alcotest.test_case "plan survives mutation" `Quick test_plan_survives_mutation ] );
+      ( "freeze",
+        [ Alcotest.test_case "snapshot semantics" `Quick test_freeze_snapshots;
+          Alcotest.test_case "plan reuse" `Quick test_plan_reuse;
+          Alcotest.test_case "vsumm deep copy" `Quick test_vsumm_deep_copied_on_freeze ] );
       ( "cache",
         [ Alcotest.test_case "query keys injective" `Quick test_query_key_injective;
           Alcotest.test_case "hit/miss counters" `Quick test_cache_hits_counted ] );

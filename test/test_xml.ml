@@ -382,7 +382,7 @@ let test_attributes_queryable () =
   check (Alcotest.float 1e-9) "attribute range" 2.0 (count "//item[@id < 10]");
   (* and summarization covers them (within histogram interpolation
      error over the 2..30 value gap) *)
-  let reference = Xc_core.Reference.build ~min_extent:1 doc in
+  let reference = Xc_core.Synopsis.freeze (Xc_core.Reference.build ~min_extent:1 doc) in
   check (Alcotest.float 0.5) "estimate" 2.0
     (Xc_core.Estimate.selectivity reference (Xc_twig.Twig_parse.parse "//item[@id < 10]"))
 
