@@ -4,17 +4,19 @@
 
    Usage:  dune exec bench/main.exe [-- TARGET...]
    Targets: table1 table2 fig8a fig8b fig8c fig9 negative ablation-delta
-            ablation-text ablation-numeric auto-split pipeline seal micro
-            (default: all of them, in that order)
+            ablation-text ablation-numeric auto-split pipeline seal build
+            micro (default: all of them, in that order)
 
    Every run ends with a JSON metrics block (plan compiles, cache and
-   reach-memo hit/miss counts, expansion depths, estimate latency)
-   accumulated across the targets that ran.
+   reach-memo hit/miss counts, pool candidate evaluations, expansion
+   depths, estimate latency) accumulated across the targets that ran.
 
    Environment:
      XC_SCALE    document scale factor (default 1.0 = paper scale)
      XC_QUERIES  workload size (default 400)
-     XC_PASSES   repeated-workload passes for the pipeline target (default 5) *)
+     XC_PASSES   repeated-workload passes for the pipeline target (default 5)
+     XC_DOMAINS  scoring workers for the build target's parallel leg
+                 (default 4; also the library-wide Par default) *)
 
 let scale =
   match Sys.getenv_opt "XC_SCALE" with
@@ -227,6 +229,141 @@ let run_seal () =
   close_out oc;
   Format.fprintf ppf "  appended to BENCH_seal.json@."
 
+(* ---- construction speedup ---------------------------------------------
+   XCLUSTERBUILD timed three ways at the paper's default budgets:
+   sequential (pre-index baseline: full node-table scans for candidate
+   groups, one scoring worker), incremental (Builder group index, one
+   worker), and parallel (group index + XC_DOMAINS scoring workers).
+   The three sealed outputs must be identical — the candidate total
+   order makes the greedy sequence independent of evaluation strategy —
+   so the speedup columns are pure construction-cost wins. Each run
+   appends a JSON line to BENCH_build.json. *)
+
+let sealed_mismatches a b =
+  let module S = Xc_core.Synopsis.Sealed in
+  if S.n_nodes a <> S.n_nodes b || S.n_edges a <> S.n_edges b then
+    max (abs (S.n_nodes a - S.n_nodes b)) (abs (S.n_edges a - S.n_edges b))
+  else begin
+    let mism = ref 0 in
+    if S.root_sid a <> S.root_sid b then incr mism;
+    if S.value_bytes a <> S.value_bytes b then incr mism;
+    for i = 0 to S.n_nodes a - 1 do
+      if S.sid_of_index a i <> S.sid_of_index b i then incr mism;
+      if (S.label a i :> int) <> (S.label b i :> int) then incr mism;
+      if S.count a i <> S.count b i then incr mism
+    done;
+    let ia = S.child_idx a and ib = S.child_idx b in
+    let wa = S.child_avg a and wb = S.child_avg b in
+    for e = 0 to S.n_edges a - 1 do
+      if ia.(e) <> ib.(e) then incr mism;
+      if wa.(e) <> wb.(e) then incr mism
+    done;
+    !mism
+  end
+
+let run_build () =
+  let par_domains =
+    match Sys.getenv_opt "XC_DOMAINS" with
+    | Some s -> (try max 1 (int_of_string s) with Failure _ -> 4)
+    | None -> 4
+  in
+  (* never oversubscribe the host: scoring workers beyond the physical
+     core count only add scheduling and GC-synchronization overhead, so
+     the parallel leg runs with min(XC_DOMAINS, cores) workers (both
+     counts are reported) *)
+  let par_effective = min par_domains (Domain.recommended_domain_count ()) in
+  let reps =
+    match Sys.getenv_opt "XC_BUILD_REPS" with
+    | Some s -> (try max 1 (int_of_string s) with Failure _ -> 3)
+    | None -> 3
+  in
+  let bench_ds ds =
+    let reference = ds.Xc_exp.Runner.reference in
+    (* paper budgets (20KB/150KB) scaled with the document so the merge
+       loop runs — and the pool is exercised — at every XC_SCALE *)
+    let bstr_kb = max 1 (int_of_float (Float.round (20.0 *. scale))) in
+    let bval_kb = max 4 (int_of_float (Float.round (150.0 *. scale))) in
+    let timer_total name =
+      match
+        List.assoc_opt name Xc_util.Metrics.((snapshot global).timers)
+      with
+      | Some t -> t.Xc_util.Metrics.t_total
+      | None -> 0.0
+    in
+    (* min over [reps] runs — construction is deterministic, so the
+       spread is scheduler noise and the minimum is the honest figure *)
+    let construct pool =
+      let best = ref None in
+      let evals_once = ref 0 in
+      let sealed_once = ref None in
+      for rep = 1 to reps do
+        let evals0 = Xc_util.Metrics.(counter_value global "pool.cand_evals") in
+        let p1_0 = timer_total "build.phase1" and p2_0 = timer_total "build.phase2" in
+        let t0 = Unix.gettimeofday () in
+        let sealed =
+          Xc_core.Build.run (Xc_core.Build.budget ~pool ~bstr_kb ~bval_kb ()) reference
+        in
+        let dt = Unix.gettimeofday () -. t0 in
+        if rep = 1 then begin
+          evals_once :=
+            Xc_util.Metrics.(counter_value global "pool.cand_evals") - evals0;
+          sealed_once := Some sealed
+        end;
+        let p1 = timer_total "build.phase1" -. p1_0 in
+        let p2 = timer_total "build.phase2" -. p2_0 in
+        match !best with
+        | Some (dt', _, _) when dt' <= dt -> ()
+        | _ -> best := Some (dt, p1, p2)
+      done;
+      let dt, p1, p2 = Option.get !best in
+      (dt, !evals_once, Option.get !sealed_once, p1, p2)
+    in
+    let base = Xc_core.Pool.default_config in
+    let t_seq, evals_seq, s_seq, p1_seq, p2_seq =
+      construct { base with full_scan = true; domains = 1 }
+    in
+    let t_inc, evals_inc, s_inc, p1_inc, p2_inc =
+      construct { base with domains = 1 }
+    in
+    let t_par, _, s_par, p1_par, p2_par =
+      construct { base with domains = par_effective }
+    in
+    let max_diff =
+      max (sealed_mismatches s_seq s_inc) (sealed_mismatches s_seq s_par)
+    in
+    let speedup_inc = t_seq /. Float.max t_inc 1e-9 in
+    let speedup_par = t_seq /. Float.max t_par 1e-9 in
+    Format.fprintf ppf "@.Synopsis construction (%s, %d reference nodes)@."
+      ds.Xc_exp.Runner.name
+      (Xc_core.Synopsis.Builder.n_nodes reference);
+    Format.fprintf ppf
+      "  sequential (full scan): %7.3f s  [p1 %.3f p2 %.3f]  (%d cand evals)@." t_seq
+      p1_seq p2_seq evals_seq;
+    Format.fprintf ppf
+      "  incremental (group index): %7.3f s  [p1 %.3f p2 %.3f]  (%d cand evals)  %.1fx@."
+      t_inc p1_inc p2_inc evals_inc speedup_inc;
+    Format.fprintf ppf
+      "  parallel (%d domains, %d used):  %7.3f s  [p1 %.3f p2 %.3f]  %.1fx@."
+      par_domains par_effective t_par p1_par p2_par speedup_par;
+    Format.fprintf ppf "  max node/edge diff across the three = %d@." max_diff;
+    let json =
+      Printf.sprintf
+        "{\"ts\":%.0f,\"dataset\":%S,\"scale\":%.3f,\"domains\":%d,\"domains_used\":%d,\"t_seq_s\":%.4f,\"t_inc_s\":%.4f,\"t_par_s\":%.4f,\"speedup_inc\":%.2f,\"speedup_par\":%.2f,\"evals_seq\":%d,\"evals_inc\":%d,\"max_diff\":%d}"
+        (Unix.gettimeofday ()) ds.Xc_exp.Runner.name scale par_domains par_effective
+        t_seq t_inc t_par speedup_inc speedup_par evals_seq evals_inc max_diff
+    in
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_build.json" in
+    output_string oc json;
+    output_char oc '\n';
+    close_out oc;
+    Format.fprintf ppf "  appended to BENCH_build.json@.";
+    if max_diff <> 0 then begin
+      Format.fprintf ppf "  ERROR: construction paths diverged (diff %d)@." max_diff;
+      exit 1
+    end
+  in
+  List.iter bench_ds [ Lazy.force xmark; Lazy.force imdb ]
+
 (* ---- Bechamel micro-benchmarks ---------------------------------------- *)
 
 let micro_tests () =
@@ -307,6 +444,7 @@ let targets =
     ("auto-split", run_auto_split);
     ("pipeline", run_pipeline);
     ("seal", run_seal);
+    ("build", run_build);
     ("micro", run_micro) ]
 
 let () =

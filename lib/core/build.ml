@@ -63,15 +63,15 @@ let phase1_merge params syn =
         if Heap.is_empty !pool then exhausted := true
       end;
       if not !exhausted then begin
-        match Pool.pop_valid syn !pool with
+        match Pool.pop_valid params.pool syn !pool with
         | None -> () (* loop back to the replenish branch *)
         | Some cand ->
           let lu = Levels.get !levels ~default:0 cand.Pool.u in
           let lv = Levels.get !levels ~default:0 cand.Pool.v in
-          let u = B.find syn cand.Pool.u and v = B.find syn cand.Pool.v in
-          let saved = Merge.saved_bytes syn u v in
+          (* pop_valid revalidated the candidate, so its [saved] is
+             exact on the current graph — no recompute needed *)
           let w = Merge.apply syn cand.Pool.u cand.Pool.v in
-          str_size := !str_size - saved;
+          str_size := !str_size - cand.Pool.saved;
           let lw = min lu lv in
           Levels.set !levels (B.sid w) lw;
           if lw > !max_new_level then max_new_level := lw;
@@ -85,25 +85,50 @@ let phase1_merge params syn =
 
 (* ---- phase 2: value-summary compression ------------------------------ *)
 
+(* Exactly one heap entry exists per node at any time (a node's summary
+   changes only when its entry is popped, after which a fresh entry is
+   pushed), so entries are never stale and each can carry the
+   [Value_summary.step] of its preview: the pop applies the carried
+   result instead of redoing the preview's search.
+
+   The [full_scan] config keeps the historical two-pass form —
+   preview via {!Delta.compression_delta}, then a from-scratch
+   {!Xc_vsumm.Value_summary.apply_compression} at pop — as the
+   sequential-baseline leg of the construction benchmark. Both paths
+   walk the same compression sequence and produce identical synopses. *)
 let phase2_compress params syn =
   let val_size = ref (B.value_bytes syn) in
   if !val_size > params.bval then begin
     let heap = Heap.create () in
     let push node =
-      match Delta.compression_delta syn node with
-      | Some (delta, saved) ->
-        Heap.push heap (Delta.marginal_loss delta saved) (B.sid node, saved)
-      | None -> ()
+      if params.pool.Pool.full_scan then (
+        match Delta.compression_delta syn node with
+        | Some (delta, saved) ->
+          Heap.push heap (Delta.marginal_loss delta saved) (B.sid node, None)
+        | None -> ())
+      else
+        match Delta.compression_step syn node with
+        | Some (delta, step) ->
+          Heap.push heap
+            (Delta.marginal_loss delta step.Xc_vsumm.Value_summary.saved)
+            (B.sid node, Some step)
+        | None -> ()
     in
     B.iter push syn;
     let exhausted = ref false in
     while !val_size > params.bval && not !exhausted do
       match Heap.pop heap with
       | None -> exhausted := true
-      | Some (_, (sid, _)) ->
+      | Some (_, (sid, step)) ->
+        Xc_util.Metrics.(incr global "build.compression_steps");
         let node = B.find syn sid in
         let before = Xc_vsumm.Value_summary.size_bytes (B.vsumm node) in
-        (match Xc_vsumm.Value_summary.apply_compression (B.vsumm node) with
+        let vsumm' =
+          match step with
+          | Some s -> Some (s.Xc_vsumm.Value_summary.apply ())
+          | None -> Xc_vsumm.Value_summary.apply_compression (B.vsumm node)
+        in
+        (match vsumm' with
         | Some vsumm' ->
           B.set_vsumm syn node vsumm';
           let after = Xc_vsumm.Value_summary.size_bytes vsumm' in
@@ -116,8 +141,8 @@ let phase2_compress params syn =
 
 let run_builder params reference =
   let syn = B.copy reference in
-  phase1_merge params syn;
-  phase2_compress params syn;
+  Xc_util.Metrics.(time global "build.phase1") (fun () -> phase1_merge params syn);
+  Xc_util.Metrics.(time global "build.phase2") (fun () -> phase2_compress params syn);
   syn
 
 let run params reference = Synopsis.freeze (run_builder params reference)

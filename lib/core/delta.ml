@@ -5,47 +5,101 @@ module B = Synopsis.Builder
    including the implicit self query (A=1, B=1, W=1 component).
    A_c = count(u,c), B_c = count(v,c), W_c = (|u|A_c + |v|B_c)/|w|,
    with child references to u or v remapped onto w. *)
+(* Per-domain scratch for the child-edge gather below: one evaluation
+   per merge candidate, also from parallel scoring workers. Flat
+   parallel arrays with linear search — the merged child set is small
+   (a handful of distinct labels), so a linear probe beats hashing and
+   allocates nothing; accumulation iterates in insertion order, which
+   depends only on the builder's edge tables, never on a hash layout. *)
+type scratch = {
+  mutable sids : int array;
+  mutable fa : float array;
+  mutable fb : float array;
+  mutable len : int;
+}
+
+let dots_scratch : scratch Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { sids = Array.make 64 0; fa = Array.make 64 0.0; fb = Array.make 64 0.0;
+        len = 0 })
+
+let scratch_slot sc sid =
+  let n = sc.len in
+  let sids = sc.sids in
+  let rec find i = if i >= n then -1 else if Array.unsafe_get sids i = sid then i else find (i + 1) in
+  let i = find 0 in
+  if i >= 0 then i
+  else begin
+    if n = Array.length sc.sids then begin
+      let grow a zero =
+        let a' = Array.make (2 * n) zero in
+        Array.blit a 0 a' 0 n;
+        a'
+      in
+      sc.sids <- grow sc.sids 0;
+      sc.fa <- grow sc.fa 0.0;
+      sc.fb <- grow sc.fb 0.0
+    end;
+    sc.sids.(n) <- sid;
+    sc.fa.(n) <- 0.0;
+    sc.fb.(n) <- 0.0;
+    sc.len <- n + 1;
+    n
+  end
+
+(* Also counts the merged node's distinct children — the gather already
+   visits every child edge of u and v, so [saved_bytes] callers can
+   reuse the count instead of re-gathering (see
+   {!merge_delta_counted}). *)
 let structural_dots syn u v =
   let cu = float_of_int (B.count u) and cv = float_of_int (B.count v) in
   let cw = cu +. cv in
   let is_uv sid = sid = B.sid u || sid = B.sid v in
   (* gather A and B keyed by the merged child identity *)
-  let tbl = Hashtbl.create 8 in
+  let sc = Domain.DLS.get dots_scratch in
+  sc.len <- 0;
+  let self = ref false in
   let gather node side =
     let self_acc = ref 0.0 in
     B.succ syn node (fun sid avg ->
-        if is_uv sid then self_acc := !self_acc +. avg
+        if is_uv sid then begin
+          self := true;
+          self_acc := !self_acc +. avg
+        end
         else begin
-          let a, b = Option.value ~default:(0.0, 0.0) (Hashtbl.find_opt tbl sid) in
-          Hashtbl.replace tbl sid (if side = `U then (a +. avg, b) else (a, b +. avg))
+          let i = scratch_slot sc sid in
+          if side = `U then sc.fa.(i) <- sc.fa.(i) +. avg
+          else sc.fb.(i) <- sc.fb.(i) +. avg
         end);
     !self_acc
   in
   let self_u = gather u `U and self_v = gather v `V in
+  let merged_children = sc.len + if !self then 1 else 0 in
   if self_u > 0.0 || self_v > 0.0 then begin
     (* merged self-loop child *)
-    let a, b = Option.value ~default:(0.0, 0.0) (Hashtbl.find_opt tbl (-1)) in
-    Hashtbl.replace tbl (-1) (a +. self_u, b +. self_v)
+    let i = scratch_slot sc (-1) in
+    sc.fa.(i) <- sc.fa.(i) +. self_u;
+    sc.fb.(i) <- sc.fb.(i) +. self_v
   end;
   let saa = ref 1.0 and saw = ref 1.0 and sbb = ref 1.0 and sbw = ref 1.0
   and sww = ref 1.0 in
   (* the initial 1.0 is the implicit self query with A = B = W = 1 *)
-  Hashtbl.iter
-    (fun _ (a, b) ->
-      let w = ((cu *. a) +. (cv *. b)) /. cw in
-      saa := !saa +. (a *. a);
-      saw := !saw +. (a *. w);
-      sbb := !sbb +. (b *. b);
-      sbw := !sbw +. (b *. w);
-      sww := !sww +. (w *. w))
-    tbl;
-  (!saa, !saw, !sbb, !sbw, !sww)
+  for i = 0 to sc.len - 1 do
+    let a = Array.unsafe_get sc.fa i and b = Array.unsafe_get sc.fb i in
+    let w = ((cu *. a) +. (cv *. b)) /. cw in
+    saa := !saa +. (a *. a);
+    saw := !saw +. (a *. w);
+    sbb := !sbb +. (b *. b);
+    sbw := !sbw +. (b *. w);
+    sww := !sww +. (w *. w)
+  done;
+  (!saa, !saw, !sbb, !sbw, !sww, merged_children)
 
-let merge_delta ?(structural_only = false) syn u v =
+let merge_delta_counted ?(structural_only = false) syn u v =
   let cu = float_of_int (B.count u) and cv = float_of_int (B.count v) in
   let cw = cu +. cv in
   let wu = cu /. cw and wv = cv /. cw in
-  let saa, saw, sbb, sbw, sww = structural_dots syn u v in
+  let saa, saw, sbb, sbw, sww, merged_children = structural_dots syn u v in
   let puu, pvv, puv =
     if structural_only then (1.0, 1.0, 1.0)
     else Vs.pred_dots (B.vsumm u) (B.vsumm v)
@@ -57,15 +111,21 @@ let merge_delta ?(structural_only = false) syn u v =
   let du = (puu *. saa) -. (2.0 *. puw *. saw) +. (pww *. sww) in
   let dv = (pvv *. sbb) -. (2.0 *. pvw *. sbw) +. (pww *. sww) in
   (* numerical noise can push the quadratic forms slightly negative *)
-  Float.max 0.0 ((cu *. du) +. (cv *. dv))
+  (Float.max 0.0 ((cu *. du) +. (cv *. dv)), merged_children)
 
-let compression_delta syn u =
-  match Vs.preview_compression (B.vsumm u) with
+let merge_delta ?structural_only syn u v =
+  fst (merge_delta_counted ?structural_only syn u v)
+
+let compression_step syn u =
+  match Vs.compress_step (B.vsumm u) with
   | None -> None
-  | Some (pred_err, saved) ->
+  | Some step ->
     let struct_factor = ref 1.0 in
     B.succ syn u (fun _ avg -> struct_factor := !struct_factor +. (avg *. avg));
-    let delta = float_of_int (B.count u) *. !struct_factor *. pred_err in
-    Some (delta, saved)
+    let delta = float_of_int (B.count u) *. !struct_factor *. step.Vs.err in
+    Some (delta, step)
+
+let compression_delta syn u =
+  Option.map (fun (delta, step) -> (delta, step.Vs.saved)) (compression_step syn u)
 
 let marginal_loss delta saved = delta /. float_of_int (max 1 saved)

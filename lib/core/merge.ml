@@ -11,9 +11,18 @@ let compatible u v =
      | Vs.Vtext _, Vs.Vtext _ -> true
      | (Vs.Vnone | Vs.Vnum _ | Vs.Vstr _ | Vs.Vtext _), _ -> false)
 
-(* Child sid set of the would-be merged node, with u/v remapped to w. *)
+(* Per-domain scratch for the child-key set below: [saved_bytes] runs
+   once per candidate evaluation (including inside parallel scoring
+   workers), and a fresh hashtable per call is pure GC pressure. *)
+let keys_scratch : (int, unit) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 8)
+
+(* Child sid set of the would-be merged node, with u/v remapped to w.
+   The returned table is the domain-local scratch — valid until the next
+   call on this domain. *)
 let merged_child_keys syn u v =
-  let keys = Hashtbl.create 8 in
+  let keys = Domain.DLS.get keys_scratch in
+  Hashtbl.reset keys;
   let self = ref false in
   let note node =
     B.succ syn node (fun sid _ ->
@@ -24,9 +33,7 @@ let merged_child_keys syn u v =
   note v;
   (keys, !self)
 
-let saved_bytes syn u v =
-  let keys, self = merged_child_keys syn u v in
-  let merged_children = Hashtbl.length keys + if self then 1 else 0 in
+let saved_bytes_with syn u v ~merged_children =
   let child_edges_before = B.out_degree u + B.out_degree v in
   (* every external parent holding edges to both u and v keeps only one *)
   let shared_parents = ref 0 in
@@ -35,6 +42,10 @@ let saved_bytes syn u v =
         incr shared_parents);
   Size.node_bytes
   + (Size.edge_bytes * (child_edges_before - merged_children + !shared_parents))
+
+let saved_bytes syn u v =
+  let keys, self = merged_child_keys syn u v in
+  saved_bytes_with syn u v ~merged_children:(Hashtbl.length keys + if self then 1 else 0)
 
 let apply syn su sv =
   let u = B.find syn su and v = B.find syn sv in

@@ -14,6 +14,13 @@ val saved_bytes :
 (** Structural bytes the merge would save ([|S|_str − |S′|_str]):
     one node plus every deduplicated child and parent edge. *)
 
+val saved_bytes_with :
+  Synopsis.Builder.t -> Synopsis.Builder.node -> Synopsis.Builder.node ->
+  merged_children:int -> int
+(** {!saved_bytes} with the merged node's distinct-child count already
+    known (from {!Delta.merge_delta_counted}'s gather), skipping the
+    child-edge walk. *)
+
 val apply : Synopsis.Builder.t -> int -> int -> Synopsis.Builder.node
 (** Performs the merge and returns the new node. The two source nodes
     are removed from the synopsis; the root is re-targeted if it was one

@@ -9,7 +9,18 @@
     Two efficiency heuristics bound the quadratic pair space (both
     documented in DESIGN.md): per-group pair generation falls back to
     count-nearest-neighbour pairing when a group is large, and the pool
-    keeps only the [hm] best candidates. *)
+    keeps only the [hm] best candidates.
+
+    Construction performance (DESIGN.md Sec. 8): compatible peers come
+    from the Builder's incrementally maintained group index, so neither
+    {!build} nor {!push_neighbors} scans the node table; candidate
+    scoring (a pure read over the builder) fans out over
+    [Xc_util.Par.map] workers. Candidates carry a total order —
+    marginal-loss priority, then the (u, v) sid pair — independent of
+    evaluation order, so the pool's behaviour is bit-identical for any
+    worker count. Diagnostics ([pool.cand_evals], [pool.scanned],
+    [pool.rescored], the [pool.score] timer, ...) report into
+    [Xc_util.Metrics.global] from the coordinating domain only. *)
 
 type cand = {
   u : int;
@@ -26,13 +37,24 @@ type config = {
   neighbor_k : int;   (** neighbours per node when a group is too large *)
   pair_cap : int;     (** max exhaustive pairs per group *)
   structural_only : bool;  (** TREESKETCH-style Δ (ablation) *)
+  domains : int;
+      (** candidate-scoring workers; [<= 0] (the default) defers to the
+          [XC_DOMAINS] environment variable via
+          {!Xc_util.Par.env_domains} *)
+  full_scan : bool;
+      (** bypass the Builder group index and regroup by scanning every
+          node — the pre-index sequential baseline, kept for the [build]
+          bench target and differential tests (identical results,
+          asymptotically slower) *)
 }
 
 val default_config : config
 
 val group_key : Synopsis.Builder.node -> int * int * int
 (** Nodes are mergeable only within the same group:
-    (label, value type, value-summary kind). *)
+    (label, value type, value-summary kind). Alias of
+    {!Synopsis.Builder.group_key}, the key of the Builder's incremental
+    group index. *)
 
 val build : config -> Synopsis.Builder.t -> levels:Synopsis.Levels.t ->
   level:int -> t
@@ -43,15 +65,14 @@ val push_neighbors : config -> Synopsis.Builder.t -> t ->
   levels:Synopsis.Levels.t -> level:int -> Synopsis.Builder.node -> unit
 (** After a merge produced a new node, pushes candidates pairing it with
     up to [neighbor_k] count-nearest group members (the paper's
-    "recompute losses in the neighborhood" step, in lazy form). *)
+    "recompute losses in the neighborhood" step, in lazy form). Touches
+    only the node's group — never the full node table. *)
 
-val pop_valid : Synopsis.Builder.t -> t -> cand option
+val pop_valid : config -> Synopsis.Builder.t -> t -> cand option
 (** Pops the best candidate whose two nodes still exist (stale entries
-    referring to already-merged nodes are discarded). *)
-
-(**/**)
-
-val cand_evals : int ref
-val cand_time : float ref
-(** Diagnostics: number of candidate Δ evaluations and the total time
-    spent in them (benchmark instrumentation). *)
+    referring to already-merged nodes are discarded) and whose score is
+    current: entries whose endpoints survive but whose neighborhood
+    changed since scoring (detected by a [saved_bytes] drift) are
+    rescored and reinserted rather than returned. The returned
+    candidate's [saved] therefore always equals
+    [Merge.saved_bytes] on the current graph. *)

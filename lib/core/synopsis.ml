@@ -16,8 +16,21 @@ module Builder = struct
     parents : (int, unit) Hashtbl.t;
   }
 
+  (* group members as a dynamic array kept sorted by (count, sid): a
+     node's count never changes while it is grouped (merges create new
+     nodes), so membership updates are pure insert/remove — and the
+     merge pool can binary-search a node's count and expand outward to
+     find its nearest peers instead of scanning the whole group *)
+  type members = {
+    mutable marr : node array;
+    mutable mlen : int;
+  }
+
   type t = {
     nodes : (int, node) Hashtbl.t;
+    groups : (int * int * int, members) Hashtbl.t;
+    (* group_key -> member set, maintained incrementally so the merge
+       pool never has to rescan all nodes to find a node's peers *)
     mutable root : int;
     mutable next_sid : int;
     doc_height : int;
@@ -25,8 +38,69 @@ module Builder = struct
   }
 
   let create ~doc_height =
-    { nodes = Hashtbl.create 256; root = -1; next_sid = 0; doc_height;
-      uid = fresh_uid () }
+    { nodes = Hashtbl.create 256; groups = Hashtbl.create 64; root = -1;
+      next_sid = 0; doc_height; uid = fresh_uid () }
+
+  let vsumm_kind = function
+    | Xc_vsumm.Value_summary.Vnone -> 0
+    | Xc_vsumm.Value_summary.Vnum _ -> 1
+    | Xc_vsumm.Value_summary.Vstr _ -> 2
+    | Xc_vsumm.Value_summary.Vtext _ -> 3
+
+  let vtype_tag = function
+    | Xc_xml.Value.Tnull -> 0
+    | Xc_xml.Value.Tnumeric -> 1
+    | Xc_xml.Value.Tstring -> 2
+    | Xc_xml.Value.Ttext -> 3
+
+  let group_key node =
+    ((node.label :> int), vtype_tag node.vtype, vsumm_kind node.vsumm)
+
+  let member_before a b = a.count < b.count || (a.count = b.count && a.sid < b.sid)
+
+  (* leftmost index whose member is not before [node] — the insertion
+     point, and the node's own slot when present ((count, sid) is
+     unique within a group) *)
+  let member_pos m node =
+    let lo = ref 0 and hi = ref m.mlen in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if member_before m.marr.(mid) node then lo := mid + 1 else hi := mid
+    done;
+    !lo
+
+  let group_add t node =
+    let key = group_key node in
+    let m =
+      match Hashtbl.find_opt t.groups key with
+      | Some m -> m
+      | None ->
+        let m = { marr = Array.make 8 node; mlen = 0 } in
+        Hashtbl.add t.groups key m;
+        m
+    in
+    if m.mlen = Array.length m.marr then begin
+      let bigger = Array.make (2 * m.mlen) node in
+      Array.blit m.marr 0 bigger 0 m.mlen;
+      m.marr <- bigger
+    end;
+    let pos = member_pos m node in
+    Array.blit m.marr pos m.marr (pos + 1) (m.mlen - pos);
+    m.marr.(pos) <- node;
+    m.mlen <- m.mlen + 1
+
+  let group_delete t node =
+    let key = group_key node in
+    match Hashtbl.find_opt t.groups key with
+    | None -> ()
+    | Some m ->
+      let pos = member_pos m node in
+      if pos < m.mlen && m.marr.(pos).sid = node.sid then begin
+        Array.blit m.marr (pos + 1) m.marr pos (m.mlen - pos - 1);
+        m.mlen <- m.mlen - 1;
+        if m.mlen = 0 then Hashtbl.remove t.groups key
+        else m.marr.(m.mlen) <- m.marr.(0) (* drop the dangling reference *)
+      end
 
   let uid t = t.uid
   let doc_height t = t.doc_height
@@ -43,6 +117,7 @@ module Builder = struct
     t.next_sid <- sid + 1;
     let node = make_node ~sid ~label ~vtype ~count ~vsumm in
     Hashtbl.replace t.nodes sid node;
+    group_add t node;
     node
 
   let add_node_at t ~sid ~label ~vtype ~count ~vsumm =
@@ -51,9 +126,14 @@ module Builder = struct
     let node = make_node ~sid ~label ~vtype ~count ~vsumm in
     Hashtbl.replace t.nodes sid node;
     if sid >= t.next_sid then t.next_sid <- sid + 1;
+    group_add t node;
     node
 
-  let remove_node t sid = Hashtbl.remove t.nodes sid
+  let remove_node t sid =
+    (match Hashtbl.find_opt t.nodes sid with
+    | Some node -> group_delete t node
+    | None -> ());
+    Hashtbl.remove t.nodes sid
   let find t sid = Hashtbl.find t.nodes sid
   let mem t sid = Hashtbl.mem t.nodes sid
   let root_node t = find t t.root
@@ -79,8 +159,22 @@ module Builder = struct
     | Some avg -> avg
     | None -> 0.0
 
-  let set_vsumm _t node vsumm = node.vsumm <- vsumm
-  let set_count _t node count = node.count <- count
+  let set_vsumm t node vsumm =
+    (* the summary kind is part of the group key; compression keeps the
+       kind in practice, but a kind change must re-home the node *)
+    if vsumm_kind node.vsumm = vsumm_kind vsumm then
+      node.vsumm <- vsumm
+    else begin
+      group_delete t node;
+      node.vsumm <- vsumm;
+      group_add t node
+    end
+
+  let set_count t node count =
+    (* the group index is sorted by count — re-home the node *)
+    group_delete t node;
+    node.count <- count;
+    group_add t node
   let n_nodes t = Hashtbl.length t.nodes
   let iter f t = Hashtbl.iter (fun _ node -> f node) t.nodes
   let fold f init t = Hashtbl.fold (fun _ node acc -> f acc node) t.nodes init
@@ -101,6 +195,26 @@ module Builder = struct
   let has_parent node parent = Hashtbl.mem node.parents parent
   let out_degree node = Hashtbl.length node.children
   let in_degree node = Hashtbl.length node.parents
+
+  let group_keys t = Hashtbl.fold (fun key _ acc -> key :: acc) t.groups []
+
+  let group_size t key =
+    match Hashtbl.find_opt t.groups key with
+    | Some m -> m.mlen
+    | None -> 0
+
+  let iter_group t key f =
+    match Hashtbl.find_opt t.groups key with
+    | Some m ->
+      for i = 0 to m.mlen - 1 do
+        f m.marr.(i)
+      done
+    | None -> ()
+
+  let group_members t key =
+    match Hashtbl.find_opt t.groups key with
+    | Some m -> (m.marr, m.mlen)
+    | None -> ([||], 0)
 
   let structural_bytes t =
     fold
@@ -129,8 +243,13 @@ module Builder = struct
             children = Hashtbl.copy node.children;
             parents = Hashtbl.copy node.parents })
       t.nodes;
-    { nodes = fresh; root = t.root; next_sid = t.next_sid;
-      doc_height = t.doc_height; uid = fresh_uid () }
+    let t' =
+      { nodes = fresh; groups = Hashtbl.create (Hashtbl.length t.groups);
+        root = t.root; next_sid = t.next_sid; doc_height = t.doc_height;
+        uid = fresh_uid () }
+    in
+    Hashtbl.iter (fun _ node -> group_add t' node) fresh;
+    t'
 
   let validate t =
     let problems = ref [] in
@@ -155,8 +274,25 @@ module Builder = struct
             | Some p ->
               if not (Hashtbl.mem p.children node.sid) then
                 bad "parent edge %d->%d missing forward index" parent node.sid)
-          node.parents)
+          node.parents;
+        (match Hashtbl.find_opt t.groups (group_key node) with
+        | Some m ->
+          let pos = member_pos m node in
+          if not (pos < m.mlen && m.marr.(pos) == node) then
+            bad "node %d missing from its group" node.sid
+        | None -> bad "node %d missing from its group" node.sid))
       t;
+    Hashtbl.iter
+      (fun key m ->
+        for i = 0 to m.mlen - 1 do
+          let member = m.marr.(i) in
+          (match Hashtbl.find_opt t.nodes member.sid with
+          | Some node when node == member && group_key node = key -> ()
+          | Some _ | None -> bad "stale group entry %d" member.sid);
+          if i > 0 && not (member_before m.marr.(i - 1) member) then
+            bad "group of %d unsorted at %d" member.sid i
+        done)
+      t.groups;
     match !problems with
     | [] -> Ok ()
     | ps -> Error (String.concat "; " ps)

@@ -97,6 +97,32 @@ module Builder : sig
   val out_degree : node -> int
   val in_degree : node -> int
 
+  val group_key : node -> int * int * int
+  (** The merge-compatibility class of a node: (label, value type,
+      value-summary kind). Two nodes are candidates for a merge exactly
+      when their keys are equal ({!Merge.compatible} restated as a
+      hashable key). *)
+
+  val group_keys : t -> (int * int * int) list
+  (** Keys of every non-empty group, unspecified order. The group index
+      is maintained incrementally by node add/remove and summary-kind
+      changes — reading it never scans the node table. *)
+
+  val group_size : t -> int * int * int -> int
+  (** Number of nodes currently in a group; 0 for unknown keys. O(1). *)
+
+  val iter_group : t -> int * int * int -> (node -> unit) -> unit
+  (** Iterate the members of one group in ascending (count, sid) order.
+      Cost is the group size, not the node count — this is what lets the
+      merge pool find a new node's peers without a full scan. *)
+
+  val group_members : t -> int * int * int -> node array * int
+  (** [(arr, len)]: the group's backing array — the first [len] entries
+      are the members in ascending (count, sid) order. Read-only view,
+      valid until the group next changes; entries past [len] are
+      garbage. Lets the merge pool binary-search a count and expand
+      outward instead of scanning the whole group. *)
+
   val structural_bytes : t -> int
   (** {!Size.node_bytes} per node + {!Size.edge_bytes} per edge. *)
 
@@ -113,7 +139,8 @@ module Builder : sig
 
   val validate : t -> (unit, string) result
   (** Structural invariants: edge tables mutually consistent, counts
-      positive, root present. Used by tests and assertions. *)
+      positive, root present, group index exactly mirroring the node
+      table. Used by tests and assertions. *)
 
   val pp_stats : Format.formatter -> t -> unit
 end

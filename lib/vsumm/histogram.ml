@@ -177,9 +177,9 @@ let compress_error t =
   done;
   !best
 
-let compress_once t =
-  let _, i = compress_error t in
+let merge_at t i =
   let n = n_buckets t in
+  if i < 0 || i >= n - 1 then invalid_arg "Histogram.merge_at: index out of range";
   let bounds = Array.init n (fun j -> if j <= i then t.bounds.(j) else t.bounds.(j + 1)) in
   let counts =
     Array.init (n - 1) (fun j ->
@@ -188,6 +188,8 @@ let compress_once t =
         else t.counts.(j + 1))
   in
   of_arrays bounds counts
+
+let compress_once t = merge_at t (snd (compress_error t))
 
 let size_bytes t = 8 * n_buckets t
 

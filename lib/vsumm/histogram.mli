@@ -49,8 +49,14 @@ val compress_error : t -> float * int
     collapsing buckets [idx] and [idx+1]. Raises [Invalid_argument] on a
     single-bucket histogram. *)
 
+val merge_at : t -> int -> t
+(** Collapses buckets [i] and [i+1] into one, as previewed by
+    {!compress_error}. @raise Invalid_argument when [i] is not a valid
+    adjacent pair index. *)
+
 val compress_once : t -> t
-(** Collapse the adjacent bucket pair with minimal {!compress_error}. *)
+(** Collapse the adjacent bucket pair with minimal {!compress_error};
+    [merge_at t (snd (compress_error t))]. *)
 
 val size_bytes : t -> int
 (** 8 bytes per bucket (boundary + count). *)

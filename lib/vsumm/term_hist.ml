@@ -1,4 +1,6 @@
-type t = {
+module IntSet = Set.Make (Int)
+
+type mat = {
   n : float;
   top_terms : int array;  (* sorted by term id *)
   top_freqs : float array;
@@ -9,9 +11,92 @@ type t = {
          summaries are immutable so the cache never invalidates *)
 }
 
-let n_documents t = t.n
-let n_top t = Array.length t.top_terms
-let bucket_size t = Rle_bitmap.cardinality t.bucket
+(* A chain of demotions pending over a materialized ancestor. Because a
+   demotion never changes the frequency of a surviving indexed term, the
+   whole demotion order of [base] is fixed up front ([order]); advancing
+   the cursor is O(log pos) instead of the O(top) array rebuild of a
+   materialized step — the repeated-compression path of XCLUSTERBUILD
+   phase 2 walks a summary from thousands of indexed terms down to a
+   handful, which would otherwise cost O(top²) per node. *)
+type cursor = {
+  base : mat;
+  order : int array;  (* base top indices in demotion order, shared by the chain *)
+  pos : int;  (* order.(0 .. pos-1) are demoted *)
+  runs : int;  (* RLE run count of base.bucket ∪ demoted ids *)
+  bn : float;  (* bucket cardinality, as the same float chain a
+                  materialized step would compute *)
+  bavg : float;  (* bucket average, same float chain *)
+  demoted : IntSet.t;
+  mutable forced : mat option;  (* memoized materialization *)
+}
+
+type t =
+  | Mat of mat
+  | Cur of cursor
+
+(* demotion order: ascending frequency, ties by array index — exactly
+   the pick order of a repeated first-minimum scan *)
+let order_of m =
+  let k = Array.length m.top_terms in
+  let idx = Array.init k Fun.id in
+  Array.sort
+    (fun i j ->
+      let c = Float.compare m.top_freqs.(i) m.top_freqs.(j) in
+      if c <> 0 then c else Int.compare i j)
+    idx;
+  idx
+
+let force = function
+  | Mat m -> m
+  | Cur c ->
+    (match c.forced with
+    | Some m -> m
+    | None ->
+      let k = Array.length c.base.top_terms in
+      let live = Array.make k true in
+      for i = 0 to c.pos - 1 do
+        live.(c.order.(i)) <- false
+      done;
+      let k' = k - c.pos in
+      let terms = Array.make k' 0 and freqs = Array.make k' 0.0 in
+      let j = ref 0 in
+      for i = 0 to k - 1 do
+        if live.(i) then begin
+          terms.(!j) <- c.base.top_terms.(i);
+          freqs.(!j) <- c.base.top_freqs.(i);
+          incr j
+        end
+      done;
+      let bits =
+        List.merge Int.compare
+          (List.of_seq (Rle_bitmap.to_seq c.base.bucket))
+          (IntSet.elements c.demoted)
+      in
+      let m =
+        { n = c.base.n;
+          top_terms = terms;
+          top_freqs = freqs;
+          bucket = Rle_bitmap.of_sorted_list bits;
+          bucket_avg = c.bavg;
+          flat = None }
+      in
+      c.forced <- Some m;
+      m)
+
+let n_documents = function
+  | Mat m -> m.n
+  | Cur c -> c.base.n
+
+let n_top = function
+  | Mat m -> Array.length m.top_terms
+  | Cur c -> Array.length c.base.top_terms - c.pos
+
+(* top and bucket term sets are disjoint, and every demotion moves
+   exactly one indexed term into the bucket *)
+let bucket_size = function
+  | Mat m -> Rle_bitmap.cardinality m.bucket
+  | Cur c -> Rle_bitmap.cardinality c.base.bucket + c.pos
+
 let support_size t = n_top t + bucket_size t
 
 let of_entries ~n ~top_k entries =
@@ -25,15 +110,17 @@ let of_entries ~n ~top_k entries =
   in
   let top, bucket = split 0 [] by_freq in
   let top = List.sort (fun (a, _) (b, _) -> Int.compare a b) top in
+  let bucket = List.sort (fun (a, _) (b, _) -> Int.compare a b) bucket in
   let bucket_bits = List.map fst bucket in
   let bucket_sum = List.fold_left (fun s (_, f) -> s +. f) 0.0 bucket in
   let bucket_n = List.length bucket in
-  { n;
-    top_terms = Array.of_list (List.map fst top);
-    top_freqs = Array.of_list (List.map snd top);
-    bucket = Rle_bitmap.of_list bucket_bits;
-    bucket_avg = (if bucket_n = 0 then 0.0 else bucket_sum /. float_of_int bucket_n);
-    flat = None }
+  Mat
+    { n;
+      top_terms = Array.of_list (List.map fst top);
+      top_freqs = Array.of_list (List.map snd top);
+      bucket = Rle_bitmap.of_list bucket_bits;
+      bucket_avg = (if bucket_n = 0 then 0.0 else bucket_sum /. float_of_int bucket_n);
+      flat = None }
 
 let of_centroid ?(top_k = 4096) centroid =
   of_entries
@@ -43,21 +130,22 @@ let of_centroid ?(top_k = 4096) centroid =
 
 let build ?top_k docs = of_centroid ?top_k (Term_vector.of_documents docs)
 
-let top_lookup t id =
+let top_lookup m id =
   let rec search lo hi =
     if lo >= hi then None
     else
       let mid = (lo + hi) / 2 in
-      if t.top_terms.(mid) = id then Some t.top_freqs.(mid)
-      else if t.top_terms.(mid) < id then search (mid + 1) hi
+      if m.top_terms.(mid) = id then Some m.top_freqs.(mid)
+      else if m.top_terms.(mid) < id then search (mid + 1) hi
       else search lo mid
   in
-  search 0 (Array.length t.top_terms)
+  search 0 (Array.length m.top_terms)
 
 let frequency t id =
-  match top_lookup t id with
+  let m = force t in
+  match top_lookup m id with
   | Some f -> f
-  | None -> if Rle_bitmap.mem t.bucket id then t.bucket_avg else 0.0
+  | None -> if Rle_bitmap.mem m.bucket id then m.bucket_avg else 0.0
 
 let selectivity t terms =
   List.fold_left
@@ -65,10 +153,11 @@ let selectivity t terms =
     1.0 terms
 
 let support_seq t =
+  let m = force t in
   let top =
-    Seq.init (Array.length t.top_terms) (fun i -> (t.top_terms.(i), t.top_freqs.(i)))
+    Seq.init (Array.length m.top_terms) (fun i -> (m.top_terms.(i), m.top_freqs.(i)))
   in
-  let bucket = Seq.map (fun id -> (id, t.bucket_avg)) (Rle_bitmap.to_seq t.bucket) in
+  let bucket = Seq.map (fun id -> (id, m.bucket_avg)) (Rle_bitmap.to_seq m.bucket) in
   let rec merge sa sb () =
     match sa (), sb () with
     | Seq.Nil, rest -> rest
@@ -80,13 +169,14 @@ let support_seq t =
   merge top bucket
 
 let fuse a b =
-  let total = a.n +. b.n in
-  let wa = a.n /. total and wb = b.n /. total in
+  let am = force a and bm = force b in
+  let total = am.n +. bm.n in
+  let wa = am.n /. total and wb = bm.n /. total in
   (* Union of exactly-indexed term sets stays indexed; each side's
      contribution for a term uses that side's estimate. *)
   let exact = Hashtbl.create 64 in
-  Array.iter (fun id -> Hashtbl.replace exact id ()) a.top_terms;
-  Array.iter (fun id -> Hashtbl.replace exact id ()) b.top_terms;
+  Array.iter (fun id -> Hashtbl.replace exact id ()) am.top_terms;
+  Array.iter (fun id -> Hashtbl.replace exact id ()) bm.top_terms;
   let top = ref [] and rest = ref [] in
   let add (id, _) =
     let f = (wa *. frequency a id) +. (wb *. frequency b id) in
@@ -117,37 +207,51 @@ let fuse a b =
   let bucket_sum = List.fold_left (fun s (_, f) -> s +. f) 0.0 !rest in
   let bucket_n = List.length !rest in
   let top = List.sort (fun (x, _) (y, _) -> Int.compare x y) !top in
-  { n = total;
-    top_terms = Array.of_list (List.map fst top);
-    top_freqs = Array.of_list (List.map snd top);
-    bucket = Rle_bitmap.of_list bucket_bits;
-    bucket_avg = (if bucket_n = 0 then 0.0 else bucket_sum /. float_of_int bucket_n);
-    flat = None }
+  Mat
+    { n = total;
+      top_terms = Array.of_list (List.map fst top);
+      top_freqs = Array.of_list (List.map snd top);
+      bucket = Rle_bitmap.of_list bucket_bits;
+      bucket_avg = (if bucket_n = 0 then 0.0 else bucket_sum /. float_of_int bucket_n);
+      flat = None }
 
 let header_bytes = 8
-let size_bytes t = header_bytes + (8 * n_top t) + Rle_bitmap.size_bytes t.bucket
+
+let size_bytes = function
+  | Mat m -> header_bytes + (8 * Array.length m.top_terms) + Rle_bitmap.size_bytes m.bucket
+  | Cur c -> header_bytes + (8 * n_top (Cur c)) + (4 * c.runs)
+
+let cursor_of = function
+  | Cur c -> c
+  | Mat m ->
+    { base = m;
+      order = order_of m;
+      pos = 0;
+      runs = Rle_bitmap.n_runs m.bucket;
+      bn = float_of_int (Rle_bitmap.cardinality m.bucket);
+      bavg = m.bucket_avg;
+      demoted = IntSet.empty;
+      forced = None }
 
 let compress_once t =
-  let k = n_top t in
-  if k = 0 then None
+  let c = cursor_of t in
+  let k_total = Array.length c.base.top_terms in
+  if c.pos >= k_total then None
   else begin
-    (* find the lowest-frequency indexed term *)
-    let worst = ref 0 in
-    for i = 1 to k - 1 do
-      if t.top_freqs.(i) < t.top_freqs.(!worst) then worst := i
-    done;
-    let demoted_id = t.top_terms.(!worst) and demoted_f = t.top_freqs.(!worst) in
-    let old_n = float_of_int (bucket_size t) in
-    let old_avg = t.bucket_avg in
+    (* the next demotion in the precomputed order: the lowest-frequency
+       surviving indexed term *)
+    let i = c.order.(c.pos) in
+    let demoted_id = c.base.top_terms.(i) and demoted_f = c.base.top_freqs.(i) in
+    let old_n = c.bn in
+    let old_avg = c.bavg in
     let new_avg = ((old_avg *. old_n) +. demoted_f) /. (old_n +. 1.0) in
-    let bucket = Rle_bitmap.add t.bucket demoted_id in
-    let compressed =
-      { t with
-        top_terms = Array.init (k - 1) (fun i -> t.top_terms.(if i < !worst then i else i + 1));
-        top_freqs = Array.init (k - 1) (fun i -> t.top_freqs.(if i < !worst then i else i + 1));
-        bucket;
-        bucket_avg = new_avg;
-        flat = None }
+    (* run count of the bucket after inserting [demoted_id]: joins,
+       extends or starts a run depending on which neighbors are set *)
+    let mem b = Rle_bitmap.mem c.base.bucket b || IntSet.mem b c.demoted in
+    let runs' =
+      c.runs + 1
+      - (if mem (demoted_id - 1) then 1 else 0)
+      - (if mem (demoted_id + 1) then 1 else 0)
     in
     (* Δ in predicate space: the demoted term moves from its exact
        frequency to the new average; every old bucket term moves from the
@@ -155,14 +259,63 @@ let compress_once t =
     let d1 = demoted_f -. new_avg in
     let d2 = old_avg -. new_avg in
     let err = (d1 *. d1) +. (old_n *. d2 *. d2) in
-    let saved = size_bytes t - size_bytes compressed in
-    Some (err, saved, compressed)
+    (* one indexed slot (8 bytes) freed, run-count delta on the bucket *)
+    let saved = 8 + (4 * (c.runs - runs')) in
+    let c' =
+      { c with
+        pos = c.pos + 1;
+        runs = runs';
+        bn = old_n +. 1.0;
+        bavg = new_avg;
+        demoted = IntSet.add demoted_id c.demoted;
+        forced = None }
+    in
+    Some (err, saved, Cur c')
+  end
+
+(* The pre-cursor implementation, kept verbatim as the cost-faithful
+   baseline for the construction benchmark: every step rescans the
+   indexed terms for the minimum and eagerly rebuilds both arrays.
+   Values are bit-identical to [compress_once] — the first-minimum scan
+   picks the same index as [order], and the average/err/saved chains are
+   the same float arithmetic. *)
+let compress_once_eager t =
+  let m = force t in
+  let k = Array.length m.top_terms in
+  if k = 0 then None
+  else begin
+    (* find the lowest-frequency indexed term *)
+    let worst = ref 0 in
+    for i = 1 to k - 1 do
+      if m.top_freqs.(i) < m.top_freqs.(!worst) then worst := i
+    done;
+    let demoted_id = m.top_terms.(!worst) and demoted_f = m.top_freqs.(!worst) in
+    let old_n = float_of_int (Rle_bitmap.cardinality m.bucket) in
+    let old_avg = m.bucket_avg in
+    let new_avg = ((old_avg *. old_n) +. demoted_f) /. (old_n +. 1.0) in
+    let bucket = Rle_bitmap.add m.bucket demoted_id in
+    let compressed =
+      { n = m.n;
+        top_terms =
+          Array.init (k - 1) (fun i -> m.top_terms.(if i < !worst then i else i + 1));
+        top_freqs =
+          Array.init (k - 1) (fun i -> m.top_freqs.(if i < !worst then i else i + 1));
+        bucket;
+        bucket_avg = new_avg;
+        flat = None }
+    in
+    let d1 = demoted_f -. new_avg in
+    let d2 = old_avg -. new_avg in
+    let err = (d1 *. d1) +. (old_n *. d2 *. d2) in
+    let saved = size_bytes (Mat m) - size_bytes (Mat compressed) in
+    Some (err, saved, Mat compressed)
   end
 
 (* flattened support, memoized: the Δ metric evaluates dot products for
    hundreds of thousands of candidate merges, so this path is hot *)
 let flat t =
-  match t.flat with
+  let m = force t in
+  match m.flat with
   | Some f -> f
   | None ->
     let n = support_size t in
@@ -175,56 +328,66 @@ let flat t =
         incr i)
       (support_seq t);
     let f = (terms, freqs) in
-    t.flat <- Some f;
+    m.flat <- Some f;
     f
 
 let dot_products a b =
+  (* hot path: one call per candidate merge of TEXT clusters; unsafe
+     accesses are in-bounds by the loop guards *)
   let ta, fa = flat a and tb, fb = flat b in
   let na = Array.length ta and nb = Array.length tb in
   let suu = ref 0.0 and svv = ref 0.0 and suv = ref 0.0 in
   let i = ref 0 and j = ref 0 in
   while !i < na && !j < nb do
-    let xa = ta.(!i) and xb = tb.(!j) in
+    let xa = Array.unsafe_get ta !i and xb = Array.unsafe_get tb !j in
     if xa < xb then begin
-      suu := !suu +. (fa.(!i) *. fa.(!i));
+      let v = Array.unsafe_get fa !i in
+      suu := !suu +. (v *. v);
       incr i
     end
     else if xb < xa then begin
-      svv := !svv +. (fb.(!j) *. fb.(!j));
+      let v = Array.unsafe_get fb !j in
+      svv := !svv +. (v *. v);
       incr j
     end
     else begin
-      suu := !suu +. (fa.(!i) *. fa.(!i));
-      svv := !svv +. (fb.(!j) *. fb.(!j));
-      suv := !suv +. (fa.(!i) *. fb.(!j));
+      let va = Array.unsafe_get fa !i and vb = Array.unsafe_get fb !j in
+      suu := !suu +. (va *. va);
+      svv := !svv +. (vb *. vb);
+      suv := !suv +. (va *. vb);
       incr i;
       incr j
     end
   done;
   while !i < na do
-    suu := !suu +. (fa.(!i) *. fa.(!i));
+    let v = Array.unsafe_get fa !i in
+    suu := !suu +. (v *. v);
     incr i
   done;
   while !j < nb do
-    svv := !svv +. (fb.(!j) *. fb.(!j));
+    let v = Array.unsafe_get fb !j in
+    svv := !svv +. (v *. v);
     incr j
   done;
   (!suu, !svv, !suv)
 
 let pp ppf t =
-  Format.fprintf ppf "termhist(n=%.0f, top=%d, bucket=%d@%.4f)" t.n (n_top t)
-    (bucket_size t) t.bucket_avg
+  let m = force t in
+  Format.fprintf ppf "termhist(n=%.0f, top=%d, bucket=%d@%.4f)" m.n (n_top t)
+    (bucket_size t) m.bucket_avg
 
 let of_parts ~n ~top ~bucket ~bucket_avg =
   let top = List.sort (fun (a, _) (b, _) -> Int.compare a b) top in
-  { n;
-    top_terms = Array.of_list (List.map fst top);
-    top_freqs = Array.of_list (List.map snd top);
-    bucket = Rle_bitmap.of_list bucket;
-    bucket_avg;
-    flat = None }
+  Mat
+    { n;
+      top_terms = Array.of_list (List.map fst top);
+      top_freqs = Array.of_list (List.map snd top);
+      bucket = Rle_bitmap.of_list bucket;
+      bucket_avg;
+      flat = None }
 
 let parts t =
-  ( Array.to_list (Array.mapi (fun i id -> (id, t.top_freqs.(i))) t.top_terms),
-    List.of_seq (Rle_bitmap.to_seq t.bucket),
-    t.bucket_avg )
+  let m = force t in
+  ( Array.to_list (Array.mapi (fun i id -> (id, m.top_freqs.(i))) m.top_terms),
+    List.of_seq (Rle_bitmap.to_seq m.bucket),
+    m.bucket_avg )

@@ -45,7 +45,20 @@ val compress_once : t -> (float * int * t) option
     the uniform bucket and update the average. Returns
     [(Σ_p (σ_p − σ′_p)², bytes_saved, compressed)], or [None] when no
     indexed term remains. [bytes_saved] can in principle be ≤ 0 if the
-    demoted bit fragments the RLE encoding. *)
+    demoted bit fragments the RLE encoding.
+
+    Since a demotion never changes the frequency of a surviving indexed
+    term, the demotion order of a summary is fixed up front; the
+    returned summary is a lazily-materialized cursor over that order, so
+    a chain of [compress_once] steps — the inner loop of XCLUSTERBUILD
+    phase 2 — costs O(log k) per step instead of O(k) array rebuilds.
+    Accessors force materialization transparently (memoized). *)
+
+val compress_once_eager : t -> (float * int * t) option
+(** The pre-cursor implementation of {!compress_once}, retained as the
+    cost-faithful baseline for the construction benchmark: every step
+    rescans the indexed terms for the minimum and eagerly rebuilds both
+    arrays, O(k) per step. Bit-identical results to {!compress_once}. *)
 
 val support_seq : t -> (int * float) Seq.t
 (** All (term, estimated frequency) pairs, ascending by term id — the

@@ -40,22 +40,36 @@ let fuse a b =
     invalid_arg "Value_summary.fuse: type mismatch"
 
 let numeric_dots x y =
-  let module IS = Set.Make (Int) in
-  let bounds =
-    IS.elements
-      (List.fold_left
-         (fun s h -> IS.add h s)
-         (List.fold_left (fun s h -> IS.add h s) IS.empty (Histogram.boundaries x))
-         (Histogram.boundaries y))
-  in
   let suu = ref 0.0 and svv = ref 0.0 and suv = ref 0.0 in
-  List.iter
-    (fun h ->
-      let a = Histogram.prefix_fraction x h and b = Histogram.prefix_fraction y h in
-      suu := !suu +. (a *. a);
-      svv := !svv +. (b *. b);
-      suv := !suv +. (a *. b))
-    bounds;
+  let visit h =
+    let a = Histogram.prefix_fraction x h and b = Histogram.prefix_fraction y h in
+    suu := !suu +. (a *. a);
+    svv := !svv +. (b *. b);
+    suv := !suv +. (a *. b)
+  in
+  (* both boundary lists arrive ascending; walk their union in order
+     (the same visit sequence as materializing the union set) *)
+  let rec merge xs ys =
+    match xs, ys with
+    | [], [] -> ()
+    | h :: tl, [] | [], h :: tl ->
+      visit h;
+      merge tl []
+    | hx :: tx, hy :: ty ->
+      if hx < hy then begin
+        visit hx;
+        merge tx ys
+      end
+      else if hy < hx then begin
+        visit hy;
+        merge xs ty
+      end
+      else begin
+        visit hx;
+        merge tx ty
+      end
+  in
+  merge (Histogram.boundaries x) (Histogram.boundaries y);
   (!suu, !svv, !suv)
 
 let pred_dots a b =
@@ -75,21 +89,58 @@ let self_dots s =
   let suu, _, _ = pred_dots s s in
   suu
 
-let preview_compression = function
+type step = {
+  err : float;
+  saved : int;
+  apply : unit -> t;
+}
+
+(* The preview already locates (and for the immutable summaries,
+   builds) the compressed result; the [apply] closure carries it so
+   applying a previewed step costs nothing beyond the preview. [Vstr]
+   prunes in place and so must defer the mutation to [apply] — its
+   closure re-pops the already-validated heap top, which is O(1). *)
+let compress_step = function
   | Vnone -> None
   | Vnum h ->
     if Histogram.n_buckets h < 2 then None
     else
-      let err, _ = Histogram.compress_error h in
-      Some (err, 8)
+      let err, i = Histogram.compress_error h in
+      Some { err; saved = 8; apply = (fun () -> Vnum (Histogram.merge_at h i)) }
+  | Vstr p ->
+    Option.map
+      (fun err ->
+        { err;
+          saved = 9;
+          apply =
+            (fun () ->
+              ignore (Pst.prune_once p);
+              Vstr p) })
+      (Pst.peek_prune p)
+  | Vtext th ->
+    Option.map
+      (fun (err, saved, th') -> { err; saved; apply = (fun () -> Vtext th') })
+      (Term_hist.compress_once th)
+
+(* [preview_compression]/[apply_compression] are the pre-step-carrying
+   two-pass protocol: preview the step, discard the work, redo it at
+   apply time. They survive as the cost-faithful baseline for the
+   construction benchmark (and as a convenient standalone API), hence
+   the eager term-histogram variant — same values, pre-cursor cost. *)
+let preview_compression = function
+  | Vnone -> None
+  | Vnum h ->
+    if Histogram.n_buckets h < 2 then None
+    else Some (fst (Histogram.compress_error h), 8)
   | Vstr p -> Option.map (fun err -> (err, 9)) (Pst.peek_prune p)
-  | Vtext th -> Option.map (fun (err, saved, _) -> (err, saved)) (Term_hist.compress_once th)
+  | Vtext th ->
+    Option.map (fun (err, saved, _) -> (err, saved)) (Term_hist.compress_once_eager th)
 
 let apply_compression = function
   | Vnone -> None
   | Vnum h -> if Histogram.n_buckets h < 2 then None else Some (Vnum (Histogram.compress_once h))
   | Vstr p -> Option.map (fun _ -> Vstr p) (Pst.prune_once p)
-  | Vtext th -> Option.map (fun (_, _, th') -> Vtext th') (Term_hist.compress_once th)
+  | Vtext th -> Option.map (fun (_, _, th') -> Vtext th') (Term_hist.compress_once_eager th)
 
 (* A typed cluster without a summary is an undesignated path: the
    synopsis carries no evidence that its values ever satisfy predicates,

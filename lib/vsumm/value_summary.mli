@@ -37,13 +37,35 @@ val self_dots : t -> float
 (** [Σ_p σ(p)²] over the summary's own atomic predicates (1.0 for
     [Vnone]); the [pred_dots] diagonal, used for single-node Δ terms. *)
 
+type step = {
+  err : float;  (** Σ_p (σ_p − σ′_p)² of the step *)
+  saved : int;  (** bytes saved by the step *)
+  apply : unit -> t;
+      (** the compressed summary; carries the preview's product, so
+          applying costs nothing beyond the preview itself. Valid only
+          while the summary is unchanged since {!compress_step} (for
+          [Vstr] it prunes the shared tree in place). *)
+}
+
+val compress_step : t -> step option
+(** Previews the next compression step on this summary and returns it
+    together with an [apply] thunk that finalizes it without redoing
+    the preview's work. [None] when the summary cannot be compressed
+    further. *)
+
 val preview_compression : t -> (float * int) option
 (** [(Σ_p (σ_p − σ′_p)², bytes saved)] for the next compression step on
-    this summary, or [None] when it cannot be compressed further. *)
+    this summary, or [None] when it cannot be compressed further.
+    Same values as {!compress_step} without the carried result, at the
+    pre-step-carrying cost (the preview's work is discarded). *)
 
 val apply_compression : t -> t option
-(** Applies the step previewed by {!preview_compression}. Returns the
-    compressed summary ([Vstr] is pruned in place and returned). *)
+(** Applies the step previewed by {!preview_compression}, redoing the
+    preview's search. Returns the compressed summary ([Vstr] is pruned
+    in place and returned). Together with {!preview_compression} this is
+    the two-pass protocol the construction benchmark uses as its
+    cost-faithful baseline; both produce summaries bit-identical to
+    {!compress_step}-then-[apply]. *)
 
 val numeric_selectivity : t -> lo:int -> hi:int -> float
 (** σ of a range predicate [\[lo, hi\]] (inclusive). [Vnone] → 0.0:

@@ -335,7 +335,7 @@ let test_pool_only_compatible_pairs () =
   let levels = Levels.compute syn in
   let pool = Pool.build Pool.default_config syn ~levels ~level:99 in
   let rec drain () =
-    match Pool.pop_valid syn pool with
+    match Pool.pop_valid Pool.default_config syn pool with
     | None -> ()
     | Some cand ->
       let u = B.find syn cand.Pool.u and v = B.find syn cand.Pool.v in
@@ -351,7 +351,7 @@ let test_pool_respects_level () =
   (* at level 0 only leaves pair up *)
   let pool = Pool.build Pool.default_config syn ~levels ~level:0 in
   let rec drain () =
-    match Pool.pop_valid syn pool with
+    match Pool.pop_valid Pool.default_config syn pool with
     | None -> ()
     | Some cand ->
       check Alcotest.int "leaf level u" 0 (Levels.get levels ~default:(-1) cand.Pool.u);
@@ -366,7 +366,7 @@ let test_pool_orders_by_marginal_loss () =
   let levels = Levels.compute syn in
   let pool = Pool.build Pool.default_config syn ~levels ~level:99 in
   let rec losses acc =
-    match Pool.pop_valid syn pool with
+    match Pool.pop_valid Pool.default_config syn pool with
     | None -> List.rev acc
     | Some cand -> losses (Delta.marginal_loss cand.Pool.delta cand.Pool.saved :: acc)
   in

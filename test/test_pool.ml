@@ -1,0 +1,231 @@
+(* Tests for the incremental construction substrate of this PR: the
+   Builder's group index (vs a from-scratch regrouping, across random
+   merge sequences and full builds), the candidate-evaluation and
+   member-scan bounds of push_neighbors (no full node-table iteration),
+   pop-time candidate revalidation, and bit-identical sealed output
+   across scoring-worker counts (XC_DOMAINS determinism). *)
+
+open Xc_xml
+module Synopsis = Xc_core.Synopsis
+module B = Synopsis.Builder
+module Levels = Synopsis.Levels
+module Pool = Xc_core.Pool
+module Merge = Xc_core.Merge
+module Build = Xc_core.Build
+module Reference = Xc_core.Reference
+module Codec = Xc_core.Codec
+module Metrics = Xc_util.Metrics
+module Vs = Xc_vsumm.Value_summary
+
+let check = Alcotest.check
+
+let add syn label count =
+  B.add_node syn ~label:(Label.of_string label) ~vtype:Value.Tnull ~count
+    ~vsumm:Vs.vnone
+
+(* ---- group index vs from-scratch regrouping ------------------------------- *)
+
+(* the ground truth the index must match: group every live node by key,
+   straight off the node table *)
+let scratch_grouping syn =
+  let tbl = Hashtbl.create 64 in
+  B.iter
+    (fun node ->
+      let key = B.group_key node in
+      let cur = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (B.sid node :: cur))
+    syn;
+  Hashtbl.fold (fun key sids acc -> (key, List.sort Int.compare sids) :: acc) tbl []
+  |> List.sort compare
+
+let index_grouping syn =
+  List.map
+    (fun key ->
+      let ms = ref [] in
+      B.iter_group syn key (fun node -> ms := B.sid node :: !ms);
+      (key, List.sort Int.compare !ms))
+    (B.group_keys syn)
+  |> List.sort compare
+
+let check_groupings_equal msg syn =
+  let pp_group ppf ((l, t, k), sids) =
+    Format.fprintf ppf "(%d,%d,%d)->[%s]" l t k
+      (String.concat ";" (List.map string_of_int sids))
+  in
+  let grouping = Alcotest.(list (testable pp_group ( = ))) in
+  check grouping msg (scratch_grouping syn) (index_grouping syn)
+
+let test_group_index_random_merges () =
+  let doc = Xc_data.Imdb.generate ~seed:7 ~n_movies:60 () in
+  let syn = Reference.build ~min_extent:2 doc in
+  check_groupings_equal "fresh reference" syn;
+  let rng = Random.State.make [| 42 |] in
+  let merges = ref 0 in
+  (* randomized merge sequence: pick any group with >= 2 members, merge
+     two random members, re-check the index every few steps *)
+  let continue = ref true in
+  while !continue && !merges < 60 do
+    let groups =
+      List.filter (fun (_, sids) -> List.length sids >= 2) (index_grouping syn)
+    in
+    match groups with
+    | [] -> continue := false
+    | groups ->
+      let _, sids = List.nth groups (Random.State.int rng (List.length groups)) in
+      let arr = Array.of_list sids in
+      let i = Random.State.int rng (Array.length arr) in
+      let j = (i + 1 + Random.State.int rng (Array.length arr - 1))
+              mod Array.length arr in
+      ignore (Merge.apply syn arr.(i) arr.(j));
+      incr merges;
+      if !merges mod 7 = 0 then check_groupings_equal "mid-sequence" syn
+  done;
+  check Alcotest.bool "performed merges" true (!merges > 10);
+  check_groupings_equal "after random merges" syn;
+  check Alcotest.bool "builder valid" true (B.validate syn = Ok ())
+
+let test_group_index_after_full_build () =
+  (* a full XCLUSTERBUILD exercises merges AND phase-2 set_vsumm *)
+  let doc = Xc_data.Xmark.generate ~seed:3 ~scale:0.01 () in
+  let reference = Reference.build ~min_extent:2 doc in
+  let built = Build.run_builder (Build.budget ~bstr_kb:2 ~bval_kb:16 ()) reference in
+  check_groupings_equal "after full build" built;
+  check Alcotest.bool "builder valid" true (B.validate built = Ok ())
+
+(* ---- push_neighbors does bounded work -------------------------------------- *)
+
+let test_push_neighbors_bounded () =
+  let syn = B.create ~doc_height:2 in
+  let root = add syn "r" 1 in
+  B.set_root syn (B.sid root);
+  let group_size = 12 in
+  let mergeable =
+    List.init group_size (fun i ->
+        let n = add syn "a" (10 + i) in
+        B.set_edge syn ~parent:(B.sid root) ~child:(B.sid n) 1.0;
+        n)
+  in
+  (* a large population the neighbor lookup must never touch *)
+  for _ = 1 to 3000 do
+    let n = add syn "z" 5 in
+    B.set_edge syn ~parent:(B.sid root) ~child:(B.sid n) 1.0
+  done;
+  let levels = Levels.compute syn in
+  let node = List.hd mergeable in
+  let counter name = Metrics.counter_value Metrics.global name in
+  (* indexed path: work bounded by the group, not the node table *)
+  let evals0 = counter "pool.cand_evals" and scanned0 = counter "pool.scanned" in
+  let heap = Xc_util.Heap.create () in
+  Pool.push_neighbors Pool.default_config syn heap ~levels ~level:99 node;
+  let evals = counter "pool.cand_evals" - evals0 in
+  let scanned = counter "pool.scanned" - scanned0 in
+  check Alcotest.bool "pushed some candidates" true (Xc_util.Heap.length heap > 0);
+  check Alcotest.bool "cand evals bounded by neighbor_k" true
+    (evals <= Pool.default_config.Pool.neighbor_k);
+  (* the group is smaller than neighbor_k, so the count-window walk
+     visits every member — but never leaves the group *)
+  check Alcotest.int "scans only the group, not all nodes" group_size scanned;
+  (* on a group much larger than neighbor_k, the sorted count window
+     stops early instead of scanning all members *)
+  let big = 200 in
+  let bigs =
+    List.init big (fun i ->
+        let n = add syn "b" (100 + i) in
+        B.set_edge syn ~parent:(B.sid root) ~child:(B.sid n) 1.0;
+        n)
+  in
+  let levels = Levels.compute syn in
+  let mid = List.nth bigs (big / 2) in
+  let scanned0 = counter "pool.scanned" in
+  let heap = Xc_util.Heap.create () in
+  Pool.push_neighbors Pool.default_config syn heap ~levels ~level:99 mid;
+  let scanned_big = counter "pool.scanned" - scanned0 in
+  let k = Pool.default_config.Pool.neighbor_k in
+  check Alcotest.bool "count window stops early on large groups" true
+    (scanned_big < big && scanned_big <= (2 * (k + 1)) + 1);
+  (* the full-scan baseline really does visit the whole node table *)
+  let scanned0 = counter "pool.scanned" in
+  let heap = Xc_util.Heap.create () in
+  Pool.push_neighbors
+    { Pool.default_config with Pool.full_scan = true }
+    syn heap ~levels ~level:99 node;
+  let scanned_full = counter "pool.scanned" - scanned0 in
+  check Alcotest.int "full scan visits every node" (B.n_nodes syn) scanned_full
+
+(* ---- pop-time revalidation -------------------------------------------------- *)
+
+let test_pop_valid_revalidates () =
+  let syn = B.create ~doc_height:3 in
+  let r = add syn "r" 1 in
+  B.set_root syn (B.sid r);
+  let u = add syn "a" 8 and v = add syn "a" 12 in
+  let x = add syn "c" 4 and y = add syn "c" 4 in
+  B.set_edge syn ~parent:(B.sid r) ~child:(B.sid u) 1.0;
+  B.set_edge syn ~parent:(B.sid r) ~child:(B.sid v) 1.0;
+  B.set_edge syn ~parent:(B.sid u) ~child:(B.sid x) 1.0;
+  B.set_edge syn ~parent:(B.sid u) ~child:(B.sid y) 1.0;
+  B.set_edge syn ~parent:(B.sid v) ~child:(B.sid x) 1.0;
+  B.set_edge syn ~parent:(B.sid v) ~child:(B.sid y) 1.0;
+  (* merging x and y will collapse {x, y} to {w} under BOTH u and v:
+     the (u, v) entry's saved drops from node + 3 edges (4 child edges
+     deduplicating to 2, one shared parent) to node + 2 edges *)
+  let levels = Levels.compute syn in
+  let cfg = Pool.default_config in
+  let pool = Pool.build cfg syn ~levels ~level:99 in
+  (* merge x and y behind the pool's back: u/v both survive, but their
+     child edges change, so the pooled (u, v) entry's saved is stale *)
+  ignore (Merge.apply syn (B.sid x) (B.sid y));
+  let rescored0 = Metrics.counter_value Metrics.global "pool.rescored" in
+  let rec drain () =
+    match Pool.pop_valid cfg syn pool with
+    | None -> ()
+    | Some c ->
+      let cu = B.find syn c.Pool.u and cv = B.find syn c.Pool.v in
+      check Alcotest.int "popped saved matches current graph"
+        (Merge.saved_bytes syn cu cv) c.Pool.saved;
+      drain ()
+  in
+  drain ();
+  let rescored = Metrics.counter_value Metrics.global "pool.rescored" - rescored0 in
+  check Alcotest.bool "stale entry was rescored" true (rescored > 0)
+
+(* ---- XC_DOMAINS determinism -------------------------------------------------- *)
+
+(* the wire format covers every array of the sealed form, so string
+   equality of encodings is bit-identity of the synopses *)
+let sealed_equal a b = String.equal (Codec.to_string a) (Codec.to_string b)
+
+let test_domains_bit_identical () =
+  let datasets =
+    [ ("imdb", lazy (Xc_data.Imdb.generate ~seed:3 ~n_movies:60 ()));
+      ("xmark", lazy (Xc_data.Xmark.generate ~seed:4 ~scale:0.012 ()));
+      ("dblp", lazy (Xc_data.Dblp.generate ~seed:5 ~n_authors:70 ())) ]
+  in
+  List.iter
+    (fun (name, doc) ->
+      let reference = Reference.build ~min_extent:2 (Lazy.force doc) in
+      let build pool =
+        Build.run (Build.budget ~pool ~bstr_kb:2 ~bval_kb:16 ()) reference
+      in
+      let s1 = build { Pool.default_config with Pool.domains = 1 } in
+      let s4 = build { Pool.default_config with Pool.domains = 4 } in
+      let scan =
+        build { Pool.default_config with Pool.domains = 1; full_scan = true }
+      in
+      check Alcotest.bool (name ^ ": 1 vs 4 domains bit-identical") true
+        (sealed_equal s1 s4);
+      check Alcotest.bool (name ^ ": indexed vs full-scan bit-identical") true
+        (sealed_equal s1 scan))
+    datasets
+
+let () =
+  Alcotest.run "xc_pool"
+    [ ( "group-index",
+        [ Alcotest.test_case "random merges" `Quick test_group_index_random_merges;
+          Alcotest.test_case "full build" `Quick test_group_index_after_full_build ] );
+      ( "bounded-work",
+        [ Alcotest.test_case "push_neighbors" `Quick test_push_neighbors_bounded ] );
+      ( "revalidation",
+        [ Alcotest.test_case "pop rescored" `Quick test_pop_valid_revalidates ] );
+      ( "determinism",
+        [ Alcotest.test_case "XC_DOMAINS" `Quick test_domains_bit_identical ] ) ]
