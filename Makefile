@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt bench clean
+.PHONY: all build test check fmt bench bench-serve clean
 
 all: build
 
@@ -21,6 +21,12 @@ fmt:
 
 bench:
 	dune exec bench/main.exe
+
+# Paper-scale serving benchmark: batched estimation vs the planned
+# path, with throughput, latency percentiles, and bit-identity gates.
+# Appends a JSON line to BENCH_serve.json.
+bench-serve:
+	dune exec bench/main.exe -- serve
 
 clean:
 	dune clean

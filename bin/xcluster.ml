@@ -150,7 +150,18 @@ let workload_cmd =
   let seed_arg =
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Workload RNG seed.")
   in
-  let run file typing_name bstr bval n seed =
+  let batch_arg =
+    Arg.(
+      value & flag
+      & info [ "batch" ]
+          ~doc:
+            "Serve the workload through the batched estimation engine \
+             (interned transition matrices, $(b,XC_DOMAINS)-way sharding) \
+             instead of per-query planned estimates, and report serving \
+             throughput and latency percentiles. Estimates are bit-identical \
+             either way.")
+  in
+  let run file typing_name bstr bval n seed batch =
     let doc = load ~typing_name file in
     let syn =
       Xcluster.build ~budget:(Xcluster.budget ~bstr_kb:bstr ~bval_kb:bval ()) doc
@@ -158,7 +169,39 @@ let workload_cmd =
     let spec = { Xc_twig.Workload.default_spec with n_queries = n; seed } in
     let wl = Xc_twig.Workload.generate ~spec doc in
     let sanity = Xc_twig.Workload.sanity_bound wl in
-    let scored = Xc_exp.Error_metric.score (Xcluster.estimate syn) wl in
+    let estimator =
+      if not batch then Xcluster.estimate syn
+      else begin
+        let queries =
+          Array.of_list (List.map (fun e -> e.Xc_twig.Workload.query) wl)
+        in
+        Xcluster.metrics_reset ();
+        let t0 = Unix.gettimeofday () in
+        let results = Xcluster.estimate_batch syn queries in
+        let dt = Unix.gettimeofday () -. t0 in
+        let m = Xc_util.Metrics.global in
+        Format.printf
+          "batch: %d queries in %.1f ms (%.0f qps, %d matrices, %d domains used)@."
+          (Array.length queries) (1000.0 *. dt)
+          (float_of_int (Array.length queries) /. Float.max dt 1e-9)
+          (Xc_core.Plan.Batch.n_matrices (Xcluster.batch_engine syn))
+          (Xc_util.Par.max_used ());
+        (match
+           Xc_util.Metrics.quantiles m "estimate.batch_us" [ 0.5; 0.95; 0.99 ]
+         with
+        | Some [ (_, p50); (_, p95); (_, p99) ] ->
+          Format.printf "latency (us): p50 %.1f  p95 %.1f  p99 %.1f@." p50 p95 p99
+        | _ -> ());
+        (* estimates keyed injectively by query structure, so the scorer
+           below reads the batch results *)
+        let by_key = Hashtbl.create (Array.length queries) in
+        Array.iteri
+          (fun i q -> Hashtbl.replace by_key (Xc_core.Plan.query_key q) results.(i))
+          queries;
+        fun q -> Hashtbl.find by_key (Xc_core.Plan.query_key q)
+      end
+    in
+    let scored = Xc_exp.Error_metric.score estimator wl in
     Format.printf "workload: %d positive twigs, sanity bound %.0f@."
       (List.length wl) sanity;
     Format.printf "overall avg. relative error: %.1f%%@."
@@ -176,7 +219,9 @@ let workload_cmd =
          "Generate a random positive twig workload over an XML file and report \
           the synopsis's per-class estimation error (the paper's Sec. 6 \
           methodology, on your own data).")
-    Term.(const run $ file_arg $ typing_arg $ bstr_arg $ bval_arg $ n_arg $ seed_arg)
+    Term.(
+      const run $ file_arg $ typing_arg $ bstr_arg $ bval_arg $ n_arg $ seed_arg
+      $ batch_arg)
 
 (* ---- estimate ----------------------------------------------------------- *)
 
@@ -240,7 +285,16 @@ let estimate_cmd =
                 Format.printf "  cluster %d <%s>: %.1f expected elements@." sid label w)
             e.Xc_core.Estimate.bindings)
         (Xcluster.explain syn q);
-    if stats then Format.printf "metrics: %s@." (Xcluster.metrics_json ())
+    if stats then begin
+      Format.printf "metrics: %s@." (Xcluster.metrics_json ());
+      match
+        Xc_util.Metrics.quantiles Xc_util.Metrics.global "estimate.plan_us"
+          [ 0.5; 0.95; 0.99 ]
+      with
+      | Some [ (_, p50); (_, p95); (_, p99) ] ->
+        Format.printf "latency (us): p50 %.1f  p95 %.1f  p99 %.1f@." p50 p95 p99
+      | _ -> ()
+    end
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Estimate a twig query's selectivity from a synopsis.")

@@ -150,22 +150,28 @@ let docnode_step syn step =
       { d_idx = [| root |]; d_w = [| 1.0 |] }
     else empty_dist
   | Path_expr.Descendant ->
+    (* single pass over the label array: matches land in a doubling
+       buffer, so the scan cost is paid once instead of count + fill *)
     let labels = S.labels syn and counts = S.counts syn in
     let n = S.n_nodes syn in
+    let buf_idx = ref (Array.make 16 0) and buf_w = ref (Array.make 16 0.0) in
     let m = ref 0 in
     for i = 0 to n - 1 do
-      if Path_expr.matches_test step.Path_expr.test labels.(i) then incr m
-    done;
-    let out_idx = Array.make !m 0 and out_w = Array.make !m 0.0 in
-    let j = ref 0 in
-    for i = 0 to n - 1 do
       if Path_expr.matches_test step.Path_expr.test labels.(i) then begin
-        out_idx.(!j) <- i;
-        out_w.(!j) <- float_of_int counts.(i);
-        incr j
+        if !m = Array.length !buf_idx then begin
+          let cap = 2 * !m in
+          let gi = Array.make cap 0 and gw = Array.make cap 0.0 in
+          Array.blit !buf_idx 0 gi 0 !m;
+          Array.blit !buf_w 0 gw 0 !m;
+          buf_idx := gi;
+          buf_w := gw
+        end;
+        !buf_idx.(!m) <- i;
+        !buf_w.(!m) <- float_of_int counts.(i);
+        incr m
       end
     done;
-    { d_idx = out_idx; d_w = out_w }
+    { d_idx = Array.sub !buf_idx 0 !m; d_w = Array.sub !buf_w 0 !m }
 
 let root_reach_dist syn expr =
   match expr with
@@ -403,8 +409,8 @@ let explain syn query =
           let weight = dist.d_w.(i) in
           for k = 0 to Array.length from_here.d_idx - 1 do
             let v = from_here.d_idx.(k) in
-            if Bytes.get flag v = '\000' then begin
-              Bytes.set flag v '\001';
+            if Bytes.unsafe_get flag v = '\000' then begin
+              Bytes.unsafe_set flag v '\001';
               incr touched
             end;
             racc.(v) <- racc.(v) +. (weight *. from_here.d_w.(k))

@@ -62,6 +62,19 @@ val reach : Synopsis.Sealed.t -> Xc_twig.Path_expr.t -> int -> (int * float) lis
 val reach_dist : Synopsis.Sealed.t -> Xc_twig.Path_expr.t -> int -> dist
 (** {!reach} in index space: source and results are node indices. *)
 
+val step_reach : Synopsis.Sealed.t -> Xc_twig.Path_expr.step -> dist -> dist
+(** One step of {!reach_dist}: a child step composes the distribution
+    with the sealed child CSR (expand, then label-filter), a descendant
+    step applies the height-bounded breadth-first closure. Exposed so
+    {!Transition} builds its matrix rows through the exact code —
+    hence the exact float operations — the serving baseline runs. *)
+
+val docnode_step : Synopsis.Sealed.t -> Xc_twig.Path_expr.step -> dist
+(** The first step taken from the virtual document node (what
+    {!root_reach_dist} starts from): a child step selects the root
+    cluster, a descendant step every matching cluster weighted by
+    extent. *)
+
 val root_reach_dist : Synopsis.Sealed.t -> Xc_twig.Path_expr.t -> dist
 (** Distribution for a path expression taken from the virtual document
     node (the root variable q0): a leading child step selects the root

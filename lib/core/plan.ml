@@ -86,8 +86,7 @@ let query p = p.p_query
 
 (* Mirrors Estimate.selectivity operation for operation; the only change
    is that reach distributions come from the memo. *)
-let estimate p =
-  Metrics.time m "estimate.plan" @@ fun () ->
+let estimate_body p =
   if p.p_root_zero then 0.0
   else begin
     let syn = p.p_syn and mc = p.p_memo in
@@ -139,6 +138,14 @@ let estimate p =
             acc *. !sum)
       1.0 p.p_root_edges
   end
+
+let estimate p =
+  let t0 = Unix.gettimeofday () in
+  let r = estimate_body p in
+  let dt = Unix.gettimeofday () -. t0 in
+  Metrics.add_time m "estimate.plan" dt;
+  Metrics.observe m "estimate.plan_us" (1e6 *. dt);
+  r
 
 (* ---- query keys -------------------------------------------------------- *)
 
@@ -218,4 +225,270 @@ module Cache = struct
     Hashtbl.reset c.c_plans;
     Hashtbl.reset c.c_memo.mc_reach;
     Hashtbl.reset c.c_memo.mc_root
+end
+
+(* ---- batched serving ---------------------------------------------------
+
+   The planned path above still pays, per estimate, a query-key render,
+   structural Path_expr hashing in the reach memo, and a fresh
+   (qid, idx) hashtable. The batch engine moves all of that to prepare
+   time: path expressions are interned to dense ints and materialized
+   as Transition matrices once per synopsis, per-node predicate
+   selectivities (sigma) are precomputed over each query node's support
+   set, and evaluation walks flat float arrays bottom-up — no hashing,
+   no allocation beyond per-worker scratch.
+
+   Bit-identity argument, piece by piece:
+   - matrix rows are built by folding Estimate.step_reach (the very
+     code the uncached estimator runs), so row floats are bit-identical
+     to reach_dist's;
+   - sigma is the same predicate fold over the same (pred, vtype) list
+     in the same order;
+   - the per-node edge fold and the row dot product replicate
+     estimate_body's operation order exactly, including the
+     [sigma <= 0.0] and [acc <= 0.0] short-circuits and the
+     [[] -> 0.0] root-expression case;
+   - each (query node, synopsis node) value is a pure function of the
+     synopsis, so computing it eagerly over the support set (instead of
+     lazily via the memo) changes nothing.
+   Supports propagate top-down (a child's support is the union of the
+   matrix rows over its parent's support), so every scratch cell a
+   parent reads was written by its child in the same evaluation —
+   scratch is never zeroed between queries, and results cannot depend
+   on which worker ran which query. *)
+
+module Batch = struct
+  (* per-worker evaluation scratch: one float array of length n_nodes
+     per query-node slot, grown to the widest query seen and reused
+     across the worker's whole chunk *)
+  type scratch = {
+    sc_n : int;
+    mutable sc_slots : float array array;
+  }
+
+  let scratch_create n = { sc_n = n; sc_slots = [||] }
+
+  let scratch_ensure sc k =
+    let have = Array.length sc.sc_slots in
+    if have < k then
+      sc.sc_slots <-
+        Array.init k (fun i ->
+            if i < have then sc.sc_slots.(i) else Array.make sc.sc_n 0.0)
+
+  type bnode = {
+    bn_slot : int;  (* scratch slot holding this node's values *)
+    bn_support : int array;  (* synopsis nodes this node is evaluated at *)
+    bn_sigma : float array;  (* predicate selectivity per support position *)
+    bn_edges : (Transition.t * bnode) list;  (* document order *)
+  }
+
+  type bquery = {
+    bq_zero : bool;  (* root predicates or an empty root expression *)
+    bq_root : (Estimate.dist * bnode) list;
+    bq_slots : int;
+  }
+
+  type prepared = bquery array
+
+  type t = {
+    bt_syn : S.t;
+    bt_mats : (Path_expr.id, Transition.t) Hashtbl.t;
+    bt_queries : (string, bquery) Hashtbl.t;
+  }
+
+  let create syn =
+    { bt_syn = syn; bt_mats = Hashtbl.create 32; bt_queries = Hashtbl.create 64 }
+
+  let synopsis t = t.bt_syn
+  let n_matrices t = Hashtbl.length t.bt_mats
+  let n_queries t = Hashtbl.length t.bt_queries
+
+  let clear t =
+    Hashtbl.reset t.bt_mats;
+    Hashtbl.reset t.bt_queries
+
+  let mat_for t expr =
+    let id = Path_expr.intern expr in
+    match Hashtbl.find_opt t.bt_mats id with
+    | Some mt -> mt
+    | None ->
+      let mt =
+        Metrics.time m "batch.mat_build" (fun () -> Transition.build t.bt_syn expr)
+      in
+      Hashtbl.add t.bt_mats id mt;
+      mt
+
+  (* child-endpoint support of an edge: the union of the matrix rows of
+     every supported source, ascending *)
+  let edge_support t mt support =
+    let n = S.n_nodes t.bt_syn in
+    let mark = Bytes.make n '\000' in
+    let off = Transition.off mt and idx = Transition.idx mt in
+    let count = ref 0 in
+    Array.iter
+      (fun u ->
+        for i = off.(u) to off.(u + 1) - 1 do
+          let v = Array.unsafe_get idx i in
+          if Bytes.unsafe_get mark v = '\000' then begin
+            Bytes.unsafe_set mark v '\001';
+            incr count
+          end
+        done)
+      support;
+    let out = Array.make !count 0 in
+    let k = ref 0 in
+    for v = 0 to n - 1 do
+      if Bytes.unsafe_get mark v = '\001' then begin
+        out.(!k) <- v;
+        incr k
+      end
+    done;
+    out
+
+  let sigma_of t preds support =
+    let syn = t.bt_syn in
+    let pv = List.map (fun p -> (p, Predicate.vtype p)) preds in
+    Array.map
+      (fun u ->
+        List.fold_left
+          (fun acc (pred, vt) ->
+            acc *. Estimate.predicate_selectivity_typed vt syn u pred)
+          1.0 pv)
+      support
+
+  let rec compile_bnode t next_slot qnode support =
+    let slot = !next_slot in
+    incr next_slot;
+    let edges =
+      List.map
+        (fun (expr, child) ->
+          let mt = mat_for t expr in
+          (mt, compile_bnode t next_slot child (edge_support t mt support)))
+        qnode.Twig_query.edges
+    in
+    { bn_slot = slot;
+      bn_support = support;
+      bn_sigma = sigma_of t qnode.Twig_query.preds support;
+      bn_edges = edges }
+
+  let compile_query t q =
+    let root_q = q.Twig_query.root in
+    (* root predicates can never hold on the virtual document node, and
+       an empty root expression contributes a 0.0 factor — either way
+       every estimate is 0, matching Estimate.selectivity *)
+    let zero =
+      root_q.Twig_query.preds <> []
+      || List.exists (fun (expr, _) -> expr = []) root_q.Twig_query.edges
+    in
+    if zero then { bq_zero = true; bq_root = []; bq_slots = 0 }
+    else begin
+      let next_slot = ref 0 in
+      let root =
+        List.map
+          (fun (expr, child) ->
+            let rdist = Estimate.root_reach_dist t.bt_syn expr in
+            (rdist, compile_bnode t next_slot child rdist.Estimate.d_idx))
+          root_q.Twig_query.edges
+      in
+      { bq_zero = false; bq_root = root; bq_slots = !next_slot }
+    end
+
+  let prepare t queries =
+    Array.map
+      (fun q ->
+        let key = query_key q in
+        match Hashtbl.find_opt t.bt_queries key with
+        | Some bq ->
+          Metrics.incr m "batch.query_hit";
+          bq
+        | None ->
+          Metrics.incr m "batch.query_miss";
+          let bq = Metrics.time m "batch.compile" (fun () -> compile_query t q) in
+          Hashtbl.add t.bt_queries key bq;
+          bq)
+      queries
+
+  let eval_query sc q =
+    if q.bq_zero then 0.0
+    else begin
+      scratch_ensure sc q.bq_slots;
+      let slots = sc.sc_slots in
+      let rec eval_node bn =
+        List.iter (fun (_, c) -> eval_node c) bn.bn_edges;
+        let out = slots.(bn.bn_slot) in
+        let support = bn.bn_support and sigma = bn.bn_sigma in
+        for k = 0 to Array.length support - 1 do
+          let u = Array.unsafe_get support k in
+          let sg = Array.unsafe_get sigma k in
+          let v =
+            if sg <= 0.0 then 0.0
+            else
+              List.fold_left
+                (fun acc (mt, child) ->
+                  if acc <= 0.0 then 0.0
+                  else begin
+                    let off = Transition.off mt in
+                    let idx = Transition.idx mt in
+                    let w = Transition.weights mt in
+                    let cout = slots.(child.bn_slot) in
+                    let sum = ref 0.0 in
+                    for i = off.(u) to off.(u + 1) - 1 do
+                      sum :=
+                        !sum
+                        +. (Array.unsafe_get w i
+                           *. Array.unsafe_get cout (Array.unsafe_get idx i))
+                    done;
+                    acc *. !sum
+                  end)
+                sg bn.bn_edges
+          in
+          Array.unsafe_set out u v
+        done
+      in
+      List.iter (fun (_, c) -> eval_node c) q.bq_root;
+      List.fold_left
+        (fun acc (rdist, child) ->
+          if acc <= 0.0 then 0.0
+          else begin
+            let cout = slots.(child.bn_slot) in
+            let ridx = rdist.Estimate.d_idx and rw = rdist.Estimate.d_w in
+            let sum = ref 0.0 in
+            for i = 0 to Array.length ridx - 1 do
+              sum :=
+                !sum
+                +. (Array.unsafe_get rw i
+                   *. Array.unsafe_get cout (Array.unsafe_get ridx i))
+            done;
+            acc *. !sum
+          end)
+        1.0 q.bq_root
+    end
+
+  let run_prepared ?(domains = 0) t prepared =
+    let nq = Array.length prepared in
+    if nq = 0 then [||]
+    else begin
+      Metrics.incr m ~by:nq "batch.queries";
+      let n = S.n_nodes t.bt_syn in
+      let lat = Array.make nq 0.0 in
+      let t0 = Unix.gettimeofday () in
+      let out =
+        Xc_util.Par.map_chunked ~domains
+          ~init:(fun () -> scratch_create n)
+          (fun sc i q ->
+            let q0 = Unix.gettimeofday () in
+            let v = eval_query sc q in
+            (* workers touch only their own slot; the coordinator folds
+               these into Metrics afterwards, in input order *)
+            lat.(i) <- Unix.gettimeofday () -. q0;
+            v)
+          prepared
+      in
+      Metrics.add_time m "estimate.batch" (Unix.gettimeofday () -. t0);
+      Array.iter (fun dt -> Metrics.observe m "estimate.batch_us" (1e6 *. dt)) lat;
+      out
+    end
+
+  let run ?domains t queries = run_prepared ?domains t (prepare t queries)
+  let estimate t q = (run ~domains:1 t [| q |]).(0)
 end

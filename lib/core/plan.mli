@@ -69,3 +69,66 @@ module Cache : sig
   val clear : t -> unit
   (** Drop all plans and memo entries (e.g. to bound memory). *)
 end
+
+(** Batched estimation serving over precomputed transition matrices.
+
+    Where {!Cache} still pays per estimate for a query-key render,
+    structural path-expression hashing in the reach memo, and a fresh
+    per-call hashtable, the batch engine moves all lookup work to
+    prepare time: every distinct path expression is interned
+    ({!Xc_twig.Path_expr.intern}) and materialized as a
+    {!Transition} matrix once per synopsis, per-node predicate
+    selectivities are precomputed over each query node's support set,
+    and evaluation is a bottom-up walk over flat per-worker float
+    arrays — plain CSR row dot products, no hashing or allocation on
+    the serving path.
+
+    Results are {b bit-identical} to {!Estimate.selectivity} (matrix
+    rows are built by the estimator's own step code and the evaluation
+    replicates its float-operation order exactly, short-circuits
+    included), and {b independent of the worker count}: queries shard
+    across {!Xc_util.Par} domains in contiguous chunks with results
+    placed by input index, and no query's evaluation reads state
+    another query wrote.
+
+    Instrumentation (all recorded by the coordinating domain only):
+    counters [batch.queries], [batch.query_hit]/[batch.query_miss];
+    timers [batch.mat_build], [batch.compile], [estimate.batch];
+    histogram [estimate.batch_us] (per-query latency). *)
+module Batch : sig
+  type t
+  (** A batch engine bound to one sealed synopsis: its matrix registry
+      (keyed by interned path-expression id) plus compiled queries
+      (keyed by {!query_key}). *)
+
+  type prepared
+  (** A workload compiled for serving; reusable across runs. *)
+
+  val create : Synopsis.Sealed.t -> t
+
+  val prepare : t -> Xc_twig.Twig_query.t array -> prepared
+  (** Compile the workload, building each distinct path expression's
+      transition matrix on first sight and caching compiled queries by
+      key, so repeated and overlapping workloads amortize to lookups. *)
+
+  val run_prepared : ?domains:int -> t -> prepared -> float array
+  (** Evaluate; [result.(i)] answers query [i]. [domains] as in
+      {!Xc_util.Par.map} ([<= 0] means [XC_DOMAINS]). *)
+
+  val run : ?domains:int -> t -> Xc_twig.Twig_query.t array -> float array
+  (** [prepare] + [run_prepared]. *)
+
+  val estimate : t -> Xc_twig.Twig_query.t -> float
+  (** Single-query convenience; always sequential. *)
+
+  val synopsis : t -> Synopsis.Sealed.t
+
+  val n_matrices : t -> int
+  (** Distinct transition matrices built so far. *)
+
+  val n_queries : t -> int
+  (** Compiled queries currently cached. *)
+
+  val clear : t -> unit
+  (** Drop matrices and compiled queries (to bound memory). *)
+end

@@ -1,0 +1,51 @@
+module S = Synopsis.Sealed
+
+type t = {
+  tm_expr : Xc_twig.Path_expr.t;
+  tm_off : int array;  (* n_rows + 1 *)
+  tm_idx : int array;  (* target indices, ascending within a row *)
+  tm_w : float array;
+}
+
+(* Row u is reach_dist syn expr u, computed with the serving baseline's
+   own step function: a child step is a sparse composition with the
+   sealed child CSR (expand over the row's support, then label-filter),
+   a descendant step the height-bounded closure. Building through
+   Estimate.step_reach is what makes every stored float bit-identical
+   to an uncached frontier walk — same operations, same order. *)
+let build syn expr =
+  let n = S.n_nodes syn in
+  let rows =
+    Array.init n (fun u ->
+        List.fold_left
+          (fun d step -> Estimate.step_reach syn step d)
+          { Estimate.d_idx = [| u |]; Estimate.d_w = [| 1.0 |] }
+          expr)
+  in
+  let off = Array.make (n + 1) 0 in
+  for u = 0 to n - 1 do
+    off.(u + 1) <- off.(u) + Array.length rows.(u).Estimate.d_idx
+  done;
+  let nnz = off.(n) in
+  let idx = Array.make nnz 0 and w = Array.make nnz 0.0 in
+  for u = 0 to n - 1 do
+    let r = rows.(u) in
+    Array.blit r.Estimate.d_idx 0 idx off.(u) (Array.length r.Estimate.d_idx);
+    Array.blit r.Estimate.d_w 0 w off.(u) (Array.length r.Estimate.d_w)
+  done;
+  { tm_expr = expr; tm_off = off; tm_idx = idx; tm_w = w }
+
+let expr t = t.tm_expr
+let n_rows t = Array.length t.tm_off - 1
+let nnz t = t.tm_off.(Array.length t.tm_off - 1)
+
+let row t u =
+  let lo = t.tm_off.(u) and hi = t.tm_off.(u + 1) in
+  { Estimate.d_idx = Array.sub t.tm_idx lo (hi - lo);
+    Estimate.d_w = Array.sub t.tm_w lo (hi - lo) }
+
+let off t = t.tm_off
+let idx t = t.tm_idx
+let weights t = t.tm_w
+
+let root_row syn expr = Estimate.root_reach_dist syn expr

@@ -23,6 +23,11 @@ let estimator syn =
 
 let estimator_uncached syn query = Xc_core.Estimate.selectivity syn query
 
+(* The positive workload as a query array, in workload order — the
+   shape Plan.Batch serves (and the serve bench shards). *)
+let workload_queries ds =
+  Array.of_list (List.map (fun e -> e.Workload.query) ds.workload)
+
 type dataset_cfg = {
   cfg_value_paths : Xc_xml.Label.t list list;
   cfg_min_extent : int;

@@ -99,6 +99,10 @@ val estimator_uncached : Xc_core.Synopsis.Sealed.t -> Xc_twig.Twig_query.t -> fl
 (** The direct {!Xc_core.Estimate.selectivity} path, kept as the
     baseline the pipeline is validated and benchmarked against. *)
 
+val workload_queries : dataset -> Xc_twig.Twig_query.t array
+(** The positive workload as a query array (workload order) — the shape
+    {!Xc_core.Plan.Batch} serves. *)
+
 val ablation_numeric : ?budget_bytes:int -> ?n_queries:int -> dataset ->
   (string * float) list
 (** DESIGN.md A4: equi-depth vs MaxDiff vs equi-width histograms vs Haar

@@ -125,6 +125,51 @@ let reset t =
 let counter_value t name =
   match Hashtbl.find_opt t.m_counters name with Some r -> !r | None -> 0
 
+(* ---- quantiles --------------------------------------------------------
+   Histogram buckets are power-of-two magnitude classes, so a quantile
+   is located by a cumulative walk and interpolated linearly inside its
+   bucket [(le/2, le]] (bucket 0 covers (0, 1]). The answer is exact at
+   bucket boundaries and within a factor-2 band otherwise — the right
+   tradeoff for latency percentiles, where the magnitude is the
+   signal. Clamped to the observed [min, max] so tiny samples do not
+   report values no observation ever had. *)
+
+let quantile_of_stat h q =
+  if h.h_count = 0 then Float.nan
+  else begin
+    let target = q *. float_of_int h.h_count in
+    let rec walk cum = function
+      | [] -> h.h_max
+      | (le, n) :: rest ->
+        let cum' = cum +. float_of_int n in
+        if cum' >= target && n > 0 then begin
+          let lo = if le <= 1.0 then 0.0 else le /. 2.0 in
+          let frac = (target -. cum) /. float_of_int n in
+          lo +. (frac *. (le -. lo))
+        end
+        else walk cum' rest
+    in
+    let v = walk 0.0 h.h_buckets in
+    Float.min h.h_max (Float.max h.h_min v)
+  end
+
+let quantiles_of_stat h qs = List.map (fun q -> (q, quantile_of_stat h q)) qs
+
+let quantiles t name qs =
+  match Hashtbl.find_opt t.m_hists name with
+  | None -> None
+  | Some h ->
+    let buckets = ref [] in
+    for i = n_buckets - 1 downto 0 do
+      if h.hs_buckets.(i) > 0 then
+        buckets := (Float.pow 2.0 (float_of_int i), h.hs_buckets.(i)) :: !buckets
+    done;
+    let stat =
+      { h_count = h.hs_count; h_sum = h.hs_sum; h_min = h.hs_min;
+        h_max = h.hs_max; h_buckets = !buckets }
+    in
+    Some (quantiles_of_stat stat qs)
+
 (* ---- rendering -------------------------------------------------------- *)
 
 let json_escape s =
@@ -166,6 +211,10 @@ let to_json s =
   let hists =
     List.map
       (fun (n, h) ->
+        let quant q =
+          let v = quantile_of_stat h q in
+          json_float (if Float.is_nan v then 0.0 else v)
+        in
         field n
           (obj
              [ field "count" (string_of_int h.h_count);
@@ -174,6 +223,9 @@ let to_json s =
                  (json_float
                     (if h.h_count = 0 then 0.0 else h.h_sum /. float_of_int h.h_count));
                field "max" (json_float h.h_max);
+               field "p50" (quant 0.5);
+               field "p95" (quant 0.95);
+               field "p99" (quant 0.99);
                field "buckets"
                  ("["
                  ^ String.concat ","

@@ -63,6 +63,21 @@ val reset : t -> unit
 val counter_value : t -> string -> int
 (** Current value of a counter; 0 when it was never bumped. *)
 
+val quantile_of_stat : hist_stat -> float -> float
+(** Quantile [q ∈ \[0, 1\]] of a histogram, interpolated linearly
+    inside its power-of-two magnitude bucket and clamped to the
+    observed [min, max]; [nan] on an empty histogram. Exact at bucket
+    boundaries, within a factor-2 band elsewhere — magnitude-accurate,
+    which is the contract latency percentiles need. *)
+
+val quantiles_of_stat : hist_stat -> float list -> (float * float) list
+(** [(q, value)] per requested quantile. *)
+
+val quantiles : t -> string -> float list -> (float * float) list option
+(** Quantiles of a live histogram by name; [None] when it does not
+    exist. [quantiles m "estimate.batch_us" \[0.5; 0.95; 0.99\]] is the
+    p50/p95/p99 read the CLI and bench surface. *)
+
 val to_json : snapshot -> string
 (** Single-line JSON object:
     [{"counters":{...},"timers":{...},"histograms":{...}}]. *)

@@ -16,6 +16,27 @@ let seq_cutoff = 64
 let resolve domains =
   if domains <= 0 then env_domains () else max 1 (min max_domains domains)
 
+(* ---- usage observation ------------------------------------------------
+   High-water marks of what the pool actually did, updated from the
+   coordinating domain only. Benchmarks reset these, run a parallel
+   leg, and then compare the observed worker count against the
+   requested one — the honest version of a "domains_used" figure, and
+   the loud-failure hook when a requested width silently degrades. *)
+
+let usage_used = ref 0   (* widest fan-out actually executed *)
+let usage_batch = ref 0  (* largest input array seen *)
+
+let reset_usage () =
+  usage_used := 0;
+  usage_batch := 0
+
+let max_used () = !usage_used
+let max_batch () = !usage_batch
+
+let note_usage n d =
+  if n > !usage_batch then usage_batch := n;
+  if d > !usage_used then usage_used := d
+
 (* ---- the persistent worker pool --------------------------------------
    Spawning a domain costs milliseconds (fresh minor heap, GC
    handshake), far too much to pay per scoring batch, so workers are
@@ -101,8 +122,12 @@ let await w =
 let map ?(domains = 0) f arr =
   let n = Array.length arr in
   let d = min (resolve domains) n in
-  if d <= 1 || n < seq_cutoff then Array.map f arr
+  if d <= 1 || n < seq_cutoff then begin
+    if n > 0 then note_usage n 1;
+    Array.map f arr
+  end
   else begin
+    note_usage n d;
     (* contiguous chunks: worker i owns [bound i, bound (i+1)); results
        land at the input index, so the output order is independent of
        which domain computed what *)
@@ -125,4 +150,45 @@ let map ?(domains = 0) f arr =
     | Some e -> raise e
     | None -> ());
     Array.concat (Array.to_list parts)
+  end
+
+(* Like [map], but each worker materializes one private context (the
+   batched estimator's scratch arrays) before walking its contiguous
+   chunk, and [f] also receives the element's input index so workers
+   can write into caller-provided per-element slots (latency arrays)
+   without sharing. Results land at the input index, so output order —
+   and, for pure [f], output contents — are independent of the worker
+   count. *)
+let map_chunked ?(domains = 0) ~init f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let d = min (resolve domains) n in
+    if d <= 1 || n < seq_cutoff then begin
+      note_usage n 1;
+      let ctx = init () in
+      Array.mapi (fun i x -> f ctx i x) arr
+    end
+    else begin
+      note_usage n d;
+      let bound i = i * n / d in
+      let parts = Array.make d [||] in
+      let chunk i () =
+        let lo = bound i and hi = bound (i + 1) in
+        let ctx = init () in
+        parts.(i) <- Array.init (hi - lo) (fun k -> f ctx (lo + k) arr.(lo + k))
+      in
+      let workers = acquire (d - 1) in
+      Array.iteri (fun i w -> submit w (chunk (i + 1))) workers;
+      chunk 0 ();
+      let first_exn = ref None in
+      Array.iter
+        (fun w ->
+          try await w with e -> if !first_exn = None then first_exn := Some e)
+        workers;
+      (match !first_exn with
+      | Some e -> raise e
+      | None -> ());
+      Array.concat (Array.to_list parts)
+    end
   end

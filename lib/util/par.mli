@@ -29,3 +29,34 @@ val map : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
     requested or the array is small. [f] must not mutate shared state;
     a worker exception is re-raised in the caller after all workers
     finished their chunks. *)
+
+val map_chunked :
+  ?domains:int -> init:(unit -> 'c) -> ('c -> int -> 'a -> 'b) -> 'a array -> 'b array
+(** [map_chunked ~init f arr] is [Array.mapi (f ctx) arr] with one
+    private [ctx = init ()] per worker, created inside the worker's
+    domain before it walks its contiguous chunk. Built for stateful
+    scratch (the batched estimator's evaluation arrays): [f] may
+    mutate its own [ctx] freely but must leave no result depending on
+    what earlier elements did to it. Same chunking, exception, and
+    determinism contract as {!map}. *)
+
+(* ---- usage observation ------------------------------------------------ *)
+
+val seq_cutoff : int
+(** Arrays smaller than this run sequentially regardless of the
+    requested worker count (dispatch overhead would dominate). *)
+
+val reset_usage : unit -> unit
+(** Reset the usage high-water marks below. *)
+
+val max_used : unit -> int
+(** Widest fan-out (workers actually engaged, caller included) any
+    [map]/[map_chunked] call executed since {!reset_usage}; 0 when no
+    call ran. The bench harness checks this against the requested
+    worker count and fails loudly on silent degradation — unlike a
+    configured value, this is observed from the pool itself. *)
+
+val max_batch : unit -> int
+(** Largest input array any call processed since {!reset_usage} —
+    distinguishes "batches were below {!seq_cutoff}" (sequential by
+    policy) from "a large batch ran under-parallelized" (a bug). *)

@@ -52,6 +52,25 @@ let cache_for syn =
 
 let estimate syn q = Plan.Cache.estimate (cache_for syn) q
 let plan syn q = Plan.Cache.find_or_compile (cache_for syn) q
+
+(* Batch engines follow the same bounded per-uid table discipline as
+   plan caches; matrices are per-synopsis and never go stale. *)
+let batch_engines : (int, Plan.Batch.t) Hashtbl.t = Hashtbl.create 16
+
+let batch_for syn =
+  let uid = Sealed.uid syn in
+  match Hashtbl.find_opt batch_engines uid with
+  | Some e -> e
+  | None ->
+    if Hashtbl.length batch_engines >= max_caches then Hashtbl.reset batch_engines;
+    let e = Plan.Batch.create syn in
+    Hashtbl.add batch_engines uid e;
+    e
+
+let estimate_batch ?domains syn queries =
+  Plan.Batch.run ?domains (batch_for syn) queries
+
+let batch_engine = batch_for
 let estimate_with_plan = Plan.estimate
 let estimate_uncached = Xc_core.Estimate.selectivity
 let explain = Xc_core.Estimate.explain

@@ -87,6 +87,21 @@ val plan : synopsis -> query -> Xc_core.Plan.t
 val estimate_with_plan : Xc_core.Plan.t -> float
 (** Estimate from a compiled plan ({!Xc_core.Plan.estimate}). *)
 
+val estimate_batch : ?domains:int -> synopsis -> query array -> float array
+(** Batched serving through {!Xc_core.Plan.Batch}: answers
+    [result.(i)] for query [i], bit-identical to {!estimate} /
+    {!estimate_uncached} and independent of the worker count
+    ([domains <= 0] or omitted means the [XC_DOMAINS] environment
+    variable). The per-synopsis engine — interned path-expression
+    transition matrices plus compiled queries — is cached by synopsis
+    uid like the plan caches, so repeated workloads amortize to array
+    walks. *)
+
+val batch_engine : synopsis -> Xc_core.Plan.Batch.t
+(** The cached batch engine behind {!estimate_batch} (created on first
+    use), for callers that want {!Xc_core.Plan.Batch.prepare}/
+    [run_prepared] control or its size accessors. *)
+
 val estimate_uncached : synopsis -> query -> float
 (** The direct embedding enumeration ({!Xc_core.Estimate.selectivity}),
     bypassing plans and memos — the baseline the pipeline is validated

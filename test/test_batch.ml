@@ -1,0 +1,210 @@
+(* Tests for the batched estimation engine: transition matrices must
+   store exactly the floats the step-by-step estimator computes,
+   Plan.Batch must be bit-identical to Estimate.selectivity on every
+   dataset's workload, results must not depend on the worker count, and
+   the path-expression intern and histogram quantiles that serve it
+   must behave. *)
+
+module Synopsis = Xc_core.Synopsis
+module S = Synopsis.Sealed
+module Estimate = Xc_core.Estimate
+module Plan = Xc_core.Plan
+module Transition = Xc_core.Transition
+module Build = Xc_core.Build
+module Runner = Xc_exp.Runner
+module Metrics = Xc_util.Metrics
+module Path_expr = Xc_twig.Path_expr
+
+let check = Alcotest.check
+
+(* exact equality: the batch engine's contract is bit-identical floats *)
+let check0 msg = Alcotest.check (Alcotest.float 0.0) msg
+
+let bits_equal a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+(* every distinct path expression labelling an edge of the workload *)
+let workload_exprs ds =
+  let tbl = Hashtbl.create 64 in
+  let rec walk n =
+    List.iter
+      (fun (expr, child) ->
+        Hashtbl.replace tbl expr ();
+        walk child)
+      n.Xc_twig.Twig_query.edges
+  in
+  List.iter (fun e -> walk e.Xc_twig.Workload.query.Xc_twig.Twig_query.root) ds.Runner.workload;
+  Hashtbl.fold (fun e () acc -> e :: acc) tbl []
+
+let small_synopsis ds =
+  Build.run (Build.budget ~bstr_kb:10 ~bval_kb:60 ()) ds.Runner.reference
+
+(* ---- transition matrices ---------------------------------------------- *)
+
+(* every row of every workload expression's matrix must be bitwise the
+   dist Estimate.reach_dist builds from that source — including the
+   multi-step compositions and bounded descendant closures *)
+let test_matrix_rows () =
+  let ds = Runner.imdb ~scale:0.01 ~n_queries:40 () in
+  let syn = small_synopsis ds in
+  let exprs = workload_exprs ds in
+  check Alcotest.bool "workload has expressions" true (List.length exprs > 0);
+  List.iter
+    (fun expr ->
+      let mt = Transition.build syn expr in
+      check Alcotest.int "one row per node" (S.n_nodes syn) (Transition.n_rows mt);
+      for u = 0 to S.n_nodes syn - 1 do
+        let row = Transition.row mt u in
+        let ref_d = Estimate.reach_dist syn expr u in
+        check Alcotest.(array int) "row targets" ref_d.Estimate.d_idx row.Estimate.d_idx;
+        Array.iteri
+          (fun i w ->
+            check Alcotest.bool "row weight bits" true
+              (bits_equal w ref_d.Estimate.d_w.(i)))
+          row.Estimate.d_w
+      done)
+    exprs
+
+let test_matrix_root_row () =
+  let ds = Runner.imdb ~scale:0.01 ~n_queries:40 () in
+  let syn = small_synopsis ds in
+  List.iter
+    (fun expr ->
+      let r = Transition.root_row syn expr in
+      let ref_d = Estimate.root_reach_dist syn expr in
+      check Alcotest.(array int) "root targets" ref_d.Estimate.d_idx r.Estimate.d_idx;
+      Array.iteri
+        (fun i w ->
+          check Alcotest.bool "root weight bits" true
+            (bits_equal w ref_d.Estimate.d_w.(i)))
+        r.Estimate.d_w)
+    (workload_exprs ds)
+
+(* ---- batch = uncached, on every dataset -------------------------------- *)
+
+let batch_equivalence_on ds =
+  let syn = small_synopsis ds in
+  let engine = Plan.Batch.create syn in
+  let queries = Runner.workload_queries ds in
+  let cold = Plan.Batch.run ~domains:1 engine queries in
+  let warm = Plan.Batch.run ~domains:1 engine queries in
+  Array.iteri
+    (fun i q ->
+      let uncached = Estimate.selectivity syn q in
+      check0 "batch cold = uncached" uncached cold.(i);
+      check0 "batch warm = uncached" uncached warm.(i))
+    queries;
+  check Alcotest.bool "matrices built" true (Plan.Batch.n_matrices engine > 0);
+  check Alcotest.bool "queries cached" true (Plan.Batch.n_queries engine > 0);
+  Plan.Batch.clear engine;
+  check Alcotest.int "cleared" 0 (Plan.Batch.n_matrices engine)
+
+let test_batch_imdb () = batch_equivalence_on (Runner.imdb ~scale:0.02 ~n_queries:45 ())
+let test_batch_xmark () = batch_equivalence_on (Runner.xmark ~scale:0.02 ~n_queries:45 ())
+let test_batch_dblp () = batch_equivalence_on (Runner.dblp ~scale:0.02 ~n_queries:45 ())
+
+let test_facade_batch () =
+  let ds = Runner.imdb ~scale:0.01 ~n_queries:30 () in
+  let syn = small_synopsis ds in
+  let queries = Runner.workload_queries ds in
+  let res = Xcluster.estimate_batch ~domains:1 syn queries in
+  Array.iteri
+    (fun i q -> check0 "facade batch = estimate" (Xcluster.estimate syn q) res.(i))
+    queries;
+  check Alcotest.bool "engine reachable" true
+    (Plan.Batch.n_matrices (Xcluster.batch_engine syn) > 0)
+
+(* ---- worker-count independence ----------------------------------------- *)
+
+let test_batch_domains_bitwise () =
+  (* enough queries to clear Par's sequential cutoff so 2/4 workers
+     genuinely shard the workload *)
+  let n = 2 * Xc_util.Par.seq_cutoff in
+  let ds = Runner.xmark ~scale:0.02 ~n_queries:n () in
+  let syn = small_synopsis ds in
+  let engine = Plan.Batch.create syn in
+  let prepared = Plan.Batch.prepare engine (Runner.workload_queries ds) in
+  let base = Plan.Batch.run_prepared ~domains:1 engine prepared in
+  check Alcotest.bool "workload clears the cutoff" true
+    (Array.length base >= Xc_util.Par.seq_cutoff);
+  List.iter
+    (fun d ->
+      let r = Plan.Batch.run_prepared ~domains:d engine prepared in
+      check Alcotest.int "same length" (Array.length base) (Array.length r);
+      Array.iteri
+        (fun i v ->
+          check Alcotest.bool
+            (Printf.sprintf "bitwise identical at %d domains (query %d)" d i)
+            true (bits_equal v base.(i)))
+        r)
+    [ 2; 4 ]
+
+(* ---- path-expression interning ----------------------------------------- *)
+
+let test_intern_roundtrip () =
+  let parse s =
+    (* reuse the twig parser: a single-edge query's root edge is the expr *)
+    match (Xc_twig.Twig_parse.parse s).Xc_twig.Twig_query.root.Xc_twig.Twig_query.edges with
+    | [ (expr, _) ] -> expr
+    | _ -> Alcotest.fail "expected one root edge"
+  in
+  let exprs =
+    List.map parse [ "//a/b"; "//a//b"; "/a/b"; "//a/*"; "//b"; "/a//b/c" ]
+  in
+  let ids = List.map Path_expr.intern exprs in
+  check Alcotest.int "distinct expressions, distinct ids" (List.length ids)
+    (List.length (List.sort_uniq compare ids));
+  List.iter2
+    (fun e id ->
+      check Alcotest.int "idempotent" id (Path_expr.intern e);
+      check Alcotest.bool "of_id round-trips" true (Path_expr.equal e (Path_expr.of_id id)))
+    exprs ids;
+  check Alcotest.bool "count covers them" true
+    (Path_expr.interned_count () >= List.length exprs);
+  Alcotest.check_raises "unknown id rejected"
+    (Invalid_argument (Printf.sprintf "Path_expr.of_id: unknown id %d" max_int))
+    (fun () -> ignore (Path_expr.of_id max_int))
+
+(* ---- histogram quantiles ----------------------------------------------- *)
+
+let test_quantiles () =
+  let m = Metrics.create () in
+  for i = 1 to 1000 do
+    Metrics.observe m "lat" (float_of_int i)
+  done;
+  (match Metrics.quantiles m "lat" [ 0.5; 0.95; 0.99 ] with
+  | Some [ (_, p50); (_, p95); (_, p99) ] ->
+    check Alcotest.bool "p50 <= p95 <= p99" true (p50 <= p95 && p95 <= p99);
+    check Alcotest.bool "p50 in range" true (1.0 <= p50 && p50 <= 1000.0);
+    (* power-of-two buckets: magnitude accuracy, i.e. within a factor 2 *)
+    check Alcotest.bool "p50 magnitude" true (250.0 <= p50 && p50 <= 1000.0);
+    check Alcotest.bool "p99 magnitude" true (500.0 <= p99 && p99 <= 1000.0)
+  | _ -> Alcotest.fail "expected three quantiles");
+  check Alcotest.bool "missing histogram" true (Metrics.quantiles m "nope" [ 0.5 ] = None);
+  (* single observation: every quantile collapses to it via clamping *)
+  Metrics.observe m "one" 7.0;
+  (match Metrics.quantiles m "one" [ 0.0; 0.5; 1.0 ] with
+  | Some qs -> List.iter (fun (_, v) -> check0 "clamped to the sample" 7.0 v) qs
+  | None -> Alcotest.fail "expected quantiles");
+  (* empty stat: nan *)
+  let empty =
+    { Metrics.h_count = 0; h_sum = 0.0; h_min = infinity; h_max = neg_infinity;
+      h_buckets = [] }
+  in
+  check Alcotest.bool "empty is nan" true (Float.is_nan (Metrics.quantile_of_stat empty 0.5))
+
+let () =
+  Alcotest.run "batch"
+    [ ( "transition",
+        [ Alcotest.test_case "matrix rows = reach_dist" `Slow test_matrix_rows;
+          Alcotest.test_case "root rows" `Quick test_matrix_root_row ] );
+      ( "equivalence",
+        [ Alcotest.test_case "imdb" `Slow test_batch_imdb;
+          Alcotest.test_case "xmark" `Slow test_batch_xmark;
+          Alcotest.test_case "dblp" `Slow test_batch_dblp;
+          Alcotest.test_case "facade" `Quick test_facade_batch ] );
+      ( "determinism",
+        [ Alcotest.test_case "bitwise across domains" `Slow test_batch_domains_bitwise ] );
+      ( "intern",
+        [ Alcotest.test_case "round-trip" `Quick test_intern_roundtrip ] );
+      ( "quantiles",
+        [ Alcotest.test_case "histogram quantiles" `Quick test_quantiles ] ) ]
