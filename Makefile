@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt bench bench-serve clean
+.PHONY: all build test check fmt bench bench-serve bench-fault clean
 
 all: build
 
@@ -27,6 +27,12 @@ bench:
 # Appends a JSON line to BENCH_serve.json.
 bench-serve:
 	dune exec bench/main.exe -- serve
+
+# Robustness smoke: bounded codec fuzz plus a save/load storm through
+# the Fault injection sites (honors XC_FAULTS; exits non-zero on any
+# contract violation). Appends a JSON line to BENCH_fault.json.
+bench-fault:
+	dune exec bench/main.exe -- fault
 
 clean:
 	dune clean

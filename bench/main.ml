@@ -5,7 +5,7 @@
    Usage:  dune exec bench/main.exe [-- TARGET...]
    Targets: table1 table2 fig8a fig8b fig8c fig9 negative ablation-delta
             ablation-text ablation-numeric auto-split pipeline seal build
-            serve micro (default: all of them, in that order)
+            serve fault micro (default: all of them, in that order)
 
    Every run ends with a JSON metrics block (plan compiles, cache and
    reach-memo hit/miss counts, pool candidate evaluations, expansion
@@ -21,7 +21,10 @@
                  (default 1; also the library-wide Par default).
                  Honored exactly — oversubscription warns loudly, and
                  both targets fail if the pool observably engaged a
-                 different width than requested. *)
+                 different width than requested.
+     XC_FAULTS   fault-injection spec for the fault target (see
+                 Xc_util.Fault); when unset the target installs its own
+                 all-kinds storm. *)
 
 let scale =
   match Sys.getenv_opt "XC_SCALE" with
@@ -512,6 +515,126 @@ let run_serve () =
     exit 1
   end
 
+(* ---- fault-injection smoke ---------------------------------------------
+   The robustness gate behind BENCH_fault.json: a bounded fuzz over the
+   codec (every mutated input must decode to Ok or a typed Error) plus a
+   save/load storm through the Fault injection sites. Honors an
+   XC_FAULTS environment configuration when one is set (the CI matrix
+   sets several); otherwise installs an all-kinds storm. Any uncaught
+   exception, or any corruption of the save target, exits non-zero. *)
+
+let run_fault () =
+  let module Fault = Xc_util.Fault in
+  let module Codec = Xc_core.Codec in
+  let fuzz_per_dataset = 500 in
+  let storm_cycles = 200 in
+  let syn =
+    timed "fault: setup" (fun () ->
+        let doc = Xc_data.Imdb.generate ~seed:91 ~n_movies:120 () in
+        let reference = Xc_core.Reference.build ~min_extent:8 doc in
+        Xc_core.Build.run (Xc_core.Build.params ~bstr_kb:6 ~bval_kb:40 ()) reference)
+  in
+  let good = Codec.to_string syn in
+  let rng = Xc_util.Rng.create 91 in
+  let fuzz_errors = ref 0 in
+  let violations = ref 0 in
+  timed "fault: fuzz" (fun () ->
+      for _ = 1 to fuzz_per_dataset do
+        let n = String.length good in
+        let corrupt =
+          match Xc_util.Rng.int rng 3 with
+          | 0 -> String.sub good 0 (Xc_util.Rng.int rng (n + 1))
+          | 1 ->
+            let b = Bytes.of_string good in
+            let i = Xc_util.Rng.int rng n in
+            Bytes.set b i
+              (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Xc_util.Rng.int rng 8)));
+            Bytes.unsafe_to_string b
+          | _ ->
+            let b = Bytes.of_string good in
+            let len = 1 + Xc_util.Rng.int rng (min 32 n) in
+            let src = Xc_util.Rng.int rng (n - len + 1) in
+            let dst = Xc_util.Rng.int rng (n - len + 1) in
+            Bytes.blit_string good src b dst len;
+            Bytes.unsafe_to_string b
+        in
+        match Codec.of_string corrupt with
+        | Ok _ -> ()
+        | Error _ -> incr fuzz_errors
+        | exception exn ->
+          incr violations;
+          Format.fprintf ppf "  VIOLATION: decode raised %s@." (Printexc.to_string exn)
+      done);
+  (* the save/load storm: faults from XC_FAULTS when set, else all kinds *)
+  let from_env = Sys.getenv_opt "XC_FAULTS" <> None in
+  if not from_env then
+    Fault.configure
+      (Some { Fault.seed = 91; prob = 0.3; kinds = [ Fault.Truncate; Fault.Bit_flip; Fault.Short_write; Fault.Enospc; Fault.Eio ]; sites = [] });
+  let cfg = Fault.current () in
+  let dir = Filename.temp_file "xc_bench_fault" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "synopsis.syn" in
+  (match Fault.configure None; Codec.save path syn with
+  | Ok () -> ()
+  | Error e ->
+    Format.fprintf ppf "  ERROR: clean save failed: %s@." (Codec.error_to_string e);
+    incr violations);
+  Fault.configure cfg;
+  let saves_ok = ref 0 and saves_err = ref 0 in
+  let loads_ok = ref 0 and loads_err = ref 0 in
+  timed "fault: save/load storm" (fun () ->
+      for _ = 1 to storm_cycles do
+        (match Codec.save path syn with
+        | Ok () -> incr saves_ok
+        | Error _ -> incr saves_err
+        | exception exn ->
+          incr violations;
+          Format.fprintf ppf "  VIOLATION: save raised %s@." (Printexc.to_string exn));
+        match Codec.load path with
+        | Ok _ -> incr loads_ok
+        | Error _ -> incr loads_err
+        | exception exn ->
+          incr violations;
+          Format.fprintf ppf "  VIOLATION: load raised %s@." (Printexc.to_string exn)
+      done);
+  (* with injection off, the target must still hold a pristine encoding:
+     failed saves never touch it *)
+  Fault.configure None;
+  (match Codec.load path with
+  | Ok decoded ->
+    if not (String.equal (Codec.to_string decoded) good) then begin
+      Format.fprintf ppf "  ERROR: surviving file decodes to a different synopsis@.";
+      incr violations
+    end
+  | Error e ->
+    Format.fprintf ppf "  ERROR: surviving file is corrupt: %s@."
+      (Codec.error_to_string e);
+    incr violations);
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir;
+  let injected = Fault.injections () in
+  Format.fprintf ppf
+    "@.Fault smoke (%s)@.  fuzz: %d/%d mutations detected, %d violations@.  storm: saves %d ok / %d failed, loads %d ok / %d failed, %d faults injected@."
+    (if from_env then "XC_FAULTS from environment" else "built-in storm")
+    !fuzz_errors fuzz_per_dataset !violations !saves_ok !saves_err !loads_ok
+    !loads_err injected;
+  let json =
+    Printf.sprintf
+      "{\"ts\":%.0f,\"fuzz\":%d,\"fuzz_detected\":%d,\"storm_cycles\":%d,\"saves_ok\":%d,\"saves_err\":%d,\"loads_ok\":%d,\"loads_err\":%d,\"injected\":%d,\"violations\":%d,\"env_faults\":%b}"
+      (Unix.gettimeofday ()) fuzz_per_dataset !fuzz_errors storm_cycles !saves_ok
+      !saves_err !loads_ok !loads_err injected !violations from_env
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_fault.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf ppf "  appended to BENCH_fault.json@.";
+  if !violations > 0 then begin
+    Format.fprintf ppf "  ERROR: %d fault-contract violations@." !violations;
+    exit 1
+  end
+
 (* ---- Bechamel micro-benchmarks ---------------------------------------- *)
 
 let micro_tests () =
@@ -594,6 +717,7 @@ let targets =
     ("seal", run_seal);
     ("build", run_build);
     ("serve", run_serve);
+    ("fault", run_fault);
     ("micro", run_micro) ]
 
 let () =

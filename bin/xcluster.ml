@@ -5,13 +5,53 @@
      inspect   parse an XML file and print its statistics
      build     build an XCluster synopsis for an XML file and report sizes
      estimate  estimate (and optionally verify) a twig query's selectivity
+     verify    check a saved synopsis's integrity without loading it
 
    Examples:
      xcluster gen -d imdb -s 0.1 -o imdb.xml
      xcluster inspect imdb.xml
-     xcluster estimate imdb.xml -q "//movie[year > 1990]/title" --verify *)
+     xcluster estimate imdb.xml -q "//movie[year > 1990]/title" --verify
+     xcluster verify imdb.syn
+
+   Exit codes (every command):
+     0    success
+     1    verify: the synopsis file failed its integrity check
+     2    malformed or corrupt input (XML syntax error, corrupt synopsis)
+     3    internal error
+     124  command-line usage error (cmdliner) *)
 
 open Cmdliner
+
+let exit_verify_failed = 1
+let exit_corrupt = 2
+let exit_internal = 3
+
+exception Usage of string
+exception Corrupt_input of string
+
+(* Every subcommand body runs under this guard: user-caused failures
+   (bad XML, a damaged synopsis, a bad flag value) get a one-line
+   message and a distinct exit code instead of a backtrace. *)
+let guarded f =
+  try f () with
+  | Usage msg ->
+    Format.eprintf "xcluster: %s@." msg;
+    Cmd.Exit.cli_error
+  | Corrupt_input msg ->
+    Format.eprintf "xcluster: %s@." msg;
+    exit_corrupt
+  | Xc_xml.Parser.Malformed msg ->
+    Format.eprintf "xcluster: malformed XML: %s@." msg;
+    exit_corrupt
+  | Sys_error msg ->
+    Format.eprintf "xcluster: %s@." msg;
+    exit_corrupt
+  | Failure msg ->
+    Format.eprintf "xcluster: internal error: %s@." msg;
+    exit_internal
+  | exn ->
+    Format.eprintf "xcluster: internal error: %s@." (Printexc.to_string exn);
+    exit_internal
 
 let typing_for = function
   | "imdb" -> Xc_xml.Parser.typing_of_assoc Xc_data.Imdb.value_typing
@@ -69,6 +109,7 @@ let gen_cmd =
       & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output XML file.")
   in
   let run dataset scale seed output =
+    guarded @@ fun () ->
     let doc =
       match dataset with
       | "imdb" ->
@@ -78,10 +119,11 @@ let gen_cmd =
       | "xmark" -> Xc_data.Xmark.generate ~seed ~scale ()
       | "dblp" ->
         Xc_data.Dblp.generate ~seed ~n_authors:(max 10 (int_of_float (scale *. 4000.0))) ()
-      | other -> Fmt.failwith "unknown dataset %S (imdb | xmark | dblp)" other
+      | other -> raise (Usage (Printf.sprintf "unknown dataset %S (imdb | xmark | dblp)" other))
     in
     Xc_xml.Writer.to_file output doc;
-    Format.printf "wrote %s: %d elements@." output (Xc_xml.Document.n_elements doc)
+    Format.printf "wrote %s: %d elements@." output (Xc_xml.Document.n_elements doc);
+    0
   in
   Cmd.v
     (Cmd.info "gen" ~doc:"Generate a synthetic XML data set.")
@@ -91,6 +133,7 @@ let gen_cmd =
 
 let inspect_cmd =
   let run file typing_name =
+    guarded @@ fun () ->
     let doc = load ~typing_name file in
     let stats = Xc_xml.Stats.compute doc in
     Format.printf "elements:   %d@." stats.Xc_xml.Stats.n_elements;
@@ -105,7 +148,8 @@ let inspect_cmd =
       (fun p ->
         Format.printf "  %a  %a x%d@." Xc_xml.Stats.pp_path p.Xc_xml.Stats.path
           Xc_xml.Value.pp_vtype p.Xc_xml.Stats.vtype p.Xc_xml.Stats.elements)
-      (Xc_xml.Stats.value_paths stats)
+      (Xc_xml.Stats.value_paths stats);
+    0
   in
   Cmd.v
     (Cmd.info "inspect" ~doc:"Parse an XML file and print its statistics.")
@@ -120,6 +164,7 @@ let build_cmd =
       & info [ "save" ] ~docv:"FILE" ~doc:"Persist the synopsis to a file.")
   in
   let run file typing_name bstr bval save =
+    guarded @@ fun () ->
     let doc = load ~typing_name file in
     let reference = Xcluster.reference doc in
     Format.printf "reference: %a@." Xcluster.builder_stats reference;
@@ -130,12 +175,15 @@ let build_cmd =
     (match Xcluster.validate syn with
     | Ok () -> ()
     | Error e -> Fmt.failwith "synopsis failed validation: %s" e);
-    match save with
-    | Some path ->
-      Xcluster.save path syn;
-      Format.printf "saved to %s (%d bytes on disk)@." path
-        (Xc_core.Codec.size_on_disk syn)
-    | None -> ()
+    (match save with
+    | Some path -> (
+      match Xcluster.save_result path syn with
+      | Ok () ->
+        Format.printf "saved to %s (%d bytes on disk)@." path
+          (Xc_core.Codec.size_on_disk syn)
+      | Error e -> Fmt.failwith "save failed: %s" (Xc_core.Codec.error_to_string e))
+    | None -> ());
+    0
   in
   Cmd.v
     (Cmd.info "build" ~doc:"Build an XCluster synopsis within a budget.")
@@ -162,6 +210,7 @@ let workload_cmd =
              either way.")
   in
   let run file typing_name bstr bval n seed batch =
+    guarded @@ fun () ->
     let doc = load ~typing_name file in
     let syn =
       Xcluster.build ~budget:(Xcluster.budget ~bstr_kb:bstr ~bval_kb:bval ()) doc
@@ -211,7 +260,8 @@ let workload_cmd =
         Format.printf "  %-8s %.1f%%@."
           (Xc_twig.Twig_query.class_name cls)
           (100.0 *. err))
-      (Xc_exp.Error_metric.per_class_relative ~sanity scored)
+      (Xc_exp.Error_metric.per_class_relative ~sanity scored);
+    0
   in
   Cmd.v
     (Cmd.info "workload"
@@ -258,11 +308,19 @@ let estimate_cmd =
              hits, expansion depths, latency) as JSON after the estimate.")
   in
   let run file typing_name bstr bval synopsis query verify explain stats =
+    guarded @@ fun () ->
     let doc = load ~typing_name file in
     let q = Xcluster.parse_query query in
     let syn =
       match synopsis with
-      | Some path -> Xcluster.load path
+      | Some path -> (
+        match Xcluster.load_result path with
+        | Ok syn -> syn
+        | Error e ->
+          raise
+            (Corrupt_input
+               (Printf.sprintf "%s: corrupt synopsis: %s" path
+                  (Xc_core.Codec.error_to_string e))))
       | None ->
         Xcluster.build ~budget:(Xcluster.budget ~bstr_kb:bstr ~bval_kb:bval ()) doc
     in
@@ -294,7 +352,8 @@ let estimate_cmd =
       | Some [ (_, p50); (_, p95); (_, p99) ] ->
         Format.printf "latency (us): p50 %.1f  p95 %.1f  p99 %.1f@." p50 p95 p99
       | _ -> ()
-    end
+    end;
+    0
   in
   Cmd.v
     (Cmd.info "estimate" ~doc:"Estimate a twig query's selectivity from a synopsis.")
@@ -302,11 +361,49 @@ let estimate_cmd =
       const run $ file_arg $ typing_arg $ bstr_arg $ bval_arg $ synopsis_arg
       $ query_arg $ verify $ explain_arg $ stats_arg)
 
+(* ---- verify ------------------------------------------------------------- *)
+
+let verify_cmd =
+  let file =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Synopsis file saved by $(b,build --save).")
+  in
+  let run file =
+    guarded @@ fun () ->
+    match Xcluster.verify_file file with
+    | Ok info ->
+      Format.printf "%s: OK (format v%d, %d nodes, %d bytes, %s)@." file
+        info.Xc_core.Codec.i_version info.Xc_core.Codec.i_nodes
+        info.Xc_core.Codec.i_bytes
+        (if info.Xc_core.Codec.i_checksummed then "checksums verified"
+         else "no checksums in v1: verified by full decode");
+      0
+    | Error e ->
+      Format.eprintf "%s: CORRUPT: %s@." file (Xc_core.Codec.error_to_string e);
+      exit_verify_failed
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:
+         "Check a saved synopsis's integrity (framing and per-section CRC-32 for \
+          the v2 format; a full decode for checksum-less v1 files) without \
+          building the synopsis. Exits 0 when intact, 1 when corrupt.")
+    Term.(const run $ file)
+
 let () =
+  let exits =
+    Cmd.Exit.info ~doc:"on success." 0
+    :: Cmd.Exit.info ~doc:"on a failed $(b,verify) (the synopsis file is corrupt)." exit_verify_failed
+    :: Cmd.Exit.info ~doc:"on malformed or corrupt input (XML syntax errors, corrupt synopsis files)." exit_corrupt
+    :: Cmd.Exit.info ~doc:"on internal errors." exit_internal
+    :: Cmd.Exit.defaults
+  in
   let info =
-    Cmd.info "xcluster" ~version:"1.0.0"
+    Cmd.info "xcluster" ~version:"1.0.0" ~exits
       ~doc:"XCluster synopses for structured XML content (ICDE 2006 reproduction)."
   in
   exit
-    (Cmd.eval
-       (Cmd.group info [ gen_cmd; inspect_cmd; build_cmd; estimate_cmd; workload_cmd ]))
+    (Cmd.eval'
+       (Cmd.group info
+          [ gen_cmd; inspect_cmd; build_cmd; estimate_cmd; workload_cmd; verify_cmd ]))

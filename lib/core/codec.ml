@@ -1,10 +1,62 @@
 module Vs = Xc_vsumm.Value_summary
 module B = Synopsis.Builder
 module S = Synopsis.Sealed
+module Crc32 = Xc_util.Crc32
+module Safe_io = Xc_util.Safe_io
+module Metrics = Xc_util.Metrics
 open Xc_xml
 
 let magic = "XCLU"
-let version = 1
+let version = 2
+let version_v1 = 1
+
+(* section tags, in file order *)
+let tag_header = 1
+let tag_terms = 2
+let tag_nodes = 3
+
+(* A node record is at least sid + label length + vtype + count +
+   vsumm tag + edge count = 48 bytes; an edge is 16. Guards below use
+   these floors to reject counts no remaining input could satisfy. *)
+let node_min_bytes = 48
+let edge_min_bytes = 16
+
+(* ---- errors ------------------------------------------------------------ *)
+
+type error =
+  | Bad_magic
+  | Unsupported_version of int
+  | Truncated of { pos : int; need : int }
+  | Bad_length of { pos : int; len : int; what : string }
+  | Checksum_mismatch of { section : string; stored : int; actual : int }
+  | Corrupt of { pos : int; what : string }
+  | Io of string
+
+let pp_error ppf = function
+  | Bad_magic -> Format.fprintf ppf "bad magic (not an XCluster synopsis file)"
+  | Unsupported_version v ->
+    Format.fprintf ppf "unsupported format version %d (this build reads 1-%d)" v version
+  | Truncated { pos; need } ->
+    Format.fprintf ppf "truncated input at byte %d (%d more bytes needed)" pos need
+  | Bad_length { pos; len; what } ->
+    Format.fprintf ppf "implausible %s %d at byte %d" what len pos
+  | Checksum_mismatch { section; stored; actual } ->
+    Format.fprintf ppf "%s section checksum mismatch (stored %08x, computed %08x)"
+      section (stored land 0xFFFFFFFF) actual
+  | Corrupt { pos; what } -> Format.fprintf ppf "%s at byte %d" what pos
+  | Io msg -> Format.fprintf ppf "%s" msg
+
+let error_to_string e = Format.asprintf "%a" pp_error e
+
+exception Decode of error
+
+let err e = raise (Decode e)
+
+let record_error e =
+  Metrics.incr Metrics.global "codec.decode_error";
+  match e with
+  | Checksum_mismatch _ -> Metrics.incr Metrics.global "codec.crc_mismatch"
+  | _ -> ()
 
 (* ---- primitive encoders ------------------------------------------------ *)
 
@@ -15,39 +67,58 @@ let put_string buf s =
   put_int buf (String.length s);
   Buffer.add_string buf s
 
+let put_list buf f xs =
+  put_int buf (List.length xs);
+  List.iter (f buf) xs
+
+(* ---- bounded reader ----------------------------------------------------
+   Every read checks against [limit] (the end of the enclosing section,
+   or of the input) and every count is validated against the remaining
+   bytes before anything is allocated, so hostile length fields cannot
+   drive [String.sub]/[List.init]/[Array.init] sizes. *)
+
 type reader = {
   src : string;
   mutable pos : int;
+  limit : int;
 }
 
-let fail fmt = Format.kasprintf failwith fmt
+let remaining r = r.limit - r.pos
 
 let get_int r =
-  if r.pos + 8 > String.length r.src then fail "Codec: truncated input at %d" r.pos;
-  let v = Int64.to_int (String.get_int64_be r.src r.pos) in
+  if r.pos + 8 > r.limit then err (Truncated { pos = r.pos; need = r.pos + 8 - r.limit });
+  let v64 = String.get_int64_be r.src r.pos in
+  let v = Int64.to_int v64 in
+  (* the writer only emits OCaml ints, so a field outside the 63-bit
+     range is damage — and [Int64.to_int] would silently drop the high
+     bit, letting a flipped sign bit through framing fields that no
+     checksum covers *)
+  if Int64.of_int v <> v64 then
+    err (Corrupt { pos = r.pos; what = "integer field out of 63-bit range" });
   r.pos <- r.pos + 8;
   v
 
 let get_float r =
-  if r.pos + 8 > String.length r.src then fail "Codec: truncated input at %d" r.pos;
+  if r.pos + 8 > r.limit then err (Truncated { pos = r.pos; need = r.pos + 8 - r.limit });
   let v = Int64.float_of_bits (String.get_int64_be r.src r.pos) in
   r.pos <- r.pos + 8;
   v
 
 let get_string r =
+  let at = r.pos in
   let n = get_int r in
-  if n < 0 || r.pos + n > String.length r.src then
-    fail "Codec: bad string length %d at %d" n r.pos;
+  if n < 0 || n > remaining r then err (Bad_length { pos = at; len = n; what = "string length" });
   let s = String.sub r.src r.pos n in
   r.pos <- r.pos + n;
   s
 
-let put_list buf f xs =
-  put_int buf (List.length xs);
-  List.iter (f buf) xs
-
-let get_list r f =
+(* [elt_min] is the fewest bytes one element can occupy, so the count
+   is bounded by the remaining input before the list is built *)
+let get_list r ~elt_min ~what f =
+  let at = r.pos in
   let n = get_int r in
+  if n < 0 || n > remaining r / max 1 elt_min then
+    err (Bad_length { pos = at; len = n; what });
   List.init n (fun _ -> f r)
 
 (* ---- term table ---------------------------------------------------------
@@ -106,19 +177,28 @@ let put_vsumm tt buf = function
     put_float buf bucket_avg
 
 let get_vsumm terms r =
+  let at = r.pos in
   match get_int r with
   | 0 -> Vs.Vnone
   | 1 ->
+    let n_at = r.pos in
     let n = get_int r in
+    (* (n+1) bounds + n counts = 16n + 8 bytes; compare by division so
+       a hostile count cannot overflow the bound itself *)
+    if n < 0 || remaining r < 8 || n > (remaining r - 8) / 16 then
+      err (Bad_length { pos = n_at; len = n; what = "histogram bucket count" });
     let bounds = Array.init (n + 1) (fun _ -> get_int r) in
     let counts = Array.init n (fun _ -> get_float r) in
     Vs.Vnum (Xc_vsumm.Histogram.of_raw ~bounds ~counts)
   | 2 ->
     let n = get_float r in
     let total_len = get_float r in
+    let d_at = r.pos in
     let max_depth = get_int r in
+    if max_depth < 0 || max_depth > 1_000_000 then
+      err (Bad_length { pos = d_at; len = max_depth; what = "suffix-tree depth" });
     let entries =
-      get_list r (fun r ->
+      get_list r ~elt_min:16 ~what:"substring count" (fun r ->
           let s = get_string r in
           let c = get_float r in
           (s, c))
@@ -126,21 +206,29 @@ let get_vsumm terms r =
     Vs.Vstr (Xc_vsumm.Pst.of_substrings ~total_len ~n ~max_depth entries)
   | 3 ->
     let n = get_float r in
-    let remap local =
+    let remap at local =
       if local < 0 || local >= Array.length terms then
-        fail "Codec: term index %d out of range" local;
+        err
+          (Corrupt
+             { pos = at; what = Printf.sprintf "term index %d out of range" local });
       (terms.(local) : Dictionary.term :> int)
     in
     let top =
-      get_list r (fun r ->
+      get_list r ~elt_min:16 ~what:"term count" (fun r ->
+          let at = r.pos in
           let local = get_int r in
           let f = get_float r in
-          (remap local, f))
+          (remap at local, f))
     in
-    let bucket = get_list r (fun r -> remap (get_int r)) in
+    let bucket =
+      get_list r ~elt_min:8 ~what:"term-bucket count" (fun r ->
+          let at = r.pos in
+          remap at (get_int r))
+    in
     let bucket_avg = get_float r in
     Vs.Vtext (Xc_vsumm.Term_hist.of_parts ~n ~top ~bucket ~bucket_avg)
-  | tag -> fail "Codec: unknown value-summary tag %d" tag
+  | tag ->
+    err (Corrupt { pos = at; what = Printf.sprintf "unknown value-summary tag %d" tag })
 
 let vtype_tag = function
   | Value.Tnull -> 0
@@ -148,28 +236,31 @@ let vtype_tag = function
   | Value.Tstring -> 2
   | Value.Ttext -> 3
 
-let vtype_of_tag = function
+let get_vtype r =
+  let at = r.pos in
+  match get_int r with
   | 0 -> Value.Tnull
   | 1 -> Value.Tnumeric
   | 2 -> Value.Tstring
   | 3 -> Value.Ttext
-  | tag -> fail "Codec: unknown value-type tag %d" tag
+  | tag ->
+    err (Corrupt { pos = at; what = Printf.sprintf "unknown value-type tag %d" tag })
 
-(* ---- synopsis --------------------------------------------------------------
-   The wire format (v1, unchanged by the Builder/Sealed split) stores
-   nodes in ascending-sid order with sid-keyed edges, which is exactly
-   the sealed form's index order; decoding rebuilds a Builder and
-   freezes it, so a load/save round trip re-canonicalizes nothing. *)
+(* ---- encoding --------------------------------------------------------------
+   The node-record payload is shared between versions: nodes in
+   ascending-sid order with sid-keyed edges, which is exactly the
+   sealed form's index order; decoding rebuilds a Builder and freezes
+   it, so a load/save round trip re-canonicalizes nothing.
 
-let to_string syn =
-  let tt = tt_create () in
-  (* encode the nodes first (into a side buffer) so the term table is
-     complete before it is written *)
+   v1 (legacy) wraps it unframed:
+     magic | version | term table | doc_height root n_nodes | nodes
+   v2 frames header / terms / nodes into sections, each
+     tag | payload length | CRC-32 | payload
+   so any damage is detected section-locally before decoding. *)
+
+let encode_nodes tt syn =
   let body = Buffer.create 65536 in
-  put_int body (S.doc_height syn);
-  put_int body (S.root_sid syn);
   let n = S.n_nodes syn in
-  put_int body n;
   let child_off = S.child_off syn
   and child_idx = S.child_idx syn
   and child_avg = S.child_avg syn in
@@ -185,68 +276,263 @@ let to_string syn =
       put_float body child_avg.(e)
     done
   done;
-  let out = Buffer.create (Buffer.length body + 4096) in
+  Buffer.contents body
+
+let encode_terms tt =
+  let buf = Buffer.create 4096 in
+  put_list buf put_string
+    (List.rev_map (fun id -> Dictionary.to_string (Dictionary.unsafe_of_int id)) tt.ids);
+  Buffer.contents buf
+
+let add_section out ~tag payload =
+  put_int out tag;
+  put_int out (String.length payload);
+  put_int out (Crc32.digest payload);
+  Buffer.add_string out payload
+
+let to_string syn =
+  let tt = tt_create () in
+  let nodes = encode_nodes tt syn in
+  let terms = encode_terms tt in
+  let header =
+    let b = Buffer.create 24 in
+    put_int b (S.doc_height syn);
+    put_int b (S.root_sid syn);
+    put_int b (S.n_nodes syn);
+    Buffer.contents b
+  in
+  let out = Buffer.create (String.length nodes + String.length terms + 128) in
   Buffer.add_string out magic;
   put_int out version;
-  put_list out put_string
-    (List.rev_map (fun id -> Dictionary.to_string (Dictionary.unsafe_of_int id)) tt.ids);
-  Buffer.add_buffer out body;
+  add_section out ~tag:tag_header header;
+  add_section out ~tag:tag_terms terms;
+  add_section out ~tag:tag_nodes nodes;
   Buffer.contents out
 
-let of_string_exn src =
-  let r = { src; pos = 0 } in
-  if String.length src < 4 || String.sub src 0 4 <> magic then
-    fail "Codec: bad magic (not an XCluster synopsis file)";
-  r.pos <- 4;
-  let v = get_int r in
-  if v <> version then fail "Codec: unsupported version %d (expected %d)" v version;
-  let terms = Array.of_list (get_list r (fun r -> Dictionary.of_string (get_string r))) in
-  let doc_height = get_int r in
-  let root = get_int r in
-  let n_nodes = get_int r in
-  let syn = B.create ~doc_height in
-  (* first pass: materialize nodes under their original sids *)
-  let edges = ref [] in
-  for _ = 1 to n_nodes do
-    let sid = get_int r in
-    let label = Label.of_string (get_string r) in
-    let vtype = vtype_of_tag (get_int r) in
-    let count = get_int r in
-    let vsumm = get_vsumm terms r in
-    if B.mem syn sid then fail "Codec: duplicate node id %d" sid;
-    ignore (B.add_node_at syn ~sid ~label ~vtype ~count ~vsumm);
-    let n_edges = get_int r in
-    for _ = 1 to n_edges do
-      let child = get_int r in
-      let avg = get_float r in
-      edges := (sid, child, avg) :: !edges
-    done
-  done;
-  List.iter (fun (parent, child, avg) -> B.set_edge syn ~parent ~child avg) !edges;
-  B.set_root syn root;
-  if r.pos <> String.length src then fail "Codec: trailing bytes";
-  (match B.validate syn with
-  | Ok () -> ()
-  | Error e -> fail "Codec: decoded synopsis is inconsistent: %s" e);
-  Synopsis.freeze syn
-
-(* corrupt input can surface as out-of-range array sizes and the like;
-   normalize every decoding failure to Failure per the interface *)
-let of_string src =
-  try of_string_exn src with
-  | Failure _ as e -> raise e
-  | exn -> fail "Codec: corrupt input (%s)" (Printexc.to_string exn)
+let to_string_v1 syn =
+  let tt = tt_create () in
+  let nodes = encode_nodes tt syn in
+  let terms = encode_terms tt in
+  let out = Buffer.create (String.length nodes + String.length terms + 64) in
+  Buffer.add_string out magic;
+  put_int out version_v1;
+  Buffer.add_string out terms;
+  put_int out (S.doc_height syn);
+  put_int out (S.root_sid syn);
+  put_int out (S.n_nodes syn);
+  Buffer.add_string out nodes;
+  Buffer.contents out
 
 let size_on_disk syn = String.length (to_string syn)
 
-let save path syn =
-  let oc = open_out_bin path in
-  output_string oc (to_string syn);
-  close_out oc
+(* ---- decoding -------------------------------------------------------------- *)
 
-let load path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let src = really_input_string ic n in
-  close_in ic;
-  of_string src
+let decode_terms r =
+  Array.of_list
+    (get_list r ~elt_min:8 ~what:"term-table size" (fun r ->
+         Dictionary.of_string (get_string r)))
+
+(* The shared node-record payload. Consumes the reader exactly to its
+   limit; the caller supplies the header fields. *)
+let decode_graph r ~terms ~doc_height ~root ~n_nodes =
+  if doc_height < 0 || doc_height > 1_000_000 then
+    err (Bad_length { pos = 0; len = doc_height; what = "document height" });
+  if n_nodes < 0 || n_nodes > remaining r / node_min_bytes then
+    err (Bad_length { pos = r.pos; len = n_nodes; what = "node count" });
+  let syn = B.create ~doc_height in
+  let edges = ref [] in
+  for _ = 1 to n_nodes do
+    let at = r.pos in
+    let sid = get_int r in
+    if sid < 0 then
+      err (Corrupt { pos = at; what = Printf.sprintf "negative node id %d" sid });
+    let label = Label.of_string (get_string r) in
+    let vtype = get_vtype r in
+    let count = get_int r in
+    let vsumm = get_vsumm terms r in
+    if B.mem syn sid then
+      err (Corrupt { pos = at; what = Printf.sprintf "duplicate node id %d" sid });
+    ignore (B.add_node_at syn ~sid ~label ~vtype ~count ~vsumm);
+    let ne_at = r.pos in
+    let n_edges = get_int r in
+    if n_edges < 0 || n_edges > remaining r / edge_min_bytes then
+      err (Bad_length { pos = ne_at; len = n_edges; what = "edge count" });
+    for _ = 1 to n_edges do
+      let e_at = r.pos in
+      let child = get_int r in
+      let avg = get_float r in
+      edges := (e_at, sid, child, avg) :: !edges
+    done
+  done;
+  if r.pos <> r.limit then err (Corrupt { pos = r.pos; what = "trailing bytes" });
+  List.iter
+    (fun (at, parent, child, avg) ->
+      if not (B.mem syn child) then
+        err (Corrupt { pos = at; what = Printf.sprintf "edge to unknown node %d" child });
+      B.set_edge syn ~parent ~child avg)
+    !edges;
+  if not (B.mem syn root) then
+    err (Corrupt { pos = 0; what = Printf.sprintf "root id %d not among nodes" root });
+  B.set_root syn root;
+  (match B.validate syn with
+  | Ok () -> ()
+  | Error e -> err (Corrupt { pos = 0; what = "decoded synopsis is inconsistent: " ^ e }));
+  Synopsis.freeze syn
+
+let decode_v1 r =
+  let terms = decode_terms r in
+  let doc_height = get_int r in
+  let root = get_int r in
+  let n_nodes = get_int r in
+  decode_graph r ~terms ~doc_height ~root ~n_nodes
+
+let section_name tag =
+  if tag = tag_header then "header"
+  else if tag = tag_terms then "terms"
+  else "nodes"
+
+let get_section r ~tag =
+  let name = section_name tag in
+  let at = r.pos in
+  let t = get_int r in
+  if t <> tag then
+    err
+      (Corrupt
+         { pos = at;
+           what = Printf.sprintf "expected %s section (tag %d), found tag %d" name tag t
+         });
+  let len_at = r.pos in
+  let len = get_int r in
+  let stored = get_int r in
+  if len < 0 || len > remaining r then
+    err (Bad_length { pos = len_at; len; what = name ^ " section length" });
+  let actual = Crc32.sub r.src ~pos:r.pos ~len in
+  if actual <> stored then err (Checksum_mismatch { section = name; stored; actual });
+  let section = { src = r.src; pos = r.pos; limit = r.pos + len } in
+  r.pos <- r.pos + len;
+  section
+
+let decode_header r =
+  let header = get_section r ~tag:tag_header in
+  let doc_height = get_int header in
+  let root = get_int header in
+  let n_nodes = get_int header in
+  if header.pos <> header.limit then
+    err (Corrupt { pos = header.pos; what = "trailing bytes in header section" });
+  (doc_height, root, n_nodes)
+
+let decode_v2 r =
+  let doc_height, root, n_nodes = decode_header r in
+  let terms_sec = get_section r ~tag:tag_terms in
+  let terms = decode_terms terms_sec in
+  if terms_sec.pos <> terms_sec.limit then
+    err (Corrupt { pos = terms_sec.pos; what = "trailing bytes in terms section" });
+  let nodes_sec = get_section r ~tag:tag_nodes in
+  if r.pos <> r.limit then
+    err (Corrupt { pos = r.pos; what = "trailing bytes after last section" });
+  decode_graph nodes_sec ~terms ~doc_height ~root ~n_nodes
+
+let with_version src k =
+  let r = { src; pos = 0; limit = String.length src } in
+  if String.length src < 4 || not (String.equal (String.sub src 0 4) magic) then
+    err Bad_magic;
+  r.pos <- 4;
+  let v = get_int r in
+  if v <> version_v1 && v <> version then err (Unsupported_version v);
+  k v r
+
+(* Corrupt input can surface as stray exceptions from components the
+   decoder feeds (histogram/suffix-tree constructors, freeze);
+   normalize every failure mode to the typed error — decoding is
+   total. *)
+let guard f =
+  match f () with
+  | v -> Ok v
+  | exception Decode e ->
+    record_error e;
+    Error e
+  | exception Stack_overflow ->
+    let e = Corrupt { pos = 0; what = "decoder stack overflow" } in
+    record_error e;
+    Error e
+  | exception exn ->
+    let e = Corrupt { pos = 0; what = "decoder failure: " ^ Printexc.to_string exn } in
+    record_error e;
+    Error e
+
+let of_string src =
+  guard (fun () ->
+      with_version src (fun v r -> if v = version_v1 then decode_v1 r else decode_v2 r))
+
+let of_string_exn src =
+  match of_string src with
+  | Ok syn -> syn
+  | Error e -> failwith ("Codec: " ^ error_to_string e)
+
+(* ---- files ------------------------------------------------------------- *)
+
+let save path syn =
+  match Safe_io.write_atomic path (to_string syn) with
+  | Ok () -> Ok ()
+  | Error e ->
+    Metrics.incr Metrics.global "codec.save_error";
+    Error (Io (path ^ ": " ^ Safe_io.error_to_string e))
+
+let save_exn path syn =
+  match save path syn with
+  | Ok () -> ()
+  | Error e -> failwith ("Codec: " ^ error_to_string e)
+
+let read_file path =
+  match Safe_io.read path with
+  | Ok src -> Ok (Xc_util.Fault.mutate ~site:"codec.load" src)
+  | Error e ->
+    let e = Io (path ^ ": " ^ Safe_io.error_to_string e) in
+    record_error e;
+    Error e
+
+let load path = Result.bind (read_file path) of_string
+
+let load_exn path =
+  match load path with
+  | Ok syn -> syn
+  | Error e -> failwith ("Codec: " ^ error_to_string e)
+
+(* ---- integrity ---------------------------------------------------------- *)
+
+type info = {
+  i_version : int;
+  i_nodes : int;
+  i_bytes : int;
+  i_checksummed : bool;
+}
+
+let verify_string src =
+  guard (fun () ->
+      with_version src (fun v r ->
+          if v = version_v1 then
+            (* v1 carries no checksums: a full decode is the only check *)
+            let syn = decode_v1 r in
+            { i_version = 1;
+              i_nodes = S.n_nodes syn;
+              i_bytes = String.length src;
+              i_checksummed = false
+            }
+          else begin
+            let _doc_height, _root, n_nodes = decode_header r in
+            if n_nodes < 0 then
+              err (Bad_length { pos = 0; len = n_nodes; what = "node count" });
+            let terms_sec = get_section r ~tag:tag_terms in
+            ignore (terms_sec : reader);
+            let nodes_sec = get_section r ~tag:tag_nodes in
+            ignore (nodes_sec : reader);
+            if r.pos <> r.limit then
+              err (Corrupt { pos = r.pos; what = "trailing bytes after last section" });
+            { i_version = 2;
+              i_nodes = n_nodes;
+              i_bytes = String.length src;
+              i_checksummed = true
+            }
+          end))
+
+let verify path = Result.bind (read_file path) verify_string

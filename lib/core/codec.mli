@@ -2,28 +2,111 @@
 
     A synopsis is built once (minutes for a large document) and consulted
     many times by an optimizer, so it must survive the process that built
-    it. The format is a self-contained, versioned binary encoding that
-    embeds the label names and dictionary terms it references; loading
-    re-interns them, so identifiers are stable across processes even
-    though the global intern tables differ.
+    it — and survive what disks do to long-lived artifacts. The format
+    is a self-contained, versioned binary encoding that embeds the label
+    names and dictionary terms it references; loading re-interns them,
+    so identifiers are stable across processes even though the global
+    intern tables differ.
+
+    {b Format v2} (what {!to_string}/{!save} write) frames the payload
+    into length-prefixed sections — header, term table, node records —
+    each carrying a CRC-32 ({!Xc_util.Crc32}), so a flipped bit or a
+    truncated tail is detected before any graph is rebuilt. {b v1}
+    files (unframed, no checksums) remain readable: the decoder
+    negotiates on the version field.
+
+    {b Failure contract.} Decoding is total: every way an input can be
+    wrong — foreign file, truncation, bit rot, hostile length fields —
+    surfaces as an [Error] of the typed {!error}, never an exception
+    and never an attacker-controlled allocation (length fields are
+    validated against the remaining input before anything is
+    allocated). The [_exn] variants exist for callers that have
+    already verified their input; they raise [Failure] with the
+    rendered error.
+
+    Persistence goes through {!Xc_util.Safe_io}: {!save} writes
+    atomically (temp file → fsync → rename), so a crash mid-save
+    leaves the previous synopsis intact; {!load} reads through the
+    fault-injection sites, so the harness can exercise every failure
+    path. Decode failures bump [codec.decode_error] (and CRC failures
+    additionally [codec.crc_mismatch]) in {!Xc_util.Metrics.global}.
 
     Only sealed synopses are persisted — a builder is an intermediate
     construction state, not an artifact. Decoding rebuilds the graph,
     validates it, and freezes it. *)
 
-val save : string -> Synopsis.Sealed.t -> unit
-(** Writes the synopsis to a file.
-    @raise Sys_error on I/O failure. *)
+type error =
+  | Bad_magic  (** not an XCluster synopsis file *)
+  | Unsupported_version of int
+  | Truncated of { pos : int; need : int }
+      (** the input ends where [need] more bytes were required *)
+  | Bad_length of { pos : int; len : int; what : string }
+      (** a count or length field is negative or larger than the
+          remaining input could possibly satisfy *)
+  | Checksum_mismatch of { section : string; stored : int; actual : int }
+      (** a v2 section failed its CRC-32 *)
+  | Corrupt of { pos : int; what : string }
+      (** structurally invalid content (bad tag, duplicate node,
+          inconsistent graph, …) *)
+  | Io of string  (** the file could not be read or written *)
 
-val load : string -> Synopsis.Sealed.t
-(** Reads a synopsis written by {!save}.
-    @raise Failure on format or version mismatch. *)
+val pp_error : Format.formatter -> error -> unit
+val error_to_string : error -> string
+
+(* ---- encoding --------------------------------------------------------- *)
 
 val to_string : Synopsis.Sealed.t -> string
-val of_string : string -> Synopsis.Sealed.t
+(** The v2 encoding. *)
+
+val to_string_v1 : Synopsis.Sealed.t -> string
+(** The legacy unframed v1 encoding, kept so compatibility tests (and
+    tooling that must interoperate with pre-v2 stores) can produce v1
+    bytes. New code should write v2. *)
 
 val size_on_disk : Synopsis.Sealed.t -> int
-(** Byte length of the encoding — a few framing bytes per node beyond
-    the model's {!Synopsis.Sealed.structural_bytes} +
+(** Byte length of the v2 encoding — framing and checksums per section
+    beyond the model's {!Synopsis.Sealed.structural_bytes} +
     {!Synopsis.Sealed.value_bytes} accounting, plus the embedded string
     tables. *)
+
+(* ---- decoding --------------------------------------------------------- *)
+
+val of_string : string -> (Synopsis.Sealed.t, error) result
+(** Decode either format version. Total: never raises. *)
+
+val of_string_exn : string -> Synopsis.Sealed.t
+(** @raise Failure with the rendered error on any decode failure. *)
+
+(* ---- files ------------------------------------------------------------ *)
+
+val save : string -> Synopsis.Sealed.t -> (unit, error) result
+(** Atomic write via {!Xc_util.Safe_io.write_atomic}; on [Error _] a
+    pre-existing file at the path is untouched. *)
+
+val save_exn : string -> Synopsis.Sealed.t -> unit
+(** @raise Failure on I/O failure. *)
+
+val load : string -> (Synopsis.Sealed.t, error) result
+(** Read and decode. Total: never raises. *)
+
+val load_exn : string -> Synopsis.Sealed.t
+(** @raise Failure on read or decode failure. *)
+
+(* ---- integrity -------------------------------------------------------- *)
+
+type info = {
+  i_version : int;
+  i_nodes : int;
+  i_bytes : int;  (** encoded size *)
+  i_checksummed : bool;
+      (** true for v2, whose sections were CRC-verified; v1 has no
+          checksums, so verification falls back to a full decode *)
+}
+
+val verify_string : string -> (info, error) result
+(** Integrity check without building a synopsis: validates magic,
+    version, section framing and every CRC (v2), or fully decodes
+    (v1, which has nothing cheaper). *)
+
+val verify : string -> (info, error) result
+(** {!verify_string} over a file's contents. *)

@@ -218,6 +218,18 @@ module Cache = struct
       plan
 
   let estimate c q = estimate (find_or_compile c q)
+
+  (* The serving boundary: a synopsis that decoded but is broken in a
+     way compilation or evaluation trips over must degrade, not take
+     the server down. Callers (the [Xcluster] facade) fall back to the
+     uncached estimator on [Error]. *)
+  let estimate_result c q =
+    match estimate c q with
+    | v -> Ok v
+    | exception exn ->
+      Metrics.incr m "plan.error";
+      Error (Printexc.to_string exn)
+
   let n_plans c = Hashtbl.length c.c_plans
   let reach_entries c = Hashtbl.length c.c_memo.mc_reach + Hashtbl.length c.c_memo.mc_root
 
@@ -490,5 +502,13 @@ module Batch = struct
     end
 
   let run ?domains t queries = run_prepared ?domains t (prepare t queries)
+
+  let run_result ?domains t queries =
+    match run ?domains t queries with
+    | r -> Ok r
+    | exception exn ->
+      Metrics.incr m "batch.error";
+      Error (Printexc.to_string exn)
+
   let estimate t q = (run ~domains:1 t [| q |]).(0)
 end

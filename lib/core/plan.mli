@@ -60,6 +60,14 @@ module Cache : sig
   val estimate : t -> Xc_twig.Twig_query.t -> float
   (** [estimate c q = Plan.estimate (find_or_compile c q)]. *)
 
+  val estimate_result : t -> Xc_twig.Twig_query.t -> (float, string) result
+  (** {!estimate} with the serving failure contract: any exception out
+      of compilation or evaluation (a synopsis that decoded but is
+      broken in a way {!Synopsis.Sealed.validate} does not model, a
+      query the compiler cannot place) becomes [Error] and bumps the
+      [plan.error] counter, so a server can fall back to the uncached
+      estimator instead of dying. *)
+
   val n_plans : t -> int
   (** Compiled plans currently cached. *)
 
@@ -117,6 +125,13 @@ module Batch : sig
 
   val run : ?domains:int -> t -> Xc_twig.Twig_query.t array -> float array
   (** [prepare] + [run_prepared]. *)
+
+  val run_result :
+    ?domains:int -> t -> Xc_twig.Twig_query.t array -> (float array, string) result
+  (** {!run} with the serving failure contract (see
+      {!Cache.estimate_result}): exceptions become [Error] and bump
+      [batch.error], so batched serving can degrade to the per-query
+      path. *)
 
   val estimate : t -> Xc_twig.Twig_query.t -> float
   (** Single-query convenience; always sequential. *)

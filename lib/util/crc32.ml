@@ -1,0 +1,25 @@
+(* Table-driven CRC-32, reflected, polynomial 0xEDB88320 (zlib/IEEE).
+   Checksums live in non-negative ints (the unsigned 32-bit value fits
+   any 63-bit OCaml int). *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.update: range out of bounds";
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  for i = pos to pos + len - 1 do
+    c := t.((!c lxor Char.code (String.unsafe_get s i)) land 0xFF) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let sub s ~pos ~len = update 0 s ~pos ~len
+let digest s = sub s ~pos:0 ~len:(String.length s)

@@ -1,0 +1,82 @@
+(** Deterministic, seeded fault injection for the persistence layer.
+
+    Production code calls the injection points below at the places
+    where real storage fails — reads ({!mutate}), writes
+    ({!raise_io}, {!short_write}). With no configuration the points
+    are no-ops (one pointer test, no allocation), so they can sit on
+    I/O paths permanently. When a configuration is active, each point
+    fires with the configured probability, drawing from a private
+    seeded {!Rng} stream, so a failing run replays exactly from its
+    [XC_FAULTS] string.
+
+    Configuration comes from the [XC_FAULTS] environment variable on
+    first use, or programmatically via {!configure} (which overrides
+    the environment — tests toggle faults on and off around specific
+    operations). The syntax is comma-separated [key=value] pairs:
+
+    {v XC_FAULTS="seed=42,p=0.2,kinds=truncate+bitflip+short+enospc+eio" v}
+
+    - [seed] (default 1): RNG seed.
+    - [p] (default 0.1): per-injection-point firing probability.
+    - [kinds] (default [all]): [+]-separated subset of [truncate],
+      [bitflip], [short], [enospc], [eio], or [all].
+    - [sites] (default all sites): [+]-separated injection-site names
+      (e.g. [safe_io.rename]) to restrict where faults fire.
+
+    Every fired fault bumps the [fault.injected] counter in
+    {!Metrics.global}. *)
+
+type kind =
+  | Truncate  (** a read returns fewer bytes than were written *)
+  | Bit_flip  (** a read returns the payload with one bit flipped *)
+  | Short_write  (** a write is accepted only partially *)
+  | Enospc  (** the device is full *)
+  | Eio  (** a generic I/O error *)
+
+val kind_name : kind -> string
+
+type config = {
+  seed : int;
+  prob : float;
+  kinds : kind list;
+  sites : string list;  (** empty means every site *)
+}
+
+exception Injected of { site : string; kind : kind }
+(** Raised by {!raise_io} (and by callers that turn a {!short_write}
+    grant into a failure). [Safe_io] catches it at its API boundary and
+    returns a typed error — the exception never escapes the
+    persistence layer. *)
+
+val config_of_string : string -> (config, string) result
+(** Parse an [XC_FAULTS]-syntax specification. *)
+
+val configure : config option -> unit
+(** Install (or with [None] remove) a configuration, overriding the
+    environment. Resets the injection RNG to the configuration's
+    seed. *)
+
+val current : unit -> config option
+(** The active configuration, forcing environment initialization.
+    Save/restore around a critical region with {!configure}. *)
+
+val enabled : unit -> bool
+
+val injections : unit -> int
+(** Faults fired since the process started (all configurations). *)
+
+(* ---- injection points ------------------------------------------------- *)
+
+val mutate : site:string -> string -> string
+(** A read-path injection point: returns the payload unchanged, or —
+    when a [Truncate]/[Bit_flip] fault fires — a deterministically
+    damaged copy. *)
+
+val raise_io : site:string -> unit
+(** A write-path injection point: returns unit, or raises {!Injected}
+    with [Enospc] or [Eio] when such a fault fires. *)
+
+val short_write : site:string -> int -> int
+(** [short_write ~site len] is the byte count the simulated device
+    accepts for a [len]-byte write: [len] normally, fewer (possibly 0)
+    when a [Short_write] fault fires. *)

@@ -419,6 +419,14 @@ let of_substrings ?total_len ~n ~max_depth entries =
       in
       walk t.root 0)
     entries;
+  (* children were prepended, so each sibling list is in reverse
+     insertion order; restore it so [iter_substrings] replays the input
+     order and an encode/decode round trip is byte-identical *)
+  let rec restore node =
+    node.children <- List.rev node.children;
+    List.iter (fun (_, child) -> restore child) node.children
+  in
+  restore t.root;
   t.n <- n;
   t
 

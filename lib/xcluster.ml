@@ -50,7 +50,23 @@ let cache_for syn =
     Hashtbl.add caches uid c;
     c
 
-let estimate syn q = Plan.Cache.estimate (cache_for syn) q
+let estimate_uncached = Xc_core.Estimate.selectivity
+
+(* Serving never raises on a per-synopsis failure: if the compiled
+   pipeline trips over a synopsis (decoded from a damaged store in a
+   way validation does not model), the estimate falls back to the
+   direct uncached path and the event is counted — the degraded answer
+   is bit-identical, only slower. *)
+let estimate syn q =
+  match
+    let c = cache_for syn in
+    Plan.Cache.estimate_result c q
+  with
+  | Ok v -> v
+  | Error _ | (exception _) ->
+    Metrics.incr Metrics.global "serve.fallback";
+    estimate_uncached syn q
+
 let plan syn q = Plan.Cache.find_or_compile (cache_for syn) q
 
 (* Batch engines follow the same bounded per-uid table discipline as
@@ -68,11 +84,17 @@ let batch_for syn =
     e
 
 let estimate_batch ?domains syn queries =
-  Plan.Batch.run ?domains (batch_for syn) queries
+  match
+    let e = batch_for syn in
+    Plan.Batch.run_result ?domains e queries
+  with
+  | Ok r -> r
+  | Error _ | (exception _) ->
+    Metrics.incr Metrics.global "serve.batch_fallback";
+    Array.map (fun q -> estimate syn q) queries
 
 let batch_engine = batch_for
 let estimate_with_plan = Plan.estimate
-let estimate_uncached = Xc_core.Estimate.selectivity
 let explain = Xc_core.Estimate.explain
 
 (* ---- synopsis inspection --------------------------------------------- *)
@@ -90,8 +112,18 @@ let validate_builder = Synopsis.Builder.validate
 
 (* ---- persistence ------------------------------------------------------ *)
 
-let save = Xc_core.Codec.save
-let load = Xc_core.Codec.load
+let save = Xc_core.Codec.save_exn
+let load = Xc_core.Codec.load_exn
+let save_result = Xc_core.Codec.save
+
+let load_result path =
+  match Xc_core.Codec.load path with
+  | Ok _ as ok -> ok
+  | Error _ as e ->
+    Metrics.incr Metrics.global "serve.load_error";
+    e
+
+let verify_file = Xc_core.Codec.verify
 
 (* ---- metrics ---------------------------------------------------------- *)
 

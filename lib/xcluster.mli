@@ -77,7 +77,12 @@ val estimate : synopsis -> query -> float
     The plan cache is keyed on the synopsis's
     {!Xc_core.Synopsis.Sealed.uid} and created on first use; sealed
     synopses never mutate, so cached plans and memos stay valid
-    forever. *)
+    forever.
+
+    Serving degrades instead of raising: if plan compilation or
+    evaluation fails for this synopsis, the call falls back to the
+    bit-identical uncached estimator and bumps the [serve.fallback]
+    counter in {!Xc_util.Metrics.global}. *)
 
 val plan : synopsis -> query -> Xc_core.Plan.t
 (** The cached compiled plan (compiling on first sight) for callers
@@ -95,7 +100,11 @@ val estimate_batch : ?domains:int -> synopsis -> query array -> float array
     variable). The per-synopsis engine — interned path-expression
     transition matrices plus compiled queries — is cached by synopsis
     uid like the plan caches, so repeated workloads amortize to array
-    walks. *)
+    walks.
+
+    Degrades like {!estimate}: a batch-engine failure falls back to
+    per-query estimation (which itself can fall back to the uncached
+    path) and bumps [serve.batch_fallback]. *)
 
 val batch_engine : synopsis -> Xc_core.Plan.Batch.t
 (** The cached batch engine behind {!estimate_batch} (created on first
@@ -138,7 +147,27 @@ val validate_builder : builder -> (unit, string) result
 (* ---- persistence ------------------------------------------------------ *)
 
 val save : string -> synopsis -> unit
+(** Atomic write (temp file → fsync → rename) of the checksummed v2
+    format via {!Xc_core.Codec.save_exn}.
+    @raise Failure on I/O failure (the previous file, if any, is
+    intact). *)
+
 val load : string -> synopsis
+(** @raise Failure on read or decode failure. *)
+
+val save_result : string -> synopsis -> (unit, Xc_core.Codec.error) result
+(** {!save} with the typed error instead of an exception. *)
+
+val load_result : string -> (synopsis, Xc_core.Codec.error) result
+(** {!load} with the typed error instead of an exception; failures
+    additionally bump [serve.load_error]. A server that keeps a
+    directory of synopses uses this to skip (and count) corrupt
+    artifacts instead of dying on the first one. *)
+
+val verify_file : string -> (Xc_core.Codec.info, Xc_core.Codec.error) result
+(** Integrity check (framing + per-section CRC-32 for v2, full decode
+    for v1) without building the synopsis —
+    {!Xc_core.Codec.verify}. *)
 
 (* ---- metrics ---------------------------------------------------------- *)
 

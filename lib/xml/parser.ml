@@ -9,7 +9,25 @@ type state = {
   attributes : [ `Discard | `Elements ];
 }
 
-let fail st msg = raise (Malformed (Printf.sprintf "%s at byte %d" msg st.pos))
+(* Line and column of a byte offset, for error messages an editor can
+   jump to. Computed only on the failure path, so parsing stays a
+   single forward scan. *)
+let line_col src pos =
+  let stop = min pos (String.length src) in
+  let line = ref 1 in
+  let bol = ref 0 in
+  for i = 0 to stop - 1 do
+    if src.[i] = '\n' then begin
+      incr line;
+      bol := i + 1
+    end
+  done;
+  (!line, stop - !bol + 1)
+
+let fail st msg =
+  let line, col = line_col st.src st.pos in
+  raise
+    (Malformed (Printf.sprintf "%s at byte %d (line %d, column %d)" msg st.pos line col))
 let eof st = st.pos >= String.length st.src
 let peek st = st.src.[st.pos]
 let advance st = st.pos <- st.pos + 1

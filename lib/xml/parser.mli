@@ -23,7 +23,9 @@ type typing = tag:string -> string -> Value.t
     labelled [tag] into a typed value. *)
 
 exception Malformed of string
-(** Raised with a human-readable message and position on syntax errors. *)
+(** Raised on syntax errors with a human-readable message carrying the
+    byte offset and the line/column it falls on (e.g.
+    ["mismatched tag: <a> closed by </b> at byte 512 (line 14, column 3)"]). *)
 
 val default_typing : typing
 (** Heuristic typing: integer-looking text becomes [Numeric]; text longer

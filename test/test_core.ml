@@ -502,7 +502,7 @@ let test_codec_roundtrip () =
   let doc = sample_doc () in
   let syn = Synopsis.freeze (Reference.build ~min_extent:1 doc) in
   let encoded = Xc_core.Codec.to_string syn in
-  let decoded = Xc_core.Codec.of_string encoded in
+  let decoded = Xc_core.Codec.of_string_exn encoded in
   check Alcotest.int "same nodes" (S.n_nodes syn) (S.n_nodes decoded);
   check Alcotest.int "same edges" (S.n_edges syn) (S.n_edges decoded);
   check Alcotest.int "same structural bytes" (S.structural_bytes syn)
@@ -517,7 +517,7 @@ let test_codec_roundtrip_compressed () =
   let doc = Xc_data.Imdb.generate ~seed:21 ~n_movies:150 () in
   let reference = Reference.build ~min_extent:8 doc in
   let syn = Build.run (Build.params ~bstr_kb:3 ~bval_kb:20 ()) reference in
-  let decoded = Xc_core.Codec.of_string (Xc_core.Codec.to_string syn) in
+  let decoded = Xc_core.Codec.of_string_exn (Xc_core.Codec.to_string syn) in
   check Alcotest.int "same value bytes" (S.value_bytes syn)
     (S.value_bytes decoded);
   List.iter
@@ -535,20 +535,21 @@ let test_codec_file_io () =
   Fun.protect
     ~finally:(fun () -> Sys.remove path)
     (fun () ->
-      Xc_core.Codec.save path syn;
-      let loaded = Xc_core.Codec.load path in
+      Xc_core.Codec.save_exn path syn;
+      let loaded = Xc_core.Codec.load_exn path in
       check Alcotest.int "same nodes" (S.n_nodes syn) (S.n_nodes loaded))
 
 let test_codec_rejects_garbage () =
   (match Xc_core.Codec.of_string "not a synopsis" with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected bad magic failure");
+  | Error Xc_core.Codec.Bad_magic -> ()
+  | Error e -> Alcotest.failf "expected bad magic, got %s" (Xc_core.Codec.error_to_string e)
+  | Ok _ -> Alcotest.fail "expected bad magic failure");
   let doc = sample_doc () in
   let good = Xc_core.Codec.to_string (Synopsis.freeze (Reference.build doc)) in
   let truncated = String.sub good 0 (String.length good / 2) in
   match Xc_core.Codec.of_string truncated with
-  | exception Failure _ -> ()
-  | _ -> Alcotest.fail "expected truncation failure"
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected truncation failure"
 
 let () =
   Alcotest.run ~and_exit:false "xc_core"

@@ -214,7 +214,7 @@ let test_compression_delta_none_for_vnone () =
 (* ---- Codec fuzz ----------------------------------------------------------------- *)
 
 let codec_rejects_corruption =
-  QCheck.Test.make ~name:"codec rejects corrupted encodings with Failure" ~count:60
+  QCheck.Test.make ~name:"codec rejects corrupted encodings with Error" ~count:60
     QCheck.(pair (int_range 0 10_000) (int_range 1 95))
     (fun (seed, percent) ->
       let doc = Xc_data.Imdb.generate ~seed:71 ~n_movies:20 () in
@@ -229,8 +229,7 @@ let codec_rejects_corruption =
         Bytes.set corrupt i (Char.chr (Xc_util.Rng.int rng 256))
       end;
       match Xc_core.Codec.of_string (Bytes.to_string corrupt) with
-      | _ -> true (* a lucky corruption may still decode: that is fine *)
-      | exception Failure _ -> true
+      | Ok _ | Error _ -> true (* typed outcome either way: decoding is total *)
       | exception _ -> false)
 
 (* ---- Parser hard cases --------------------------------------------------------- *)

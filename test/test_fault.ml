@@ -1,0 +1,390 @@
+(* Fault-tolerance tests for the persistence layer.
+
+   The contract under test: decoding is TOTAL — any mutation of an
+   encoded synopsis (truncation, bit rot, spliced bytes, hostile
+   length fields) yields a typed [Error], never an exception and never
+   an unbounded allocation — and [Safe_io.write_atomic] never damages
+   the previous file, whatever fault interrupts the save. *)
+
+module Codec = Xc_core.Codec
+module S = Xc_core.Synopsis.Sealed
+module Synopsis = Xc_core.Synopsis
+module Reference = Xc_core.Reference
+module Build = Xc_core.Build
+module Rng = Xc_util.Rng
+module Fault = Xc_util.Fault
+module Safe_io = Xc_util.Safe_io
+
+let check = Alcotest.check
+
+(* small but representative: every value-summary kind appears *)
+let datasets =
+  [ ( "imdb",
+      lazy
+        (let doc = Xc_data.Imdb.generate ~seed:71 ~n_movies:40 () in
+         let reference = Reference.build ~min_extent:4 doc in
+         (* compress so TEXT buckets and pruned summaries are on disk too *)
+         Build.run (Build.params ~bstr_kb:3 ~bval_kb:15 ()) reference) );
+    ( "xmark",
+      lazy
+        (let doc = Xc_data.Xmark.generate ~seed:72 ~scale:0.01 () in
+         Synopsis.freeze (Reference.build ~min_extent:4 doc)) );
+    ( "dblp",
+      lazy
+        (let doc = Xc_data.Dblp.generate ~seed:73 ~n_authors:40 () in
+         Synopsis.freeze (Reference.build ~min_extent:4 doc)) ) ]
+
+let force name = Lazy.force (List.assoc name datasets)
+
+(* ---- decode-totality fuzz ----------------------------------------------- *)
+
+let mutate rng good =
+  let n = String.length good in
+  match Rng.int rng 4 with
+  | 0 ->
+    (* truncate *)
+    String.sub good 0 (Rng.int rng (n + 1))
+  | 1 ->
+    (* flip one bit *)
+    let b = Bytes.of_string good in
+    let i = Rng.int rng n in
+    Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl Rng.int rng 8)));
+    Bytes.unsafe_to_string b
+  | 2 ->
+    (* splice a random slice of the encoding over another position *)
+    let b = Bytes.of_string good in
+    let len = 1 + Rng.int rng (min 64 n) in
+    let src = Rng.int rng (n - len + 1) in
+    let dst = Rng.int rng (n - len + 1) in
+    Bytes.blit_string good src b dst len;
+    Bytes.unsafe_to_string b
+  | _ ->
+    (* overwrite a few bytes with noise (hostile length fields land here) *)
+    let b = Bytes.of_string good in
+    let len = 1 + Rng.int rng (min 16 n) in
+    let dst = Rng.int rng (n - len + 1) in
+    for i = dst to dst + len - 1 do
+      Bytes.set b i (Char.chr (Rng.int rng 256))
+    done;
+    Bytes.unsafe_to_string b
+
+let fuzz_iterations = 2_100
+
+let test_fuzz name () =
+  let syn = force name in
+  let good = Codec.to_string syn in
+  let rng = Rng.create 20_260_806 in
+  let ok = ref 0 and errors = ref 0 in
+  for i = 1 to fuzz_iterations do
+    let corrupt = mutate rng good in
+    match Codec.of_string corrupt with
+    | Ok decoded ->
+      incr ok;
+      (* a lucky mutation may decode (e.g. a truncation that cut
+         nothing, or a splice of identical bytes): it must still be a
+         well-formed synopsis *)
+      check Alcotest.bool "decoded synopsis validates" true (S.validate decoded = Ok ())
+    | Error _ -> incr errors
+    | exception exn ->
+      Alcotest.failf "iteration %d: decode raised %s" i (Printexc.to_string exn)
+  done;
+  check Alcotest.bool "ran the full budget" true (!ok + !errors = fuzz_iterations);
+  check Alcotest.bool "mutations were mostly detected" true (!errors > fuzz_iterations / 2)
+
+(* every single-bit flip must be caught: the v2 format has no byte
+   outside the magic/version/framing fields and the CRC-covered
+   section payloads *)
+let test_every_bit_flip_detected () =
+  let doc =
+    Xc_xml.Parser.parse_string
+      "<db><paper><title>one</title><year>1999</year></paper><paper><title>two</title><year>2001</year></paper></db>"
+  in
+  let syn = Synopsis.freeze (Reference.build ~min_extent:1 doc) in
+  let good = Codec.to_string syn in
+  for i = 0 to String.length good - 1 do
+    for bit = 0 to 7 do
+      let b = Bytes.of_string good in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)));
+      match Codec.of_string (Bytes.unsafe_to_string b) with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "flip of bit %d at byte %d went undetected" bit i
+      | exception exn ->
+        Alcotest.failf "flip at byte %d raised %s" i (Printexc.to_string exn)
+    done
+  done
+
+let test_roundtrip_bit_exact () =
+  List.iter
+    (fun (name, syn) ->
+      let syn = Lazy.force syn in
+      let encoded = Codec.to_string syn in
+      match Codec.of_string encoded with
+      | Error e -> Alcotest.failf "%s: clean decode failed: %s" name (Codec.error_to_string e)
+      | Ok decoded ->
+        check Alcotest.bool
+          (name ^ ": re-encoding is bit-exact")
+          true
+          (String.equal encoded (Codec.to_string decoded)))
+    datasets
+
+(* ---- hostile length fields ----------------------------------------------
+   A forged file can carry a correct CRC over hostile content, so the
+   decoder's pre-allocation bounds checks are the only line of
+   defense. Each crafted input must fail fast with a typed error — not
+   attempt a max_int-sized allocation. *)
+
+let put_int buf n = Buffer.add_int64_be buf (Int64.of_int n)
+
+let section tag payload =
+  let b = Buffer.create (String.length payload + 24) in
+  put_int b tag;
+  put_int b (String.length payload);
+  put_int b (Xc_util.Crc32.digest payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let forged_v2 ~header ~terms ~nodes =
+  let b = Buffer.create 256 in
+  Buffer.add_string b "XCLU";
+  put_int b 2;
+  Buffer.add_string b (section 1 header);
+  Buffer.add_string b (section 2 terms);
+  Buffer.add_string b (section 3 nodes);
+  Buffer.contents b
+
+let ints xs =
+  let b = Buffer.create (8 * List.length xs) in
+  List.iter (put_int b) xs;
+  Buffer.contents b
+
+let expect_bad_length what input =
+  match Codec.of_string input with
+  | Error (Codec.Bad_length _) -> ()
+  | Error e ->
+    (* a different typed error is acceptable; an allocation attempt or
+       crash is not — but Bad_length is what the guards should say *)
+    Alcotest.failf "%s: expected Bad_length, got %s" what (Codec.error_to_string e)
+  | Ok _ -> Alcotest.failf "%s: hostile input decoded" what
+  | exception exn -> Alcotest.failf "%s: raised %s" what (Printexc.to_string exn)
+
+let test_hostile_lengths () =
+  let header = ints [ 5; 0; 1 ] in
+  (* term table claiming max_int entries *)
+  expect_bad_length "huge term count"
+    (forged_v2 ~header ~terms:(ints [ max_int ]) ~nodes:"");
+  (* node count far beyond what the section could hold *)
+  expect_bad_length "huge node count"
+    (forged_v2 ~header:(ints [ 5; 0; max_int ]) ~terms:(ints [ 0 ]) ~nodes:"");
+  (* negative node count *)
+  expect_bad_length "negative node count"
+    (forged_v2 ~header:(ints [ 5; 0; -7 ]) ~terms:(ints [ 0 ]) ~nodes:"");
+  (* a node whose histogram claims max_int buckets *)
+  let node =
+    String.concat ""
+      [ ints [ 0 ];
+        (* sid *)
+        ints [ 1 ];
+        "p";
+        (* label, length 1 *)
+        ints [ 1; 3 ];
+        (* vtype numeric, count 3 *)
+        ints [ 1; max_int ]
+        (* vsumm tag Vnum, hostile bucket count *) ]
+  in
+  expect_bad_length "huge histogram"
+    (forged_v2 ~header:(ints [ 5; 0; 1 ]) ~terms:(ints [ 0 ]) ~nodes:node);
+  (* a string whose length runs past its section *)
+  let node = ints [ 0; max_int ] in
+  expect_bad_length "string past section"
+    (forged_v2 ~header:(ints [ 5; 0; 1 ]) ~terms:(ints [ 0 ]) ~nodes:node)
+
+(* ---- version negotiation ------------------------------------------------- *)
+
+let est syn q = Xc_core.Estimate.selectivity syn (Xc_twig.Twig_parse.parse q)
+
+let test_v1_still_decodes () =
+  let syn = force "imdb" in
+  let v1 = Codec.to_string_v1 syn in
+  match Codec.of_string v1 with
+  | Error e -> Alcotest.failf "v1 decode failed: %s" (Codec.error_to_string e)
+  | Ok decoded ->
+    check Alcotest.int "same nodes" (S.n_nodes syn) (S.n_nodes decoded);
+    check Alcotest.int "same edges" (S.n_edges syn) (S.n_edges decoded);
+    List.iter
+      (fun q ->
+        check (Alcotest.float 0.0) ("estimate " ^ q) (est syn q) (est decoded q))
+      [ "//movie/year[. > 1990]"; "//movie[year > 1990]"; "//movie/title" ];
+    (match Codec.verify_string v1 with
+    | Ok info ->
+      check Alcotest.int "v1 version" 1 info.Codec.i_version;
+      check Alcotest.bool "v1 has no checksums" false info.Codec.i_checksummed
+    | Error e -> Alcotest.failf "v1 verify failed: %s" (Codec.error_to_string e))
+
+let test_unsupported_version () =
+  let b = Buffer.create 16 in
+  Buffer.add_string b "XCLU";
+  put_int b 99;
+  match Codec.of_string (Buffer.contents b) with
+  | Error (Codec.Unsupported_version 99) -> ()
+  | Error e -> Alcotest.failf "expected Unsupported_version, got %s" (Codec.error_to_string e)
+  | Ok _ -> Alcotest.fail "version-99 input decoded"
+
+(* ---- XC_FAULTS parsing ---------------------------------------------------- *)
+
+let test_fault_config_parsing () =
+  (match Fault.config_of_string "seed=9,p=0.25,kinds=truncate+eio,sites=safe_io.rename" with
+  | Ok cfg ->
+    check Alcotest.int "seed" 9 cfg.Fault.seed;
+    check (Alcotest.float 0.0) "prob" 0.25 cfg.Fault.prob;
+    check Alcotest.bool "kinds" true (cfg.Fault.kinds = [ Fault.Truncate; Fault.Eio ]);
+    check Alcotest.bool "sites" true (cfg.Fault.sites = [ "safe_io.rename" ])
+  | Error msg -> Alcotest.failf "parse failed: %s" msg);
+  (match Fault.config_of_string "kinds=all" with
+  | Ok cfg -> check Alcotest.int "all kinds" 5 (List.length cfg.Fault.kinds)
+  | Error msg -> Alcotest.failf "parse failed: %s" msg);
+  List.iter
+    (fun bad ->
+      match Fault.config_of_string bad with
+      | Ok _ -> Alcotest.failf "accepted malformed spec %S" bad
+      | Error _ -> ())
+    [ "seed=x"; "p=2.0"; "kinds=frobnicate"; "nonsense"; "what=ever" ]
+
+(* ---- Safe_io crash simulation --------------------------------------------
+   The atomic-replace property: however a save dies — before, during,
+   or after the temp write, at fsync, or at the rename — the previous
+   file's bytes are what a reader sees. *)
+
+let with_faults cfg f =
+  let previous = Fault.current () in
+  Fault.configure (Some cfg);
+  Fun.protect ~finally:(fun () -> Fault.configure previous) f
+
+let faults ?(sites = []) ?(prob = 1.0) kinds = { Fault.seed = 5; prob; kinds; sites }
+
+let read_exn path =
+  match Safe_io.read path with
+  | Ok s -> s
+  | Error e -> Alcotest.failf "read %s failed: %s" path (Safe_io.error_to_string e)
+
+let in_temp_dir f =
+  let dir = Filename.temp_file "xc_fault" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+      Unix.rmdir dir)
+    (fun () -> f dir)
+
+let test_atomic_replace_survives_faults () =
+  in_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "synopsis.bin" in
+  (match Safe_io.write_atomic path "generation-one" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "initial write failed: %s" (Safe_io.error_to_string e));
+  (* a crash between temp-write and rename: the old file is intact *)
+  List.iter
+    (fun (what, kinds, sites) ->
+      with_faults (faults ~sites kinds) (fun () ->
+          match Safe_io.write_atomic path "generation-two" with
+          | Ok () -> Alcotest.failf "%s: write unexpectedly succeeded" what
+          | Error _ ->
+            check Alcotest.string
+              (what ^ ": previous contents intact")
+              "generation-one" (read_exn path);
+            check Alcotest.(list string)
+              (what ^ ": no temp litter")
+              [ "synopsis.bin" ]
+              (Array.to_list (Sys.readdir dir))))
+    [ ("die at open", [ Fault.Eio ], [ "safe_io.open" ]);
+      ("die mid-write", [ Fault.Eio ], [ "safe_io.write" ]);
+      ("disk full", [ Fault.Enospc ], [ "safe_io.write" ]);
+      ("short write", [ Fault.Short_write ], [ "safe_io.write" ]);
+      ("die at fsync", [ Fault.Eio ], [ "safe_io.fsync" ]);
+      ("die at rename", [ Fault.Eio ], [ "safe_io.rename" ]) ];
+  (* with faults cleared the replace goes through *)
+  (match Safe_io.write_atomic path "generation-two" with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "clean write failed: %s" (Safe_io.error_to_string e));
+  check Alcotest.string "replaced" "generation-two" (read_exn path)
+
+let test_save_load_under_faults () =
+  in_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "synopsis.syn" in
+  let syn = force "imdb" in
+  (match Codec.save path syn with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "clean save failed: %s" (Codec.error_to_string e));
+  let golden = read_exn path in
+  with_faults (faults ~prob:0.5 [ Fault.Truncate; Fault.Bit_flip; Fault.Enospc; Fault.Eio; Fault.Short_write ])
+    (fun () ->
+      for _ = 1 to 60 do
+        (* every save outcome is typed, and a failed save never
+           touches the target *)
+        (match Codec.save path syn with
+        | Ok () -> ()
+        | Error (Codec.Io _) -> ()
+        | Error e -> Alcotest.failf "unexpected save error: %s" (Codec.error_to_string e)
+        | exception exn -> Alcotest.failf "save raised %s" (Printexc.to_string exn));
+        (* every load outcome is typed: reads pass through the fault
+           sites, so truncation and bit rot surface as decode errors *)
+        match Codec.load path with
+        | Ok decoded ->
+          check Alcotest.int "loaded node count" (S.n_nodes syn) (S.n_nodes decoded)
+        | Error _ -> ()
+        | exception exn -> Alcotest.failf "load raised %s" (Printexc.to_string exn)
+      done);
+  (* after the fault storm: the file is still a valid synopsis *)
+  check Alcotest.string "target only ever held complete encodings" golden (read_exn path);
+  match Codec.load path with
+  | Ok decoded -> check Alcotest.int "still loadable" (S.n_nodes syn) (S.n_nodes decoded)
+  | Error e -> Alcotest.failf "post-fault load failed: %s" (Codec.error_to_string e)
+
+(* ---- verify -------------------------------------------------------------- *)
+
+let test_verify_file () =
+  in_temp_dir @@ fun dir ->
+  let path = Filename.concat dir "v.syn" in
+  let syn = force "dblp" in
+  (match Codec.save path syn with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save failed: %s" (Codec.error_to_string e));
+  (match Codec.verify path with
+  | Ok info ->
+    check Alcotest.int "version" 2 info.Codec.i_version;
+    check Alcotest.int "nodes" (S.n_nodes syn) info.Codec.i_nodes;
+    check Alcotest.bool "checksummed" true info.Codec.i_checksummed
+  | Error e -> Alcotest.failf "verify failed: %s" (Codec.error_to_string e));
+  (* corrupt one payload byte on disk: verify must catch it without
+     decoding *)
+  let b = Bytes.of_string (read_exn path) in
+  Bytes.set b (Bytes.length b - 1) '\255';
+  (match Safe_io.write_atomic path (Bytes.unsafe_to_string b) with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "rewrite failed: %s" (Safe_io.error_to_string e));
+  match Codec.verify path with
+  | Error (Codec.Checksum_mismatch { section = "nodes"; _ }) -> ()
+  | Error e -> Alcotest.failf "expected nodes checksum mismatch, got %s" (Codec.error_to_string e)
+  | Ok _ -> Alcotest.fail "verify accepted a corrupt file"
+
+let () =
+  Alcotest.run ~and_exit:false "fault"
+    [ ( "decode totality",
+        [ Alcotest.test_case "fuzz imdb (2100 mutations)" `Quick (test_fuzz "imdb");
+          Alcotest.test_case "fuzz xmark (2100 mutations)" `Quick (test_fuzz "xmark");
+          Alcotest.test_case "fuzz dblp (2100 mutations)" `Quick (test_fuzz "dblp");
+          Alcotest.test_case "every bit flip detected" `Quick test_every_bit_flip_detected;
+          Alcotest.test_case "clean round trip is bit-exact" `Quick test_roundtrip_bit_exact;
+          Alcotest.test_case "hostile lengths rejected pre-allocation" `Quick
+            test_hostile_lengths ] );
+      ( "versioning",
+        [ Alcotest.test_case "v1 files still decode" `Quick test_v1_still_decodes;
+          Alcotest.test_case "unknown version rejected" `Quick test_unsupported_version ] );
+      ( "fault harness",
+        [ Alcotest.test_case "XC_FAULTS parsing" `Quick test_fault_config_parsing;
+          Alcotest.test_case "atomic replace survives faults" `Quick
+            test_atomic_replace_survives_faults;
+          Alcotest.test_case "save/load under fault storm" `Quick
+            test_save_load_under_faults ] );
+      ("verify", [ Alcotest.test_case "verify catches disk corruption" `Quick test_verify_file ])
+    ]

@@ -144,7 +144,7 @@ let test_persistence_matches_live_estimates () =
   let doc = Xc_data.Xmark.generate ~seed:57 ~scale:0.03 () in
   let reference = Reference.build ~min_extent:4 doc in
   let syn = Build.run (Build.params ~bstr_kb:4 ~bval_kb:30 ()) reference in
-  let loaded = Xc_core.Codec.of_string (Xc_core.Codec.to_string syn) in
+  let loaded = Xc_core.Codec.of_string_exn (Xc_core.Codec.to_string syn) in
   let spec = { Workload.default_spec with n_queries = 30 } in
   let wl = Workload.generate ~spec doc in
   List.iter
