@@ -5,7 +5,7 @@
    Usage:  dune exec bench/main.exe [-- TARGET...]
    Targets: table1 table2 fig8a fig8b fig8c fig9 negative ablation-delta
             ablation-text ablation-numeric auto-split pipeline seal build
-            serve fault micro (default: all of them, in that order)
+            serve fault daemon micro (default: all of them, in that order)
 
    Every run ends with a JSON metrics block (plan compiles, cache and
    reach-memo hit/miss counts, pool candidate evaluations, expansion
@@ -132,14 +132,14 @@ let run_pipeline () =
     | None -> 5
   in
   let ds = Lazy.force imdb in
-  let syn = Xcluster.compress (Xcluster.budget ~bstr_kb:20 ~bval_kb:150 ()) ds.Xc_exp.Runner.reference in
+  let syn = Xcluster.Build.compress (Xcluster.Build.budget ~bstr_kb:20 ~bval_kb:150 ()) ds.Xc_exp.Runner.reference in
   let queries = List.map (fun e -> e.Xc_twig.Workload.query) ds.Xc_exp.Runner.workload in
-  Xcluster.metrics_reset ();
+  Xcluster.Metrics.reset ();
   let t0 = Unix.gettimeofday () in
   let sum_uncached = ref 0.0 in
   for _ = 1 to passes do
     List.iter
-      (fun q -> sum_uncached := !sum_uncached +. Xcluster.estimate_uncached syn q)
+      (fun q -> sum_uncached := !sum_uncached +. Xcluster.Query.estimate_uncached syn q)
       queries
   done;
   let t_uncached = Unix.gettimeofday () -. t0 in
@@ -156,7 +156,7 @@ let run_pipeline () =
     List.fold_left
       (fun acc q ->
         Float.max acc
-          (Float.abs (Xcluster.estimate_uncached syn q -. Xc_core.Plan.Cache.estimate cache q)))
+          (Float.abs (Xcluster.Query.estimate_uncached syn q -. Xc_core.Plan.Cache.estimate cache q)))
       0.0 queries
   in
   Format.fprintf ppf
@@ -169,7 +169,7 @@ let run_pipeline () =
   Format.fprintf ppf "  speedup:  %.1fx   max |planned - uncached| = %g@."
     (t_uncached /. Float.max t_planned 1e-9)
     max_diff;
-  Format.fprintf ppf "  metrics: %s@." (Xcluster.metrics_json ())
+  Format.fprintf ppf "  metrics: %s@." (Xcluster.Metrics.json ())
 
 (* ---- frozen-vs-builder estimation (the Builder/Sealed split) -----------
    The same XMark workload estimated through the hashtable-walking
@@ -417,8 +417,8 @@ let run_serve () =
   let ds = Lazy.force xmark in
   let syn =
     timed "serve: xclusterbuild" (fun () ->
-        Xcluster.compress
-          (Xcluster.budget ~bstr_kb:20 ~bval_kb:150 ())
+        Xcluster.Build.compress
+          (Xcluster.Build.budget ~bstr_kb:20 ~bval_kb:150 ())
           ds.Xc_exp.Runner.reference)
   in
   let queries = Xc_exp.Runner.workload_queries ds in
@@ -434,7 +434,7 @@ let run_serve () =
   let t0 = Unix.gettimeofday () in
   let prepared = Xc_core.Plan.Batch.prepare engine queries in
   let prepare_s = Unix.gettimeofday () -. t0 in
-  Xcluster.metrics_reset ();
+  Xcluster.Metrics.reset ();
   Xc_util.Par.reset_usage ();
   let batch = ref [||] in
   let t0 = Unix.gettimeofday () in
@@ -635,6 +635,304 @@ let run_fault () =
     exit 1
   end
 
+(* ---- estimation daemon -------------------------------------------------
+   The serving-daemon benchmark behind BENCH_daemon.json: a forked
+   daemon process answering Estimate_batch frames over a Unix socket,
+   driven by 1 and 4 concurrent clients (domains doing only socket
+   I/O). Reports end-to-end throughput and client-observed request
+   latency percentiles per client count. Correctness gates (any failure
+   exits non-zero): every batch answer bit-identical to
+   estimate_uncached on the artifact the daemon serves (max_diff 0);
+   the daemon survives a fault storm on its socket-read site without
+   exiting; shutdown is acknowledged and the process exits 0. *)
+
+let run_daemon () =
+  let module Serve = Xcluster.Serve in
+  let module Fault = Xc_util.Fault in
+  let passes =
+    match Sys.getenv_opt "XC_PASSES" with
+    | Some s -> (try int_of_string s with Failure _ -> 3)
+    | None -> 3
+  in
+  let client_counts = [ 1; 4 ] in
+  let dir = Filename.temp_file "xc_daemon" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let syn_path = Filename.concat dir "bench.syn" in
+  let endpoint = Serve.Protocol.Unix_sock (Filename.concat dir "bench.sock") in
+  let storm_endpoint = Serve.Protocol.Unix_sock (Filename.concat dir "storm.sock") in
+  let ds = Lazy.force xmark in
+  let syn =
+    timed "daemon: build" (fun () ->
+        Xcluster.Build.compress
+          (Xcluster.Build.budget ~bstr_kb:20 ~bval_kb:150 ())
+          ds.Xc_exp.Runner.reference)
+  in
+  (match Xcluster.Store.save syn_path syn with
+  | Ok () -> ()
+  | Error e ->
+    Format.fprintf ppf "  ERROR: save: %s@." (Xc_core.Codec.error_to_string e);
+    exit 1);
+  (* the daemon parses query source text: render the workload back to
+     source (Twig_query.pp minus its leading "."), and compute the
+     reference estimates by the exact path the daemon takes — parse the
+     source, estimate uncached on the loaded artifact *)
+  let loaded =
+    match Xcluster.Store.load syn_path with
+    | Ok s -> s
+    | Error e ->
+      Format.fprintf ppf "  ERROR: load: %s@." (Xc_core.Codec.error_to_string e);
+      exit 1
+  in
+  let sources =
+    Array.map
+      (fun q ->
+        let s = Format.asprintf "%a" Xc_twig.Twig_query.pp q in
+        if String.length s > 0 && s.[0] = '.' then
+          String.sub s 1 (String.length s - 1)
+        else s)
+      (Xc_exp.Runner.workload_queries ds)
+  in
+  let nq = Array.length sources in
+  let reference =
+    Array.map
+      (fun src -> Xcluster.Query.estimate_uncached loaded (Xcluster.Query.parse src))
+      sources
+  in
+  (* children inherit the parent's fault state at fork time: hold it at
+     None for the measured phase (even under an ambient XC_FAULTS), arm
+     the storm only for the storm daemon *)
+  let ambient = Fault.current () in
+  Fault.configure None;
+  let fork_daemon endpoint =
+    (* flush before forking so the child cannot duplicate buffered
+       output. Both daemons are forked here, before the client domains
+       spawn: the OCaml 5 runtime refuses Unix.fork once any other
+       domain has been created. *)
+    Format.pp_print_flush ppf ();
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      (try
+         let registry = Serve.Registry.create ~max_engines:4 () in
+         Serve.Registry.add_source registry ~name:"bench" ~path:syn_path;
+         let config =
+           { Serve.Daemon.endpoint; max_engines = 4; options = Serve.default_options }
+         in
+         Serve.Daemon.run ~config registry
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+    | pid -> pid
+  in
+  let wait_ready endpoint =
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let rec loop () =
+      match Serve.Client.connect endpoint with
+      | Ok c -> Serve.Client.close c
+      | Error _ when Unix.gettimeofday () < deadline ->
+        ignore (Unix.select [] [] [] 0.05);
+        loop ()
+      | Error e ->
+        Format.fprintf ppf "  ERROR: daemon not accepting: %s@."
+          (Serve.Error.to_string e);
+        exit 1
+    in
+    loop ()
+  in
+  let violations = ref 0 in
+  let pid = fork_daemon endpoint in
+  (* the storm daemon inherits Truncate+Bit_flip faults armed on its
+     socket-read site AND its artifact-load site; it idles until the
+     storm phase below *)
+  let storm_rounds = 100 in
+  Fault.configure
+    (Some
+       { Fault.seed = 7; prob = 0.3; kinds = [ Fault.Truncate; Fault.Bit_flip ];
+         sites = [ "serve.recv"; "codec.load" ] });
+  let storm_pid = fork_daemon storm_endpoint in
+  Fault.configure None;
+  wait_ready endpoint;
+  (* measured phase: [clients] concurrent connections, each streaming
+     [passes] whole-workload batch requests *)
+  let measure clients =
+    let worker () =
+      Domain.spawn (fun () ->
+          match Serve.Client.connect endpoint with
+          | Error e -> Error (Serve.Error.to_string e)
+          | Ok c ->
+            let lats = ref [] in
+            let rec go i last =
+              if i = 0 then Ok last
+              else begin
+                let t0 = Unix.gettimeofday () in
+                match Serve.Client.estimate_batch c ~synopsis:"bench" sources with
+                | Ok r ->
+                  lats := (1e6 *. (Unix.gettimeofday () -. t0)) :: !lats;
+                  go (i - 1) r
+                | Error e -> Error (Serve.Error.to_string e)
+              end
+            in
+            let r = go passes [||] in
+            Serve.Client.close c;
+            match r with Ok last -> Ok (last, !lats) | Error e -> Error e)
+    in
+    let t0 = Unix.gettimeofday () in
+    let domains = List.init clients (fun _ -> worker ()) in
+    let results = List.map Domain.join domains in
+    let wall = Unix.gettimeofday () -. t0 in
+    let max_diff = ref 0.0 in
+    let m = Xc_util.Metrics.create () in
+    List.iter
+      (fun r ->
+        match r with
+        | Error e ->
+          Format.fprintf ppf "  ERROR: client failed: %s@." e;
+          incr violations
+        | Ok (last, lats) ->
+          if Array.length last <> nq then begin
+            Format.fprintf ppf "  ERROR: short batch answer (%d of %d)@."
+              (Array.length last) nq;
+            incr violations
+          end
+          else
+            Array.iteri
+              (fun i v ->
+                if Int64.bits_of_float v <> Int64.bits_of_float reference.(i) then
+                  max_diff :=
+                    Float.max !max_diff (Float.abs (v -. reference.(i))))
+              last;
+          List.iter (fun l -> Xc_util.Metrics.observe m "daemon.request_us" l) lats)
+      results;
+    let p50, p95, p99 =
+      match
+        Xc_util.Metrics.quantiles m "daemon.request_us" [ 0.5; 0.95; 0.99 ]
+      with
+      | Some [ (_, a); (_, b); (_, c) ] -> (a, b, c)
+      | _ -> (0.0, 0.0, 0.0)
+    in
+    let answered = clients * passes * nq in
+    let qps = float_of_int answered /. Float.max wall 1e-9 in
+    if !max_diff <> 0.0 then incr violations;
+    Format.fprintf ppf
+      "  %d client(s): %.0f estimates/s   request p50 %.0f us  p95 %.0f us  p99 %.0f us   max |daemon - uncached| = %g@."
+      clients qps p50 p95 p99 !max_diff;
+    (clients, qps, p50, p95, p99, !max_diff)
+  in
+  Format.fprintf ppf "@.Estimation daemon (%s: %d queries x %d passes per client)@."
+    ds.Xc_exp.Runner.name nq passes;
+  let measured = List.map measure client_counts in
+  (* clean shutdown of the measured daemon *)
+  let shutdown_clean =
+    match Serve.Client.connect endpoint with
+    | Error _ -> false
+    | Ok c ->
+      let ok = Serve.Client.shutdown c = Ok () in
+      Serve.Client.close c;
+      ok
+  in
+  let exit_clean =
+    shutdown_clean
+    && (match Unix.waitpid [] pid with _, Unix.WEXITED 0 -> true | _ -> false)
+  in
+  if not exit_clean then begin
+    Format.fprintf ppf "  ERROR: daemon did not shut down cleanly@.";
+    (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+    incr violations
+  end;
+  (* storm phase: requests against the fault-armed daemon may fail with
+     typed errors (and it drops damaged connections), but the process
+     itself must survive the whole storm and still acknowledge a
+     shutdown *)
+  wait_ready storm_endpoint;
+  let storm_ok = ref 0 and storm_err = ref 0 in
+  for i = 0 to storm_rounds - 1 do
+    match Serve.Client.connect storm_endpoint with
+    | Error _ -> incr storm_err
+    | Ok c ->
+      (* every few rounds, a reload drives the storm through the
+         artifact-load site too (a faulted load is skipped and counted,
+         keeping the previously admitted synopsis) *)
+      (if i mod 5 = 0 then
+         match Serve.Client.reload c with
+         | Ok _ -> incr storm_ok
+         | Error _ -> incr storm_err
+       else
+         match
+           Serve.Client.estimate c ~synopsis:"bench" ~query:sources.(i mod nq)
+         with
+         | Ok _ -> incr storm_ok
+         | Error _ -> incr storm_err);
+      Serve.Client.close c
+  done;
+  let survived =
+    match Unix.waitpid [ Unix.WNOHANG ] storm_pid with
+    | 0, _ -> true
+    | _ -> false
+  in
+  if not survived then begin
+    Format.fprintf ppf "  ERROR: daemon exited under the socket fault storm@.";
+    incr violations
+  end;
+  (* the shutdown frame itself can be storm-damaged server-side: retry *)
+  let storm_shutdown =
+    if not survived then false
+    else begin
+      let rec retry n =
+        if n = 0 then false
+        else
+          match Serve.Client.connect storm_endpoint with
+          | Error _ -> retry (n - 1)
+          | Ok c ->
+            let r = Serve.Client.shutdown c in
+            Serve.Client.close c;
+            (match r with Ok () -> true | Error _ -> retry (n - 1))
+      in
+      retry 200
+      && (match Unix.waitpid [] storm_pid with
+         | _, Unix.WEXITED 0 -> true
+         | _ -> false)
+    end
+  in
+  if survived && not storm_shutdown then begin
+    Format.fprintf ppf "  ERROR: storm daemon refused a clean shutdown@.";
+    (try Unix.kill storm_pid Sys.sigkill with Unix.Unix_error _ -> ());
+    ignore (Unix.waitpid [] storm_pid);
+    incr violations
+  end;
+  Format.fprintf ppf
+    "  storm: %d requests (%d answered, %d typed errors), survived: %b, clean shutdown: %b@."
+    storm_rounds !storm_ok !storm_err survived storm_shutdown;
+  Fault.configure ambient;
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let per_count =
+    String.concat ","
+      (List.map
+         (fun (clients, qps, p50, p95, p99, max_diff) ->
+           Printf.sprintf
+             "{\"clients\":%d,\"qps\":%.0f,\"p50_us\":%.2f,\"p95_us\":%.2f,\"p99_us\":%.2f,\"max_diff\":%g}"
+             clients qps p50 p95 p99 max_diff)
+         measured)
+  in
+  let json =
+    Printf.sprintf
+      "{\"ts\":%.0f,\"dataset\":%S,\"scale\":%.3f,\"queries\":%d,\"passes\":%d,\"runs\":[%s],\"storm_rounds\":%d,\"storm_ok\":%d,\"storm_err\":%d,\"storm_survived\":%b,\"shutdown_clean\":%b,\"storm_shutdown_clean\":%b}"
+      (Unix.gettimeofday ()) ds.Xc_exp.Runner.name scale nq passes per_count
+      storm_rounds !storm_ok !storm_err survived exit_clean storm_shutdown
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_daemon.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf ppf "  appended to BENCH_daemon.json@.";
+  if !violations > 0 then begin
+    Format.fprintf ppf "  ERROR: %d daemon-serving violations@." !violations;
+    exit 1
+  end
+
 (* ---- Bechamel micro-benchmarks ---------------------------------------- *)
 
 let micro_tests () =
@@ -718,6 +1016,7 @@ let targets =
     ("build", run_build);
     ("serve", run_serve);
     ("fault", run_fault);
+    ("daemon", run_daemon);
     ("micro", run_micro) ]
 
 let () =
@@ -738,5 +1037,5 @@ let () =
         exit 1)
     requested;
   (* pipeline metrics accumulated across every target above *)
-  Format.fprintf ppf "@.metrics: %s@." (Xcluster.metrics_json ());
+  Format.fprintf ppf "@.metrics: %s@." (Xcluster.Metrics.json ());
   Format.pp_print_flush ppf ()

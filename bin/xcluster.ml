@@ -6,18 +6,24 @@
      build     build an XCluster synopsis for an XML file and report sizes
      estimate  estimate (and optionally verify) a twig query's selectivity
      verify    check a saved synopsis's integrity without loading it
+     serve     run the multi-synopsis estimation daemon
+     client    talk to a running daemon
 
    Examples:
      xcluster gen -d imdb -s 0.1 -o imdb.xml
      xcluster inspect imdb.xml
      xcluster estimate imdb.xml -q "//movie[year > 1990]/title" --verify
      xcluster verify imdb.syn
+     xcluster serve --socket /tmp/xc.sock --synopsis imdb=imdb.syn
+     xcluster client estimate --socket /tmp/xc.sock -s imdb -q "//movie/title"
+     xcluster client shutdown --socket /tmp/xc.sock
 
    Exit codes (every command):
      0    success
      1    verify: the synopsis file failed its integrity check
-     2    malformed or corrupt input (XML syntax error, corrupt synopsis)
-     3    internal error
+     2    malformed or corrupt input (XML syntax error, corrupt synopsis,
+          unknown synopsis name, unreachable daemon)
+     3    internal error (including daemon-side protocol violations)
      124  command-line usage error (cmdliner) *)
 
 open Cmdliner
@@ -166,18 +172,18 @@ let build_cmd =
   let run file typing_name bstr bval save =
     guarded @@ fun () ->
     let doc = load ~typing_name file in
-    let reference = Xcluster.reference doc in
-    Format.printf "reference: %a@." Xcluster.builder_stats reference;
+    let reference = Xcluster.Build.reference doc in
+    Format.printf "reference: %a@." Xcluster.Build.builder_stats reference;
     let t0 = Unix.gettimeofday () in
-    let syn = Xcluster.compress (Xcluster.budget ~bstr_kb:bstr ~bval_kb:bval ()) reference in
-    Format.printf "xcluster:  %a  (built in %.2fs)@." Xcluster.pp_stats syn
+    let syn = Xcluster.Build.compress (Xcluster.Build.budget ~bstr_kb:bstr ~bval_kb:bval ()) reference in
+    Format.printf "xcluster:  %a  (built in %.2fs)@." Xcluster.Query.pp_stats syn
       (Unix.gettimeofday () -. t0);
-    (match Xcluster.validate syn with
+    (match Xcluster.Query.validate syn with
     | Ok () -> ()
     | Error e -> Fmt.failwith "synopsis failed validation: %s" e);
     (match save with
     | Some path -> (
-      match Xcluster.save_result path syn with
+      match Xcluster.Store.save path syn with
       | Ok () ->
         Format.printf "saved to %s (%d bytes on disk)@." path
           (Xc_core.Codec.size_on_disk syn)
@@ -213,27 +219,27 @@ let workload_cmd =
     guarded @@ fun () ->
     let doc = load ~typing_name file in
     let syn =
-      Xcluster.build ~budget:(Xcluster.budget ~bstr_kb:bstr ~bval_kb:bval ()) doc
+      Xcluster.Build.run ~budget:(Xcluster.Build.budget ~bstr_kb:bstr ~bval_kb:bval ()) doc
     in
     let spec = { Xc_twig.Workload.default_spec with n_queries = n; seed } in
     let wl = Xc_twig.Workload.generate ~spec doc in
     let sanity = Xc_twig.Workload.sanity_bound wl in
     let estimator =
-      if not batch then Xcluster.estimate syn
+      if not batch then Xcluster.Query.estimate syn
       else begin
         let queries =
           Array.of_list (List.map (fun e -> e.Xc_twig.Workload.query) wl)
         in
-        Xcluster.metrics_reset ();
+        Xcluster.Metrics.reset ();
         let t0 = Unix.gettimeofday () in
-        let results = Xcluster.estimate_batch syn queries in
+        let results = Xcluster.Serve.estimate_batch_exn syn queries in
         let dt = Unix.gettimeofday () -. t0 in
         let m = Xc_util.Metrics.global in
         Format.printf
           "batch: %d queries in %.1f ms (%.0f qps, %d matrices, %d domains used)@."
           (Array.length queries) (1000.0 *. dt)
           (float_of_int (Array.length queries) /. Float.max dt 1e-9)
-          (Xc_core.Plan.Batch.n_matrices (Xcluster.batch_engine syn))
+          (Xc_core.Plan.Batch.n_matrices (Xcluster.Serve.batch_engine syn))
           (Xc_util.Par.max_used ());
         (match
            Xc_util.Metrics.quantiles m "estimate.batch_us" [ 0.5; 0.95; 0.99 ]
@@ -310,11 +316,11 @@ let estimate_cmd =
   let run file typing_name bstr bval synopsis query verify explain stats =
     guarded @@ fun () ->
     let doc = load ~typing_name file in
-    let q = Xcluster.parse_query query in
+    let q = Xcluster.Query.parse query in
     let syn =
       match synopsis with
       | Some path -> (
-        match Xcluster.load_result path with
+        match Xcluster.Store.load path with
         | Ok syn -> syn
         | Error e ->
           raise
@@ -322,10 +328,10 @@ let estimate_cmd =
                (Printf.sprintf "%s: corrupt synopsis: %s" path
                   (Xc_core.Codec.error_to_string e))))
       | None ->
-        Xcluster.build ~budget:(Xcluster.budget ~bstr_kb:bstr ~bval_kb:bval ()) doc
+        Xcluster.Build.run ~budget:(Xcluster.Build.budget ~bstr_kb:bstr ~bval_kb:bval ()) doc
     in
-    Xcluster.metrics_reset ();
-    let est = Xcluster.estimate syn q in
+    Xcluster.Metrics.reset ();
+    let est = Xcluster.Query.estimate syn q in
     Format.printf "estimate: %.2f binding tuples@." est;
     if verify then begin
       let exact = Xc_twig.Twig_eval.selectivity doc q in
@@ -342,9 +348,9 @@ let estimate_cmd =
               if i < 6 then
                 Format.printf "  cluster %d <%s>: %.1f expected elements@." sid label w)
             e.Xc_core.Estimate.bindings)
-        (Xcluster.explain syn q);
+        (Xcluster.Query.explain syn q);
     if stats then begin
-      Format.printf "metrics: %s@." (Xcluster.metrics_json ());
+      Format.printf "metrics: %s@." (Xcluster.Metrics.json ());
       match
         Xc_util.Metrics.quantiles Xc_util.Metrics.global "estimate.plan_us"
           [ 0.5; 0.95; 0.99 ]
@@ -371,7 +377,7 @@ let verify_cmd =
   in
   let run file =
     guarded @@ fun () ->
-    match Xcluster.verify_file file with
+    match Xcluster.Store.verify file with
     | Ok info ->
       Format.printf "%s: OK (format v%d, %d nodes, %d bytes, %s)@." file
         info.Xc_core.Codec.i_version info.Xc_core.Codec.i_nodes
@@ -391,6 +397,252 @@ let verify_cmd =
           building the synopsis. Exits 0 when intact, 1 when corrupt.")
     Term.(const run $ file)
 
+(* ---- serve -------------------------------------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "xcluster.sock"
+    & info [ "socket" ] ~docv:"ENDPOINT"
+        ~doc:
+          "Daemon endpoint: $(b,unix:PATH), $(b,tcp:HOST:PORT), or a bare \
+           path (taken as a Unix socket).")
+
+let endpoint_of socket =
+  match Xcluster.Serve.Protocol.endpoint_of_string socket with
+  | Ok e -> e
+  | Error msg -> raise (Usage msg)
+
+let serve_options ~domains ~strict =
+  try
+    Xcluster.Serve.options ?domains
+      ~fallback:(if strict then Xcluster.Serve.Strict else Xcluster.Serve.Degrade)
+      ()
+  with Invalid_argument msg -> raise (Usage msg)
+
+let serve_cmd =
+  let synopsis_args =
+    Arg.(
+      value & opt_all string []
+      & info [ "synopsis" ] ~docv:"NAME=PATH"
+          ~doc:
+            "Serve the synopsis artifact at $(i,PATH) under $(i,NAME) \
+             (repeatable). A corrupt artifact is skipped and counted, not \
+             fatal.")
+  in
+  let dir_arg =
+    Arg.(
+      value & opt (some dir) None
+      & info [ "dir" ] ~docv:"DIR"
+          ~doc:
+            "Serve every $(b,*.syn) file in $(i,DIR), named by basename \
+             without the extension.")
+  in
+  let max_engines_arg =
+    Arg.(
+      value & opt int 8
+      & info [ "max-engines" ] ~docv:"N"
+          ~doc:
+            "Bound of the batch-engine LRU: at most $(i,N) synopses keep \
+             their compiled engines resident at once.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Default domain count for batch evaluation when a request does \
+             not pin its own (falls back to $(b,XC_DOMAINS) when omitted).")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:
+            "Answer engine trouble with error frames instead of degrading \
+             to uncached estimation.")
+  in
+  let run socket synopses dir max_engines domains strict =
+    guarded @@ fun () ->
+    let endpoint = endpoint_of socket in
+    let options = serve_options ~domains ~strict in
+    if max_engines < 1 then raise (Usage "--max-engines must be >= 1");
+    let registry = Xcluster.Serve.Registry.create ~max_engines () in
+    List.iter
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | Some i when i > 0 ->
+          Xcluster.Serve.Registry.add_source registry
+            ~name:(String.sub spec 0 i)
+            ~path:(String.sub spec (i + 1) (String.length spec - i - 1))
+        | _ ->
+          raise (Usage (Printf.sprintf "--synopsis %S: expected NAME=PATH" spec)))
+      synopses;
+    (match dir with
+    | Some d -> (
+      match Xcluster.Serve.Registry.add_dir registry d with
+      | Ok () -> ()
+      | Error e ->
+        raise (Corrupt_input (Xcluster.Serve.Error.to_string e)))
+    | None -> ());
+    if Xcluster.Serve.Registry.sources registry = [] then
+      raise (Usage "nothing to serve: give --synopsis NAME=PATH and/or --dir DIR");
+    let config =
+      { Xcluster.Serve.Daemon.endpoint; max_engines; options }
+    in
+    let on_ready endpoint =
+      Format.printf "xcluster serve: listening on %s (%d synopses admitted)@."
+        (Xcluster.Serve.Protocol.endpoint_to_string endpoint)
+        (Xcluster.Serve.Registry.n_admitted registry);
+      Format.print_flush ()
+    in
+    Xcluster.Serve.Daemon.run ~config ~on_ready registry;
+    Format.printf "xcluster serve: shut down cleanly@.";
+    0
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the multi-synopsis estimation daemon: load the named artifacts \
+          through the verifying codec (corrupt ones skipped and counted), \
+          bind the endpoint, and answer $(b,client) requests until a \
+          shutdown frame arrives.")
+    Term.(
+      const run $ socket_arg $ synopsis_args $ dir_arg $ max_engines_arg
+      $ domains_arg $ strict_arg)
+
+(* ---- client ------------------------------------------------------------- *)
+
+let client_cmd =
+  let op_arg =
+    Arg.(
+      required
+      & pos 0 (some (enum
+          [ ("estimate", `Estimate); ("batch", `Batch); ("list", `List);
+            ("stats", `Stats); ("reload", `Reload); ("shutdown", `Shutdown) ]))
+          None
+      & info [] ~docv:"OP"
+          ~doc:
+            "One of $(b,estimate), $(b,batch), $(b,list), $(b,stats), \
+             $(b,reload), $(b,shutdown).")
+  in
+  let name_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "s"; "name" ] ~docv:"NAME"
+          ~doc:"Synopsis name ($(b,estimate) and $(b,batch)).")
+  in
+  let query_args =
+    Arg.(
+      value & opt_all string []
+      & info [ "q"; "query" ] ~docv:"TWIG"
+          ~doc:
+            "Twig query source text; repeatable for $(b,batch), exactly one \
+             for $(b,estimate).")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Pin the daemon-side domain count for this batch.")
+  in
+  let strict_arg =
+    Arg.(
+      value & flag
+      & info [ "strict" ]
+          ~doc:"Refuse degraded (uncached) evaluation for this batch.")
+  in
+  (* Errors out of the serving layer map onto the tool's exit codes:
+     protocol damage and daemon-internal trouble are [exit_internal];
+     everything the caller can fix — unknown name, bad query, corrupt
+     artifact, unreachable daemon — is [exit_corrupt]. *)
+  let fail (e : Xcluster.Serve.error) =
+    Format.eprintf "xcluster: %s@." (Xcluster.Serve.Error.to_string e);
+    match e with
+    | Xcluster.Serve.Error.Protocol _ -> exit_internal
+    | _ -> exit_corrupt
+  in
+  let with_client endpoint f =
+    match Xcluster.Serve.Client.connect endpoint with
+    | Error e -> fail e
+    | Ok c ->
+      let r = f c in
+      Xcluster.Serve.Client.close c;
+      r
+  in
+  let run socket op name queries domains strict =
+    guarded @@ fun () ->
+    let endpoint = endpoint_of socket in
+    let require_name () =
+      match name with
+      | Some n -> n
+      | None -> raise (Usage "this operation needs --name NAME")
+    in
+    with_client endpoint @@ fun c ->
+    match op with
+    | `Estimate -> (
+      let synopsis = require_name () in
+      let query =
+        match queries with
+        | [ q ] -> q
+        | _ -> raise (Usage "estimate takes exactly one -q QUERY")
+      in
+      match Xcluster.Serve.Client.estimate c ~synopsis ~query with
+      | Ok est ->
+        Format.printf "%.6f@." est;
+        0
+      | Error e -> fail e)
+    | `Batch -> (
+      let synopsis = require_name () in
+      if queries = [] then raise (Usage "batch needs at least one -q QUERY");
+      let options = serve_options ~domains ~strict in
+      let qs = Array.of_list queries in
+      match Xcluster.Serve.Client.estimate_batch c ~options ~synopsis qs with
+      | Ok ests ->
+        Array.iteri (fun i est -> Format.printf "%s\t%.6f@." qs.(i) est) ests;
+        0
+      | Error e -> fail e)
+    | `List -> (
+      match Xcluster.Serve.Client.list_synopses c with
+      | Ok listed ->
+        Array.iter
+          (fun l ->
+            Format.printf "%s\t%d nodes\t%d edges\t%d bytes@."
+              l.Xcluster.Serve.Protocol.l_name l.Xcluster.Serve.Protocol.l_nodes
+              l.Xcluster.Serve.Protocol.l_edges l.Xcluster.Serve.Protocol.l_bytes)
+          listed;
+        0
+      | Error e -> fail e)
+    | `Stats -> (
+      match Xcluster.Serve.Client.stats c with
+      | Ok json ->
+        Format.printf "%s@." json;
+        0
+      | Error e -> fail e)
+    | `Reload -> (
+      match Xcluster.Serve.Client.reload c with
+      | Ok r ->
+        Format.printf "reloaded: %d admitted, %d skipped@."
+          r.Xcluster.Serve.Registry.loaded r.Xcluster.Serve.Registry.skipped;
+        0
+      | Error e -> fail e)
+    | `Shutdown -> (
+      match Xcluster.Serve.Client.shutdown c with
+      | Ok () ->
+        Format.printf "daemon acknowledged shutdown@.";
+        0
+      | Error e -> fail e)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Talk to a running $(b,serve) daemon: estimate one query or a batch \
+          against a named synopsis, list what the daemon holds, fetch its \
+          metrics, trigger an artifact reload, or shut it down.")
+    Term.(
+      const run $ socket_arg $ op_arg $ name_arg $ query_args $ domains_arg
+      $ strict_arg)
+
 let () =
   let exits =
     Cmd.Exit.info ~doc:"on success." 0
@@ -406,4 +658,5 @@ let () =
   exit
     (Cmd.eval'
        (Cmd.group info
-          [ gen_cmd; inspect_cmd; build_cmd; estimate_cmd; workload_cmd; verify_cmd ]))
+          [ gen_cmd; inspect_cmd; build_cmd; estimate_cmd; workload_cmd;
+            verify_cmd; serve_cmd; client_cmd ]))

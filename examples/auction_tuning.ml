@@ -14,11 +14,11 @@ let () =
   Format.printf "auction site: %d elements@." (Xc_xml.Document.n_elements doc);
 
   let synopsis =
-    Xcluster.build ~min_extent:32
-      ~budget:(Xcluster.budget ~bstr_kb:10 ~bval_kb:80 ())
+    Xcluster.Build.run ~min_extent:32
+      ~budget:(Xcluster.Build.budget ~bstr_kb:10 ~bval_kb:80 ())
       doc
   in
-  Format.printf "synopsis: %a@.@." Xcluster.pp_stats synopsis;
+  Format.printf "synopsis: %a@.@." Xcluster.Query.pp_stats synopsis;
 
   (* Candidate driving predicates for a twig over open auctions. *)
   let candidates =
@@ -31,8 +31,8 @@ let () =
   let scored =
     List.map
       (fun q ->
-        let query = Xcluster.parse_query q in
-        let est = Xcluster.estimate synopsis query in
+        let query = Xcluster.Query.parse q in
+        let est = Xcluster.Query.estimate synopsis query in
         let exact = Xc_twig.Twig_eval.selectivity doc query in
         Format.printf "%-52s %10.1f %10.0f@." q est exact;
         (q, est, exact))

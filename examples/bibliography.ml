@@ -29,7 +29,7 @@ let () =
     (Xc_xml.Stats.value_paths stats);
 
   (* Summarize at three budgets and compare estimates on a few twigs. *)
-  let reference = Xcluster.reference doc in
+  let reference = Xcluster.Build.reference doc in
   let queries =
     [ "//movie[year > 1990]/title";
       "//movie[genre contains(Com)]";
@@ -45,15 +45,15 @@ let () =
   let synopses =
     List.map
       (fun (bstr_kb, bval_kb) ->
-        Xcluster.compress (Xcluster.budget ~bstr_kb ~bval_kb ()) reference)
+        Xcluster.Build.compress (Xcluster.Build.budget ~bstr_kb ~bval_kb ()) reference)
       budgets
   in
   List.iter
     (fun q ->
-      let query = Xcluster.parse_query q in
+      let query = Xcluster.Query.parse q in
       Format.printf "%-48s %10.0f" q (Xc_twig.Twig_eval.selectivity doc query);
       List.iter
-        (fun syn -> Format.printf " %8.1f" (Xcluster.estimate syn query))
+        (fun syn -> Format.printf " %8.1f" (Xcluster.Query.estimate syn query))
         synopses;
       Format.printf "@.")
     queries;

@@ -8,8 +8,8 @@ let () =
   let doc = Xc_data.Dblp.generate ~n_authors:1200 () in
   Format.printf "bibliography: %d elements@." (Xc_xml.Document.n_elements doc);
 
-  let reference = Xcluster.reference ~min_extent:8 ~value_min_extent:200 doc in
-  Format.printf "reference: %a@." Xcluster.builder_stats reference;
+  let reference = Xcluster.Build.reference ~min_extent:8 ~value_min_extent:200 doc in
+  Format.printf "reference: %a@." Xcluster.Build.builder_stats reference;
 
   (* a small sample workload drives the automated Bstr/Bval split *)
   let spec = { Xc_twig.Workload.default_spec with n_queries = 60 } in
@@ -17,13 +17,13 @@ let () =
   let sanity = Xc_twig.Workload.sanity_bound sample_workload in
   let sample syn =
     Xc_exp.Error_metric.overall_relative ~sanity
-      (Xc_exp.Error_metric.score (Xcluster.estimate syn) sample_workload)
+      (Xc_exp.Error_metric.score (Xcluster.Query.estimate syn) sample_workload)
   in
-  let chosen, synopsis = Xcluster.auto_split ~total_kb:60 ~sample reference in
+  let chosen, synopsis = Xcluster.Build.auto_split ~total_kb:60 ~sample reference in
   Format.printf "auto split chose Bstr=%dKB Bval=%dKB -> %a@."
     (chosen.Xcluster.bstr / 1024)
     (chosen.Xcluster.bval / 1024)
-    Xcluster.pp_stats synopsis;
+    Xcluster.Query.pp_stats synopsis;
 
   (* the motivating query of the paper's introduction *)
   let q =
@@ -51,17 +51,17 @@ let () =
     | None -> q
   in
   Format.printf "@.query: %s@." q;
-  let query = Xcluster.parse_query q in
-  Format.printf "estimate: %.2f@." (Xcluster.estimate synopsis query);
+  let query = Xcluster.Query.parse q in
+  Format.printf "estimate: %.2f@." (Xcluster.Query.estimate synopsis query);
   Format.printf "exact:    %.0f@." (Xc_twig.Twig_eval.selectivity doc query);
 
   (* Boolean-model variations beyond the paper's conjunctive example *)
   Format.printf "@.Boolean-model variations:@.";
   List.iter
     (fun q ->
-      let query = Xcluster.parse_query q in
+      let query = Xcluster.Query.parse q in
       Format.printf "%-64s est=%8.1f exact=%6.0f@." q
-        (Xcluster.estimate synopsis query)
+        (Xcluster.Query.estimate synopsis query)
         (Xc_twig.Twig_eval.selectivity doc query))
     [ "//paper[abstract ftany(selka, garmonte, mokuzo)]";
       "//paper[year > 2000][abstract ftexcludes(selka)]";

@@ -36,34 +36,34 @@ let () =
 
   (* 2. Build the detailed reference synopsis, then compress it into an
         XCluster within a byte budget (structural + value). *)
-  let reference = Xcluster.reference doc in
-  Format.printf "reference synopsis: %a@." Xcluster.builder_stats reference;
-  let synopsis = Xcluster.compress (Xcluster.budget ~bstr_kb:1 ~bval_kb:2 ()) reference in
-  Format.printf "budgeted XCluster:  %a@." Xcluster.pp_stats synopsis;
+  let reference = Xcluster.Build.reference doc in
+  Format.printf "reference synopsis: %a@." Xcluster.Build.builder_stats reference;
+  let synopsis = Xcluster.Build.compress (Xcluster.Build.budget ~bstr_kb:1 ~bval_kb:2 ()) reference in
+  Format.printf "budgeted XCluster:  %a@." Xcluster.Query.pp_stats synopsis;
 
   (* 3. Ask the paper's introductory query: papers after 2000 whose
         abstract mentions "synopsis" and "xml", projecting titles that
         contain the substring "Tree". *)
   let query =
-    Xcluster.parse_query
+    Xcluster.Query.parse
       "//paper[year > 2000][abstract ftcontains(synopsis, xml)]/title[contains(Tree)]"
   in
   Format.printf "@.query: %a@." Xc_twig.Twig_query.pp query;
   let exact = Xc_twig.Twig_eval.selectivity doc query in
-  let estimate = Xcluster.estimate synopsis query in
+  let estimate = Xcluster.Query.estimate synopsis query in
   Format.printf "exact selectivity:     %.0f binding tuples@." exact;
   Format.printf "estimated selectivity: %.2f binding tuples@." estimate;
 
   (* 4. A few more predicate flavours. *)
   List.iter
     (fun q ->
-      let query = Xcluster.parse_query q in
+      let query = Xcluster.Query.parse q in
       Format.printf "%-58s exact=%-4.0f est=%.2f@." q
         (Xc_twig.Twig_eval.selectivity doc query)
-        (Xcluster.estimate synopsis query))
+        (Xcluster.Query.estimate synopsis query))
     [ "//paper"; "//paper[year in 2000..2003]"; "//book/title[contains(base)]";
       "//paper[abstract ftcontains(twig)]"; "//*[year < 2000]" ];
 
   (* 5. Estimation ran through the compiled pipeline: the per-synopsis
         plan cache and reach memo show up in the metrics snapshot. *)
-  Format.printf "@.pipeline metrics: %s@." (Xcluster.metrics_json ())
+  Format.printf "@.pipeline metrics: %s@." (Xcluster.Metrics.json ())

@@ -12,9 +12,9 @@
 let () =
   let doc = Xc_data.Imdb.generate ~seed:123 ~n_movies:1500 () in
   let synopsis =
-    Xcluster.build ~budget:(Xcluster.budget ~bstr_kb:6 ~bval_kb:48 ()) doc
+    Xcluster.Build.run ~budget:(Xcluster.Build.budget ~bstr_kb:6 ~bval_kb:48 ()) doc
   in
-  Format.printf "synopsis: %a@.@." Xcluster.pp_stats synopsis;
+  Format.printf "synopsis: %a@.@." Xcluster.Query.pp_stats synopsis;
 
   (* Pull a frequent and a rare term out of the actual plot corpus. *)
   let freq = Hashtbl.create 1024 in
@@ -39,9 +39,9 @@ let () =
 
   Format.printf "%-54s %10s %10s@." "query" "estimate" "exact";
   let show q =
-    let query = Xcluster.parse_query q in
+    let query = Xcluster.Query.parse q in
     Format.printf "%-54s %10.2f %10.0f@." q
-      (Xcluster.estimate synopsis query)
+      (Xcluster.Query.estimate synopsis query)
       (Xc_twig.Twig_eval.selectivity doc query)
   in
   show (Printf.sprintf "//movie[plot ftcontains(%s)]" frequent);

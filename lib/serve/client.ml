@@ -1,0 +1,93 @@
+type t = { fd : Unix.file_descr; mutable closed : bool }
+
+let connect endpoint =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let domain, addr =
+    match endpoint with
+    | Protocol.Unix_sock path -> (Unix.PF_UNIX, Unix.ADDR_UNIX path)
+    | Protocol.Tcp (host, port) ->
+      let inet =
+        try Unix.inet_addr_of_string host
+        with Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } -> Unix.inet_addr_loopback
+          | h -> h.Unix.h_addr_list.(0)
+          | exception Not_found -> Unix.inet_addr_loopback)
+      in
+      (Unix.PF_INET, Unix.ADDR_INET (inet, port))
+  in
+  match
+    let fd = Unix.socket domain Unix.SOCK_STREAM 0 in
+    (try Unix.connect fd addr
+     with e ->
+       Unix.close fd;
+       raise e);
+    fd
+  with
+  | fd -> Ok { fd; closed = false }
+  | exception Unix.Unix_error (e, _, _) ->
+    Error
+      (Error.Io
+         (Printf.sprintf "connect %s: %s"
+            (Protocol.endpoint_to_string endpoint)
+            (Unix.error_message e)))
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error (_, _, _) -> ()
+  end
+
+(* One round trip; a server-side error frame comes back through
+   Error.of_wire so the caller matches the same variant everywhere. *)
+let round_trip t req =
+  if t.closed then Error (Error.Io "client is closed")
+  else
+    match Protocol.send t.fd (Protocol.encode_request req) with
+    | Error _ as e -> e
+    | Ok () -> (
+      match Protocol.recv_response t.fd with
+      | Error _ as e -> e
+      | Ok (Protocol.Error_frame { code; message }) ->
+        Error (Error.of_wire code message)
+      | Ok resp -> Ok resp)
+
+let unexpected () = Error (Error.Io "unexpected response kind")
+
+let estimate t ~synopsis ~query =
+  match round_trip t (Protocol.Estimate { synopsis; query }) with
+  | Ok (Protocol.Floats [| v |]) -> Ok v
+  | Ok _ -> unexpected ()
+  | Error _ as e -> e
+
+let estimate_batch t ?(options = Options.default) ~synopsis queries =
+  match round_trip t (Protocol.Estimate_batch { synopsis; queries; options }) with
+  | Ok (Protocol.Floats r) ->
+    if Array.length r = Array.length queries then Ok r else unexpected ()
+  | Ok _ -> unexpected ()
+  | Error _ as e -> e
+
+let list_synopses t =
+  match round_trip t Protocol.List_synopses with
+  | Ok (Protocol.Synopses ls) -> Ok ls
+  | Ok _ -> unexpected ()
+  | Error _ as e -> e
+
+let stats t =
+  match round_trip t Protocol.Stats with
+  | Ok (Protocol.Stats_json json) -> Ok json
+  | Ok _ -> unexpected ()
+  | Error _ as e -> e
+
+let reload t =
+  match round_trip t Protocol.Reload with
+  | Ok (Protocol.Reloaded { loaded; skipped }) ->
+    Ok { Registry.loaded; skipped }
+  | Ok _ -> unexpected ()
+  | Error _ as e -> e
+
+let shutdown t =
+  match round_trip t Protocol.Shutdown with
+  | Ok Protocol.Done -> Ok ()
+  | Ok _ -> unexpected ()
+  | Error _ as e -> e

@@ -1,0 +1,35 @@
+(** Client for the estimation daemon.
+
+    Result-first: every call returns [(_, Error.t) result] — connection
+    trouble, protocol damage, and server-side error frames all arrive
+    through the same {!Error.t} the rest of the serving layer uses.
+    A client is one socket; calls on it are request/response in order
+    (the daemon answers frames in order). Not domain-safe: one client
+    per domain. *)
+
+type t
+
+val connect : Protocol.endpoint -> (t, Error.t) result
+val close : t -> unit
+(** Idempotent. *)
+
+val estimate :
+  t -> synopsis:string -> query:string -> (float, Error.t) result
+(** [query] is twig source text, parsed daemon-side. *)
+
+val estimate_batch :
+  t ->
+  ?options:Options.t ->
+  synopsis:string ->
+  string array ->
+  (float array, Error.t) result
+(** [result.(i)] answers query [i] — floats bit-identical to what the
+    daemon computed (they travel as IEEE-754 bit patterns). *)
+
+val list_synopses : t -> (Protocol.listed array, Error.t) result
+val stats : t -> (string, Error.t) result
+(** The daemon's metrics snapshot as a JSON object. *)
+
+val reload : t -> (Registry.load_report, Error.t) result
+val shutdown : t -> (unit, Error.t) result
+(** Ask the daemon to exit cleanly; [Ok ()] once it acknowledged. *)

@@ -1,0 +1,210 @@
+module Sealed = Xc_core.Synopsis.Sealed
+module Metrics = Xc_util.Metrics
+
+type config = {
+  endpoint : Protocol.endpoint;
+  max_engines : int;
+  options : Options.t;
+}
+
+let default_config =
+  {
+    endpoint = Protocol.Unix_sock "xcluster.sock";
+    max_engines = 8;
+    options = Options.default;
+  }
+
+let stop_requested = Atomic.make false
+let stop () = Atomic.set stop_requested true
+
+(* ---- socket setup ------------------------------------------------------ *)
+
+let bind_endpoint endpoint =
+  match endpoint with
+  | Protocol.Unix_sock path ->
+    (match Unix.lstat path with
+    | { Unix.st_kind = Unix.S_SOCK; _ } -> Unix.unlink path
+    | _ -> Fmt.failwith "daemon: %s exists and is not a socket" path
+    | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (try
+       Unix.bind fd (Unix.ADDR_UNIX path);
+       Unix.listen fd 64
+     with Unix.Unix_error (e, _, _) ->
+       Unix.close fd;
+       Fmt.failwith "daemon: cannot bind %s: %s" path (Unix.error_message e));
+    fd
+  | Protocol.Tcp (host, port) ->
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+          Fmt.failwith "daemon: unknown host %s" host
+        | h -> h.Unix.h_addr_list.(0))
+    in
+    let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try
+       Unix.setsockopt fd Unix.SO_REUSEADDR true;
+       Unix.bind fd (Unix.ADDR_INET (addr, port));
+       Unix.listen fd 64
+     with Unix.Unix_error (e, _, _) ->
+       Unix.close fd;
+       Fmt.failwith "daemon: cannot bind %s:%d: %s" host port
+         (Unix.error_message e));
+    fd
+
+(* ---- request dispatch --------------------------------------------------
+   Every arm is total: failures become error frames, never exceptions
+   out of the dispatcher. *)
+
+let listed_of registry name =
+  match Registry.find registry name with
+  | None -> None
+  | Some syn ->
+    Some
+      {
+        Protocol.l_name = name;
+        l_nodes = Sealed.n_nodes syn;
+        l_edges = Sealed.n_edges syn;
+        l_bytes = Sealed.structural_bytes syn + Sealed.value_bytes syn;
+      }
+
+let error_frame e =
+  Metrics.incr Metrics.global "daemon.request_error";
+  let code, message = Error.to_wire e in
+  Protocol.Error_frame { code; message }
+
+let parse_queries texts =
+  let n = Array.length texts in
+  let out = Array.make n None in
+  let bad = ref None in
+  Array.iteri
+    (fun i text ->
+      if !bad = None then
+        match Xc_twig.Twig_parse.parse text with
+        | q -> out.(i) <- Some q
+        | exception Xc_twig.Twig_parse.Parse_error msg ->
+          bad := Some (Printf.sprintf "query %d: %s" i msg)
+        | exception _ -> bad := Some (Printf.sprintf "query %d: unparsable" i))
+    texts;
+  match !bad with
+  | Some msg -> Error (Error.Query msg)
+  | None -> Ok (Array.map Option.get out)
+
+let dispatch config registry req =
+  match req with
+  | Protocol.Estimate { synopsis; query } -> (
+    match Registry.find registry synopsis with
+    | None -> error_frame (Error.Admission (Printf.sprintf "unknown synopsis %S" synopsis))
+    | Some syn -> (
+      match Xc_twig.Twig_parse.parse query with
+      | exception Xc_twig.Twig_parse.Parse_error msg -> error_frame (Error.Query msg)
+      | exception _ -> error_frame (Error.Query "unparsable query")
+      | q -> (
+        match Engine.estimate_result ~options:config.options syn q with
+        | Ok v -> Protocol.Floats [| v |]
+        | Error e -> error_frame e)))
+  | Protocol.Estimate_batch { synopsis; queries; options } -> (
+    (* the request's options win; a request that left [domains]
+       unpinned inherits the daemon's default *)
+    let options =
+      {
+        options with
+        Options.domains =
+          (match options.Options.domains with
+          | Some _ as d -> d
+          | None -> config.options.Options.domains);
+      }
+    in
+    match Registry.engine registry synopsis with
+    | Error e -> error_frame e
+    | Ok (syn, eng) -> (
+      match parse_queries queries with
+      | Error e -> error_frame e
+      | Ok qs -> (
+        match Engine.estimate_batch_with ~options eng syn qs with
+        | Ok r -> Protocol.Floats r
+        | Error e -> error_frame e)))
+  | Protocol.List_synopses ->
+    Protocol.Synopses
+      (Array.of_list (List.filter_map (listed_of registry) (Registry.names registry)))
+  | Protocol.Stats ->
+    Protocol.Stats_json (Metrics.to_json (Metrics.snapshot Metrics.global))
+  | Protocol.Reload ->
+    let r = Registry.load registry in
+    Protocol.Reloaded { loaded = r.Registry.loaded; skipped = r.Registry.skipped }
+  | Protocol.Shutdown -> Protocol.Done
+
+(* a dispatch arm that slips an exception past its own guards must not
+   kill the connection loop, let alone the daemon *)
+let dispatch_guarded config registry req =
+  try dispatch config registry req
+  with exn -> error_frame (Error.Io (Printexc.to_string exn))
+
+(* ---- connection loop --------------------------------------------------- *)
+
+type conn_outcome = Keep_listening | Shutdown_now
+
+let serve_conn config registry fd =
+  let rec loop () =
+    match Protocol.recv_request fd with
+    | Ok None -> Keep_listening (* client hung up at a frame boundary *)
+    | Error (Error.Protocol _ as e) ->
+      (* a damaged or hostile frame: answer (best-effort) and drop the
+         connection — framing cannot resync after a bad length *)
+      Metrics.incr Metrics.global "daemon.proto_error";
+      ignore (Protocol.send fd (Protocol.encode_response (error_frame e)));
+      Keep_listening
+    | Error _ -> Keep_listening (* socket trouble; nothing to answer on *)
+    | Ok (Some Protocol.Shutdown) ->
+      ignore (Protocol.send fd (Protocol.encode_response Protocol.Done));
+      Shutdown_now
+    | Ok (Some req) -> (
+      Metrics.incr Metrics.global "daemon.requests";
+      let t0 = Unix.gettimeofday () in
+      let resp = dispatch_guarded config registry req in
+      Metrics.observe Metrics.global "daemon.request_us"
+        (1e6 *. (Unix.gettimeofday () -. t0));
+      match Protocol.send fd (Protocol.encode_response resp) with
+      | Ok () -> loop ()
+      | Error _ -> Keep_listening)
+  in
+  loop ()
+
+let run ?(config = default_config) ?(on_ready = fun _ -> ()) registry =
+  (* a client hanging up mid-response must be an EPIPE result, not a
+     fatal signal *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  ignore (Registry.load registry);
+  let listener = bind_endpoint config.endpoint in
+  Atomic.set stop_requested false;
+  on_ready config.endpoint;
+  let rec accept_loop () =
+    if Atomic.get stop_requested then ()
+    else
+      match Unix.accept listener with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | exception Unix.Unix_error (_, _, _) -> accept_loop ()
+      | fd, _ -> (
+        Metrics.incr Metrics.global "daemon.conns";
+        let outcome =
+          try serve_conn config registry fd
+          with exn ->
+            (* nothing inside a connection is allowed to be fatal *)
+            Metrics.incr Metrics.global "daemon.request_error";
+            ignore
+              (Protocol.send fd
+                 (Protocol.encode_response
+                    (error_frame (Error.Io (Printexc.to_string exn)))));
+            Keep_listening
+        in
+        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+        match outcome with Keep_listening -> accept_loop () | Shutdown_now -> ())
+  in
+  accept_loop ();
+  (try Unix.close listener with Unix.Unix_error (_, _, _) -> ());
+  match config.endpoint with
+  | Protocol.Unix_sock path -> (
+    try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
+  | Protocol.Tcp _ -> ()

@@ -1,0 +1,52 @@
+(** The estimation daemon: one warm process, many synopses, zero
+    per-request prepare cost.
+
+    {!run} binds an endpoint (Unix or TCP socket), then serves
+    connections sequentially: each connection is a stream of request
+    frames ({!Protocol}) answered in order. Batch evaluation inside a
+    request is {!Xc_util.Par}-sharded across domains, so a single
+    daemon saturates the machine's cores on batch traffic while the
+    accept loop stays single-threaded and deterministic.
+
+    {b Failure contract.} The daemon never exits on a per-request
+    failure: unknown synopses, unparsable queries, strict-mode
+    refusals, and internal evaluation errors are answered with typed
+    error frames; a protocol violation on a connection (damaged frame,
+    hostile length, CRC mismatch) is answered best-effort and the
+    connection is closed (framing cannot resync), the listener keeps
+    accepting. Corrupt artifacts at load/reload time are skipped and
+    counted by the {!Registry}. The only ways out of {!run} are a
+    [Shutdown] frame and {!stop}.
+
+    Counters/timers: [daemon.conns], [daemon.requests],
+    [daemon.request_error], [daemon.proto_error], histogram
+    [daemon.request_us]. *)
+
+type config = {
+  endpoint : Protocol.endpoint;
+  max_engines : int;  (** bound of the registry's engine LRU *)
+  options : Options.t;
+      (** defaults for requests that do not pin their own: [domains]
+          applies when a request carries [None]; [fallback] applies to
+          single-estimate requests *)
+}
+
+val default_config : config
+(** Unix socket ["xcluster.sock"] in the working directory, 8 engines,
+    {!Options.default}. *)
+
+val run :
+  ?config:config ->
+  ?on_ready:(Protocol.endpoint -> unit) ->
+  Registry.t ->
+  unit
+(** Load the registry (corrupt artifacts skipped and counted), bind,
+    call [on_ready] once the socket accepts connections, and serve
+    until a [Shutdown] frame arrives. Blocks the calling domain.
+    @raise Failure if the endpoint cannot be bound (that one is fatal:
+    there is no daemon without a socket). *)
+
+val stop : unit -> unit
+(** Ask a daemon running in this process to exit its accept loop after
+    the current connection (for tests driving the loop from another
+    domain; signal-handler safe). *)

@@ -1,0 +1,104 @@
+module Plan = Xc_core.Plan
+module Sealed = Xc_core.Synopsis.Sealed
+module Metrics = Xc_util.Metrics
+
+type synopsis = Sealed.t
+type query = Xc_twig.Twig_query.t
+
+let max_cached = 64
+
+(* One plan cache / batch engine per synopsis, keyed by its
+   process-unique uid (a sealed synopsis never mutates, so a cache
+   stays valid for the synopsis's whole lifetime). *)
+let caches : (int, Plan.Cache.t) Hashtbl.t = Hashtbl.create 16
+let batch_engines : (int, Plan.Batch.t) Hashtbl.t = Hashtbl.create 16
+
+let table_find tbl create syn =
+  let uid = Sealed.uid syn in
+  match Hashtbl.find_opt tbl uid with
+  | Some v -> v
+  | None ->
+    if Hashtbl.length tbl >= max_cached then Hashtbl.reset tbl;
+    let v = create syn in
+    Hashtbl.add tbl uid v;
+    v
+
+let cache_for syn = table_find caches Plan.Cache.create syn
+let batch_for syn = table_find batch_engines Plan.Batch.create syn
+
+let estimate_uncached = Xc_core.Estimate.selectivity
+
+(* Serving never raises on a per-synopsis failure: if the compiled
+   pipeline trips over a synopsis (decoded from a damaged store in a
+   way validation does not model), the estimate falls back to the
+   direct uncached path and the event is counted — the degraded answer
+   is bit-identical, only slower. *)
+let estimate syn q =
+  match
+    let c = cache_for syn in
+    Plan.Cache.estimate_result c q
+  with
+  | Ok v -> v
+  | Error _ | (exception _) ->
+    Metrics.incr Metrics.global "serve.fallback";
+    estimate_uncached syn q
+
+let estimate_result ?(options = Options.default) syn q =
+  match
+    let c = cache_for syn in
+    Plan.Cache.estimate_result c q
+  with
+  | Ok v -> Ok v
+  | Error msg | (exception Failure msg) -> (
+    match options.Options.fallback with
+    | Options.Degrade ->
+      Metrics.incr Metrics.global "serve.fallback";
+      Ok (estimate_uncached syn q)
+    | Options.Strict -> Error (Error.Unavailable msg))
+  | exception exn -> (
+    match options.Options.fallback with
+    | Options.Degrade ->
+      Metrics.incr Metrics.global "serve.fallback";
+      Ok (estimate_uncached syn q)
+    | Options.Strict -> Error (Error.Unavailable (Printexc.to_string exn)))
+
+let estimate_batch_with ?(options = Options.default) engine syn queries =
+  match
+    match options.Options.domains with
+    | Some d -> Plan.Batch.run_result ~domains:d engine queries
+    | None -> Plan.Batch.run_result engine queries
+  with
+  | Ok r -> Ok r
+  | Error msg | (exception Failure msg) -> (
+    match options.Options.fallback with
+    | Options.Degrade ->
+      Metrics.incr Metrics.global "serve.batch_fallback";
+      Ok (Array.map (fun q -> estimate syn q) queries)
+    | Options.Strict -> Error (Error.Unavailable msg))
+  | exception exn -> (
+    match options.Options.fallback with
+    | Options.Degrade ->
+      Metrics.incr Metrics.global "serve.batch_fallback";
+      Ok (Array.map (fun q -> estimate syn q) queries)
+    | Options.Strict -> Error (Error.Unavailable (Printexc.to_string exn)))
+
+let estimate_batch ?options syn queries =
+  match
+    let e = batch_for syn in
+    estimate_batch_with ?options e syn queries
+  with
+  | r -> r
+  | exception exn ->
+    (* engine construction itself failed; estimate_batch_with never
+       raises *)
+    let options = Option.value options ~default:Options.default in
+    (match options.Options.fallback with
+    | Options.Degrade ->
+      Metrics.incr Metrics.global "serve.batch_fallback";
+      Ok (Array.map (fun q -> estimate syn q) queries)
+    | Options.Strict -> Error (Error.Unavailable (Printexc.to_string exn)))
+
+let estimate_batch_exn ?options syn queries =
+  match estimate_batch ?options syn queries with
+  | Ok r -> r
+  | Error e -> failwith (Error.to_string e)

@@ -1,0 +1,53 @@
+type protocol =
+  | Truncated of { need : int }
+  | Bad_tag of int
+  | Bad_length of { len : int; what : string }
+  | Checksum_mismatch of { stored : int; actual : int }
+  | Closed
+
+type t =
+  | Codec of Xc_core.Codec.error
+  | Protocol of protocol
+  | Admission of string
+  | Query of string
+  | Unavailable of string
+  | Io of string
+
+let pp_protocol ppf = function
+  | Truncated { need } ->
+    Format.fprintf ppf "truncated frame (%d more bytes needed)" need
+  | Bad_tag tag -> Format.fprintf ppf "unknown frame tag %d" tag
+  | Bad_length { len; what } -> Format.fprintf ppf "implausible %s %d" what len
+  | Checksum_mismatch { stored; actual } ->
+    Format.fprintf ppf "frame checksum mismatch (stored %08x, computed %08x)"
+      (stored land 0xFFFFFFFF) (actual land 0xFFFFFFFF)
+  | Closed -> Format.fprintf ppf "connection closed"
+
+let pp ppf = function
+  | Codec e -> Format.fprintf ppf "codec: %a" Xc_core.Codec.pp_error e
+  | Protocol p -> Format.fprintf ppf "protocol: %a" pp_protocol p
+  | Admission msg -> Format.fprintf ppf "admission: %s" msg
+  | Query msg -> Format.fprintf ppf "query: %s" msg
+  | Unavailable msg -> Format.fprintf ppf "unavailable: %s" msg
+  | Io msg -> Format.fprintf ppf "io: %s" msg
+
+let to_string e = Format.asprintf "%a" pp e
+
+(* Wire codes are protocol constants — renumbering breaks mixed-version
+   deployments, so additions append. *)
+let to_wire = function
+  | Codec e -> (1, Xc_core.Codec.error_to_string e)
+  | Protocol p -> (2, Format.asprintf "%a" pp_protocol p)
+  | Admission msg -> (3, msg)
+  | Query msg -> (4, msg)
+  | Unavailable msg -> (5, msg)
+  | Io msg -> (6, msg)
+
+let of_wire code message =
+  match code with
+  | 1 -> Codec (Xc_core.Codec.Io message)
+  | 2 -> Io ("remote protocol error: " ^ message)
+  | 3 -> Admission message
+  | 4 -> Query message
+  | 5 -> Unavailable message
+  | _ -> Io message

@@ -1,0 +1,59 @@
+type 'a entry = { value : 'a; mutable stamp : int }
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable clock : int;
+}
+
+let create cap =
+  let cap = max cap 1 in
+  { cap; table = Hashtbl.create (2 * cap); clock = 0 }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some e ->
+    e.stamp <- tick t;
+    Some e.value
+
+let oldest t =
+  Hashtbl.fold
+    (fun key e acc ->
+      match acc with
+      | Some (_, best) when best.stamp <= e.stamp -> acc
+      | _ -> Some (key, e))
+    t.table None
+
+let put t key value =
+  match Hashtbl.find_opt t.table key with
+  | Some _ ->
+    Hashtbl.replace t.table key { value; stamp = tick t };
+    None
+  | None ->
+    let evicted =
+      if Hashtbl.length t.table >= t.cap then (
+        match oldest t with
+        | Some (k, e) ->
+          Hashtbl.remove t.table k;
+          Some (k, e.value)
+        | None -> None)
+      else None
+    in
+    Hashtbl.replace t.table key { value; stamp = tick t };
+    evicted
+
+let remove t key = Hashtbl.remove t.table key
+let clear t = Hashtbl.reset t.table
+
+let keys_by_recency t =
+  Hashtbl.fold (fun key e acc -> (key, e.stamp) :: acc) t.table []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.map fst

@@ -1,0 +1,35 @@
+(** A small bounded LRU table, string-keyed.
+
+    The daemon's admission policy for per-synopsis batch engines: a
+    registry may hold many synopses, but each admitted engine carries
+    transition matrices and compiled queries, so the engine table is
+    bounded and evicts the least-recently-used entry on overflow.
+
+    Recency is tracked with a monotonic clock stamped on every
+    {!find}/{!put}; eviction scans for the minimum stamp. That is O(n)
+    per eviction — deliberate: capacities are tens, not millions, and
+    the scan keeps the structure a single hash table with no intrusive
+    list to corrupt. Exact LRU order, observable via
+    {!keys_by_recency}, so tests can assert the policy. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create cap] with capacity [max cap 1]. *)
+
+val capacity : 'a t -> int
+val length : 'a t -> int
+
+val find : 'a t -> string -> 'a option
+(** Lookup; a hit refreshes the entry's recency. *)
+
+val put : 'a t -> string -> 'a -> (string * 'a) option
+(** Insert or replace, refreshing recency. When inserting a fresh key
+    into a full table, the least-recently-used entry is evicted and
+    returned. *)
+
+val remove : 'a t -> string -> unit
+val clear : 'a t -> unit
+
+val keys_by_recency : 'a t -> string list
+(** Most recently used first. *)

@@ -1,0 +1,17 @@
+type fallback = Degrade | Strict
+
+type t = { domains : int option; fallback : fallback }
+
+let default = { domains = None; fallback = Degrade }
+
+let make ?domains ?(fallback = Degrade) () =
+  (match domains with
+  | Some d when d <= 0 ->
+    invalid_arg "Xc_serve.Options.make: domains must be positive (omit it for the XC_DOMAINS default)"
+  | _ -> ());
+  { domains; fallback }
+
+let pp ppf t =
+  Format.fprintf ppf "{domains=%s; fallback=%s}"
+    (match t.domains with None -> "env" | Some d -> string_of_int d)
+    (match t.fallback with Degrade -> "degrade" | Strict -> "strict")

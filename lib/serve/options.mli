@@ -1,0 +1,38 @@
+(** Serving options.
+
+    One record threaded from the client API through the daemon down to
+    the batch evaluator, replacing the old loose [?domains:int]
+    convention where [<= 0] silently meant "read the [XC_DOMAINS]
+    environment variable". Here the sentinel is the type:
+    [domains = None] defers to the process default
+    ({!Xc_util.Par.env_domains}), [Some d] requests exactly [d]
+    workers. *)
+
+type fallback =
+  | Degrade
+      (** on a fast-path failure, fall back to slower but bit-identical
+          estimation (cached per-query plans, then the uncached
+          estimator) and bump the [serve.fallback] /
+          [serve.batch_fallback] counters — the answer is always
+          produced *)
+  | Strict
+      (** on a fast-path failure, return {!Error.Unavailable} instead
+          of degrading — for callers that would rather re-route than
+          absorb a latency cliff *)
+
+type t = {
+  domains : int option;
+      (** batch evaluation worker count; [None] means the [XC_DOMAINS]
+          environment default *)
+  fallback : fallback;
+}
+
+val default : t
+(** [{ domains = None; fallback = Degrade }]. *)
+
+val make : ?domains:int -> ?fallback:fallback -> unit -> t
+(** [domains], when given, must be positive.
+    @raise Invalid_argument on [domains <= 0] — the old "non-positive
+    means environment" sentinel is exactly what this record retires. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,345 @@
+module Crc32 = Xc_util.Crc32
+module Fault = Xc_util.Fault
+
+(* ---- endpoints --------------------------------------------------------- *)
+
+type endpoint = Unix_sock of string | Tcp of string * int
+
+let endpoint_of_string s =
+  let tcp rest =
+    match String.rindex_opt rest ':' with
+    | None -> Error (Printf.sprintf "tcp endpoint %S needs HOST:PORT" s)
+    | Some i -> (
+      let host = String.sub rest 0 i in
+      let port = String.sub rest (i + 1) (String.length rest - i - 1) in
+      match int_of_string_opt port with
+      | Some p when p > 0 && p < 65536 -> Ok (Tcp (host, p))
+      | _ -> Error (Printf.sprintf "bad port in tcp endpoint %S" s))
+  in
+  if String.length s = 0 then Error "empty endpoint"
+  else if String.length s > 5 && String.sub s 0 5 = "unix:" then
+    Ok (Unix_sock (String.sub s 5 (String.length s - 5)))
+  else if String.length s > 4 && String.sub s 0 4 = "tcp:" then
+    tcp (String.sub s 4 (String.length s - 4))
+  else Ok (Unix_sock s)
+
+let endpoint_to_string = function
+  | Unix_sock path -> "unix:" ^ path
+  | Tcp (host, port) -> Printf.sprintf "tcp:%s:%d" host port
+
+(* ---- messages ---------------------------------------------------------- *)
+
+type request =
+  | Estimate of { synopsis : string; query : string }
+  | Estimate_batch of {
+      synopsis : string;
+      queries : string array;
+      options : Options.t;
+    }
+  | List_synopses
+  | Stats
+  | Reload
+  | Shutdown
+
+type listed = { l_name : string; l_nodes : int; l_edges : int; l_bytes : int }
+
+type response =
+  | Floats of float array
+  | Synopses of listed array
+  | Stats_json of string
+  | Reloaded of { loaded : int; skipped : int }
+  | Done
+  | Error_frame of { code : int; message : string }
+
+(* frame tags; requests and responses share one byte-space so a frame
+   arriving on the wrong side of the connection is a Bad_tag, not a
+   misparse *)
+let tag_estimate = 0x01
+let tag_estimate_batch = 0x02
+let tag_list = 0x03
+let tag_stats = 0x04
+let tag_reload = 0x05
+let tag_shutdown = 0x06
+let tag_floats = 0x41
+let tag_synopses = 0x42
+let tag_stats_json = 0x43
+let tag_reloaded = 0x44
+let tag_done = 0x45
+let tag_error = 0x7F
+
+let max_payload = 1 lsl 26 (* 64 MiB *)
+let header_bytes = 13 (* tag u8 + length u64 + crc u32 *)
+
+(* ---- primitive writers ------------------------------------------------- *)
+
+let put_int buf n = Buffer.add_int64_be buf (Int64.of_int n)
+let put_float buf f = Buffer.add_int64_be buf (Int64.bits_of_float f)
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let frame tag payload =
+  let n = String.length payload in
+  let buf = Buffer.create (header_bytes + n) in
+  Buffer.add_char buf (Char.chr tag);
+  put_int buf n;
+  Buffer.add_int32_be buf (Int32.of_int (Crc32.digest payload));
+  Buffer.add_string buf payload;
+  Buffer.contents buf
+
+(* ---- bounded reader ----------------------------------------------------
+   The same discipline as Codec's: every read checks the frame bound,
+   every count is validated against the remaining bytes before any
+   allocation, and all failures are the typed Error.protocol. *)
+
+exception Proto of Error.protocol
+
+type reader = { src : string; mutable pos : int; limit : int }
+
+let remaining r = r.limit - r.pos
+
+let get_int r =
+  if r.pos + 8 > r.limit then raise (Proto (Truncated { need = r.pos + 8 - r.limit }));
+  let v64 = String.get_int64_be r.src r.pos in
+  let v = Int64.to_int v64 in
+  (* a sign-bit flip must not alias into a small int (cf. Codec) *)
+  if Int64.of_int v <> v64 then
+    raise (Proto (Bad_length { len = Int64.to_int v64; what = "integer field" }));
+  r.pos <- r.pos + 8;
+  v
+
+let get_float r =
+  if r.pos + 8 > r.limit then raise (Proto (Truncated { need = r.pos + 8 - r.limit }));
+  let v = Int64.float_of_bits (String.get_int64_be r.src r.pos) in
+  r.pos <- r.pos + 8;
+  v
+
+let get_string r =
+  let n = get_int r in
+  if n < 0 || n > remaining r then raise (Proto (Bad_length { len = n; what = "string length" }));
+  let s = String.sub r.src r.pos n in
+  r.pos <- r.pos + n;
+  s
+
+let get_count r ~elt_min ~what =
+  let n = get_int r in
+  if n < 0 || n > remaining r / max 1 elt_min then
+    raise (Proto (Bad_length { len = n; what }));
+  n
+
+(* ---- payload codecs ---------------------------------------------------- *)
+
+let put_options buf (o : Options.t) =
+  put_int buf (match o.domains with None -> -1 | Some d -> d);
+  put_int buf (match o.fallback with Options.Degrade -> 0 | Options.Strict -> 1)
+
+let get_options r =
+  let domains =
+    match get_int r with
+    | d when d > 0 -> Some d
+    | -1 -> None
+    | d -> raise (Proto (Bad_length { len = d; what = "domains field" }))
+  in
+  let fallback =
+    match get_int r with
+    | 0 -> Options.Degrade
+    | 1 -> Options.Strict
+    | f -> raise (Proto (Bad_length { len = f; what = "fallback field" }))
+  in
+  { Options.domains; fallback }
+
+let encode_request req =
+  let buf = Buffer.create 128 in
+  let tag =
+    match req with
+    | Estimate { synopsis; query } ->
+      put_string buf synopsis;
+      put_string buf query;
+      tag_estimate
+    | Estimate_batch { synopsis; queries; options } ->
+      put_string buf synopsis;
+      put_options buf options;
+      put_int buf (Array.length queries);
+      Array.iter (put_string buf) queries;
+      tag_estimate_batch
+    | List_synopses -> tag_list
+    | Stats -> tag_stats
+    | Reload -> tag_reload
+    | Shutdown -> tag_shutdown
+  in
+  frame tag (Buffer.contents buf)
+
+let encode_response resp =
+  let buf = Buffer.create 128 in
+  let tag =
+    match resp with
+    | Floats fs ->
+      put_int buf (Array.length fs);
+      Array.iter (put_float buf) fs;
+      tag_floats
+    | Synopses ls ->
+      put_int buf (Array.length ls);
+      Array.iter
+        (fun l ->
+          put_string buf l.l_name;
+          put_int buf l.l_nodes;
+          put_int buf l.l_edges;
+          put_int buf l.l_bytes)
+        ls;
+      tag_synopses
+    | Stats_json json ->
+      put_string buf json;
+      tag_stats_json
+    | Reloaded { loaded; skipped } ->
+      put_int buf loaded;
+      put_int buf skipped;
+      tag_reloaded
+    | Done -> tag_done
+    | Error_frame { code; message } ->
+      put_int buf code;
+      put_string buf message;
+      tag_error
+  in
+  frame tag (Buffer.contents buf)
+
+(* Split a raw frame into (tag, payload reader), checking the framing:
+   length bound, truncation, CRC. *)
+let open_frame s =
+  let n = String.length s in
+  if n < header_bytes then raise (Proto (Truncated { need = header_bytes - n }));
+  let tag = Char.code s.[0] in
+  let len64 = String.get_int64_be s 1 in
+  let len = Int64.to_int len64 in
+  if Int64.of_int len <> len64 || len < 0 || len > max_payload then
+    raise (Proto (Bad_length { len; what = "frame payload length" }));
+  if header_bytes + len > n then
+    raise (Proto (Truncated { need = header_bytes + len - n }));
+  let stored = Int32.to_int (String.get_int32_be s 9) land 0xFFFFFFFF in
+  let actual = Crc32.sub s ~pos:header_bytes ~len in
+  if stored <> actual then raise (Proto (Checksum_mismatch { stored; actual }));
+  (tag, { src = s; pos = header_bytes; limit = header_bytes + len })
+
+let parse_request (tag, r) =
+  if tag = tag_estimate then
+    let synopsis = get_string r in
+    let query = get_string r in
+    Estimate { synopsis; query }
+  else if tag = tag_estimate_batch then begin
+    let synopsis = get_string r in
+    let options = get_options r in
+    let n = get_count r ~elt_min:8 ~what:"query count" in
+    Estimate_batch { synopsis; queries = Array.init n (fun _ -> get_string r); options }
+  end
+  else if tag = tag_list then List_synopses
+  else if tag = tag_stats then Stats
+  else if tag = tag_reload then Reload
+  else if tag = tag_shutdown then Shutdown
+  else raise (Proto (Bad_tag tag))
+
+let parse_response (tag, r) =
+  if tag = tag_floats then
+    let n = get_count r ~elt_min:8 ~what:"float count" in
+    Floats (Array.init n (fun _ -> get_float r))
+  else if tag = tag_synopses then
+    let n = get_count r ~elt_min:32 ~what:"synopsis count" in
+    Synopses
+      (Array.init n (fun _ ->
+           let l_name = get_string r in
+           let l_nodes = get_int r in
+           let l_edges = get_int r in
+           let l_bytes = get_int r in
+           { l_name; l_nodes; l_edges; l_bytes }))
+  else if tag = tag_stats_json then Stats_json (get_string r)
+  else if tag = tag_reloaded then begin
+    let loaded = get_int r in
+    let skipped = get_int r in
+    Reloaded { loaded; skipped }
+  end
+  else if tag = tag_done then Done
+  else if tag = tag_error then begin
+    let code = get_int r in
+    let message = get_string r in
+    Error_frame { code; message }
+  end
+  else raise (Proto (Bad_tag tag))
+
+(* Total-decoding boundary: any stray exception out of parsing is
+   normalized to a typed error, exactly like Codec's guard. *)
+let decode parse s =
+  match parse (open_frame s) with
+  | v -> Ok v
+  | exception Proto e -> Error e
+  | exception _ -> Error (Error.Bad_tag (-1))
+
+let decode_request s = decode parse_request s
+let decode_response s = decode parse_response s
+
+(* ---- socket transport -------------------------------------------------- *)
+
+let rec write_all fd s pos len =
+  if len > 0 then begin
+    let n = try Unix.write_substring fd s pos len with Unix.Unix_error (EINTR, _, _) -> 0 in
+    write_all fd s (pos + n) (len - n)
+  end
+
+let send fd s =
+  match write_all fd s 0 (String.length s) with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Error.Io (Printf.sprintf "send: %s" (Unix.error_message e)))
+
+(* Read exactly [len] bytes; [`Eof k] reports how many arrived before
+   the stream ended. *)
+let read_exact fd len =
+  let b = Bytes.create len in
+  let rec go off =
+    if off >= len then `Ok (Bytes.unsafe_to_string b)
+    else
+      match Unix.read fd b off (len - off) with
+      | 0 -> `Eof off
+      | n -> go (off + n)
+      | exception Unix.Unix_error (EINTR, _, _) -> go off
+  in
+  go 0
+
+(* Read one frame: header first (validating the length field before
+   the payload allocation), then the payload, which passes through the
+   Fault injection site so the harness can truncate or flip bits at
+   the socket boundary. A damaged payload fails the CRC or the bounded
+   reader — never crashes the process. *)
+let read_frame ~site fd =
+  match read_exact fd header_bytes with
+  | exception Unix.Unix_error (e, _, _) ->
+    Error (Error.Io (Printf.sprintf "recv: %s" (Unix.error_message e)))
+  | `Eof 0 -> Ok None
+  | `Eof k -> Error (Error.Protocol (Truncated { need = header_bytes - k }))
+  | `Ok header -> (
+    let len64 = String.get_int64_be header 1 in
+    let len = Int64.to_int len64 in
+    if Int64.of_int len <> len64 || len < 0 || len > max_payload then
+      Error (Error.Protocol (Bad_length { len; what = "frame payload length" }))
+    else
+      match read_exact fd len with
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Error.Io (Printf.sprintf "recv: %s" (Unix.error_message e)))
+      | `Eof k -> Error (Error.Protocol (Truncated { need = len - k }))
+      | `Ok payload -> Ok (Some (header ^ Fault.mutate ~site payload)))
+
+let recv_request fd =
+  match read_frame ~site:"serve.recv" fd with
+  | Error _ as e -> e
+  | Ok None -> Ok None
+  | Ok (Some s) -> (
+    match decode_request s with
+    | Ok req -> Ok (Some req)
+    | Error p -> Error (Error.Protocol p))
+
+let recv_response fd =
+  match read_frame ~site:"client.recv" fd with
+  | Error _ as e -> e
+  | Ok None -> Error (Error.Protocol Closed)
+  | Ok (Some s) -> (
+    match decode_response s with
+    | Ok resp -> Ok resp
+    | Error p -> Error (Error.Protocol p))

@@ -1,0 +1,103 @@
+(** The daemon's length-prefixed binary wire protocol.
+
+    Every message travels as one {b frame} reusing the framed-section
+    discipline of the codec's v2 container — tag, length, checksum,
+    payload:
+
+    {v
+      +-----+----------------+-------------+------------------+
+      | tag |    length      |   CRC-32    |     payload      |
+      | u8  |  u64 BE bytes  | u32 BE      |  [length] bytes  |
+      +-----+----------------+-------------+------------------+
+    v}
+
+    The CRC-32 ({!Xc_util.Crc32}) covers the payload, so a flipped bit
+    or truncated read is detected before any payload field is parsed.
+    Decoding is {b total}: hostile length fields are validated against
+    {!max_payload} (and payload-internal lengths against the frame
+    bound) before any allocation, and every way a frame can be wrong
+    surfaces as an [Error] of {!Error.protocol}, never an exception.
+
+    Integers ride as 8-byte big-endian two's complement (rejected
+    outside OCaml's 63-bit [int] range, so a sign-bit flip in a frame
+    field cannot alias), floats as their IEEE-754 bit pattern — the
+    estimates a client reads are {b bit-identical} to what the daemon
+    computed.
+
+    Socket reads pass through the [serve.recv] / [client.recv]
+    {!Xc_util.Fault} injection sites, so the fault harness can storm
+    the socket boundary exactly like it storms the persistence layer. *)
+
+(* ---- endpoints --------------------------------------------------------- *)
+
+type endpoint =
+  | Unix_sock of string  (** a filesystem socket path *)
+  | Tcp of string * int  (** host, port *)
+
+val endpoint_of_string : string -> (endpoint, string) result
+(** ["unix:PATH"], ["tcp:HOST:PORT"], or a bare path (taken as a Unix
+    socket). *)
+
+val endpoint_to_string : endpoint -> string
+
+(* ---- messages ---------------------------------------------------------- *)
+
+type request =
+  | Estimate of { synopsis : string; query : string }
+      (** one twig (source text) against the named synopsis *)
+  | Estimate_batch of {
+      synopsis : string;
+      queries : string array;
+      options : Options.t;
+    }
+  | List_synopses
+  | Stats  (** the daemon's metrics snapshot as JSON *)
+  | Reload  (** re-scan every registered artifact *)
+  | Shutdown  (** stop accepting; the daemon exits its loop cleanly *)
+
+type listed = {
+  l_name : string;
+  l_nodes : int;
+  l_edges : int;
+  l_bytes : int;  (** structural + value bytes *)
+}
+
+type response =
+  | Floats of float array
+      (** estimates, positionally answering the request's queries *)
+  | Synopses of listed array
+  | Stats_json of string
+  | Reloaded of { loaded : int; skipped : int }
+  | Done  (** acknowledges [Shutdown] *)
+  | Error_frame of { code : int; message : string }
+      (** see {!Error.to_wire} / {!Error.of_wire} *)
+
+val max_payload : int
+(** Upper bound on a frame payload; larger length fields are rejected
+    as hostile before allocation. *)
+
+(* ---- frame codec (pure) ------------------------------------------------ *)
+
+val encode_request : request -> string
+val encode_response : response -> string
+
+val decode_request : string -> (request, Error.protocol) result
+(** Decode one complete request frame. Total. *)
+
+val decode_response : string -> (response, Error.protocol) result
+
+(* ---- socket transport -------------------------------------------------- *)
+
+val send : Unix.file_descr -> string -> (unit, Error.t) result
+(** Write a whole encoded frame. Never raises ([EPIPE] and friends
+    become [Error (Io _)]). *)
+
+val recv_request :
+  Unix.file_descr -> (request option, Error.t) result
+(** Read one frame off the socket (site [serve.recv]) and decode it.
+    [Ok None] is a clean end-of-stream at a frame boundary — the normal
+    way a client hangs up. *)
+
+val recv_response : Unix.file_descr -> (response, Error.t) result
+(** Read one response frame (site [client.recv]); end-of-stream here is
+    [Error (Protocol Closed)] — a response was owed. *)

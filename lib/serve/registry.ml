@@ -1,0 +1,102 @@
+module Codec = Xc_core.Codec
+module Sealed = Xc_core.Synopsis.Sealed
+module Plan = Xc_core.Plan
+module Metrics = Xc_util.Metrics
+
+type t = {
+  sources : (string, string) Hashtbl.t; (* name -> path *)
+  admitted : (string, Sealed.t) Hashtbl.t;
+  engines : Plan.Batch.t Lru.t;
+}
+
+let create ?(max_engines = 8) () =
+  {
+    sources = Hashtbl.create 16;
+    admitted = Hashtbl.create 16;
+    engines = Lru.create max_engines;
+  }
+
+let add_source t ~name ~path = Hashtbl.replace t.sources name path
+
+let add_dir t dir =
+  match Sys.readdir dir with
+  | exception Sys_error msg -> Error (Error.Io msg)
+  | files ->
+    Array.iter
+      (fun f ->
+        if Filename.check_suffix f ".syn" then
+          add_source t ~name:(Filename.remove_extension f)
+            ~path:(Filename.concat dir f))
+      files;
+    Ok ()
+
+let sources t =
+  Hashtbl.fold (fun name path acc -> (name, path) :: acc) t.sources []
+  |> List.sort compare
+
+type load_report = { loaded : int; skipped : int }
+
+(* Admission: the codec's total decoder is the verify step — an [Ok]
+   here has passed framing, per-section CRCs, and graph validation. *)
+let admit t name syn =
+  (match Hashtbl.find_opt t.admitted name with
+  | Some old when Sealed.uid old <> Sealed.uid syn ->
+    (* content changed: the cached engine compiled against the old
+       synopsis must go *)
+    Lru.remove t.engines name
+  | _ -> ());
+  Hashtbl.replace t.admitted name syn;
+  Metrics.incr Metrics.global "serve.load_ok"
+
+let load_source t name path =
+  match Codec.load path with
+  | Ok syn ->
+    admit t name syn;
+    true
+  | Error e ->
+    Metrics.incr Metrics.global "serve.load_error";
+    ignore (e : Codec.error);
+    false
+
+let load t =
+  List.fold_left
+    (fun acc (name, path) ->
+      if load_source t name path then { acc with loaded = acc.loaded + 1 }
+      else { acc with skipped = acc.skipped + 1 })
+    { loaded = 0; skipped = 0 } (sources t)
+
+let load_one t ~name ~path =
+  add_source t ~name ~path;
+  match Codec.load path with
+  | Ok syn ->
+    admit t name syn;
+    Ok ()
+  | Error e ->
+    Metrics.incr Metrics.global "serve.load_error";
+    Error (Error.Codec e)
+
+let find t name = Hashtbl.find_opt t.admitted name
+
+let names t =
+  Hashtbl.fold (fun name _ acc -> name :: acc) t.admitted []
+  |> List.sort compare
+
+let n_admitted t = Hashtbl.length t.admitted
+
+let engine t name =
+  match Hashtbl.find_opt t.admitted name with
+  | None ->
+    Error (Error.Admission (Printf.sprintf "unknown synopsis %S" name))
+  | Some syn -> (
+    match Lru.find t.engines name with
+    | Some eng -> Metrics.incr Metrics.global "serve.engine_hit"; Ok (syn, eng)
+    | None ->
+      let eng = Plan.Batch.create syn in
+      Metrics.incr Metrics.global "serve.engine_admit";
+      (match Lru.put t.engines name eng with
+      | Some (_, _) -> Metrics.incr Metrics.global "serve.engine_evict"
+      | None -> ());
+      Ok (syn, eng))
+
+let engine_names t = Lru.keys_by_recency t.engines
+let max_engines t = Lru.capacity t.engines

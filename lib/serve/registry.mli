@@ -1,0 +1,73 @@
+(** The daemon's named synopsis registry.
+
+    A registry maps tenant-facing names to sealed synopses loaded from
+    disk artifacts. Admission is {b verifying}: every artifact goes
+    through the crash-safe codec's total decoder, and one that fails —
+    corrupt, truncated, foreign — is {b skipped and counted}
+    ([serve.load_error] in {!Xc_util.Metrics.global}) instead of
+    killing the process; a multi-tenant daemon keeps serving its other
+    synopses. On {!load} (a reload), a name whose artifact has gone bad
+    {e keeps its previously admitted synopsis} — serving continuity
+    beats freshness for an artifact that no longer verifies.
+
+    Each admitted synopsis gets a {!Xc_core.Plan.Batch} engine on
+    first use, held in a bounded {!Lru}: engines carry transition
+    matrices and compiled queries, so the engine table — not the
+    synopsis table — is the memory-bounded resource. Eviction only
+    drops cached compilation work; the next request rebuilds it.
+
+    Counters: [serve.load_ok], [serve.load_error], [serve.engine_admit],
+    [serve.engine_evict], [serve.engine_hit]. *)
+
+type t
+
+val create : ?max_engines:int -> unit -> t
+(** [max_engines] bounds the batch-engine LRU (default 8, min 1). *)
+
+(* ---- sources ----------------------------------------------------------- *)
+
+val add_source : t -> name:string -> path:string -> unit
+(** Register an artifact under [name] (replacing any previous source of
+    that name). Takes effect on the next {!load}. *)
+
+val add_dir : t -> string -> (unit, Error.t) result
+(** Register every [*.syn] file in a directory, named by basename
+    without the extension. An unreadable directory is an [Error]; the
+    files themselves are only probed at {!load} time. *)
+
+val sources : t -> (string * string) list
+(** [(name, path)], sorted by name. *)
+
+(* ---- admission --------------------------------------------------------- *)
+
+type load_report = { loaded : int; skipped : int }
+
+val load : t -> load_report
+(** (Re)load every source through {!Xc_core.Codec.load}: a verified
+    artifact is admitted (replacing the previous synopsis of that name,
+    and dropping its cached engine if the content changed); a failing
+    one is skipped and counted, keeping any previously admitted
+    synopsis for that name. *)
+
+val load_one : t -> name:string -> path:string -> (unit, Error.t) result
+(** {!add_source} + admit just that artifact now. *)
+
+(* ---- lookup ------------------------------------------------------------ *)
+
+val find : t -> string -> Xc_core.Synopsis.Sealed.t option
+val names : t -> string list
+(** Admitted names, sorted. *)
+
+val n_admitted : t -> int
+
+val engine :
+  t -> string -> (Xc_core.Synopsis.Sealed.t * Xc_core.Plan.Batch.t, Error.t) result
+(** The named synopsis and its batch engine, admitting the engine into
+    the LRU (possibly evicting another) on first use. [Error
+    (Admission _)] for a name the registry does not hold. *)
+
+val engine_names : t -> string list
+(** Engines currently resident, most recently used first (the LRU
+    order tests assert). *)
+
+val max_engines : t -> int

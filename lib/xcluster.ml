@@ -1,6 +1,6 @@
 module Synopsis = Xc_core.Synopsis
 module Plan = Xc_core.Plan
-module Metrics = Xc_util.Metrics
+module Mx = Xc_util.Metrics
 module Sealed = Synopsis.Sealed
 
 type document = Xc_xml.Document.t
@@ -14,119 +14,129 @@ type budget = Xc_core.Build.budget = {
   pool : Xc_core.Pool.config;
 }
 
-(* ---- construction ----------------------------------------------------- *)
+module Build = struct
+  let budget = Xc_core.Build.budget
+  let reference = Xc_core.Reference.build
+  let seal = Synopsis.freeze
+  let compress b reference = Xc_core.Build.run b reference
 
-let budget = Xc_core.Build.budget
-let reference = Xc_core.Reference.build
-let seal = Synopsis.freeze
-let compress b reference = Xc_core.Build.run b reference
+  let run ?budget:b ?min_extent ?value_min_extent ?value_paths doc =
+    let b = match b with Some b -> b | None -> budget () in
+    compress b (reference ?min_extent ?value_min_extent ?value_paths doc)
 
-let build ?budget:b ?min_extent ?value_min_extent ?value_paths doc =
-  let b = match b with Some b -> b | None -> budget () in
-  compress b (reference ?min_extent ?value_min_extent ?value_paths doc)
+  let auto_split = Xc_core.Build.auto_split
+  let builder_stats ppf b = Synopsis.Builder.pp_stats ppf b
+  let validate_builder = Synopsis.Builder.validate
+end
 
-let auto_split = Xc_core.Build.auto_split
+module Query = struct
+  let parse = Xc_twig.Twig_parse.parse
+  let estimate = Xc_serve.Engine.estimate
+  let plan syn q = Plan.Cache.find_or_compile (Xc_serve.Engine.cache_for syn) q
+  let estimate_with_plan = Plan.estimate
+  let estimate_uncached = Xc_serve.Engine.estimate_uncached
+  let explain = Xc_core.Estimate.explain
 
-(* ---- estimation ------------------------------------------------------- *)
+  let validate = Sealed.validate
+  let pp_stats = Sealed.pp_stats
+  let n_nodes = Sealed.n_nodes
+  let n_edges = Sealed.n_edges
+  let size_bytes syn = Sealed.structural_bytes syn + Sealed.value_bytes syn
+  let succ = Sealed.succ
+  let pred = Sealed.pred
+end
 
-let parse_query = Xc_twig.Twig_parse.parse
+module Store = struct
+  type error = Xc_core.Codec.error
 
-(* One plan cache per synopsis, keyed by its process-unique uid (a
-   sealed synopsis never mutates, so a cache stays valid for the
-   synopsis's whole lifetime). The table is bounded: synopses are
-   long-lived in any serving scenario, but a workload that churns
-   through thousands of short-lived synopses (e.g. budget sweeps) must
-   not accumulate dead caches. *)
-let max_caches = 64
-let caches : (int, Plan.Cache.t) Hashtbl.t = Hashtbl.create 16
+  let save = Xc_core.Codec.save
 
-let cache_for syn =
-  let uid = Sealed.uid syn in
-  match Hashtbl.find_opt caches uid with
-  | Some c -> c
-  | None ->
-    if Hashtbl.length caches >= max_caches then Hashtbl.reset caches;
-    let c = Plan.Cache.create syn in
-    Hashtbl.add caches uid c;
-    c
+  let load path =
+    match Xc_core.Codec.load path with
+    | Ok _ as ok -> ok
+    | Error _ as e ->
+      Mx.incr Mx.global "serve.load_error";
+      e
 
-let estimate_uncached = Xc_core.Estimate.selectivity
+  let save_exn = Xc_core.Codec.save_exn
+  let load_exn = Xc_core.Codec.load_exn
+  let verify = Xc_core.Codec.verify
+end
 
-(* Serving never raises on a per-synopsis failure: if the compiled
-   pipeline trips over a synopsis (decoded from a damaged store in a
-   way validation does not model), the estimate falls back to the
-   direct uncached path and the event is counted — the degraded answer
-   is bit-identical, only slower. *)
-let estimate syn q =
-  match
-    let c = cache_for syn in
-    Plan.Cache.estimate_result c q
-  with
-  | Ok v -> v
-  | Error _ | (exception _) ->
-    Metrics.incr Metrics.global "serve.fallback";
-    estimate_uncached syn q
+module Serve = struct
+  module Error = Xc_serve.Error
 
-let plan syn q = Plan.Cache.find_or_compile (cache_for syn) q
+  type error = Error.t
 
-(* Batch engines follow the same bounded per-uid table discipline as
-   plan caches; matrices are per-synopsis and never go stale. *)
-let batch_engines : (int, Plan.Batch.t) Hashtbl.t = Hashtbl.create 16
+  type fallback = Xc_serve.Options.fallback = Degrade | Strict
 
-let batch_for syn =
-  let uid = Sealed.uid syn in
-  match Hashtbl.find_opt batch_engines uid with
-  | Some e -> e
-  | None ->
-    if Hashtbl.length batch_engines >= max_caches then Hashtbl.reset batch_engines;
-    let e = Plan.Batch.create syn in
-    Hashtbl.add batch_engines uid e;
-    e
+  type options = Xc_serve.Options.t = {
+    domains : int option;
+    fallback : fallback;
+  }
 
+  let options = Xc_serve.Options.make
+  let default_options = Xc_serve.Options.default
+  let estimate_batch = Xc_serve.Engine.estimate_batch
+  let estimate_batch_exn = Xc_serve.Engine.estimate_batch_exn
+  let batch_engine = Xc_serve.Engine.batch_for
+
+  module Options = Xc_serve.Options
+  module Protocol = Xc_serve.Protocol
+  module Registry = Xc_serve.Registry
+  module Daemon = Xc_serve.Daemon
+  module Client = Xc_serve.Client
+end
+
+module Metrics = struct
+  let snapshot () = Mx.snapshot Mx.global
+  let json () = Mx.to_json (snapshot ())
+  let reset () = Mx.reset Mx.global
+end
+
+(* ---- deprecated flat aliases ------------------------------------------ *)
+
+let budget = Build.budget
+let reference = Build.reference
+let seal = Build.seal
+let compress = Build.compress
+let build = Build.run
+let auto_split = Build.auto_split
+let builder_stats = Build.builder_stats
+let validate_builder = Build.validate_builder
+let parse_query = Query.parse
+let estimate = Query.estimate
+let plan = Query.plan
+let estimate_with_plan = Query.estimate_with_plan
+
+(* the old loose convention: [domains <= 0] (or omitted) meant "use the
+   XC_DOMAINS environment variable" — mapped onto the options record
+   the redesign replaces it with *)
 let estimate_batch ?domains syn queries =
-  match
-    let e = batch_for syn in
-    Plan.Batch.run_result ?domains e queries
-  with
-  | Ok r -> r
-  | Error _ | (exception _) ->
-    Metrics.incr Metrics.global "serve.batch_fallback";
-    Array.map (fun q -> estimate syn q) queries
+  let options =
+    {
+      Xc_serve.Options.domains =
+        (match domains with Some d when d > 0 -> Some d | _ -> None);
+      fallback = Xc_serve.Options.Degrade;
+    }
+  in
+  Xc_serve.Engine.estimate_batch_exn ~options syn queries
 
-let batch_engine = batch_for
-let estimate_with_plan = Plan.estimate
-let explain = Xc_core.Estimate.explain
-
-(* ---- synopsis inspection --------------------------------------------- *)
-
-let validate = Sealed.validate
-let pp_stats = Sealed.pp_stats
-let n_nodes = Sealed.n_nodes
-let n_edges = Sealed.n_edges
-let size_bytes syn = Sealed.structural_bytes syn + Sealed.value_bytes syn
-let succ = Sealed.succ
-let pred = Sealed.pred
-
-let builder_stats ppf b = Synopsis.Builder.pp_stats ppf b
-let validate_builder = Synopsis.Builder.validate
-
-(* ---- persistence ------------------------------------------------------ *)
-
-let save = Xc_core.Codec.save_exn
-let load = Xc_core.Codec.load_exn
-let save_result = Xc_core.Codec.save
-
-let load_result path =
-  match Xc_core.Codec.load path with
-  | Ok _ as ok -> ok
-  | Error _ as e ->
-    Metrics.incr Metrics.global "serve.load_error";
-    e
-
-let verify_file = Xc_core.Codec.verify
-
-(* ---- metrics ---------------------------------------------------------- *)
-
-let metrics_snapshot () = Metrics.snapshot Metrics.global
-let metrics_json () = Metrics.to_json (metrics_snapshot ())
-let metrics_reset () = Metrics.reset Metrics.global
+let batch_engine = Serve.batch_engine
+let estimate_uncached = Query.estimate_uncached
+let explain = Query.explain
+let validate = Query.validate
+let pp_stats = Query.pp_stats
+let n_nodes = Query.n_nodes
+let n_edges = Query.n_edges
+let size_bytes = Query.size_bytes
+let succ = Query.succ
+let pred = Query.pred
+let save = Store.save_exn
+let load = Store.load_exn
+let save_result = Store.save
+let load_result = Store.load
+let verify_file = Store.verify
+let metrics_snapshot = Metrics.snapshot
+let metrics_json = Metrics.json
+let metrics_reset = Metrics.reset

@@ -1,25 +1,42 @@
 (** The stable XCluster API.
 
-    This facade is the supported surface for applications: parse or
-    generate a document, {!build} a budgeted synopsis, {!estimate} twig
-    selectivities through the compiled pipeline, and read
-    {!metrics_snapshot}. Everything underneath ([Xc_core], [Xc_twig],
-    …) remains reachable for experiments and internal tooling.
+    This facade is the supported surface for applications, organized by
+    lifecycle stage:
+
+    - {!Build} — parse or generate a document, construct and compress a
+      budgeted synopsis;
+    - {!Query} — parse twigs and estimate selectivities through the
+      compiled pipeline;
+    - {!Store} — crash-safe persistence with typed, result-first
+      errors;
+    - {!Serve} — the serving layer: batched estimation under explicit
+      {!Serve.options}, and the multi-synopsis daemon
+      (registry/daemon/client);
+    - {!Metrics} — the global instrumentation registry.
+
+    Everything underneath ([Xc_core], [Xc_twig], [Xc_serve], …) remains
+    reachable for experiments and internal tooling.
+
+    {b Results first.} Operations that can fail for reasons outside the
+    program's control — I/O, decoding, serving — return
+    [(_, error) result] with a typed error; the raising forms are the
+    [_exn]-suffixed variants for callers that have already verified
+    their input.
+
+    {b Compatibility.} The pre-submodule flat names ([build],
+    [estimate], [save], …) remain as thin deprecated aliases at the end
+    of this interface; they compile (deprecation is a warning, marked
+    non-fatal workspace-wide) and behave exactly as before.
 
     A synopsis has two lives. During construction it is a mutable
-    {!builder} ({!Xc_core.Synopsis.Builder.t}): {!reference} produces
-    one, and the build algorithms merge and compress it in place. Every
-    finished synopsis is a frozen {!synopsis}
-    ({!Xc_core.Synopsis.Sealed.t}): {!compress}/{!build} freeze on the
-    way out, {!seal} freezes a builder directly, and estimation,
-    explanation, and persistence accept only the sealed form. Sealed
-    synopses never mutate, so the per-synopsis plan caches need no
-    invalidation machinery.
-
-    Estimation here always goes through {!Xc_core.Plan}: every synopsis
-    gets a plan cache on first use, so repeated estimates — the serving
-    pattern — reuse compiled plans and memoized path expansions while
-    returning floats bit-identical to the uncached estimator. *)
+    {!builder} ({!Xc_core.Synopsis.Builder.t}): {!Build.reference}
+    produces one, and the build algorithms merge and compress it in
+    place. Every finished synopsis is a frozen {!synopsis}
+    ({!Xc_core.Synopsis.Sealed.t}): {!Build.compress}/{!Build.run}
+    freeze on the way out, {!Build.seal} freezes a builder directly,
+    and estimation, explanation, and persistence accept only the sealed
+    form. Sealed synopses never mutate, so the per-synopsis plan caches
+    need no invalidation machinery. *)
 
 type document = Xc_xml.Document.t
 type query = Xc_twig.Twig_query.t
@@ -36,146 +53,320 @@ type budget = Xc_core.Build.budget = {
   pool : Xc_core.Pool.config;
 }
 
-(* ---- construction ----------------------------------------------------- *)
+(** Synopsis construction: document → reference synopsis → budgeted
+    compression → sealed synopsis. *)
+module Build : sig
+  val budget :
+    ?pool:Xc_core.Pool.config -> ?bstr_kb:int -> ?bval_kb:int -> unit -> budget
+  (** See {!Xc_core.Build.budget} (defaults 20 KB / 150 KB). *)
+
+  val reference :
+    ?detail:Xc_core.Reference.detail ->
+    ?min_extent:int ->
+    ?value_min_extent:int ->
+    ?value_paths:Xc_xml.Label.t list list ->
+    document ->
+    builder
+  (** The detailed reference synopsis construction
+      ({!Xc_core.Reference.build}). *)
+
+  val seal : builder -> synopsis
+  (** Freeze a builder into the read-optimized sealed form
+      ({!Xc_core.Synopsis.freeze}). The builder is unchanged and may
+      keep mutating; the sealed value never will. *)
+
+  val compress : budget -> builder -> synopsis
+  (** XCLUSTERBUILD: compress a reference synopsis to the budget (on a
+      private copy; the argument is unchanged) and seal the result. *)
+
+  val run :
+    ?budget:budget ->
+    ?min_extent:int ->
+    ?value_min_extent:int ->
+    ?value_paths:Xc_xml.Label.t list list ->
+    document ->
+    synopsis
+  (** [reference] followed by [compress] — document to budgeted
+      synopsis in one call. *)
+
+  val auto_split :
+    ?ratios:float list ->
+    total_kb:int ->
+    sample:(synopsis -> float) ->
+    builder ->
+    budget * synopsis
+  (** Automated structural/value budget-split search
+      ({!Xc_core.Build.auto_split}). *)
+
+  val builder_stats : Format.formatter -> builder -> unit
+  (** Size/shape summary of an unsealed builder (the CLI prints this
+      for the reference synopsis before compressing). *)
+
+  val validate_builder : builder -> (unit, string) result
+  (** Structural invariants of a builder
+      ({!Xc_core.Synopsis.Builder.validate}). *)
+end
+
+(** Query parsing, selectivity estimation, and synopsis inspection. *)
+module Query : sig
+  val parse : string -> query
+  (** Parse a twig query, e.g.
+      ["//movie[year > 1990]/title[contains(War)]"].
+      @raise Xc_twig.Twig_parse.Parse_error on syntax errors. *)
+
+  val estimate : synopsis -> query -> float
+  (** Estimated number of binding tuples, through the compiled
+      pipeline. The plan cache is keyed on the synopsis's
+      {!Xc_core.Synopsis.Sealed.uid} and created on first use; sealed
+      synopses never mutate, so cached plans and memos stay valid
+      forever.
+
+      Serving degrades instead of raising: if plan compilation or
+      evaluation fails for this synopsis, the call falls back to the
+      bit-identical uncached estimator and bumps the [serve.fallback]
+      counter in {!Xc_util.Metrics.global}. *)
+
+  val plan : synopsis -> query -> Xc_core.Plan.t
+  (** The cached compiled plan (compiling on first sight) for callers
+      that estimate the same query many times and want to skip even
+      the cache lookup. *)
+
+  val estimate_with_plan : Xc_core.Plan.t -> float
+  (** Estimate from a compiled plan ({!Xc_core.Plan.estimate}). *)
+
+  val estimate_uncached : synopsis -> query -> float
+  (** The direct embedding enumeration
+      ({!Xc_core.Estimate.selectivity}), bypassing plans and memos —
+      the baseline the pipeline is validated against. *)
+
+  val explain : synopsis -> query -> Xc_core.Estimate.explanation list
+  (** Per query variable, the clusters it binds to
+      ({!Xc_core.Estimate.explain}). *)
+
+  (* ---- synopsis inspection ------------------------------------------- *)
+
+  val validate : synopsis -> (unit, string) result
+  val pp_stats : Format.formatter -> synopsis -> unit
+  val n_nodes : synopsis -> int
+  val n_edges : synopsis -> int
+
+  val size_bytes : synopsis -> int
+  (** Structural + value bytes. *)
+
+  val succ : synopsis -> int -> (int * float) list
+  (** Outgoing edges of a cluster as [(child sid, avg count)],
+      ascending by child sid. *)
+
+  val pred : synopsis -> int -> int list
+  (** Parent sids of a cluster, ascending. *)
+end
+
+(** Crash-safe persistence, result-first. *)
+module Store : sig
+  type error = Xc_core.Codec.error
+
+  val save : string -> synopsis -> (unit, error) result
+  (** Atomic write (temp file → fsync → rename) of the checksummed v2
+      format via {!Xc_core.Codec.save}; on [Error _] a pre-existing
+      file at the path is untouched. *)
+
+  val load : string -> (synopsis, error) result
+  (** Read and decode; total, never raises. Failures additionally bump
+      [serve.load_error] — a server that keeps a directory of synopses
+      uses this to skip (and count) corrupt artifacts instead of
+      dying on the first one. *)
+
+  val save_exn : string -> synopsis -> unit
+  (** @raise Failure on I/O failure (the previous file, if any, is
+      intact). *)
+
+  val load_exn : string -> synopsis
+  (** @raise Failure on read or decode failure. *)
+
+  val verify : string -> (Xc_core.Codec.info, error) result
+  (** Integrity check (framing + per-section CRC-32 for v2, full
+      decode for v1) without building the synopsis —
+      {!Xc_core.Codec.verify}. *)
+end
+
+(** The serving layer: batched estimation under explicit options, and
+    the multi-synopsis daemon. *)
+module Serve : sig
+  module Error = Xc_serve.Error
+  (** The serving layer's single error variant: codec, protocol,
+      admission, query, availability, and I/O failures in one type. *)
+
+  type error = Error.t
+
+  type fallback = Xc_serve.Options.fallback =
+    | Degrade  (** fall back to slower, bit-identical estimation *)
+    | Strict  (** surface {!Error.Unavailable} instead of degrading *)
+
+  type options = Xc_serve.Options.t = {
+    domains : int option;
+        (** batch worker count; [None] means the [XC_DOMAINS]
+            environment default — the old [<= 0] sentinel is retired *)
+    fallback : fallback;
+  }
+
+  val options : ?domains:int -> ?fallback:fallback -> unit -> options
+  (** Smart constructor ({!Xc_serve.Options.make}); [domains], when
+      given, must be positive. *)
+
+  val default_options : options
+  (** [{ domains = None; fallback = Degrade }]. *)
+
+  val estimate_batch :
+    ?options:options -> synopsis -> query array -> (float array, error) result
+  (** Batched serving through {!Xc_core.Plan.Batch}: answers
+      [result.(i)] for query [i], bit-identical to {!Query.estimate} /
+      {!Query.estimate_uncached} and independent of the worker count.
+      The per-synopsis engine — interned path-expression transition
+      matrices plus compiled queries — is cached by synopsis uid like
+      the plan caches, so repeated workloads amortize to array walks.
+
+      Under {!Degrade} (the default) an engine failure falls back to
+      per-query estimation (which itself can fall back to the uncached
+      path), bumps [serve.batch_fallback], and the call still returns
+      [Ok]; under {!Strict} it returns [Error (Unavailable _)]. *)
+
+  val estimate_batch_exn :
+    ?options:options -> synopsis -> query array -> float array
+  (** {!estimate_batch}, raising [Failure] on a strict-mode error;
+      never raises under {!Degrade}. *)
+
+  val batch_engine : synopsis -> Xc_core.Plan.Batch.t
+  (** The cached batch engine behind {!estimate_batch} (created on
+      first use), for callers that want
+      {!Xc_core.Plan.Batch.prepare}/[run_prepared] control or its size
+      accessors. *)
+
+  module Options = Xc_serve.Options
+  module Protocol = Xc_serve.Protocol
+  (** Frame layout and message types of the daemon's wire protocol. *)
+
+  module Registry = Xc_serve.Registry
+  (** Named synopsis registry with verifying admission and a bounded
+      engine LRU. *)
+
+  module Daemon = Xc_serve.Daemon
+  (** The [xcluster serve] daemon loop. *)
+
+  module Client = Xc_serve.Client
+  (** Result-first client for the daemon. *)
+end
+
+(** The global metrics registry the pipeline instruments (plan
+    compiles, cache hits/misses, expansion depths, estimate and daemon
+    latency). *)
+module Metrics : sig
+  val snapshot : unit -> Xc_util.Metrics.snapshot
+  val json : unit -> string
+  (** {!snapshot} rendered as a single-line JSON object. *)
+
+  val reset : unit -> unit
+end
+
+(* ---- deprecated flat aliases ------------------------------------------
+   The pre-submodule surface, kept so existing callers compile through
+   the transition window. Each alias is exactly its submodule
+   counterpart; new code should use the submodules. *)
 
 val budget : ?pool:Xc_core.Pool.config -> ?bstr_kb:int -> ?bval_kb:int -> unit -> budget
-(** See {!Xc_core.Build.budget} (defaults 20 KB / 150 KB). *)
+[@@ocaml.deprecated "use Xcluster.Build.budget"]
 
 val reference :
   ?detail:Xc_core.Reference.detail -> ?min_extent:int -> ?value_min_extent:int ->
   ?value_paths:Xc_xml.Label.t list list -> document -> builder
-(** The detailed reference synopsis construction
-    ({!Xc_core.Reference.build}). *)
+[@@ocaml.deprecated "use Xcluster.Build.reference"]
 
 val seal : builder -> synopsis
-(** Freeze a builder into the read-optimized sealed form
-    ({!Xc_core.Synopsis.freeze}). The builder is unchanged and may keep
-    mutating; the sealed value never will. *)
+[@@ocaml.deprecated "use Xcluster.Build.seal"]
 
 val compress : budget -> builder -> synopsis
-(** XCLUSTERBUILD: compress a reference synopsis to the budget (on a
-    private copy; the argument is unchanged) and seal the result. *)
+[@@ocaml.deprecated "use Xcluster.Build.compress"]
 
 val build : ?budget:budget -> ?min_extent:int -> ?value_min_extent:int ->
   ?value_paths:Xc_xml.Label.t list list -> document -> synopsis
-(** [reference] followed by [compress] — document to budgeted synopsis
-    in one call. *)
+[@@ocaml.deprecated "use Xcluster.Build.run"]
 
 val auto_split : ?ratios:float list -> total_kb:int ->
   sample:(synopsis -> float) -> builder -> budget * synopsis
-(** Automated structural/value budget-split search
-    ({!Xc_core.Build.auto_split}). *)
-
-(* ---- estimation ------------------------------------------------------- *)
-
-val parse_query : string -> query
-(** Parse a twig query, e.g.
-    ["//movie[year > 1990]/title[contains(War)]"]. *)
-
-val estimate : synopsis -> query -> float
-(** Estimated number of binding tuples, through the compiled pipeline.
-    The plan cache is keyed on the synopsis's
-    {!Xc_core.Synopsis.Sealed.uid} and created on first use; sealed
-    synopses never mutate, so cached plans and memos stay valid
-    forever.
-
-    Serving degrades instead of raising: if plan compilation or
-    evaluation fails for this synopsis, the call falls back to the
-    bit-identical uncached estimator and bumps the [serve.fallback]
-    counter in {!Xc_util.Metrics.global}. *)
-
-val plan : synopsis -> query -> Xc_core.Plan.t
-(** The cached compiled plan (compiling on first sight) for callers
-    that estimate the same query many times and want to skip even the
-    cache lookup. *)
-
-val estimate_with_plan : Xc_core.Plan.t -> float
-(** Estimate from a compiled plan ({!Xc_core.Plan.estimate}). *)
-
-val estimate_batch : ?domains:int -> synopsis -> query array -> float array
-(** Batched serving through {!Xc_core.Plan.Batch}: answers
-    [result.(i)] for query [i], bit-identical to {!estimate} /
-    {!estimate_uncached} and independent of the worker count
-    ([domains <= 0] or omitted means the [XC_DOMAINS] environment
-    variable). The per-synopsis engine — interned path-expression
-    transition matrices plus compiled queries — is cached by synopsis
-    uid like the plan caches, so repeated workloads amortize to array
-    walks.
-
-    Degrades like {!estimate}: a batch-engine failure falls back to
-    per-query estimation (which itself can fall back to the uncached
-    path) and bumps [serve.batch_fallback]. *)
-
-val batch_engine : synopsis -> Xc_core.Plan.Batch.t
-(** The cached batch engine behind {!estimate_batch} (created on first
-    use), for callers that want {!Xc_core.Plan.Batch.prepare}/
-    [run_prepared] control or its size accessors. *)
-
-val estimate_uncached : synopsis -> query -> float
-(** The direct embedding enumeration ({!Xc_core.Estimate.selectivity}),
-    bypassing plans and memos — the baseline the pipeline is validated
-    against. *)
-
-val explain : synopsis -> query -> Xc_core.Estimate.explanation list
-(** Per query variable, the clusters it binds to
-    ({!Xc_core.Estimate.explain}). *)
-
-(* ---- synopsis inspection --------------------------------------------- *)
-
-val validate : synopsis -> (unit, string) result
-val pp_stats : Format.formatter -> synopsis -> unit
-val n_nodes : synopsis -> int
-val n_edges : synopsis -> int
-val size_bytes : synopsis -> int
-(** Structural + value bytes. *)
-
-val succ : synopsis -> int -> (int * float) list
-(** Outgoing edges of a cluster as [(child sid, avg count)], ascending
-    by child sid. *)
-
-val pred : synopsis -> int -> int list
-(** Parent sids of a cluster, ascending. *)
+[@@ocaml.deprecated "use Xcluster.Build.auto_split"]
 
 val builder_stats : Format.formatter -> builder -> unit
-(** Size/shape summary of an unsealed builder (the CLI prints this for
-    the reference synopsis before compressing). *)
+[@@ocaml.deprecated "use Xcluster.Build.builder_stats"]
 
 val validate_builder : builder -> (unit, string) result
-(** Structural invariants of a builder
-    ({!Xc_core.Synopsis.Builder.validate}). *)
+[@@ocaml.deprecated "use Xcluster.Build.validate_builder"]
 
-(* ---- persistence ------------------------------------------------------ *)
+val parse_query : string -> query
+[@@ocaml.deprecated "use Xcluster.Query.parse"]
+
+val estimate : synopsis -> query -> float
+[@@ocaml.deprecated "use Xcluster.Query.estimate"]
+
+val plan : synopsis -> query -> Xc_core.Plan.t
+[@@ocaml.deprecated "use Xcluster.Query.plan"]
+
+val estimate_with_plan : Xc_core.Plan.t -> float
+[@@ocaml.deprecated "use Xcluster.Query.estimate_with_plan"]
+
+val estimate_batch : ?domains:int -> synopsis -> query array -> float array
+[@@ocaml.deprecated
+  "use Xcluster.Serve.estimate_batch (an options record replaces the \
+   domains<=0 sentinel)"]
+
+val batch_engine : synopsis -> Xc_core.Plan.Batch.t
+[@@ocaml.deprecated "use Xcluster.Serve.batch_engine"]
+
+val estimate_uncached : synopsis -> query -> float
+[@@ocaml.deprecated "use Xcluster.Query.estimate_uncached"]
+
+val explain : synopsis -> query -> Xc_core.Estimate.explanation list
+[@@ocaml.deprecated "use Xcluster.Query.explain"]
+
+val validate : synopsis -> (unit, string) result
+[@@ocaml.deprecated "use Xcluster.Query.validate"]
+
+val pp_stats : Format.formatter -> synopsis -> unit
+[@@ocaml.deprecated "use Xcluster.Query.pp_stats"]
+
+val n_nodes : synopsis -> int
+[@@ocaml.deprecated "use Xcluster.Query.n_nodes"]
+
+val n_edges : synopsis -> int
+[@@ocaml.deprecated "use Xcluster.Query.n_edges"]
+
+val size_bytes : synopsis -> int
+[@@ocaml.deprecated "use Xcluster.Query.size_bytes"]
+
+val succ : synopsis -> int -> (int * float) list
+[@@ocaml.deprecated "use Xcluster.Query.succ"]
+
+val pred : synopsis -> int -> int list
+[@@ocaml.deprecated "use Xcluster.Query.pred"]
 
 val save : string -> synopsis -> unit
-(** Atomic write (temp file → fsync → rename) of the checksummed v2
-    format via {!Xc_core.Codec.save_exn}.
-    @raise Failure on I/O failure (the previous file, if any, is
-    intact). *)
+[@@ocaml.deprecated "use Xcluster.Store.save (result) or Store.save_exn"]
 
 val load : string -> synopsis
-(** @raise Failure on read or decode failure. *)
+[@@ocaml.deprecated "use Xcluster.Store.load (result) or Store.load_exn"]
 
 val save_result : string -> synopsis -> (unit, Xc_core.Codec.error) result
-(** {!save} with the typed error instead of an exception. *)
+[@@ocaml.deprecated "use Xcluster.Store.save"]
 
 val load_result : string -> (synopsis, Xc_core.Codec.error) result
-(** {!load} with the typed error instead of an exception; failures
-    additionally bump [serve.load_error]. A server that keeps a
-    directory of synopses uses this to skip (and count) corrupt
-    artifacts instead of dying on the first one. *)
+[@@ocaml.deprecated "use Xcluster.Store.load"]
 
 val verify_file : string -> (Xc_core.Codec.info, Xc_core.Codec.error) result
-(** Integrity check (framing + per-section CRC-32 for v2, full decode
-    for v1) without building the synopsis —
-    {!Xc_core.Codec.verify}. *)
-
-(* ---- metrics ---------------------------------------------------------- *)
+[@@ocaml.deprecated "use Xcluster.Store.verify"]
 
 val metrics_snapshot : unit -> Xc_util.Metrics.snapshot
-(** Snapshot of the global registry the pipeline instruments (plan
-    compiles, cache hits/misses, expansion depths, estimate latency). *)
+[@@ocaml.deprecated "use Xcluster.Metrics.snapshot"]
 
 val metrics_json : unit -> string
-(** [metrics_snapshot] rendered as a single-line JSON object. *)
+[@@ocaml.deprecated "use Xcluster.Metrics.json"]
 
 val metrics_reset : unit -> unit
+[@@ocaml.deprecated "use Xcluster.Metrics.reset"]

@@ -106,12 +106,17 @@ let test_facade_batch () =
   let ds = Runner.imdb ~scale:0.01 ~n_queries:30 () in
   let syn = small_synopsis ds in
   let queries = Runner.workload_queries ds in
-  let res = Xcluster.estimate_batch ~domains:1 syn queries in
+  let options = Xcluster.Serve.options ~domains:1 () in
+  let res =
+    match Xcluster.Serve.estimate_batch ~options syn queries with
+    | Ok res -> res
+    | Error e -> Alcotest.failf "estimate_batch: %s" (Xcluster.Serve.Error.to_string e)
+  in
   Array.iteri
-    (fun i q -> check0 "facade batch = estimate" (Xcluster.estimate syn q) res.(i))
+    (fun i q -> check0 "facade batch = estimate" (Xcluster.Query.estimate syn q) res.(i))
     queries;
   check Alcotest.bool "engine reachable" true
-    (Plan.Batch.n_matrices (Xcluster.batch_engine syn) > 0)
+    (Plan.Batch.n_matrices (Xcluster.Serve.batch_engine syn) > 0)
 
 (* ---- worker-count independence ----------------------------------------- *)
 

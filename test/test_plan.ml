@@ -59,11 +59,11 @@ let test_equivalence_dblp () = equivalence_on (Runner.dblp ~scale:0.02 ~n_querie
 (* the facade path is the same pipeline *)
 let test_facade_estimate () =
   let ds = Runner.imdb ~scale:0.01 ~n_queries:20 () in
-  let syn = Xcluster.build ~budget:(Xcluster.budget ~bstr_kb:8 ~bval_kb:40 ()) ds.Runner.doc in
+  let syn = Xcluster.Build.run ~budget:(Xcluster.Build.budget ~bstr_kb:8 ~bval_kb:40 ()) ds.Runner.doc in
   List.iter
     (fun e ->
       let q = e.Xc_twig.Workload.query in
-      check0 "facade = uncached" (Xcluster.estimate_uncached syn q) (Xcluster.estimate syn q))
+      check0 "facade = uncached" (Xcluster.Query.estimate_uncached syn q) (Xcluster.Query.estimate syn q))
     ds.Runner.workload
 
 (* ---- freeze snapshot semantics ----------------------------------------- *)

@@ -1,0 +1,540 @@
+(* Serving-layer tests: the wire protocol's total decoding (hostile
+   lengths, forged CRCs, truncation), the registry's verify-on-admit
+   skip-and-count contract, the bounded engine LRU, and a live daemon
+   driven by concurrent client domains — whose answers must be
+   bit-identical to estimate_uncached on the same artifact, under a
+   socket fault storm included. *)
+
+module Serve = Xcluster.Serve
+module Protocol = Serve.Protocol
+module Error = Serve.Error
+module Registry = Serve.Registry
+module Lru = Xc_serve.Lru
+module Metrics = Xc_util.Metrics
+module Fault = Xc_util.Fault
+
+let check = Alcotest.check
+
+let counter name = Metrics.counter_value Metrics.global name
+
+(* ---- fixtures ----------------------------------------------------------- *)
+
+let synopsis_a =
+  lazy
+    (let doc = Xc_data.Imdb.generate ~seed:81 ~n_movies:40 () in
+     Xcluster.Build.run ~min_extent:4
+       ~budget:(Xcluster.Build.budget ~bstr_kb:4 ~bval_kb:20 ())
+       doc)
+
+let synopsis_b =
+  lazy
+    (let doc = Xc_data.Dblp.generate ~seed:82 ~n_authors:40 () in
+     Xcluster.Build.run ~min_extent:4
+       ~budget:(Xcluster.Build.budget ~bstr_kb:4 ~bval_kb:20 ())
+       doc)
+
+let temp_dir () =
+  let dir = Filename.temp_file "xc_serve_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  dir
+
+let rm_rf dir =
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir)
+   with Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error (_, _, _) -> ()
+
+let save_exn path syn =
+  match Xcluster.Store.save path syn with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save %s: %s" path (Xc_core.Codec.error_to_string e)
+
+(* ---- protocol round-trip ------------------------------------------------ *)
+
+let sample_requests =
+  [ Protocol.Estimate { synopsis = "imdb"; query = "//movie/title" };
+    Protocol.Estimate_batch
+      {
+        synopsis = "x";
+        queries = [| "//a"; "//b[. > 3]/c"; "//d[. ftcontains(war)]" |];
+        options = { Serve.domains = Some 3; fallback = Serve.Strict };
+      };
+    Protocol.Estimate_batch
+      { synopsis = ""; queries = [||]; options = Serve.default_options };
+    Protocol.List_synopses;
+    Protocol.Stats;
+    Protocol.Reload;
+    Protocol.Shutdown ]
+
+let sample_responses =
+  [ Protocol.Floats [| 1.5; 0.0; -0.0; Float.max_float; 1e-300; Float.infinity |];
+    Protocol.Floats [||];
+    Protocol.Synopses
+      [| { Protocol.l_name = "imdb"; l_nodes = 12; l_edges = 30; l_bytes = 4096 };
+         { Protocol.l_name = ""; l_nodes = 0; l_edges = 0; l_bytes = 0 } |];
+    Protocol.Stats_json "{\"counters\":{}}";
+    Protocol.Reloaded { loaded = 3; skipped = 1 };
+    Protocol.Done;
+    Protocol.Error_frame { code = 4; message = "query 0: nope" } ]
+
+let test_request_roundtrip () =
+  List.iter
+    (fun req ->
+      match Protocol.decode_request (Protocol.encode_request req) with
+      | Ok req' -> check Alcotest.bool "request round-trips" true (req = req')
+      | Error e -> Alcotest.failf "decode failed: %a" Error.pp_protocol e)
+    sample_requests
+
+let test_response_roundtrip () =
+  List.iter
+    (fun resp ->
+      match Protocol.decode_response (Protocol.encode_response resp) with
+      | Ok resp' ->
+        (* floats must survive bit-for-bit, so compare Floats bitwise *)
+        (match (resp, resp') with
+        | Protocol.Floats a, Protocol.Floats b ->
+          check Alcotest.int "float count" (Array.length a) (Array.length b);
+          Array.iteri
+            (fun i v ->
+              check Alcotest.bool "float bits" true
+                (Int64.bits_of_float v = Int64.bits_of_float b.(i)))
+            a
+        | _ -> check Alcotest.bool "response round-trips" true (resp = resp'))
+      | Error e -> Alcotest.failf "decode failed: %a" Error.pp_protocol e)
+    sample_responses
+
+(* every truncation of a valid frame must decode to a typed protocol
+   error — never an exception, never a success *)
+let test_truncation_total () =
+  let frame =
+    Protocol.encode_request
+      (Protocol.Estimate_batch
+         {
+           synopsis = "syn";
+           queries = [| "//a/b"; "//c" |];
+           options = Serve.default_options;
+         })
+  in
+  for len = 0 to String.length frame - 1 do
+    match Protocol.decode_request (String.sub frame 0 len) with
+    | Ok _ -> Alcotest.failf "truncation to %d bytes decoded successfully" len
+    | Error _ -> ()
+  done
+
+(* a flipped payload bit must be caught by the frame CRC before any
+   payload field is parsed *)
+let test_forged_crc () =
+  let frame = Protocol.encode_request (Protocol.Estimate { synopsis = "s"; query = "//q" }) in
+  let header_bytes = String.length (Protocol.encode_request Protocol.Shutdown) in
+  let b = Bytes.of_string frame in
+  (* flip one bit in the payload (past the header) *)
+  let i = header_bytes + ((Bytes.length b - header_bytes) / 2) in
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor 0x10));
+  match Protocol.decode_request (Bytes.unsafe_to_string b) with
+  | Error (Checksum_mismatch _) -> ()
+  | Error e -> Alcotest.failf "expected checksum mismatch, got %a" Error.pp_protocol e
+  | Ok _ -> Alcotest.fail "bit-flipped frame decoded successfully"
+
+(* a frame header advertising a huge payload must be rejected from the
+   length field alone *)
+let test_hostile_length () =
+  let huge = Bytes.make 13 '\000' in
+  Bytes.set huge 0 '\x01';
+  (* length = max_int as 8-byte BE *)
+  Bytes.set_int64_be huge 1 (Int64.of_int max_int);
+  match Protocol.decode_request (Bytes.unsafe_to_string huge ^ String.make 64 'x') with
+  | Error (Bad_length _) -> ()
+  | Error e -> Alcotest.failf "expected bad length, got %a" Error.pp_protocol e
+  | Ok _ -> Alcotest.fail "hostile length accepted"
+
+let test_bad_tag () =
+  let payload_crc = Xc_util.Crc32.digest "" in
+  let b = Bytes.make 13 '\000' in
+  Bytes.set b 0 '\x33';
+  Bytes.set_int32_be b 9 (Int32.of_int payload_crc);
+  match Protocol.decode_request (Bytes.unsafe_to_string b) with
+  | Error (Bad_tag 0x33) -> ()
+  | Error e -> Alcotest.failf "expected bad tag, got %a" Error.pp_protocol e
+  | Ok _ -> Alcotest.fail "unknown tag accepted"
+
+let test_endpoint_parsing () =
+  (match Protocol.endpoint_of_string "unix:/tmp/x.sock" with
+  | Ok (Protocol.Unix_sock "/tmp/x.sock") -> ()
+  | _ -> Alcotest.fail "unix: endpoint");
+  (match Protocol.endpoint_of_string "tcp:localhost:7070" with
+  | Ok (Protocol.Tcp ("localhost", 7070)) -> ()
+  | _ -> Alcotest.fail "tcp: endpoint");
+  (match Protocol.endpoint_of_string "bare.sock" with
+  | Ok (Protocol.Unix_sock "bare.sock") -> ()
+  | _ -> Alcotest.fail "bare endpoint");
+  match Protocol.endpoint_of_string "tcp:nope" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "tcp without port accepted"
+
+(* errors cross the wire category-intact *)
+let test_error_wire () =
+  List.iter
+    (fun e ->
+      let code, msg = Error.to_wire e in
+      let back = Error.of_wire code msg in
+      let same =
+        match (e, back) with
+        | Error.Codec _, Error.Codec _
+        | Error.Admission _, Error.Admission _
+        | Error.Query _, Error.Query _
+        | Error.Unavailable _, Error.Unavailable _
+        | Error.Io _, Error.Io _ ->
+          true
+        (* a remote protocol complaint intentionally comes back as Io *)
+        | Error.Protocol _, Error.Io _ -> true
+        | _ -> false
+      in
+      check Alcotest.bool "category survives the wire" true same)
+    [ Error.Codec (Xc_core.Codec.Io "gone");
+      Error.Protocol Error.Closed;
+      Error.Admission "unknown";
+      Error.Query "bad twig";
+      Error.Unavailable "strict";
+      Error.Io "refused" ]
+
+(* ---- options ------------------------------------------------------------ *)
+
+let test_options_validation () =
+  let o = Serve.options ~domains:2 ~fallback:Serve.Strict () in
+  check Alcotest.bool "fields" true
+    (o.Serve.domains = Some 2 && o.Serve.fallback = Serve.Strict);
+  check Alcotest.bool "default degrades" true
+    (Serve.default_options.Serve.fallback = Serve.Degrade
+    && Serve.default_options.Serve.domains = None);
+  match Serve.options ~domains:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "domains = 0 accepted"
+
+(* ---- LRU ---------------------------------------------------------------- *)
+
+let test_lru_policy () =
+  let l = Lru.create 2 in
+  check Alcotest.bool "no eviction below capacity" true (Lru.put l "a" 1 = None);
+  check Alcotest.bool "no eviction at capacity" true (Lru.put l "b" 2 = None);
+  check Alcotest.(list string) "recency order" [ "b"; "a" ] (Lru.keys_by_recency l);
+  (* touching [a] makes [b] the eviction candidate *)
+  check Alcotest.(option int) "hit refreshes" (Some 1) (Lru.find l "a");
+  check Alcotest.bool "lru evicted" true (Lru.put l "c" 3 = Some ("b", 2));
+  check Alcotest.(list string) "post-eviction order" [ "c"; "a" ] (Lru.keys_by_recency l);
+  (* replacing an existing key never evicts *)
+  check Alcotest.bool "replace in place" true (Lru.put l "a" 9 = None);
+  check Alcotest.(option int) "replaced value" (Some 9) (Lru.find l "a");
+  check Alcotest.int "length" 2 (Lru.length l)
+
+(* ---- registry ----------------------------------------------------------- *)
+
+let test_registry_skip_and_count () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  save_exn (Filename.concat dir "good_a.syn") (Lazy.force synopsis_a);
+  save_exn (Filename.concat dir "good_b.syn") (Lazy.force synopsis_b);
+  let oc = open_out (Filename.concat dir "rotten.syn") in
+  output_string oc "this is not a synopsis";
+  close_out oc;
+  let errors_before = counter "serve.load_error" in
+  let r = Registry.create () in
+  (match Registry.add_dir r dir with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "add_dir: %s" (Error.to_string e));
+  let report = Registry.load r in
+  check Alcotest.int "loaded" 2 report.Registry.loaded;
+  check Alcotest.int "skipped" 1 report.Registry.skipped;
+  check Alcotest.(list string) "only verified names admitted" [ "good_a"; "good_b" ]
+    (Registry.names r);
+  check Alcotest.bool "skip was counted" true (counter "serve.load_error" > errors_before);
+  check Alcotest.bool "rotten not found" true (Registry.find r "rotten" = None);
+  (* a reload after the good artifact rots keeps the admitted synopsis *)
+  let oc = open_out (Filename.concat dir "good_a.syn") in
+  output_string oc "rotted in place";
+  close_out oc;
+  let report = Registry.load r in
+  check Alcotest.int "reload skipped the rotted pair" 2 report.Registry.skipped;
+  check Alcotest.bool "previous admission survives" true
+    (Registry.find r "good_a" <> None)
+
+let test_registry_engine_lru () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  save_exn (Filename.concat dir "a.syn") (Lazy.force synopsis_a);
+  save_exn (Filename.concat dir "b.syn") (Lazy.force synopsis_b);
+  let r = Registry.create ~max_engines:1 () in
+  (match Registry.add_dir r dir with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "add_dir: %s" (Error.to_string e));
+  ignore (Registry.load r);
+  check Alcotest.int "bound" 1 (Registry.max_engines r);
+  let admits = counter "serve.engine_admit" in
+  let evicts = counter "serve.engine_evict" in
+  let hits = counter "serve.engine_hit" in
+  (match Registry.engine r "a" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "engine a: %s" (Error.to_string e));
+  check Alcotest.(list string) "a resident" [ "a" ] (Registry.engine_names r);
+  (match Registry.engine r "b" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "engine b: %s" (Error.to_string e));
+  check Alcotest.(list string) "b evicted a" [ "b" ] (Registry.engine_names r);
+  check Alcotest.int "two admits" (admits + 2) (counter "serve.engine_admit");
+  check Alcotest.int "one evict" (evicts + 1) (counter "serve.engine_evict");
+  ignore (Registry.engine r "b");
+  check Alcotest.int "resident engine is a hit" (hits + 1) (counter "serve.engine_hit");
+  match Registry.engine r "nope" with
+  | Error (Error.Admission _) -> ()
+  | Error e -> Alcotest.failf "expected admission error, got %s" (Error.to_string e)
+  | Ok _ -> Alcotest.fail "unknown name produced an engine"
+
+(* ---- live daemon -------------------------------------------------------- *)
+
+(* The daemon runs in a spawned domain of this process (Daemon.run
+   blocks its caller; Shutdown exits it), clients in further domains
+   doing only socket I/O. *)
+let with_daemon ?(max_engines = 8) sources f =
+  let dir = temp_dir () in
+  let endpoint = Protocol.Unix_sock (Filename.concat dir "d.sock") in
+  let registry = Registry.create ~max_engines () in
+  List.iter (fun (name, path) -> Registry.add_source registry ~name ~path) sources;
+  let ready = Atomic.make false in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.Daemon.run
+          ~config:{ Serve.Daemon.endpoint; max_engines; options = Serve.default_options }
+          ~on_ready:(fun _ -> Atomic.set ready true)
+          registry)
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
+    ignore (Unix.select [] [] [] 0.01)
+  done;
+  if not (Atomic.get ready) then Alcotest.fail "daemon did not come up";
+  Fun.protect
+    ~finally:(fun () ->
+      (* the shutdown frame can be refused under an active fault storm:
+         retry until acknowledged (faults are probabilistic) *)
+      let rec shut n =
+        if n = 0 then Alcotest.fail "daemon refused shutdown"
+        else
+          match Serve.Client.connect endpoint with
+          | Error _ -> shut (n - 1)
+          | Ok c ->
+            let r = Serve.Client.shutdown c in
+            Serve.Client.close c;
+            (match r with Ok () -> () | Error _ -> shut (n - 1))
+      in
+      shut 500;
+      Domain.join daemon;
+      rm_rf dir)
+    (fun () -> f endpoint)
+
+let query_sources syn =
+  let doc = Xc_data.Imdb.generate ~seed:81 ~n_movies:40 () in
+  let spec = { Xc_twig.Workload.default_spec with n_queries = 40; seed = 9 } in
+  let wl = Xc_twig.Workload.generate ~spec doc in
+  (* daemon-side queries are source text: keep only workload queries
+     whose rendering parses back (drop the leading "." of the pp form) *)
+  wl
+  |> List.filter_map (fun e ->
+         let s = Format.asprintf "%a" Xc_twig.Twig_query.pp e.Xc_twig.Workload.query in
+         let s =
+           if String.length s > 0 && s.[0] = '.' then
+             String.sub s 1 (String.length s - 1)
+           else s
+         in
+         match Xcluster.Query.parse s with
+         | q -> Some (s, Xcluster.Query.estimate_uncached syn q)
+         | exception _ -> None)
+  |> Array.of_list
+
+let test_daemon_concurrent_bitwise () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "imdb.syn" in
+  save_exn path (Lazy.force synopsis_a);
+  (* the reference is computed on the loaded artifact — the bytes the
+     daemon serves *)
+  let loaded =
+    match Xcluster.Store.load path with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "load: %s" (Xc_core.Codec.error_to_string e)
+  in
+  let qs = query_sources loaded in
+  check Alcotest.bool "workload renders to source" true (Array.length qs > 10);
+  let sources = Array.map fst qs in
+  let expected = Array.map snd qs in
+  with_daemon [ ("imdb", path) ] @@ fun endpoint ->
+  let client () =
+    Domain.spawn (fun () ->
+        match Serve.Client.connect endpoint with
+        | Error e -> Result.Error (Error.to_string e)
+        | Ok c ->
+          let r =
+            match Serve.Client.estimate_batch c ~synopsis:"imdb" sources with
+            | Ok floats -> Result.Ok floats
+            | Error e -> Result.Error (Error.to_string e)
+          in
+          Serve.Client.close c;
+          r)
+  in
+  let answers = List.map Domain.join (List.init 3 (fun _ -> client ())) in
+  List.iter
+    (fun answer ->
+      match answer with
+      | Result.Error e -> Alcotest.failf "client: %s" e
+      | Result.Ok floats ->
+        check Alcotest.int "answer count" (Array.length expected) (Array.length floats);
+        Array.iteri
+          (fun i v ->
+            check Alcotest.bool "bit-identical to estimate_uncached" true
+              (Int64.bits_of_float v = Int64.bits_of_float expected.(i)))
+          floats)
+    answers
+
+let test_daemon_error_frames () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "imdb.syn" in
+  save_exn path (Lazy.force synopsis_a);
+  with_daemon [ ("imdb", path) ] @@ fun endpoint ->
+  let c =
+    match Serve.Client.connect endpoint with
+    | Ok c -> c
+    | Error e -> Alcotest.failf "connect: %s" (Error.to_string e)
+  in
+  Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+  (match Serve.Client.estimate c ~synopsis:"nope" ~query:"//a" with
+  | Error (Error.Admission _) -> ()
+  | Error e -> Alcotest.failf "expected admission error, got %s" (Error.to_string e)
+  | Ok _ -> Alcotest.fail "unknown synopsis answered");
+  (match Serve.Client.estimate c ~synopsis:"imdb" ~query:"[[[" with
+  | Error (Error.Query _) -> ()
+  | Error e -> Alcotest.failf "expected query error, got %s" (Error.to_string e)
+  | Ok _ -> Alcotest.fail "unparsable query answered");
+  (* the connection survives error frames: a good request still works *)
+  (match Serve.Client.estimate c ~synopsis:"imdb" ~query:"//movie/title" with
+  | Ok v -> check Alcotest.bool "finite estimate" true (Float.is_finite v)
+  | Error e -> Alcotest.failf "estimate after errors: %s" (Error.to_string e));
+  (match Serve.Client.list_synopses c with
+  | Ok [| { Protocol.l_name = "imdb"; l_nodes; l_bytes; _ } |] ->
+    check Alcotest.bool "listed sizes" true (l_nodes > 0 && l_bytes > 0)
+  | Ok _ -> Alcotest.fail "unexpected listing"
+  | Error e -> Alcotest.failf "list: %s" (Error.to_string e));
+  (match Serve.Client.stats c with
+  | Ok json ->
+    check Alcotest.bool "stats is a JSON object" true
+      (String.length json > 0 && json.[0] = '{')
+  | Error e -> Alcotest.failf "stats: %s" (Error.to_string e));
+  match Serve.Client.reload c with
+  | Ok report -> check Alcotest.int "reload re-admits" 1 report.Registry.loaded
+  | Error e -> Alcotest.failf "reload: %s" (Error.to_string e)
+
+(* a storm of Truncate+Bit_flip faults on the daemon's socket-read site:
+   every request must come back Ok or as a typed error, and the daemon
+   must still answer cleanly once the storm lifts *)
+let test_daemon_survives_socket_storm () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "imdb.syn" in
+  save_exn path (Lazy.force synopsis_a);
+  with_daemon [ ("imdb", path) ] @@ fun endpoint ->
+  let saved = Fault.current () in
+  Fault.configure
+    (Some
+       {
+         Fault.seed = 17;
+         prob = 0.4;
+         kinds = [ Fault.Truncate; Fault.Bit_flip ];
+         sites = [ "serve.recv" ];
+       });
+  let ok = ref 0 and typed_errors = ref 0 in
+  Fun.protect ~finally:(fun () -> Fault.configure saved) (fun () ->
+      for _ = 1 to 60 do
+        match Serve.Client.connect endpoint with
+        | Error _ -> incr typed_errors
+        | Ok c ->
+          (match Serve.Client.estimate c ~synopsis:"imdb" ~query:"//movie/title" with
+          | Ok _ -> incr ok
+          | Error _ -> incr typed_errors);
+          Serve.Client.close c
+      done);
+  check Alcotest.int "every stormed request answered" 60 (!ok + !typed_errors);
+  check Alcotest.bool "storm actually fired" true (!typed_errors > 0);
+  (* storm lifted: the daemon is intact *)
+  match Serve.Client.connect endpoint with
+  | Error e -> Alcotest.failf "connect after storm: %s" (Error.to_string e)
+  | Ok c ->
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    (match Serve.Client.estimate c ~synopsis:"imdb" ~query:"//movie/title" with
+    | Ok _ -> ()
+    | Error e -> Alcotest.failf "estimate after storm: %s" (Error.to_string e))
+
+(* ---- deprecated flat aliases -------------------------------------------- *)
+
+(* the pre-redesign flat facade must still compile (deprecation alerts
+   are warnings, not errors) and behave identically to the submodules *)
+module Deprecated_surface = struct
+  [@@@alert "-deprecated"]
+  [@@@ocaml.warning "-3"]
+
+  let exercise () =
+    let syn = Lazy.force synopsis_a in
+    let q = Xcluster.parse_query "//movie/title" in
+    let flat = Xcluster.estimate syn q in
+    let scoped = Xcluster.Query.estimate syn q in
+    check Alcotest.bool "flat estimate = Query.estimate" true
+      (Int64.bits_of_float flat = Int64.bits_of_float scoped);
+    let batch = Xcluster.estimate_batch ~domains:1 syn [| q |] in
+    check Alcotest.bool "flat batch = flat estimate" true
+      (Int64.bits_of_float batch.(0) = Int64.bits_of_float flat);
+    (* a representative of every alias family, so removals break the build *)
+    let _ = Xcluster.build in
+    let _ = Xcluster.budget in
+    let _ = Xcluster.reference in
+    let _ = Xcluster.compress in
+    let _ = Xcluster.save_result in
+    let _ = Xcluster.load_result in
+    let _ = Xcluster.verify_file in
+    let _ = Xcluster.estimate_uncached in
+    let _ = Xcluster.batch_engine in
+    let _ = Xcluster.metrics_json in
+    ()
+end
+
+let test_deprecated_aliases () = Deprecated_surface.exercise ()
+
+(* ---- suite -------------------------------------------------------------- *)
+
+let () =
+  Alcotest.run ~and_exit:false "serve"
+    [ ( "protocol",
+        [ Alcotest.test_case "request round-trip" `Quick test_request_roundtrip;
+          Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+          Alcotest.test_case "truncation is total" `Quick test_truncation_total;
+          Alcotest.test_case "forged CRC detected" `Quick test_forged_crc;
+          Alcotest.test_case "hostile length rejected" `Quick test_hostile_length;
+          Alcotest.test_case "unknown tag rejected" `Quick test_bad_tag;
+          Alcotest.test_case "endpoint parsing" `Quick test_endpoint_parsing;
+          Alcotest.test_case "errors cross the wire" `Quick test_error_wire ] );
+      ( "options",
+        [ Alcotest.test_case "validation" `Quick test_options_validation ] );
+      ("lru", [ Alcotest.test_case "exact LRU policy" `Quick test_lru_policy ]);
+      ( "registry",
+        [ Alcotest.test_case "corrupt artifact skipped and counted" `Quick
+            test_registry_skip_and_count;
+          Alcotest.test_case "engine admission is bounded LRU" `Quick
+            test_registry_engine_lru ] );
+      ( "daemon",
+        [ Alcotest.test_case "concurrent clients, bitwise answers" `Quick
+            test_daemon_concurrent_bitwise;
+          Alcotest.test_case "typed error frames" `Quick test_daemon_error_frames;
+          Alcotest.test_case "survives socket fault storm" `Quick
+            test_daemon_survives_socket_storm ] );
+      ( "deprecated",
+        [ Alcotest.test_case "flat aliases compile and agree" `Quick
+            test_deprecated_aliases ] ) ]
