@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt bench bench-serve bench-fault bench-daemon clean
+.PHONY: all build test check fmt bench bench-serve bench-fault bench-daemon bench-update clean
 
 all: build
 
@@ -40,6 +40,13 @@ bench-fault:
 # JSON line to BENCH_daemon.json.
 bench-daemon:
 	dune exec bench/main.exe -- daemon
+
+# Incremental-maintenance benchmark: an XMark update stream applied to
+# a live builder (localized repair) vs a from-scratch rebuild, with
+# >= 10x speedup and < 1% added-error gates, plus the generation-swap
+# protocol checks. Appends a JSON line to BENCH_update.json.
+bench-update:
+	dune exec bench/main.exe -- update
 
 clean:
 	dune clean

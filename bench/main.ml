@@ -5,7 +5,8 @@
    Usage:  dune exec bench/main.exe [-- TARGET...]
    Targets: table1 table2 fig8a fig8b fig8c fig9 negative ablation-delta
             ablation-text ablation-numeric auto-split pipeline seal build
-            serve fault daemon micro (default: all of them, in that order)
+            serve fault daemon update micro (default: all of them, in
+            that order)
 
    Every run ends with a JSON metrics block (plan compiles, cache and
    reach-memo hit/miss counts, pool candidate evaluations, expansion
@@ -24,7 +25,9 @@
                  different width than requested.
      XC_FAULTS   fault-injection spec for the fault target (see
                  Xc_util.Fault); when unset the target installs its own
-                 all-kinds storm. *)
+                 all-kinds storm
+     XC_UPDATES  auction events in the update target's mutation stream
+                 (default 64, half opens / half closes). *)
 
 let scale =
   match Sys.getenv_opt "XC_SCALE" with
@@ -933,6 +936,196 @@ let run_daemon () =
     exit 1
   end
 
+(* ---- incremental maintenance -------------------------------------------
+   The update benchmark behind BENCH_update.json: an XMark auction
+   open/close stream applied to a live builder (Build.update_and_seal:
+   delta application + localized repair + freeze) versus a from-scratch
+   rebuild (reference construction + XCLUSTERBUILD) of the mutated
+   document. Gates (any failure exits non-zero): the incremental path
+   must be at least 10x faster than the rebuild, and its workload error
+   on the mutated document must be within 1 percentage point of the
+   fresh build's. A swap phase then drives the repaired generation
+   through Registry.swap/swap_from — including a corrupt-artifact
+   attempt that must keep the previous good generation serving.
+
+   Environment: XC_UPDATES sizes the stream (default 64 auction events,
+   half opens / half closes). *)
+
+let run_update () =
+  let module Registry = Xcluster.Serve.Registry in
+  let n_updates =
+    match Sys.getenv_opt "XC_UPDATES" with
+    | Some s -> (try max 2 (int_of_string s) with Failure _ -> 64)
+    | None -> 64
+  in
+  let ds = Lazy.force xmark in
+  let doc = ds.Xc_exp.Runner.doc in
+  let min_extent = ds.Xc_exp.Runner.min_extent in
+  (* paper budgets scaled with the document so the repair runs under
+     real merge pressure at every XC_SCALE — but floored well above the
+     build target's floor: the all-merged extreme is the worst-accuracy
+     regime, where the update approximations (deletions keep their value
+     summaries, deltas resolve per label) are amplified far past what
+     any serving deployment would run *)
+  let budget =
+    Xcluster.Build.budget
+      ~bstr_kb:(max 4 (int_of_float (Float.round (20.0 *. scale))))
+      ~bval_kb:(max 30 (int_of_float (Float.round (150.0 *. scale))))
+      ()
+  in
+  let live =
+    timed "update: xclusterbuild" (fun () ->
+        Xcluster.Build.compress_builder budget
+          (Xc_core.Reference.build ~min_extent doc))
+  in
+  let updates =
+    Xc_data.Xmark.update_stream ~seed:7 ~n_open:(n_updates / 2)
+      ~n_close:(n_updates - (n_updates / 2))
+      doc
+  in
+  let site_l = Xc_xml.Label.of_string "site" in
+  let open_l = Xc_xml.Label.of_string "open_auctions" in
+  let closed_l = Xc_xml.Label.of_string "closed_auctions" in
+  let muts =
+    List.concat_map
+      (function
+        | Xc_data.Xmark.Open subtree ->
+          [ Xcluster.Build.Insert { parent = [ site_l; open_l ]; subtree } ]
+        | Xc_data.Xmark.Close { opened; closed } ->
+          [ Xcluster.Build.Delete { parent = [ site_l; open_l ]; subtree = opened };
+            Xcluster.Build.Insert { parent = [ site_l; closed_l ]; subtree = closed } ])
+      updates
+  in
+  let mutated = Xc_data.Xmark.apply_stream doc updates in
+  (* rebuild: the path the incremental lifecycle replaces *)
+  let t0 = Unix.gettimeofday () in
+  let fresh = Xcluster.Build.run ~min_extent ~budget mutated in
+  let t_rebuild = Unix.gettimeofday () -. t0 in
+  (* incremental: apply + localized repair + freeze *)
+  let t0 = Unix.gettimeofday () in
+  let stats, incr_syn =
+    match Xcluster.Build.update_and_seal ~budget live muts with
+    | Ok r -> r
+    | Error e ->
+      Format.fprintf ppf "  ERROR: update rejected: %s@." e;
+      exit 1
+  in
+  let t_update = Unix.gettimeofday () -. t0 in
+  let speedup = t_rebuild /. Float.max t_update 1e-9 in
+  (* estimation error on the mutated document, both paths *)
+  let spec = { Xc_twig.Workload.default_spec with n_queries = min n_queries 200 } in
+  let wl = timed "update: workload" (fun () -> Xc_twig.Workload.generate ~spec mutated) in
+  let sanity = Xc_twig.Workload.sanity_bound wl in
+  let err syn =
+    Xc_exp.Error_metric.overall_relative ~sanity
+      (Xc_exp.Error_metric.score (Xc_core.Estimate.selectivity syn) wl)
+  in
+  let err_fresh = err fresh and err_update = err incr_syn in
+  let added_error = err_update -. err_fresh in
+  Format.fprintf ppf "@.Incremental maintenance (%s: %d auction events -> %d mutations)@."
+    ds.Xc_exp.Runner.name (List.length updates) (List.length muts);
+  Format.fprintf ppf "  rebuild:     %7.3f s  (reference + XCLUSTERBUILD)@." t_rebuild;
+  Format.fprintf ppf
+    "  incremental: %7.3f s  (apply + localized repair + freeze)  %.1fx@." t_update
+    speedup;
+  Format.fprintf ppf
+    "  repair: dirty %d, merges %d, created %d, removed %d, skipped branches %d@."
+    stats.Xcluster.Build.dirty stats.Xcluster.Build.repair_merges
+    stats.Xcluster.Build.created stats.Xcluster.Build.removed
+    stats.Xcluster.Build.skipped;
+  Format.fprintf ppf
+    "  workload error on the mutated doc: fresh %.4f, incremental %.4f (added %.4f)@."
+    err_fresh err_update added_error;
+  (* swap phase: the repaired generation through the registry. An
+     ambient XC_FAULTS storm may fail the save or the verify-load; the
+     contract is then exactly the corrupt-artifact one — the previous
+     good generation keeps serving and the counter does not move. *)
+  let swap_violations = ref 0 in
+  let dir = Filename.temp_file "xc_bench_update" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let reg = Registry.create () in
+  let gen1 = Registry.swap reg ~name:"xmark" fresh in
+  let path = Filename.concat dir "g2.syn" in
+  let swap_ok, generation =
+    match Xcluster.Store.save path incr_syn with
+    | Error e ->
+      Format.fprintf ppf "  swap: save failed (%s)@."
+        (Xc_core.Codec.error_to_string e);
+      (false, Registry.generation reg "xmark")
+    | Ok () -> (
+      match Registry.swap_from reg ~name:"xmark" ~path with
+      | Ok gen -> (true, gen)
+      | Error e ->
+        Format.fprintf ppf "  swap: skipped (%s)@."
+          (Xcluster.Serve.Error.to_string e);
+        (false, Registry.generation reg "xmark"))
+  in
+  if swap_ok && generation <> gen1 + 1 then begin
+    Format.fprintf ppf "  ERROR: swap committed but generation went %d -> %d@." gen1
+      generation;
+    incr swap_violations
+  end;
+  if (not swap_ok) && generation <> gen1 then begin
+    Format.fprintf ppf "  ERROR: failed swap moved the generation %d -> %d@." gen1
+      generation;
+    incr swap_violations
+  end;
+  if Registry.find reg "xmark" = None then begin
+    Format.fprintf ppf "  ERROR: name stopped serving across the swap@.";
+    incr swap_violations
+  end;
+  (* a corrupt artifact must be rejected with the generation pinned *)
+  let bad = Filename.concat dir "bad.syn" in
+  let oc = open_out bad in
+  output_string oc "not a synopsis";
+  close_out oc;
+  let gen_before = Registry.generation reg "xmark" in
+  (match Registry.swap_from reg ~name:"xmark" ~path:bad with
+  | Ok _ ->
+    Format.fprintf ppf "  ERROR: corrupt artifact admitted@.";
+    incr swap_violations
+  | Error _ -> ());
+  if Registry.generation reg "xmark" <> gen_before then begin
+    Format.fprintf ppf "  ERROR: corrupt swap moved the generation@.";
+    incr swap_violations
+  end;
+  Format.fprintf ppf "  swap: committed %b, generation %d, corrupt artifact rejected@."
+    swap_ok generation;
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let json =
+    Printf.sprintf
+      "{\"ts\":%.0f,\"dataset\":%S,\"scale\":%.3f,\"updates\":%d,\"mutations\":%d,\"t_rebuild_s\":%.4f,\"t_update_s\":%.4f,\"speedup\":%.2f,\"err_fresh\":%.5f,\"err_update\":%.5f,\"added_error\":%.5f,\"dirty\":%d,\"repair_merges\":%d,\"created\":%d,\"removed\":%d,\"swap_committed\":%b,\"generation\":%d}"
+      (Unix.gettimeofday ()) ds.Xc_exp.Runner.name scale (List.length updates)
+      (List.length muts) t_rebuild t_update speedup err_fresh err_update added_error
+      stats.Xcluster.Build.dirty stats.Xcluster.Build.repair_merges
+      stats.Xcluster.Build.created stats.Xcluster.Build.removed swap_ok generation
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_update.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf ppf "  appended to BENCH_update.json@.";
+  if !swap_violations > 0 then begin
+    Format.fprintf ppf "  ERROR: %d swap-protocol violations@." !swap_violations;
+    exit 1
+  end;
+  if speedup < 10.0 then begin
+    Format.fprintf ppf
+      "  ERROR: incremental update is only %.1fx faster than a rebuild (gate: 10x)@."
+      speedup;
+    exit 1
+  end;
+  if added_error >= 0.01 then begin
+    Format.fprintf ppf
+      "  ERROR: incremental update added %.4f estimation error (gate: < 0.01)@."
+      added_error;
+    exit 1
+  end
+
 (* ---- Bechamel micro-benchmarks ---------------------------------------- *)
 
 let micro_tests () =
@@ -1017,6 +1210,7 @@ let targets =
     ("serve", run_serve);
     ("fault", run_fault);
     ("daemon", run_daemon);
+    ("update", run_update);
     ("micro", run_micro) ]
 
 let () =

@@ -519,12 +519,13 @@ let client_cmd =
       required
       & pos 0 (some (enum
           [ ("estimate", `Estimate); ("batch", `Batch); ("list", `List);
-            ("stats", `Stats); ("reload", `Reload); ("shutdown", `Shutdown) ]))
+            ("stats", `Stats); ("update", `Update); ("reload", `Reload);
+            ("shutdown", `Shutdown) ]))
           None
       & info [] ~docv:"OP"
           ~doc:
             "One of $(b,estimate), $(b,batch), $(b,list), $(b,stats), \
-             $(b,reload), $(b,shutdown).")
+             $(b,update), $(b,reload), $(b,shutdown).")
   in
   let name_arg =
     Arg.(
@@ -552,6 +553,12 @@ let client_cmd =
       & info [ "strict" ]
           ~doc:"Refuse degraded (uncached) evaluation for this batch.")
   in
+  let path_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "path" ] ~docv:"FILE"
+          ~doc:"Artifact holding the repaired generation ($(b,update)).")
+  in
   (* Errors out of the serving layer map onto the tool's exit codes:
      protocol damage and daemon-internal trouble are [exit_internal];
      everything the caller can fix — unknown name, bad query, corrupt
@@ -570,7 +577,7 @@ let client_cmd =
       Xcluster.Serve.Client.close c;
       r
   in
-  let run socket op name queries domains strict =
+  let run socket op name queries domains strict path =
     guarded @@ fun () ->
     let endpoint = endpoint_of socket in
     let require_name () =
@@ -619,6 +626,18 @@ let client_cmd =
         Format.printf "%s@." json;
         0
       | Error e -> fail e)
+    | `Update -> (
+      let synopsis = require_name () in
+      let path =
+        match path with
+        | Some p -> p
+        | None -> raise (Usage "update needs --path FILE")
+      in
+      match Xcluster.Serve.Client.update c ~synopsis ~path with
+      | Ok generation ->
+        Format.printf "swapped %s to generation %d@." synopsis generation;
+        0
+      | Error e -> fail e)
     | `Reload -> (
       match Xcluster.Serve.Client.reload c with
       | Ok r ->
@@ -638,10 +657,11 @@ let client_cmd =
        ~doc:
          "Talk to a running $(b,serve) daemon: estimate one query or a batch \
           against a named synopsis, list what the daemon holds, fetch its \
-          metrics, trigger an artifact reload, or shut it down.")
+          metrics, swap a synopsis to a repaired generation, trigger an \
+          artifact reload, or shut it down.")
     Term.(
       const run $ socket_arg $ op_arg $ name_arg $ query_args $ domains_arg
-      $ strict_arg)
+      $ strict_arg $ path_arg)
 
 let () =
   let exits =

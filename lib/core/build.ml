@@ -83,6 +83,47 @@ let phase1_merge params syn =
           !str_size)
   end
 
+(* ---- localized phase-1 repair (incremental updates) ------------------- *)
+
+(* After Update has applied subtree deltas, only the dirty clusters and
+   their group peers can host profitable merges: repair seeds the pool
+   from the frontier ({!Pool.build_frontier}) and merges until the
+   structural budget holds again. If the localized pool runs dry while
+   the synopsis is still over budget (a large perturbation), repair
+   widens once to the full bottom-up build — counted, so the bench can
+   report how often locality was enough. *)
+let phase1_repair params syn ~frontier =
+  let str_size = ref (B.structural_bytes syn) in
+  let merges = ref 0 in
+  if !str_size > params.bstr then begin
+    let levels = Levels.compute syn in
+    let pool = Pool.build_frontier params.pool syn ~levels ~frontier in
+    let exhausted = ref false in
+    while !str_size > params.bstr && not !exhausted do
+      match Pool.pop_valid params.pool syn pool with
+      | Some cand ->
+        let lu = Levels.get levels ~default:0 cand.Pool.u in
+        let lv = Levels.get levels ~default:0 cand.Pool.v in
+        let w = Merge.apply syn cand.Pool.u cand.Pool.v in
+        str_size := !str_size - cand.Pool.saved;
+        incr merges;
+        Levels.set levels (B.sid w) (min lu lv);
+        Pool.push_neighbors params.pool syn pool ~levels ~level:max_int w
+      | None -> exhausted := true
+    done;
+    if !str_size > params.bstr then begin
+      Xc_util.Metrics.(incr global "update.repair_widened");
+      let before = B.n_nodes syn in
+      phase1_merge params syn;
+      merges := !merges + (before - B.n_nodes syn);
+      str_size := B.structural_bytes syn
+    end;
+    Log.debug (fun m ->
+        m "phase1 repair done: %d merges, %d nodes, %a structural" !merges
+          (B.n_nodes syn) Size.pp_bytes !str_size)
+  end;
+  !merges
+
 (* ---- phase 2: value-summary compression ------------------------------ *)
 
 (* Exactly one heap entry exists per node at any time (a node's summary
@@ -96,47 +137,76 @@ let phase1_merge params syn =
    {!Xc_vsumm.Value_summary.apply_compression} at pop — as the
    sequential-baseline leg of the construction benchmark. Both paths
    walk the same compression sequence and produce identical synopses. *)
+let compression_push params heap syn node =
+  if params.pool.Pool.full_scan then (
+    match Delta.compression_delta syn node with
+    | Some (delta, saved) ->
+      Heap.push heap (Delta.marginal_loss delta saved) (B.sid node, None)
+    | None -> ())
+  else
+    match Delta.compression_step syn node with
+    | Some (delta, step) ->
+      Heap.push heap
+        (Delta.marginal_loss delta step.Xc_vsumm.Value_summary.saved)
+        (B.sid node, Some step)
+    | None -> ()
+
+(* Pop/apply/re-push until the value budget holds or the heap is dry;
+   both phase2_compress and the localized repair drive this loop, they
+   differ only in how the heap is seeded. *)
+let compression_loop params heap syn val_size =
+  let exhausted = ref false in
+  while !val_size > params.bval && not !exhausted do
+    match Heap.pop heap with
+    | None -> exhausted := true
+    | Some (_, (sid, step)) ->
+      Xc_util.Metrics.(incr global "build.compression_steps");
+      let node = B.find syn sid in
+      let before = Xc_vsumm.Value_summary.size_bytes (B.vsumm node) in
+      let vsumm' =
+        match step with
+        | Some s -> Some (s.Xc_vsumm.Value_summary.apply ())
+        | None -> Xc_vsumm.Value_summary.apply_compression (B.vsumm node)
+      in
+      (match vsumm' with
+      | Some vsumm' ->
+        B.set_vsumm syn node vsumm';
+        let after = Xc_vsumm.Value_summary.size_bytes vsumm' in
+        val_size := !val_size - (before - after);
+        compression_push params heap syn node
+      | None -> ())
+  done
+
 let phase2_compress params syn =
   let val_size = ref (B.value_bytes syn) in
   if !val_size > params.bval then begin
     let heap = Heap.create () in
-    let push node =
-      if params.pool.Pool.full_scan then (
-        match Delta.compression_delta syn node with
-        | Some (delta, saved) ->
-          Heap.push heap (Delta.marginal_loss delta saved) (B.sid node, None)
-        | None -> ())
-      else
-        match Delta.compression_step syn node with
-        | Some (delta, step) ->
-          Heap.push heap
-            (Delta.marginal_loss delta step.Xc_vsumm.Value_summary.saved)
-            (B.sid node, Some step)
-        | None -> ()
-    in
-    B.iter push syn;
-    let exhausted = ref false in
-    while !val_size > params.bval && not !exhausted do
-      match Heap.pop heap with
-      | None -> exhausted := true
-      | Some (_, (sid, step)) ->
-        Xc_util.Metrics.(incr global "build.compression_steps");
-        let node = B.find syn sid in
-        let before = Xc_vsumm.Value_summary.size_bytes (B.vsumm node) in
-        let vsumm' =
-          match step with
-          | Some s -> Some (s.Xc_vsumm.Value_summary.apply ())
-          | None -> Xc_vsumm.Value_summary.apply_compression (B.vsumm node)
-        in
-        (match vsumm' with
-        | Some vsumm' ->
-          B.set_vsumm syn node vsumm';
-          let after = Xc_vsumm.Value_summary.size_bytes vsumm' in
-          val_size := !val_size - (before - after);
-          push node
-        | None -> ())
-    done;
+    B.iter (compression_push params heap syn) syn;
+    compression_loop params heap syn val_size;
     Log.debug (fun m -> m "phase2 done: %a value bytes" Size.pp_bytes !val_size)
+  end
+
+(* Localized phase-2 repair: only the dirty clusters' summaries changed
+   (inserts fused fresh detail into them), so only they can have
+   profitable compression steps. Seed the heap from the frontier; if
+   that is not enough to meet the budget, widen to the full scan once
+   (the usual case never needs to: deletes shrink summaries and inserts
+   touch a handful of clusters). *)
+let phase2_repair params syn ~frontier =
+  let val_size = ref (B.value_bytes syn) in
+  if !val_size > params.bval then begin
+    let heap = Heap.create () in
+    List.iter
+      (fun sid ->
+        if B.mem syn sid then compression_push params heap syn (B.find syn sid))
+      (List.sort_uniq Int.compare frontier);
+    compression_loop params heap syn val_size;
+    if !val_size > params.bval then begin
+      Xc_util.Metrics.(incr global "update.compress_widened");
+      phase2_compress params syn
+    end;
+    Log.debug (fun m ->
+        m "phase2 repair done: %a value bytes" Size.pp_bytes (B.value_bytes syn))
   end
 
 let run_builder params reference =

@@ -46,6 +46,22 @@ val phase1_merge : params -> Synopsis.Builder.t -> unit
 val phase2_compress : params -> Synopsis.Builder.t -> unit
 (** Runs the value-summary compression phase in place. *)
 
+val phase1_repair : budget -> Synopsis.Builder.t -> frontier:int list -> int
+(** Localized phase 1 for incremental maintenance ({!Update}): seeds the
+    candidate pool from the dirty-cluster [frontier] (sids; duplicates
+    and since-removed sids are ignored) via {!Pool.build_frontier} and
+    merges until the structural budget holds. If the localized pool
+    runs dry while the synopsis is still over budget — a perturbation
+    too large for locality — the repair widens once to the full
+    {!phase1_merge} (counted under the [update.repair_widened] metric).
+    Returns the number of merges applied. *)
+
+val phase2_repair : budget -> Synopsis.Builder.t -> frontier:int list -> unit
+(** Localized phase 2: seeds the compression heap from the [frontier]
+    only, falling back to the full {!phase2_compress} scan if the value
+    budget still does not hold (counted under
+    [update.compress_widened]). *)
+
 val run_builder : params -> Synopsis.Builder.t -> Synopsis.Builder.t
 (** Full XCLUSTERBUILD on a private copy of the reference synopsis,
     returned still mutable (the argument is not modified). Callers that

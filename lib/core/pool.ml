@@ -285,6 +285,19 @@ let push_neighbors config syn heap ~levels ~level node =
   Array.sort cand_compare cands;
   Array.iter (fun c -> Heap.push heap (cand_priority c) c) cands
 
+let build_frontier config syn ~levels ~frontier =
+  Metrics.incr Metrics.global "pool.frontier_builds";
+  Metrics.time Metrics.global "pool.build_frontier" @@ fun () ->
+  let heap = Heap.create () in
+  List.iter
+    (fun sid ->
+      if B.mem syn sid then
+        (* level = max_int lifts the bottom-up threshold: every group
+           peer of a dirty node is eligible *)
+        push_neighbors config syn heap ~levels ~level:max_int (B.find syn sid))
+    (List.sort_uniq Int.compare frontier);
+  heap
+
 let rec pop_valid config syn heap =
   match Heap.pop heap with
   | None -> None

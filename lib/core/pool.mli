@@ -61,6 +61,18 @@ val build : config -> Synopsis.Builder.t -> levels:Synopsis.Levels.t ->
 (** Builds a fresh pool of candidates among nodes with level ≤ [level],
     keeping the [hm] best by marginal loss. *)
 
+val build_frontier : config -> Synopsis.Builder.t ->
+  levels:Synopsis.Levels.t -> frontier:int list -> t
+(** The localized form of {!build} for incremental repair
+    ({!Update}): candidates pair each {e dirty} node (a sid in
+    [frontier]; duplicates and since-removed sids are ignored) with its
+    [neighbor_k] count-nearest group members, with no level threshold —
+    repair starts from the perturbed clusters, wherever they sit in the
+    bottom-up order. Touches only the frontier nodes' groups, never the
+    node table, so its cost scales with the perturbation, not the
+    synopsis. Deterministic: the frontier is processed in ascending sid
+    order and each neighbourhood push is itself deterministic. *)
+
 val push_neighbors : config -> Synopsis.Builder.t -> t ->
   levels:Synopsis.Levels.t -> level:int -> Synopsis.Builder.node -> unit
 (** After a merge produced a new node, pushes candidates pairing it with

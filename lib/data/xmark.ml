@@ -203,6 +203,78 @@ let category corpus rng =
       [ Node.leaf "name" (Value.Str (category_name rng));
         description corpus rng ~topic 0 ]
 
+(* ---- update stream ---------------------------------------------------- *)
+
+type update =
+  | Open of Node.t
+  | Close of { opened : Node.t; closed : Node.t }
+
+let site_container doc name =
+  let root = doc.Document.root in
+  if Label.to_string root.Node.label <> "site" then
+    invalid_arg "Xmark.update_stream: document root is not <site>";
+  match
+    Array.find_opt
+      (fun c -> Label.to_string c.Node.label = name)
+      root.Node.children
+  with
+  | Some c -> c
+  | None -> invalid_arg ("Xmark.update_stream: site has no <" ^ name ^ ">")
+
+let update_stream ?(seed = 2002) ~n_open ~n_close doc =
+  let rng = Rng.create (seed lxor 0x0a5eed) in
+  let corpus = Text_corpus.create ~vocab_size:2400 ~n_topics:16 (Rng.split rng) in
+  let opens = List.init n_open (fun _ -> Open (open_auction corpus rng)) in
+  (* closes pick distinct live open auctions (the auction churn XMark's
+     workload narrative describes): partial Fisher-Yates over the
+     container's physical children *)
+  let live = Array.copy (site_container doc "open_auctions").Node.children in
+  let n_close = min n_close (Array.length live) in
+  let closes =
+    List.init n_close (fun i ->
+        let j = i + Rng.int rng (Array.length live - i) in
+        let picked = live.(j) in
+        live.(j) <- live.(i);
+        live.(i) <- picked;
+        Close { opened = picked; closed = closed_auction corpus rng })
+  in
+  opens @ closes
+
+let rec copy_node (n : Node.t) =
+  { n with Node.children = Array.map copy_node n.Node.children; id = -1 }
+
+let apply_stream doc updates =
+  let opens = List.filter_map (function Open n -> Some n | _ -> None) updates in
+  let closes =
+    List.filter_map (function Close { opened; closed } -> Some (opened, closed) | _ -> None)
+      updates
+  in
+  let removed = List.map fst closes in
+  let root = doc.Document.root in
+  let rewrite container =
+    match Label.to_string container.Node.label with
+    | "open_auctions" ->
+      let kept =
+        List.filter
+          (fun n -> not (List.memq n removed))
+          (Array.to_list container.Node.children)
+      in
+      Node.make_l container.Node.label ~children:(kept @ opens)
+    | "closed_auctions" ->
+      Node.make_l container.Node.label
+        ~children:(Array.to_list container.Node.children @ List.map snd closes)
+    | _ -> container
+  in
+  ignore (site_container doc "open_auctions");
+  let site =
+    Node.make_l root.Node.label
+      ~children:(List.map rewrite (Array.to_list root.Node.children))
+  in
+  (* Document.create assigns preorder ids in place, so the mutated
+     document is built from a deep copy — the input document and the
+     stream's subtrees stay untouched and reusable *)
+  Document.create (copy_node site)
+
 let generate ?(seed = 2002) ?(scale = 1.0) () =
   let rng = Rng.create seed in
   let corpus = Text_corpus.create ~vocab_size:2400 ~n_topics:16 (Rng.split rng) in

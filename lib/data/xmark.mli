@@ -21,3 +21,31 @@ val generate : ?seed:int -> ?scale:float -> unit -> Xc_xml.Document.t
 
 val value_typing : (string * Xc_xml.Value.vtype) list
 (** Tag → value-type table for round-tripping through XML text. *)
+
+(** {2 Auction update stream}
+
+    The canonical mutation workload for incremental synopsis
+    maintenance ([Xc_core.Update]): auctions open (a fresh
+    [open_auction] subtree appears under [site/open_auctions]) and
+    close (a live [open_auction] disappears and a [closed_auction]
+    appears under [site/closed_auctions]). *)
+
+type update =
+  | Open of Xc_xml.Node.t  (** a fresh auction to insert *)
+  | Close of { opened : Xc_xml.Node.t; closed : Xc_xml.Node.t }
+      (** [opened] is a {e physical} child of the document's
+          [site/open_auctions] to delete; [closed] is the fresh
+          [closed_auction] subtree replacing it *)
+
+val update_stream :
+  ?seed:int -> n_open:int -> n_close:int -> Xc_xml.Document.t -> update list
+(** Deterministic stream of [n_open] opens followed by [n_close]
+    closes against the given XMark document: opens are fresh subtrees
+    from the same generator distributions; closes pick distinct live
+    auctions. [n_close] is clamped to the number of live auctions.
+    @raise Invalid_argument if the document is not an XMark site. *)
+
+val apply_stream : Xc_xml.Document.t -> update list -> Xc_xml.Document.t
+(** The ground truth the synopsis-side [Xc_core.Update] is measured
+    against: the mutated document itself, built from a deep copy (the
+    input document and the stream stay untouched). *)

@@ -79,6 +79,12 @@ let stats t =
   | Ok _ -> unexpected ()
   | Error _ as e -> e
 
+let update t ~synopsis ~path =
+  match round_trip t (Protocol.Update { synopsis; path }) with
+  | Ok (Protocol.Swapped { generation }) -> Ok generation
+  | Ok _ -> unexpected ()
+  | Error _ as e -> e
+
 let reload t =
   match round_trip t Protocol.Reload with
   | Ok (Protocol.Reloaded { loaded; skipped }) ->

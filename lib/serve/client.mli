@@ -30,6 +30,13 @@ val list_synopses : t -> (Protocol.listed array, Error.t) result
 val stats : t -> (string, Error.t) result
 (** The daemon's metrics snapshot as a JSON object. *)
 
+val update :
+  t -> synopsis:string -> path:string -> (int, Error.t) result
+(** Swap the named synopsis to the repaired generation stored at
+    [path] (daemon-side {!Registry.swap_from}); [Ok generation] once
+    the swap committed. A corrupt artifact is a typed error and the
+    daemon keeps serving the previous good generation. *)
+
 val reload : t -> (Registry.load_report, Error.t) result
 val shutdown : t -> (unit, Error.t) result
 (** Ask the daemon to exit cleanly; [Ok ()] once it acknowledged. *)

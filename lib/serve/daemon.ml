@@ -131,6 +131,17 @@ let dispatch config registry req =
       (Array.of_list (List.filter_map (listed_of registry) (Registry.names registry)))
   | Protocol.Stats ->
     Protocol.Stats_json (Metrics.to_json (Metrics.snapshot Metrics.global))
+  | Protocol.Update { synopsis; path } -> (
+    (* the generation swap: verify-load the repaired artifact, then
+       commit it under the name. A corrupt artifact is an error frame —
+       the previous good generation keeps serving (skip-and-count). *)
+    let t0 = Unix.gettimeofday () in
+    match Registry.swap_from registry ~name:synopsis ~path with
+    | Ok generation ->
+      Metrics.observe Metrics.global "serve.swap_us"
+        (1e6 *. (Unix.gettimeofday () -. t0));
+      Protocol.Swapped { generation }
+    | Error e -> error_frame e)
   | Protocol.Reload ->
     let r = Registry.load registry in
     Protocol.Reloaded { loaded = r.Registry.loaded; skipped = r.Registry.skipped }

@@ -26,6 +26,11 @@ let table_find tbl create syn =
 let cache_for syn = table_find caches Plan.Cache.create syn
 let batch_for syn = table_find batch_engines Plan.Batch.create syn
 
+let drop syn =
+  let uid = Sealed.uid syn in
+  Hashtbl.remove caches uid;
+  Hashtbl.remove batch_engines uid
+
 let estimate_uncached = Xc_core.Estimate.selectivity
 
 (* Serving never raises on a per-synopsis failure: if the compiled

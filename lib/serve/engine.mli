@@ -28,6 +28,12 @@ val cache_for : synopsis -> Xc_core.Plan.Cache.t
 val batch_for : synopsis -> Xc_core.Plan.Batch.t
 (** The synopsis's batch engine, created on first use. *)
 
+val drop : synopsis -> unit
+(** Evict the synopsis's cached plan cache and batch engine, if any.
+    Caches key on the sealed uid so a stale generation can never be
+    {e reused} for a new one — [drop] additionally frees the memory
+    promptly when a generation is retired ({!Registry.swap}). *)
+
 val estimate_uncached : synopsis -> query -> float
 (** {!Xc_core.Estimate.selectivity} — the baseline every cached path is
     validated against, and the last rung of the degradation ladder. *)

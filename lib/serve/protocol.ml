@@ -38,6 +38,7 @@ type request =
     }
   | List_synopses
   | Stats
+  | Update of { synopsis : string; path : string }
   | Reload
   | Shutdown
 
@@ -48,6 +49,7 @@ type response =
   | Synopses of listed array
   | Stats_json of string
   | Reloaded of { loaded : int; skipped : int }
+  | Swapped of { generation : int }
   | Done
   | Error_frame of { code : int; message : string }
 
@@ -60,11 +62,13 @@ let tag_list = 0x03
 let tag_stats = 0x04
 let tag_reload = 0x05
 let tag_shutdown = 0x06
+let tag_update = 0x07
 let tag_floats = 0x41
 let tag_synopses = 0x42
 let tag_stats_json = 0x43
 let tag_reloaded = 0x44
 let tag_done = 0x45
+let tag_swapped = 0x46
 let tag_error = 0x7F
 
 let max_payload = 1 lsl 26 (* 64 MiB *)
@@ -163,6 +167,10 @@ let encode_request req =
       put_int buf (Array.length queries);
       Array.iter (put_string buf) queries;
       tag_estimate_batch
+    | Update { synopsis; path } ->
+      put_string buf synopsis;
+      put_string buf path;
+      tag_update
     | List_synopses -> tag_list
     | Stats -> tag_stats
     | Reload -> tag_reload
@@ -195,6 +203,9 @@ let encode_response resp =
       put_int buf loaded;
       put_int buf skipped;
       tag_reloaded
+    | Swapped { generation } ->
+      put_int buf generation;
+      tag_swapped
     | Done -> tag_done
     | Error_frame { code; message } ->
       put_int buf code;
@@ -231,6 +242,11 @@ let parse_request (tag, r) =
     let n = get_count r ~elt_min:8 ~what:"query count" in
     Estimate_batch { synopsis; queries = Array.init n (fun _ -> get_string r); options }
   end
+  else if tag = tag_update then begin
+    let synopsis = get_string r in
+    let path = get_string r in
+    Update { synopsis; path }
+  end
   else if tag = tag_list then List_synopses
   else if tag = tag_stats then Stats
   else if tag = tag_reload then Reload
@@ -256,6 +272,7 @@ let parse_response (tag, r) =
     let skipped = get_int r in
     Reloaded { loaded; skipped }
   end
+  else if tag = tag_swapped then Swapped { generation = get_int r }
   else if tag = tag_done then Done
   else if tag = tag_error then begin
     let code = get_int r in

@@ -52,6 +52,11 @@ type request =
     }
   | List_synopses
   | Stats  (** the daemon's metrics snapshot as JSON *)
+  | Update of { synopsis : string; path : string }
+      (** swap the named synopsis to the repaired generation stored at
+          [path] ({!Registry.swap_from}); answered with [Swapped] on
+          success, and on a corrupt artifact with an error frame while
+          the previous good generation keeps serving *)
   | Reload  (** re-scan every registered artifact *)
   | Shutdown  (** stop accepting; the daemon exits its loop cleanly *)
 
@@ -68,6 +73,8 @@ type response =
   | Synopses of listed array
   | Stats_json of string
   | Reloaded of { loaded : int; skipped : int }
+  | Swapped of { generation : int }
+      (** acknowledges [Update] with the name's new generation number *)
   | Done  (** acknowledges [Shutdown] *)
   | Error_frame of { code : int; message : string }
       (** see {!Error.to_wire} / {!Error.of_wire} *)

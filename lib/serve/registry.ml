@@ -6,6 +6,7 @@ module Metrics = Xc_util.Metrics
 type t = {
   sources : (string, string) Hashtbl.t; (* name -> path *)
   admitted : (string, Sealed.t) Hashtbl.t;
+  generations : (string, int) Hashtbl.t; (* name -> admissions of distinct content *)
   engines : Plan.Batch.t Lru.t;
 }
 
@@ -13,6 +14,7 @@ let create ?(max_engines = 8) () =
   {
     sources = Hashtbl.create 16;
     admitted = Hashtbl.create 16;
+    generations = Hashtbl.create 16;
     engines = Lru.create max_engines;
   }
 
@@ -36,15 +38,26 @@ let sources t =
 
 type load_report = { loaded : int; skipped : int }
 
+let generation t name =
+  Option.value ~default:0 (Hashtbl.find_opt t.generations name)
+
 (* Admission: the codec's total decoder is the verify step — an [Ok]
-   here has passed framing, per-section CRCs, and graph validation. *)
+   here has passed framing, per-section CRCs, and graph validation.
+   The replace of [t.admitted] is the generation-swap commit point: a
+   single Hashtbl write, so a reader resolving the name sees either
+   the old complete generation or the new one, never a mixture (the
+   daemon serializes requests; in-flight batches hold the Sealed.t
+   they resolved and finish on it). *)
 let admit t name syn =
   (match Hashtbl.find_opt t.admitted name with
   | Some old when Sealed.uid old <> Sealed.uid syn ->
-    (* content changed: the cached engine compiled against the old
-       synopsis must go *)
-    Lru.remove t.engines name
-  | _ -> ());
+    (* content changed: the cached engine and plan caches compiled
+       against the retired generation must go *)
+    Lru.remove t.engines name;
+    Engine.drop old;
+    Hashtbl.replace t.generations name (generation t name + 1)
+  | Some _ -> ()
+  | None -> Hashtbl.replace t.generations name (generation t name + 1));
   Hashtbl.replace t.admitted name syn;
   Metrics.incr Metrics.global "serve.load_ok"
 
@@ -65,14 +78,36 @@ let load t =
       else { acc with skipped = acc.skipped + 1 })
     { loaded = 0; skipped = 0 } (sources t)
 
+(* The source registration happens only after the artifact verifies:
+   a corrupt path must not clobber the last good source either — a
+   later directory-wide reload would otherwise re-trip over it and the
+   registry would have forgotten where the good generation came from. *)
 let load_one t ~name ~path =
-  add_source t ~name ~path;
   match Codec.load path with
   | Ok syn ->
+    add_source t ~name ~path;
     admit t name syn;
     Ok ()
   | Error e ->
     Metrics.incr Metrics.global "serve.load_error";
+    Error (Error.Codec e)
+
+(* ---- generation swap ---------------------------------------------------- *)
+
+let swap t ~name syn =
+  Metrics.incr Metrics.global "serve.swap";
+  admit t name syn;
+  generation t name
+
+let swap_from t ~name ~path =
+  match Codec.load path with
+  | Ok syn ->
+    add_source t ~name ~path;
+    Ok (swap t ~name syn)
+  | Error e ->
+    (* skip-and-count: the previous good generation keeps serving *)
+    Metrics.incr Metrics.global "serve.load_error";
+    Metrics.incr Metrics.global "serve.swap_skipped";
     Error (Error.Codec e)
 
 let find t name = Hashtbl.find_opt t.admitted name

@@ -16,8 +16,21 @@
     synopsis table — is the memory-bounded resource. Eviction only
     drops cached compilation work; the next request rebuilds it.
 
+    {b Generations.} Every admission of {e new content} for a name
+    (a different sealed uid) bumps that name's generation counter.
+    {!swap} is the incremental-maintenance commit: it replaces the
+    named synopsis with its repaired generation in a single table
+    write, so a reader resolving the name observes either the old
+    complete generation or the new one, never a half-repaired mixture;
+    in-flight batches hold the [Sealed.t] they resolved and finish on
+    the generation they started with. Retiring a generation also drops
+    its registry engine and the process-wide {!Engine} caches keyed on
+    its uid — stale engines are freed, never reused, because every
+    {!Xc_core.Synopsis.freeze} carries a fresh uid.
+
     Counters: [serve.load_ok], [serve.load_error], [serve.engine_admit],
-    [serve.engine_evict], [serve.engine_hit]. *)
+    [serve.engine_evict], [serve.engine_hit], [serve.swap],
+    [serve.swap_skipped]. *)
 
 type t
 
@@ -45,12 +58,38 @@ type load_report = { loaded : int; skipped : int }
 val load : t -> load_report
 (** (Re)load every source through {!Xc_core.Codec.load}: a verified
     artifact is admitted (replacing the previous synopsis of that name,
-    and dropping its cached engine if the content changed); a failing
-    one is skipped and counted, keeping any previously admitted
-    synopsis for that name. *)
+    and dropping its cached engine if the content changed). A failing
+    artifact is {b skipped and counted} ([serve.load_error]), and the
+    name {e keeps serving its previously admitted generation} — a
+    reload can never downgrade a tenant from a good synopsis to
+    nothing. Only the report's [skipped] field and the counter reveal
+    the failure. *)
 
 val load_one : t -> name:string -> path:string -> (unit, Error.t) result
-(** {!add_source} + admit just that artifact now. *)
+(** Verify-then-admit just this artifact. The source registration also
+    only happens on success: a corrupt [path] leaves both the previous
+    admission {e and} the previous source of [name] untouched (so a
+    later {!load} still reloads from the last good path), returns the
+    codec error, and counts [serve.load_error]. *)
+
+(* ---- generation swap ---------------------------------------------------- *)
+
+val swap : t -> name:string -> Xc_core.Synopsis.Sealed.t -> int
+(** Atomically replace the named synopsis with a repaired generation
+    (see {e Generations} above) and return the new generation number.
+    Also counts [serve.swap]. The synopsis is already in memory, so
+    this never fails; first use of a name admits generation 1. *)
+
+val swap_from : t -> name:string -> path:string -> (int, Error.t) result
+(** {!swap} from a disk artifact: verify-load [path], then swap it in
+    and remember [path] as the name's source. On a corrupt artifact
+    the previous good generation keeps serving — nothing is replaced,
+    [serve.load_error] and [serve.swap_skipped] are counted, and the
+    codec error is returned. This is the daemon's [update] verb. *)
+
+val generation : t -> string -> int
+(** How many distinct generations of content this name has admitted;
+    0 for a name never admitted. *)
 
 (* ---- lookup ------------------------------------------------------------ *)
 

@@ -19,10 +19,32 @@ module Build = struct
   let reference = Xc_core.Reference.build
   let seal = Synopsis.freeze
   let compress b reference = Xc_core.Build.run b reference
+  let compress_builder = Xc_core.Build.run_builder
 
   let run ?budget:b ?min_extent ?value_min_extent ?value_paths doc =
     let b = match b with Some b -> b | None -> budget () in
     compress b (reference ?min_extent ?value_min_extent ?value_paths doc)
+
+  type mutation = Xc_core.Update.mutation =
+    | Insert of { parent : Xc_xml.Label.t list; subtree : Xc_xml.Node.t }
+    | Delete of { parent : Xc_xml.Label.t list; subtree : Xc_xml.Node.t }
+
+  type update_stats = Xc_core.Update.stats = {
+    applied : int;
+    skipped : int;
+    dirty : int;
+    created : int;
+    removed : int;
+    repair_merges : int;
+  }
+
+  let update ?budget:b syn mutations =
+    let b = match b with Some b -> b | None -> budget () in
+    Xc_core.Update.apply ~budget:b syn mutations
+
+  let update_and_seal ?budget:b syn mutations =
+    let b = match b with Some b -> b | None -> budget () in
+    Xc_core.Update.apply_and_seal ~budget:b syn mutations
 
   let auto_split = Xc_core.Build.auto_split
   let builder_stats ppf b = Synopsis.Builder.pp_stats ppf b
@@ -93,50 +115,3 @@ module Metrics = struct
   let json () = Mx.to_json (snapshot ())
   let reset () = Mx.reset Mx.global
 end
-
-(* ---- deprecated flat aliases ------------------------------------------ *)
-
-let budget = Build.budget
-let reference = Build.reference
-let seal = Build.seal
-let compress = Build.compress
-let build = Build.run
-let auto_split = Build.auto_split
-let builder_stats = Build.builder_stats
-let validate_builder = Build.validate_builder
-let parse_query = Query.parse
-let estimate = Query.estimate
-let plan = Query.plan
-let estimate_with_plan = Query.estimate_with_plan
-
-(* the old loose convention: [domains <= 0] (or omitted) meant "use the
-   XC_DOMAINS environment variable" — mapped onto the options record
-   the redesign replaces it with *)
-let estimate_batch ?domains syn queries =
-  let options =
-    {
-      Xc_serve.Options.domains =
-        (match domains with Some d when d > 0 -> Some d | _ -> None);
-      fallback = Xc_serve.Options.Degrade;
-    }
-  in
-  Xc_serve.Engine.estimate_batch_exn ~options syn queries
-
-let batch_engine = Serve.batch_engine
-let estimate_uncached = Query.estimate_uncached
-let explain = Query.explain
-let validate = Query.validate
-let pp_stats = Query.pp_stats
-let n_nodes = Query.n_nodes
-let n_edges = Query.n_edges
-let size_bytes = Query.size_bytes
-let succ = Query.succ
-let pred = Query.pred
-let save = Store.save_exn
-let load = Store.load_exn
-let save_result = Store.save
-let load_result = Store.load
-let verify_file = Store.verify
-let metrics_snapshot = Metrics.snapshot
-let metrics_json = Metrics.json
-let metrics_reset = Metrics.reset

@@ -23,11 +23,6 @@
     [_exn]-suffixed variants for callers that have already verified
     their input.
 
-    {b Compatibility.} The pre-submodule flat names ([build],
-    [estimate], [save], …) remain as thin deprecated aliases at the end
-    of this interface; they compile (deprecation is a warning, marked
-    non-fatal workspace-wide) and behave exactly as before.
-
     A synopsis has two lives. During construction it is a mutable
     {!builder} ({!Xc_core.Synopsis.Builder.t}): {!Build.reference}
     produces one, and the build algorithms merge and compress it in
@@ -36,7 +31,15 @@
     freeze on the way out, {!Build.seal} freezes a builder directly,
     and estimation, explanation, and persistence accept only the sealed
     form. Sealed synopses never mutate, so the per-synopsis plan caches
-    need no invalidation machinery. *)
+    need no invalidation machinery.
+
+    {b Incremental maintenance.} A live builder can absorb document
+    mutations without a rebuild: {!Build.update} applies a batch of
+    subtree insert/delete deltas and repairs the budgets locally
+    ({!Xc_core.Update}); {!Build.update_and_seal} freezes the repaired
+    generation, which a serving registry swaps in atomically
+    ({!Serve.Registry.swap}). Each freeze carries a fresh uid, so every
+    engine cache naturally drops the stale generation. *)
 
 type document = Xc_xml.Document.t
 type query = Xc_twig.Twig_query.t
@@ -79,6 +82,12 @@ module Build : sig
   (** XCLUSTERBUILD: compress a reference synopsis to the budget (on a
       private copy; the argument is unchanged) and seal the result. *)
 
+  val compress_builder : budget -> builder -> builder
+  (** {!compress} without the freeze ({!Xc_core.Build.run_builder}):
+      the budgeted synopsis still in mutable form, the starting point
+      of an incremental-update loop ({!update} keeps repairing it in
+      place; {!seal} cuts each served generation). *)
+
   val run :
     ?budget:budget ->
     ?min_extent:int ->
@@ -88,6 +97,36 @@ module Build : sig
     synopsis
   (** [reference] followed by [compress] — document to budgeted
       synopsis in one call. *)
+
+  type mutation = Xc_core.Update.mutation =
+    | Insert of { parent : Xc_xml.Label.t list; subtree : Xc_xml.Node.t }
+    | Delete of { parent : Xc_xml.Label.t list; subtree : Xc_xml.Node.t }
+        (** A subtree insert/delete under the element named by the
+            root-inclusive label path [parent] — see
+            {!Xc_core.Update.mutation}. *)
+
+  type update_stats = Xc_core.Update.stats = {
+    applied : int;
+    skipped : int;
+    dirty : int;
+    created : int;
+    removed : int;
+    repair_merges : int;
+  }
+
+  val update :
+    ?budget:budget -> builder -> mutation list -> (update_stats, string) result
+  (** Apply a mutation batch to a live builder in place and repair it
+      back under the budget with localized phase-1/phase-2 passes
+      ({!Xc_core.Update.apply}). [Error] on a batch whose parent path
+      does not resolve — the builder is then untouched. *)
+
+  val update_and_seal :
+    ?budget:budget -> builder -> mutation list ->
+    (update_stats * synopsis, string) result
+  (** {!update} followed by {!seal}: the repaired generation ready for
+      {!Serve.Registry.swap}; the builder stays live for the next
+      batch. *)
 
   val auto_split :
     ?ratios:float list ->
@@ -266,107 +305,3 @@ module Metrics : sig
 
   val reset : unit -> unit
 end
-
-(* ---- deprecated flat aliases ------------------------------------------
-   The pre-submodule surface, kept so existing callers compile through
-   the transition window. Each alias is exactly its submodule
-   counterpart; new code should use the submodules. *)
-
-val budget : ?pool:Xc_core.Pool.config -> ?bstr_kb:int -> ?bval_kb:int -> unit -> budget
-[@@ocaml.deprecated "use Xcluster.Build.budget"]
-
-val reference :
-  ?detail:Xc_core.Reference.detail -> ?min_extent:int -> ?value_min_extent:int ->
-  ?value_paths:Xc_xml.Label.t list list -> document -> builder
-[@@ocaml.deprecated "use Xcluster.Build.reference"]
-
-val seal : builder -> synopsis
-[@@ocaml.deprecated "use Xcluster.Build.seal"]
-
-val compress : budget -> builder -> synopsis
-[@@ocaml.deprecated "use Xcluster.Build.compress"]
-
-val build : ?budget:budget -> ?min_extent:int -> ?value_min_extent:int ->
-  ?value_paths:Xc_xml.Label.t list list -> document -> synopsis
-[@@ocaml.deprecated "use Xcluster.Build.run"]
-
-val auto_split : ?ratios:float list -> total_kb:int ->
-  sample:(synopsis -> float) -> builder -> budget * synopsis
-[@@ocaml.deprecated "use Xcluster.Build.auto_split"]
-
-val builder_stats : Format.formatter -> builder -> unit
-[@@ocaml.deprecated "use Xcluster.Build.builder_stats"]
-
-val validate_builder : builder -> (unit, string) result
-[@@ocaml.deprecated "use Xcluster.Build.validate_builder"]
-
-val parse_query : string -> query
-[@@ocaml.deprecated "use Xcluster.Query.parse"]
-
-val estimate : synopsis -> query -> float
-[@@ocaml.deprecated "use Xcluster.Query.estimate"]
-
-val plan : synopsis -> query -> Xc_core.Plan.t
-[@@ocaml.deprecated "use Xcluster.Query.plan"]
-
-val estimate_with_plan : Xc_core.Plan.t -> float
-[@@ocaml.deprecated "use Xcluster.Query.estimate_with_plan"]
-
-val estimate_batch : ?domains:int -> synopsis -> query array -> float array
-[@@ocaml.deprecated
-  "use Xcluster.Serve.estimate_batch (an options record replaces the \
-   domains<=0 sentinel)"]
-
-val batch_engine : synopsis -> Xc_core.Plan.Batch.t
-[@@ocaml.deprecated "use Xcluster.Serve.batch_engine"]
-
-val estimate_uncached : synopsis -> query -> float
-[@@ocaml.deprecated "use Xcluster.Query.estimate_uncached"]
-
-val explain : synopsis -> query -> Xc_core.Estimate.explanation list
-[@@ocaml.deprecated "use Xcluster.Query.explain"]
-
-val validate : synopsis -> (unit, string) result
-[@@ocaml.deprecated "use Xcluster.Query.validate"]
-
-val pp_stats : Format.formatter -> synopsis -> unit
-[@@ocaml.deprecated "use Xcluster.Query.pp_stats"]
-
-val n_nodes : synopsis -> int
-[@@ocaml.deprecated "use Xcluster.Query.n_nodes"]
-
-val n_edges : synopsis -> int
-[@@ocaml.deprecated "use Xcluster.Query.n_edges"]
-
-val size_bytes : synopsis -> int
-[@@ocaml.deprecated "use Xcluster.Query.size_bytes"]
-
-val succ : synopsis -> int -> (int * float) list
-[@@ocaml.deprecated "use Xcluster.Query.succ"]
-
-val pred : synopsis -> int -> int list
-[@@ocaml.deprecated "use Xcluster.Query.pred"]
-
-val save : string -> synopsis -> unit
-[@@ocaml.deprecated "use Xcluster.Store.save (result) or Store.save_exn"]
-
-val load : string -> synopsis
-[@@ocaml.deprecated "use Xcluster.Store.load (result) or Store.load_exn"]
-
-val save_result : string -> synopsis -> (unit, Xc_core.Codec.error) result
-[@@ocaml.deprecated "use Xcluster.Store.save"]
-
-val load_result : string -> (synopsis, Xc_core.Codec.error) result
-[@@ocaml.deprecated "use Xcluster.Store.load"]
-
-val verify_file : string -> (Xc_core.Codec.info, Xc_core.Codec.error) result
-[@@ocaml.deprecated "use Xcluster.Store.verify"]
-
-val metrics_snapshot : unit -> Xc_util.Metrics.snapshot
-[@@ocaml.deprecated "use Xcluster.Metrics.snapshot"]
-
-val metrics_json : unit -> string
-[@@ocaml.deprecated "use Xcluster.Metrics.json"]
-
-val metrics_reset : unit -> unit
-[@@ocaml.deprecated "use Xcluster.Metrics.reset"]

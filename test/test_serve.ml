@@ -33,6 +33,15 @@ let synopsis_b =
        ~budget:(Xcluster.Build.budget ~bstr_kb:4 ~bval_kb:20 ())
        doc)
 
+(* a second generation for the same dataset as [synopsis_a]: a tighter
+   structural budget, so its estimates (and its uid) differ *)
+let synopsis_a2 =
+  lazy
+    (let doc = Xc_data.Imdb.generate ~seed:81 ~n_movies:40 () in
+     Xcluster.Build.run ~min_extent:4
+       ~budget:(Xcluster.Build.budget ~bstr_kb:2 ~bval_kb:12 ())
+       doc)
+
 let temp_dir () =
   let dir = Filename.temp_file "xc_serve_test" "" in
   Sys.remove dir;
@@ -66,6 +75,8 @@ let sample_requests =
       { synopsis = ""; queries = [||]; options = Serve.default_options };
     Protocol.List_synopses;
     Protocol.Stats;
+    Protocol.Update { synopsis = "imdb"; path = "/var/lib/xc/imdb.g2.syn" };
+    Protocol.Update { synopsis = ""; path = "" };
     Protocol.Reload;
     Protocol.Shutdown ]
 
@@ -77,6 +88,7 @@ let sample_responses =
          { Protocol.l_name = ""; l_nodes = 0; l_edges = 0; l_bytes = 0 } |];
     Protocol.Stats_json "{\"counters\":{}}";
     Protocol.Reloaded { loaded = 3; skipped = 1 };
+    Protocol.Swapped { generation = 42 };
     Protocol.Done;
     Protocol.Error_frame { code = 4; message = "query 0: nope" } ]
 
@@ -474,39 +486,161 @@ let test_daemon_survives_socket_storm () =
     | Ok _ -> ()
     | Error e -> Alcotest.failf "estimate after storm: %s" (Error.to_string e))
 
-(* ---- deprecated flat aliases -------------------------------------------- *)
+(* ---- generation swap ----------------------------------------------------- *)
 
-(* the pre-redesign flat facade must still compile (deprecation alerts
-   are warnings, not errors) and behave identically to the submodules *)
-module Deprecated_surface = struct
-  [@@@alert "-deprecated"]
-  [@@@ocaml.warning "-3"]
+(* Registry.swap: the generation counter bumps exactly on uid change,
+   and a corrupt artifact keeps the previous good generation serving
+   (skip-and-count). *)
+let test_registry_swap_generations () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let reg = Registry.create () in
+  let g1 = Lazy.force synopsis_a in
+  check Alcotest.int "fresh name starts at 0" 0 (Registry.generation reg "imdb");
+  check Alcotest.int "first swap" 1 (Registry.swap reg ~name:"imdb" g1);
+  check Alcotest.int "same uid does not bump" 1 (Registry.swap reg ~name:"imdb" g1);
+  let path2 = Filename.concat dir "g2.syn" in
+  save_exn path2 (Lazy.force synopsis_a2);
+  (match Registry.swap_from reg ~name:"imdb" ~path:path2 with
+  | Ok gen -> check Alcotest.int "uid change bumps" 2 gen
+  | Error e -> Alcotest.failf "swap_from: %s" (Error.to_string e));
+  let expected_g2 =
+    match Xcluster.Store.load path2 with
+    | Ok s -> Xcluster.Query.estimate_uncached s (Xcluster.Query.parse "//movie/title")
+    | Error e -> Alcotest.failf "load: %s" (Xc_core.Codec.error_to_string e)
+  in
+  let serving () =
+    match Registry.find reg "imdb" with
+    | Some syn -> Xcluster.Query.estimate_uncached syn (Xcluster.Query.parse "//movie/title")
+    | None -> Alcotest.fail "name disappeared"
+  in
+  check Alcotest.bool "new generation serves" true
+    (Int64.bits_of_float (serving ()) = Int64.bits_of_float expected_g2);
+  (* a corrupt artifact: typed error, generation and serving unchanged *)
+  let skipped0 = counter "serve.swap_skipped" in
+  let bad = Filename.concat dir "bad.syn" in
+  let oc = open_out bad in
+  output_string oc "not a synopsis";
+  close_out oc;
+  (match Registry.swap_from reg ~name:"imdb" ~path:bad with
+  | Ok _ -> Alcotest.fail "corrupt artifact admitted"
+  | Error (Error.Codec _) -> ()
+  | Error e -> Alcotest.failf "expected codec error, got %s" (Error.to_string e));
+  check Alcotest.int "generation unchanged" 2 (Registry.generation reg "imdb");
+  check Alcotest.bool "skip counted" true (counter "serve.swap_skipped" > skipped0);
+  check Alcotest.bool "previous good generation still serves" true
+    (Int64.bits_of_float (serving ()) = Int64.bits_of_float expected_g2)
 
-  let exercise () =
-    let syn = Lazy.force synopsis_a in
-    let q = Xcluster.parse_query "//movie/title" in
-    let flat = Xcluster.estimate syn q in
-    let scoped = Xcluster.Query.estimate syn q in
-    check Alcotest.bool "flat estimate = Query.estimate" true
-      (Int64.bits_of_float flat = Int64.bits_of_float scoped);
-    let batch = Xcluster.estimate_batch ~domains:1 syn [| q |] in
-    check Alcotest.bool "flat batch = flat estimate" true
-      (Int64.bits_of_float batch.(0) = Int64.bits_of_float flat);
-    (* a representative of every alias family, so removals break the build *)
-    let _ = Xcluster.build in
-    let _ = Xcluster.budget in
-    let _ = Xcluster.reference in
-    let _ = Xcluster.compress in
-    let _ = Xcluster.save_result in
-    let _ = Xcluster.load_result in
-    let _ = Xcluster.verify_file in
-    let _ = Xcluster.estimate_uncached in
-    let _ = Xcluster.batch_engine in
-    let _ = Xcluster.metrics_json in
-    ()
-end
+(* A swap storm against a live daemon: reader domains hammer
+   estimate_batch while another connection alternates the name between
+   two generations. Every full answer vector must match one generation
+   or the other — never a mix — and the generation counter must bump by
+   exactly one per swap. *)
+let test_daemon_swap_storm () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path1 = Filename.concat dir "g1.syn" in
+  let path2 = Filename.concat dir "g2.syn" in
+  save_exn path1 (Lazy.force synopsis_a);
+  save_exn path2 (Lazy.force synopsis_a2);
+  let load p =
+    match Xcluster.Store.load p with
+    | Ok s -> s
+    | Error e -> Alcotest.failf "load: %s" (Xc_core.Codec.error_to_string e)
+  in
+  let g1 = load path1 and g2 = load path2 in
+  let qs = query_sources g1 in
+  let sources = Array.map fst qs in
+  let bits = Array.map Int64.bits_of_float in
+  let e1 = bits (Array.map snd qs) in
+  let e2 =
+    bits
+      (Array.map
+         (fun (s, _) -> Xcluster.Query.estimate_uncached g2 (Xcluster.Query.parse s))
+         qs)
+  in
+  check Alcotest.bool "generations answer differently" true (e1 <> e2);
+  with_daemon [ ("imdb", path1) ] @@ fun endpoint ->
+  let stop = Atomic.make false in
+  let reader () =
+    Domain.spawn (fun () ->
+        let answered = ref 0 and torn = ref 0 and failed = ref 0 in
+        while not (Atomic.get stop) do
+          match Serve.Client.connect endpoint with
+          | Error _ -> incr failed
+          | Ok c ->
+            (match Serve.Client.estimate_batch c ~synopsis:"imdb" sources with
+            | Ok floats ->
+              incr answered;
+              let b = bits floats in
+              if not (b = e1 || b = e2) then incr torn
+            | Error _ -> incr failed);
+            Serve.Client.close c
+        done;
+        (!answered, !torn, !failed))
+  in
+  let readers = List.init 2 (fun _ -> reader ()) in
+  let gens = ref [] in
+  (match Serve.Client.connect endpoint with
+  | Error e -> Alcotest.failf "swapper connect: %s" (Error.to_string e)
+  | Ok c ->
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    for i = 1 to 14 do
+      let path = if i land 1 = 1 then path2 else path1 in
+      match Serve.Client.update c ~synopsis:"imdb" ~path with
+      | Ok gen -> gens := gen :: !gens
+      | Error e -> Alcotest.failf "swap %d: %s" i (Error.to_string e)
+    done);
+  Atomic.set stop true;
+  let results = List.map Domain.join readers in
+  (match List.rev !gens with
+  | [] -> Alcotest.fail "no swaps"
+  | g0 :: rest ->
+    (* the initial source load is generation 1 *)
+    check Alcotest.int "first swap is generation 2" 2 g0;
+    ignore
+      (List.fold_left
+         (fun prev g ->
+           check Alcotest.int "generation bumps by one per swap" (prev + 1) g;
+           g)
+         g0 rest));
+  List.iter
+    (fun (answered, torn, failed) ->
+      check Alcotest.bool "readers made progress" true (answered > 0);
+      check Alcotest.int "no torn generation observed" 0 torn;
+      check Alcotest.int "no failed reads during swaps" 0 failed)
+    results
 
-let test_deprecated_aliases () = Deprecated_surface.exercise ()
+(* ---- facade surface ------------------------------------------------------ *)
+
+(* The submodule facade is the only supported surface (the flat aliases
+   of the pre-redesign API are gone): its estimation entry points must
+   agree bitwise with each other and with the underlying engine. *)
+let test_facade_agreement () =
+  let syn = Lazy.force synopsis_a in
+  let q = Xcluster.Query.parse "//movie/title" in
+  let cached = Xcluster.Query.estimate syn q in
+  let uncached = Xcluster.Query.estimate_uncached syn q in
+  check Alcotest.bool "Query.estimate = estimate_uncached" true
+    (Int64.bits_of_float cached = Int64.bits_of_float uncached);
+  (match Xcluster.Serve.estimate_batch syn [| q |] with
+  | Error e -> Alcotest.failf "Serve.estimate_batch: %s" (Serve.Error.to_string e)
+  | Ok batch ->
+    check Alcotest.bool "Serve.estimate_batch = Query.estimate" true
+      (Int64.bits_of_float batch.(0) = Int64.bits_of_float cached));
+  (* a representative of every submodule family, so removals break the
+     build *)
+  let _ = Xcluster.Build.run in
+  let _ = Xcluster.Build.budget in
+  let _ = Xcluster.Build.compress_builder in
+  let _ = Xcluster.Build.update in
+  let _ = Xcluster.Build.update_and_seal in
+  let _ = Xcluster.Store.save in
+  let _ = Xcluster.Store.load in
+  let _ = Xcluster.Store.verify in
+  let _ = Xcluster.Serve.batch_engine in
+  let _ = Xcluster.Metrics.json in
+  ()
 
 (* ---- suite -------------------------------------------------------------- *)
 
@@ -535,6 +669,11 @@ let () =
           Alcotest.test_case "typed error frames" `Quick test_daemon_error_frames;
           Alcotest.test_case "survives socket fault storm" `Quick
             test_daemon_survives_socket_storm ] );
-      ( "deprecated",
-        [ Alcotest.test_case "flat aliases compile and agree" `Quick
-            test_deprecated_aliases ] ) ]
+      ( "swap",
+        [ Alcotest.test_case "registry generations" `Quick
+            test_registry_swap_generations;
+          Alcotest.test_case "daemon swap storm is atomic" `Quick
+            test_daemon_swap_storm ] );
+      ( "facade",
+        [ Alcotest.test_case "submodule surface agrees bitwise" `Quick
+            test_facade_agreement ] ) ]
