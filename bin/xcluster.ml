@@ -375,27 +375,76 @@ let verify_cmd =
       required & pos 0 (some file) None
       & info [] ~docv:"FILE" ~doc:"Synopsis file saved by $(b,build --save).")
   in
-  let run file =
+  let lazy_arg =
+    Arg.(
+      value & flag
+      & info [ "lazy" ]
+          ~doc:
+            "Check only what a lazy $(b,load) verifies at admission (v3: \
+             prologue, directory checksum, and the node-attribute sections); \
+             the CSR and value-summary sections are reported unchecked. \
+             Mirrors the daemon's cold-start admission check.")
+  in
+  let eager_arg =
+    Arg.(
+      value & flag
+      & info [ "eager" ] ~doc:"Verify every section CRC (the default).")
+  in
+  let sections_arg =
+    Arg.(
+      value & flag
+      & info [ "sections" ]
+          ~doc:
+            "Print a per-section CRC report. Unlike the summary check this \
+             does not stop at the first bad section — it localizes the \
+             damage.")
+  in
+  let print_sections file ~eager =
+    match Xcluster.Store.sections ~eager file with
+    | Ok secs ->
+      List.iter
+        (fun s ->
+          Format.printf "  %-10s %10d bytes  %s@." s.Xc_core.Codec.sec_name
+            s.Xc_core.Codec.sec_bytes
+            (match s.Xc_core.Codec.sec_crc_ok with
+            | Some true -> "crc ok"
+            | Some false -> "CRC MISMATCH"
+            | None -> "unchecked"))
+        secs
+    | Error e ->
+      (* framing damage: no directory to report section-by-section *)
+      Format.printf "  (no section report: %s)@." (Xc_core.Codec.error_to_string e)
+  in
+  let run file lazy_mode eager_mode sections =
     guarded @@ fun () ->
-    match Xcluster.Store.verify file with
+    if lazy_mode && eager_mode then
+      raise (Usage "--lazy and --eager are mutually exclusive");
+    let eager = not lazy_mode in
+    match Xcluster.Store.verify ~eager file with
     | Ok info ->
       Format.printf "%s: OK (format v%d, %d nodes, %d bytes, %s)@." file
         info.Xc_core.Codec.i_version info.Xc_core.Codec.i_nodes
         info.Xc_core.Codec.i_bytes
         (if info.Xc_core.Codec.i_checksummed then "checksums verified"
-         else "no checksums in v1: verified by full decode");
+         else if info.Xc_core.Codec.i_version = 1 then
+           "no checksums in v1: verified by full decode"
+         else "lazy: admission-time checks only");
+      if sections then print_sections file ~eager;
       0
     | Error e ->
       Format.eprintf "%s: CORRUPT: %s@." file (Xc_core.Codec.error_to_string e);
+      if sections then print_sections file ~eager;
       exit_verify_failed
   in
   Cmd.v
     (Cmd.info "verify"
        ~doc:
-         "Check a saved synopsis's integrity (framing and per-section CRC-32 for \
-          the v2 format; a full decode for checksum-less v1 files) without \
-          building the synopsis. Exits 0 when intact, 1 when corrupt.")
-    Term.(const run $ file)
+         "Check a saved synopsis's integrity (framing and per-section CRC-32 \
+          for the v2/v3 formats; a full decode for checksum-less v1 files) \
+          without building the synopsis. $(b,--lazy) restricts the check to \
+          what a lazy load verifies at admission; $(b,--sections) prints a \
+          per-section CRC report. Exits 0 when intact, 1 when corrupt.")
+    Term.(const run $ file $ lazy_arg $ eager_arg $ sections_arg)
 
 (* ---- serve -------------------------------------------------------------- *)
 

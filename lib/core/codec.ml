@@ -7,13 +7,48 @@ module Metrics = Xc_util.Metrics
 open Xc_xml
 
 let magic = "XCLU"
-let version = 2
+let version = 3
+let version_v2 = 2
 let version_v1 = 1
 
-(* section tags, in file order *)
+(* v2 section tags, in file order *)
 let tag_header = 1
 let tag_terms = 2
 let tag_nodes = 3
+
+(* v3 layout: a fixed 13-entry section directory up front, then raw
+   alignment-padded section payloads. Numeric sections are little-endian
+   64-bit words so [Unix.map_file] can expose them as Bigarray slices
+   zero-copy on little-endian hosts; byte-granular sections (labels,
+   terms, value summaries) keep the v2 big-endian record idiom and are
+   parsed, not mapped. Every byte of the container from offset 12 on is
+   CRC-covered: the directory (including the 4 alignment pad bytes) by
+   the directory CRC, each payload (including its trailing pad) by its
+   entry's CRC — a single flipped bit anywhere is detectable.
+
+     0  magic "XCLU"
+     4  version (int64 BE) = 3
+    12  pad (4 zero bytes)            --+
+    16  n_sections (int64 BE) = 13      | directory CRC covers [12, 440)
+    24  13 x 32-byte entries:           |
+        tag | offset | length | crc    --+   (int64 BE each)
+   440  directory CRC-32 (int64 BE)
+   448  section payloads, in tag order, each 8-aligned and a
+        multiple of 8 bytes long (zero-padded inside the CRC) *)
+
+let v3_n_sections = 13
+let v3_dir_pos = 12
+let v3_entry_size = 32
+let v3_dir_crc_pos = 24 + (v3_n_sections * v3_entry_size)
+let v3_data_pos = v3_dir_crc_pos + 8
+
+let v3_section_names =
+  [| "header"; "sids"; "counts"; "labels"; "vtypes"; "child_off"; "child_idx";
+     "child_avg"; "parent_off"; "parent_idx"; "terms"; "vsumm_off"; "vsumm_blob" |]
+
+let v3_section_name tag =
+  if tag >= 1 && tag <= v3_n_sections then v3_section_names.(tag - 1)
+  else Printf.sprintf "section-%d" tag
 
 (* A node record is at least sid + label length + vtype + count +
    vsumm tag + edge count = 48 bytes; an edge is 16. Guards below use
@@ -32,6 +67,11 @@ type error =
   | Corrupt of { pos : int; what : string }
   | Io of string
 
+exception Lazy_failure of error
+(* deferred-verification failure: a lazily loaded v3 section failed its
+   CRC (or bounds check) on first touch, after load had already
+   returned [Ok]. Serving layers catch this and degrade. *)
+
 let pp_error ppf = function
   | Bad_magic -> Format.fprintf ppf "bad magic (not an XCluster synopsis file)"
   | Unsupported_version v ->
@@ -47,6 +87,11 @@ let pp_error ppf = function
   | Io msg -> Format.fprintf ppf "%s" msg
 
 let error_to_string e = Format.asprintf "%a" pp_error e
+
+let () =
+  Printexc.register_printer (function
+    | Lazy_failure e -> Some ("Codec.Lazy_failure: " ^ error_to_string e)
+    | _ -> None)
 
 exception Decode of error
 
@@ -120,6 +165,46 @@ let get_list r ~elt_min ~what f =
   if n < 0 || n > remaining r / max 1 elt_min then
     err (Bad_length { pos = at; len = n; what });
   List.init n (fun _ -> f r)
+
+(* ---- little-endian section primitives (v3 numeric payloads) ----------- *)
+
+let put_int_le buf n = Buffer.add_int64_le buf (Int64.of_int n)
+
+let pad8 buf =
+  while Buffer.length buf land 7 <> 0 do
+    Buffer.add_char buf '\000'
+  done
+
+(* same 63-bit round-trip discipline as [get_int]: stored words outside
+   OCaml's int range are damage (the writer only emits ints), and
+   [Int64.to_int] would silently drop the top bit *)
+let get_int_le src pos =
+  let v64 = String.get_int64_le src pos in
+  let v = Int64.to_int v64 in
+  if Int64.of_int v <> v64 then
+    err (Corrupt { pos; what = "integer field out of 63-bit range" });
+  v
+
+module BA1 = Bigarray.Array1
+
+(* decode a little-endian int64 section into a fresh Bigarray (the
+   eager, endianness-independent path; the mmap path aliases the file
+   bytes instead) *)
+let ba_i_of_le src ~pos ~count =
+  let b = BA1.create Bigarray.int Bigarray.c_layout count in
+  for i = 0 to count - 1 do
+    BA1.unsafe_set b i (get_int_le src (pos + (8 * i)))
+  done;
+  b
+
+let ba_f_of_le src ~pos ~count =
+  let b = BA1.create Bigarray.float64 Bigarray.c_layout count in
+  for i = 0 to count - 1 do
+    BA1.unsafe_set b i (Int64.float_of_bits (String.get_int64_le src (pos + (8 * i))))
+  done;
+  b
+
+let ints_of_le src ~pos ~count = Array.init count (fun i -> get_int_le src (pos + (8 * i)))
 
 (* ---- term table ---------------------------------------------------------
    Term identifiers are process-local, so the encoding embeds the spelling
@@ -290,7 +375,7 @@ let add_section out ~tag payload =
   put_int out (Crc32.digest payload);
   Buffer.add_string out payload
 
-let to_string syn =
+let to_string_v2 syn =
   let tt = tt_create () in
   let nodes = encode_nodes tt syn in
   let terms = encode_terms tt in
@@ -303,11 +388,114 @@ let to_string syn =
   in
   let out = Buffer.create (String.length nodes + String.length terms + 128) in
   Buffer.add_string out magic;
-  put_int out version;
+  put_int out version_v2;
   add_section out ~tag:tag_header header;
   add_section out ~tag:tag_terms terms;
   add_section out ~tag:tag_nodes nodes;
   Buffer.contents out
+
+(* the v3 mmap-friendly section layout (see the diagram at the top) *)
+let to_string_v3 syn =
+  let n = S.n_nodes syn in
+  let ne = S.n_edges syn in
+  let tt = tt_create () in
+  (* value summaries first: encoding in node index order discovers
+     terms in the same order as the v2 writer, which keeps term-table
+     contents identical across versions (and round trips bit-exact) *)
+  let blob = Buffer.create 65536 in
+  let voff = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    voff.(i) <- Buffer.length blob;
+    put_vsumm tt blob (S.vsumm syn i)
+  done;
+  voff.(n) <- Buffer.length blob;
+  pad8 blob;
+  let ints count f =
+    let b = Buffer.create (8 * count) in
+    for i = 0 to count - 1 do
+      put_int_le b (f i)
+    done;
+    Buffer.contents b
+  in
+  let header = ints 4 (function
+    | 0 -> S.doc_height syn
+    | 1 -> S.root_sid syn
+    | 2 -> n
+    | _ -> ne)
+  in
+  let labels =
+    let b = Buffer.create (16 * n) in
+    for i = 0 to n - 1 do
+      put_string b (Label.to_string (S.label syn i))
+    done;
+    pad8 b;
+    Buffer.contents b
+  in
+  let vtypes =
+    let b = Buffer.create (n + 8) in
+    for i = 0 to n - 1 do
+      Buffer.add_char b (Char.chr (vtype_tag (S.vtype syn i)))
+    done;
+    pad8 b;
+    Buffer.contents b
+  in
+  let child_off = S.child_off syn
+  and child_idx = S.child_idx syn
+  and child_avg = S.child_avg syn
+  and parent_off = S.parent_off syn
+  and parent_idx = S.parent_idx syn in
+  let floats count f =
+    let b = Buffer.create (8 * count) in
+    for i = 0 to count - 1 do
+      Buffer.add_int64_le b (Int64.bits_of_float (f i))
+    done;
+    Buffer.contents b
+  in
+  let terms =
+    let b = Buffer.create 4096 in
+    Buffer.add_string b (encode_terms tt);
+    pad8 b;
+    Buffer.contents b
+  in
+  let counts = S.counts syn in
+  let payloads =
+    [| header;
+       ints n (S.sid_of_index syn);
+       ints n (fun i -> counts.(i));
+       labels;
+       vtypes;
+       ints (n + 1) (fun i -> child_off.(i));
+       ints ne (fun i -> child_idx.(i));
+       floats ne (fun i -> child_avg.(i));
+       ints (n + 1) (fun i -> parent_off.(i));
+       ints ne (fun i -> parent_idx.(i));
+       terms;
+       ints (n + 1) (fun i -> voff.(i));
+       Buffer.contents blob |]
+  in
+  let total =
+    Array.fold_left (fun acc p -> acc + String.length p) v3_data_pos payloads
+  in
+  let out = Buffer.create total in
+  Buffer.add_string out magic;
+  put_int out version;
+  Buffer.add_string out "\000\000\000\000";
+  put_int out v3_n_sections;
+  let pos = ref v3_data_pos in
+  Array.iteri
+    (fun i pay ->
+      put_int out (i + 1);
+      put_int out !pos;
+      put_int out (String.length pay);
+      put_int out (Crc32.digest pay);
+      pos := !pos + String.length pay)
+    payloads;
+  let dir = Buffer.contents out in
+  put_int out (Crc32.sub dir ~pos:v3_dir_pos ~len:(v3_dir_crc_pos - v3_dir_pos));
+  Array.iter (Buffer.add_string out) payloads;
+  Buffer.contents out
+
+let to_string = to_string_v3
 
 let to_string_v1 syn =
   let tt = tt_create () in
@@ -432,13 +620,204 @@ let decode_v2 r =
     err (Corrupt { pos = r.pos; what = "trailing bytes after last section" });
   decode_graph nodes_sec ~terms ~doc_height ~root ~n_nodes
 
+(* ---- v3 ---------------------------------------------------------------- *)
+
+type v3_entry = {
+  e_name : string;
+  e_off : int;
+  e_len : int;
+  e_crc : int;
+}
+
+(* Parse and validate the fixed-size v3 prologue. [src] must hold at
+   least the prologue bytes; [total] is the full container length.
+   Offsets are required to equal the canonical packed layout, so
+   sections can never overlap, shadow the directory, or leave covert
+   unchecksummed gaps. *)
+let parse_v3_dir src ~total =
+  if String.length src < v3_data_pos then
+    err (Truncated { pos = String.length src; need = v3_data_pos - String.length src });
+  let r = { src; pos = 16; limit = v3_data_pos } in
+  let nsec = get_int r in
+  if nsec <> v3_n_sections then
+    err (Corrupt { pos = 16; what = Printf.sprintf "unexpected section count %d" nsec });
+  let entries =
+    Array.init v3_n_sections (fun i ->
+        let at = r.pos in
+        let tag = get_int r in
+        let off = get_int r in
+        let len = get_int r in
+        let crc = get_int r in
+        if tag <> i + 1 then
+          err
+            (Corrupt
+               { pos = at;
+                 what = Printf.sprintf "expected section tag %d, found %d" (i + 1) tag
+               });
+        { e_name = v3_section_name tag; e_off = off; e_len = len; e_crc = crc })
+  in
+  let stored = get_int r in
+  let actual = Crc32.sub src ~pos:v3_dir_pos ~len:(v3_dir_crc_pos - v3_dir_pos) in
+  if actual <> stored then
+    err (Checksum_mismatch { section = "directory"; stored; actual });
+  let pos = ref v3_data_pos in
+  Array.iter
+    (fun e ->
+      if e.e_len < 0 || e.e_len land 7 <> 0 then
+        err (Bad_length { pos = e.e_off; len = e.e_len; what = e.e_name ^ " section length" });
+      if e.e_off <> !pos then
+        err
+          (Corrupt
+             { pos = e.e_off;
+               what = Printf.sprintf "%s section offset %d, expected %d" e.e_name e.e_off !pos
+             });
+      pos := !pos + e.e_len)
+    entries;
+  if !pos <> total then
+    err
+      (Corrupt
+         { pos = !pos; what = Printf.sprintf "container length %d, sections end at %d" total !pos });
+  entries
+
+let check_v3_crc src e =
+  let actual = Crc32.sub src ~pos:e.e_off ~len:e.e_len in
+  if actual <> e.e_crc then
+    err (Checksum_mismatch { section = e.e_name; stored = e.e_crc; actual })
+
+(* header section: doc_height | root_sid | n_nodes | n_edges *)
+let parse_v3_header src e =
+  if e.e_len <> 32 then
+    err (Bad_length { pos = e.e_off; len = e.e_len; what = "header section length" });
+  let doc_height = get_int_le src e.e_off in
+  let root_sid = get_int_le src (e.e_off + 8) in
+  let n = get_int_le src (e.e_off + 16) in
+  let ne = get_int_le src (e.e_off + 24) in
+  if doc_height < 0 || doc_height > 1_000_000 then
+    err (Bad_length { pos = e.e_off; len = doc_height; what = "document height" });
+  if n <= 0 then err (Bad_length { pos = e.e_off + 16; len = n; what = "node count" });
+  if ne < 0 then err (Bad_length { pos = e.e_off + 24; len = ne; what = "edge count" });
+  (doc_height, root_sid, n, ne)
+
+(* a section holding [count] 8-byte words, exactly *)
+let expect_words e count =
+  if e.e_len / 8 <> count then
+    err (Bad_length { pos = e.e_off; len = e.e_len; what = e.e_name ^ " section length" })
+
+(* [n] length-prefixed strings, byte-packed then zero-padded to 8 *)
+let parse_v3_strings src e n f =
+  let r = { src; pos = e.e_off; limit = e.e_off + e.e_len } in
+  let out = Array.init n (fun _ -> f (get_string r)) in
+  if remaining r >= 8 then
+    err (Corrupt { pos = r.pos; what = "trailing bytes in " ^ e.e_name ^ " section" });
+  out
+
+let parse_v3_vtypes src e n =
+  if e.e_len < n || e.e_len - n >= 8 then
+    err (Bad_length { pos = e.e_off; len = e.e_len; what = "vtypes section length" });
+  Array.init n (fun i ->
+      match Char.code (String.unsafe_get src (e.e_off + i)) with
+      | 0 -> Value.Tnull
+      | 1 -> Value.Tnumeric
+      | 2 -> Value.Tstring
+      | 3 -> Value.Ttext
+      | tag ->
+        err (Corrupt { pos = e.e_off + i; what = Printf.sprintf "unknown value-type tag %d" tag }))
+
+let parse_v3_terms src e =
+  let r = { src; pos = e.e_off; limit = e.e_off + e.e_len } in
+  let terms = decode_terms r in
+  if remaining r >= 8 then
+    err (Corrupt { pos = r.pos; what = "trailing bytes in terms section" });
+  terms
+
+(* value-summary offsets: monotone, starting at 0, ending within the
+   blob (the blob's trailing distance is its alignment pad, < 8) *)
+let parse_v3_voff src e ~n ~blob_len =
+  let voff = ints_of_le src ~pos:e.e_off ~count:(n + 1) in
+  if voff.(0) <> 0 then
+    err (Corrupt { pos = e.e_off; what = "value-summary offsets do not start at 0" });
+  for i = 0 to n - 1 do
+    if voff.(i) > voff.(i + 1) then
+      err (Corrupt { pos = e.e_off + (8 * i); what = "value-summary offsets not monotone" })
+  done;
+  if voff.(n) > blob_len || blob_len - voff.(n) >= 8 then
+    err (Bad_length { pos = e.e_off + (8 * n); len = voff.(n); what = "value-summary blob length" });
+  voff
+
+let root_index_of_sid sids root_sid =
+  let lo = ref 0 and hi = ref (Array.length sids - 1) in
+  let found = ref (-1) in
+  while !found < 0 && !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if sids.(mid) = root_sid then found := mid
+    else if sids.(mid) < root_sid then lo := mid + 1
+    else hi := mid - 1
+  done;
+  if !found < 0 then
+    err (Corrupt { pos = 0; what = Printf.sprintf "root id %d not among nodes" root_sid });
+  !found
+
+let get_vsumm_slice terms blob ~lo ~hi =
+  let r = { src = blob; pos = lo; limit = hi } in
+  let v = get_vsumm terms r in
+  if r.pos <> r.limit then
+    err (Corrupt { pos = r.pos; what = "trailing bytes in value summary" });
+  v
+
+let seal_v3 ~doc_height ~root ~sids ~labels ~vtypes ~counts ~child_off ~child_idx
+    ~child_avg ~parent_off ~parent_idx ~vsumms ~vsumm_decode ~on_first_touch =
+  let syn =
+    S.of_flat ~doc_height ~root ~sids ~labels ~vtypes ~counts ~child_off ~child_idx
+      ~child_avg ~parent_off ~parent_idx ~vsumms ~vsumm_decode ~on_first_touch
+  in
+  (match S.validate syn with
+  | Ok () -> ()
+  | Error e -> err (Corrupt { pos = 0; what = "decoded synopsis is inconsistent: " ^ e }));
+  syn
+
+(* the eager v3 decoder: every CRC checked, every section copied out of
+   the string, every value summary materialized. The totality/fuzzing
+   contract lives here; the mmap path below is the fast lane. *)
+let decode_v3 src =
+  let entries = parse_v3_dir src ~total:(String.length src) in
+  Array.iter (fun e -> check_v3_crc src e) entries;
+  let doc_height, root_sid, n, ne = parse_v3_header src entries.(0) in
+  expect_words entries.(1) n;
+  expect_words entries.(2) n;
+  expect_words entries.(5) (n + 1);
+  expect_words entries.(6) ne;
+  expect_words entries.(7) ne;
+  expect_words entries.(8) (n + 1);
+  expect_words entries.(9) ne;
+  expect_words entries.(11) (n + 1);
+  let sids = ints_of_le src ~pos:entries.(1).e_off ~count:n in
+  let counts = ints_of_le src ~pos:entries.(2).e_off ~count:n in
+  let labels = parse_v3_strings src entries.(3) n Label.of_string in
+  let vtypes = parse_v3_vtypes src entries.(4) n in
+  let child_off = ba_i_of_le src ~pos:entries.(5).e_off ~count:(n + 1) in
+  let child_idx = ba_i_of_le src ~pos:entries.(6).e_off ~count:ne in
+  let child_avg = ba_f_of_le src ~pos:entries.(7).e_off ~count:ne in
+  let parent_off = ba_i_of_le src ~pos:entries.(8).e_off ~count:(n + 1) in
+  let parent_idx = ba_i_of_le src ~pos:entries.(9).e_off ~count:ne in
+  let terms = parse_v3_terms src entries.(10) in
+  let voff = parse_v3_voff src entries.(11) ~n ~blob_len:entries.(12).e_len in
+  let blob_off = entries.(12).e_off in
+  let vsumms =
+    Array.init n (fun i ->
+        Some
+          (get_vsumm_slice terms src ~lo:(blob_off + voff.(i)) ~hi:(blob_off + voff.(i + 1))))
+  in
+  let root = root_index_of_sid sids root_sid in
+  seal_v3 ~doc_height ~root ~sids ~labels ~vtypes ~counts ~child_off ~child_idx
+    ~child_avg ~parent_off ~parent_idx ~vsumms ~vsumm_decode:None ~on_first_touch:None
+
 let with_version src k =
   let r = { src; pos = 0; limit = String.length src } in
   if String.length src < 4 || not (String.equal (String.sub src 0 4) magic) then
     err Bad_magic;
   r.pos <- 4;
   let v = get_int r in
-  if v <> version_v1 && v <> version then err (Unsupported_version v);
+  if v <> version_v1 && v <> version_v2 && v <> version then err (Unsupported_version v);
   k v r
 
 (* Corrupt input can surface as stray exceptions from components the
@@ -462,7 +841,10 @@ let guard f =
 
 let of_string src =
   guard (fun () ->
-      with_version src (fun v r -> if v = version_v1 then decode_v1 r else decode_v2 r))
+      with_version src (fun v r ->
+          if v = version_v1 then decode_v1 r
+          else if v = version_v2 then decode_v2 r
+          else decode_v3 src))
 
 let of_string_exn src =
   match of_string src with
@@ -491,7 +873,209 @@ let read_file path =
     record_error e;
     Error e
 
-let load path = Result.bind (read_file path) of_string
+(* ---- the v3 mmap load path --------------------------------------------
+
+   A v3 container on a little-endian host loads in ~O(directory): the
+   prologue and the small node-attribute sections (header, sids, counts,
+   labels, vtypes) are read and CRC-verified eagerly, the five CSR
+   sections become file-backed Bigarray slices ([Unix.map_file]) whose
+   CRCs and structural bounds are verified once on the synopsis's first
+   numeric access, and value summaries decode per node on first touch.
+   Deferred failures surface as {!Lazy_failure} at the access point —
+   [load] itself has already returned [Ok]. The mapping is released
+   when the synopsis is collected (eviction from the serve engine's LRU
+   drops the last reference; the GC then unmaps). *)
+
+let read_exact fd len =
+  let buf = Bytes.create len in
+  let rec go off =
+    if off = len then len
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> off
+      | k -> go (off + k)
+  in
+  let got = go 0 in
+  if got < len then err (Truncated { pos = got; need = len - got });
+  Bytes.unsafe_to_string buf
+
+let string_of_map cmap ~pos ~len =
+  let b = Bytes.create len in
+  for i = 0 to len - 1 do
+    Bytes.unsafe_set b i (BA1.unsafe_get cmap (pos + i))
+  done;
+  Bytes.unsafe_to_string b
+
+let map_v3 path =
+  Xc_util.Fault.raise_io ~site:"codec.map";
+  let fd = Unix.openfile path [ Unix.O_RDONLY ] 0 in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ()) @@ fun () ->
+  let total = (Unix.fstat fd).Unix.st_size in
+  if total < v3_data_pos then err (Truncated { pos = total; need = v3_data_pos - total });
+  let prologue = Xc_util.Fault.mutate ~site:"codec.load" (read_exact fd v3_data_pos) in
+  if not (String.equal (String.sub prologue 0 4) magic) then err Bad_magic;
+  let v = get_int { src = prologue; pos = 4; limit = v3_data_pos } in
+  if v <> version then err (Unsupported_version v);
+  let entries = parse_v3_dir prologue ~total in
+  (* eager group: the prologue plus everything a registry needs to admit
+     and describe the artifact — node attributes stay boxed anyway *)
+  let eager_len = entries.(5).e_off - v3_data_pos in
+  let eager0 = read_exact fd eager_len in
+  let eager = Xc_util.Fault.mutate ~site:"codec.load" eager0 in
+  (* reposition entry offsets into the eager buffer *)
+  let shift e = { e with e_off = e.e_off - v3_data_pos } in
+  let eager_entries = Array.map shift (Array.sub entries 0 5) in
+  Array.iter (fun e -> check_v3_crc eager e) eager_entries;
+  let doc_height, root_sid, n, ne = parse_v3_header eager eager_entries.(0) in
+  expect_words entries.(1) n;
+  expect_words entries.(2) n;
+  expect_words entries.(5) (n + 1);
+  expect_words entries.(6) ne;
+  expect_words entries.(7) ne;
+  expect_words entries.(8) (n + 1);
+  expect_words entries.(9) ne;
+  expect_words entries.(11) (n + 1);
+  let sids = ints_of_le eager ~pos:eager_entries.(1).e_off ~count:n in
+  let counts = ints_of_le eager ~pos:eager_entries.(2).e_off ~count:n in
+  let labels = parse_v3_strings eager eager_entries.(3) n Label.of_string in
+  let vtypes = parse_v3_vtypes eager eager_entries.(4) n in
+  let root = root_index_of_sid sids root_sid in
+  let cmap =
+    Bigarray.array1_of_genarray
+      (Unix.map_file fd Bigarray.char Bigarray.c_layout false [| total |])
+  in
+  let map_i e =
+    Bigarray.array1_of_genarray
+      (Unix.map_file fd ~pos:(Int64.of_int e.e_off) Bigarray.int Bigarray.c_layout false
+         [| e.e_len / 8 |])
+  in
+  let map_f e =
+    Bigarray.array1_of_genarray
+      (Unix.map_file fd ~pos:(Int64.of_int e.e_off) Bigarray.float64 Bigarray.c_layout false
+         [| e.e_len / 8 |])
+  in
+  let child_off = map_i entries.(5) in
+  let child_idx = map_i entries.(6) in
+  let child_avg = map_f entries.(7) in
+  let parent_off = map_i entries.(8) in
+  let parent_idx = map_i entries.(9) in
+  (* first-touch verification of a mapped/deferred section: extract the
+     bytes, CRC them, count it *)
+  let verify_lazy e =
+    let s =
+      Xc_util.Fault.mutate ~site:"codec.section_verify"
+        (string_of_map cmap ~pos:e.e_off ~len:e.e_len)
+    in
+    let actual = Crc32.digest s in
+    Metrics.incr Metrics.global "codec.lazy_verify";
+    if actual <> e.e_crc then begin
+      Metrics.incr Metrics.global "codec.crc_mismatch";
+      raise (Lazy_failure (Checksum_mismatch { section = e.e_name; stored = e.e_crc; actual }))
+    end;
+    s
+  in
+  let csr_fail msg = raise (Lazy_failure (Corrupt { pos = 0; what = msg })) in
+  let check_csr name (off : S.ba_i) (idx : S.ba_i) =
+    if BA1.get off 0 <> 0 || BA1.get off n <> BA1.dim idx then
+      csr_fail (name ^ " offsets out of bounds");
+    for i = 0 to n - 1 do
+      if BA1.get off i > BA1.get off (i + 1) then csr_fail (name ^ " offsets not monotone")
+    done;
+    for e = 0 to BA1.dim idx - 1 do
+      let v = BA1.get idx e in
+      if v < 0 || v >= n then csr_fail (name ^ " target out of range")
+    done
+  in
+  let on_first_touch () =
+    List.iter (fun i -> ignore (verify_lazy entries.(i))) [ 5; 6; 7; 8; 9 ];
+    (* the kernels index with [unsafe_get]: structural bounds are part
+       of what first-touch verification must establish *)
+    check_csr "child" child_off child_idx;
+    check_csr "parent" parent_off parent_idx
+  in
+  let vgroup =
+    lazy
+      (let terms_s = verify_lazy entries.(10) in
+       let voff_s = verify_lazy entries.(11) in
+       let blob = verify_lazy entries.(12) in
+       let terms = parse_v3_terms terms_s { (entries.(10)) with e_off = 0 } in
+       let voff =
+         parse_v3_voff voff_s { (entries.(11)) with e_off = 0 } ~n ~blob_len:(String.length blob)
+       in
+       (terms, voff, blob))
+  in
+  let vsumm_decode i =
+    let terms, voff, blob =
+      try Lazy.force vgroup with Decode e -> raise (Lazy_failure e)
+    in
+    try get_vsumm_slice terms blob ~lo:voff.(i) ~hi:voff.(i + 1) with
+    | Decode e -> raise (Lazy_failure e)
+    | Lazy_failure _ as exn -> raise exn
+    | exn ->
+      raise
+        (Lazy_failure
+           (Corrupt { pos = voff.(i); what = "value-summary decode failure: " ^ Printexc.to_string exn }))
+  in
+  Metrics.incr Metrics.global "codec.mmap_load";
+  S.of_flat ~doc_height ~root ~sids ~labels ~vtypes ~counts ~child_off ~child_idx
+    ~child_avg ~parent_off ~parent_idx ~vsumms:(Array.make n None)
+    ~vsumm_decode:(Some vsumm_decode) ~on_first_touch:(Some on_first_touch)
+
+(* which version is on disk, without reading the payload *)
+let sniff_version path =
+  match Unix.openfile path [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> None
+  | fd ->
+    Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    @@ fun () ->
+    let buf = Bytes.create 12 in
+    let rec go off =
+      if off = 12 then 12
+      else
+        match Unix.read fd buf off (12 - off) with
+        | 0 -> off
+        | k -> go (off + k)
+        | exception Unix.Unix_error _ -> off
+    in
+    if go 0 < 12 then None
+    else if not (String.equal (Bytes.sub_string buf 0 4) magic) then None
+    else
+      let v64 = Bytes.get_int64_be buf 4 in
+      let v = Int64.to_int v64 in
+      if Int64.of_int v <> v64 then None else Some v
+
+let load_v3_mapped path =
+  match map_v3 path with
+  | syn -> Ok syn
+  | exception Decode e ->
+    record_error e;
+    Error e
+  | exception Xc_util.Fault.Injected _ ->
+    let e = Io (path ^ ": injected map fault") in
+    record_error e;
+    Error e
+  | exception Unix.Unix_error (ec, _, _) ->
+    let e = Io (path ^ ": " ^ Unix.error_message ec) in
+    record_error e;
+    Error e
+  | exception Stack_overflow ->
+    let e = Corrupt { pos = 0; what = "decoder stack overflow" } in
+    record_error e;
+    Error e
+  | exception exn ->
+    let e = Corrupt { pos = 0; what = "decoder failure: " ^ Printexc.to_string exn } in
+    record_error e;
+    Error e
+
+let load ?(eager = false) path =
+  if eager || Sys.big_endian then Result.bind (read_file path) of_string
+  else
+    match sniff_version path with
+    | Some v when v = version -> load_v3_mapped path
+    | Some _ | None ->
+      (* v1/v2, foreign, or unreadable: the string path decodes or
+         reports the precise error *)
+      Result.bind (read_file path) of_string
 
 let load_exn path =
   match load path with
@@ -507,7 +1091,22 @@ type info = {
   i_checksummed : bool;
 }
 
-let verify_string src =
+type section_status = {
+  sec_name : string;
+  sec_bytes : int;
+  sec_crc_ok : bool option;  (* None: carries no CRC, or skipped (lazy mode) *)
+}
+
+let verify_v3 ~eager src =
+  let entries = parse_v3_dir src ~total:(String.length src) in
+  (* the header section is what a lazy load verifies at admission; the
+     remaining payloads only under [eager] *)
+  check_v3_crc src entries.(0);
+  if eager then Array.iter (fun e -> check_v3_crc src e) entries;
+  let _doc_height, _root_sid, n, _ne = parse_v3_header src entries.(0) in
+  { i_version = 3; i_nodes = n; i_bytes = String.length src; i_checksummed = eager }
+
+let verify_string ?(eager = true) src =
   guard (fun () ->
       with_version src (fun v r ->
           if v = version_v1 then
@@ -518,7 +1117,7 @@ let verify_string src =
               i_bytes = String.length src;
               i_checksummed = false
             }
-          else begin
+          else if v = version_v2 then begin
             let _doc_height, _root, n_nodes = decode_header r in
             if n_nodes < 0 then
               err (Bad_length { pos = 0; len = n_nodes; what = "node count" });
@@ -533,6 +1132,63 @@ let verify_string src =
               i_bytes = String.length src;
               i_checksummed = true
             }
+          end
+          else verify_v3 ~eager src))
+
+let verify ?eager path = Result.bind (read_file path) (verify_string ?eager)
+
+(* Per-section CRC report. Unlike {!verify_string} this does not stop
+   at the first mismatch — the point is to localize damage. Framing
+   errors (bad magic, a corrupt directory) still fail the whole call. *)
+let sections_string ?(eager = true) src =
+  guard (fun () ->
+      with_version src (fun v r ->
+          if v = version_v1 then
+            [ { sec_name = "payload";
+                sec_bytes = String.length src - r.pos;
+                sec_crc_ok = None
+              } ]
+          else if v = version_v2 then begin
+            let out = ref [] in
+            List.iter
+              (fun tag ->
+                let name = section_name tag in
+                let at = r.pos in
+                let t = get_int r in
+                if t <> tag then
+                  err
+                    (Corrupt
+                       { pos = at;
+                         what =
+                           Printf.sprintf "expected %s section (tag %d), found tag %d" name
+                             tag t
+                       });
+                let len_at = r.pos in
+                let len = get_int r in
+                let stored = get_int r in
+                if len < 0 || len > remaining r then
+                  err (Bad_length { pos = len_at; len; what = name ^ " section length" });
+                let actual = Crc32.sub r.src ~pos:r.pos ~len in
+                out := { sec_name = name; sec_bytes = len; sec_crc_ok = Some (actual = stored) } :: !out;
+                r.pos <- r.pos + len)
+              [ tag_header; tag_terms; tag_nodes ];
+            if r.pos <> r.limit then
+              err (Corrupt { pos = r.pos; what = "trailing bytes after last section" });
+            List.rev !out
+          end
+          else begin
+            let entries = parse_v3_dir src ~total:(String.length src) in
+            Array.to_list
+              (Array.mapi
+                 (fun i e ->
+                   let checked = eager || i = 0 in
+                   { sec_name = e.e_name;
+                     sec_bytes = e.e_len;
+                     sec_crc_ok =
+                       (if checked then Some (Crc32.sub src ~pos:e.e_off ~len:e.e_len = e.e_crc)
+                        else None)
+                   })
+                 entries)
           end))
 
-let verify path = Result.bind (read_file path) verify_string
+let sections ?eager path = Result.bind (read_file path) (sections_string ?eager)

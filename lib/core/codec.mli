@@ -8,32 +8,57 @@
     so identifiers are stable across processes even though the global
     intern tables differ.
 
-    {b Format v2} (what {!to_string}/{!save} write) frames the payload
-    into length-prefixed sections — header, term table, node records —
-    each carrying a CRC-32 ({!Xc_util.Crc32}), so a flipped bit or a
-    truncated tail is detected before any graph is rebuilt. {b v1}
-    files (unframed, no checksums) remain readable: the decoder
-    negotiates on the version field.
+    {b Format v3} (what {!to_string}/{!save} write) lays the synopsis
+    out as a fixed 13-entry section directory followed by raw,
+    8-aligned section payloads: node attributes, the child/parent CSR
+    adjacency as little-endian 64-bit words, the term table, and a
+    value-summary blob with a per-node offset index. Every byte from
+    the directory on is CRC-32 covered ({!Xc_util.Crc32}) — the
+    directory by its own checksum, each payload (alignment padding
+    included) by its entry — so a single flipped bit anywhere is
+    detectable. The layout is what makes {!load} near-constant-time:
+    on a little-endian host the numeric sections are memory-mapped
+    ([Unix.map_file]) straight into the sealed synopsis's Bigarray
+    backing store, zero-copy, with CRC verification deferred to first
+    touch (see {e lazy verification} below). {b v2} (framed sections,
+    big-endian records) and {b v1} (unframed, no checksums) files
+    remain readable: the decoder negotiates on the version field, and
+    {!to_string_v2}/{!to_string_v1} keep producing the old formats for
+    interop and testing.
 
-    {b Failure contract.} Decoding is total: every way an input can be
-    wrong — foreign file, truncation, bit rot, hostile length fields —
-    surfaces as an [Error] of the typed {!error}, never an exception
-    and never an attacker-controlled allocation (length fields are
-    validated against the remaining input before anything is
-    allocated). The [_exn] variants exist for callers that have
-    already verified their input; they raise [Failure] with the
-    rendered error.
+    {b Failure contract.} Decoding via {!of_string} is total: every
+    way an input can be wrong — foreign file, truncation, bit rot,
+    hostile length fields — surfaces as an [Error] of the typed
+    {!error}, never an exception and never an attacker-controlled
+    allocation (length fields are validated against the remaining
+    input before anything is allocated). The [_exn] variants exist
+    for callers that have already verified their input; they raise
+    [Failure] with the rendered error.
+
+    {b Lazy verification} extends that contract along one explicit
+    seam: a {e lazy} {!load} of a v3 file verifies the prologue,
+    directory, and node-attribute sections before returning [Ok], but
+    defers the CSR sections' CRCs (and structural bounds) to the
+    synopsis's first numeric access and each value summary's decode to
+    its first read. Those deferred checks raise {!Lazy_failure}
+    carrying the same typed {!error} at the {e access} point — the
+    serve layer catches it and degrades, exactly as it would for a
+    load-time [Error]. Pass [~eager:true] (or run on a big-endian
+    host) to get the fully-verified string path with no deferred
+    failures. Each lazily verified section bumps [codec.lazy_verify].
 
     Persistence goes through {!Xc_util.Safe_io}: {!save} writes
     atomically (temp file → fsync → rename), so a crash mid-save
     leaves the previous synopsis intact; {!load} reads through the
-    fault-injection sites, so the harness can exercise every failure
-    path. Decode failures bump [codec.decode_error] (and CRC failures
+    fault-injection sites ([codec.load] on the string path and eager
+    prefix, [codec.map] before mapping, [codec.section_verify] at
+    first touch), so the harness can exercise every failure path.
+    Decode failures bump [codec.decode_error] (and CRC failures
     additionally [codec.crc_mismatch]) in {!Xc_util.Metrics.global}.
 
     Only sealed synopses are persisted — a builder is an intermediate
-    construction state, not an artifact. Decoding rebuilds the graph,
-    validates it, and freezes it. *)
+    construction state, not an artifact. Decoding validates the graph
+    before sealing it. *)
 
 type error =
   | Bad_magic  (** not an XCluster synopsis file *)
@@ -53,19 +78,30 @@ type error =
 val pp_error : Format.formatter -> error -> unit
 val error_to_string : error -> string
 
+exception Lazy_failure of error
+(** A deferred verification or decode failure from a lazily loaded v3
+    synopsis, raised at the first access that needed the damaged
+    section (see the lazy-verification contract above). Never escapes
+    an {e eager} load. *)
+
 (* ---- encoding --------------------------------------------------------- *)
 
 val to_string : Synopsis.Sealed.t -> string
-(** The v2 encoding. *)
+(** The v3 encoding. *)
+
+val to_string_v2 : Synopsis.Sealed.t -> string
+(** The framed big-endian v2 encoding, kept for interop with pre-v3
+    stores and for differential tests. New code should write v3. *)
 
 val to_string_v1 : Synopsis.Sealed.t -> string
 (** The legacy unframed v1 encoding, kept so compatibility tests (and
     tooling that must interoperate with pre-v2 stores) can produce v1
-    bytes. New code should write v2. *)
+    bytes. New code should write v3. *)
 
 val size_on_disk : Synopsis.Sealed.t -> int
-(** Byte length of the v2 encoding — framing and checksums per section
-    beyond the model's {!Synopsis.Sealed.structural_bytes} +
+(** Byte length of the v3 encoding — directory, checksums, and
+    alignment padding beyond the model's
+    {!Synopsis.Sealed.structural_bytes} +
     {!Synopsis.Sealed.value_bytes} accounting, plus the embedded string
     tables. *)
 
@@ -86,11 +122,17 @@ val save : string -> Synopsis.Sealed.t -> (unit, error) result
 val save_exn : string -> Synopsis.Sealed.t -> unit
 (** @raise Failure on I/O failure. *)
 
-val load : string -> (Synopsis.Sealed.t, error) result
-(** Read and decode. Total: never raises. *)
+val load : ?eager:bool -> string -> (Synopsis.Sealed.t, error) result
+(** Read and decode. [load] itself never raises. With [eager:false]
+    (the default), a v3 file on a little-endian host is memory-mapped
+    with per-section verification deferred to first touch — the
+    near-constant-time path; deferred failures later raise
+    {!Lazy_failure} at the access point. [eager:true] (and every
+    v1/v2 or big-endian load) reads and fully verifies up front, so
+    the returned synopsis can never raise. *)
 
 val load_exn : string -> Synopsis.Sealed.t
-(** @raise Failure on read or decode failure. *)
+(** Lazy {!load}. @raise Failure on read or decode failure. *)
 
 (* ---- integrity -------------------------------------------------------- *)
 
@@ -99,14 +141,37 @@ type info = {
   i_nodes : int;
   i_bytes : int;  (** encoded size *)
   i_checksummed : bool;
-      (** true for v2, whose sections were CRC-verified; v1 has no
-          checksums, so verification falls back to a full decode *)
+      (** whether every section CRC was verified by this call: true
+          for v2 and eager v3; false for v1 (no checksums — a full
+          decode is the only check) and lazy v3 (directory + header
+          only, the admission-time subset) *)
 }
 
-val verify_string : string -> (info, error) result
+val verify_string : ?eager:bool -> string -> (info, error) result
 (** Integrity check without building a synopsis: validates magic,
-    version, section framing and every CRC (v2), or fully decodes
-    (v1, which has nothing cheaper). *)
+    version, and section framing, plus every CRC (v2, and v3 with
+    [eager:true], the default), the directory/header subset a lazy
+    load would check (v3 with [eager:false]), or fully decodes (v1,
+    which has nothing cheaper). *)
 
-val verify : string -> (info, error) result
+val verify : ?eager:bool -> string -> (info, error) result
 (** {!verify_string} over a file's contents. *)
+
+type section_status = {
+  sec_name : string;
+  sec_bytes : int;
+  sec_crc_ok : bool option;
+      (** [None] when the section carries no CRC (v1) or the check was
+          skipped (lazy mode) *)
+}
+
+val sections_string : ?eager:bool -> string -> (section_status list, error) result
+(** Per-section CRC report, in file order. Unlike {!verify_string}
+    this does not stop at the first bad checksum — it localizes the
+    damage. [eager:false] checks only what a lazy v3 load would at
+    admission (the header section), reporting the rest unchecked.
+    Framing damage (bad magic, corrupt directory) still fails the
+    whole call. *)
+
+val sections : ?eager:bool -> string -> (section_status list, error) result
+(** {!sections_string} over a file's contents. *)

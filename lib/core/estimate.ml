@@ -3,6 +3,7 @@ module Vs = Xc_vsumm.Value_summary
 module Metrics = Xc_util.Metrics
 module B = Synopsis.Builder
 module S = Synopsis.Sealed
+module BA1 = Bigarray.Array1
 
 (* ---- predicate selectivity -------------------------------------------- *)
 
@@ -52,22 +53,28 @@ let gather n acc flag touched =
   done;
   { d_idx = out_idx; d_w = out_w }
 
-(* one child-axis expansion of a weight distribution *)
+(* one child-axis expansion of a weight distribution: scatter each
+   source row (a contiguous unboxed CSR slice) into the accumulator.
+   Row edges run in ascending target order and sources in ascending
+   index order, so the per-cell summation order is the canonical one
+   both estimation paths share — bit-identical to the builder fold. *)
 let expand_children syn dist =
-  let off = S.child_off syn and idx = S.child_idx syn and avg = S.child_avg syn in
+  let off = S.child_off_ba syn
+  and idx = S.child_idx_ba syn
+  and avg = S.child_avg_ba syn in
   let n = S.n_nodes syn in
   let acc = Array.make n 0.0 in
   let flag = Bytes.make n '\000' in
   let touched = ref 0 in
   for i = 0 to Array.length dist.d_idx - 1 do
     let u = Array.unsafe_get dist.d_idx i and w = Array.unsafe_get dist.d_w i in
-    for e = off.(u) to off.(u + 1) - 1 do
-      let c = Array.unsafe_get idx e in
+    for e = BA1.unsafe_get off u to BA1.unsafe_get off (u + 1) - 1 do
+      let c = BA1.unsafe_get idx e in
       if Bytes.unsafe_get flag c = '\000' then begin
         Bytes.unsafe_set flag c '\001';
         incr touched
       end;
-      Array.unsafe_set acc c (Array.unsafe_get acc c +. (w *. Array.unsafe_get avg e))
+      Array.unsafe_set acc c (Array.unsafe_get acc c +. (w *. BA1.unsafe_get avg e))
     done
   done;
   gather n acc flag !touched
@@ -151,8 +158,10 @@ let docnode_step syn step =
     else empty_dist
   | Path_expr.Descendant ->
     (* single pass over the label array: matches land in a doubling
-       buffer, so the scan cost is paid once instead of count + fill *)
-    let labels = S.labels syn and counts = S.counts syn in
+       buffer, so the scan cost is paid once instead of count + fill.
+       Weights come from the precomputed unboxed float counts — the
+       same bits [float_of_int counts.(i)] would produce. *)
+    let labels = S.labels syn and fcounts = S.fcounts syn in
     let n = S.n_nodes syn in
     let buf_idx = ref (Array.make 16 0) and buf_w = ref (Array.make 16 0.0) in
     let m = ref 0 in
@@ -167,7 +176,7 @@ let docnode_step syn step =
           buf_w := gw
         end;
         !buf_idx.(!m) <- i;
-        !buf_w.(!m) <- float_of_int counts.(i);
+        !buf_w.(!m) <- BA1.unsafe_get fcounts i;
         incr m
       end
     done;

@@ -1,6 +1,7 @@
 open Xc_twig
 module Metrics = Xc_util.Metrics
 module S = Synopsis.Sealed
+module BA1 = Bigarray.Array1
 
 let m = Metrics.global
 
@@ -287,11 +288,21 @@ module Batch = struct
         Array.init k (fun i ->
             if i < have then sc.sc_slots.(i) else Array.make sc.sc_n 0.0)
 
-  type bnode = {
+  (* one compiled query edge: the transition matrix's CSR buffers
+     pre-fetched out of the record so the eval kernel reads them
+     without indirection *)
+  type bedge = {
+    be_off : S.ba_i;
+    be_idx : S.ba_i;
+    be_w : S.ba_f;
+    be_child : bnode;
+  }
+
+  and bnode = {
     bn_slot : int;  (* scratch slot holding this node's values *)
     bn_support : int array;  (* synopsis nodes this node is evaluated at *)
     bn_sigma : float array;  (* predicate selectivity per support position *)
-    bn_edges : (Transition.t * bnode) list;  (* document order *)
+    bn_edges : bedge array;  (* document order *)
   }
 
   type bquery = {
@@ -339,8 +350,8 @@ module Batch = struct
     let count = ref 0 in
     Array.iter
       (fun u ->
-        for i = off.(u) to off.(u + 1) - 1 do
-          let v = Array.unsafe_get idx i in
+        for i = BA1.unsafe_get off u to BA1.unsafe_get off (u + 1) - 1 do
+          let v = BA1.unsafe_get idx i in
           if Bytes.unsafe_get mark v = '\000' then begin
             Bytes.unsafe_set mark v '\001';
             incr count
@@ -375,8 +386,12 @@ module Batch = struct
       List.map
         (fun (expr, child) ->
           let mt = mat_for t expr in
-          (mt, compile_bnode t next_slot child (edge_support t mt support)))
+          { be_off = Transition.off mt;
+            be_idx = Transition.idx mt;
+            be_w = Transition.weights mt;
+            be_child = compile_bnode t next_slot child (edge_support t mt support) })
         qnode.Twig_query.edges
+      |> Array.of_list
     in
     { bn_slot = slot;
       bn_support = support;
@@ -420,41 +435,101 @@ module Batch = struct
           bq)
       queries
 
-  let eval_query sc q =
+  (* evaluation runs over support blocks of this many nodes: the block's
+     accumulators stay in registers/L1 while each edge's CSR slices
+     stream through once per block instead of once per node *)
+  let block = 64
+
+  (* row dot product, sequential: the same multiply-add order as the
+     uncached estimator's fold over a reach dist — bit-identical *)
+  let dot (w : S.ba_f) (idx : S.ba_i) (cout : float array) lo hi =
+    let sum = ref 0.0 in
+    for i = lo to hi - 1 do
+      sum := !sum +. (BA1.unsafe_get w i *. Array.unsafe_get cout (BA1.unsafe_get idx i))
+    done;
+    !sum
+
+  (* row dot product, 4-way unrolled: independent accumulators break the
+     add dependency chain, but the summation order changes — results can
+     differ from the sequential path by float non-associativity. Opt-in
+     ([blocked:true]); the bench measures and bounds the |Δ|. *)
+  let dot_unrolled (w : S.ba_f) (idx : S.ba_i) (cout : float array) lo hi =
+    let n = hi - lo in
+    if n < 8 then dot w idx cout lo hi
+    else begin
+      let s0 = ref 0.0 and s1 = ref 0.0 and s2 = ref 0.0 and s3 = ref 0.0 in
+      let i = ref lo in
+      while !i + 3 < hi do
+        let i0 = !i in
+        s0 := !s0 +. (BA1.unsafe_get w i0 *. Array.unsafe_get cout (BA1.unsafe_get idx i0));
+        s1 :=
+          !s1
+          +. (BA1.unsafe_get w (i0 + 1)
+             *. Array.unsafe_get cout (BA1.unsafe_get idx (i0 + 1)));
+        s2 :=
+          !s2
+          +. (BA1.unsafe_get w (i0 + 2)
+             *. Array.unsafe_get cout (BA1.unsafe_get idx (i0 + 2)));
+        s3 :=
+          !s3
+          +. (BA1.unsafe_get w (i0 + 3)
+             *. Array.unsafe_get cout (BA1.unsafe_get idx (i0 + 3)));
+        i := i0 + 4
+      done;
+      let sum = ref (!s0 +. !s1 +. (!s2 +. !s3)) in
+      while !i < hi do
+        sum := !sum +. (BA1.unsafe_get w !i *. Array.unsafe_get cout (BA1.unsafe_get idx !i));
+        incr i
+      done;
+      !sum
+    end
+
+  (* Per-node float operations replicate the memoized estimator exactly:
+     accumulator starts at sigma (or 0 when sigma <= 0), each edge in
+     document order maps a non-positive accumulator to 0 without
+     touching the row and otherwise multiplies by the row dot product.
+     Blocking only reorders WHICH (node, edge) pairs run when — each
+     node's own op sequence is unchanged, so results stay bit-identical
+     to the unblocked fold (with [blocked:false]). *)
+  let eval_query ?(blocked = false) sc q =
     if q.bq_zero then 0.0
     else begin
       scratch_ensure sc q.bq_slots;
       let slots = sc.sc_slots in
+      let accs = Array.make block 0.0 in
       let rec eval_node bn =
-        List.iter (fun (_, c) -> eval_node c) bn.bn_edges;
+        Array.iter (fun e -> eval_node e.be_child) bn.bn_edges;
         let out = slots.(bn.bn_slot) in
         let support = bn.bn_support and sigma = bn.bn_sigma in
-        for k = 0 to Array.length support - 1 do
-          let u = Array.unsafe_get support k in
-          let sg = Array.unsafe_get sigma k in
-          let v =
-            if sg <= 0.0 then 0.0
-            else
-              List.fold_left
-                (fun acc (mt, child) ->
-                  if acc <= 0.0 then 0.0
-                  else begin
-                    let off = Transition.off mt in
-                    let idx = Transition.idx mt in
-                    let w = Transition.weights mt in
-                    let cout = slots.(child.bn_slot) in
-                    let sum = ref 0.0 in
-                    for i = off.(u) to off.(u + 1) - 1 do
-                      sum :=
-                        !sum
-                        +. (Array.unsafe_get w i
-                           *. Array.unsafe_get cout (Array.unsafe_get idx i))
-                    done;
-                    acc *. !sum
-                  end)
-                sg bn.bn_edges
-          in
-          Array.unsafe_set out u v
+        let nsup = Array.length support in
+        let nedges = Array.length bn.bn_edges in
+        let b0 = ref 0 in
+        while !b0 < nsup do
+          let base = !b0 in
+          let bhi = min nsup (base + block) in
+          for k = base to bhi - 1 do
+            let sg = Array.unsafe_get sigma k in
+            Array.unsafe_set accs (k - base) (if sg <= 0.0 then 0.0 else sg)
+          done;
+          for e = 0 to nedges - 1 do
+            let be = Array.unsafe_get bn.bn_edges e in
+            let off = be.be_off and idx = be.be_idx and w = be.be_w in
+            let cout = slots.(be.be_child.bn_slot) in
+            for k = base to bhi - 1 do
+              let a = Array.unsafe_get accs (k - base) in
+              if a > 0.0 then begin
+                let u = Array.unsafe_get support k in
+                let lo = BA1.unsafe_get off u and hi = BA1.unsafe_get off (u + 1) in
+                let s = if blocked then dot_unrolled w idx cout lo hi else dot w idx cout lo hi in
+                Array.unsafe_set accs (k - base) (a *. s)
+              end
+              else Array.unsafe_set accs (k - base) 0.0
+            done
+          done;
+          for k = base to bhi - 1 do
+            Array.unsafe_set out (Array.unsafe_get support k) (Array.unsafe_get accs (k - base))
+          done;
+          b0 := bhi
         done
       in
       List.iter (fun (_, c) -> eval_node c) q.bq_root;
@@ -476,7 +551,7 @@ module Batch = struct
         1.0 q.bq_root
     end
 
-  let run_prepared ?(domains = 0) t prepared =
+  let run_prepared ?(domains = 0) ?(blocked = false) t prepared =
     let nq = Array.length prepared in
     if nq = 0 then [||]
     else begin
@@ -489,7 +564,7 @@ module Batch = struct
           ~init:(fun () -> scratch_create n)
           (fun sc i q ->
             let q0 = Unix.gettimeofday () in
-            let v = eval_query sc q in
+            let v = eval_query ~blocked sc q in
             (* workers touch only their own slot; the coordinator folds
                these into Metrics afterwards, in input order *)
             lat.(i) <- Unix.gettimeofday () -. q0;

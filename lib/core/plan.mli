@@ -119,9 +119,15 @@ module Batch : sig
       transition matrix on first sight and caching compiled queries by
       key, so repeated and overlapping workloads amortize to lookups. *)
 
-  val run_prepared : ?domains:int -> t -> prepared -> float array
+  val run_prepared : ?domains:int -> ?blocked:bool -> t -> prepared -> float array
   (** Evaluate; [result.(i)] answers query [i]. [domains] as in
-      {!Xc_util.Par.map} ([<= 0] means [XC_DOMAINS]). *)
+      {!Xc_util.Par.map} ([<= 0] means [XC_DOMAINS]). [blocked]
+      (default [false]) switches the row dot product to a 4-way
+      unrolled kernel: faster on long rows but a {e different
+      summation order}, so results may differ from the sequential
+      bit-identical path by float non-associativity — the bench
+      measures that |Δ| and reports it as [max_diff_blocked]. Every
+      default path keeps [blocked:false]. *)
 
   val run : ?domains:int -> t -> Xc_twig.Twig_query.t array -> float array
   (** [prepare] + [run_prepared]. *)

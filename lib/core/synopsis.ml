@@ -350,6 +350,20 @@ module Levels = struct
 end
 
 module Sealed = struct
+  module BA1 = Bigarray.Array1
+
+  type ba_f = (float, Bigarray.float64_elt, Bigarray.c_layout) BA1.t
+  type ba_i = (int, Bigarray.int_elt, Bigarray.c_layout) BA1.t
+
+  (* The numeric backing store is flat and unboxed: CSR offsets/targets
+     and edge averages live in Bigarrays so the estimation kernels run
+     over contiguous untagged words — and so a mmap-backed codec can
+     hand us file-backed slices without copying. Value summaries are
+     lazy cells: a codec that defers per-node decoding supplies
+     [vsumm_decode], and [on_first_touch] lets it defer integrity
+     verification of the numeric sections until the first structural
+     access. A synopsis built by {!freeze} has everything materialized
+     and both hooks absent. *)
   type t = {
     uid : int;
     doc_height : int;
@@ -358,18 +372,45 @@ module Sealed = struct
     labels : Xc_xml.Label.t array;
     vtypes : Xc_xml.Value.vtype array;
     counts : int array;
-    vsumms : Xc_vsumm.Value_summary.t array;
-    child_off : int array;  (* length n+1 *)
-    child_idx : int array;  (* sorted ascending within each row *)
-    child_avg : float array;
-    parent_off : int array;
-    parent_idx : int array;
+    fcounts : ba_f;  (* float_of_int counts, for the docnode kernel *)
+    vsumms : Xc_vsumm.Value_summary.t option array;
+    vsumm_decode : (int -> Xc_vsumm.Value_summary.t) option;
+    child_off : ba_i;  (* length n+1 *)
+    child_idx : ba_i;  (* sorted ascending within each row *)
+    child_avg : ba_f;
+    parent_off : ba_i;
+    parent_idx : ba_i;
+    mutable on_first_touch : (unit -> unit) option;
   }
+
+  let ba_i_of_array (a : int array) : ba_i =
+    let b = BA1.create Bigarray.int Bigarray.c_layout (Array.length a) in
+    Array.iteri (fun i v -> BA1.unsafe_set b i v) a;
+    b
+
+  let ba_f_of_array (a : float array) : ba_f =
+    let b = BA1.create Bigarray.float64 Bigarray.c_layout (Array.length a) in
+    Array.iteri (fun i v -> BA1.unsafe_set b i v) a;
+    b
+
+  let array_of_ba_i (b : ba_i) = Array.init (BA1.dim b) (fun i -> BA1.unsafe_get b i)
+  let array_of_ba_f (b : ba_f) = Array.init (BA1.dim b) (fun i -> BA1.unsafe_get b i)
+
+  (* Run the deferred-verification hook exactly once, before the first
+     access to the numeric backing store. On failure the hook stays
+     armed so every subsequent access re-raises instead of silently
+     serving unverified data. *)
+  let touch t =
+    match t.on_first_touch with
+    | None -> ()
+    | Some f ->
+      f ();
+      t.on_first_touch <- None
 
   let uid t = t.uid
   let doc_height t = t.doc_height
   let n_nodes t = Array.length t.sids
-  let n_edges t = Array.length t.child_idx
+  let n_edges t = BA1.dim t.child_idx
   let root t = t.root
   let root_sid t = t.sids.(t.root)
   let sid_of_index t i = t.sids.(i)
@@ -389,22 +430,48 @@ module Sealed = struct
   let label t i = t.labels.(i)
   let vtype t i = t.vtypes.(i)
   let count t i = t.counts.(i)
-  let vsumm t i = t.vsumms.(i)
+
+  let vsumm t i =
+    match t.vsumms.(i) with
+    | Some v -> v
+    | None -> (
+      match t.vsumm_decode with
+      | None ->
+        (* the freeze path fills every cell; only a lazy codec load
+           leaves holes, and it always supplies the decoder *)
+        invalid_arg "Synopsis.Sealed.vsumm: missing summary without a decoder"
+      | Some decode ->
+        let v = decode i in
+        t.vsumms.(i) <- Some v;
+        v)
+
   let labels t = t.labels
   let counts t = t.counts
-  let child_off t = t.child_off
-  let child_idx t = t.child_idx
-  let child_avg t = t.child_avg
-  let parent_off t = t.parent_off
-  let parent_idx t = t.parent_idx
+
+  (* The unboxed hot-path views. Touching any of them runs the codec's
+     deferred verification hook first (a cleared-pointer test once
+     verification has passed). *)
+  let fcounts t = touch t; t.fcounts
+  let child_off_ba t = touch t; t.child_off
+  let child_idx_ba t = touch t; t.child_idx
+  let child_avg_ba t = touch t; t.child_avg
+  let parent_off_ba t = touch t; t.parent_off
+  let parent_idx_ba t = touch t; t.parent_idx
+
+  (* materializing compatibility views (cold paths hoist these once) *)
+  let child_off t = array_of_ba_i (child_off_ba t)
+  let child_idx t = array_of_ba_i (child_idx_ba t)
+  let child_avg t = array_of_ba_f (child_avg_ba t)
+  let parent_off t = array_of_ba_i (parent_off_ba t)
+  let parent_idx t = array_of_ba_i (parent_idx_ba t)
 
   (* binary search for [target] in [arr.(lo..hi-1)] (a sorted CSR row) *)
-  let row_find arr lo hi target =
+  let row_find (arr : ba_i) lo hi target =
     let lo = ref lo and hi = ref (hi - 1) in
     let found = ref (-1) in
     while !found < 0 && !lo <= !hi do
       let mid = (!lo + !hi) / 2 in
-      let v = arr.(mid) in
+      let v = BA1.get arr mid in
       if v = target then found := mid
       else if v < target then lo := mid + 1
       else hi := mid - 1
@@ -414,48 +481,55 @@ module Sealed = struct
   let edge_count t ~parent ~child =
     match index_of_sid t parent, index_of_sid t child with
     | Some p, Some c ->
-      let e = row_find t.child_idx t.child_off.(p) t.child_off.(p + 1) c in
-      if e < 0 then 0.0 else t.child_avg.(e)
+      touch t;
+      let e = row_find t.child_idx (BA1.get t.child_off p) (BA1.get t.child_off (p + 1)) c in
+      if e < 0 then 0.0 else BA1.get t.child_avg e
     | _ -> 0.0
 
   let succ t sid =
     match index_of_sid t sid with
     | None -> []
     | Some i ->
+      touch t;
       List.init
-        (t.child_off.(i + 1) - t.child_off.(i))
+        (BA1.get t.child_off (i + 1) - BA1.get t.child_off i)
         (fun k ->
-          let e = t.child_off.(i) + k in
-          (t.sids.(t.child_idx.(e)), t.child_avg.(e)))
+          let e = BA1.get t.child_off i + k in
+          (t.sids.(BA1.get t.child_idx e), BA1.get t.child_avg e))
 
   let pred t sid =
     match index_of_sid t sid with
     | None -> []
     | Some i ->
+      touch t;
       List.init
-        (t.parent_off.(i + 1) - t.parent_off.(i))
-        (fun k -> t.sids.(t.parent_idx.(t.parent_off.(i) + k)))
+        (BA1.get t.parent_off (i + 1) - BA1.get t.parent_off i)
+        (fun k -> t.sids.(BA1.get t.parent_idx (BA1.get t.parent_off i + k)))
 
-  let out_degree t i = t.child_off.(i + 1) - t.child_off.(i)
-  let in_degree t i = t.parent_off.(i + 1) - t.parent_off.(i)
+  let out_degree t i = touch t; BA1.get t.child_off (i + 1) - BA1.get t.child_off i
+  let in_degree t i = touch t; BA1.get t.parent_off (i + 1) - BA1.get t.parent_off i
 
   let structural_bytes t =
     (Size.node_bytes * n_nodes t) + (Size.edge_bytes * n_edges t)
 
   let value_bytes t =
-    Array.fold_left
-      (fun acc vs -> acc + Xc_vsumm.Value_summary.size_bytes vs)
-      0 t.vsumms
+    let acc = ref 0 in
+    for i = 0 to n_nodes t - 1 do
+      acc := !acc + Xc_vsumm.Value_summary.size_bytes (vsumm t i)
+    done;
+    !acc
 
   let n_value_nodes t =
-    Array.fold_left
-      (fun acc vs ->
-        match vs with
-        | Xc_vsumm.Value_summary.Vnone -> acc
-        | Xc_vsumm.Value_summary.Vnum _ | Vstr _ | Vtext _ -> acc + 1)
-      0 t.vsumms
+    let acc = ref 0 in
+    for i = 0 to n_nodes t - 1 do
+      match vsumm t i with
+      | Xc_vsumm.Value_summary.Vnone -> ()
+      | Xc_vsumm.Value_summary.Vnum _ | Vstr _ | Vtext _ -> incr acc
+    done;
+    !acc
 
   let validate t =
+    touch t;
     let problems = ref [] in
     let bad fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
     let n = n_nodes t in
@@ -464,38 +538,74 @@ module Sealed = struct
     for i = 0 to n - 2 do
       if t.sids.(i) >= t.sids.(i + 1) then bad "sids not strictly ascending at %d" i
     done;
-    let check_csr name off idx =
-      if Array.length off <> n + 1 then bad "%s_off length %d" name (Array.length off);
-      if off.(0) <> 0 || off.(n) <> Array.length idx then bad "%s_off bounds" name;
-      for i = 0 to n - 1 do
-        if off.(i) > off.(i + 1) then bad "%s_off not monotone at %d" name i;
-        for e = off.(i) to off.(i + 1) - 1 do
-          if idx.(e) < 0 || idx.(e) >= n then bad "%s target out of range at %d" name e;
-          if e > off.(i) && idx.(e - 1) >= idx.(e) then
-            bad "%s row %d not strictly ascending" name i
+    let check_csr name (off : ba_i) (idx : ba_i) =
+      if BA1.dim off <> n + 1 then bad "%s_off length %d" name (BA1.dim off)
+      else begin
+        if BA1.get off 0 <> 0 || BA1.get off n <> BA1.dim idx then bad "%s_off bounds" name;
+        for i = 0 to n - 1 do
+          if BA1.get off i > BA1.get off (i + 1) then bad "%s_off not monotone at %d" name i;
+          for e = max 0 (BA1.get off i) to min (BA1.dim idx) (BA1.get off (i + 1)) - 1 do
+            if BA1.get idx e < 0 || BA1.get idx e >= n then
+              bad "%s target out of range at %d" name e;
+            if e > BA1.get off i && BA1.get idx (e - 1) >= BA1.get idx e then
+              bad "%s row %d not strictly ascending" name i
+          done
         done
-      done
+      end
     in
     check_csr "child" t.child_off t.child_idx;
     check_csr "parent" t.parent_off t.parent_idx;
-    for i = 0 to n - 1 do
-      if t.counts.(i) <= 0 then bad "node %d has count %d" t.sids.(i) t.counts.(i);
-      for e = t.child_off.(i) to t.child_off.(i + 1) - 1 do
-        if t.child_avg.(e) <= 0.0 then
-          bad "edge %d->%d has avg %f" t.sids.(i) t.sids.(t.child_idx.(e)) t.child_avg.(e);
-        let c = t.child_idx.(e) in
-        if row_find t.parent_idx t.parent_off.(c) t.parent_off.(c + 1) i < 0 then
-          bad "edge %d->%d missing reverse index" t.sids.(i) t.sids.(c)
-      done;
-      for e = t.parent_off.(i) to t.parent_off.(i + 1) - 1 do
-        let p = t.parent_idx.(e) in
-        if row_find t.child_idx t.child_off.(p) t.child_off.(p + 1) i < 0 then
-          bad "parent edge %d->%d missing forward index" t.sids.(p) t.sids.(i)
+    if
+      BA1.dim t.child_off = n + 1
+      && BA1.dim t.parent_off = n + 1
+      && BA1.get t.child_off n = BA1.dim t.child_idx
+      && BA1.get t.parent_off n = BA1.dim t.parent_idx
+      && BA1.dim t.child_avg = BA1.dim t.child_idx
+      && !problems = []
+    then
+      for i = 0 to n - 1 do
+        if t.counts.(i) <= 0 then bad "node %d has count %d" t.sids.(i) t.counts.(i);
+        if BA1.get t.fcounts i <> float_of_int t.counts.(i) then
+          bad "node %d float count out of sync" t.sids.(i);
+        for e = BA1.get t.child_off i to BA1.get t.child_off (i + 1) - 1 do
+          if BA1.get t.child_avg e <= 0.0 then
+            bad "edge %d->%d has avg %f" t.sids.(i)
+              t.sids.(BA1.get t.child_idx e)
+              (BA1.get t.child_avg e);
+          let c = BA1.get t.child_idx e in
+          if row_find t.parent_idx (BA1.get t.parent_off c) (BA1.get t.parent_off (c + 1)) i < 0
+          then bad "edge %d->%d missing reverse index" t.sids.(i) t.sids.(c)
+        done;
+        for e = BA1.get t.parent_off i to BA1.get t.parent_off (i + 1) - 1 do
+          let p = BA1.get t.parent_idx e in
+          if row_find t.child_idx (BA1.get t.child_off p) (BA1.get t.child_off (p + 1)) i < 0
+          then bad "parent edge %d->%d missing forward index" t.sids.(p) t.sids.(i)
+        done
       done
-    done;
+    else if BA1.dim t.child_avg <> BA1.dim t.child_idx then
+      bad "child_avg length %d != child_idx length %d" (BA1.dim t.child_avg)
+        (BA1.dim t.child_idx);
     match !problems with
     | [] -> Ok ()
     | ps -> Error (String.concat "; " ps)
+
+  (* Direct construction from decoded parts — the codec's zero-copy
+     load path, which bypasses the Builder round trip entirely. The
+     caller owns the invariants ({!validate} is available; the lazy
+     load path defers CRC + bounds checks to [on_first_touch]). *)
+  let of_flat ~doc_height ~root ~sids ~labels ~vtypes ~counts ~child_off
+      ~child_idx ~child_avg ~parent_off ~parent_idx ~vsumms ~vsumm_decode
+      ~on_first_touch =
+    let n = Array.length sids in
+    let fcounts = BA1.create Bigarray.float64 Bigarray.c_layout n in
+    for i = 0 to n - 1 do
+      BA1.unsafe_set fcounts i (float_of_int counts.(i))
+    done;
+    { uid = fresh_uid ();
+      doc_height; root; sids; labels; vtypes; counts; fcounts;
+      vsumms; vsumm_decode;
+      child_off; child_idx; child_avg; parent_off; parent_idx;
+      on_first_touch }
 
   let pp_stats ppf t =
     Format.fprintf ppf "synopsis(nodes=%d, edges=%d, str=%a, val=%a)" (n_nodes t)
@@ -559,8 +669,18 @@ let freeze (b : Builder.t) : Sealed.t =
   in
   let child_off, child_idx, child_avg = csr child_rows in
   let parent_off, parent_idx, _ = csr parent_rows in
+  let fcounts =
+    Sealed.ba_f_of_array (Array.map float_of_int counts)
+  in
   { Sealed.uid = fresh_uid ();
     doc_height = b.Builder.doc_height;
     root = Hashtbl.find index_of b.Builder.root;
-    sids; labels; vtypes; counts; vsumms;
-    child_off; child_idx; child_avg; parent_off; parent_idx }
+    sids; labels; vtypes; counts; fcounts;
+    vsumms = Array.map Option.some vsumms;
+    vsumm_decode = None;
+    child_off = Sealed.ba_i_of_array child_off;
+    child_idx = Sealed.ba_i_of_array child_idx;
+    child_avg = Sealed.ba_f_of_array child_avg;
+    parent_off = Sealed.ba_i_of_array parent_off;
+    parent_idx = Sealed.ba_i_of_array parent_idx;
+    on_first_touch = None }

@@ -179,6 +179,22 @@ end
 module Sealed : sig
   type t
 
+  type ba_f = (float, Bigarray.float64_elt, Bigarray.c_layout) Bigarray.Array1.t
+  (** The numeric backing store is flat and unboxed: the estimation hot
+      loops read CSR rows straight out of [Bigarray.Array1] buffers, and
+      the mmap-backed codec v3 load path can alias file-backed slices
+      into the same fields zero-copy. *)
+
+  type ba_i = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+  val ba_i_of_array : int array -> ba_i
+  (** Copying conversions between boxed arrays and the unboxed buffers
+      (helpers for the codec and the transition-matrix builder). *)
+
+  val ba_f_of_array : float array -> ba_f
+  val array_of_ba_i : ba_i -> int array
+  val array_of_ba_f : ba_f -> float array
+
   val uid : t -> int
   (** Process-unique id; every {!freeze} allocates a fresh one. Plan
       caches key on it — a sealed synopsis never mutates, so the key
@@ -203,21 +219,66 @@ module Sealed : sig
 
   val vtype : t -> int -> Xc_xml.Value.vtype
   val count : t -> int -> int
+
   val vsumm : t -> int -> Xc_vsumm.Value_summary.t
+  (** Value summary of a node. Under a lazy codec v3 load the summary is
+      decoded (and its section CRC-verified) on first access and
+      memoized; a deferred verification failure surfaces here as the
+      codec's exception. Synopses from {!freeze} are fully materialized
+      and never raise. *)
 
   val labels : t -> Xc_xml.Label.t array
-  (** The physical node/adjacency arrays, exposed for the estimation hot
-      loops ([labels], [counts], then the CSR rows: node [i]'s children
-      are [child_idx.(child_off.(i)) .. child_idx.(child_off.(i+1)-1)],
-      sorted ascending, with matching [child_avg] weights; parents
-      analogous). Treat as read-only — a sealed synopsis is frozen. *)
+  (** The physical node arrays ([labels], [counts]) stay boxed OCaml
+      arrays — cold paths index them directly. Treat as read-only. *)
 
   val counts : t -> int array
+
+  val fcounts : t -> ba_f
+  (** [float_of_int] of {!counts}, precomputed for the document-node
+      estimation kernel. Like all [_ba] views below, reading it runs any
+      deferred codec verification hook first. *)
+
+  val child_off_ba : t -> ba_i
+  (** The unboxed CSR adjacency, the estimation hot-path view: node
+      [i]'s children are [child_idx.(child_off.(i)) ..
+      child_idx.(child_off.(i+1)-1)], sorted ascending by target index,
+      with matching [child_avg] weights; parents analogous. Offsets have
+      length [n_nodes + 1]. Treat as read-only — a sealed synopsis is
+      frozen, and under codec v3 the buffer may alias a read-only file
+      mapping. *)
+
+  val child_idx_ba : t -> ba_i
+  val child_avg_ba : t -> ba_f
+  val parent_off_ba : t -> ba_i
+  val parent_idx_ba : t -> ba_i
+
   val child_off : t -> int array
+  (** Materializing compatibility views of the CSR: each call copies the
+      backing buffer into a fresh array. Cold paths only — hoist the
+      copy out of any loop, or use the [_ba] accessors. *)
+
   val child_idx : t -> int array
   val child_avg : t -> float array
   val parent_off : t -> int array
   val parent_idx : t -> int array
+
+  val of_flat :
+    doc_height:int -> root:int -> sids:int array ->
+    labels:Xc_xml.Label.t array -> vtypes:Xc_xml.Value.vtype array ->
+    counts:int array -> child_off:ba_i -> child_idx:ba_i ->
+    child_avg:ba_f -> parent_off:ba_i -> parent_idx:ba_i ->
+    vsumms:Xc_vsumm.Value_summary.t option array ->
+    vsumm_decode:(int -> Xc_vsumm.Value_summary.t) option ->
+    on_first_touch:(unit -> unit) option -> t
+  (** Direct construction from decoded parts — the codec's load path,
+      which bypasses the Builder round trip. A fresh {!uid} is
+      allocated and [fcounts] derived from [counts]. [vsumm_decode]
+      fills [None] cells of [vsumms] on demand; [on_first_touch] runs
+      once before the first numeric-buffer access (deferred CRC
+      verification — it stays armed if it raises, so every subsequent
+      access re-raises). The caller owns the structural invariants;
+      {!validate} checks them (forcing the touch hook, not the value
+      summaries). *)
 
   val edge_count : t -> parent:int -> child:int -> float
   (** By sid, mirroring {!Builder.edge_count}: binary search over the

@@ -2,9 +2,9 @@ module S = Synopsis.Sealed
 
 type t = {
   tm_expr : Xc_twig.Path_expr.t;
-  tm_off : int array;  (* n_rows + 1 *)
-  tm_idx : int array;  (* target indices, ascending within a row *)
-  tm_w : float array;
+  tm_off : S.ba_i;  (* n_rows + 1 *)
+  tm_idx : S.ba_i;  (* target indices, ascending within a row *)
+  tm_w : S.ba_f;
 }
 
 (* Row u is reach_dist syn expr u, computed with the serving baseline's
@@ -27,22 +27,36 @@ let build syn expr =
     off.(u + 1) <- off.(u) + Array.length rows.(u).Estimate.d_idx
   done;
   let nnz = off.(n) in
-  let idx = Array.make nnz 0 and w = Array.make nnz 0.0 in
+  (* pack the rows into unboxed buffers: the batch dot kernel streams
+     a row as one contiguous cache-friendly slice *)
+  let module BA1 = Bigarray.Array1 in
+  let idx = BA1.create Bigarray.int Bigarray.c_layout nnz in
+  let w = BA1.create Bigarray.float64 Bigarray.c_layout nnz in
   for u = 0 to n - 1 do
     let r = rows.(u) in
-    Array.blit r.Estimate.d_idx 0 idx off.(u) (Array.length r.Estimate.d_idx);
-    Array.blit r.Estimate.d_w 0 w off.(u) (Array.length r.Estimate.d_w)
+    let base = off.(u) in
+    for k = 0 to Array.length r.Estimate.d_idx - 1 do
+      BA1.unsafe_set idx (base + k) (Array.unsafe_get r.Estimate.d_idx k);
+      BA1.unsafe_set w (base + k) (Array.unsafe_get r.Estimate.d_w k)
+    done
   done;
-  { tm_expr = expr; tm_off = off; tm_idx = idx; tm_w = w }
+  { tm_expr = expr; tm_off = S.ba_i_of_array off; tm_idx = idx; tm_w = w }
 
 let expr t = t.tm_expr
-let n_rows t = Array.length t.tm_off - 1
-let nnz t = t.tm_off.(Array.length t.tm_off - 1)
+
+let n_rows t =
+  let module BA1 = Bigarray.Array1 in
+  BA1.dim t.tm_off - 1
+
+let nnz t =
+  let module BA1 = Bigarray.Array1 in
+  BA1.get t.tm_off (BA1.dim t.tm_off - 1)
 
 let row t u =
-  let lo = t.tm_off.(u) and hi = t.tm_off.(u + 1) in
-  { Estimate.d_idx = Array.sub t.tm_idx lo (hi - lo);
-    Estimate.d_w = Array.sub t.tm_w lo (hi - lo) }
+  let module BA1 = Bigarray.Array1 in
+  let lo = BA1.get t.tm_off u and hi = BA1.get t.tm_off (u + 1) in
+  { Estimate.d_idx = Array.init (hi - lo) (fun k -> BA1.get t.tm_idx (lo + k));
+    Estimate.d_w = Array.init (hi - lo) (fun k -> BA1.get t.tm_w (lo + k)) }
 
 let off t = t.tm_off
 let idx t = t.tm_idx

@@ -38,13 +38,14 @@ val row : t -> int -> Estimate.dist
 (** Row [u] as a fresh dist (copies the slice); for tests and
     diagnostics. Serving loops read {!off}/{!idx}/{!weights} in place. *)
 
-val off : t -> int array
-(** The physical CSR arrays: row [u] spans
-    [idx.(off.(u)) .. idx.(off.(u+1)-1)] (target node indices,
-    ascending) with matching {!weights}. Treat as read-only. *)
+val off : t -> Synopsis.Sealed.ba_i
+(** The physical CSR buffers, unboxed: row [u] spans
+    [idx.{off.{u}} .. idx.{off.{u+1}-1}] (target node indices,
+    ascending) with matching {!weights}. The batch kernels stream these
+    slices directly. Treat as read-only. *)
 
-val idx : t -> int array
-val weights : t -> float array
+val idx : t -> Synopsis.Sealed.ba_i
+val weights : t -> Synopsis.Sealed.ba_f
 
 val root_row : Synopsis.Sealed.t -> Xc_twig.Path_expr.t -> Estimate.dist
 (** The distribution from the virtual document node

@@ -48,6 +48,17 @@ let estimate syn q =
     Metrics.incr Metrics.global "serve.fallback";
     estimate_uncached syn q
 
+(* A degraded answer still has to touch the synopsis: if the fallback
+   itself trips — a lazily loaded synopsis whose deferred section
+   verification fails (Codec.Lazy_failure) at this very access — there
+   is no answer to give, so serving reports Unavailable instead of
+   letting the exception escape the result-typed API. *)
+let degrade_result syn q =
+  Metrics.incr Metrics.global "serve.fallback";
+  match estimate_uncached syn q with
+  | v -> Ok v
+  | exception exn -> Error (Error.Unavailable (Printexc.to_string exn))
+
 let estimate_result ?(options = Options.default) syn q =
   match
     let c = cache_for syn in
@@ -56,16 +67,20 @@ let estimate_result ?(options = Options.default) syn q =
   | Ok v -> Ok v
   | Error msg | (exception Failure msg) -> (
     match options.Options.fallback with
-    | Options.Degrade ->
-      Metrics.incr Metrics.global "serve.fallback";
-      Ok (estimate_uncached syn q)
+    | Options.Degrade -> degrade_result syn q
     | Options.Strict -> Error (Error.Unavailable msg))
   | exception exn -> (
     match options.Options.fallback with
-    | Options.Degrade ->
-      Metrics.incr Metrics.global "serve.fallback";
-      Ok (estimate_uncached syn q)
+    | Options.Degrade -> degrade_result syn q
     | Options.Strict -> Error (Error.Unavailable (Printexc.to_string exn)))
+
+(* Same containment for the batched fallback: [estimate]'s own
+   fallback re-raises on a synopsis that cannot be read at all. *)
+let degrade_batch syn queries =
+  Metrics.incr Metrics.global "serve.batch_fallback";
+  match Array.map (fun q -> estimate syn q) queries with
+  | r -> Ok r
+  | exception exn -> Error (Error.Unavailable (Printexc.to_string exn))
 
 let estimate_batch_with ?(options = Options.default) engine syn queries =
   match
@@ -76,15 +91,11 @@ let estimate_batch_with ?(options = Options.default) engine syn queries =
   | Ok r -> Ok r
   | Error msg | (exception Failure msg) -> (
     match options.Options.fallback with
-    | Options.Degrade ->
-      Metrics.incr Metrics.global "serve.batch_fallback";
-      Ok (Array.map (fun q -> estimate syn q) queries)
+    | Options.Degrade -> degrade_batch syn queries
     | Options.Strict -> Error (Error.Unavailable msg))
   | exception exn -> (
     match options.Options.fallback with
-    | Options.Degrade ->
-      Metrics.incr Metrics.global "serve.batch_fallback";
-      Ok (Array.map (fun q -> estimate syn q) queries)
+    | Options.Degrade -> degrade_batch syn queries
     | Options.Strict -> Error (Error.Unavailable (Printexc.to_string exn)))
 
 let estimate_batch ?options syn queries =
@@ -98,9 +109,7 @@ let estimate_batch ?options syn queries =
        raises *)
     let options = Option.value options ~default:Options.default in
     (match options.Options.fallback with
-    | Options.Degrade ->
-      Metrics.incr Metrics.global "serve.batch_fallback";
-      Ok (Array.map (fun q -> estimate syn q) queries)
+    | Options.Degrade -> degrade_batch syn queries
     | Options.Strict -> Error (Error.Unavailable (Printexc.to_string exn)))
 
 let estimate_batch_exn ?options syn queries =

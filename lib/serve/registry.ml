@@ -41,8 +41,12 @@ type load_report = { loaded : int; skipped : int }
 let generation t name =
   Option.value ~default:0 (Hashtbl.find_opt t.generations name)
 
-(* Admission: the codec's total decoder is the verify step — an [Ok]
-   here has passed framing, per-section CRCs, and graph validation.
+(* Admission: the codec's loader is the verify step — an [Ok] here
+   has passed framing, the directory checksum, and the node-attribute
+   sections' CRCs; for a lazily mapped v3 artifact the CSR and
+   value-summary sections verify on first touch, and a deferred
+   failure (Codec.Lazy_failure) surfaces through the engine's
+   result-typed serving path as Unavailable, never as a crash.
    The replace of [t.admitted] is the generation-swap commit point: a
    single Hashtbl write, so a reader resolving the name sees either
    the old complete generation or the new one, never a mixture (the

@@ -9,7 +9,7 @@ type hist = {
   mutable hs_sum : float;
   mutable hs_min : float;
   mutable hs_max : float;
-  hs_buckets : int array;  (* index i counts samples with 2^(i-1) < v <= 2^i *)
+  hs_buckets : int array;  (* index i counts samples with 2^((i-1)/8) < v <= 2^(i/8) *)
 }
 
 type t = {
@@ -30,13 +30,22 @@ let incr ?(by = 1) t name =
   | Some r -> r := !r + by
   | None -> Hashtbl.add t.m_counters name (ref by)
 
-let n_buckets = 64
+(* 8 sub-buckets per power-of-two octave: 512 buckets span (0, 2^64)
+   with bucket edges a factor 2^(1/8) (~9%) apart. Whole-octave
+   buckets made adjacent percentiles indistinguishable — any two
+   quantiles landing in the same magnitude class (p95 and p99 of a
+   latency distribution routinely do) interpolated inside the same
+   factor-2 band and came out nearly equal regardless of the data. *)
+let n_buckets = 512
+let sub_per_octave = 8.0
 
 let bucket_of v =
   if v <= 1.0 then 0
   else
-    let b = 1 + int_of_float (Float.ceil (Float.log2 v)) in
-    min (n_buckets - 1) b
+    let b = int_of_float (Float.ceil (sub_per_octave *. Float.log2 v)) in
+    min (n_buckets - 1) (max 1 b)
+
+let bucket_le i = Float.pow 2.0 (float_of_int i /. sub_per_octave)
 
 let observe t name v =
   let h =
@@ -112,7 +121,7 @@ let snapshot t =
           let buckets = ref [] in
           for i = n_buckets - 1 downto 0 do
             if h.hs_buckets.(i) > 0 then
-              buckets := (Float.pow 2.0 (float_of_int i), h.hs_buckets.(i)) :: !buckets
+              buckets := (bucket_le i, h.hs_buckets.(i)) :: !buckets
           done;
           { h_count = h.hs_count; h_sum = h.hs_sum; h_min = h.hs_min;
             h_max = h.hs_max; h_buckets = !buckets }) }
@@ -126,13 +135,14 @@ let counter_value t name =
   match Hashtbl.find_opt t.m_counters name with Some r -> !r | None -> 0
 
 (* ---- quantiles --------------------------------------------------------
-   Histogram buckets are power-of-two magnitude classes, so a quantile
-   is located by a cumulative walk and interpolated linearly inside its
-   bucket [(le/2, le]] (bucket 0 covers (0, 1]). The answer is exact at
-   bucket boundaries and within a factor-2 band otherwise — the right
-   tradeoff for latency percentiles, where the magnitude is the
-   signal. Clamped to the observed [min, max] so tiny samples do not
-   report values no observation ever had. *)
+   Histogram buckets are eighth-octave magnitude classes, so a
+   quantile is located by a cumulative walk and interpolated linearly
+   inside its bucket [(le/2^(1/8), le]] (bucket 0 covers (0, 1]). The
+   answer is exact at bucket boundaries and within a ~9% band
+   otherwise — tight enough that p95 and p99 of a real latency
+   distribution land in distinct buckets. Clamped to the observed
+   [min, max] so tiny samples do not report values no observation
+   ever had. *)
 
 let quantile_of_stat h q =
   if h.h_count = 0 then Float.nan
@@ -143,7 +153,7 @@ let quantile_of_stat h q =
       | (le, n) :: rest ->
         let cum' = cum +. float_of_int n in
         if cum' >= target && n > 0 then begin
-          let lo = if le <= 1.0 then 0.0 else le /. 2.0 in
+          let lo = if le <= 1.0 then 0.0 else le /. Float.pow 2.0 0.125 in
           let frac = (target -. cum) /. float_of_int n in
           lo +. (frac *. (le -. lo))
         end
@@ -162,7 +172,7 @@ let quantiles t name qs =
     let buckets = ref [] in
     for i = n_buckets - 1 downto 0 do
       if h.hs_buckets.(i) > 0 then
-        buckets := (Float.pow 2.0 (float_of_int i), h.hs_buckets.(i)) :: !buckets
+        buckets := (bucket_le i, h.hs_buckets.(i)) :: !buckets
     done;
     let stat =
       { h_count = h.hs_count; h_sum = h.hs_sum; h_min = h.hs_min;

@@ -23,7 +23,8 @@ val incr : ?by:int -> t -> string -> unit
 
 val observe : t -> string -> float -> unit
 (** Record a sample into a histogram (count/sum/min/max plus
-    power-of-two magnitude buckets), creating it on first use. *)
+    eighth-octave magnitude buckets — 8 sub-buckets per power of two),
+    creating it on first use. *)
 
 val time : t -> string -> (unit -> 'a) -> 'a
 (** Run the thunk and record its wall-clock duration, in seconds, under
@@ -47,8 +48,8 @@ type hist_stat = {
   h_min : float;
   h_max : float;
   h_buckets : (float * int) list;
-      (** (upper bound, samples ≤ bound) per non-empty power-of-two
-          magnitude bucket, ascending *)
+      (** (upper bound, samples ≤ bound) per non-empty eighth-octave
+          magnitude bucket (edges a factor [2^(1/8)] apart), ascending *)
 }
 
 type snapshot = {
@@ -65,10 +66,11 @@ val counter_value : t -> string -> int
 
 val quantile_of_stat : hist_stat -> float -> float
 (** Quantile [q ∈ \[0, 1\]] of a histogram, interpolated linearly
-    inside its power-of-two magnitude bucket and clamped to the
+    inside its eighth-octave magnitude bucket and clamped to the
     observed [min, max]; [nan] on an empty histogram. Exact at bucket
-    boundaries, within a factor-2 band elsewhere — magnitude-accurate,
-    which is the contract latency percentiles need. *)
+    boundaries, within a ~9% band elsewhere — fine enough that
+    adjacent latency percentiles (p95 vs p99) resolve to distinct
+    values instead of collapsing into one power-of-two class. *)
 
 val quantiles_of_stat : hist_stat -> float list -> (float * float) list
 (** [(q, value)] per requested quantile. *)

@@ -73,8 +73,8 @@ module Store = struct
 
   let save = Xc_core.Codec.save
 
-  let load path =
-    match Xc_core.Codec.load path with
+  let load ?eager path =
+    match Xc_core.Codec.load ?eager path with
     | Ok _ as ok -> ok
     | Error _ as e ->
       Mx.incr Mx.global "serve.load_error";
@@ -83,6 +83,7 @@ module Store = struct
   let save_exn = Xc_core.Codec.save_exn
   let load_exn = Xc_core.Codec.load_exn
   let verify = Xc_core.Codec.verify
+  let sections = Xc_core.Codec.sections
 end
 
 module Serve = struct

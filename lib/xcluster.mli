@@ -205,27 +205,37 @@ module Store : sig
   type error = Xc_core.Codec.error
 
   val save : string -> synopsis -> (unit, error) result
-  (** Atomic write (temp file → fsync → rename) of the checksummed v2
-      format via {!Xc_core.Codec.save}; on [Error _] a pre-existing
-      file at the path is untouched. *)
+  (** Atomic write (temp file → fsync → rename) of the checksummed,
+      mmap-friendly v3 format via {!Xc_core.Codec.save}; on [Error _]
+      a pre-existing file at the path is untouched. *)
 
-  val load : string -> (synopsis, error) result
-  (** Read and decode; total, never raises. Failures additionally bump
-      [serve.load_error] — a server that keeps a directory of synopses
-      uses this to skip (and count) corrupt artifacts instead of
-      dying on the first one. *)
+  val load : ?eager:bool -> string -> (synopsis, error) result
+  (** Read and decode; [load] itself never raises. With [eager:false]
+      (the default) a v3 file on a little-endian host memory-maps in
+      near-constant time, deferring per-section CRC verification and
+      value-summary decoding to first touch; a deferred failure raises
+      {!Xc_core.Codec.Lazy_failure} at the access point (the serve
+      layer catches it and degrades). [eager:true] fully verifies up
+      front. Failures additionally bump [serve.load_error] — a server
+      that keeps a directory of synopses uses this to skip (and count)
+      corrupt artifacts instead of dying on the first one. *)
 
   val save_exn : string -> synopsis -> unit
   (** @raise Failure on I/O failure (the previous file, if any, is
       intact). *)
 
   val load_exn : string -> synopsis
-  (** @raise Failure on read or decode failure. *)
+  (** Lazy {!load}. @raise Failure on read or decode failure. *)
 
-  val verify : string -> (Xc_core.Codec.info, error) result
-  (** Integrity check (framing + per-section CRC-32 for v2, full
+  val verify : ?eager:bool -> string -> (Xc_core.Codec.info, error) result
+  (** Integrity check (framing + per-section CRC-32 for v2/v3, full
       decode for v1) without building the synopsis —
-      {!Xc_core.Codec.verify}. *)
+      {!Xc_core.Codec.verify}. [eager:false] checks only the subset a
+      lazy v3 load verifies at admission. *)
+
+  val sections : ?eager:bool -> string -> (Xc_core.Codec.section_status list, error) result
+  (** Per-section CRC report ({!Xc_core.Codec.sections}): localizes
+      damage instead of stopping at the first bad checksum. *)
 end
 
 (** The serving layer: batched estimation under explicit options, and

@@ -351,7 +351,7 @@ let test_verify_file () =
   | Error e -> Alcotest.failf "save failed: %s" (Codec.error_to_string e));
   (match Codec.verify path with
   | Ok info ->
-    check Alcotest.int "version" 2 info.Codec.i_version;
+    check Alcotest.int "version" 3 info.Codec.i_version;
     check Alcotest.int "nodes" (S.n_nodes syn) info.Codec.i_nodes;
     check Alcotest.bool "checksummed" true info.Codec.i_checksummed
   | Error e -> Alcotest.failf "verify failed: %s" (Codec.error_to_string e));
@@ -363,8 +363,9 @@ let test_verify_file () =
   | Ok () -> ()
   | Error e -> Alcotest.failf "rewrite failed: %s" (Safe_io.error_to_string e));
   match Codec.verify path with
-  | Error (Codec.Checksum_mismatch { section = "nodes"; _ }) -> ()
-  | Error e -> Alcotest.failf "expected nodes checksum mismatch, got %s" (Codec.error_to_string e)
+  | Error (Codec.Checksum_mismatch { section = "vsumm_blob"; _ }) -> ()
+  | Error e ->
+    Alcotest.failf "expected vsumm_blob checksum mismatch, got %s" (Codec.error_to_string e)
   | Ok _ -> Alcotest.fail "verify accepted a corrupt file"
 
 let () =
