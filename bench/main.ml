@@ -437,47 +437,87 @@ let run_serve () =
   let t0 = Unix.gettimeofday () in
   let prepared = Xc_core.Plan.Batch.prepare engine queries in
   let prepare_s = Unix.gettimeofday () -. t0 in
+  (* warm-up: one pass down each serving path before the metrics reset,
+     so first-touch work (cohort-plan build, arena allocation, page
+     faults on the matrix buffers) is paid — and reported — here
+     instead of surfacing as a fake p99 outlier in the steady-state
+     histogram (24.6 us at passes=5 vs 3 us at passes=50, pre-fix) *)
+  let t0 = Unix.gettimeofday () in
+  ignore (Xc_core.Plan.Batch.run_prepared ~cohort:false engine prepared);
+  ignore (Xc_core.Plan.Batch.run_prepared engine prepared);
+  let warmup_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
   Xcluster.Metrics.reset ();
   Xc_util.Par.reset_usage ();
+  (* query-major reference loop: the per-query latency histogram and
+     the qps baseline the cohort path is judged against *)
   let batch = ref [||] in
   let t0 = Unix.gettimeofday () in
   for _ = 1 to passes do
-    batch := Xc_core.Plan.Batch.run_prepared engine prepared
+    batch := Xc_core.Plan.Batch.run_prepared ~cohort:false engine prepared
   done;
   let t_batch = Unix.gettimeofday () -. t0 in
-  let domains_used = Xc_util.Par.max_used () in
   let batch = !batch in
-  let max_diff =
-    let d = ref 0.0 in
-    Array.iteri
-      (fun i v -> d := Float.max !d (Float.abs (v -. planned.(i))))
-      batch;
-    !d
-  in
-  (* bitwise determinism across worker counts: the sharding must never
-     change a float *)
-  let deterministic =
-    List.for_all
-      (fun d ->
-        let r = Xc_core.Plan.Batch.run_prepared ~domains:d engine prepared in
-        let ok = ref true in
-        Array.iteri
-          (fun i v ->
-            if Int64.bits_of_float v <> Int64.bits_of_float batch.(i) then
-              ok := false)
-          r;
-        !ok)
-      [ 1; 2; 4 ]
-  in
-  (* the opt-in blocked kernel: a different summation order, so the
-     gate is a bounded relative |Δ| against the bit-identical path,
-     not zero *)
+  (* matrix-major cohort loop: the default serving path *)
+  let cohort_res = ref [||] in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to passes do
+    cohort_res := Xc_core.Plan.Batch.run_prepared engine prepared
+  done;
+  let t_cohort = Unix.gettimeofday () -. t0 in
+  let cohort_res = !cohort_res in
+  (* the opt-in blocked kernel: a different summation order on matrices
+     past the row-length gate, so its gate is a bounded relative |Δ|
+     against the bit-identical path, not zero *)
   let t0 = Unix.gettimeofday () in
   let blocked = ref [||] in
   for _ = 1 to passes do
-    blocked := Xc_core.Plan.Batch.run_prepared ~blocked:true engine prepared
+    blocked := Xc_core.Plan.Batch.run_prepared ~blocked:true ~cohort:false engine prepared
   done;
   let t_blocked = Unix.gettimeofday () -. t0 in
+  let domains_used = Xc_util.Par.max_used () in
+  (* Latency quantiles are read here, before the cross-domain
+     determinism runs: spawned worker domains — even parked ones —
+     turn every minor collection into a multi-domain stop-the-world
+     rendezvous, and on a small host those GC stalls used to land in
+     the histogram as a fake 20x p99 outlier. (That same effect is why
+     every timed loop above runs before the first ~domains:2 call.) *)
+  let p50, p95, p99 =
+    match
+      Xc_util.Metrics.quantiles Xc_util.Metrics.global "estimate.batch_us"
+        [ 0.5; 0.95; 0.99 ]
+    with
+    | Some [ (_, a); (_, b); (_, c) ] -> (a, b, c)
+    | _ -> (0.0, 0.0, 0.0)
+  in
+  let n_cohorts, _, n_distinct = Xc_core.Plan.Batch.cohort_stats prepared in
+  let cohort_sharing = float_of_int n_distinct /. float_of_int (max 1 n_cohorts) in
+  let max_diff_vs_planned r =
+    let d = ref 0.0 in
+    Array.iteri (fun i v -> d := Float.max !d (Float.abs (v -. planned.(i)))) r;
+    !d
+  in
+  let max_diff = max_diff_vs_planned batch in
+  let max_diff_cohort = max_diff_vs_planned cohort_res in
+  (* bitwise determinism across worker counts, on both sweep orders:
+     the sharding must never change a float *)
+  let deterministic =
+    List.for_all
+      (fun co ->
+        List.for_all
+          (fun d ->
+            let r =
+              Xc_core.Plan.Batch.run_prepared ~domains:d ~cohort:co engine prepared
+            in
+            let ok = ref true in
+            Array.iteri
+              (fun i v ->
+                if Int64.bits_of_float v <> Int64.bits_of_float batch.(i) then
+                  ok := false)
+              r;
+            !ok)
+          [ 1; 2; 4 ])
+      [ false; true ]
+  in
   let max_diff_blocked =
     let d = ref 0.0 in
     Array.iteri
@@ -536,15 +576,9 @@ let run_serve () =
   let per t = 1e6 *. t /. float_of_int (passes * nq) in
   let speedup = t_planned /. Float.max t_batch 1e-9 in
   let qps = float_of_int (passes * nq) /. Float.max t_batch 1e-9 in
+  let qps_cohort = float_of_int (passes * nq) /. Float.max t_cohort 1e-9 in
   let qps_blocked = float_of_int (passes * nq) /. Float.max t_blocked 1e-9 in
-  let p50, p95, p99 =
-    match
-      Xc_util.Metrics.quantiles Xc_util.Metrics.global "estimate.batch_us"
-        [ 0.5; 0.95; 0.99 ]
-    with
-    | Some [ (_, a); (_, b); (_, c) ] -> (a, b, c)
-    | _ -> (0.0, 0.0, 0.0)
-  in
+  let cohort_ge_base = qps_cohort >= qps in
   Format.fprintf ppf "@.Batched serving (%s: %d queries x %d passes, %d domains)@."
     ds.Xc_exp.Runner.name nq passes requested;
   Format.fprintf ppf "  planned:  %7.3f s  (%.1f us/estimate)@." t_planned
@@ -556,8 +590,14 @@ let run_serve () =
     prepare_s;
   Format.fprintf ppf "  throughput: %.0f estimates/s   latency p50 %.1f us  p95 %.1f us  p99 %.1f us@."
     qps p50 p95 p99;
-  Format.fprintf ppf "  max |batch - planned| = %g   deterministic across 1/2/4 domains: %b@."
-    max_diff deterministic;
+  Format.fprintf ppf
+    "  cohort:   %7.3f s  (%.1f us/estimate)  %.0f estimates/s  (%.2fx base)   [%d cohorts, %.1f queries/cohort, warm-up %.1f ms]@."
+    t_cohort (per t_cohort) qps_cohort
+    (qps_cohort /. Float.max qps 1e-9)
+    n_cohorts cohort_sharing warmup_ms;
+  Format.fprintf ppf
+    "  max |batch - planned| = %g   max |cohort - planned| = %g   deterministic across 1/2/4 domains: %b@."
+    max_diff max_diff_cohort deterministic;
   Format.fprintf ppf
     "  blocked kernel: %7.3f s (%.0f estimates/s)   max rel |Δ| vs bit-identical path = %g@."
     t_blocked qps_blocked max_diff_blocked;
@@ -569,13 +609,14 @@ let run_serve () =
     first_answer_ms lazy_sections_verified first_answer_identical;
   let json =
     Printf.sprintf
-      "{\"ts\":%.0f,\"dataset\":%S,\"scale\":%.3f,\"queries\":%d,\"passes\":%d,\"domains\":%d,\"domains_used\":%d,\"t_planned_s\":%.4f,\"t_batch_s\":%.4f,\"speedup_batch\":%.2f,\"qps\":%.0f,\"qps_bigarray\":%.0f,\"qps_blocked\":%.0f,\"p50_us\":%.2f,\"p95_us\":%.2f,\"p99_us\":%.2f,\"prepare_s\":%.4f,\"n_matrices\":%d,\"max_diff\":%g,\"max_diff_blocked\":%g,\"deterministic\":%b,\"startup_ms_v2\":%.4f,\"startup_ms_v3\":%.4f,\"startup_speedup\":%.1f,\"first_answer_ms\":%.4f,\"lazy_sections_verified\":%d}"
+      "{\"ts\":%.0f,\"dataset\":%S,\"scale\":%.3f,\"queries\":%d,\"passes\":%d,\"domains\":%d,\"domains_used\":%d,\"t_planned_s\":%.4f,\"t_batch_s\":%.4f,\"speedup_batch\":%.2f,\"qps\":%.0f,\"qps_bigarray\":%.0f,\"qps_cohort\":%.0f,\"qps_blocked\":%.0f,\"t_cohort_s\":%.4f,\"cohorts\":%d,\"cohort_sharing\":%.2f,\"cohort_ge_base\":%b,\"warmup_ms\":%.2f,\"p50_us\":%.2f,\"p95_us\":%.2f,\"p99_us\":%.2f,\"prepare_s\":%.4f,\"n_matrices\":%d,\"max_diff\":%g,\"max_diff_cohort\":%g,\"max_diff_blocked\":%g,\"deterministic\":%b,\"startup_ms_v2\":%.4f,\"startup_ms_v3\":%.4f,\"startup_speedup\":%.1f,\"first_answer_ms\":%.4f,\"lazy_sections_verified\":%d}"
       (Unix.gettimeofday ()) ds.Xc_exp.Runner.name scale nq passes requested
-      domains_used t_planned t_batch speedup qps qps qps_blocked p50 p95 p99
+      domains_used t_planned t_batch speedup qps qps qps_cohort qps_blocked
+      t_cohort n_cohorts cohort_sharing cohort_ge_base warmup_ms p50 p95 p99
       prepare_s
       (Xc_core.Plan.Batch.n_matrices engine)
-      max_diff max_diff_blocked deterministic startup_ms_v2 startup_ms_v3
-      startup_speedup first_answer_ms lazy_sections_verified
+      max_diff max_diff_cohort max_diff_blocked deterministic startup_ms_v2
+      startup_ms_v3 startup_speedup first_answer_ms lazy_sections_verified
   in
   let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_serve.json" in
   output_string oc json;
@@ -586,6 +627,12 @@ let run_serve () =
     Format.fprintf ppf
       "  ERROR: batch estimates diverged from the planned path (max diff %g)@."
       max_diff;
+    exit 1
+  end;
+  if max_diff_cohort <> 0.0 then begin
+    Format.fprintf ppf
+      "  ERROR: cohort estimates diverged from the planned path (max diff %g)@."
+      max_diff_cohort;
     exit 1
   end;
   if not deterministic then begin
@@ -616,7 +663,12 @@ let run_serve () =
     Format.fprintf ppf
       "  WARNING: qps %.2fM below the 2x-over-%.1fM target — best effort on this \
        host; see EXPERIMENTS.md@."
-      (qps /. 1e6) (qps_baseline /. 1e6)
+      (qps /. 1e6) (qps_baseline /. 1e6);
+  if passes >= 50 && qps_cohort < 1.5 *. qps then
+    Format.fprintf ppf
+      "  WARNING: cohort qps %.2fM below the 1.5x-over-query-major target \
+       (%.2fM) at steady state@."
+      (qps_cohort /. 1e6) (1.5 *. qps /. 1e6)
 
 (* ---- fault-injection smoke ---------------------------------------------
    The robustness gate behind BENCH_fault.json: a bounded fuzz over the

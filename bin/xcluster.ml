@@ -215,7 +215,17 @@ let workload_cmd =
              throughput and latency percentiles. Estimates are bit-identical \
              either way.")
   in
-  let run file typing_name bstr bval n seed batch =
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "With $(b,--batch): print the serving metrics as JSON after the \
+             run, including the cohort counters ($(b,batch.cohorts), \
+             $(b,batch.cohort_max), $(b,batch.arena_resets), \
+             $(b,batch.minor_words)).")
+  in
+  let run file typing_name bstr bval n seed batch stats =
     guarded @@ fun () ->
     let doc = load ~typing_name file in
     let syn =
@@ -241,12 +251,27 @@ let workload_cmd =
           (float_of_int (Array.length queries) /. Float.max dt 1e-9)
           (Xc_core.Plan.Batch.n_matrices (Xcluster.Serve.batch_engine syn))
           (Xc_util.Par.max_used ());
+        (* the default cohort path records per-cohort latency; the
+           query-major path per-query — report whichever ran *)
         (match
-           Xc_util.Metrics.quantiles m "estimate.batch_us" [ 0.5; 0.95; 0.99 ]
+           List.find_map
+             (fun name ->
+               match Xc_util.Metrics.quantiles m name [ 0.5; 0.95; 0.99 ] with
+               | Some qs -> Some (name, qs)
+               | None -> None)
+             [ "estimate.cohort_us"; "estimate.batch_us" ]
          with
-        | Some [ (_, p50); (_, p95); (_, p99) ] ->
-          Format.printf "latency (us): p50 %.1f  p95 %.1f  p99 %.1f@." p50 p95 p99
+        | Some (name, [ (_, p50); (_, p95); (_, p99) ]) ->
+          Format.printf "latency (%s): p50 %.1f  p95 %.1f  p99 %.1f@."
+            (if name = "estimate.cohort_us" then "us/cohort" else "us/query")
+            p50 p95 p99
         | _ -> ());
+        Format.printf "cohorts: %d (max %d), arena resets %d, minor words %d@."
+          (Xc_util.Metrics.counter_value m "batch.cohorts")
+          (Xc_util.Metrics.counter_value m "batch.cohort_max")
+          (Xc_util.Metrics.counter_value m "batch.arena_resets")
+          (Xc_util.Metrics.counter_value m "batch.minor_words");
+        if stats then Format.printf "metrics: %s@." (Xcluster.Metrics.json ());
         (* estimates keyed injectively by query structure, so the scorer
            below reads the batch results *)
         let by_key = Hashtbl.create (Array.length queries) in
@@ -277,7 +302,7 @@ let workload_cmd =
           methodology, on your own data).")
     Term.(
       const run $ file_arg $ typing_arg $ bstr_arg $ bval_arg $ n_arg $ seed_arg
-      $ batch_arg)
+      $ batch_arg $ stats_arg)
 
 (* ---- estimate ----------------------------------------------------------- *)
 

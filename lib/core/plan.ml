@@ -273,7 +273,7 @@ end
 module Batch = struct
   (* per-worker evaluation scratch: one float array of length n_nodes
      per query-node slot, grown to the widest query seen and reused
-     across the worker's whole chunk *)
+     across the worker's whole chunk (the query-major path) *)
   type scratch = {
     sc_n : int;
     mutable sc_slots : float array array;
@@ -288,6 +288,13 @@ module Batch = struct
         Array.init k (fun i ->
             if i < have then sc.sc_slots.(i) else Array.make sc.sc_n 0.0)
 
+  (* Unrolled accumulation only pays off when a matrix's rows are long
+     enough to amortize the extra loop machinery; below this mean row
+     length the blocked kernel measurably *regresses* (BENCH_serve
+     qps_blocked at scale 1.0 / passes 5), so such matrices fall back
+     to the scalar kernel even under [blocked:true]. *)
+  let blocked_min_mean_row = 8.0
+
   (* one compiled query edge: the transition matrix's CSR buffers
      pre-fetched out of the record so the eval kernel reads them
      without indirection *)
@@ -295,6 +302,7 @@ module Batch = struct
     be_off : S.ba_i;
     be_idx : S.ba_i;
     be_w : S.ba_f;
+    be_unroll : bool;  (* rows long enough for the blocked kernel *)
     be_child : bnode;
   }
 
@@ -305,22 +313,84 @@ module Batch = struct
     bn_edges : bedge array;  (* document order *)
   }
 
+  (* ---- the flat cohort-eval program --------------------------------
+     The matrix-major path evaluates a query from a flattened postorder
+     program instead of walking the [bnode] tree: no recursion, no
+     closures, no per-node [Array.iter] dispatch. One [ftask] per root
+     edge; its node array is the root subtree in postorder, so children
+     are always evaluated before the edge that consumes them, and the
+     LAST node is the root edge's own child (the "top" node), whose
+     values are consumed only by the root-edge dot product — they are
+     folded into that dot in the same loop instead of being scattered
+     into a plane nobody else reads. For the workload-median query
+     (one root edge, leaf child) the whole evaluation collapses to a
+     single fused loop over [sigma] and the root weights. *)
+  type fedge = {
+    f_off : S.ba_i;
+    f_idx : S.ba_i;
+    f_w : S.ba_f;
+    f_unroll : bool;
+    f_child_slot : int;
+  }
+
+  type fnode = {
+    f_slot : int;
+    f_support : int array;
+    f_sigma : float array;
+    f_edges : fedge array;  (* document order *)
+  }
+
+  type ftask = {
+    ft_rw : float array;  (* root-edge dist weights, position-aligned
+                             with the top node's support *)
+    ft_nodes : fnode array;  (* postorder; last entry is the top node *)
+  }
+
+  type fquery = {
+    fq_zero : bool;
+    fq_slots : int;
+    fq_tasks : ftask array;  (* document order *)
+  }
+
   type bquery = {
     bq_zero : bool;  (* root predicates or an empty root expression *)
     bq_root : (Estimate.dist * bnode) list;
     bq_slots : int;
+    bq_id : int;  (* dense per-engine id; the cohort dedup key *)
+    bq_key : int;  (* cohort key: the first matrix the query touches *)
+    mutable bq_flat : fquery option;  (* memoized flat program *)
   }
 
-  type prepared = bquery array
+  (* A prepared workload carries its cohort plan (built lazily on the
+     first cohort run, then reused for every pass): the batch's
+     distinct queries in cohort-major order plus the input-index →
+     distinct-value mapping that places results. *)
+  type cohort_plan = {
+    cp_queries : fquery array;  (* distinct queries, cohorts contiguous *)
+    cp_src : int array;  (* input index -> position in cp_queries *)
+    cp_cohorts : (int * int) array;  (* per cohort: (start, len) *)
+    cp_max_cohort : int;
+    cp_slots : int;  (* max fq_slots — the arena's plane demand *)
+    cp_values : float array;  (* per distinct query, rewritten per run *)
+  }
+
+  type prepared = {
+    pr_queries : bquery array;
+    mutable pr_plan : cohort_plan option;
+  }
 
   type t = {
     bt_syn : S.t;
     bt_mats : (Path_expr.id, Transition.t) Hashtbl.t;
     bt_queries : (string, bquery) Hashtbl.t;
+    bt_next_id : int ref;
   }
 
   let create syn =
-    { bt_syn = syn; bt_mats = Hashtbl.create 32; bt_queries = Hashtbl.create 64 }
+    { bt_syn = syn;
+      bt_mats = Hashtbl.create 32;
+      bt_queries = Hashtbl.create 64;
+      bt_next_id = ref 0 }
 
   let synopsis t = t.bt_syn
   let n_matrices t = Hashtbl.length t.bt_mats
@@ -389,6 +459,7 @@ module Batch = struct
           { be_off = Transition.off mt;
             be_idx = Transition.idx mt;
             be_w = Transition.weights mt;
+            be_unroll = Transition.mean_row_len mt >= blocked_min_mean_row;
             be_child = compile_bnode t next_slot child (edge_support t mt support) })
         qnode.Twig_query.edges
       |> Array.of_list
@@ -399,6 +470,8 @@ module Batch = struct
       bn_edges = edges }
 
   let compile_query t q =
+    let id = !(t.bt_next_id) in
+    incr t.bt_next_id;
     let root_q = q.Twig_query.root in
     (* root predicates can never hold on the virtual document node, and
        an empty root expression contributes a 0.0 factor — either way
@@ -407,8 +480,30 @@ module Batch = struct
       root_q.Twig_query.preds <> []
       || List.exists (fun (expr, _) -> expr = []) root_q.Twig_query.edges
     in
-    if zero then { bq_zero = true; bq_root = []; bq_slots = 0 }
+    if zero then
+      { bq_zero = true; bq_root = []; bq_slots = 0; bq_id = id; bq_key = -1;
+        bq_flat = None }
     else begin
+      (* cohort key: the first transition matrix the evaluation streams
+         (first child edge of the first root child that has one), so a
+         cohort's queries hit the same CSR slices back-to-back; queries
+         with no internal edges group by their root expression — those
+         share the root reach dist instead *)
+      let key =
+        match
+          List.find_map
+            (fun (_, child) ->
+              match child.Twig_query.edges with
+              | (e, _) :: _ -> Some (Path_expr.intern e)
+              | [] -> None)
+            root_q.Twig_query.edges
+        with
+        | Some k -> k
+        | None -> (
+          match root_q.Twig_query.edges with
+          | (e, _) :: _ -> Path_expr.intern e
+          | [] -> -1)
+      in
       let next_slot = ref 0 in
       let root =
         List.map
@@ -417,23 +512,27 @@ module Batch = struct
             (rdist, compile_bnode t next_slot child rdist.Estimate.d_idx))
           root_q.Twig_query.edges
       in
-      { bq_zero = false; bq_root = root; bq_slots = !next_slot }
+      { bq_zero = false; bq_root = root; bq_slots = !next_slot; bq_id = id;
+        bq_key = key; bq_flat = None }
     end
 
   let prepare t queries =
-    Array.map
-      (fun q ->
-        let key = query_key q in
-        match Hashtbl.find_opt t.bt_queries key with
-        | Some bq ->
-          Metrics.incr m "batch.query_hit";
-          bq
-        | None ->
-          Metrics.incr m "batch.query_miss";
-          let bq = Metrics.time m "batch.compile" (fun () -> compile_query t q) in
-          Hashtbl.add t.bt_queries key bq;
-          bq)
-      queries
+    let qs =
+      Array.map
+        (fun q ->
+          let key = query_key q in
+          match Hashtbl.find_opt t.bt_queries key with
+          | Some bq ->
+            Metrics.incr m "batch.query_hit";
+            bq
+          | None ->
+            Metrics.incr m "batch.query_miss";
+            let bq = Metrics.time m "batch.compile" (fun () -> compile_query t q) in
+            Hashtbl.add t.bt_queries key bq;
+            bq)
+        queries
+    in
+    { pr_queries = qs; pr_plan = None }
 
   (* evaluation runs over support blocks of this many nodes: the block's
      accumulators stay in registers/L1 while each edge's CSR slices
@@ -520,7 +619,10 @@ module Batch = struct
               if a > 0.0 then begin
                 let u = Array.unsafe_get support k in
                 let lo = BA1.unsafe_get off u and hi = BA1.unsafe_get off (u + 1) in
-                let s = if blocked then dot_unrolled w idx cout lo hi else dot w idx cout lo hi in
+                let s =
+                  if blocked && be.be_unroll then dot_unrolled w idx cout lo hi
+                  else dot w idx cout lo hi
+                in
                 Array.unsafe_set accs (k - base) (a *. s)
               end
               else Array.unsafe_set accs (k - base) 0.0
@@ -551,35 +653,379 @@ module Batch = struct
         1.0 q.bq_root
     end
 
-  let run_prepared ?(domains = 0) ?(blocked = false) t prepared =
-    let nq = Array.length prepared in
+  (* ---- matrix-major cohort evaluation ------------------------------- *)
+
+  (* Flatten a compiled query into its postorder program, once; reused
+     for every subsequent pass over the same prepared batch. *)
+  let flatten bq =
+    match bq.bq_flat with
+    | Some f -> f
+    | None ->
+      let tasks =
+        List.map
+          (fun ((rdist : Estimate.dist), top) ->
+            let nodes = ref [] in
+            let rec go bn =
+              Array.iter (fun e -> go e.be_child) bn.bn_edges;
+              nodes :=
+                { f_slot = bn.bn_slot;
+                  f_support = bn.bn_support;
+                  f_sigma = bn.bn_sigma;
+                  f_edges =
+                    Array.map
+                      (fun e ->
+                        { f_off = e.be_off; f_idx = e.be_idx; f_w = e.be_w;
+                          f_unroll = e.be_unroll;
+                          f_child_slot = e.be_child.bn_slot })
+                      bn.bn_edges }
+                :: !nodes
+            in
+            go top;
+            (* compile_query evaluates the top node over rdist.d_idx
+               verbatim, so ft_rw is position-aligned with the top
+               node's support — the root dot needs no index lookup *)
+            { ft_rw = rdist.Estimate.d_w;
+              ft_nodes = Array.of_list (List.rev !nodes) })
+          bq.bq_root
+        |> Array.of_list
+      in
+      let f = { fq_zero = bq.bq_zero; fq_slots = bq.bq_slots; fq_tasks = tasks } in
+      bq.bq_flat <- Some f;
+      f
+
+  (* Per-worker arena: one flat float64 plane per query-node slot, all
+     in a single Bigarray (plane [s] is [buf.{s*stride .. s*stride+n-1}]).
+     Grown to the high-water (n_nodes × max slots) and then reused for
+     every cohort the worker ever runs — planes are NEVER zeroed between
+     queries: supports propagate top-down, so every cell a parent reads
+     was written by its child earlier in the same evaluation. Reuse is
+     tracked by a per-batch epoch bump; [arena_resets] counts the
+     (rare) reallocation events. Lives in domain-local storage so the
+     persistent Par worker domains keep their arenas across batches. *)
+  type arena = {
+    mutable ar_buf : S.ba_f;
+    mutable ar_n : int;  (* plane stride *)
+    mutable ar_slots : int;
+    mutable ar_epoch : int;
+  }
+
+  (* workers must not touch the (unsynchronized) Metrics registry; the
+     coordinator folds this delta in after the join *)
+  let arena_resets : int Atomic.t = Atomic.make 0
+
+  let arena_key : arena Domain.DLS.key =
+    Domain.DLS.new_key (fun () ->
+        { ar_buf = BA1.create Bigarray.float64 Bigarray.c_layout 0;
+          ar_n = 0;
+          ar_slots = 0;
+          ar_epoch = 0 })
+
+  let arena_for n slots =
+    let ar = Domain.DLS.get arena_key in
+    if ar.ar_n < n || ar.ar_slots < slots then begin
+      let n' = max n ar.ar_n and s' = max slots ar.ar_slots in
+      ar.ar_buf <- BA1.create Bigarray.float64 Bigarray.c_layout (n' * s');
+      ar.ar_n <- n';
+      ar.ar_slots <- s';
+      Atomic.incr arena_resets
+    end;
+    ar.ar_epoch <- ar.ar_epoch + 1;
+    ar
+
+  (* row dot against an arena plane — same ascending multiply-add order
+     as [dot], so bit-identical; only the output storage differs *)
+  let dot_plane (w : S.ba_f) (idx : S.ba_i) (buf : S.ba_f) base lo hi =
+    let sum = ref 0.0 in
+    for i = lo to hi - 1 do
+      sum :=
+        !sum +. (BA1.unsafe_get w i *. BA1.unsafe_get buf (base + BA1.unsafe_get idx i))
+    done;
+    !sum
+
+  (* plane twin of [dot_unrolled]: same 4-accumulator order, same < 8
+     scalar fallback *)
+  let dot_plane_unrolled (w : S.ba_f) (idx : S.ba_i) (buf : S.ba_f) base lo hi =
+    let n = hi - lo in
+    if n < 8 then dot_plane w idx buf base lo hi
+    else begin
+      let s0 = ref 0.0 and s1 = ref 0.0 and s2 = ref 0.0 and s3 = ref 0.0 in
+      let i = ref lo in
+      while !i + 3 < hi do
+        let i0 = !i in
+        s0 :=
+          !s0
+          +. (BA1.unsafe_get w i0 *. BA1.unsafe_get buf (base + BA1.unsafe_get idx i0));
+        s1 :=
+          !s1
+          +. (BA1.unsafe_get w (i0 + 1)
+             *. BA1.unsafe_get buf (base + BA1.unsafe_get idx (i0 + 1)));
+        s2 :=
+          !s2
+          +. (BA1.unsafe_get w (i0 + 2)
+             *. BA1.unsafe_get buf (base + BA1.unsafe_get idx (i0 + 2)));
+        s3 :=
+          !s3
+          +. (BA1.unsafe_get w (i0 + 3)
+             *. BA1.unsafe_get buf (base + BA1.unsafe_get idx (i0 + 3)));
+        i := i0 + 4
+      done;
+      let sum = ref (!s0 +. !s1 +. (!s2 +. !s3)) in
+      while !i < hi do
+        sum :=
+          !sum +. (BA1.unsafe_get w !i *. BA1.unsafe_get buf (base + BA1.unsafe_get idx !i));
+        incr i
+      done;
+      !sum
+    end
+
+  (* Matrix-major evaluation of one flat query against the worker's
+     arena. Per-(node, support position) the float op sequence is
+     exactly [eval_query]'s: start at the clamped sigma, each edge in
+     document order maps a non-positive value to 0.0 and otherwise
+     multiplies by the row dot. Two structural changes, both op-order
+     preserving:
+     - the top node's values fold straight into the root dot product
+       instead of being scattered first — valid because its support IS
+       the root dist's index array, so the dot visits exactly the
+       per-position values in the same ascending order with the same
+       weights;
+     - a task whose running root fold is already <= 0.0 is skipped
+       entirely — the fold's own [acc <= 0.0 -> 0.0] arm never reads
+       the task's sum, so not computing it changes nothing. *)
+  let eval_flat ~blocked ar fq =
+    if fq.fq_zero then 0.0
+    else begin
+      let buf = ar.ar_buf and stride = ar.ar_n in
+      let ntasks = Array.length fq.fq_tasks in
+      let acc = ref 1.0 in
+      let ti = ref 0 in
+      while !ti < ntasks && !acc > 0.0 do
+        let task = Array.unsafe_get fq.fq_tasks !ti in
+        let nodes = task.ft_nodes in
+        let last = Array.length nodes - 1 in
+        for nix = 0 to last - 1 do
+          let fn = Array.unsafe_get nodes nix in
+          let support = fn.f_support and sigma = fn.f_sigma in
+          let edges = fn.f_edges in
+          let nsup = Array.length support in
+          let nedges = Array.length edges in
+          let base = fn.f_slot * stride in
+          for k = 0 to nsup - 1 do
+            let sg = Array.unsafe_get sigma k in
+            let v = ref (if sg <= 0.0 then 0.0 else sg) in
+            for e = 0 to nedges - 1 do
+              if !v > 0.0 then begin
+                let fe = Array.unsafe_get edges e in
+                let u = Array.unsafe_get support k in
+                let lo = BA1.unsafe_get fe.f_off u
+                and hi = BA1.unsafe_get fe.f_off (u + 1) in
+                let cbase = fe.f_child_slot * stride in
+                let s =
+                  if blocked && fe.f_unroll then
+                    dot_plane_unrolled fe.f_w fe.f_idx buf cbase lo hi
+                  else dot_plane fe.f_w fe.f_idx buf cbase lo hi
+                in
+                v := !v *. s
+              end
+              else v := 0.0
+            done;
+            BA1.unsafe_set buf (base + Array.unsafe_get support k) !v
+          done
+        done;
+        (* top node: fuse the node evaluation with the root-edge dot *)
+        let fn = Array.unsafe_get nodes last in
+        let support = fn.f_support and sigma = fn.f_sigma in
+        let edges = fn.f_edges in
+        let rw = task.ft_rw in
+        let nsup = Array.length support in
+        let nedges = Array.length edges in
+        let s = ref 0.0 in
+        for k = 0 to nsup - 1 do
+          let sg = Array.unsafe_get sigma k in
+          let v = ref (if sg <= 0.0 then 0.0 else sg) in
+          for e = 0 to nedges - 1 do
+            if !v > 0.0 then begin
+              let fe = Array.unsafe_get edges e in
+              let u = Array.unsafe_get support k in
+              let lo = BA1.unsafe_get fe.f_off u
+              and hi = BA1.unsafe_get fe.f_off (u + 1) in
+              let cbase = fe.f_child_slot * stride in
+              let d =
+                if blocked && fe.f_unroll then
+                  dot_plane_unrolled fe.f_w fe.f_idx buf cbase lo hi
+                else dot_plane fe.f_w fe.f_idx buf cbase lo hi
+              in
+              v := !v *. d
+            end
+            else v := 0.0
+          done;
+          s := !s +. (Array.unsafe_get rw k *. !v)
+        done;
+        acc := !acc *. !s;
+        incr ti
+      done;
+      if !acc <= 0.0 then 0.0 else !acc
+    end
+
+  (* Build the cohort plan for a prepared batch: dedup shared compiled
+     queries (prepare returns the same bquery object for duplicate
+     keys), group the distinct ones by cohort key with first-occurrence
+     cohort numbering, and lay them out cohort-major with a stable
+     counting sort — all deterministic functions of the input order,
+     independent of domain count. *)
+  let build_plan prepared =
+    let nq = Array.length prepared.pr_queries in
+    let pos_of_id = Hashtbl.create (2 * nq) in
+    let rev_distinct = ref [] in
+    let ndistinct = ref 0 in
+    let src = Array.make nq 0 in
+    Array.iteri
+      (fun i bq ->
+        match Hashtbl.find_opt pos_of_id bq.bq_id with
+        | Some p -> src.(i) <- p
+        | None ->
+          let p = !ndistinct in
+          Hashtbl.add pos_of_id bq.bq_id p;
+          rev_distinct := bq :: !rev_distinct;
+          incr ndistinct;
+          src.(i) <- p)
+      prepared.pr_queries;
+    let distinct = Array.of_list (List.rev !rev_distinct) in
+    let nd = Array.length distinct in
+    if nd = 0 then
+      { cp_queries = [||]; cp_src = [||]; cp_cohorts = [||]; cp_max_cohort = 0;
+        cp_slots = 1; cp_values = [||] }
+    else begin
+      let cid_of_key = Hashtbl.create 64 in
+      let ncoh = ref 0 in
+      let cid =
+        Array.map
+          (fun bq ->
+            match Hashtbl.find_opt cid_of_key bq.bq_key with
+            | Some c -> c
+            | None ->
+              let c = !ncoh in
+              Hashtbl.add cid_of_key bq.bq_key c;
+              incr ncoh;
+              c)
+          distinct
+      in
+      let ncoh = !ncoh in
+      let count = Array.make ncoh 0 in
+      Array.iter (fun c -> count.(c) <- count.(c) + 1) cid;
+      let start = Array.make ncoh 0 in
+      for c = 1 to ncoh - 1 do
+        start.(c) <- start.(c - 1) + count.(c - 1)
+      done;
+      let next = Array.copy start in
+      let order = Array.make nd 0 in
+      Array.iteri
+        (fun p c ->
+          order.(p) <- next.(c);
+          next.(c) <- next.(c) + 1)
+        cid;
+      let flat = Array.map flatten distinct in
+      let sorted = Array.make nd flat.(0) in
+      Array.iteri (fun p f -> sorted.(order.(p)) <- f) flat;
+      { cp_queries = sorted;
+        cp_src = Array.map (fun p -> order.(p)) src;
+        cp_cohorts = Array.init ncoh (fun c -> (start.(c), count.(c)));
+        cp_max_cohort = Array.fold_left max 0 count;
+        cp_slots = Array.fold_left (fun a f -> max a f.fq_slots) 1 flat;
+        cp_values = Array.make nd 0.0 }
+    end
+
+  let plan_of prepared =
+    match prepared.pr_plan with
+    | Some p -> p
+    | None ->
+      let p = Metrics.time m "batch.cohort_plan" (fun () -> build_plan prepared) in
+      prepared.pr_plan <- Some p;
+      p
+
+  let cohort_stats prepared =
+    let p = plan_of prepared in
+    (Array.length p.cp_cohorts, p.cp_max_cohort, Array.length p.cp_queries)
+
+  (* One batch pass, matrix-major: workers claim whole cohorts (the
+     parallel unit is a cohort, never a query), each query's value lands
+     in cp_values by its cohort-major position, and the result array is
+     gathered through cp_src in input order — placement is a pure
+     function of the input, so XC_DOMAINS cannot change the output. *)
+  let run_cohort ~domains ~blocked t plan =
+    let n = S.n_nodes t.bt_syn in
+    let ncoh = Array.length plan.cp_cohorts in
+    let lat = Array.make ncoh 0.0 in
+    let resets0 = Atomic.get arena_resets in
+    let minor0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
+    Xc_util.Par.iter_chunked ~domains
+      ~init:(fun () -> arena_for n plan.cp_slots)
+      (fun ar ci (start, len) ->
+        (* latency is sampled on every 8th cohort: cohorts run in
+           fractions of a microsecond, so timestamping each one costs
+           ~10% of the sweep — sampling keeps the histogram
+           representative without charging the hot path for it *)
+        let sample = ci land 7 = 0 in
+        let c0 = if sample then Unix.gettimeofday () else 0.0 in
+        for p = start to start + len - 1 do
+          plan.cp_values.(p) <-
+            eval_flat ~blocked ar (Array.unsafe_get plan.cp_queries p)
+        done;
+        (* workers touch only their own slot; the coordinator folds
+           these into Metrics after the join *)
+        if sample then lat.(ci) <- Unix.gettimeofday () -. c0)
+      plan.cp_cohorts;
+    Metrics.add_time m "estimate.batch" (Unix.gettimeofday () -. t0);
+    Metrics.incr m ~by:ncoh "batch.cohorts";
+    Metrics.record_max m "batch.cohort_max" plan.cp_max_cohort;
+    Metrics.incr m ~by:(Atomic.get arena_resets - resets0) "batch.arena_resets";
+    (* coordinator-side minor allocation across the whole pass: the
+       cohort path's figure of merit is this staying near zero *)
+    Metrics.incr m ~by:(int_of_float (Gc.minor_words () -. minor0)) "batch.minor_words";
+    let ci = ref 0 in
+    while !ci < ncoh do
+      Metrics.observe m "estimate.cohort_us" (1e6 *. lat.(!ci));
+      ci := !ci + 8
+    done;
+    Array.map (fun p -> Array.unsafe_get plan.cp_values p) plan.cp_src
+
+  let run_prepared ?(domains = 0) ?(blocked = false) ?(cohort = true) t prepared =
+    let nq = Array.length prepared.pr_queries in
     if nq = 0 then [||]
     else begin
       Metrics.incr m ~by:nq "batch.queries";
-      let n = S.n_nodes t.bt_syn in
-      let lat = Array.make nq 0.0 in
-      let t0 = Unix.gettimeofday () in
-      let out =
-        Xc_util.Par.map_chunked ~domains
-          ~init:(fun () -> scratch_create n)
-          (fun sc i q ->
-            let q0 = Unix.gettimeofday () in
-            let v = eval_query ~blocked sc q in
-            (* workers touch only their own slot; the coordinator folds
-               these into Metrics afterwards, in input order *)
-            lat.(i) <- Unix.gettimeofday () -. q0;
-            v)
-          prepared
-      in
-      Metrics.add_time m "estimate.batch" (Unix.gettimeofday () -. t0);
-      Array.iter (fun dt -> Metrics.observe m "estimate.batch_us" (1e6 *. dt)) lat;
-      out
+      if cohort then run_cohort ~domains ~blocked t (plan_of prepared)
+      else begin
+        (* query-major reference path: per-query latency histogram,
+           per-query scratch walk — kept as the bit-exactness oracle
+           and the p50/p95/p99 source *)
+        let n = S.n_nodes t.bt_syn in
+        let lat = Array.make nq 0.0 in
+        let t0 = Unix.gettimeofday () in
+        let out =
+          Xc_util.Par.map_chunked ~domains
+            ~init:(fun () -> scratch_create n)
+            (fun sc i q ->
+              let q0 = Unix.gettimeofday () in
+              let v = eval_query ~blocked sc q in
+              (* workers touch only their own slot; the coordinator folds
+                 these into Metrics afterwards, in input order *)
+              lat.(i) <- Unix.gettimeofday () -. q0;
+              v)
+            prepared.pr_queries
+        in
+        Metrics.add_time m "estimate.batch" (Unix.gettimeofday () -. t0);
+        Array.iter (fun dt -> Metrics.observe m "estimate.batch_us" (1e6 *. dt)) lat;
+        out
+      end
     end
 
-  let run ?domains t queries = run_prepared ?domains t (prepare t queries)
+  let run ?domains ?cohort t queries =
+    run_prepared ?domains ?cohort t (prepare t queries)
 
-  let run_result ?domains t queries =
-    match run ?domains t queries with
+  let run_result ?domains ?cohort t queries =
+    match run ?domains ?cohort t queries with
     | r -> Ok r
     | exception exn ->
       Metrics.incr m "batch.error";

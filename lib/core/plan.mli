@@ -91,18 +91,39 @@ end
     arrays — plain CSR row dot products, no hashing or allocation on
     the serving path.
 
-    Results are {b bit-identical} to {!Estimate.selectivity} (matrix
-    rows are built by the estimator's own step code and the evaluation
-    replicates its float-operation order exactly, short-circuits
-    included), and {b independent of the worker count}: queries shard
-    across {!Xc_util.Par} domains in contiguous chunks with results
-    placed by input index, and no query's evaluation reads state
-    another query wrote.
+    The default serving mode is {b matrix-major}: a prepared batch is
+    deduplicated (identical queries evaluate once) and its distinct
+    queries are grouped into {e cohorts} by the first transition matrix
+    each evaluation streams, laid out cohort-major so one matrix's CSR
+    slices are walked back-to-back for the whole cohort. Evaluation
+    runs from a flattened postorder program (no recursion or closures)
+    against a reusable per-worker arena — one flat float64 Bigarray of
+    per-slot planes, high-water sized, never zeroed between queries —
+    so per-query bookkeeping (timestamps, scratch allocation, histogram
+    updates) is amortized over whole cohorts. [cohort:false] selects
+    the original query-major walk, kept as the per-query-latency
+    reference path.
+
+    Results on both paths are {b bit-identical} to
+    {!Estimate.selectivity} (matrix rows are built by the estimator's
+    own step code and the evaluation replicates its float-operation
+    order exactly, short-circuits included), and {b independent of the
+    worker count}: work shards across {!Xc_util.Par} domains in
+    contiguous chunks (of cohorts in matrix-major mode, of queries
+    otherwise) with results placed by input index, and no query's
+    evaluation reads state another query wrote.
 
     Instrumentation (all recorded by the coordinating domain only):
-    counters [batch.queries], [batch.query_hit]/[batch.query_miss];
-    timers [batch.mat_build], [batch.compile], [estimate.batch];
-    histogram [estimate.batch_us] (per-query latency). *)
+    counters [batch.queries], [batch.query_hit]/[batch.query_miss],
+    [batch.cohorts], [batch.cohort_max] (high-water),
+    [batch.arena_resets] (arena (re)allocations), [batch.minor_words]
+    (coordinator minor-heap words allocated during cohort passes);
+    timers [batch.mat_build], [batch.compile], [batch.cohort_plan],
+    [estimate.batch]; histograms [estimate.batch_us] (per-query
+    latency, query-major path) and [estimate.cohort_us] (per-cohort
+    latency, matrix-major path, sampled on every 8th cohort so the
+    sub-microsecond hot loop is not charged for its own
+    timestamping). *)
 module Batch : sig
   type t
   (** A batch engine bound to one sealed synopsis: its matrix registry
@@ -110,7 +131,9 @@ module Batch : sig
       (keyed by {!query_key}). *)
 
   type prepared
-  (** A workload compiled for serving; reusable across runs. *)
+  (** A workload compiled for serving; reusable across runs. Carries
+      its lazily built cohort plan, so repeated passes over the same
+      prepared batch pay the grouping cost once. *)
 
   val create : Synopsis.Sealed.t -> t
 
@@ -119,21 +142,39 @@ module Batch : sig
       transition matrix on first sight and caching compiled queries by
       key, so repeated and overlapping workloads amortize to lookups. *)
 
-  val run_prepared : ?domains:int -> ?blocked:bool -> t -> prepared -> float array
+  val run_prepared :
+    ?domains:int -> ?blocked:bool -> ?cohort:bool -> t -> prepared -> float array
   (** Evaluate; [result.(i)] answers query [i]. [domains] as in
-      {!Xc_util.Par.map} ([<= 0] means [XC_DOMAINS]). [blocked]
-      (default [false]) switches the row dot product to a 4-way
-      unrolled kernel: faster on long rows but a {e different
-      summation order}, so results may differ from the sequential
-      bit-identical path by float non-associativity — the bench
-      measures that |Δ| and reports it as [max_diff_blocked]. Every
-      default path keeps [blocked:false]. *)
+      {!Xc_util.Par.map} ([<= 0] means [XC_DOMAINS]). [cohort]
+      (default [true]) selects the matrix-major sweep; [cohort:false]
+      the query-major reference walk — both bit-identical to the
+      uncached estimator. [blocked] (default [false]) switches the row
+      dot product to a 4-way unrolled kernel on matrices whose mean
+      row length is at least {!blocked_min_mean_row} (shorter-row
+      matrices keep the scalar kernel — unrolling regresses them):
+      faster on long rows but a {e different summation order}, so
+      results may differ from the sequential bit-identical path by
+      float non-associativity — the bench measures that |Δ| and
+      reports it as [max_diff_blocked]. Every default path keeps
+      [blocked:false]. *)
 
-  val run : ?domains:int -> t -> Xc_twig.Twig_query.t array -> float array
+  val blocked_min_mean_row : float
+  (** Mean-row-length threshold ({!Transition.mean_row_len}) at and
+      above which [blocked:true] actually uses the unrolled kernel. *)
+
+  val cohort_stats : prepared -> int * int * int
+  (** [(cohorts, max_cohort, distinct)] for the batch's cohort plan
+      (building it if needed): number of cohorts, widest cohort, and
+      distinct queries after dedup. [distinct /. cohorts] is the
+      matrix-sharing factor the bench reports as [cohort_sharing]. *)
+
+  val run :
+    ?domains:int -> ?cohort:bool -> t -> Xc_twig.Twig_query.t array -> float array
   (** [prepare] + [run_prepared]. *)
 
   val run_result :
-    ?domains:int -> t -> Xc_twig.Twig_query.t array -> (float array, string) result
+    ?domains:int -> ?cohort:bool -> t -> Xc_twig.Twig_query.t array ->
+    (float array, string) result
   (** {!run} with the serving failure contract (see
       {!Cache.estimate_result}): exceptions become [Error] and bump
       [batch.error], so batched serving can degrade to the per-query

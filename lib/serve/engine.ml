@@ -84,9 +84,10 @@ let degrade_batch syn queries =
 
 let estimate_batch_with ?(options = Options.default) engine syn queries =
   match
+    let cohort = options.Options.cohort in
     match options.Options.domains with
-    | Some d -> Plan.Batch.run_result ~domains:d engine queries
-    | None -> Plan.Batch.run_result engine queries
+    | Some d -> Plan.Batch.run_result ~domains:d ~cohort engine queries
+    | None -> Plan.Batch.run_result ~cohort engine queries
   with
   | Ok r -> Ok r
   | Error msg | (exception Failure msg) -> (

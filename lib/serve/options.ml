@@ -1,17 +1,18 @@
 type fallback = Degrade | Strict
 
-type t = { domains : int option; fallback : fallback }
+type t = { domains : int option; fallback : fallback; cohort : bool }
 
-let default = { domains = None; fallback = Degrade }
+let default = { domains = None; fallback = Degrade; cohort = true }
 
-let make ?domains ?(fallback = Degrade) () =
+let make ?domains ?(fallback = Degrade) ?(cohort = true) () =
   (match domains with
   | Some d when d <= 0 ->
     invalid_arg "Xc_serve.Options.make: domains must be positive (omit it for the XC_DOMAINS default)"
   | _ -> ());
-  { domains; fallback }
+  { domains; fallback; cohort }
 
 let pp ppf t =
-  Format.fprintf ppf "{domains=%s; fallback=%s}"
+  Format.fprintf ppf "{domains=%s; fallback=%s; cohort=%b}"
     (match t.domains with None -> "env" | Some d -> string_of_int d)
     (match t.fallback with Degrade -> "degrade" | Strict -> "strict")
+    t.cohort

@@ -25,12 +25,18 @@ type t = {
       (** batch evaluation worker count; [None] means the [XC_DOMAINS]
           environment default *)
   fallback : fallback;
+  cohort : bool;
+      (** matrix-major cohort evaluation for batch estimates (see
+          {!Xc_core.Plan.Batch.run_prepared}); [false] selects the
+          query-major reference walk. Both are bit-identical to the
+          uncached estimator — this switches the sweep order, not the
+          answer. *)
 }
 
 val default : t
-(** [{ domains = None; fallback = Degrade }]. *)
+(** [{ domains = None; fallback = Degrade; cohort = true }]. *)
 
-val make : ?domains:int -> ?fallback:fallback -> unit -> t
+val make : ?domains:int -> ?fallback:fallback -> ?cohort:bool -> unit -> t
 (** [domains], when given, must be positive.
     @raise Invalid_argument on [domains <= 0] — the old "non-positive
     means environment" sentinel is exactly what this record retires. *)

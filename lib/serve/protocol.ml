@@ -136,7 +136,8 @@ let get_count r ~elt_min ~what =
 
 let put_options buf (o : Options.t) =
   put_int buf (match o.domains with None -> -1 | Some d -> d);
-  put_int buf (match o.fallback with Options.Degrade -> 0 | Options.Strict -> 1)
+  put_int buf (match o.fallback with Options.Degrade -> 0 | Options.Strict -> 1);
+  put_int buf (if o.cohort then 1 else 0)
 
 let get_options r =
   let domains =
@@ -151,7 +152,13 @@ let get_options r =
     | 1 -> Options.Strict
     | f -> raise (Proto (Bad_length { len = f; what = "fallback field" }))
   in
-  { Options.domains; fallback }
+  let cohort =
+    match get_int r with
+    | 0 -> false
+    | 1 -> true
+    | c -> raise (Proto (Bad_length { len = c; what = "cohort field" }))
+  in
+  { Options.domains; fallback; cohort }
 
 let encode_request req =
   let buf = Buffer.create 128 in

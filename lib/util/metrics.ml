@@ -30,6 +30,13 @@ let incr ?(by = 1) t name =
   | Some r -> r := !r + by
   | None -> Hashtbl.add t.m_counters name (ref by)
 
+(* high-water counter: keeps the largest value recorded since the last
+   reset (e.g. the widest query cohort a batch ever collapsed to) *)
+let record_max t name v =
+  match Hashtbl.find_opt t.m_counters name with
+  | Some r -> if v > !r then r := v
+  | None -> Hashtbl.add t.m_counters name (ref v)
+
 (* 8 sub-buckets per power-of-two octave: 512 buckets span (0, 2^64)
    with bucket edges a factor 2^(1/8) (~9%) apart. Whole-octave
    buckets made adjacent percentiles indistinguishable — any two

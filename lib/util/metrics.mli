@@ -21,6 +21,11 @@ val create : unit -> t
 val incr : ?by:int -> t -> string -> unit
 (** Bump a counter, creating it at 0 on first use. *)
 
+val record_max : t -> string -> int -> unit
+(** High-water counter: keep the largest value recorded since the last
+    reset (e.g. [batch.cohort_max], the widest query cohort any batch
+    collapsed to). Renders like any other counter. *)
+
 val observe : t -> string -> float -> unit
 (** Record a sample into a histogram (count/sum/min/max plus
     eighth-octave magnitude buckets — 8 sub-buckets per power of two),

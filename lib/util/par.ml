@@ -159,6 +159,48 @@ let map ?(domains = 0) f arr =
    without sharing. Results land at the input index, so output order —
    and, for pure [f], output contents — are independent of the worker
    count. *)
+(* Like [map_chunked], but [f] returns nothing: workers write their
+   results into caller-provided slots (disjoint by construction — each
+   input index is visited exactly once) instead of the pool
+   materializing per-chunk arrays and concatenating them. The batched
+   estimator's cohort sweep uses this to place per-cohort results
+   straight into one shared value plane with zero result-array
+   allocation on the serving path. Same chunking, exception, and
+   determinism contract as [map]. *)
+let iter_chunked ?(domains = 0) ~init f arr =
+  let n = Array.length arr in
+  if n = 0 then ()
+  else begin
+    let d = min (resolve domains) n in
+    if d <= 1 || n < seq_cutoff then begin
+      note_usage n 1;
+      let ctx = init () in
+      Array.iteri (fun i x -> f ctx i x) arr
+    end
+    else begin
+      note_usage n d;
+      let bound i = i * n / d in
+      let chunk i () =
+        let lo = bound i and hi = bound (i + 1) in
+        let ctx = init () in
+        for k = lo to hi - 1 do
+          f ctx k arr.(k)
+        done
+      in
+      let workers = acquire (d - 1) in
+      Array.iteri (fun i w -> submit w (chunk (i + 1))) workers;
+      chunk 0 ();
+      let first_exn = ref None in
+      Array.iter
+        (fun w ->
+          try await w with e -> if !first_exn = None then first_exn := Some e)
+        workers;
+      match !first_exn with
+      | Some e -> raise e
+      | None -> ()
+    end
+  end
+
 let map_chunked ?(domains = 0) ~init f arr =
   let n = Array.length arr in
   if n = 0 then [||]

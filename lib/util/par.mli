@@ -40,6 +40,18 @@ val map_chunked :
     what earlier elements did to it. Same chunking, exception, and
     determinism contract as {!map}. *)
 
+val iter_chunked :
+  ?domains:int -> init:(unit -> 'c) -> ('c -> int -> 'a -> unit) -> 'a array -> unit
+(** [iter_chunked ~init f arr] is [Array.iteri (f ctx) arr] with one
+    private [ctx = init ()] per worker — {!map_chunked} without the
+    result arrays. [f] communicates by writing caller-provided slots
+    keyed by the input index it receives; since every index is visited
+    exactly once, such writes are disjoint across workers. The batched
+    estimator's cohort sweep places results straight into a shared
+    value plane this way, so the serving path allocates no per-chunk
+    arrays and performs no concatenation. Same chunking, exception,
+    and determinism contract as {!map}. *)
+
 (* ---- usage observation ------------------------------------------------ *)
 
 val seq_cutoff : int

@@ -96,6 +96,7 @@ module Serve = struct
   type options = Xc_serve.Options.t = {
     domains : int option;
     fallback : fallback;
+    cohort : bool;
   }
 
   let options = Xc_serve.Options.make

@@ -256,14 +256,19 @@ module Serve : sig
         (** batch worker count; [None] means the [XC_DOMAINS]
             environment default — the old [<= 0] sentinel is retired *)
     fallback : fallback;
+    cohort : bool;
+        (** matrix-major cohort evaluation (the default); [false]
+            selects the query-major reference walk — same answers
+            bit for bit, different sweep order *)
   }
 
-  val options : ?domains:int -> ?fallback:fallback -> unit -> options
+  val options :
+    ?domains:int -> ?fallback:fallback -> ?cohort:bool -> unit -> options
   (** Smart constructor ({!Xc_serve.Options.make}); [domains], when
       given, must be positive. *)
 
   val default_options : options
-  (** [{ domains = None; fallback = Degrade }]. *)
+  (** [{ domains = None; fallback = Degrade; cohort = true }]. *)
 
   val estimate_batch :
     ?options:options -> synopsis -> query array -> (float array, error) result

@@ -1,0 +1,204 @@
+(* Tests for the matrix-major cohort path: it must be bit-identical to
+   both the uncached estimator and the query-major reference walk on
+   every dataset, independent of the worker count, safe to run against
+   alternating synopses on the same reused worker arenas, and correct
+   in the degenerate case where every query lands in its own cohort. *)
+
+module Synopsis = Xc_core.Synopsis
+module S = Synopsis.Sealed
+module Estimate = Xc_core.Estimate
+module Plan = Xc_core.Plan
+module Build = Xc_core.Build
+module Runner = Xc_exp.Runner
+module Metrics = Xc_util.Metrics
+
+let check = Alcotest.check
+let check0 msg = Alcotest.check (Alcotest.float 0.0) msg
+let bits_equal a b = Int64.bits_of_float a = Int64.bits_of_float b
+
+let small_synopsis ds =
+  Build.run (Build.budget ~bstr_kb:10 ~bval_kb:60 ()) ds.Runner.reference
+
+(* ---- cohort = query-major = uncached, on every dataset ----------------- *)
+
+let cohort_equivalence_on ds =
+  let syn = small_synopsis ds in
+  let engine = Plan.Batch.create syn in
+  let queries = Runner.workload_queries ds in
+  let prepared = Plan.Batch.prepare engine queries in
+  let cohort = Plan.Batch.run_prepared ~domains:1 engine prepared in
+  let reference = Plan.Batch.run_prepared ~domains:1 ~cohort:false engine prepared in
+  Array.iteri
+    (fun i q ->
+      let uncached = Estimate.selectivity syn q in
+      check0 "cohort = uncached" uncached cohort.(i);
+      check Alcotest.bool "cohort = query-major, bitwise" true
+        (bits_equal cohort.(i) reference.(i)))
+    queries;
+  let cohorts, max_cohort, distinct = Plan.Batch.cohort_stats prepared in
+  check Alcotest.bool "has cohorts" true (cohorts >= 1);
+  check Alcotest.bool "widest cohort sane" true
+    (max_cohort >= 1 && max_cohort <= distinct);
+  check Alcotest.bool "distinct bounded by input" true
+    (distinct <= Array.length queries);
+  check Alcotest.bool "cohorts bounded by distinct" true (cohorts <= distinct)
+
+let test_cohort_imdb () = cohort_equivalence_on (Runner.imdb ~scale:0.02 ~n_queries:45 ())
+let test_cohort_xmark () = cohort_equivalence_on (Runner.xmark ~scale:0.02 ~n_queries:45 ())
+let test_cohort_dblp () = cohort_equivalence_on (Runner.dblp ~scale:0.02 ~n_queries:45 ())
+
+(* ---- worker-count independence ----------------------------------------- *)
+
+let test_cohort_domains_bitwise () =
+  let n = 2 * Xc_util.Par.seq_cutoff in
+  let ds = Runner.xmark ~scale:0.02 ~n_queries:n () in
+  let syn = small_synopsis ds in
+  let engine = Plan.Batch.create syn in
+  let prepared = Plan.Batch.prepare engine (Runner.workload_queries ds) in
+  let base = Plan.Batch.run_prepared ~domains:1 engine prepared in
+  List.iter
+    (fun d ->
+      let r = Plan.Batch.run_prepared ~domains:d engine prepared in
+      check Alcotest.int "same length" (Array.length base) (Array.length r);
+      Array.iteri
+        (fun i v ->
+          check Alcotest.bool
+            (Printf.sprintf "cohort bitwise identical at %d domains (query %d)" d i)
+            true (bits_equal v base.(i)))
+        r)
+    [ 2; 4 ]
+
+(* ---- arena reuse across generation swaps -------------------------------- *)
+
+(* The per-worker arenas live in domain-local storage and are never
+   zeroed, so serving alternating synopses (a generation swap: new
+   synopsis, different node count and slot demand, same workers) must
+   not let values written for one synopsis leak into estimates against
+   the other. *)
+let test_arena_generation_swap () =
+  let ds = Runner.imdb ~scale:0.02 ~n_queries:40 () in
+  let queries = Runner.workload_queries ds in
+  let syn_a = Build.run (Build.budget ~bstr_kb:10 ~bval_kb:60 ()) ds.Runner.reference in
+  let syn_b = Build.run (Build.budget ~bstr_kb:4 ~bval_kb:24 ()) ds.Runner.reference in
+  let engine_a = Plan.Batch.create syn_a in
+  let engine_b = Plan.Batch.create syn_b in
+  let prep_a = Plan.Batch.prepare engine_a queries in
+  let prep_b = Plan.Batch.prepare engine_b queries in
+  let expect_a = Array.map (Estimate.selectivity syn_a) queries in
+  let expect_b = Array.map (Estimate.selectivity syn_b) queries in
+  (* A, then B, then A again — the second A pass runs on arenas the B
+     pass just wrote *)
+  List.iter
+    (fun (engine, prep, expect, tag) ->
+      let got = Plan.Batch.run_prepared ~domains:1 engine prep in
+      Array.iteri
+        (fun i v -> check0 (Printf.sprintf "pass %s query %d" tag i) expect.(i) v)
+        got)
+    [ (engine_a, prep_a, expect_a, "A1"); (engine_b, prep_b, expect_b, "B");
+      (engine_a, prep_a, expect_a, "A2") ]
+
+(* ---- degenerate cohorts: every query on its own matrix ------------------ *)
+
+let test_singleton_cohorts () =
+  let ds = Runner.imdb ~scale:0.02 ~n_queries:40 () in
+  let syn = small_synopsis ds in
+  let engine = Plan.Batch.create syn in
+  (* single-edge queries over distinct root expressions: each groups by
+     its own interned expression, so every cohort has size 1 *)
+  let queries =
+    Array.map Xc_twig.Twig_parse.parse
+      [| "//movie"; "//movie/title"; "//movie/year"; "//actor"; "//actor/name";
+         "//movie//actor"; "//director"; "//title" |]
+  in
+  let prepared = Plan.Batch.prepare engine queries in
+  let cohorts, max_cohort, distinct = Plan.Batch.cohort_stats prepared in
+  check Alcotest.int "one cohort per query" (Array.length queries) cohorts;
+  check Alcotest.int "all cohorts singleton" 1 max_cohort;
+  check Alcotest.int "no duplicates" (Array.length queries) distinct;
+  let got = Plan.Batch.run_prepared ~domains:1 engine prepared in
+  Array.iteri
+    (fun i q ->
+      check0 "singleton cohort = uncached" (Estimate.selectivity syn q) got.(i);
+      (* the single-query entry point rides the same path *)
+      check0 "Batch.estimate agrees" got.(i) (Plan.Batch.estimate engine q))
+    queries
+
+(* ---- dedup: repeated queries evaluate once ------------------------------ *)
+
+let test_dedup () =
+  let ds = Runner.imdb ~scale:0.02 ~n_queries:20 () in
+  let syn = small_synopsis ds in
+  let engine = Plan.Batch.create syn in
+  let base = Runner.workload_queries ds in
+  let queries = Array.append base base in
+  let prepared = Plan.Batch.prepare engine queries in
+  let _, _, distinct = Plan.Batch.cohort_stats prepared in
+  check Alcotest.bool "duplicates collapse" true (distinct <= Array.length base);
+  let got = Plan.Batch.run_prepared ~domains:1 engine prepared in
+  Array.iteri
+    (fun i q -> check0 "deduped batch = uncached" (Estimate.selectivity syn q) got.(i))
+    queries
+
+(* ---- blocked kernel under the row-length gate --------------------------- *)
+
+let test_blocked_gated () =
+  let ds = Runner.xmark ~scale:0.02 ~n_queries:45 () in
+  let syn = small_synopsis ds in
+  let engine = Plan.Batch.create syn in
+  let prepared = Plan.Batch.prepare engine (Runner.workload_queries ds) in
+  let base = Plan.Batch.run_prepared ~domains:1 engine prepared in
+  List.iter
+    (fun cohort ->
+      let blocked = Plan.Batch.run_prepared ~domains:1 ~blocked:true ~cohort engine prepared in
+      Array.iteri
+        (fun i v ->
+          let tol = 1e-9 *. Float.max 1.0 (Float.abs base.(i)) in
+          check Alcotest.bool "blocked within float-reassociation tolerance" true
+            (Float.abs (v -. base.(i)) <= tol))
+        blocked)
+    [ true; false ];
+  check Alcotest.bool "gate threshold positive" true
+    (Plan.Batch.blocked_min_mean_row > 0.0)
+
+(* ---- instrumentation ---------------------------------------------------- *)
+
+let test_cohort_counters () =
+  let ds = Runner.imdb ~scale:0.02 ~n_queries:30 () in
+  let syn = small_synopsis ds in
+  let engine = Plan.Batch.create syn in
+  let prepared = Plan.Batch.prepare engine (Runner.workload_queries ds) in
+  Metrics.reset Metrics.global;
+  ignore (Plan.Batch.run_prepared ~domains:1 engine prepared);
+  let cohorts, max_cohort, _ = Plan.Batch.cohort_stats prepared in
+  check Alcotest.int "batch.cohorts counts the pass" cohorts
+    (Metrics.counter_value Metrics.global "batch.cohorts");
+  check Alcotest.int "batch.cohort_max is the high-water" max_cohort
+    (Metrics.counter_value Metrics.global "batch.cohort_max");
+  check Alcotest.bool "arena resets tracked" true
+    (Metrics.counter_value Metrics.global "batch.arena_resets" >= 0);
+  (* a second pass over the same plan must not grow the arena again *)
+  let resets1 = Metrics.counter_value Metrics.global "batch.arena_resets" in
+  ignore (Plan.Batch.run_prepared ~domains:1 engine prepared);
+  check Alcotest.int "arena reused, not regrown" resets1
+    (Metrics.counter_value Metrics.global "batch.arena_resets");
+  match Metrics.quantiles Metrics.global "estimate.cohort_us" [ 0.5 ] with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected estimate.cohort_us histogram"
+
+let () =
+  Alcotest.run "cohort"
+    [ ( "equivalence",
+        [ Alcotest.test_case "imdb" `Slow test_cohort_imdb;
+          Alcotest.test_case "xmark" `Slow test_cohort_xmark;
+          Alcotest.test_case "dblp" `Slow test_cohort_dblp ] );
+      ( "determinism",
+        [ Alcotest.test_case "bitwise across domains" `Slow test_cohort_domains_bitwise ] );
+      ( "arena",
+        [ Alcotest.test_case "generation swap" `Slow test_arena_generation_swap ] );
+      ( "degenerate",
+        [ Alcotest.test_case "singleton cohorts" `Quick test_singleton_cohorts;
+          Alcotest.test_case "dedup" `Quick test_dedup ] );
+      ( "blocked",
+        [ Alcotest.test_case "row-length gate" `Slow test_blocked_gated ] );
+      ( "metrics",
+        [ Alcotest.test_case "counters" `Quick test_cohort_counters ] ) ]

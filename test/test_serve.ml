@@ -69,7 +69,7 @@ let sample_requests =
       {
         synopsis = "x";
         queries = [| "//a"; "//b[. > 3]/c"; "//d[. ftcontains(war)]" |];
-        options = { Serve.domains = Some 3; fallback = Serve.Strict };
+        options = { Serve.domains = Some 3; fallback = Serve.Strict; cohort = false };
       };
     Protocol.Estimate_batch
       { synopsis = ""; queries = [||]; options = Serve.default_options };
