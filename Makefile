@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt bench bench-serve bench-fault bench-daemon bench-update clean
+.PHONY: all build test check fmt bench bench-serve bench-fault bench-daemon bench-chaos bench-update clean
 
 all: build
 
@@ -40,6 +40,16 @@ bench-fault:
 # JSON line to BENCH_daemon.json.
 bench-daemon:
 	dune exec bench/main.exe -- daemon
+
+# Serving-plane chaos benchmark: stalled-peer isolation, slow-loris
+# eviction timing, overload shedding (typed Overloaded + with_retry
+# recovery), seeded fault storms over serve.accept / serve.send /
+# serve.deadline / client.connect with bit-identity through and after
+# each storm, and timed graceful drain — hard gates, exits non-zero on
+# any violation (honors XC_CHAOS_SEED). Appends a JSON line to
+# BENCH_chaos.json.
+bench-chaos:
+	dune exec bench/main.exe -- chaos
 
 # Incremental-maintenance benchmark: an XMark update stream applied to
 # a live builder (localized repair) vs a from-scratch rebuild, with

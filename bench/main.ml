@@ -5,8 +5,8 @@
    Usage:  dune exec bench/main.exe [-- TARGET...]
    Targets: table1 table2 fig8a fig8b fig8c fig9 negative ablation-delta
             ablation-text ablation-numeric auto-split pipeline seal build
-            serve fault daemon update micro (default: all of them, in
-            that order)
+            serve fault daemon chaos update micro (default: all of them,
+            in that order)
 
    Every run ends with a JSON metrics block (plan compiles, cache and
    reach-memo hit/miss counts, pool candidate evaluations, expansion
@@ -27,7 +27,10 @@
                  Xc_util.Fault); when unset the target installs its own
                  all-kinds storm
      XC_UPDATES  auction events in the update target's mutation stream
-                 (default 64, half opens / half closes). *)
+                 (default 64, half opens / half closes)
+     XC_CHAOS_SEED  offset added to every storm seed of the chaos
+                 target, so a CI matrix replays distinct reproducible
+                 storms over the same fault sites (default 0). *)
 
 let scale =
   match Sys.getenv_opt "XC_SCALE" with
@@ -886,7 +889,10 @@ let run_daemon () =
          let registry = Serve.Registry.create ~max_engines:4 () in
          Serve.Registry.add_source registry ~name:"bench" ~path:syn_path;
          let config =
-           { Serve.Daemon.endpoint; max_engines = 4; options = Serve.default_options }
+           { Serve.Daemon.default_config with
+             Serve.Daemon.endpoint;
+             max_engines = 4;
+             options = Serve.default_options }
          in
          Serve.Daemon.run ~config registry
        with _ -> Unix._exit 1);
@@ -1098,6 +1104,545 @@ let run_daemon () =
   Format.fprintf ppf "  appended to BENCH_daemon.json@.";
   if !violations > 0 then begin
     Format.fprintf ppf "  ERROR: %d daemon-serving violations@." !violations;
+    exit 1
+  end
+
+(* ---- serving-plane chaos ------------------------------------------------
+   The robustness gate behind BENCH_chaos.json: forked daemons under a
+   stalled peer, a full pending queue, and seeded fault storms over the
+   serving plane's injection sites (serve.accept, serve.send,
+   serve.deadline, client.connect). Hard gates (any failure exits
+   non-zero):
+   - a stalled slow-loris peer costs one worker, not the daemon:
+     concurrent-client p99 under one stalled peer stays within 2x the
+     unstalled baseline (plus 1 ms of scheduling slack);
+   - the stalled peer is evicted, with a typed Timeout frame, within
+     the configured read deadline plus slack;
+   - with the single worker stalled and the pending queue full, new
+     connections are shed with typed Overloaded frames, and
+     Client.with_retry recovers once the stall clears;
+   - every storm daemon survives its storm, answers bit-identical batch
+     estimates through it, and acknowledges a clean shutdown after it;
+   - batch answers are bit-identical across worker-pool sizes (1 and 4);
+   - a graceful drain completes within the configured drain deadline. *)
+
+let run_chaos () =
+  let module Serve = Xcluster.Serve in
+  let module Fault = Xc_util.Fault in
+  let passes =
+    match Sys.getenv_opt "XC_PASSES" with
+    | Some s -> (try int_of_string s with Failure _ -> 3)
+    | None -> 3
+  in
+  (* XC_CHAOS_SEED offsets every storm's RNG stream, so a CI matrix
+     replays distinct but reproducible storms over the same sites *)
+  let chaos_seed =
+    match Sys.getenv_opt "XC_CHAOS_SEED" with
+    | Some s -> (try int_of_string s with Failure _ -> 0)
+    | None -> 0
+  in
+  let dir = Filename.temp_file "xc_chaos" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let syn_path = Filename.concat dir "chaos.syn" in
+  let sock name = Filename.concat dir (name ^ ".sock") in
+  let ep name = Serve.Protocol.Unix_sock (sock name) in
+  let ds = Lazy.force imdb in
+  let syn =
+    timed "chaos: build" (fun () ->
+        Xcluster.Build.compress
+          (Xcluster.Build.budget ~bstr_kb:16 ~bval_kb:120 ())
+          ds.Xc_exp.Runner.reference)
+  in
+  (match Xcluster.Store.save syn_path syn with
+  | Ok () -> ()
+  | Error e ->
+    Format.fprintf ppf "  ERROR: save: %s@." (Xc_core.Codec.error_to_string e);
+    exit 1);
+  let loaded =
+    match Xcluster.Store.load syn_path with
+    | Ok s -> s
+    | Error e ->
+      Format.fprintf ppf "  ERROR: load: %s@." (Xc_core.Codec.error_to_string e);
+      exit 1
+  in
+  let sources =
+    let all =
+      Array.map
+        (fun q ->
+          let s = Format.asprintf "%a" Xc_twig.Twig_query.pp q in
+          if String.length s > 0 && s.[0] = '.' then
+            String.sub s 1 (String.length s - 1)
+          else s)
+        (Xc_exp.Runner.workload_queries ds)
+    in
+    Array.sub all 0 (Int.min 60 (Array.length all))
+  in
+  let nq = Array.length sources in
+  let reference =
+    Array.map
+      (fun src -> Xcluster.Query.estimate_uncached loaded (Xcluster.Query.parse src))
+      sources
+  in
+  let ref_bits = Array.map Int64.bits_of_float reference in
+  let bitwise r =
+    Array.length r = nq
+    &&
+    let ok = ref true in
+    Array.iteri (fun i v -> if Int64.bits_of_float v <> ref_bits.(i) then ok := false) r;
+    !ok
+  in
+  let violations = ref 0 in
+  let gate ok msg =
+    if not ok then begin
+      Format.fprintf ppf "  ERROR: %s@." msg;
+      incr violations
+    end
+  in
+  (* every fork happens before the first Domain.spawn: the OCaml 5
+     runtime refuses Unix.fork once any other domain exists. Children
+     inherit the parent's fault state at fork time, which is how each
+     storm daemon gets its own armed sites. *)
+  let ambient = Fault.current () in
+  Fault.configure None;
+  let fork_daemon endpoint tune =
+    Format.pp_print_flush ppf ();
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      (try
+         let registry = Serve.Registry.create ~max_engines:4 () in
+         Serve.Registry.add_source registry ~name:"chaos" ~path:syn_path;
+         let config =
+           tune
+             { Serve.Daemon.default_config with
+               Serve.Daemon.endpoint;
+               max_engines = 4;
+               options = Serve.default_options }
+         in
+         Serve.Daemon.run ~config registry
+       with _ -> Unix._exit 1);
+      Unix._exit 0
+    | pid -> pid
+  in
+  let recv_timeout_s = 2.0 in
+  let drain_timeout_s = 5.0 in
+  let main_pid =
+    fork_daemon (ep "main") (fun c ->
+        { c with
+          Serve.Daemon.workers = 4;
+          max_pending = 32;
+          recv_timeout_s;
+          request_budget_s = recv_timeout_s +. 0.5;
+          drain_timeout_s;
+          retry_after_ms = 25 })
+  in
+  let overload_pid =
+    fork_daemon (ep "overload") (fun c ->
+        { c with
+          Serve.Daemon.workers = 1;
+          max_pending = 1;
+          recv_timeout_s = 3.0;
+          request_budget_s = 3.5;
+          retry_after_ms = 25 })
+  in
+  let storm_specs =
+    [ ("serve.accept", 0.4, 71 + chaos_seed);
+      ("serve.send", 0.3, 72 + chaos_seed);
+      ("serve.deadline", 0.2, 73 + chaos_seed) ]
+  in
+  let storm_daemons =
+    List.map
+      (fun (site, prob, seed) ->
+        Fault.configure
+          (Some { Fault.seed; prob; kinds = [ Fault.Eio ]; sites = [ site ] });
+        let pid =
+          fork_daemon
+            (ep (String.map (function '.' -> '_' | c -> c) site))
+            (fun c ->
+              { c with
+                Serve.Daemon.workers = 3;
+                max_pending = 16;
+                recv_timeout_s = 0.5;
+                request_budget_s = 1.0;
+                retry_after_ms = 10 })
+        in
+        Fault.configure None;
+        (site, pid))
+      storm_specs
+  in
+  let wait_ready endpoint =
+    let deadline = Unix.gettimeofday () +. 10.0 in
+    let rec loop () =
+      match Serve.Client.connect endpoint with
+      | Ok c -> Serve.Client.close c
+      | Error _ when Unix.gettimeofday () < deadline ->
+        ignore (Unix.select [] [] [] 0.05);
+        loop ()
+      | Error e ->
+        Format.fprintf ppf "  ERROR: daemon not accepting: %s@."
+          (Serve.Error.to_string e);
+        exit 1
+    in
+    loop ()
+  in
+  let raw_connect endpoint =
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (match endpoint with
+    | Serve.Protocol.Unix_sock p -> Unix.connect fd (Unix.ADDR_UNIX p)
+    | Serve.Protocol.Tcp _ -> assert false);
+    fd
+  in
+  let raw_close fd = try Unix.close fd with Unix.Unix_error (_, _, _) -> () in
+  (* a slow loris: half a frame header, then silence *)
+  let loris endpoint =
+    let fd = raw_connect endpoint in
+    ignore (Unix.write_substring fd "\x01" 0 1);
+    fd
+  in
+  (* block until the daemon evicts the peer (EOF); returns seconds from
+     [t0], or None if the read timed out before any eviction *)
+  let eviction_elapsed fd t0 =
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO (recv_timeout_s +. 8.0);
+    let chunk = Bytes.create 256 in
+    let rec drain () =
+      match Unix.read fd chunk 0 256 with
+      | 0 -> Some (Unix.gettimeofday () -. t0)
+      | _ -> drain ()
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        None
+      | exception Unix.Unix_error (_, _, _) ->
+        Some (Unix.gettimeofday () -. t0)
+    in
+    drain ()
+  in
+  Format.fprintf ppf "@.Serving-plane chaos (%s: %d queries x %d passes per client)@."
+    ds.Xc_exp.Runner.name nq passes;
+  wait_ready (ep "main");
+  (* measured phase: 2 concurrent clients streaming whole-workload
+     batches; every answer must be bit-identical to estimate_uncached *)
+  let measure endpoint =
+    let worker () =
+      Domain.spawn (fun () ->
+          match Serve.Client.connect ~timeout_s:10.0 endpoint with
+          | Error e -> Error (Serve.Error.to_string e)
+          | Ok c ->
+            let lats = ref [] in
+            let rec go i =
+              if i = 0 then Ok ()
+              else begin
+                let t0 = Unix.gettimeofday () in
+                match Serve.Client.estimate_batch c ~synopsis:"chaos" sources with
+                | Ok r ->
+                  lats := (1e6 *. (Unix.gettimeofday () -. t0)) :: !lats;
+                  if bitwise r then go (i - 1)
+                  else Error "batch answer not bit-identical"
+                | Error e -> Error (Serve.Error.to_string e)
+              end
+            in
+            let r = go passes in
+            Serve.Client.close c;
+            match r with Ok () -> Ok !lats | Error e -> Error e)
+    in
+    let domains = List.init 2 (fun _ -> worker ()) in
+    let results = List.map Domain.join domains in
+    let m = Xc_util.Metrics.create () in
+    let ok = ref true in
+    List.iter
+      (fun r ->
+        match r with
+        | Error e ->
+          Format.fprintf ppf "  ERROR: measured client failed: %s@." e;
+          ok := false
+        | Ok lats ->
+          List.iter (fun l -> Xc_util.Metrics.observe m "req_us" l) lats)
+      results;
+    let p99 =
+      match Xc_util.Metrics.quantiles m "req_us" [ 0.99 ] with
+      | Some [ (_, v) ] -> v
+      | _ -> 0.0
+    in
+    (!ok, p99)
+  in
+  (* warm the engine cache first: the baseline must measure serving,
+     not the one-time lazy engine build *)
+  (match
+     Serve.Client.with_retry ~attempts:10 ~timeout_s:10.0 (ep "main") (fun c ->
+         Serve.Client.estimate_batch c ~synopsis:"chaos" sources)
+   with
+  | Ok r -> gate (bitwise r) "warmup batch not bit-identical"
+  | Error e ->
+    Format.fprintf ppf "  ERROR: warmup: %s@." (Serve.Error.to_string e);
+    incr violations);
+  let base_ok, baseline_p99 = measure (ep "main") in
+  gate base_ok "baseline clients failed or answered inexactly";
+  (* eviction latency, unloaded: a lone loris against 4 free workers *)
+  let t0 = Unix.gettimeofday () in
+  let lone = loris (ep "main") in
+  let evict_s =
+    match eviction_elapsed lone t0 with
+    | Some s -> s
+    | None ->
+      gate false "stalled peer was not evicted";
+      Float.nan
+  in
+  raw_close lone;
+  let evict_bound_s = recv_timeout_s +. 1.5 in
+  gate
+    (Float.is_nan evict_s || evict_s <= evict_bound_s)
+    (Printf.sprintf "eviction took %.2fs (deadline %.2fs + 1.5s slack)" evict_s
+       recv_timeout_s);
+  (* stalled-peer isolation: one loris holds a worker while 2 clients
+     measure; their p99 must stay within 2x baseline + 1 ms *)
+  let stalled = loris (ep "main") in
+  let stall_ok, stalled_p99 = measure (ep "main") in
+  ignore (eviction_elapsed stalled (Unix.gettimeofday ()));
+  raw_close stalled;
+  gate stall_ok "clients under a stalled peer failed or answered inexactly";
+  let stall_bound = (2.0 *. baseline_p99) +. 1000.0 in
+  gate
+    (stalled_p99 <= stall_bound)
+    (Printf.sprintf
+       "stalled-peer p99 %.0f us exceeds 2x baseline %.0f us (+1 ms slack)"
+       stalled_p99 baseline_p99);
+  Format.fprintf ppf
+    "  stalled peer: baseline p99 %.0f us, stalled p99 %.0f us (bound %.0f us), evicted in %.2fs@."
+    baseline_p99 stalled_p99 stall_bound evict_s;
+  (* overload: single worker stalled, pending queue full — connections
+     are shed with typed Overloaded frames, and with_retry recovers *)
+  wait_ready (ep "overload");
+  let shed_attempts = 8 in
+  (* one round of induced overload: a loris checks out the single
+     worker, a filler takes the one queue slot, and every further
+     connection must bounce with Overloaded. Closing the bad peers at
+     the end clears the stall instantly (their reads turn into EOF). *)
+  let overload_round () =
+    let ol_loris = loris (ep "overload") in
+    ignore (Unix.select [] [] [] 0.15);
+    let ol_filler = raw_connect (ep "overload") in
+    ignore (Unix.select [] [] [] 0.15);
+    let sheds = ref 0 in
+    for _ = 1 to shed_attempts do
+      match Serve.Client.connect ~timeout_s:5.0 (ep "overload") with
+      | Error _ -> ()
+      | Ok c ->
+        (match Serve.Client.estimate c ~synopsis:"chaos" ~query:sources.(0) with
+        | Error (Serve.Error.Overloaded _) -> incr sheds
+        | _ -> ());
+        Serve.Client.close c
+    done;
+    raw_close ol_loris;
+    raw_close ol_filler;
+    !sheds
+  in
+  let sheds =
+    (* scheduling can miss the shed window (the worker not yet stalled
+       when the filler arrived): one more round before judging *)
+    match overload_round () with 0 -> overload_round () | n -> n
+  in
+  gate (sheds > 0) "full queue never shed a typed Overloaded frame";
+  let retry_recovered =
+    match
+      Serve.Client.with_retry ~attempts:20 ~base_delay_s:0.05 ~max_delay_s:0.2
+        ~timeout_s:5.0 (ep "overload") (fun c ->
+          Serve.Client.estimate c ~synopsis:"chaos" ~query:sources.(0))
+    with
+    | Ok _ -> true
+    | Error e ->
+      Format.fprintf ppf "  ERROR: with_retry never recovered: %s@."
+        (Serve.Error.to_string e);
+      false
+  in
+  gate retry_recovered "with_retry did not outlast the overload";
+  Format.fprintf ppf
+    "  overload: %d/%d connections shed (typed Overloaded), with_retry recovered: %b@."
+    sheds shed_attempts retry_recovered;
+  (* bit-identity across worker-pool sizes: the overload daemon runs 1
+     worker, the main daemon 4 — both must answer the reference bits *)
+  let bitwise_workers =
+    match
+      Serve.Client.with_retry ~attempts:10 ~timeout_s:10.0 (ep "overload")
+        (fun c -> Serve.Client.estimate_batch c ~synopsis:"chaos" sources)
+    with
+    | Ok r -> bitwise r
+    | Error e ->
+      Format.fprintf ppf "  ERROR: 1-worker batch: %s@." (Serve.Error.to_string e);
+      false
+  in
+  gate bitwise_workers "batch answers differ across worker-pool sizes";
+  (* storm phases: each storm daemon was forked with one site armed.
+     Faults delay accepts, kill sends, or force deadlines — they never
+     corrupt — so every answer that does arrive must be bit-exact. *)
+  let storm_ops = 40 in
+  let run_storm (site, pid) =
+    let endpoint = ep (String.map (function '.' -> '_' | c -> c) site) in
+    wait_ready endpoint;
+    let ok = ref 0 and err = ref 0 in
+    for i = 1 to storm_ops do
+      let r =
+        Serve.Client.with_retry ~attempts:8 ~base_delay_s:0.005
+          ~max_delay_s:0.05 ~seed:(i + chaos_seed) ~timeout_s:5.0 endpoint
+          (fun c ->
+            if i mod 4 = 0 then
+              match Serve.Client.ping c with
+              | Ok _ -> Ok ()
+              | Error e -> Error e
+            else
+              match
+                Serve.Client.estimate c ~synopsis:"chaos"
+                  ~query:sources.(i mod nq)
+              with
+              | Ok _ -> Ok ()
+              | Error e -> Error e)
+      in
+      match r with Ok () -> incr ok | Error _ -> incr err
+    done;
+    let storm_bitwise =
+      match
+        Serve.Client.with_retry ~attempts:10 ~timeout_s:10.0 endpoint (fun c ->
+            Serve.Client.estimate_batch c ~synopsis:"chaos" sources)
+      with
+      | Ok r -> bitwise r
+      | Error _ -> false
+    in
+    let survived =
+      match Unix.waitpid [ Unix.WNOHANG ] pid with 0, _ -> true | _ -> false
+    in
+    let clean_shutdown =
+      survived
+      &&
+      (* ask until the daemon is observed to exit 0: under a send storm
+         the Done acknowledgment itself may be killed even though the
+         shutdown was applied, so the ack frame proves nothing *)
+      let deadline = Unix.gettimeofday () +. 20.0 in
+      let rec go () =
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | p, Unix.WEXITED 0 when p = pid -> true
+        | p, _ when p = pid -> false
+        | _ ->
+          if Unix.gettimeofday () > deadline then false
+          else begin
+            (match Serve.Client.connect ~timeout_s:5.0 endpoint with
+            | Error _ -> ()
+            | Ok c ->
+              ignore (Serve.Client.shutdown c);
+              Serve.Client.close c);
+            ignore (Unix.select [] [] [] 0.02);
+            go ()
+          end
+      in
+      go ()
+    in
+    if not clean_shutdown then begin
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      (try ignore (Unix.waitpid [ Unix.WNOHANG ] pid) with Unix.Unix_error _ -> ())
+    end;
+    gate survived (Printf.sprintf "daemon died under the %s storm" site);
+    gate (!ok > 0) (Printf.sprintf "no operation survived the %s storm" site);
+    gate storm_bitwise
+      (Printf.sprintf "batch through the %s storm was not bit-identical" site);
+    gate clean_shutdown
+      (Printf.sprintf "no clean shutdown after the %s storm" site);
+    Format.fprintf ppf
+      "  storm %-14s: %d ops (%d ok, %d typed errors), survived %b, bitwise %b, clean shutdown %b@."
+      site storm_ops !ok !err survived storm_bitwise clean_shutdown;
+    Printf.sprintf
+      "{\"site\":%S,\"ops\":%d,\"ok\":%d,\"err\":%d,\"survived\":%b,\"bitwise\":%b,\"clean_shutdown\":%b}"
+      site storm_ops !ok !err survived storm_bitwise clean_shutdown
+  in
+  let storm_json = List.map run_storm storm_daemons in
+  (* client.connect storm: armed in this process, against the main
+     daemon; with_retry must push operations through it *)
+  Fault.configure
+    (Some
+       { Fault.seed = 74 + chaos_seed; prob = 0.4; kinds = [ Fault.Eio ];
+         sites = [ "client.connect" ] });
+  let conn_ok = ref 0 and conn_err = ref 0 in
+  for i = 1 to storm_ops do
+    match
+      Serve.Client.with_retry ~attempts:8 ~base_delay_s:0.005 ~max_delay_s:0.05
+        ~seed:(100 + i) ~timeout_s:5.0 (ep "main") (fun c ->
+          Serve.Client.estimate c ~synopsis:"chaos" ~query:sources.(i mod nq))
+    with
+    | Ok _ -> incr conn_ok
+    | Error _ -> incr conn_err
+  done;
+  Fault.configure None;
+  gate (!conn_ok > 0) "no operation survived the client.connect storm";
+  let post_storm_ping =
+    match
+      Serve.Client.with_retry ~attempts:10 ~timeout_s:5.0 (ep "main")
+        Serve.Client.ping
+    with
+    | Ok h -> h.Serve.Protocol.h_synopses = 1 && not h.Serve.Protocol.h_draining
+    | Error _ -> false
+  in
+  gate post_storm_ping "main daemon unhealthy after the storms";
+  Format.fprintf ppf
+    "  storm client.connect: %d ops (%d ok, %d typed errors), post-storm ping ok %b@."
+    storm_ops !conn_ok !conn_err post_storm_ping;
+  (* graceful drain, timed: shutdown the main daemon and gate its wall
+     time against the configured drain deadline *)
+  let drain_ms =
+    let t0 = Unix.gettimeofday () in
+    let acked =
+      match Serve.Client.connect ~timeout_s:5.0 (ep "main") with
+      | Error _ -> false
+      | Ok c ->
+        let r = Serve.Client.shutdown c = Ok () in
+        Serve.Client.close c;
+        r
+    in
+    let exited =
+      match Unix.waitpid [] main_pid with _, Unix.WEXITED 0 -> true | _ -> false
+    in
+    gate (acked && exited) "main daemon did not drain cleanly";
+    1000.0 *. (Unix.gettimeofday () -. t0)
+  in
+  let drain_bound_ms = 1000.0 *. (drain_timeout_s +. 2.0) in
+  gate
+    (drain_ms <= drain_bound_ms)
+    (Printf.sprintf "drain took %.0f ms (bound %.0f ms)" drain_ms drain_bound_ms);
+  Format.fprintf ppf "  drain: %.0f ms (bound %.0f ms)@." drain_ms drain_bound_ms;
+  (* the overload daemon drains untimed — its stalled peers are gone *)
+  (let rec shut n =
+     if n = 0 then gate false "overload daemon refused shutdown"
+     else
+       match Serve.Client.connect ~timeout_s:5.0 (ep "overload") with
+       | Error _ -> shut (n - 1)
+       | Ok c ->
+         let r = Serve.Client.shutdown c in
+         Serve.Client.close c;
+         (match r with Ok () -> () | Error _ -> shut (n - 1))
+   in
+   shut 200);
+  (match Unix.waitpid [] overload_pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> gate false "overload daemon exited uncleanly");
+  Fault.configure ambient;
+  Array.iter
+    (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+    (Sys.readdir dir);
+  (try Unix.rmdir dir with Unix.Unix_error _ -> ());
+  let json =
+    Printf.sprintf
+      "{\"ts\":%.0f,\"dataset\":%S,\"scale\":%.3f,\"queries\":%d,\"passes\":%d,\"baseline_p99_us\":%.2f,\"stalled_p99_us\":%.2f,\"evict_ms\":%.0f,\"evict_bound_ms\":%.0f,\"shed\":%d,\"shed_attempts\":%d,\"retry_recovered\":%b,\"bitwise_workers\":%b,\"storms\":[%s],\"connect_ok\":%d,\"connect_err\":%d,\"post_storm_ping\":%b,\"drain_ms\":%.0f,\"drain_bound_ms\":%.0f,\"violations\":%d}"
+      (Unix.gettimeofday ()) ds.Xc_exp.Runner.name scale nq passes baseline_p99
+      stalled_p99
+      (if Float.is_nan evict_s then -1.0 else 1000.0 *. evict_s)
+      (1000.0 *. evict_bound_s) sheds shed_attempts retry_recovered
+      bitwise_workers
+      (String.concat "," storm_json)
+      !conn_ok !conn_err post_storm_ping drain_ms drain_bound_ms !violations
+  in
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 "BENCH_chaos.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Format.fprintf ppf "  appended to BENCH_chaos.json@.";
+  if !violations > 0 then begin
+    Format.fprintf ppf "  ERROR: %d chaos violations@." !violations;
     exit 1
   end
 
@@ -1375,6 +1920,7 @@ let targets =
     ("serve", run_serve);
     ("fault", run_fault);
     ("daemon", run_daemon);
+    ("chaos", run_chaos);
     ("update", run_update);
     ("micro", run_micro) ]
 

@@ -536,11 +536,70 @@ let serve_cmd =
             "Answer engine trouble with error frames instead of degrading \
              to uncached estimation.")
   in
-  let run socket synopses dir max_engines domains strict =
+  let workers_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Worker-thread pool size: connections served concurrently \
+             (default $(b,XC_SERVE_WORKERS) or 4).")
+  in
+  let backlog_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "backlog" ] ~docv:"N"
+          ~doc:"Listen backlog (default $(b,XC_SERVE_BACKLOG) or 64).")
+  in
+  let max_pending_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "max-pending" ] ~docv:"N"
+          ~doc:
+            "Accepted connections allowed to wait for a worker; beyond this \
+             the daemon sheds with a typed overloaded frame (default 64).")
+  in
+  let timeout_ms_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Per-connection socket read/write silence bound \
+             ($(b,SO_RCVTIMEO)/$(b,SO_SNDTIMEO); default 30000).")
+  in
+  let budget_ms_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "budget-ms" ] ~docv:"MS"
+          ~doc:
+            "Wall-clock budget for receiving one complete request frame — \
+             the slow-loris bound (default 30000).")
+  in
+  let drain_ms_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "drain-ms" ] ~docv:"MS"
+          ~doc:
+            "How long a graceful shutdown waits for in-flight requests \
+             before forcing the remaining sockets shut (default 5000).")
+  in
+  let run socket synopses dir max_engines domains strict workers backlog
+      max_pending timeout_ms budget_ms drain_ms =
     guarded @@ fun () ->
     let endpoint = endpoint_of socket in
     let options = serve_options ~domains ~strict in
     if max_engines < 1 then raise (Usage "--max-engines must be >= 1");
+    let positive flag = function
+      | Some n when n < 1 -> raise (Usage (flag ^ " must be >= 1"))
+      | v -> v
+    in
+    let workers = positive "--workers" workers in
+    let backlog = positive "--backlog" backlog in
+    let max_pending = positive "--max-pending" max_pending in
+    let ms flag v default =
+      match positive flag v with
+      | Some m -> float_of_int m /. 1000.0
+      | None -> default
+    in
     let registry = Xcluster.Serve.Registry.create ~max_engines () in
     List.iter
       (fun spec ->
@@ -561,8 +620,26 @@ let serve_cmd =
     | None -> ());
     if Xcluster.Serve.Registry.sources registry = [] then
       raise (Usage "nothing to serve: give --synopsis NAME=PATH and/or --dir DIR");
+    let d = Xcluster.Serve.Daemon.default_config in
     let config =
-      { Xcluster.Serve.Daemon.endpoint; max_engines; options }
+      {
+        d with
+        Xcluster.Serve.Daemon.endpoint;
+        max_engines;
+        options;
+        workers = Option.value ~default:d.Xcluster.Serve.Daemon.workers workers;
+        backlog = Option.value ~default:d.Xcluster.Serve.Daemon.backlog backlog;
+        max_pending =
+          Option.value ~default:d.Xcluster.Serve.Daemon.max_pending max_pending;
+        recv_timeout_s =
+          ms "--timeout-ms" timeout_ms d.Xcluster.Serve.Daemon.recv_timeout_s;
+        send_timeout_s =
+          ms "--timeout-ms" timeout_ms d.Xcluster.Serve.Daemon.send_timeout_s;
+        request_budget_s =
+          ms "--budget-ms" budget_ms d.Xcluster.Serve.Daemon.request_budget_s;
+        drain_timeout_s =
+          ms "--drain-ms" drain_ms d.Xcluster.Serve.Daemon.drain_timeout_s;
+      }
     in
     let on_ready endpoint =
       Format.printf "xcluster serve: listening on %s (%d synopses admitted)@."
@@ -583,7 +660,8 @@ let serve_cmd =
           shutdown frame arrives.")
     Term.(
       const run $ socket_arg $ synopsis_args $ dir_arg $ max_engines_arg
-      $ domains_arg $ strict_arg)
+      $ domains_arg $ strict_arg $ workers_arg $ backlog_arg $ max_pending_arg
+      $ timeout_ms_arg $ budget_ms_arg $ drain_ms_arg)
 
 (* ---- client ------------------------------------------------------------- *)
 
@@ -593,13 +671,13 @@ let client_cmd =
       required
       & pos 0 (some (enum
           [ ("estimate", `Estimate); ("batch", `Batch); ("list", `List);
-            ("stats", `Stats); ("update", `Update); ("reload", `Reload);
-            ("shutdown", `Shutdown) ]))
+            ("stats", `Stats); ("ping", `Ping); ("update", `Update);
+            ("reload", `Reload); ("shutdown", `Shutdown) ]))
           None
       & info [] ~docv:"OP"
           ~doc:
             "One of $(b,estimate), $(b,batch), $(b,list), $(b,stats), \
-             $(b,update), $(b,reload), $(b,shutdown).")
+             $(b,ping), $(b,update), $(b,reload), $(b,shutdown).")
   in
   let name_arg =
     Arg.(
@@ -633,6 +711,24 @@ let client_cmd =
       & info [ "path" ] ~docv:"FILE"
           ~doc:"Artifact holding the repaired generation ($(b,update)).")
   in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry a transiently failing request (overloaded daemon, dead \
+             connection, timeout) up to $(i,N) times with capped jittered \
+             exponential backoff, honoring the daemon's retry-after hint. \
+             Refused for the non-idempotent $(b,update) and $(b,shutdown).")
+  in
+  let client_timeout_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "timeout-ms" ] ~docv:"MS"
+          ~doc:
+            "Bound the connect and every read/write on the connection; a \
+             quiet daemon surfaces as a typed timeout instead of a hang.")
+  in
   (* Errors out of the serving layer map onto the tool's exit codes:
      protocol damage and daemon-internal trouble are [exit_internal];
      everything the caller can fix — unknown name, bad query, corrupt
@@ -643,15 +739,7 @@ let client_cmd =
     | Xcluster.Serve.Error.Protocol _ -> exit_internal
     | _ -> exit_corrupt
   in
-  let with_client endpoint f =
-    match Xcluster.Serve.Client.connect endpoint with
-    | Error e -> fail e
-    | Ok c ->
-      let r = f c in
-      Xcluster.Serve.Client.close c;
-      r
-  in
-  let run socket op name queries domains strict path =
+  let run socket op name queries domains strict path retries timeout_ms =
     guarded @@ fun () ->
     let endpoint = endpoint_of socket in
     let require_name () =
@@ -659,83 +747,123 @@ let client_cmd =
       | Some n -> n
       | None -> raise (Usage "this operation needs --name NAME")
     in
-    with_client endpoint @@ fun c ->
-    match op with
-    | `Estimate -> (
-      let synopsis = require_name () in
-      let query =
-        match queries with
-        | [ q ] -> q
-        | _ -> raise (Usage "estimate takes exactly one -q QUERY")
-      in
-      match Xcluster.Serve.Client.estimate c ~synopsis ~query with
-      | Ok est ->
-        Format.printf "%.6f@." est;
-        0
-      | Error e -> fail e)
-    | `Batch -> (
-      let synopsis = require_name () in
-      if queries = [] then raise (Usage "batch needs at least one -q QUERY");
-      let options = serve_options ~domains ~strict in
-      let qs = Array.of_list queries in
-      match Xcluster.Serve.Client.estimate_batch c ~options ~synopsis qs with
-      | Ok ests ->
-        Array.iteri (fun i est -> Format.printf "%s\t%.6f@." qs.(i) est) ests;
-        0
-      | Error e -> fail e)
-    | `List -> (
-      match Xcluster.Serve.Client.list_synopses c with
-      | Ok listed ->
-        Array.iter
-          (fun l ->
-            Format.printf "%s\t%d nodes\t%d edges\t%d bytes@."
-              l.Xcluster.Serve.Protocol.l_name l.Xcluster.Serve.Protocol.l_nodes
-              l.Xcluster.Serve.Protocol.l_edges l.Xcluster.Serve.Protocol.l_bytes)
-          listed;
-        0
-      | Error e -> fail e)
-    | `Stats -> (
-      match Xcluster.Serve.Client.stats c with
-      | Ok json ->
-        Format.printf "%s@." json;
-        0
-      | Error e -> fail e)
-    | `Update -> (
-      let synopsis = require_name () in
-      let path =
-        match path with
-        | Some p -> p
-        | None -> raise (Usage "update needs --path FILE")
-      in
-      match Xcluster.Serve.Client.update c ~synopsis ~path with
-      | Ok generation ->
-        Format.printf "swapped %s to generation %d@." synopsis generation;
-        0
-      | Error e -> fail e)
-    | `Reload -> (
-      match Xcluster.Serve.Client.reload c with
-      | Ok r ->
-        Format.printf "reloaded: %d admitted, %d skipped@."
-          r.Xcluster.Serve.Registry.loaded r.Xcluster.Serve.Registry.skipped;
-        0
-      | Error e -> fail e)
-    | `Shutdown -> (
-      match Xcluster.Serve.Client.shutdown c with
-      | Ok () ->
-        Format.printf "daemon acknowledged shutdown@.";
-        0
-      | Error e -> fail e)
+    if retries < 0 then raise (Usage "--retries must be >= 0");
+    (match (op, retries) with
+    | (`Update | `Shutdown), r when r > 0 ->
+      raise (Usage "--retries does not apply to update/shutdown (not idempotent)")
+    | _ -> ());
+    let timeout_s =
+      match timeout_ms with
+      | Some m when m < 1 -> raise (Usage "--timeout-ms must be >= 1")
+      | Some m -> Some (float_of_int m /. 1000.0)
+      | None -> None
+    in
+    (* each arm prints only on success, so a retried attempt never
+       leaves half an answer on stdout *)
+    let perform c =
+      match op with
+      | `Estimate -> (
+        let synopsis = require_name () in
+        let query =
+          match queries with
+          | [ q ] -> q
+          | _ -> raise (Usage "estimate takes exactly one -q QUERY")
+        in
+        match Xcluster.Serve.Client.estimate c ~synopsis ~query with
+        | Ok est ->
+          Format.printf "%.6f@." est;
+          Ok 0
+        | Error _ as e -> e)
+      | `Batch -> (
+        let synopsis = require_name () in
+        if queries = [] then raise (Usage "batch needs at least one -q QUERY");
+        let options = serve_options ~domains ~strict in
+        let qs = Array.of_list queries in
+        match Xcluster.Serve.Client.estimate_batch c ~options ~synopsis qs with
+        | Ok ests ->
+          Array.iteri (fun i est -> Format.printf "%s\t%.6f@." qs.(i) est) ests;
+          Ok 0
+        | Error _ as e -> e)
+      | `List -> (
+        match Xcluster.Serve.Client.list_synopses c with
+        | Ok listed ->
+          Array.iter
+            (fun l ->
+              Format.printf "%s\t%d nodes\t%d edges\t%d bytes@."
+                l.Xcluster.Serve.Protocol.l_name l.Xcluster.Serve.Protocol.l_nodes
+                l.Xcluster.Serve.Protocol.l_edges l.Xcluster.Serve.Protocol.l_bytes)
+            listed;
+          Ok 0
+        | Error _ as e -> e)
+      | `Stats -> (
+        match Xcluster.Serve.Client.stats c with
+        | Ok json ->
+          Format.printf "%s@." json;
+          Ok 0
+        | Error _ as e -> e)
+      | `Ping -> (
+        match Xcluster.Serve.Client.ping c with
+        | Ok h ->
+          Format.printf
+            "ok: %d synopses, %d generations, queue %d, inflight %d, up %.1fs%s@."
+            h.Xcluster.Serve.Protocol.h_synopses
+            h.Xcluster.Serve.Protocol.h_generations
+            h.Xcluster.Serve.Protocol.h_queue
+            h.Xcluster.Serve.Protocol.h_inflight
+            h.Xcluster.Serve.Protocol.h_uptime_s
+            (if h.Xcluster.Serve.Protocol.h_draining then ", draining" else "");
+          Ok 0
+        | Error _ as e -> e)
+      | `Update -> (
+        let synopsis = require_name () in
+        let path =
+          match path with
+          | Some p -> p
+          | None -> raise (Usage "update needs --path FILE")
+        in
+        match Xcluster.Serve.Client.update c ~synopsis ~path with
+        | Ok generation ->
+          Format.printf "swapped %s to generation %d@." synopsis generation;
+          Ok 0
+        | Error _ as e -> e)
+      | `Reload -> (
+        match Xcluster.Serve.Client.reload c with
+        | Ok r ->
+          Format.printf "reloaded: %d admitted, %d skipped@."
+            r.Xcluster.Serve.Registry.loaded r.Xcluster.Serve.Registry.skipped;
+          Ok 0
+        | Error _ as e -> e)
+      | `Shutdown -> (
+        match Xcluster.Serve.Client.shutdown c with
+        | Ok () ->
+          Format.printf "daemon acknowledged shutdown@.";
+          Ok 0
+        | Error _ as e -> e)
+    in
+    let outcome =
+      if retries > 0 then
+        Xcluster.Serve.Client.with_retry ~attempts:(retries + 1) ?timeout_s
+          endpoint perform
+      else
+        match Xcluster.Serve.Client.connect ?timeout_s endpoint with
+        | Error _ as e -> e
+        | Ok c ->
+          let r = perform c in
+          Xcluster.Serve.Client.close c;
+          r
+    in
+    match outcome with Ok code -> code | Error e -> fail e
   in
   Cmd.v
     (Cmd.info "client"
        ~doc:
          "Talk to a running $(b,serve) daemon: estimate one query or a batch \
           against a named synopsis, list what the daemon holds, fetch its \
-          metrics, swap a synopsis to a repaired generation, trigger an \
-          artifact reload, or shut it down.")
+          metrics, probe its health, swap a synopsis to a repaired \
+          generation, trigger an artifact reload, or shut it down.")
     Term.(
       const run $ socket_arg $ op_arg $ name_arg $ query_args $ domains_arg
-      $ strict_arg $ path_arg)
+      $ strict_arg $ path_arg $ retries_arg $ client_timeout_arg)
 
 let () =
   let exits =

@@ -1,25 +1,99 @@
 module Sealed = Xc_core.Synopsis.Sealed
 module Metrics = Xc_util.Metrics
+module Fault = Xc_util.Fault
 
 type config = {
   endpoint : Protocol.endpoint;
   max_engines : int;
   options : Options.t;
+  workers : int;
+  backlog : int;
+  max_pending : int;
+  recv_timeout_s : float;
+  send_timeout_s : float;
+  request_budget_s : float;
+  drain_timeout_s : float;
+  retry_after_ms : int;
 }
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> (
+    match int_of_string_opt (String.trim s) with
+    | Some v when v > 0 -> v
+    | _ -> default)
+  | None -> default
 
 let default_config =
   {
     endpoint = Protocol.Unix_sock "xcluster.sock";
     max_engines = 8;
     options = Options.default;
+    workers = env_int "XC_SERVE_WORKERS" 4;
+    backlog = env_int "XC_SERVE_BACKLOG" 64;
+    max_pending = 64;
+    recv_timeout_s = 30.0;
+    send_timeout_s = 30.0;
+    request_budget_s = 30.0;
+    drain_timeout_s = 5.0;
+    retry_after_ms = 100;
   }
 
+(* ---- stop / self-pipe --------------------------------------------------
+   [stop] must interrupt an accept loop blocked in [select] from
+   another thread, another domain, or a signal handler. The flag alone
+   cannot do that, so each running daemon registers the write end of a
+   self-pipe; [stop] sets the flag and writes one byte, which makes the
+   pipe's read end selectable and wakes the loop. The write end is
+   non-blocking — if the pipe is already full the loop is already
+   awake — and both operations are async-signal-safe. *)
+
 let stop_requested = Atomic.make false
-let stop () = Atomic.set stop_requested true
+let stop_pipes : Unix.file_descr list Atomic.t = Atomic.make []
+
+let rec add_stop_pipe fd =
+  let old = Atomic.get stop_pipes in
+  if not (Atomic.compare_and_set stop_pipes old (fd :: old)) then add_stop_pipe fd
+
+let rec remove_stop_pipe fd =
+  let old = Atomic.get stop_pipes in
+  let now = List.filter (fun f -> f <> fd) old in
+  if not (Atomic.compare_and_set stop_pipes old now) then remove_stop_pipe fd
+
+let stop () =
+  Atomic.set stop_requested true;
+  List.iter
+    (fun fd -> try ignore (Unix.write_substring fd "!" 0 1) with Unix.Unix_error (_, _, _) -> ())
+    (Atomic.get stop_pipes)
+
+(* ---- shared serving state ---------------------------------------------- *)
+
+type state = {
+  q_lock : Mutex.t;
+  q_cond : Condition.t;  (* signaled on push and on drain *)
+  queue : Unix.file_descr Queue.t;  (* accepted, not yet picked up *)
+  mutable inflight : int;  (* workers currently serving a connection *)
+  active : (int, Unix.file_descr) Hashtbl.t;  (* worker id -> its fd *)
+  mutable stop_workers : bool;  (* drain: idle workers exit *)
+  dispatch_lock : Mutex.t;
+      (* serializes request evaluation. Batch engines keep per-domain
+         arenas in [Domain.DLS]; two worker threads of one domain
+         running them concurrently would share arenas mid-sweep and
+         break bit-identity. Workers therefore overlap on I/O — reads,
+         writes, timeouts, eviction — and take this lock only around
+         dispatch. The registry and engine caches inherit its
+         protection for free. *)
+  started : float;
+  draining : bool Atomic.t;
+}
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 (* ---- socket setup ------------------------------------------------------ *)
 
-let bind_endpoint endpoint =
+let bind_endpoint ~backlog endpoint =
   match endpoint with
   | Protocol.Unix_sock path ->
     (match Unix.lstat path with
@@ -29,7 +103,7 @@ let bind_endpoint endpoint =
     let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     (try
        Unix.bind fd (Unix.ADDR_UNIX path);
-       Unix.listen fd 64
+       Unix.listen fd backlog
      with Unix.Unix_error (e, _, _) ->
        Unix.close fd;
        Fmt.failwith "daemon: cannot bind %s: %s" path (Unix.error_message e));
@@ -47,12 +121,23 @@ let bind_endpoint endpoint =
     (try
        Unix.setsockopt fd Unix.SO_REUSEADDR true;
        Unix.bind fd (Unix.ADDR_INET (addr, port));
-       Unix.listen fd 64
+       Unix.listen fd backlog
      with Unix.Unix_error (e, _, _) ->
        Unix.close fd;
        Fmt.failwith "daemon: cannot bind %s:%d: %s" host port
          (Unix.error_message e));
     fd
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+let set_conn_timeouts config fd =
+  (* per-read / per-write silence bounds; the request budget bounds the
+     total. Both raise EAGAIN out of blocked syscalls, which the
+     transport maps to Error.Timeout. *)
+  try
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO config.recv_timeout_s;
+    Unix.setsockopt_float fd Unix.SO_SNDTIMEO config.send_timeout_s
+  with Unix.Unix_error (_, _, _) -> ()
 
 (* ---- request dispatch --------------------------------------------------
    Every arm is total: failures become error frames, never exceptions
@@ -92,7 +177,21 @@ let parse_queries texts =
   | Some msg -> Error (Error.Query msg)
   | None -> Ok (Array.map Option.get out)
 
-let dispatch config registry req =
+let health st registry =
+  let h_queue, h_inflight =
+    locked st.q_lock (fun () -> (Queue.length st.queue, st.inflight))
+  in
+  Protocol.Health
+    {
+      Protocol.h_synopses = Registry.n_admitted registry;
+      h_generations = Registry.generations_total registry;
+      h_queue;
+      h_inflight;
+      h_uptime_s = Unix.gettimeofday () -. st.started;
+      h_draining = Atomic.get st.draining;
+    }
+
+let dispatch st config registry req =
   match req with
   | Protocol.Estimate { synopsis; query } -> (
     match Registry.find registry synopsis with
@@ -107,25 +206,33 @@ let dispatch config registry req =
         | Error e -> error_frame e)))
   | Protocol.Estimate_batch { synopsis; queries; options } -> (
     (* the request's options win; a request that left [domains]
-       unpinned inherits the daemon's default *)
-    let options =
-      {
-        options with
-        Options.domains =
-          (match options.Options.domains with
-          | Some _ as d -> d
-          | None -> config.options.Options.domains);
-      }
-    in
-    match Registry.engine registry synopsis with
-    | Error e -> error_frame e
-    | Ok (syn, eng) -> (
-      match parse_queries queries with
+       unpinned inherits the daemon's default. The batch-size limit is
+       the daemon's, not the request's — a client cannot talk its way
+       past admission control. *)
+    if Array.length queries > config.options.Options.max_batch then
+      error_frame
+        (Error.Admission
+           (Printf.sprintf "batch of %d queries exceeds the %d-query limit"
+              (Array.length queries) config.options.Options.max_batch))
+    else
+      let options =
+        {
+          options with
+          Options.domains =
+            (match options.Options.domains with
+            | Some _ as d -> d
+            | None -> config.options.Options.domains);
+        }
+      in
+      match Registry.engine registry synopsis with
       | Error e -> error_frame e
-      | Ok qs -> (
-        match Engine.estimate_batch_with ~options eng syn qs with
-        | Ok r -> Protocol.Floats r
-        | Error e -> error_frame e)))
+      | Ok (syn, eng) -> (
+        match parse_queries queries with
+        | Error e -> error_frame e
+        | Ok qs -> (
+          match Engine.estimate_batch_with ~options eng syn qs with
+          | Ok r -> Protocol.Floats r
+          | Error e -> error_frame e)))
   | Protocol.List_synopses ->
     Protocol.Synopses
       (Array.of_list (List.filter_map (listed_of registry) (Registry.names registry)))
@@ -145,77 +252,255 @@ let dispatch config registry req =
   | Protocol.Reload ->
     let r = Registry.load registry in
     Protocol.Reloaded { loaded = r.Registry.loaded; skipped = r.Registry.skipped }
+  | Protocol.Ping -> health st registry
   | Protocol.Shutdown -> Protocol.Done
 
 (* a dispatch arm that slips an exception past its own guards must not
    kill the connection loop, let alone the daemon *)
-let dispatch_guarded config registry req =
-  try dispatch config registry req
+let dispatch_guarded st config registry req =
+  try dispatch st config registry req
   with exn -> error_frame (Error.Io (Printexc.to_string exn))
 
 (* ---- connection loop --------------------------------------------------- *)
 
-type conn_outcome = Keep_listening | Shutdown_now
+type conn_outcome = Hung_up | Evicted | Shutdown_now
 
-let serve_conn config registry fd =
+let send_response fd resp =
+  Protocol.send ~site:"serve.send" fd (Protocol.encode_response resp)
+
+(* Answer one connection's request stream until it hangs up, trips a
+   deadline, breaks framing, or asks for shutdown. Runs on a worker
+   thread; only the dispatch itself takes the global lock, so a peer
+   stalled mid-frame costs one worker, not the daemon. *)
+let serve_conn st config registry fd =
+  let evict e =
+    Metrics.incr Metrics.global "daemon.evicted";
+    ignore (send_response fd (error_frame e));
+    Evicted
+  in
   let rec loop () =
-    match Protocol.recv_request fd with
-    | Ok None -> Keep_listening (* client hung up at a frame boundary *)
+    let deadline = Protocol.deadline_after config.request_budget_s in
+    match
+      Protocol.recv_request ~deadline
+        ~limit:config.options.Options.max_frame_bytes fd
+    with
+    | Ok None -> Hung_up (* client hung up at a frame boundary *)
+    | Error (Error.Timeout _ as e) ->
+      (* slow-loris or dead peer: a read stalled past SO_RCVTIMEO or
+         the frame dribbled past the request budget *)
+      Metrics.incr Metrics.global "daemon.timeouts";
+      evict e
+    | Error (Error.Admission _ as e) ->
+      (* an over-limit frame was refused before its payload was read;
+         the stream cannot resync, so answer and drop *)
+      evict e
     | Error (Error.Protocol _ as e) ->
       (* a damaged or hostile frame: answer (best-effort) and drop the
          connection — framing cannot resync after a bad length *)
       Metrics.incr Metrics.global "daemon.proto_error";
-      ignore (Protocol.send fd (Protocol.encode_response (error_frame e)));
-      Keep_listening
-    | Error _ -> Keep_listening (* socket trouble; nothing to answer on *)
+      ignore (send_response fd (error_frame e));
+      Evicted
+    | Error _ -> Hung_up (* socket trouble; nothing to answer on *)
     | Ok (Some Protocol.Shutdown) ->
-      ignore (Protocol.send fd (Protocol.encode_response Protocol.Done));
+      ignore (send_response fd Protocol.Done);
       Shutdown_now
     | Ok (Some req) -> (
       Metrics.incr Metrics.global "daemon.requests";
       let t0 = Unix.gettimeofday () in
-      let resp = dispatch_guarded config registry req in
+      let resp = locked st.dispatch_lock (fun () -> dispatch_guarded st config registry req) in
       Metrics.observe Metrics.global "daemon.request_us"
         (1e6 *. (Unix.gettimeofday () -. t0));
-      match Protocol.send fd (Protocol.encode_response resp) with
-      | Ok () -> loop ()
-      | Error _ -> Keep_listening)
+      match send_response fd resp with
+      | Ok () ->
+        if Atomic.get st.draining then Hung_up (* finish in-flight, then close *)
+        else loop ()
+      | Error (Error.Timeout _) ->
+        (* the peer stopped draining its socket: writing would block
+           forever, so the response is abandoned and the peer evicted *)
+        Metrics.incr Metrics.global "daemon.timeouts";
+        Metrics.incr Metrics.global "daemon.evicted";
+        Evicted
+      | Error _ -> Hung_up)
   in
   loop ()
+
+(* ---- worker pool -------------------------------------------------------- *)
+
+let worker st config registry wid =
+  let rec next () =
+    let job =
+      locked st.q_lock (fun () ->
+          let rec await () =
+            if st.stop_workers then None
+            else
+              match Queue.take_opt st.queue with
+              | Some fd ->
+                st.inflight <- st.inflight + 1;
+                Hashtbl.replace st.active wid fd;
+                Some fd
+              | None ->
+                Condition.wait st.q_cond st.q_lock;
+                await ()
+          in
+          await ())
+    in
+    match job with
+    | None -> () (* drain: idle worker exits *)
+    | Some fd ->
+      let outcome =
+        try serve_conn st config registry fd
+        with exn ->
+          (* nothing inside a connection is allowed to be fatal *)
+          Metrics.incr Metrics.global "daemon.request_error";
+          ignore (send_response fd (error_frame (Error.Io (Printexc.to_string exn))));
+          Hung_up
+      in
+      close_quiet fd;
+      locked st.q_lock (fun () ->
+          st.inflight <- st.inflight - 1;
+          Hashtbl.remove st.active wid);
+      (match outcome with
+      | Shutdown_now -> stop ()
+      | Hung_up | Evicted -> ());
+      next ()
+  in
+  next ()
+
+(* ---- accept loop / admission ------------------------------------------- *)
+
+(* Queue-full shedding: the peer gets a typed Overloaded frame with the
+   daemon's backoff hint and the connection closes. The frame is a few
+   dozen bytes — it fits the socket's send buffer, so this cannot wedge
+   the accept loop even against a peer that never reads. *)
+let shed config fd =
+  Metrics.incr Metrics.global "daemon.shed";
+  let e = Error.Overloaded { retry_after_ms = config.retry_after_ms } in
+  let code, message = Error.to_wire e in
+  ignore
+    (Protocol.send ~site:"serve.send" fd
+       (Protocol.encode_response (Protocol.Error_frame { code; message })));
+  close_quiet fd
+
+let admit st config fd =
+  Metrics.incr Metrics.global "daemon.conns";
+  set_conn_timeouts config fd;
+  let admitted =
+    locked st.q_lock (fun () ->
+        if Queue.length st.queue >= config.max_pending then false
+        else begin
+          Queue.push fd st.queue;
+          Condition.signal st.q_cond;
+          true
+        end)
+  in
+  if not admitted then shed config fd
+
+let accept_loop st config listener pipe_rd =
+  let backoff consec =
+    (* a persistent accept failure (EMFILE, ENFILE, injected storm)
+       must not busy-spin the loop; after a few consecutive failures
+       sleep briefly, growing to half a second *)
+    if consec >= 3 then
+      Unix.sleepf (Float.min 0.5 (0.01 *. Float.pow 2.0 (float_of_int (Int.min consec 9))))
+  in
+  let rec go consec =
+    if Atomic.get stop_requested then ()
+    else
+      match Unix.select [ listener; pipe_rd ] [] [] (-1.0) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go consec
+      | exception Unix.Unix_error (_, _, _) ->
+        Metrics.incr Metrics.global "daemon.accept_error";
+        backoff (consec + 1);
+        go (consec + 1)
+      | ready, _, _ ->
+        if Atomic.get stop_requested || List.mem pipe_rd ready then ()
+        else (
+          match
+            Fault.raise_io ~site:"serve.accept";
+            Unix.accept listener
+          with
+          | exception Fault.Injected _ ->
+            (* the chaos harness refusing this accept: count it like a
+               real transient accept failure *)
+            Metrics.incr Metrics.global "daemon.accept_error";
+            backoff (consec + 1);
+            go (consec + 1)
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> go consec
+          | exception Unix.Unix_error (_, _, _) ->
+            Metrics.incr Metrics.global "daemon.accept_error";
+            backoff (consec + 1);
+            go (consec + 1)
+          | fd, _ ->
+            admit st config fd;
+            go 0)
+  in
+  go 0
+
+(* ---- run / drain -------------------------------------------------------- *)
 
 let run ?(config = default_config) ?(on_ready = fun _ -> ()) registry =
   (* a client hanging up mid-response must be an EPIPE result, not a
      fatal signal *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   ignore (Registry.load registry);
-  let listener = bind_endpoint config.endpoint in
+  let config = { config with workers = Int.max 1 config.workers } in
+  let listener = bind_endpoint ~backlog:(Int.max 1 config.backlog) config.endpoint in
+  let pipe_rd, pipe_wr = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock pipe_wr;
   Atomic.set stop_requested false;
-  on_ready config.endpoint;
-  let rec accept_loop () =
-    if Atomic.get stop_requested then ()
-    else
-      match Unix.accept listener with
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
-      | exception Unix.Unix_error (_, _, _) -> accept_loop ()
-      | fd, _ -> (
-        Metrics.incr Metrics.global "daemon.conns";
-        let outcome =
-          try serve_conn config registry fd
-          with exn ->
-            (* nothing inside a connection is allowed to be fatal *)
-            Metrics.incr Metrics.global "daemon.request_error";
-            ignore
-              (Protocol.send fd
-                 (Protocol.encode_response
-                    (error_frame (Error.Io (Printexc.to_string exn)))));
-            Keep_listening
-        in
-        (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
-        match outcome with Keep_listening -> accept_loop () | Shutdown_now -> ())
+  add_stop_pipe pipe_wr;
+  let st =
+    {
+      q_lock = Mutex.create ();
+      q_cond = Condition.create ();
+      queue = Queue.create ();
+      inflight = 0;
+      active = Hashtbl.create 16;
+      stop_workers = false;
+      dispatch_lock = Mutex.create ();
+      started = Unix.gettimeofday ();
+      draining = Atomic.make false;
+    }
   in
-  accept_loop ();
-  (try Unix.close listener with Unix.Unix_error (_, _, _) -> ());
-  match config.endpoint with
+  let threads =
+    List.init config.workers (fun wid ->
+        Thread.create (fun () -> worker st config registry wid) ())
+  in
+  on_ready config.endpoint;
+  accept_loop st config listener pipe_rd;
+  (* ---- graceful drain: refuse, finish, then force ---- *)
+  let t_drain = Unix.gettimeofday () in
+  Atomic.set st.draining true;
+  close_quiet listener;
+  (match config.endpoint with
   | Protocol.Unix_sock path -> (
     try Unix.unlink path with Unix.Unix_error (_, _, _) -> ())
-  | Protocol.Tcp _ -> ()
+  | Protocol.Tcp _ -> ());
+  (* connections accepted but never picked up have no request in
+     flight — close them outright rather than holding the drain open *)
+  locked st.q_lock (fun () ->
+      st.stop_workers <- true;
+      Queue.iter close_quiet st.queue;
+      Queue.clear st.queue;
+      Condition.broadcast st.q_cond);
+  let drain_deadline = t_drain +. Float.max 0.0 config.drain_timeout_s in
+  let rec await_idle () =
+    let busy = locked st.q_lock (fun () -> st.inflight) in
+    if busy > 0 && Unix.gettimeofday () < drain_deadline then begin
+      Unix.sleepf 0.002;
+      await_idle ()
+    end
+  in
+  await_idle ();
+  (* past the deadline: shut the remaining peers' sockets so their
+     workers fail fast out of any blocked read or write *)
+  locked st.q_lock (fun () ->
+      Hashtbl.iter
+        (fun _ fd -> try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error (_, _, _) -> ())
+        st.active);
+  List.iter Thread.join threads;
+  Metrics.observe Metrics.global "daemon.drain_ms"
+    (1000.0 *. (Unix.gettimeofday () -. t_drain));
+  remove_stop_pipe pipe_wr;
+  close_quiet pipe_rd;
+  close_quiet pipe_wr

@@ -12,6 +12,8 @@ type t =
   | Query of string
   | Unavailable of string
   | Io of string
+  | Timeout of { elapsed_ms : int }
+  | Overloaded of { retry_after_ms : int }
 
 let pp_protocol ppf = function
   | Truncated { need } ->
@@ -30,11 +32,18 @@ let pp ppf = function
   | Query msg -> Format.fprintf ppf "query: %s" msg
   | Unavailable msg -> Format.fprintf ppf "unavailable: %s" msg
   | Io msg -> Format.fprintf ppf "io: %s" msg
+  | Timeout { elapsed_ms } ->
+    Format.fprintf ppf "timeout: deadline exceeded after %d ms" elapsed_ms
+  | Overloaded { retry_after_ms } ->
+    Format.fprintf ppf "overloaded: retry after %d ms" retry_after_ms
 
 let to_string e = Format.asprintf "%a" pp e
 
 (* Wire codes are protocol constants — renumbering breaks mixed-version
-   deployments, so additions append. *)
+   deployments, so additions append. The two variants that carry a
+   number a peer must act on (a backoff hint, an elapsed budget) put
+   that number first in the message as a bare decimal so [of_wire] can
+   reconstruct the structured form, not just the category. *)
 let to_wire = function
   | Codec e -> (1, Xc_core.Codec.error_to_string e)
   | Protocol p -> (2, Format.asprintf "%a" pp_protocol p)
@@ -42,6 +51,20 @@ let to_wire = function
   | Query msg -> (4, msg)
   | Unavailable msg -> (5, msg)
   | Io msg -> (6, msg)
+  | Timeout { elapsed_ms } -> (7, string_of_int elapsed_ms)
+  | Overloaded { retry_after_ms } -> (8, string_of_int retry_after_ms)
+
+(* leading decimal of a wire message, for the structured codes; a
+   damaged or foreign message falls back to [default] rather than
+   failing the whole frame *)
+let leading_int ~default message =
+  let n = String.length message in
+  let rec digits i = if i < n && message.[i] >= '0' && message.[i] <= '9' then digits (i + 1) else i in
+  let stop = digits 0 in
+  if stop = 0 then default
+  else match int_of_string_opt (String.sub message 0 stop) with
+    | Some v -> v
+    | None -> default
 
 let of_wire code message =
   match code with
@@ -50,4 +73,6 @@ let of_wire code message =
   | 3 -> Admission message
   | 4 -> Query message
   | 5 -> Unavailable message
+  | 7 -> Timeout { elapsed_ms = leading_int ~default:0 message }
+  | 8 -> Overloaded { retry_after_ms = leading_int ~default:100 message }
   | _ -> Io message

@@ -35,6 +35,16 @@ type t =
       (** strict fallback policy: the fast path failed and degradation
           was not permitted *)
   | Io of string  (** connect/send/recv failure *)
+  | Timeout of { elapsed_ms : int }
+      (** a read/write/request deadline was exceeded — the daemon
+          answers this frame best-effort and evicts the connection; a
+          client surfaces it when the daemon went quiet past its
+          receive timeout *)
+  | Overloaded of { retry_after_ms : int }
+      (** admission control shed this connection or request: the
+          daemon's bounded in-flight queue was full. Transient by
+          construction — {!Client.with_retry} backs off at least
+          [retry_after_ms] and tries again *)
 
 val pp_protocol : Format.formatter -> protocol -> unit
 val pp : Format.formatter -> t -> unit
@@ -43,12 +53,14 @@ val to_string : t -> string
 val to_wire : t -> int * string
 (** The [(code, message)] encoding of an error frame. Codes are stable
     protocol constants: 1 codec, 2 protocol, 3 admission, 4 query,
-    5 unavailable, 6 io. *)
+    5 unavailable, 6 io, 7 timeout, 8 overloaded. *)
 
 val of_wire : int -> string -> t
 (** Inverse of {!to_wire} up to structured detail: the category
     survives, nested payloads come back as their rendered message (a
     {!Codec} error resurfaces as [Codec (Io message)]). A remote
     {!Protocol} complaint — the peer judging {e our} bytes — comes back
-    as {!Io}, since locally the framing was fine. Unknown codes map to
-    {!Io}. *)
+    as {!Io}, since locally the framing was fine. {!Timeout} and
+    {!Overloaded} reconstruct their millisecond fields from the
+    message's leading decimal, so a client's backoff still honors the
+    daemon's hint after the trip. Unknown codes map to {!Io}. *)

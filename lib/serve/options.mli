@@ -31,14 +31,34 @@ type t = {
           query-major reference walk. Both are bit-identical to the
           uncached estimator — this switches the sweep order, not the
           answer. *)
+  max_batch : int;
+      (** admission limit on queries per [Estimate_batch] request; an
+          oversized batch is refused with {!Error.Admission} (a
+          permanent error — retrying the same batch cannot succeed, so
+          it is deliberately {e not} {!Error.Overloaded}) *)
+  max_frame_bytes : int;
+      (** admission limit on a single wire frame's payload, clamped to
+          the protocol ceiling ({!Protocol.max_payload}); an oversized
+          frame is refused with {!Error.Admission} before the payload
+          is read *)
 }
 
 val default : t
-(** [{ domains = None; fallback = Degrade; cohort = true }]. *)
+(** [{ domains = None; fallback = Degrade; cohort = true;
+      max_batch = 8192; max_frame_bytes = 1 lsl 26 }]. *)
 
-val make : ?domains:int -> ?fallback:fallback -> ?cohort:bool -> unit -> t
-(** [domains], when given, must be positive.
+val make :
+  ?domains:int ->
+  ?fallback:fallback ->
+  ?cohort:bool ->
+  ?max_batch:int ->
+  ?max_frame_bytes:int ->
+  unit ->
+  t
+(** [domains], when given, must be positive; [max_batch] and
+    [max_frame_bytes] must be positive.
     @raise Invalid_argument on [domains <= 0] — the old "non-positive
-    means environment" sentinel is exactly what this record retires. *)
+    means environment" sentinel is exactly what this record retires —
+    and on non-positive limits. *)
 
 val pp : Format.formatter -> t -> unit

@@ -41,8 +41,18 @@ type request =
   | Update of { synopsis : string; path : string }
   | Reload
   | Shutdown
+  | Ping
 
 type listed = { l_name : string; l_nodes : int; l_edges : int; l_bytes : int }
+
+type health = {
+  h_synopses : int;
+  h_generations : int;
+  h_queue : int;
+  h_inflight : int;
+  h_uptime_s : float;
+  h_draining : bool;
+}
 
 type response =
   | Floats of float array
@@ -51,6 +61,7 @@ type response =
   | Reloaded of { loaded : int; skipped : int }
   | Swapped of { generation : int }
   | Done
+  | Health of health
   | Error_frame of { code : int; message : string }
 
 (* frame tags; requests and responses share one byte-space so a frame
@@ -63,12 +74,14 @@ let tag_stats = 0x04
 let tag_reload = 0x05
 let tag_shutdown = 0x06
 let tag_update = 0x07
+let tag_ping = 0x08
 let tag_floats = 0x41
 let tag_synopses = 0x42
 let tag_stats_json = 0x43
 let tag_reloaded = 0x44
 let tag_done = 0x45
 let tag_swapped = 0x46
+let tag_health = 0x47
 let tag_error = 0x7F
 
 let max_payload = 1 lsl 26 (* 64 MiB *)
@@ -137,7 +150,9 @@ let get_count r ~elt_min ~what =
 let put_options buf (o : Options.t) =
   put_int buf (match o.domains with None -> -1 | Some d -> d);
   put_int buf (match o.fallback with Options.Degrade -> 0 | Options.Strict -> 1);
-  put_int buf (if o.cohort then 1 else 0)
+  put_int buf (if o.cohort then 1 else 0);
+  put_int buf o.max_batch;
+  put_int buf o.max_frame_bytes
 
 let get_options r =
   let domains =
@@ -158,7 +173,17 @@ let get_options r =
     | 1 -> true
     | c -> raise (Proto (Bad_length { len = c; what = "cohort field" }))
   in
-  { Options.domains; fallback; cohort }
+  let max_batch =
+    match get_int r with
+    | b when b > 0 -> b
+    | b -> raise (Proto (Bad_length { len = b; what = "max_batch field" }))
+  in
+  let max_frame_bytes =
+    match get_int r with
+    | b when b > 0 -> b
+    | b -> raise (Proto (Bad_length { len = b; what = "max_frame_bytes field" }))
+  in
+  { Options.domains; fallback; cohort; max_batch; max_frame_bytes }
 
 let encode_request req =
   let buf = Buffer.create 128 in
@@ -182,6 +207,7 @@ let encode_request req =
     | Stats -> tag_stats
     | Reload -> tag_reload
     | Shutdown -> tag_shutdown
+    | Ping -> tag_ping
   in
   frame tag (Buffer.contents buf)
 
@@ -214,6 +240,14 @@ let encode_response resp =
       put_int buf generation;
       tag_swapped
     | Done -> tag_done
+    | Health h ->
+      put_int buf h.h_synopses;
+      put_int buf h.h_generations;
+      put_int buf h.h_queue;
+      put_int buf h.h_inflight;
+      put_float buf h.h_uptime_s;
+      put_int buf (if h.h_draining then 1 else 0);
+      tag_health
     | Error_frame { code; message } ->
       put_int buf code;
       put_string buf message;
@@ -258,6 +292,7 @@ let parse_request (tag, r) =
   else if tag = tag_stats then Stats
   else if tag = tag_reload then Reload
   else if tag = tag_shutdown then Shutdown
+  else if tag = tag_ping then Ping
   else raise (Proto (Bad_tag tag))
 
 let parse_response (tag, r) =
@@ -281,6 +316,20 @@ let parse_response (tag, r) =
   end
   else if tag = tag_swapped then Swapped { generation = get_int r }
   else if tag = tag_done then Done
+  else if tag = tag_health then begin
+    let h_synopses = get_int r in
+    let h_generations = get_int r in
+    let h_queue = get_int r in
+    let h_inflight = get_int r in
+    let h_uptime_s = get_float r in
+    let h_draining =
+      match get_int r with
+      | 0 -> false
+      | 1 -> true
+      | d -> raise (Proto (Bad_length { len = d; what = "draining field" }))
+    in
+    Health { h_synopses; h_generations; h_queue; h_inflight; h_uptime_s; h_draining }
+  end
   else if tag = tag_error then begin
     let code = get_int r in
     let message = get_string r in
@@ -299,6 +348,40 @@ let decode parse s =
 let decode_request s = decode parse_request s
 let decode_response s = decode parse_response s
 
+(* ---- deadlines ---------------------------------------------------------
+
+   A deadline is an absolute wall-clock budget for one frame (or one
+   whole request). SO_RCVTIMEO alone cannot stop a slow-loris peer —
+   every byte it dribbles in resets the socket timer — so the read loop
+   also checks the deadline between partial reads: the per-read timer
+   bounds silence, the deadline bounds the total. The [serve.deadline]
+   fault site lets the chaos harness force an expiry deterministically
+   without actually waiting out a budget. *)
+
+type deadline = { started : float; expires : float }
+
+let deadline_after budget_s =
+  let now = Unix.gettimeofday () in
+  { started = now; expires = now +. budget_s }
+
+let deadline_expired ?site d =
+  let forced =
+    match site with
+    | None -> false
+    | Some site -> (
+      match Fault.raise_io ~site with
+      | () -> false
+      | exception Fault.Injected _ -> true)
+  in
+  forced || Unix.gettimeofday () > d.expires
+
+let deadline_elapsed_ms d =
+  int_of_float (Float.max 0. (Unix.gettimeofday () -. d.started) *. 1000.)
+
+let timeout_error = function
+  | Some d -> Error.Timeout { elapsed_ms = deadline_elapsed_ms d }
+  | None -> Error.Timeout { elapsed_ms = 0 }
+
 (* ---- socket transport -------------------------------------------------- *)
 
 let rec write_all fd s pos len =
@@ -307,23 +390,45 @@ let rec write_all fd s pos len =
     write_all fd s (pos + n) (len - n)
   end
 
-let send fd s =
-  match write_all fd s 0 (String.length s) with
+(* [site], when given, is a Fault injection point for the write path
+   ([serve.send]); an injected Enospc/Eio becomes a typed Io error
+   exactly as a real one would. A blocked write past SO_SNDTIMEO
+   surfaces as EAGAIN and becomes {!Error.Timeout} — the peer stopped
+   draining its socket. *)
+let send ?site fd s =
+  let inject () = match site with None -> () | Some site -> Fault.raise_io ~site in
+  match
+    inject ();
+    write_all fd s 0 (String.length s)
+  with
   | () -> Ok ()
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+    Error (Error.Timeout { elapsed_ms = 0 })
   | exception Unix.Unix_error (e, _, _) ->
     Error (Error.Io (Printf.sprintf "send: %s" (Unix.error_message e)))
+  | exception Fault.Injected { site; kind } ->
+    Error (Error.Io (Printf.sprintf "send: injected %s at %s" (Fault.kind_name kind) site))
 
 (* Read exactly [len] bytes; [`Eof k] reports how many arrived before
-   the stream ended. *)
-let read_exact fd len =
+   the stream ended. [`Timeout] fires when the per-read SO_RCVTIMEO
+   timer expires (EAGAIN) or the frame deadline passes between partial
+   reads. *)
+let read_exact ?deadline ?deadline_site fd len =
   let b = Bytes.create len in
+  let expired () =
+    match deadline with
+    | None -> false
+    | Some d -> deadline_expired ?site:deadline_site d
+  in
   let rec go off =
     if off >= len then `Ok (Bytes.unsafe_to_string b)
+    else if expired () then `Timeout
     else
       match Unix.read fd b off (len - off) with
       | 0 -> `Eof off
       | n -> go (off + n)
       | exception Unix.Unix_error (EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> `Timeout
   in
   go 0
 
@@ -331,11 +436,18 @@ let read_exact fd len =
    the payload allocation), then the payload, which passes through the
    Fault injection site so the harness can truncate or flip bits at
    the socket boundary. A damaged payload fails the CRC or the bounded
-   reader — never crashes the process. *)
-let read_frame ~site fd =
-  match read_exact fd header_bytes with
+   reader — never crashes the process.
+
+   [limit], when below {!max_payload}, is an admission bound: a frame
+   declaring a larger payload is refused with {!Error.Admission}
+   {e before} the payload allocation. The refusal is permanent (the
+   same frame can never succeed) and desynchronizes the stream, so
+   callers close the connection after answering. *)
+let read_frame ~site ?deadline ?deadline_site ?(limit = max_payload) fd =
+  match read_exact ?deadline ?deadline_site fd header_bytes with
   | exception Unix.Unix_error (e, _, _) ->
     Error (Error.Io (Printf.sprintf "recv: %s" (Unix.error_message e)))
+  | `Timeout -> Error (timeout_error deadline)
   | `Eof 0 -> Ok None
   | `Eof k -> Error (Error.Protocol (Truncated { need = header_bytes - k }))
   | `Ok header -> (
@@ -343,15 +455,20 @@ let read_frame ~site fd =
     let len = Int64.to_int len64 in
     if Int64.of_int len <> len64 || len < 0 || len > max_payload then
       Error (Error.Protocol (Bad_length { len; what = "frame payload length" }))
+    else if len > limit then
+      Error
+        (Error.Admission
+           (Printf.sprintf "frame payload of %d bytes exceeds the %d-byte limit" len limit))
     else
-      match read_exact fd len with
+      match read_exact ?deadline ?deadline_site fd len with
       | exception Unix.Unix_error (e, _, _) ->
         Error (Error.Io (Printf.sprintf "recv: %s" (Unix.error_message e)))
+      | `Timeout -> Error (timeout_error deadline)
       | `Eof k -> Error (Error.Protocol (Truncated { need = len - k }))
       | `Ok payload -> Ok (Some (header ^ Fault.mutate ~site payload)))
 
-let recv_request fd =
-  match read_frame ~site:"serve.recv" fd with
+let recv_request ?deadline ?limit fd =
+  match read_frame ~site:"serve.recv" ?deadline ~deadline_site:"serve.deadline" ?limit fd with
   | Error _ as e -> e
   | Ok None -> Ok None
   | Ok (Some s) -> (
@@ -359,8 +476,8 @@ let recv_request fd =
     | Ok req -> Ok (Some req)
     | Error p -> Error (Error.Protocol p))
 
-let recv_response fd =
-  match read_frame ~site:"client.recv" fd with
+let recv_response ?deadline fd =
+  match read_frame ~site:"client.recv" ?deadline fd with
   | Error _ as e -> e
   | Ok None -> Error (Error.Protocol Closed)
   | Ok (Some s) -> (

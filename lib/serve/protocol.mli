@@ -59,12 +59,24 @@ type request =
           the previous good generation keeps serving *)
   | Reload  (** re-scan every registered artifact *)
   | Shutdown  (** stop accepting; the daemon exits its loop cleanly *)
+  | Ping
+      (** readiness probe; answered with [Health], including (on an
+          already-open connection) while the daemon is draining *)
 
 type listed = {
   l_name : string;
   l_nodes : int;
   l_edges : int;
   l_bytes : int;  (** structural + value bytes *)
+}
+
+type health = {
+  h_synopses : int;  (** names currently admitted in the registry *)
+  h_generations : int;  (** sum of per-name generation counters *)
+  h_queue : int;  (** connections parked in the pending queue *)
+  h_inflight : int;  (** worker threads currently serving a connection *)
+  h_uptime_s : float;
+  h_draining : bool;  (** a graceful drain is in progress *)
 }
 
 type response =
@@ -76,6 +88,7 @@ type response =
   | Swapped of { generation : int }
       (** acknowledges [Update] with the name's new generation number *)
   | Done  (** acknowledges [Shutdown] *)
+  | Health of health  (** acknowledges [Ping] *)
   | Error_frame of { code : int; message : string }
       (** see {!Error.to_wire} / {!Error.of_wire} *)
 
@@ -93,18 +106,52 @@ val decode_request : string -> (request, Error.protocol) result
 
 val decode_response : string -> (response, Error.protocol) result
 
+(* ---- deadlines --------------------------------------------------------- *)
+
+type deadline
+(** An absolute wall-clock budget for one frame or one whole request.
+    [SO_RCVTIMEO] alone cannot stop a slow-loris peer — every dribbled
+    byte resets the socket timer — so the read loop also checks the
+    deadline between partial reads: the socket timer bounds {e silence},
+    the deadline bounds the {e total}. *)
+
+val deadline_after : float -> deadline
+(** [deadline_after budget_s] starts a budget of [budget_s] seconds
+    from now. *)
+
+val deadline_expired : ?site:string -> deadline -> bool
+(** Whether the budget ran out. [site], when given, is a {!Xc_util.Fault}
+    injection point ([serve.deadline]) that forces an expiry when an
+    [eio]/[enospc] fault fires — the chaos harness triggers timeout
+    handling without waiting out a real budget. *)
+
+val deadline_elapsed_ms : deadline -> int
+(** Milliseconds since the budget started (for {!Error.Timeout}). *)
+
 (* ---- socket transport -------------------------------------------------- *)
 
-val send : Unix.file_descr -> string -> (unit, Error.t) result
+val send : ?site:string -> Unix.file_descr -> string -> (unit, Error.t) result
 (** Write a whole encoded frame. Never raises ([EPIPE] and friends
-    become [Error (Io _)]). *)
+    become [Error (Io _)]). A write blocked past [SO_SNDTIMEO] becomes
+    [Error (Timeout _)] — the peer stopped draining its socket. [site],
+    when given, is a write-path fault injection point ([serve.send]). *)
 
 val recv_request :
-  Unix.file_descr -> (request option, Error.t) result
+  ?deadline:deadline ->
+  ?limit:int ->
+  Unix.file_descr ->
+  (request option, Error.t) result
 (** Read one frame off the socket (site [serve.recv]) and decode it.
     [Ok None] is a clean end-of-stream at a frame boundary — the normal
-    way a client hangs up. *)
+    way a client hangs up. [deadline] bounds the whole frame (checked at
+    fault site [serve.deadline]; expiry and [SO_RCVTIMEO]'s [EAGAIN]
+    both surface as [Error (Timeout _)]). [limit], when below
+    {!max_payload}, refuses larger frames with [Error (Admission _)]
+    before the payload allocation; the stream is desynchronized after
+    such a refusal, so the caller must close the connection. *)
 
-val recv_response : Unix.file_descr -> (response, Error.t) result
+val recv_response :
+  ?deadline:deadline -> Unix.file_descr -> (response, Error.t) result
 (** Read one response frame (site [client.recv]); end-of-stream here is
-    [Error (Protocol Closed)] — a response was owed. *)
+    [Error (Protocol Closed)] — a response was owed. [deadline] bounds
+    the whole frame. *)

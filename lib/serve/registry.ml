@@ -41,6 +41,9 @@ type load_report = { loaded : int; skipped : int }
 let generation t name =
   Option.value ~default:0 (Hashtbl.find_opt t.generations name)
 
+let generations_total t =
+  Hashtbl.fold (fun _ g acc -> acc + g) t.generations 0
+
 (* Admission: the codec's loader is the verify step — an [Ok] here
    has passed framing, the directory checksum, and the node-attribute
    sections' CRCs; for a lazily mapped v3 artifact the CSR and

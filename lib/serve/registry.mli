@@ -91,6 +91,11 @@ val generation : t -> string -> int
 (** How many distinct generations of content this name has admitted;
     0 for a name never admitted. *)
 
+val generations_total : t -> int
+(** Sum of {!generation} over every known name — the daemon's [Health]
+    frame reports it so probes can watch content churn without walking
+    the name list. *)
+
 (* ---- lookup ------------------------------------------------------------ *)
 
 val find : t -> string -> Xc_core.Synopsis.Sealed.t option

@@ -13,19 +13,29 @@ type hist = {
 }
 
 type t = {
+  m_lock : Mutex.t;
+      (* guards the three tables and every record they hold: serving
+         worker threads and domains bump counters concurrently, and an
+         unguarded Hashtbl resize under contention corrupts the table *)
   m_counters : (string, int ref) Hashtbl.t;
   m_timers : (string, timer) Hashtbl.t;
   m_hists : (string, hist) Hashtbl.t;
 }
 
 let create () =
-  { m_counters = Hashtbl.create 16;
+  { m_lock = Mutex.create ();
+    m_counters = Hashtbl.create 16;
     m_timers = Hashtbl.create 16;
     m_hists = Hashtbl.create 16 }
 
 let global = create ()
 
+let locked t f =
+  Mutex.lock t.m_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m_lock) f
+
 let incr ?(by = 1) t name =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.m_counters name with
   | Some r -> r := !r + by
   | None -> Hashtbl.add t.m_counters name (ref by)
@@ -33,6 +43,7 @@ let incr ?(by = 1) t name =
 (* high-water counter: keeps the largest value recorded since the last
    reset (e.g. the widest query cohort a batch ever collapsed to) *)
 let record_max t name v =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.m_counters name with
   | Some r -> if v > !r then r := v
   | None -> Hashtbl.add t.m_counters name (ref v)
@@ -55,6 +66,7 @@ let bucket_of v =
 let bucket_le i = Float.pow 2.0 (float_of_int i /. sub_per_octave)
 
 let observe t name v =
+  locked t @@ fun () ->
   let h =
     match Hashtbl.find_opt t.m_hists name with
     | Some h -> h
@@ -74,6 +86,7 @@ let observe t name v =
   h.hs_buckets.(b) <- h.hs_buckets.(b) + 1
 
 let add_time t name dt =
+  locked t @@ fun () ->
   let tm =
     match Hashtbl.find_opt t.m_timers name with
     | Some tm -> tm
@@ -119,6 +132,7 @@ let sorted_bindings tbl f =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let snapshot t =
+  locked t @@ fun () ->
   { counters = sorted_bindings t.m_counters (fun r -> !r);
     timers =
       sorted_bindings t.m_timers (fun tm ->
@@ -134,11 +148,13 @@ let snapshot t =
             h_max = h.hs_max; h_buckets = !buckets }) }
 
 let reset t =
+  locked t @@ fun () ->
   Hashtbl.reset t.m_counters;
   Hashtbl.reset t.m_timers;
   Hashtbl.reset t.m_hists
 
 let counter_value t name =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.m_counters name with Some r -> !r | None -> 0
 
 (* ---- quantiles --------------------------------------------------------
@@ -173,6 +189,7 @@ let quantile_of_stat h q =
 let quantiles_of_stat h qs = List.map (fun q -> (q, quantile_of_stat h q)) qs
 
 let quantiles t name qs =
+  locked t @@ fun () ->
   match Hashtbl.find_opt t.m_hists name with
   | None -> None
   | Some h ->

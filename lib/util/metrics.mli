@@ -6,7 +6,12 @@
     {!global} registry; the bench harness and the [xcluster estimate
     --stats] CLI flag render a snapshot as JSON. Registries are cheap
     hash tables — a counter bump is one lookup and one integer add — so
-    instrumentation can stay on in hot paths. Not thread-safe. *)
+    instrumentation can stay on in hot paths. Thread-safe: every
+    operation takes the registry's internal mutex, so worker threads
+    and domains may report into one registry concurrently (the serving
+    daemon does). The critical sections are a table lookup and a few
+    scalar updates — contention, not the lock itself, is the only cost
+    that can show up in a profile. *)
 
 type t
 (** A metrics registry. *)

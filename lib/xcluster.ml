@@ -97,6 +97,8 @@ module Serve = struct
     domains : int option;
     fallback : fallback;
     cohort : bool;
+    max_batch : int;
+    max_frame_bytes : int;
   }
 
   let options = Xc_serve.Options.make

@@ -260,15 +260,28 @@ module Serve : sig
         (** matrix-major cohort evaluation (the default); [false]
             selects the query-major reference walk — same answers
             bit for bit, different sweep order *)
+    max_batch : int;
+        (** daemon admission limit on queries per batch request;
+            oversized batches are refused with a typed admission
+            error *)
+    max_frame_bytes : int;
+        (** daemon admission limit on one wire frame's payload *)
   }
 
   val options :
-    ?domains:int -> ?fallback:fallback -> ?cohort:bool -> unit -> options
+    ?domains:int ->
+    ?fallback:fallback ->
+    ?cohort:bool ->
+    ?max_batch:int ->
+    ?max_frame_bytes:int ->
+    unit ->
+    options
   (** Smart constructor ({!Xc_serve.Options.make}); [domains], when
-      given, must be positive. *)
+      given, must be positive, as must the admission limits. *)
 
   val default_options : options
-  (** [{ domains = None; fallback = Degrade; cohort = true }]. *)
+  (** [{ domains = None; fallback = Degrade; cohort = true;
+        max_batch = 8192; max_frame_bytes = 64 MiB }]. *)
 
   val estimate_batch :
     ?options:options -> synopsis -> query array -> (float array, error) result

@@ -1,0 +1,227 @@
+(* Chaos suite for the serving plane: seeded fault storms over the
+   injection sites the hardened daemon and client expose —
+   serve.accept, serve.send, serve.deadline, client.connect — plus a
+   combined storm over all of them. Gates, per storm:
+
+   - survival: every stormed operation resolves to Ok or a typed
+     error (no exception escapes, no hang), and some operations —
+     including Ping — succeed through the storm via with_retry;
+   - recovery: once the storm lifts, Ping answers a sane health
+     snapshot and a batch estimate is bit-identical to the pre-storm
+     reference;
+   - observability: the counter matching the stormed site moved.
+
+   Storms are seeded through Fault's private RNG stream, so a failing
+   run replays exactly. *)
+
+module Serve = Xcluster.Serve
+module Protocol = Serve.Protocol
+module Error = Serve.Error
+module Registry = Serve.Registry
+module Metrics = Xc_util.Metrics
+module Fault = Xc_util.Fault
+
+let check = Alcotest.check
+let counter name = Metrics.counter_value Metrics.global name
+
+(* ---- fixtures ----------------------------------------------------------- *)
+
+let synopsis =
+  lazy
+    (let doc = Xc_data.Imdb.generate ~seed:91 ~n_movies:30 () in
+     Xcluster.Build.run ~min_extent:4
+       ~budget:(Xcluster.Build.budget ~bstr_kb:4 ~bval_kb:16 ())
+       doc)
+
+let temp_dir () =
+  let dir = Filename.temp_file "xc_chaos_test" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  dir
+
+let rm_rf dir =
+  (try
+     Array.iter
+       (fun f -> try Sys.remove (Filename.concat dir f) with Sys_error _ -> ())
+       (Sys.readdir dir)
+   with Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error (_, _, _) -> ()
+
+let save_exn path syn =
+  match Xcluster.Store.save path syn with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save %s: %s" path (Xc_core.Codec.error_to_string e)
+
+let batch_queries = [| "//movie/title"; "//movie"; "//title" |]
+
+(* The daemon under chaos: short deadlines so evictions happen inside
+   the test's patience, a quick backoff hint so retries stay fast. *)
+let with_daemon sources f =
+  let dir = temp_dir () in
+  let endpoint = Protocol.Unix_sock (Filename.concat dir "d.sock") in
+  let registry = Registry.create ~max_engines:4 () in
+  List.iter (fun (name, path) -> Registry.add_source registry ~name ~path) sources;
+  let ready = Atomic.make false in
+  let config =
+    { Serve.Daemon.default_config with
+      Serve.Daemon.endpoint;
+      max_engines = 4;
+      options = Serve.default_options;
+      workers = 3;
+      max_pending = 16;
+      recv_timeout_s = 0.5;
+      request_budget_s = 1.0;
+      retry_after_ms = 10 }
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.Daemon.run ~config
+          ~on_ready:(fun _ -> Atomic.set ready true)
+          registry)
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
+    ignore (Unix.select [] [] [] 0.01)
+  done;
+  if not (Atomic.get ready) then Alcotest.fail "daemon did not come up";
+  Fun.protect
+    ~finally:(fun () ->
+      (* faults are lifted by then, but the daemon may still be mid-
+         eviction of stormed peers: retry the shutdown handshake *)
+      let rec shut n =
+        if n = 0 then Alcotest.fail "daemon refused shutdown"
+        else
+          match Serve.Client.connect endpoint with
+          | Error _ -> shut (n - 1)
+          | Ok c ->
+            let r = Serve.Client.shutdown c in
+            Serve.Client.close c;
+            (match r with Ok () -> () | Error _ -> shut (n - 1))
+      in
+      shut 500;
+      Domain.join daemon;
+      rm_rf dir)
+    (fun () -> f endpoint)
+
+(* ---- the storm harness --------------------------------------------------- *)
+
+let bits = Array.map Int64.bits_of_float
+
+(* [run_storm fault ~moved] boots a daemon, records a reference batch
+   answer, rides out [fault], and checks the gates. [moved] is the
+   counter that proves the storm hit its site. *)
+let run_storm ?(ops = 30) ?(attempts = 10) fault ~moved () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "imdb.syn" in
+  save_exn path (Lazy.force synopsis);
+  with_daemon [ ("imdb", path) ] @@ fun endpoint ->
+  let reference =
+    match Serve.Client.connect endpoint with
+    | Error e -> Alcotest.failf "reference connect: %s" (Error.to_string e)
+    | Ok c ->
+      Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () -> (
+        match Serve.Client.estimate_batch c ~synopsis:"imdb" batch_queries with
+        | Ok r -> bits r
+        | Error e -> Alcotest.failf "reference batch: %s" (Error.to_string e))
+  in
+  let moved0 = counter moved in
+  let saved = Fault.current () in
+  Fault.configure (Some fault);
+  let ok = ref 0 and typed = ref 0 and pings = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> Fault.configure saved)
+    (fun () ->
+      for i = 1 to ops do
+        let r =
+          Serve.Client.with_retry ~attempts ~base_delay_s:0.005
+            ~max_delay_s:0.05 ~seed:i ~timeout_s:5.0 endpoint (fun c ->
+              if i mod 3 = 0 then
+                match Serve.Client.ping c with
+                | Ok h ->
+                  check Alcotest.int "ping sees the synopsis" 1
+                    h.Protocol.h_synopses;
+                  incr pings;
+                  Ok ()
+                | Error e -> Error e
+              else
+                match
+                  Serve.Client.estimate c ~synopsis:"imdb"
+                    ~query:"//movie/title"
+                with
+                | Ok _ -> Ok ()
+                | Error e -> Error e)
+        in
+        match r with
+        | Ok () -> incr ok
+        | Error _ -> incr typed
+      done);
+  (* survival: everything resolved, and the retry policy pushed most
+     operations — pings included — through the storm *)
+  check Alcotest.int "every stormed operation resolved" ops (!ok + !typed);
+  check Alcotest.bool "operations survived the storm" true (!ok > 0);
+  check Alcotest.bool "ping answered during the storm" true (!pings > 0);
+  check Alcotest.bool (moved ^ " moved") true (counter moved > moved0);
+  (* recovery: storm lifted, the daemon is intact and exact *)
+  (match
+     Serve.Client.with_retry ~attempts:10 ~timeout_s:5.0 endpoint
+       Serve.Client.ping
+   with
+  | Ok h ->
+    check Alcotest.int "post-storm synopses" 1 h.Protocol.h_synopses;
+    check Alcotest.bool "post-storm not draining" true
+      (not h.Protocol.h_draining)
+  | Error e -> Alcotest.failf "post-storm ping: %s" (Error.to_string e));
+  match
+    Serve.Client.with_retry ~attempts:10 ~timeout_s:5.0 endpoint (fun c ->
+        Serve.Client.estimate_batch c ~synopsis:"imdb" batch_queries)
+  with
+  | Error e -> Alcotest.failf "post-storm batch: %s" (Error.to_string e)
+  | Ok r ->
+    let got = bits r in
+    check Alcotest.int "post-storm batch width" (Array.length reference)
+      (Array.length got);
+    Array.iteri
+      (fun i b ->
+        check Alcotest.bool "post-storm batch bit-identical" true
+          (b = reference.(i)))
+      got
+
+let storm ?seed:(s = 0) prob sites kinds =
+  { Fault.seed = 900 + s; prob; kinds; sites }
+
+let test_accept_storm () =
+  run_storm
+    (storm ~seed:1 0.5 [ "serve.accept" ] [ Fault.Eio ])
+    ~moved:"daemon.accept_error" ()
+
+let test_send_storm () =
+  run_storm
+    (storm ~seed:2 0.3 [ "serve.send" ] [ Fault.Eio; Fault.Enospc ])
+    ~moved:"fault.injected" ()
+
+let test_deadline_storm () =
+  run_storm
+    (storm ~seed:3 0.2 [ "serve.deadline" ] [ Fault.Eio ])
+    ~moved:"daemon.timeouts" ()
+
+let test_connect_storm () =
+  run_storm
+    (storm ~seed:4 0.4 [ "client.connect" ] [ Fault.Eio ])
+    ~moved:"client.connect_error" ()
+
+let test_combined_storm () =
+  run_storm ~attempts:12
+    (storm ~seed:5 0.15
+       [ "serve.accept"; "serve.send"; "serve.deadline"; "client.connect" ]
+       [ Fault.Eio ])
+    ~moved:"fault.injected" ()
+
+let () =
+  Alcotest.run "chaos"
+    [ ( "storms",
+        [ Alcotest.test_case "accept storm" `Quick test_accept_storm;
+          Alcotest.test_case "send storm" `Quick test_send_storm;
+          Alcotest.test_case "deadline storm" `Quick test_deadline_storm;
+          Alcotest.test_case "connect storm" `Quick test_connect_storm;
+          Alcotest.test_case "combined storm" `Quick test_combined_storm ] ) ]

@@ -69,7 +69,11 @@ let sample_requests =
       {
         synopsis = "x";
         queries = [| "//a"; "//b[. > 3]/c"; "//d[. ftcontains(war)]" |];
-        options = { Serve.domains = Some 3; fallback = Serve.Strict; cohort = false };
+        options =
+          { Serve.default_options with
+            Serve.domains = Some 3;
+            fallback = Serve.Strict;
+            cohort = false };
       };
     Protocol.Estimate_batch
       { synopsis = ""; queries = [||]; options = Serve.default_options };
@@ -78,6 +82,7 @@ let sample_requests =
     Protocol.Update { synopsis = "imdb"; path = "/var/lib/xc/imdb.g2.syn" };
     Protocol.Update { synopsis = ""; path = "" };
     Protocol.Reload;
+    Protocol.Ping;
     Protocol.Shutdown ]
 
 let sample_responses =
@@ -89,6 +94,24 @@ let sample_responses =
     Protocol.Stats_json "{\"counters\":{}}";
     Protocol.Reloaded { loaded = 3; skipped = 1 };
     Protocol.Swapped { generation = 42 };
+    Protocol.Health
+      {
+        Protocol.h_synopses = 3;
+        h_generations = 7;
+        h_queue = 2;
+        h_inflight = 1;
+        h_uptime_s = 12.5;
+        h_draining = true;
+      };
+    Protocol.Health
+      {
+        Protocol.h_synopses = 0;
+        h_generations = 0;
+        h_queue = 0;
+        h_inflight = 0;
+        h_uptime_s = 0.0;
+        h_draining = false;
+      };
     Protocol.Done;
     Protocol.Error_frame { code = 4; message = "query 0: nope" } ]
 
@@ -202,6 +225,12 @@ let test_error_wire () =
           true
         (* a remote protocol complaint intentionally comes back as Io *)
         | Error.Protocol _, Error.Io _ -> true
+        (* the numeric payloads ride in the message's leading decimal *)
+        | Error.Timeout { elapsed_ms = a }, Error.Timeout { elapsed_ms = b } ->
+          a = b
+        | ( Error.Overloaded { retry_after_ms = a },
+            Error.Overloaded { retry_after_ms = b } ) ->
+          a = b
         | _ -> false
       in
       check Alcotest.bool "category survives the wire" true same)
@@ -210,7 +239,9 @@ let test_error_wire () =
       Error.Admission "unknown";
       Error.Query "bad twig";
       Error.Unavailable "strict";
-      Error.Io "refused" ]
+      Error.Io "refused";
+      Error.Timeout { elapsed_ms = 1234 };
+      Error.Overloaded { retry_after_ms = 250 } ]
 
 (* ---- options ------------------------------------------------------------ *)
 
@@ -221,6 +252,18 @@ let test_options_validation () =
   check Alcotest.bool "default degrades" true
     (Serve.default_options.Serve.fallback = Serve.Degrade
     && Serve.default_options.Serve.domains = None);
+  check Alcotest.bool "default admission limits are positive" true
+    (Serve.default_options.Serve.max_batch > 0
+    && Serve.default_options.Serve.max_frame_bytes > 0);
+  (match Serve.options ~max_batch:16 ~max_frame_bytes:4096 () with
+  | { Serve.max_batch = 16; max_frame_bytes = 4096; _ } -> ()
+  | _ -> Alcotest.fail "admission limits not threaded");
+  (match Serve.options ~max_batch:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_batch = 0 accepted");
+  (match Serve.options ~max_frame_bytes:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "max_frame_bytes = 0 accepted");
   match Serve.options ~domains:0 () with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "domains = 0 accepted"
@@ -308,16 +351,22 @@ let test_registry_engine_lru () =
 (* The daemon runs in a spawned domain of this process (Daemon.run
    blocks its caller; Shutdown exits it), clients in further domains
    doing only socket I/O. *)
-let with_daemon ?(max_engines = 8) sources f =
+let with_daemon ?(max_engines = 8) ?(tune = fun c -> c) sources f =
   let dir = temp_dir () in
   let endpoint = Protocol.Unix_sock (Filename.concat dir "d.sock") in
   let registry = Registry.create ~max_engines () in
   List.iter (fun (name, path) -> Registry.add_source registry ~name ~path) sources;
   let ready = Atomic.make false in
+  let config =
+    tune
+      { Serve.Daemon.default_config with
+        Serve.Daemon.endpoint;
+        max_engines;
+        options = Serve.default_options }
+  in
   let daemon =
     Domain.spawn (fun () ->
-        Serve.Daemon.run
-          ~config:{ Serve.Daemon.endpoint; max_engines; options = Serve.default_options }
+        Serve.Daemon.run ~config
           ~on_ready:(fun _ -> Atomic.set ready true)
           registry)
   in
@@ -485,6 +534,295 @@ let test_daemon_survives_socket_storm () =
     (match Serve.Client.estimate c ~synopsis:"imdb" ~query:"//movie/title" with
     | Ok _ -> ()
     | Error e -> Alcotest.failf "estimate after storm: %s" (Error.to_string e))
+
+(* ---- serving-plane hardening --------------------------------------------- *)
+
+let sock_path = function
+  | Protocol.Unix_sock p -> p
+  | Protocol.Tcp _ -> Alcotest.fail "expected a unix endpoint"
+
+(* a raw peer, below the client layer: the hardening tests need to
+   misbehave in ways the client cannot *)
+let raw_connect endpoint =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX (sock_path endpoint));
+  fd
+
+let raw_close fd = try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+let test_ping_health () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "imdb.syn" in
+  save_exn path (Lazy.force synopsis_a);
+  with_daemon [ ("imdb", path) ] @@ fun endpoint ->
+  match Serve.Client.connect endpoint with
+  | Error e -> Alcotest.failf "connect: %s" (Error.to_string e)
+  | Ok c ->
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    (match Serve.Client.ping c with
+    | Ok h ->
+      check Alcotest.int "synopses" 1 h.Protocol.h_synopses;
+      check Alcotest.bool "load admitted a generation" true
+        (h.Protocol.h_generations >= 1);
+      (* this very connection is checked out by a worker *)
+      check Alcotest.bool "pinging connection is in flight" true
+        (h.Protocol.h_inflight >= 1);
+      check Alcotest.bool "queue depth sane" true (h.Protocol.h_queue >= 0);
+      check Alcotest.bool "uptime sane" true (h.Protocol.h_uptime_s >= 0.0);
+      check Alcotest.bool "not draining" true (not h.Protocol.h_draining)
+    | Error e -> Alcotest.failf "ping: %s" (Error.to_string e));
+    (* health answers interleave with estimates on one connection *)
+    match Serve.Client.estimate c ~synopsis:"imdb" ~query:"//movie/title" with
+    | Ok v -> check Alcotest.bool "estimate after ping" true (Float.is_finite v)
+    | Error e -> Alcotest.failf "estimate after ping: %s" (Error.to_string e)
+
+(* A slow-loris peer — half a frame header, then silence — must cost one
+   worker for at most the read deadline: other clients stay served, and
+   the loris gets a typed Timeout frame and eviction. *)
+let test_slow_loris_evicted () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "imdb.syn" in
+  save_exn path (Lazy.force synopsis_a);
+  let tune c =
+    { c with
+      Serve.Daemon.workers = 2;
+      recv_timeout_s = 0.15;
+      request_budget_s = 0.5 }
+  in
+  with_daemon ~tune [ ("imdb", path) ] @@ fun endpoint ->
+  let timeouts0 = counter "daemon.timeouts" in
+  let evicted0 = counter "daemon.evicted" in
+  let loris = raw_connect endpoint in
+  Fun.protect ~finally:(fun () -> raw_close loris) @@ fun () ->
+  ignore (Unix.write_substring loris "\x01" 0 1);
+  (* the stalled peer occupies one worker; the other still answers *)
+  (match Serve.Client.connect endpoint with
+  | Error e -> Alcotest.failf "connect during stall: %s" (Error.to_string e)
+  | Ok c ->
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    (match Serve.Client.estimate c ~synopsis:"imdb" ~query:"//movie/title" with
+    | Ok v ->
+      check Alcotest.bool "finite estimate during stall" true (Float.is_finite v)
+    | Error e ->
+      Alcotest.failf "stalled peer blocked other clients: %s" (Error.to_string e)));
+  (* the loris is evicted with a typed frame within the deadline *)
+  Unix.setsockopt_float loris Unix.SO_RCVTIMEO 5.0;
+  let buf = Buffer.create 64 in
+  let chunk = Bytes.create 256 in
+  let rec drain () =
+    match Unix.read loris chunk 0 256 with
+    | 0 -> ()
+    | n ->
+      Buffer.add_subbytes buf chunk 0 n;
+      drain ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Alcotest.fail "stalled peer was not evicted within the deadline"
+  in
+  drain ();
+  (match Protocol.decode_response (Buffer.contents buf) with
+  | Ok (Protocol.Error_frame { code; message }) -> (
+    match Error.of_wire code message with
+    | Error.Timeout { elapsed_ms } ->
+      check Alcotest.bool "elapsed is non-negative" true (elapsed_ms >= 0)
+    | e -> Alcotest.failf "expected a timeout frame, got %s" (Error.to_string e))
+  | Ok _ -> Alcotest.fail "expected an error frame before eviction"
+  | Error e -> Alcotest.failf "eviction frame damaged: %a" Error.pp_protocol e);
+  check Alcotest.bool "timeout counted" true (counter "daemon.timeouts" > timeouts0);
+  check Alcotest.bool "eviction counted" true (counter "daemon.evicted" > evicted0)
+
+(* With one worker stalled and the pending queue full, the next
+   connection is shed with a typed Overloaded frame carrying the
+   daemon's backoff hint — and with_retry outlasts the stall. *)
+let test_overload_shed_and_retry () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "imdb.syn" in
+  save_exn path (Lazy.force synopsis_a);
+  let tune c =
+    { c with
+      Serve.Daemon.workers = 1;
+      max_pending = 1;
+      recv_timeout_s = 0.3;
+      request_budget_s = 0.5;
+      retry_after_ms = 20 }
+  in
+  with_daemon ~tune [ ("imdb", path) ] @@ fun endpoint ->
+  let shed0 = counter "daemon.shed" in
+  (* a stalled peer checks out the single worker... *)
+  let loris = raw_connect endpoint in
+  Fun.protect ~finally:(fun () -> raw_close loris) @@ fun () ->
+  ignore (Unix.write_substring loris "\x01" 0 1);
+  Unix.sleepf 0.05;
+  (* ...a second connection fills the pending queue... *)
+  let filler = raw_connect endpoint in
+  Fun.protect ~finally:(fun () -> raw_close filler) @@ fun () ->
+  Unix.sleepf 0.05;
+  (* ...so the third is shed before it utters a request *)
+  (match Serve.Client.connect endpoint with
+  | Error e -> Alcotest.failf "connect: %s" (Error.to_string e)
+  | Ok c -> (
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    match Serve.Client.estimate c ~synopsis:"imdb" ~query:"//movie/title" with
+    | Error (Error.Overloaded { retry_after_ms }) ->
+      check Alcotest.int "daemon's backoff hint" 20 retry_after_ms
+    | Error e -> Alcotest.failf "expected overloaded, got %s" (Error.to_string e)
+    | Ok _ -> Alcotest.fail "request served through a full queue"));
+  check Alcotest.bool "shed counted" true (counter "daemon.shed" > shed0);
+  (* the stalled peers are evicted within their deadlines, so a retried
+     request is eventually served *)
+  let retry0 = counter "client.retry" in
+  (match
+     Serve.Client.with_retry ~attempts:20 ~base_delay_s:0.05 ~max_delay_s:0.2
+       ~timeout_s:5.0 endpoint (fun c ->
+         Serve.Client.estimate c ~synopsis:"imdb" ~query:"//movie/title")
+   with
+  | Ok v -> check Alcotest.bool "retried estimate finite" true (Float.is_finite v)
+  | Error e -> Alcotest.failf "with_retry never recovered: %s" (Error.to_string e));
+  check Alcotest.bool "retries taken" true (counter "client.retry" > retry0)
+
+(* Admission limits: an over-limit batch is a permanent Admission error
+   on a surviving connection; an oversized frame is refused from its
+   header alone and the stream dropped, after which the client's next
+   idempotent request transparently reconnects. *)
+let test_admission_limits () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "imdb.syn" in
+  save_exn path (Lazy.force synopsis_a);
+  let tune c =
+    { c with
+      Serve.Daemon.options = Serve.options ~max_batch:4 ~max_frame_bytes:2048 ()
+    }
+  in
+  with_daemon ~tune [ ("imdb", path) ] @@ fun endpoint ->
+  match Serve.Client.connect endpoint with
+  | Error e -> Alcotest.failf "connect: %s" (Error.to_string e)
+  | Ok c ->
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    (match
+       Serve.Client.estimate_batch c ~synopsis:"imdb"
+         (Array.make 5 "//movie/title")
+     with
+    | Error (Error.Admission msg) ->
+      check Alcotest.bool "names the limit" true (contains msg "limit")
+    | Error e -> Alcotest.failf "expected admission, got %s" (Error.to_string e)
+    | Ok _ -> Alcotest.fail "over-limit batch served");
+    (* the refusal was an answer, not an eviction: same connection *)
+    (match
+       Serve.Client.estimate_batch c ~synopsis:"imdb"
+         (Array.make 4 "//movie/title")
+     with
+    | Ok r -> check Alcotest.int "at-limit batch answered" 4 (Array.length r)
+    | Error e -> Alcotest.failf "at-limit batch: %s" (Error.to_string e));
+    let reconnect0 = counter "client.reconnect" in
+    (match
+       Serve.Client.estimate c ~synopsis:"imdb" ~query:(String.make 4096 'x')
+     with
+    | Error (Error.Admission _) -> ()
+    | Error e -> Alcotest.failf "expected admission, got %s" (Error.to_string e)
+    | Ok _ -> Alcotest.fail "oversized frame served");
+    (match Serve.Client.estimate c ~synopsis:"imdb" ~query:"//movie/title" with
+    | Ok v -> check Alcotest.bool "served after reconnect" true (Float.is_finite v)
+    | Error e -> Alcotest.failf "reconnect after eviction: %s" (Error.to_string e));
+    check Alcotest.bool "reconnect counted" true
+      (counter "client.reconnect" > reconnect0)
+
+(* Graceful drain: a request already on the wire when stop() lands is
+   answered — bit-identical — before its connection closes, and the
+   daemon then refuses new connections and exits. Runs its own daemon
+   lifecycle: with_daemon's shutdown handshake expects a live daemon. *)
+let test_graceful_drain () =
+  let dir = temp_dir () in
+  Fun.protect ~finally:(fun () -> rm_rf dir) @@ fun () ->
+  let path = Filename.concat dir "imdb.syn" in
+  save_exn path (Lazy.force synopsis_a);
+  let expected =
+    match Xcluster.Store.load path with
+    | Ok s -> Xcluster.Query.estimate_uncached s (Xcluster.Query.parse "//movie/title")
+    | Error e -> Alcotest.failf "load: %s" (Xc_core.Codec.error_to_string e)
+  in
+  let endpoint = Protocol.Unix_sock (Filename.concat dir "d.sock") in
+  let registry = Registry.create ~max_engines:4 () in
+  Registry.add_source registry ~name:"imdb" ~path;
+  let ready = Atomic.make false in
+  let config =
+    { Serve.Daemon.default_config with
+      Serve.Daemon.endpoint;
+      max_engines = 4;
+      options = Serve.default_options;
+      workers = 2;
+      drain_timeout_s = 5.0 }
+  in
+  let daemon =
+    Domain.spawn (fun () ->
+        Serve.Daemon.run ~config
+          ~on_ready:(fun _ -> Atomic.set ready true)
+          registry)
+  in
+  let deadline = Unix.gettimeofday () +. 10.0 in
+  while (not (Atomic.get ready)) && Unix.gettimeofday () < deadline do
+    ignore (Unix.select [] [] [] 0.01)
+  done;
+  if not (Atomic.get ready) then Alcotest.fail "daemon did not come up";
+  let fd = raw_connect endpoint in
+  Fun.protect ~finally:(fun () -> raw_close fd) @@ fun () ->
+  let send_req req =
+    match Protocol.send fd (Protocol.encode_request req) with
+    | Ok () -> ()
+    | Error e -> Alcotest.failf "send: %s" (Error.to_string e)
+  in
+  let recv_estimate what =
+    match Protocol.recv_response fd with
+    | Ok (Protocol.Floats [| v |]) ->
+      check Alcotest.bool (what ^ " bit-identical") true
+        (Int64.bits_of_float v = Int64.bits_of_float expected)
+    | Ok _ -> Alcotest.failf "%s: unexpected response kind" what
+    | Error e -> Alcotest.failf "%s: %s" what (Error.to_string e)
+  in
+  let req = Protocol.Estimate { synopsis = "imdb"; query = "//movie/title" } in
+  (* prime: a worker now owns this connection *)
+  send_req req;
+  recv_estimate "primed estimate";
+  (* in flight at stop time: request on the wire, then drain begins *)
+  send_req req;
+  Serve.Daemon.stop ();
+  recv_estimate "drained in-flight estimate";
+  (* after answering, the drain closes the connection... *)
+  (match Protocol.recv_response fd with
+  | Ok _ -> Alcotest.fail "connection survived the drain"
+  | Error _ -> ());
+  Domain.join daemon;
+  (* ...and the stopped daemon accepts nobody *)
+  match Serve.Client.connect endpoint with
+  | Ok c ->
+    Serve.Client.close c;
+    Alcotest.fail "daemon accepted a connection after drain"
+  | Error (Error.Io _) -> ()
+  | Error e -> Alcotest.failf "expected io error, got %s" (Error.to_string e)
+
+(* connection failures are typed — never a silent loopback fallback *)
+let test_client_connect_errors () =
+  (match Serve.Client.connect (Protocol.Unix_sock "/definitely/not/here.sock") with
+  | Error (Error.Io _) -> ()
+  | Error e -> Alcotest.failf "expected io error, got %s" (Error.to_string e)
+  | Ok c ->
+    Serve.Client.close c;
+    Alcotest.fail "connected to a missing socket");
+  match Serve.Client.connect (Protocol.Tcp ("host.invalid", 7)) with
+  | Error (Error.Io msg) ->
+    check Alcotest.bool "names the unresolvable host" true
+      (contains msg "unknown host")
+  | Error e -> Alcotest.failf "expected io error, got %s" (Error.to_string e)
+  | Ok c ->
+    Serve.Client.close c;
+    Alcotest.fail "an unresolvable name connected somewhere"
 
 (* ---- generation swap ----------------------------------------------------- *)
 
@@ -669,6 +1007,18 @@ let () =
           Alcotest.test_case "typed error frames" `Quick test_daemon_error_frames;
           Alcotest.test_case "survives socket fault storm" `Quick
             test_daemon_survives_socket_storm ] );
+      ( "hardening",
+        [ Alcotest.test_case "ping answers health" `Quick test_ping_health;
+          Alcotest.test_case "slow-loris peer evicted by deadline" `Quick
+            test_slow_loris_evicted;
+          Alcotest.test_case "overload sheds, with_retry recovers" `Quick
+            test_overload_shed_and_retry;
+          Alcotest.test_case "admission limits refuse, connection policy" `Quick
+            test_admission_limits;
+          Alcotest.test_case "graceful drain finishes in-flight work" `Quick
+            test_graceful_drain;
+          Alcotest.test_case "connect failures are typed" `Quick
+            test_client_connect_errors ] );
       ( "swap",
         [ Alcotest.test_case "registry generations" `Quick
             test_registry_swap_generations;
